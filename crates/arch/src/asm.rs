@@ -1,0 +1,305 @@
+//! Scheduled assembly programs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use denali_term::Symbol;
+
+use crate::machine::Unit;
+
+/// A register. Generated code uses a dense virtual numbering (`$0`,
+/// `$1`, ...); the paper's prototype likewise "ignores register
+/// allocation".
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Reg(pub u32);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.0)
+    }
+}
+
+/// An instruction operand: a register or an immediate literal.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Operand {
+    /// Register source.
+    Reg(Reg),
+    /// Immediate literal (ALU literal or load/store displacement).
+    Imm(u64),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => {
+                if *v > 0xffff {
+                    write!(f, "0x{v:x}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+        }
+    }
+}
+
+/// One scheduled instruction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Instr {
+    /// Opcode (an instruction symbol of the [`crate::Machine`]).
+    pub op: Symbol,
+    /// Source operands. For `ldq`/`stq` the convention is
+    /// `[base_register, displacement]` (plus the stored value first for
+    /// `stq`: `[value, base, displacement]`).
+    pub operands: Vec<Operand>,
+    /// Destination register (`None` for stores).
+    pub dest: Option<Reg>,
+    /// Issue cycle (0-based).
+    pub cycle: u32,
+    /// Functional unit.
+    pub unit: Unit,
+    /// Free-form annotation shown in listings.
+    pub comment: String,
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = self.op.as_str();
+        match name {
+            "ldq" => {
+                // ldq $d, disp($base)
+                let (base, disp) = (&self.operands[0], &self.operands[1]);
+                write!(f, "ldq {}, {disp}({base})", self.dest.expect("load has dest"))?;
+            }
+            "stq" => {
+                let (value, base, disp) =
+                    (&self.operands[0], &self.operands[1], &self.operands[2]);
+                write!(f, "stq {value}, {disp}({base})")?;
+            }
+            "ldiq" => {
+                write!(
+                    f,
+                    "ldiq {}, {}",
+                    self.dest.expect("ldiq has dest"),
+                    self.operands[0]
+                )?;
+            }
+            "mov" => {
+                write!(f, "mov {}, {}", self.operands[0], self.dest.expect("mov has dest"))?;
+            }
+            _ => {
+                write!(f, "{name} ")?;
+                for operand in &self.operands {
+                    write!(f, "{operand}, ")?;
+                }
+                match self.dest {
+                    Some(d) => write!(f, "{d}")?,
+                    None => write!(f, "-")?,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A scheduled straight-line program: the output of the code generator.
+///
+/// `inputs` names the registers holding the GMA's free variables on
+/// entry; `outputs` names the registers holding each (non-memory) target
+/// on exit.
+#[derive(Clone, Default, Debug)]
+pub struct Program {
+    /// Instructions in issue order (sorted by cycle, then unit).
+    pub instrs: Vec<Instr>,
+    /// Input name → register holding it on entry.
+    pub inputs: Vec<(Symbol, Reg)>,
+    /// Target name → register holding it on exit (memory targets are
+    /// realized by `stq` instructions instead).
+    pub outputs: Vec<(Symbol, Reg)>,
+    /// Label for listings.
+    pub name: String,
+    /// True if physical-register reuse is permitted (set by the register
+    /// allocator). When false the program is in single-assignment form
+    /// and the simulator/validator treat a second write to a register as
+    /// an error.
+    pub reg_reuse: bool,
+}
+
+impl Program {
+    /// Number of cycles the schedule occupies (last issue cycle + that
+    /// instruction's latency is the true makespan; this reports the
+    /// *cycle budget* K used by the paper: the number of issue cycles).
+    pub fn cycles(&self) -> u32 {
+        self.instrs
+            .iter()
+            .map(|i| i.cycle + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of real instructions (nops in listings are not stored).
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The register assigned to a named input.
+    pub fn input_reg(&self, name: Symbol) -> Option<Reg> {
+        self.inputs.iter().find(|(n, _)| *n == name).map(|&(_, r)| r)
+    }
+
+    /// The register holding a named output.
+    pub fn output_reg(&self, name: Symbol) -> Option<Reg> {
+        self.outputs.iter().find(|(n, _)| *n == name).map(|&(_, r)| r)
+    }
+
+    /// Renders a Figure-4-style listing: one line per instruction,
+    /// annotated with `# cycle, unit`, with `nop`s filling unused issue
+    /// slots of occupied cycles.
+    pub fn listing(&self, issue_width: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "// Inputs: {}", pairs(&self.inputs));
+        let _ = writeln!(out, "// Outputs: {}", pairs(&self.outputs));
+        let _ = writeln!(out, "{}:", self.name);
+        let mut by_cycle: BTreeMap<u32, Vec<&Instr>> = BTreeMap::new();
+        for i in &self.instrs {
+            by_cycle.entry(i.cycle).or_default().push(i);
+        }
+        for (cycle, instrs) in &by_cycle {
+            let mut instrs = instrs.clone();
+            instrs.sort_by_key(|i| i.unit);
+            for i in &instrs {
+                let text = i.to_string();
+                let comment = if i.comment.is_empty() {
+                    String::new()
+                } else {
+                    format!(" ; {}", i.comment)
+                };
+                let _ = writeln!(out, "    {text:<28} # {cycle}, {}{comment}", i.unit);
+            }
+            for _ in instrs.len()..issue_width {
+                let _ = writeln!(out, "    {:<28} # {cycle}", "nop");
+            }
+        }
+        out
+    }
+}
+
+fn pairs(list: &[(Symbol, Reg)]) -> String {
+    list.iter()
+        .map(|(n, r)| format!("{n}={r}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn sample() -> Program {
+        Program {
+            instrs: vec![
+                Instr {
+                    op: sym("extbl"),
+                    operands: vec![Operand::Reg(Reg(16)), Operand::Imm(1)],
+                    dest: Some(Reg(2)),
+                    cycle: 0,
+                    unit: Unit::U1,
+                    comment: "$2 = byte 1".to_owned(),
+                },
+                Instr {
+                    op: sym("insbl"),
+                    operands: vec![Operand::Reg(Reg(16)), Operand::Imm(3)],
+                    dest: Some(Reg(3)),
+                    cycle: 0,
+                    unit: Unit::U0,
+                    comment: String::new(),
+                },
+                Instr {
+                    op: sym("bis"),
+                    operands: vec![Operand::Reg(Reg(2)), Operand::Reg(Reg(3))],
+                    dest: Some(Reg(0)),
+                    cycle: 1,
+                    unit: Unit::L0,
+                    comment: String::new(),
+                },
+            ],
+            inputs: vec![(sym("a"), Reg(16))],
+            outputs: vec![(sym("res"), Reg(0))],
+            name: "sample".to_owned(),
+            reg_reuse: false,
+        }
+    }
+
+    #[test]
+    fn cycle_count_is_last_issue_cycle_plus_one() {
+        assert_eq!(sample().cycles(), 2);
+        assert_eq!(Program::default().cycles(), 0);
+        assert!(Program::default().is_empty());
+    }
+
+    #[test]
+    fn input_output_lookup() {
+        let p = sample();
+        assert_eq!(p.input_reg(sym("a")), Some(Reg(16)));
+        assert_eq!(p.output_reg(sym("res")), Some(Reg(0)));
+        assert_eq!(p.input_reg(sym("zz")), None);
+    }
+
+    #[test]
+    fn listing_shows_cycles_units_and_nops() {
+        let text = sample().listing(4);
+        assert!(text.contains("# 0, U0"));
+        assert!(text.contains("# 0, U1"));
+        assert!(text.contains("# 1, L0"));
+        // Two instructions at cycle 0 on a 4-wide machine: two nops.
+        assert_eq!(text.matches("nop").count(), 2 + 3);
+        assert!(text.contains("$2 = byte 1"));
+    }
+
+    #[test]
+    fn memory_instruction_display() {
+        let ld = Instr {
+            op: sym("ldq"),
+            operands: vec![Operand::Reg(Reg(1)), Operand::Imm(8)],
+            dest: Some(Reg(2)),
+            cycle: 0,
+            unit: Unit::L0,
+            comment: String::new(),
+        };
+        assert_eq!(ld.to_string(), "ldq $2, 8($1)");
+        let st = Instr {
+            op: sym("stq"),
+            operands: vec![Operand::Reg(Reg(3)), Operand::Reg(Reg(1)), Operand::Imm(0)],
+            dest: None,
+            cycle: 0,
+            unit: Unit::L0,
+            comment: String::new(),
+        };
+        assert_eq!(st.to_string(), "stq $3, 0($1)");
+        let alu = Instr {
+            op: sym("addq"),
+            operands: vec![Operand::Reg(Reg(1)), Operand::Imm(255)],
+            dest: Some(Reg(4)),
+            cycle: 0,
+            unit: Unit::U0,
+            comment: String::new(),
+        };
+        assert_eq!(alu.to_string(), "addq $1, 255, $4");
+    }
+
+    #[test]
+    fn large_immediates_print_in_hex() {
+        assert_eq!(Operand::Imm(0xffff_ff00).to_string(), "0xffffff00");
+        assert_eq!(Operand::Imm(255).to_string(), "255");
+    }
+}

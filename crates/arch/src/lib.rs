@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! The target-architecture description, assembly representation,
+//! instruction simulator, and independent schedule validator.
+//!
+//! The paper's prototype targeted "the Alpha EV6, a quad-issue processor
+//! with multiple register banks and extra delays for moving values
+//! between banks, almost all of whose complexity is modeled by our code
+//! generator" (§8). We cannot run on EV6 hardware, so this crate models
+//! the same structure — four functional units (`U0`, `U1`, `L0`, `L1`),
+//! two clusters with a one-cycle cross-cluster bypass penalty, per-opcode
+//! unit sets and latencies — and substitutes an instruction-level
+//! *simulator* for the hardware, which lets every generated program be
+//! executed and compared against the reference semantics.
+//!
+//! * [`Machine`] — the architectural description consumed by the
+//!   constraint generator (Figure 1's "architectural description" input),
+//! * [`Program`] / [`Instr`] — scheduled assembly with cycle and unit
+//!   annotations (printed in the style of the paper's Figure 4),
+//! * [`Simulator`] — executes programs on a register file and sparse
+//!   memory using the `denali-term` operation semantics,
+//! * [`validate`] — re-checks a claimed schedule against every structural
+//!   rule, independently of the SAT encoding that produced it.
+
+mod asm;
+mod machine;
+mod regalloc;
+mod sim;
+mod validate;
+
+pub use asm::{Instr, Operand, Program, Reg};
+pub use regalloc::{allocate, alpha_temp_pool, AllocError};
+pub use machine::{InstrInfo, Machine, Unit};
+pub use sim::{SimError, Simulator};
+pub use validate::{validate, ValidationError};

@@ -1,0 +1,278 @@
+//! Register allocation.
+//!
+//! The paper's prototype "ignores register allocation" and so does this
+//! reproduction's extractor — generated code uses one virtual register
+//! per value. This module adds what the paper left out: a linear-scan
+//! allocator that renames virtual registers onto the Alpha's physical
+//! register file (inputs in the argument registers `$16...`, temporaries
+//! in a caller-saved pool), producing listings with the flavor of the
+//! paper's Figure 4 register map.
+//!
+//! Allocation is conservative: a physical register is reused only after
+//! the last read of its previous value has *issued strictly earlier*
+//! than the new definition, inputs and program outputs are live for the
+//! whole program, and the result is re-checked by [`crate::validate`]
+//! (which understands reused registers via [`Program::reg_reuse`]).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::asm::{Operand, Program, Reg};
+use crate::machine::Machine;
+
+/// Allocation failure: more simultaneously-live values than physical
+/// registers.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AllocError {
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// The default temporary pool: Alpha integer registers conventionally
+/// free in a leaf routine (`$0`–`$8`, `$22`–`$25`, `$27`–`$28`), with
+/// `$0` first so single-result routines return in `$0` as Figure 4 does.
+pub fn alpha_temp_pool() -> Vec<Reg> {
+    let mut pool: Vec<Reg> = (0..=8).map(Reg).collect();
+    pool.extend((22..=25).map(Reg));
+    pool.extend((27..=28).map(Reg));
+    pool
+}
+
+/// Renames `program`'s virtual registers onto physical ones: inputs to
+/// `$16, $17, ...` (the Alpha argument registers) and temporaries to
+/// `pool` via linear scan. Returns a program with
+/// [`Program::reg_reuse`] set.
+///
+/// # Errors
+///
+/// Fails if the program needs more live temporaries than `pool` offers
+/// (this allocator does not spill).
+pub fn allocate(
+    program: &Program,
+    machine: &Machine,
+    pool: &[Reg],
+) -> Result<Program, AllocError> {
+    // Input mapping: argument registers, in input order.
+    let mut mapping: HashMap<Reg, Reg> = HashMap::new();
+    let mut inputs = Vec::new();
+    for (idx, &(name, vreg)) in program.inputs.iter().enumerate() {
+        let phys = Reg(16 + idx as u32);
+        if pool.contains(&phys) {
+            return Err(AllocError {
+                message: format!("temporary pool overlaps input register {phys}"),
+            });
+        }
+        mapping.insert(vreg, phys);
+        inputs.push((name, phys));
+    }
+
+    // Live intervals of virtual temporaries: def cycle -> last read cycle.
+    let mut def_cycle: HashMap<Reg, u32> = HashMap::new();
+    let mut last_use: HashMap<Reg, u32> = HashMap::new();
+    let mut instrs = program.instrs.clone();
+    instrs.sort_by_key(|i| (i.cycle, i.unit));
+    for instr in &instrs {
+        if let Some(dest) = instr.dest {
+            def_cycle.insert(dest, instr.cycle);
+            last_use.entry(dest).or_insert(instr.cycle);
+        }
+        for operand in &instr.operands {
+            if let Operand::Reg(r) = operand {
+                let entry = last_use.entry(*r).or_insert(instr.cycle);
+                *entry = (*entry).max(instr.cycle);
+            }
+        }
+    }
+    // Program outputs stay live to the end.
+    let horizon = program.cycles();
+    for &(_, vreg) in &program.outputs {
+        if def_cycle.contains_key(&vreg) {
+            last_use.insert(vreg, horizon);
+        }
+    }
+
+    // Linear scan over definitions in issue order.
+    // busy: physical reg -> cycle after which it is free again.
+    let mut busy: HashMap<Reg, u32> = HashMap::new();
+    for instr in &instrs {
+        let Some(dest) = instr.dest else { continue };
+        if mapping.contains_key(&dest) {
+            continue; // already mapped (should not happen for SSA input)
+        }
+        let def = def_cycle[&dest];
+        let phys = pool
+            .iter()
+            .copied()
+            .find(|p| busy.get(p).is_none_or(|&free_after| free_after < def))
+            .ok_or_else(|| AllocError {
+                message: format!(
+                    "out of registers at cycle {def}: {} values live, pool has {}",
+                    busy.values().filter(|&&f| f >= def).count() + 1,
+                    pool.len()
+                ),
+            })?;
+        // The physical register is occupied until the last read of this
+        // value has issued (reads at the same cycle as a later def would
+        // race, hence strict inequality at reuse time above).
+        busy.insert(phys, last_use[&dest]);
+        mapping.insert(dest, phys);
+    }
+
+    // Rewrite.
+    let map = |r: Reg| -> Reg { mapping.get(&r).copied().unwrap_or(r) };
+    let mut out = program.clone();
+    out.inputs = inputs;
+    out.outputs = program
+        .outputs
+        .iter()
+        .map(|&(name, r)| (name, map(r)))
+        .collect();
+    for instr in &mut out.instrs {
+        if let Some(d) = instr.dest {
+            instr.dest = Some(map(d));
+        }
+        for operand in &mut instr.operands {
+            if let Operand::Reg(r) = operand {
+                *r = map(*r);
+            }
+        }
+    }
+    out.reg_reuse = true;
+    crate::validate(&out, machine).map_err(|e| AllocError {
+        message: format!("allocation produced an invalid program:\n{e}"),
+    })?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Instr;
+    use crate::machine::Unit;
+    use denali_term::Symbol;
+    use std::collections::HashMap as Map;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn instr(op: &str, operands: Vec<Operand>, dest: Option<Reg>, cycle: u32, unit: Unit) -> Instr {
+        Instr {
+            op: sym(op),
+            operands,
+            dest,
+            cycle,
+            unit,
+            comment: String::new(),
+        }
+    }
+
+    /// A chain: t1 = a+1 (c0); t2 = t1+1 (c1); t3 = t2+1 (c2); res = t3.
+    fn chain_program() -> Program {
+        let a = Reg(100);
+        Program {
+            instrs: vec![
+                instr("addq", vec![Operand::Reg(a), Operand::Imm(1)], Some(Reg(101)), 0, Unit::U0),
+                instr("addq", vec![Operand::Reg(Reg(101)), Operand::Imm(1)], Some(Reg(102)), 1, Unit::U0),
+                instr("addq", vec![Operand::Reg(Reg(102)), Operand::Imm(1)], Some(Reg(103)), 2, Unit::U0),
+            ],
+            inputs: vec![(sym("a"), a)],
+            outputs: vec![(sym("res"), Reg(103))],
+            name: "chain".to_owned(),
+            reg_reuse: false,
+        }
+    }
+
+    #[test]
+    fn inputs_go_to_argument_registers() {
+        let machine = Machine::ev6();
+        let allocated = allocate(&chain_program(), &machine, &alpha_temp_pool()).unwrap();
+        assert_eq!(allocated.input_reg(sym("a")), Some(Reg(16)));
+        assert!(allocated.reg_reuse);
+    }
+
+    #[test]
+    fn chain_reuses_registers() {
+        // In the chain t1 (def 0, read 1), t2 (def 1, read 2), t3 (def 2),
+        // t1's register frees strictly after cycle 1, so t3 can reuse it:
+        // two registers suffice.
+        let machine = Machine::ev6();
+        let allocated = allocate(&chain_program(), &machine, &[Reg(0), Reg(1)]).unwrap();
+        let used: std::collections::HashSet<Reg> = allocated
+            .instrs
+            .iter()
+            .filter_map(|i| i.dest)
+            .collect();
+        assert!(used.len() <= 2, "{used:?}");
+    }
+
+    #[test]
+    fn output_register_is_remapped() {
+        let machine = Machine::ev6();
+        let allocated = allocate(&chain_program(), &machine, &alpha_temp_pool()).unwrap();
+        let res = allocated.output_reg(sym("res")).unwrap();
+        assert!(res.0 <= 28, "physical register expected, got {res}");
+        // And $0 is preferred first, per the Figure 4 convention.
+        assert_eq!(allocated.instrs[0].dest, Some(Reg(0)));
+    }
+
+    #[test]
+    fn allocation_preserves_semantics() {
+        let machine = Machine::ev6();
+        let program = chain_program();
+        let allocated = allocate(&program, &machine, &[Reg(0), Reg(1)]).unwrap();
+        let sim = crate::Simulator::new(&machine);
+        let before = sim.run_named(&program, &[("a", 39)], Map::new()).unwrap();
+        let after = sim.run_named(&allocated, &[("a", 39)], Map::new()).unwrap();
+        let r_before = program.output_reg(sym("res")).unwrap();
+        let r_after = allocated.output_reg(sym("res")).unwrap();
+        assert_eq!(before.regs[&r_before], 42);
+        assert_eq!(after.regs[&r_after], 42);
+    }
+
+    #[test]
+    fn pool_exhaustion_is_reported() {
+        // Three values live simultaneously (all read at the end) cannot
+        // fit two registers.
+        let a = Reg(100);
+        let program = Program {
+            instrs: vec![
+                instr("addq", vec![Operand::Reg(a), Operand::Imm(1)], Some(Reg(101)), 0, Unit::U0),
+                instr("addq", vec![Operand::Reg(a), Operand::Imm(2)], Some(Reg(102)), 0, Unit::U1),
+                instr("addq", vec![Operand::Reg(a), Operand::Imm(3)], Some(Reg(103)), 0, Unit::L0),
+                instr("addq", vec![Operand::Reg(Reg(101)), Operand::Reg(Reg(102))], Some(Reg(104)), 1, Unit::U0),
+                instr("addq", vec![Operand::Reg(Reg(104)), Operand::Reg(Reg(103))], Some(Reg(105)), 2, Unit::U0),
+            ],
+            inputs: vec![(sym("a"), a)],
+            outputs: vec![(sym("res"), Reg(105))],
+            name: "wide".to_owned(),
+            reg_reuse: false,
+        };
+        // The wide fixture mixes clusters; use the unclustered model so
+        // only register pressure is under test.
+        let machine = Machine::ev6_unclustered();
+        let err = allocate(&program, &machine, &[Reg(0), Reg(1)]).unwrap_err();
+        assert!(err.to_string().contains("out of registers"), "{err}");
+        // Three registers still do not suffice under the conservative
+        // reuse rule (a register frees only strictly after its last
+        // read), since t1/t2 are read in the same cycle t4 is defined;
+        // four do.
+        assert!(allocate(&program, &machine, &[Reg(0), Reg(1), Reg(2)]).is_err());
+        assert!(allocate(&program, &machine, &[Reg(0), Reg(1), Reg(2), Reg(3)]).is_ok());
+    }
+
+    #[test]
+    fn pool_conflicting_with_inputs_is_rejected() {
+        let machine = Machine::ev6();
+        let err = allocate(&chain_program(), &machine, &[Reg(16)]).unwrap_err();
+        assert!(err.to_string().contains("overlaps input"));
+    }
+}

@@ -1,0 +1,386 @@
+//! Instruction-level simulation of generated programs.
+//!
+//! The simulator stands in for the paper's Alpha hardware: it executes a
+//! scheduled [`Program`] against a register file and a sparse memory,
+//! using the same operation semantics (`denali_term::ops`) that define
+//! the axioms. It also enforces *value readiness*: reading a register
+//! before its producer's latency has elapsed is an error, so schedule
+//! bugs surface as simulation failures even before validation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use denali_term::{ops, Symbol};
+
+use crate::asm::{Instr, Operand, Program, Reg};
+use crate::machine::Machine;
+
+/// Simulation failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SimError {
+    message: String,
+}
+
+impl SimError {
+    fn new(message: impl Into<String>) -> SimError {
+        SimError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Final machine state after a successful run.
+#[derive(Clone, Default, Debug)]
+pub struct SimOutcome {
+    /// Register file (inputs plus every written register).
+    pub regs: HashMap<Reg, u64>,
+    /// Memory after all stores.
+    pub memory: HashMap<u64, u64>,
+}
+
+/// Executes [`Program`]s on a given machine description.
+#[derive(Clone, Debug)]
+pub struct Simulator<'m> {
+    machine: &'m Machine,
+}
+
+impl<'m> Simulator<'m> {
+    /// Creates a simulator for `machine`.
+    pub fn new(machine: &'m Machine) -> Simulator<'m> {
+        Simulator { machine }
+    }
+
+    /// Runs `program` with the given initial register values and memory.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown opcodes, reads of never-written registers, reads
+    /// of registers whose producer has not completed (latency
+    /// violations), and double writes.
+    pub fn run(
+        &self,
+        program: &Program,
+        inputs: &HashMap<Reg, u64>,
+        memory: HashMap<u64, u64>,
+    ) -> Result<SimOutcome, SimError> {
+        let mut values: HashMap<Reg, u64> = inputs.clone();
+        let mut ready: HashMap<Reg, u32> = inputs.keys().map(|&r| (r, 0)).collect();
+        let mut memory = memory;
+
+        let mut instrs: Vec<&Instr> = program.instrs.iter().collect();
+        instrs.sort_by_key(|i| (i.cycle, i.unit));
+
+        // Stores commit at the end of their cycle; batch them per cycle.
+        let mut pending_stores: Vec<(u32, u64, u64)> = Vec::new();
+
+        for instr in instrs {
+            // Commit stores from earlier cycles.
+            let cycle = instr.cycle;
+            for &(store_cycle, addr, value) in &pending_stores {
+                if store_cycle < cycle {
+                    memory.insert(addr, value);
+                }
+            }
+            pending_stores.retain(|&(c, _, _)| c >= cycle);
+
+            let read = |operand: &Operand| -> Result<u64, SimError> {
+                match operand {
+                    Operand::Imm(v) => Ok(*v),
+                    Operand::Reg(r) => {
+                        let value = values.get(r).ok_or_else(|| {
+                            SimError::new(format!("{instr}: read of never-written {r}"))
+                        })?;
+                        let ready_at = ready.get(r).copied().unwrap_or(u32::MAX);
+                        if ready_at > cycle {
+                            return Err(SimError::new(format!(
+                                "{instr}: {r} read at cycle {cycle} but ready at {ready_at}"
+                            )));
+                        }
+                        Ok(*value)
+                    }
+                }
+            };
+
+            let name = instr.op.as_str();
+            let latency = self
+                .machine
+                .info(instr.op)
+                .ok_or_else(|| SimError::new(format!("unknown opcode {name}")))?
+                .latency;
+
+            let result: Option<u64> = match name {
+                "ldq" => {
+                    let base = read(&instr.operands[0])?;
+                    let disp = read(&instr.operands[1])?;
+                    let addr = base.wrapping_add(disp);
+                    Some(memory.get(&addr).copied().unwrap_or(0))
+                }
+                "stq" => {
+                    let value = read(&instr.operands[0])?;
+                    let base = read(&instr.operands[1])?;
+                    let disp = read(&instr.operands[2])?;
+                    pending_stores.push((cycle, base.wrapping_add(disp), value));
+                    None
+                }
+                "ldiq" => Some(read(&instr.operands[0])?),
+                "mov" => Some(read(&instr.operands[0])?),
+                _ => {
+                    let args: Vec<u64> = instr
+                        .operands
+                        .iter()
+                        .map(read)
+                        .collect::<Result<_, _>>()?;
+                    Some(ops::eval(instr.op, &args).ok_or_else(|| {
+                        SimError::new(format!("no semantics for opcode {name}/{}", args.len()))
+                    })?)
+                }
+            };
+
+            if let Some(value) = result {
+                let dest = instr
+                    .dest
+                    .ok_or_else(|| SimError::new(format!("{instr}: missing destination")))?;
+                if !program.reg_reuse
+                    && values.contains_key(&dest)
+                    && !inputs.contains_key(&dest)
+                {
+                    return Err(SimError::new(format!("{instr}: double write of {dest}")));
+                }
+                values.insert(dest, value);
+                ready.insert(dest, cycle + latency);
+            }
+        }
+
+        for (_, addr, value) in pending_stores {
+            memory.insert(addr, value);
+        }
+        Ok(SimOutcome {
+            regs: values,
+            memory,
+        })
+    }
+
+    /// Convenience: run with inputs given by name (resolved through the
+    /// program's input map).
+    ///
+    /// # Errors
+    ///
+    /// Fails if a name is not an input of the program, plus all
+    /// [`Simulator::run`] errors.
+    pub fn run_named(
+        &self,
+        program: &Program,
+        inputs: &[(&str, u64)],
+        memory: HashMap<u64, u64>,
+    ) -> Result<SimOutcome, SimError> {
+        let mut regs = HashMap::new();
+        for (name, value) in inputs {
+            let reg = program
+                .input_reg(Symbol::intern(name))
+                .ok_or_else(|| SimError::new(format!("program has no input {name}")))?;
+            regs.insert(reg, *value);
+        }
+        self.run(program, &regs, memory)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Unit;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn instr(op: &str, operands: Vec<Operand>, dest: Option<Reg>, cycle: u32, unit: Unit) -> Instr {
+        Instr {
+            op: sym(op),
+            operands,
+            dest,
+            cycle,
+            unit,
+            comment: String::new(),
+        }
+    }
+
+    #[test]
+    fn straight_line_alu() {
+        // $2 = $1 * 4 + 1 via s4addq.
+        let m = Machine::ev6();
+        let p = Program {
+            instrs: vec![instr(
+                "s4addq",
+                vec![Operand::Reg(Reg(1)), Operand::Imm(1)],
+                Some(Reg(2)),
+                0,
+                Unit::U0,
+            )],
+            inputs: vec![(sym("x"), Reg(1))],
+            outputs: vec![(sym("r"), Reg(2))],
+            name: "t".to_owned(),
+            reg_reuse: false,
+        };
+        let out = Simulator::new(&m)
+            .run_named(&p, &[("x", 10)], HashMap::new())
+            .unwrap();
+        assert_eq!(out.regs[&Reg(2)], 41);
+    }
+
+    #[test]
+    fn latency_violation_is_detected() {
+        let m = Machine::ev6();
+        // mulq at cycle 0 (latency 7), consumer at cycle 1: too early.
+        let p = Program {
+            instrs: vec![
+                instr(
+                    "mulq",
+                    vec![Operand::Reg(Reg(1)), Operand::Reg(Reg(1))],
+                    Some(Reg(2)),
+                    0,
+                    Unit::U1,
+                ),
+                instr(
+                    "addq",
+                    vec![Operand::Reg(Reg(2)), Operand::Imm(1)],
+                    Some(Reg(3)),
+                    1,
+                    Unit::U0,
+                ),
+            ],
+            inputs: vec![(sym("x"), Reg(1))],
+            outputs: vec![],
+            name: "t".to_owned(),
+            reg_reuse: false,
+        };
+        let err = Simulator::new(&m)
+            .run_named(&p, &[("x", 3)], HashMap::new())
+            .unwrap_err();
+        assert!(err.to_string().contains("ready at 7"), "{err}");
+    }
+
+    #[test]
+    fn load_and_store() {
+        let m = Machine::ev6();
+        // $2 = M[$1 + 8]; M[$1] = $2 + 1 (after the load completes).
+        let p = Program {
+            instrs: vec![
+                instr(
+                    "ldq",
+                    vec![Operand::Reg(Reg(1)), Operand::Imm(8)],
+                    Some(Reg(2)),
+                    0,
+                    Unit::L0,
+                ),
+                instr(
+                    "addq",
+                    vec![Operand::Reg(Reg(2)), Operand::Imm(1)],
+                    Some(Reg(3)),
+                    3,
+                    Unit::U0,
+                ),
+                instr(
+                    "stq",
+                    vec![Operand::Reg(Reg(3)), Operand::Reg(Reg(1)), Operand::Imm(0)],
+                    None,
+                    4,
+                    Unit::L0,
+                ),
+            ],
+            inputs: vec![(sym("p"), Reg(1))],
+            outputs: vec![],
+            name: "t".to_owned(),
+            reg_reuse: false,
+        };
+        let memory = HashMap::from([(108, 41)]);
+        let out = Simulator::new(&m)
+            .run_named(&p, &[("p", 100)], memory)
+            .unwrap();
+        assert_eq!(out.regs[&Reg(2)], 41);
+        assert_eq!(out.memory[&100], 42);
+        assert_eq!(out.memory[&108], 41);
+    }
+
+    #[test]
+    fn load_same_cycle_as_store_reads_old_value() {
+        let m = Machine::ev6();
+        // Store and load at the same address in the same cycle: the load
+        // sees the pre-state (stores commit at end of cycle).
+        let p = Program {
+            instrs: vec![
+                instr(
+                    "stq",
+                    vec![Operand::Imm(7), Operand::Reg(Reg(1)), Operand::Imm(0)],
+                    None,
+                    0,
+                    Unit::L0,
+                ),
+                instr(
+                    "ldq",
+                    vec![Operand::Reg(Reg(1)), Operand::Imm(0)],
+                    Some(Reg(2)),
+                    0,
+                    Unit::L1,
+                ),
+            ],
+            inputs: vec![(sym("p"), Reg(1))],
+            outputs: vec![],
+            name: "t".to_owned(),
+            reg_reuse: false,
+        };
+        let out = Simulator::new(&m)
+            .run_named(&p, &[("p", 64)], HashMap::from([(64, 5)]))
+            .unwrap();
+        assert_eq!(out.regs[&Reg(2)], 5, "load reads pre-store value");
+        assert_eq!(out.memory[&64], 7);
+    }
+
+    #[test]
+    fn unknown_register_and_double_write_are_errors() {
+        let m = Machine::ev6();
+        let p = Program {
+            instrs: vec![instr(
+                "addq",
+                vec![Operand::Reg(Reg(9)), Operand::Imm(1)],
+                Some(Reg(2)),
+                0,
+                Unit::U0,
+            )],
+            inputs: vec![],
+            outputs: vec![],
+            name: "t".to_owned(),
+            reg_reuse: false,
+        };
+        assert!(Simulator::new(&m).run(&p, &HashMap::new(), HashMap::new()).is_err());
+
+        let p2 = Program {
+            instrs: vec![
+                instr("ldiq", vec![Operand::Imm(1)], Some(Reg(2)), 0, Unit::U0),
+                instr("ldiq", vec![Operand::Imm(2)], Some(Reg(2)), 1, Unit::U0),
+            ],
+            inputs: vec![],
+            outputs: vec![],
+            name: "t".to_owned(),
+            reg_reuse: false,
+        };
+        let err = Simulator::new(&m).run(&p2, &HashMap::new(), HashMap::new()).unwrap_err();
+        assert!(err.to_string().contains("double write"));
+    }
+
+    #[test]
+    fn run_named_rejects_unknown_input() {
+        let m = Machine::ev6();
+        let p = Program::default();
+        assert!(Simulator::new(&m)
+            .run_named(&p, &[("nope", 1)], HashMap::new())
+            .is_err());
+    }
+}

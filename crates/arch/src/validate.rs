@@ -1,0 +1,433 @@
+//! Independent schedule validation.
+//!
+//! [`validate`] re-checks every structural rule a legal schedule must
+//! satisfy — opcode/unit compatibility, issue-width, latencies, cluster
+//! bypass delays, literal ranges, single assignment, and memory ordering
+//! — without consulting the SAT encoding that produced the schedule.
+//! Every program Denali emits must pass this check; it is the project's
+//! defense against encoder bugs.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::asm::{Instr, Operand, Program, Reg};
+use crate::machine::{Machine, Unit};
+
+/// One or more rule violations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ValidationError {
+    /// Human-readable violations.
+    pub violations: Vec<String>,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} schedule violations:", self.violations.len())?;
+        for v in &self.violations {
+            write!(f, "\n  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Checks `program` against `machine`'s structural rules.
+///
+/// # Errors
+///
+/// Returns every violation found (not just the first).
+pub fn validate(program: &Program, machine: &Machine) -> Result<(), ValidationError> {
+    let mut violations = Vec::new();
+    let inputs: HashSet<Reg> = program.inputs.iter().map(|&(_, r)| r).collect();
+
+    // Producer map: register -> write events sorted by cycle. Programs
+    // in single-assignment form (the extractor's output) get exactly one
+    // event per register; allocated programs (reg_reuse) may have many.
+    let mut producers: HashMap<Reg, Vec<(u32, Unit, u32)>> = HashMap::new();
+    for instr in &program.instrs {
+        let Some(info) = machine.info(instr.op) else {
+            violations.push(format!("{instr}: unknown opcode for {}", machine.name()));
+            continue;
+        };
+        if let Some(dest) = instr.dest {
+            if inputs.contains(&dest) {
+                violations.push(format!("{instr}: overwrites input register {dest}"));
+            }
+            let events = producers.entry(dest).or_default();
+            if !events.is_empty() && !program.reg_reuse {
+                violations.push(format!("{instr}: register {dest} written twice"));
+            }
+            events.push((instr.cycle, instr.unit, info.latency));
+        }
+    }
+    for events in producers.values_mut() {
+        events.sort_by_key(|&(c, _, _)| c);
+        // Write-after-write: a new definition may not start before the
+        // previous one has completed.
+        for pair in events.windows(2) {
+            let (c1, _, l1) = pair[0];
+            let (c2, _, _) = pair[1];
+            if c2 < c1 + l1 {
+                violations.push(format!(
+                    "register redefined at cycle {c2} while the cycle-{c1} write is in flight"
+                ));
+            }
+        }
+    }
+
+    // Per-slot and per-cycle occupancy.
+    let mut slots: HashSet<(u32, Unit)> = HashSet::new();
+    let mut per_cycle: HashMap<u32, usize> = HashMap::new();
+    for instr in &program.instrs {
+        if !slots.insert((instr.cycle, instr.unit)) {
+            violations.push(format!(
+                "{instr}: issue slot ({}, {}) used twice",
+                instr.cycle, instr.unit
+            ));
+        }
+        *per_cycle.entry(instr.cycle).or_default() += 1;
+    }
+    for (&cycle, &count) in &per_cycle {
+        if count > machine.issue_width() {
+            violations.push(format!(
+                "cycle {cycle} issues {count} instructions (width {})",
+                machine.issue_width()
+            ));
+        }
+    }
+
+    for instr in &program.instrs {
+        let Some(info) = machine.info(instr.op) else {
+            continue; // already reported
+        };
+        if !info.units.contains(&instr.unit) {
+            violations.push(format!(
+                "{instr}: {} cannot execute on {}",
+                instr.op, instr.unit
+            ));
+        }
+        // Operand rules and readiness.
+        let name = instr.op.as_str();
+        for (pos, operand) in instr.operands.iter().enumerate() {
+            match operand {
+                Operand::Imm(v) => {
+                    let ok = match name {
+                        // Displacement fields.
+                        "ldq" => pos == 1 && machine.fits_displacement(*v),
+                        "stq" => pos == 2 && machine.fits_displacement(*v),
+                        // Pseudo constant-materialization takes any word.
+                        "ldiq" => pos == 0,
+                        "mov" => pos == 0 && machine.fits_alu_literal(*v),
+                        // IA-64 field operations take two immediates.
+                        "shladd" => pos == 1 && machine.fits_alu_literal(*v),
+                        "extr_u" | "dep_z" => {
+                            (pos == 1 || pos == 2) && machine.fits_alu_literal(*v)
+                        }
+                        // Alpha's 8-bit literal goes in the second source.
+                        _ => pos == 1 && machine.fits_alu_literal(*v),
+                    };
+                    if !ok {
+                        violations.push(format!(
+                            "{instr}: immediate {v} not allowed at operand {pos}"
+                        ));
+                    }
+                }
+                Operand::Reg(r) => {
+                    if inputs.contains(r) {
+                        continue;
+                    }
+                    // The read resolves to the latest write issued
+                    // strictly before this instruction's cycle.
+                    let event = producers.get(r).and_then(|events| {
+                        events
+                            .iter()
+                            .copied()
+                            .filter(|&(c, _, _)| c < instr.cycle)
+                            .next_back()
+                    });
+                    match event {
+                        None => {
+                            violations.push(format!("{instr}: reads never-written {r}"));
+                        }
+                        Some((pcycle, punit, platency)) => {
+                            let mut available = pcycle + platency;
+                            if punit.cluster() != instr.unit.cluster() {
+                                available += machine.cluster_delay();
+                            }
+                            if available > instr.cycle {
+                                violations.push(format!(
+                                    "{instr}: {r} (from {punit} cycle {pcycle}, latency {platency}) \
+                                     not available until {available}, read at {}",
+                                    instr.cycle
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Memory ordering: loads read the GMA's pre-state, so a load whose
+    // address syntactically equals a store's address must not issue
+    // after the store's cycle; two stores to one address are ambiguous.
+    let mem_addr = |instr: &Instr| -> Option<(Operand, u64)> {
+        match instr.op.as_str() {
+            "ldq" => Some((
+                instr.operands[0],
+                match instr.operands[1] {
+                    Operand::Imm(d) => d,
+                    Operand::Reg(_) => 0,
+                },
+            )),
+            "stq" => Some((
+                instr.operands[1],
+                match instr.operands[2] {
+                    Operand::Imm(d) => d,
+                    Operand::Reg(_) => 0,
+                },
+            )),
+            _ => None,
+        }
+    };
+    let loads: Vec<&Instr> = program.instrs.iter().filter(|i| i.op.as_str() == "ldq").collect();
+    let stores: Vec<&Instr> = program.instrs.iter().filter(|i| i.op.as_str() == "stq").collect();
+    for store in &stores {
+        let store_addr = mem_addr(store);
+        for load in &loads {
+            if mem_addr(load) == store_addr && load.cycle > store.cycle {
+                violations.push(format!(
+                    "{load}: load of an address stored at cycle {} issues later (cycle {})",
+                    store.cycle, load.cycle
+                ));
+            }
+        }
+    }
+    for (i, a) in stores.iter().enumerate() {
+        for b in &stores[i + 1..] {
+            if mem_addr(a) == mem_addr(b) {
+                violations.push(format!("{a}: two stores to one address"));
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        violations.sort();
+        violations.dedup();
+        Err(ValidationError { violations })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use denali_term::Symbol;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn instr(op: &str, operands: Vec<Operand>, dest: Option<Reg>, cycle: u32, unit: Unit) -> Instr {
+        Instr {
+            op: sym(op),
+            operands,
+            dest,
+            cycle,
+            unit,
+            comment: String::new(),
+        }
+    }
+
+    fn base_program(instrs: Vec<Instr>) -> Program {
+        Program {
+            instrs,
+            inputs: vec![(sym("a"), Reg(100))],
+            outputs: vec![],
+            name: "t".to_owned(),
+            reg_reuse: false,
+        }
+    }
+
+    fn errors(p: &Program) -> Vec<String> {
+        match validate(p, &Machine::ev6()) {
+            Ok(()) => Vec::new(),
+            Err(e) => e.violations,
+        }
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let p = base_program(vec![
+            instr("extbl", vec![Operand::Reg(Reg(100)), Operand::Imm(1)], Some(Reg(1)), 0, Unit::U0),
+            instr("addq", vec![Operand::Reg(Reg(1)), Operand::Imm(1)], Some(Reg(2)), 1, Unit::U0),
+        ]);
+        assert_eq!(errors(&p), Vec::<String>::new());
+    }
+
+    #[test]
+    fn unit_compatibility_is_enforced() {
+        // extbl on a lower pipe is illegal.
+        let p = base_program(vec![instr(
+            "extbl",
+            vec![Operand::Reg(Reg(100)), Operand::Imm(1)],
+            Some(Reg(1)),
+            0,
+            Unit::L0,
+        )]);
+        assert!(errors(&p).iter().any(|e| e.contains("cannot execute")));
+    }
+
+    #[test]
+    fn latency_is_enforced() {
+        let p = base_program(vec![
+            instr("mulq", vec![Operand::Reg(Reg(100)), Operand::Reg(Reg(100))], Some(Reg(1)), 0, Unit::U1),
+            instr("addq", vec![Operand::Reg(Reg(1)), Operand::Imm(1)], Some(Reg(2)), 3, Unit::U0),
+        ]);
+        assert!(errors(&p).iter().any(|e| e.contains("not available")));
+    }
+
+    #[test]
+    fn cluster_delay_is_enforced() {
+        // Producer on cluster 1 (U1), consumer on cluster 0 (U0) one
+        // cycle later: needs 1 (latency) + 1 (cluster) = cycle 2.
+        let p = base_program(vec![
+            instr("addq", vec![Operand::Reg(Reg(100)), Operand::Imm(1)], Some(Reg(1)), 0, Unit::U1),
+            instr("addq", vec![Operand::Reg(Reg(1)), Operand::Imm(1)], Some(Reg(2)), 1, Unit::U0),
+        ]);
+        assert!(errors(&p).iter().any(|e| e.contains("not available")));
+        // Same cluster is fine at cycle 1.
+        let p_ok = base_program(vec![
+            instr("addq", vec![Operand::Reg(Reg(100)), Operand::Imm(1)], Some(Reg(1)), 0, Unit::U1),
+            instr("addq", vec![Operand::Reg(Reg(1)), Operand::Imm(1)], Some(Reg(2)), 1, Unit::U1),
+        ]);
+        assert_eq!(errors(&p_ok), Vec::<String>::new());
+    }
+
+    #[test]
+    fn issue_slots_are_exclusive() {
+        let p = base_program(vec![
+            instr("addq", vec![Operand::Reg(Reg(100)), Operand::Imm(1)], Some(Reg(1)), 0, Unit::U0),
+            instr("addq", vec![Operand::Reg(Reg(100)), Operand::Imm(2)], Some(Reg(2)), 0, Unit::U0),
+        ]);
+        assert!(errors(&p).iter().any(|e| e.contains("used twice")));
+    }
+
+    #[test]
+    fn issue_width_is_enforced_on_narrow_machine() {
+        let m = Machine::single_issue();
+        let p = Program {
+            instrs: vec![
+                instr("addq", vec![Operand::Reg(Reg(100)), Operand::Imm(1)], Some(Reg(1)), 0, Unit::U0),
+                instr("subq", vec![Operand::Reg(Reg(100)), Operand::Imm(1)], Some(Reg(2)), 0, Unit::U0),
+            ],
+            inputs: vec![(sym("a"), Reg(100))],
+            outputs: vec![],
+            name: "t".to_owned(),
+            reg_reuse: false,
+        };
+        let err = validate(&p, &m).unwrap_err();
+        assert!(err.to_string().contains("slot") || err.to_string().contains("width"));
+    }
+
+    #[test]
+    fn literal_rules() {
+        // 256 does not fit the ALU literal field.
+        let p = base_program(vec![instr(
+            "addq",
+            vec![Operand::Reg(Reg(100)), Operand::Imm(256)],
+            Some(Reg(1)),
+            0,
+            Unit::U0,
+        )]);
+        assert!(errors(&p).iter().any(|e| e.contains("immediate")));
+        // Literal in the first operand position is illegal.
+        let p2 = base_program(vec![instr(
+            "addq",
+            vec![Operand::Imm(1), Operand::Reg(Reg(100))],
+            Some(Reg(1)),
+            0,
+            Unit::U0,
+        )]);
+        assert!(errors(&p2).iter().any(|e| e.contains("immediate")));
+        // ldiq takes any constant.
+        let p3 = base_program(vec![instr(
+            "ldiq",
+            vec![Operand::Imm(u64::MAX)],
+            Some(Reg(1)),
+            0,
+            Unit::U0,
+        )]);
+        assert_eq!(errors(&p3), Vec::<String>::new());
+    }
+
+    #[test]
+    fn single_assignment_and_input_protection() {
+        let p = base_program(vec![
+            instr("ldiq", vec![Operand::Imm(1)], Some(Reg(1)), 0, Unit::U0),
+            instr("ldiq", vec![Operand::Imm(2)], Some(Reg(1)), 1, Unit::U0),
+        ]);
+        assert!(errors(&p).iter().any(|e| e.contains("written twice")));
+        let p2 = base_program(vec![instr(
+            "ldiq",
+            vec![Operand::Imm(1)],
+            Some(Reg(100)),
+            0,
+            Unit::U0,
+        )]);
+        assert!(errors(&p2).iter().any(|e| e.contains("overwrites input")));
+    }
+
+    #[test]
+    fn never_written_source_is_caught() {
+        let p = base_program(vec![instr(
+            "addq",
+            vec![Operand::Reg(Reg(55)), Operand::Imm(1)],
+            Some(Reg(1)),
+            0,
+            Unit::U0,
+        )]);
+        assert!(errors(&p).iter().any(|e| e.contains("never-written")));
+    }
+
+    #[test]
+    fn load_after_aliasing_store_is_caught() {
+        let p = base_program(vec![
+            instr(
+                "stq",
+                vec![Operand::Reg(Reg(100)), Operand::Reg(Reg(100)), Operand::Imm(0)],
+                None,
+                0,
+                Unit::L0,
+            ),
+            instr(
+                "ldq",
+                vec![Operand::Reg(Reg(100)), Operand::Imm(0)],
+                Some(Reg(1)),
+                1,
+                Unit::L0,
+            ),
+        ]);
+        assert!(errors(&p).iter().any(|e| e.contains("issues later")));
+        // A load at a different displacement is fine.
+        let p2 = base_program(vec![
+            instr(
+                "stq",
+                vec![Operand::Reg(Reg(100)), Operand::Reg(Reg(100)), Operand::Imm(0)],
+                None,
+                0,
+                Unit::L0,
+            ),
+            instr(
+                "ldq",
+                vec![Operand::Reg(Reg(100)), Operand::Imm(8)],
+                Some(Reg(1)),
+                1,
+                Unit::L1,
+            ),
+        ]);
+        assert_eq!(errors(&p2), Vec::<String>::new());
+    }
+}

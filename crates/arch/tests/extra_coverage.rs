@@ -1,0 +1,180 @@
+//! Additional coverage: simulator semantics for conditional moves and
+//! byte ops, validator rules for the IA-64 field instructions, listings,
+//! and machine-table sanity for the second target.
+
+use std::collections::HashMap;
+
+use denali_arch::{validate, Instr, Machine, Operand, Program, Reg, Simulator, Unit};
+use denali_term::Symbol;
+
+fn sym(s: &str) -> Symbol {
+    Symbol::intern(s)
+}
+
+fn instr(op: &str, operands: Vec<Operand>, dest: Option<Reg>, cycle: u32, unit: Unit) -> Instr {
+    Instr {
+        op: sym(op),
+        operands,
+        dest,
+        cycle,
+        unit,
+        comment: String::new(),
+    }
+}
+
+fn one_input_program(instrs: Vec<Instr>) -> Program {
+    Program {
+        instrs,
+        inputs: vec![(sym("a"), Reg(100))],
+        outputs: vec![],
+        name: "t".to_owned(),
+        reg_reuse: false,
+    }
+}
+
+#[test]
+fn simulator_executes_cmov() {
+    let m = Machine::ev6();
+    let p = one_input_program(vec![
+        instr("cmpult", vec![Operand::Reg(Reg(100)), Operand::Imm(10)], Some(Reg(1)), 0, Unit::U0),
+        instr(
+            "cmovne",
+            vec![Operand::Reg(Reg(1)), Operand::Imm(7), Operand::Reg(Reg(100))],
+            Some(Reg(2)),
+            1,
+            Unit::U0,
+        ),
+    ]);
+    let sim = Simulator::new(&m);
+    let below = sim.run_named(&p, &[("a", 3)], HashMap::new()).unwrap();
+    assert_eq!(below.regs[&Reg(2)], 7);
+    let above = sim.run_named(&p, &[("a", 30)], HashMap::new()).unwrap();
+    assert_eq!(above.regs[&Reg(2)], 30);
+}
+
+#[test]
+fn simulator_executes_ia64_field_ops() {
+    let m = Machine::ia64like();
+    let p = one_input_program(vec![
+        instr(
+            "extr_u",
+            vec![Operand::Reg(Reg(100)), Operand::Imm(8), Operand::Imm(8)],
+            Some(Reg(1)),
+            0,
+            Unit::U0,
+        ),
+        instr(
+            "dep_z",
+            vec![Operand::Reg(Reg(1)), Operand::Imm(24), Operand::Imm(8)],
+            Some(Reg(2)),
+            1,
+            Unit::U0,
+        ),
+        instr(
+            "shladd",
+            vec![Operand::Reg(Reg(2)), Operand::Imm(2), Operand::Reg(Reg(100))],
+            Some(Reg(3)),
+            2,
+            Unit::L0,
+        ),
+    ]);
+    validate(&p, &m).unwrap();
+    let sim = Simulator::new(&m);
+    let a = 0x0000_0000_00ab_cd12u64;
+    let out = sim.run_named(&p, &[("a", a)], HashMap::new()).unwrap();
+    assert_eq!(out.regs[&Reg(1)], 0xcd);
+    assert_eq!(out.regs[&Reg(2)], 0xcd_00_00_00);
+    assert_eq!(out.regs[&Reg(3)], (0xcd_00_00_00u64 << 2).wrapping_add(a));
+}
+
+#[test]
+fn validator_enforces_ia64_immediate_rules() {
+    let m = Machine::ia64like();
+    // extr_u with a register length operand is not encodable.
+    let p = one_input_program(vec![instr(
+        "extr_u",
+        vec![Operand::Reg(Reg(100)), Operand::Imm(8), Operand::Reg(Reg(100))],
+        Some(Reg(1)),
+        0,
+        Unit::U0,
+    )]);
+    // Reading an input register as the length is structurally fine for
+    // the dataflow rules, but operand legality must complain... the
+    // validator treats the third operand as a register read, which is
+    // allowed syntactically; the *immediate in the wrong slot* case is
+    // the encodable-form violation:
+    let q = one_input_program(vec![instr(
+        "extr_u",
+        vec![Operand::Imm(8), Operand::Imm(8), Operand::Imm(8)],
+        Some(Reg(1)),
+        0,
+        Unit::U0,
+    )]);
+    let err = validate(&q, &m).unwrap_err();
+    assert!(err.to_string().contains("immediate"), "{err}");
+    // And field ops are upper-pipe only.
+    let r = one_input_program(vec![instr(
+        "dep_z",
+        vec![Operand::Reg(Reg(100)), Operand::Imm(0), Operand::Imm(8)],
+        Some(Reg(1)),
+        0,
+        Unit::L0,
+    )]);
+    let err = validate(&r, &m).unwrap_err();
+    assert!(err.to_string().contains("cannot execute"), "{err}");
+    // The register-length form passes the validator (it is the
+    // enumerator that refuses to create such candidates).
+    validate(&p, &m).unwrap();
+}
+
+#[test]
+fn ia64_table_has_no_alpha_byte_ops() {
+    let m = Machine::ia64like();
+    for op in ["extbl", "insbl", "mskbl", "zapnot", "s4addq"] {
+        assert!(m.info(sym(op)).is_none(), "{op} must not exist on ia64like");
+    }
+    for op in ["shladd", "extr_u", "dep_z", "andcm", "ldq", "stq"] {
+        assert!(m.info(sym(op)).is_some(), "{op} missing on ia64like");
+    }
+    assert_eq!(m.cluster_delay(), 0);
+    assert_eq!(m.load_latency(), 2);
+}
+
+#[test]
+fn listing_of_reused_registers_shows_every_write() {
+    let m = Machine::ev6();
+    let p = Program {
+        instrs: vec![
+            instr("addq", vec![Operand::Reg(Reg(100)), Operand::Imm(1)], Some(Reg(0)), 0, Unit::U0),
+            instr("addq", vec![Operand::Reg(Reg(0)), Operand::Imm(1)], Some(Reg(0)), 1, Unit::U0),
+        ],
+        inputs: vec![(sym("a"), Reg(100))],
+        outputs: vec![(sym("res"), Reg(0))],
+        name: "reuse".to_owned(),
+        reg_reuse: true,
+    };
+    validate(&p, &m).unwrap();
+    let sim = Simulator::new(&m);
+    let out = sim.run_named(&p, &[("a", 40)], HashMap::new()).unwrap();
+    assert_eq!(out.regs[&Reg(0)], 42);
+    let listing = p.listing(4);
+    assert_eq!(listing.matches("addq").count(), 2);
+}
+
+#[test]
+fn reused_register_waw_violation_is_caught() {
+    // Redefining a register while the previous write is in flight.
+    let m = Machine::ev6();
+    let p = Program {
+        instrs: vec![
+            instr("mulq", vec![Operand::Reg(Reg(100)), Operand::Imm(3)], Some(Reg(0)), 0, Unit::U1),
+            instr("addq", vec![Operand::Reg(Reg(100)), Operand::Imm(1)], Some(Reg(0)), 2, Unit::U0),
+        ],
+        inputs: vec![(sym("a"), Reg(100))],
+        outputs: vec![],
+        name: "waw".to_owned(),
+        reg_reuse: true,
+    };
+    let err = validate(&p, &m).unwrap_err();
+    assert!(err.to_string().contains("in flight"), "{err}");
+}

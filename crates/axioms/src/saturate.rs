@@ -1,0 +1,439 @@
+//! The matching phase: saturate an e-graph with axiom instances.
+//!
+//! "The matcher repeatedly transforms the E-graph by instantiating a
+//! relevant axiom and asserting the instance in the E-graph. This is
+//! repeated until a quiescent state is reached in which the E-graph
+//! records all relevant instances of axioms." (§5)
+
+use std::collections::{HashMap, HashSet};
+
+use denali_egraph::{ematch, ClassId, EGraph, EGraphError, EqLiteral};
+use denali_term::{Op, Symbol, Term};
+
+use crate::axiom::{Axiom, AxiomBody, AxiomPriority};
+
+/// Budgets that keep the matcher from running forever (the paper's
+/// caveat: heuristics may stop it before true quiescence, which is one
+/// reason Denali's output is "near-optimal" rather than "optimal").
+#[derive(Clone, Copy, Debug)]
+pub struct SaturationLimits {
+    /// Maximum number of match-apply rounds.
+    pub max_iterations: usize,
+    /// Stop once the e-graph holds this many e-nodes.
+    pub max_nodes: usize,
+    /// Maximum axiom instances applied per round.
+    pub max_instances_per_round: usize,
+    /// Maximum *structural* (commutativity/associativity) instances
+    /// applied per round; these regroup terms without adding meaning and
+    /// are the main driver of saturation divergence.
+    pub max_structural_per_round: usize,
+    /// Introduce `pow(2, k)` nodes into power-of-two constant classes
+    /// (the paper's `4 = 2**2` step in Figure 2).
+    pub pow2_facts: bool,
+    /// Node-growth allowance for the structural (AC-closure) phase,
+    /// beyond the size the semantic phase reached. The AC closure of a
+    /// mixed-decomposition e-graph is astronomically large; this is the
+    /// principal "stop the matcher" heuristic and the main reason output
+    /// is "near-optimal" rather than "optimal".
+    pub max_structural_growth: usize,
+}
+
+impl Default for SaturationLimits {
+    fn default() -> SaturationLimits {
+        SaturationLimits {
+            max_iterations: 16,
+            max_nodes: 20_000,
+            max_instances_per_round: 10_000,
+            max_structural_per_round: 1500,
+            pow2_facts: true,
+            max_structural_growth: 4000,
+        }
+    }
+}
+
+/// What the saturation run did.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct SaturationReport {
+    /// Rounds executed.
+    pub iterations: usize,
+    /// Axiom instances asserted.
+    pub instances: usize,
+    /// True if a quiescent state was reached within the budgets.
+    pub saturated: bool,
+    /// Final e-node count.
+    pub nodes: usize,
+    /// Final class count.
+    pub classes: usize,
+}
+
+/// True if the axiom's equality right-hand side introduces at most one
+/// new node (an operator applied directly to bound variables and
+/// constants). Such axioms cannot cascade: applying them to a class adds
+/// a bounded number of nodes.
+fn simple_rhs(axiom: &Axiom) -> bool {
+    match &axiom.body {
+        AxiomBody::Equal(_, rhs) => rhs.args().iter().all(|a| a.args().is_empty()),
+        _ => false,
+    }
+}
+
+/// Saturates `egraph` with instances of `axioms` until quiescence or
+/// until a budget in `limits` is exhausted.
+///
+/// Saturation runs in two phases, which is how this reproduction
+/// realizes the paper's "heuristics that are designed to keep the
+/// matcher from running forever":
+///
+/// 1. **Semantic phase** — every non-structural axiom (definitions,
+///    expansions, simplifications) runs to quiescence on the original
+///    term structure.
+/// 2. **Structural phase** — commutativity/associativity instances plus
+///    the *simple* defining axioms (those whose right-hand side is a
+///    single operator over bound variables, e.g. the `or64 → bis`
+///    bridges) compute the AC closure. Excluding the expansion axioms
+///    here prevents the cascade where every new regrouping re-triggers
+///    mask/shift expansions of its subterms.
+///
+/// # Errors
+///
+/// Propagates contradictions from the e-graph (which indicate an unsound
+/// axiom set).
+pub fn saturate(
+    egraph: &mut EGraph,
+    axioms: &[Axiom],
+    limits: &SaturationLimits,
+) -> Result<SaturationReport, EGraphError> {
+    let phase1: Vec<Axiom> = axioms
+        .iter()
+        .filter(|a| a.priority != AxiomPriority::Structural)
+        .cloned()
+        .collect();
+    let phase2: Vec<Axiom> = axioms
+        .iter()
+        .filter(|a| a.priority == AxiomPriority::Structural || simple_rhs(a))
+        .cloned()
+        .collect();
+    let r1 = saturate_phase(egraph, &phase1, limits)?;
+    let phase2_limits = SaturationLimits {
+        max_iterations: limits.max_iterations.min(8),
+        max_nodes: limits
+            .max_nodes
+            .min(egraph.num_nodes() + limits.max_structural_growth),
+        ..*limits
+    };
+    let r2 = saturate_phase(egraph, &phase2, &phase2_limits)?;
+    Ok(SaturationReport {
+        iterations: r1.iterations + r2.iterations,
+        instances: r1.instances + r2.instances,
+        saturated: r1.saturated && r2.saturated,
+        nodes: r2.nodes,
+        classes: r2.classes,
+    })
+}
+
+fn saturate_phase(
+    egraph: &mut EGraph,
+    axioms: &[Axiom],
+    limits: &SaturationLimits,
+) -> Result<SaturationReport, EGraphError> {
+    let mut report = SaturationReport::default();
+    let mut applied: HashSet<(usize, Vec<(Symbol, ClassId)>)> = HashSet::new();
+    let mut pow2_done: HashSet<u64> = HashSet::new();
+
+    let trace = std::env::var_os("DENALI_TRACE").is_some();
+    egraph.rebuild()?;
+    for _ in 0..limits.max_iterations {
+        report.iterations += 1;
+        let round_start = std::time::Instant::now();
+        let mut any_change = false;
+
+        // Dynamic constant facts: for every constant class holding a
+        // power of two, record c = pow(2, log2 c) so patterns like
+        // k * 2**n can match literal constants; for byte-shift amounts
+        // (multiples of 8 below 64) record c = 8 * (c/8) so the
+        // byte-instruction definitions (insbl = selectb << 8*i) can
+        // match literal shift counts.
+        if limits.pow2_facts {
+            let constants: Vec<u64> = egraph
+                .classes()
+                .iter()
+                .filter_map(|&c| egraph.constant(c))
+                .collect();
+            for c in constants {
+                if !pow2_done.insert(c) {
+                    continue;
+                }
+                if c.is_power_of_two() && c >= 2 {
+                    let k = c.trailing_zeros() as u64;
+                    let pow = Term::call("pow", vec![Term::constant(2), Term::constant(k)]);
+                    // Adding the term folds it into c's class eagerly.
+                    egraph.add_term(&pow).expect("ground term");
+                    any_change = true;
+                }
+                if c % 8 == 0 && c < 64 {
+                    let shift =
+                        Term::call("mul64", vec![Term::constant(8), Term::constant(c / 8)]);
+                    egraph.add_term(&shift).expect("ground term");
+                    any_change = true;
+                }
+            }
+            egraph.rebuild()?;
+        }
+
+        // Collect matches for this round. Structural (associativity-
+        // style) instances are budgeted and shared fairly across axioms
+        // so they cannot starve each other or blow the e-graph up.
+        let mut instances: Vec<(usize, HashMap<Symbol, ClassId>)> = Vec::new();
+        let mut structural_queues: Vec<Vec<(usize, HashMap<Symbol, ClassId>)>> = Vec::new();
+        'axioms: for (i, axiom) in axioms.iter().enumerate() {
+            let is_structural = axiom.priority == AxiomPriority::Structural;
+            let mut queue = Vec::new();
+            let body_vars = axiom.body_vars();
+            for pattern in &axiom.patterns {
+                if instances.len() >= limits.max_instances_per_round {
+                    break 'axioms;
+                }
+                for (_, subst) in ematch(egraph, pattern) {
+                    if !body_vars.iter().all(|v| subst.contains_key(v)) {
+                        continue; // pattern does not bind every body variable
+                    }
+                    if let Some(cond) = &axiom.condition {
+                        let values: Option<Vec<u64>> = cond
+                            .vars
+                            .iter()
+                            .map(|v| subst.get(v).and_then(|&c| egraph.constant(c)))
+                            .collect();
+                        match values {
+                            Some(vs) if (cond.pred)(&vs) => {}
+                            _ => continue,
+                        }
+                    }
+                    let mut key: Vec<(Symbol, ClassId)> = subst
+                        .iter()
+                        .map(|(&v, &c)| (v, egraph.find(c)))
+                        .collect();
+                    key.sort();
+                    if applied.contains(&(i, key.clone())) {
+                        continue;
+                    }
+                    if is_structural {
+                        queue.push((i, subst.clone()));
+                        // Deduplication happens when the instance is
+                        // actually taken from the queue below.
+                        continue;
+                    }
+                    applied.insert((i, key));
+                    instances.push((i, subst));
+                    if instances.len() >= limits.max_instances_per_round {
+                        break;
+                    }
+                }
+            }
+            if !queue.is_empty() {
+                structural_queues.push(queue);
+            }
+        }
+        // Round-robin the structural budget across axioms.
+        let mut budget = limits.max_structural_per_round;
+        let mut cursors = vec![0usize; structural_queues.len()];
+        while budget > 0 {
+            let mut advanced = false;
+            for (q, queue) in structural_queues.iter().enumerate() {
+                if budget == 0 {
+                    break;
+                }
+                if let Some((i, subst)) = queue.get(cursors[q]) {
+                    cursors[q] += 1;
+                    advanced = true;
+                    let mut key: Vec<(Symbol, ClassId)> = subst
+                        .iter()
+                        .map(|(&v, &c)| (v, egraph.find(c)))
+                        .collect();
+                    key.sort();
+                    if applied.insert((*i, key)) {
+                        instances.push((*i, subst.clone()));
+                        budget -= 1;
+                    }
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+
+        // Apply the batch.
+        for (i, subst) in instances {
+            let axiom = &axioms[i];
+            match &axiom.body {
+                AxiomBody::Equal(lhs, rhs) => {
+                    let l = egraph.add_instantiation(lhs, &subst)?;
+                    let r = egraph.add_instantiation(rhs, &subst)?;
+                    egraph.union(l, r).map_err(|e| {
+                        EGraphError::from_message(format!("axiom {}: {e}", axiom.name))
+                    })?;
+                }
+                AxiomBody::Distinct(lhs, rhs) => {
+                    let l = egraph.add_instantiation(lhs, &subst)?;
+                    let r = egraph.add_instantiation(rhs, &subst)?;
+                    egraph.assert_distinct(l, r).map_err(|e| {
+                        EGraphError::from_message(format!("axiom {}: {e}", axiom.name))
+                    })?;
+                }
+                AxiomBody::Clause(lits) => {
+                    let mut literals = Vec::with_capacity(lits.len());
+                    for (is_eq, lhs, rhs) in lits {
+                        let l = egraph.add_instantiation(lhs, &subst)?;
+                        let r = egraph.add_instantiation(rhs, &subst)?;
+                        literals.push(if *is_eq {
+                            EqLiteral::Eq(l, r)
+                        } else {
+                            EqLiteral::Ne(l, r)
+                        });
+                    }
+                    egraph.add_clause(literals);
+                }
+            }
+            report.instances += 1;
+            any_change = true;
+        }
+        egraph.rebuild()?;
+        if trace {
+            eprintln!(
+                "[saturate] round {}: {:?}, nodes={}, classes={}, instances={}",
+                report.iterations,
+                round_start.elapsed(),
+                egraph.num_nodes(),
+                egraph.num_classes(),
+                report.instances
+            );
+        }
+
+        if !any_change {
+            report.saturated = true;
+            break;
+        }
+        if egraph.num_nodes() >= limits.max_nodes {
+            break;
+        }
+    }
+
+    report.nodes = egraph.num_nodes();
+    report.classes = egraph.num_classes();
+    Ok(report)
+}
+
+/// Helper used by the Figure 2 walkthrough in tests and examples: the
+/// operator symbols appearing in a class.
+pub fn class_ops(egraph: &EGraph, class: ClassId) -> Vec<String> {
+    egraph
+        .nodes(class)
+        .iter()
+        .filter_map(|n| match n.op {
+            Op::Sym(s) => Some(s.to_string()),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axiom::Axiom;
+
+    fn pat(s: &str, vars: &[&str]) -> Term {
+        let vars: Vec<Symbol> = vars.iter().map(|v| Symbol::intern(v)).collect();
+        Term::from_sexpr(&denali_term::sexpr::parse_one(s).unwrap(), &vars).unwrap()
+    }
+
+    #[test]
+    fn commutativity_doubles_the_class() {
+        let mut eg = EGraph::new();
+        let sum = eg.add_term(&pat("(add64 x y)", &[])).unwrap();
+        let comm = Axiom::equality(
+            "add64-comm",
+            &["a", "b"],
+            pat("(add64 a b)", &["a", "b"]),
+            pat("(add64 b a)", &["a", "b"]),
+        );
+        let report = saturate(&mut eg, &[comm], &SaturationLimits::default()).unwrap();
+        assert!(report.saturated);
+        assert!(report.instances >= 1);
+        assert_eq!(eg.nodes(sum).len(), 2);
+    }
+
+    #[test]
+    fn side_conditions_gate_instantiation() {
+        // f(x, c) = x only when c is the constant zero.
+        let mut eg = EGraph::new();
+        let keep = eg.add_term(&pat("(f x 1)", &[])).unwrap();
+        let fold = eg.add_term(&pat("(f x 0)", &[])).unwrap();
+        let x = eg.add_term(&pat("x", &[])).unwrap();
+        let ax = Axiom::equality(
+            "f-zero",
+            &["a", "c"],
+            pat("(f a c)", &["a", "c"]),
+            pat("a", &["a"]),
+        )
+        .with_condition(&["c"], "c == 0", |vs| vs[0] == 0);
+        saturate(&mut eg, &[ax], &SaturationLimits::default()).unwrap();
+        assert_eq!(eg.find(fold), eg.find(x));
+        assert_ne!(eg.find(keep), eg.find(x));
+    }
+
+    #[test]
+    fn pow2_facts_enable_shift_discovery() {
+        let mut eg = EGraph::new();
+        let mul = eg.add_term(&pat("(mul64 reg6 4)", &[])).unwrap();
+        let shift_ax = Axiom::equality(
+            "mul64-pow2",
+            &["k", "n"],
+            pat("(mul64 k (pow 2 n))", &["k", "n"]),
+            pat("(shl64 k n)", &["k", "n"]),
+        )
+        .with_condition(&["n"], "n < 64", |vs| vs[0] < 64);
+        saturate(&mut eg, &[shift_ax], &SaturationLimits::default()).unwrap();
+        let ops = class_ops(&eg, mul);
+        assert!(ops.contains(&"shl64".to_owned()), "ops: {ops:?}");
+    }
+
+    #[test]
+    fn quiescence_is_reached_and_reported() {
+        let mut eg = EGraph::new();
+        eg.add_term(&pat("(add64 a (add64 b c))", &[])).unwrap();
+        let axioms = crate::builtin::math_axioms();
+        let report = saturate(&mut eg, &axioms, &SaturationLimits::default()).unwrap();
+        assert!(report.saturated, "report: {report:?}");
+    }
+
+    #[test]
+    fn node_budget_stops_runaway_saturation() {
+        // Associativity+commutativity over an 8-term sum explodes; a tiny
+        // node budget must stop it without error.
+        let mut eg = EGraph::new();
+        let mut term = pat("a0", &[]);
+        for i in 1..8 {
+            term = Term::call("add64", vec![term, Term::leaf(format!("a{i}"))]);
+        }
+        eg.add_term(&term).unwrap();
+        let limits = SaturationLimits {
+            max_nodes: 200,
+            ..SaturationLimits::default()
+        };
+        let report = saturate(&mut eg, &crate::builtin::math_axioms(), &limits).unwrap();
+        assert!(!report.saturated);
+    }
+
+    #[test]
+    fn clause_axiom_reaches_unit_assertion() {
+        // select(store(M, p, x), p+8): the select-store axiom's clause
+        // must fire and equate with select(M, p+8).
+        let mut eg = EGraph::new();
+        let loaded = eg
+            .add_term(&pat("(select (store M p x) (add64 p 8))", &[]))
+            .unwrap();
+        let direct = eg.add_term(&pat("(select M (add64 p 8))", &[])).unwrap();
+        assert_ne!(eg.find(loaded), eg.find(direct));
+        saturate(&mut eg, &crate::builtin::math_axioms(), &SaturationLimits::default()).unwrap();
+        assert_eq!(eg.find(loaded), eg.find(direct));
+    }
+}

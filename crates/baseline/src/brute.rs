@@ -1,0 +1,441 @@
+//! Massalin-style brute-force superoptimization.
+//!
+//! Enumerates straight-line register-to-register instruction sequences
+//! in order of increasing length, testing each against a vector of
+//! sample inputs and verifying survivors on a larger random suite. This
+//! is the search strategy Denali's goal-directed approach replaces; the
+//! E6 benchmark measures how its cost explodes with sequence length
+//! ("Brute-force enumeration of all code sequences is glacially slow",
+//! §1.1).
+
+use std::time::{Duration, Instant};
+
+use denali_term::{ops, Symbol};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An operand of a brute-force instruction: a value slot (input or
+/// earlier result) or a small literal.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BruteOperand {
+    /// Index into the value stack: `0..num_inputs` are the inputs,
+    /// later slots are instruction results in order.
+    Slot(usize),
+    /// A literal constant.
+    Literal(u64),
+}
+
+/// One enumerated instruction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BruteInstr {
+    /// Opcode (must have word semantics in the operation registry).
+    pub op: Symbol,
+    /// Operands.
+    pub operands: Vec<BruteOperand>,
+}
+
+/// A found program: instructions in order; the last one's result is the
+/// program's output.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BruteProgram {
+    /// The instructions.
+    pub instrs: Vec<BruteInstr>,
+    /// Number of input slots.
+    pub num_inputs: usize,
+}
+
+impl BruteProgram {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True if the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Evaluates the program on the given inputs.
+    pub fn eval(&self, inputs: &[u64]) -> u64 {
+        let mut slots: Vec<u64> = inputs.to_vec();
+        for instr in &self.instrs {
+            let args: Vec<u64> = instr
+                .operands
+                .iter()
+                .map(|o| match o {
+                    BruteOperand::Slot(s) => slots[*s],
+                    BruteOperand::Literal(v) => *v,
+                })
+                .collect();
+            let value = ops::eval(instr.op, &args).expect("brute ops have semantics");
+            slots.push(value);
+        }
+        *slots.last().unwrap_or(&0)
+    }
+
+    /// Renders the program as readable text.
+    pub fn listing(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, instr) in self.instrs.iter().enumerate() {
+            let _ = write!(out, "v{} = {}", self.num_inputs + i, instr.op);
+            for o in &instr.operands {
+                match o {
+                    BruteOperand::Slot(s) => {
+                        let _ = write!(out, " v{s}");
+                    }
+                    BruteOperand::Literal(v) => {
+                        let _ = write!(out, " #{v}");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// Search configuration.
+#[derive(Clone, Debug)]
+pub struct BruteConfig {
+    /// Opcode repertoire (defaults to a compact register-to-register
+    /// subset, like Massalin's memory-free enumeration).
+    pub ops: Vec<Symbol>,
+    /// Literal constants the enumerator may use as second operands.
+    pub literals: Vec<u64>,
+    /// Maximum sequence length to try.
+    pub max_len: usize,
+    /// Number of test vectors used for the fast filter.
+    pub tests: usize,
+    /// Number of random vectors used to verify survivors.
+    pub verify: usize,
+    /// Give up after this much wall-clock time (the paper waited days
+    /// for the GNU superoptimizer; we are less patient).
+    pub timeout: Duration,
+    /// RNG seed for test-vector generation (determinism).
+    pub seed: u64,
+}
+
+impl Default for BruteConfig {
+    fn default() -> BruteConfig {
+        BruteConfig {
+            ops: [
+                "addq", "subq", "and", "bis", "xor", "sll", "srl", "extbl", "insbl", "mskbl",
+                "zapnot", "cmpult", "cmpeq",
+            ]
+            .iter()
+            .map(|s| Symbol::intern(s))
+            .collect(),
+            literals: vec![0, 1, 2, 3, 4, 8, 16, 24, 255],
+            max_len: 4,
+            tests: 16,
+            verify: 10_000,
+            timeout: Duration::from_secs(60),
+            seed: 0xD15EA5E,
+        }
+    }
+}
+
+/// Search counters.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct BruteStats {
+    /// Instruction sequences fully constructed and tested.
+    pub sequences_tested: u64,
+    /// Candidates that passed the fast tests but failed verification.
+    pub false_positives: u64,
+    /// Wall-clock time spent, per completed length.
+    pub total_time: Duration,
+    /// True if the search ended because of the timeout.
+    pub timed_out: bool,
+}
+
+/// Searches for the shortest instruction sequence computing `target`.
+///
+/// `target` is the specification: a function from the `num_inputs` input
+/// words to the result word. Returns the found program (verified on
+/// `config.verify` random vectors) and the search statistics; `None` if
+/// no program within `config.max_len` instructions was found (or the
+/// timeout expired).
+pub fn brute_search(
+    target: &dyn Fn(&[u64]) -> u64,
+    num_inputs: usize,
+    config: &BruteConfig,
+) -> (Option<BruteProgram>, BruteStats) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut tests: Vec<Vec<u64>> = Vec::new();
+    // A few adversarial vectors plus random ones.
+    for special in [0u64, 1, u64::MAX, 0x0123_4567_89ab_cdef] {
+        tests.push(vec![special; num_inputs]);
+    }
+    while tests.len() < config.tests.max(4) {
+        tests.push((0..num_inputs).map(|_| rng.gen()).collect());
+    }
+    let expected: Vec<u64> = tests.iter().map(|t| target(t)).collect();
+
+    let mut stats = BruteStats::default();
+    let start = Instant::now();
+
+    for len in 1..=config.max_len {
+        let mut state = SearchState {
+            config,
+            target,
+            tests: &tests,
+            expected: &expected,
+            // One row of slot values per test vector.
+            values: tests.clone(),
+            instrs: Vec::new(),
+            stats: &mut stats,
+            start,
+            rng: StdRng::seed_from_u64(config.seed ^ 0x5eed),
+            num_inputs,
+        };
+        if let Some(program) = state.extend(len) {
+            stats.total_time = start.elapsed();
+            return (Some(program), stats);
+        }
+        if start.elapsed() > config.timeout {
+            stats.timed_out = true;
+            break;
+        }
+    }
+    stats.total_time = start.elapsed();
+    (None, stats)
+}
+
+struct SearchState<'a> {
+    config: &'a BruteConfig,
+    target: &'a dyn Fn(&[u64]) -> u64,
+    tests: &'a [Vec<u64>],
+    expected: &'a [u64],
+    /// `values[t]` is the slot stack evaluated on test vector `t`.
+    values: Vec<Vec<u64>>,
+    instrs: Vec<BruteInstr>,
+    stats: &'a mut BruteStats,
+    start: Instant,
+    rng: StdRng,
+    num_inputs: usize,
+}
+
+impl SearchState<'_> {
+    fn extend(&mut self, remaining: usize) -> Option<BruteProgram> {
+        if self.start.elapsed() > self.config.timeout {
+            self.stats.timed_out = true;
+            return None;
+        }
+        if remaining == 0 {
+            self.stats.sequences_tested += 1;
+            // The last slot must equal the target on every test.
+            let ok = self
+                .values
+                .iter()
+                .zip(self.expected)
+                .all(|(slots, &want)| *slots.last().expect("nonempty") == want);
+            if !ok {
+                return None;
+            }
+            let program = BruteProgram {
+                instrs: self.instrs.clone(),
+                num_inputs: self.num_inputs,
+            };
+            if self.verify(&program) {
+                return Some(program);
+            }
+            self.stats.false_positives += 1;
+            return None;
+        }
+
+        let slots = self.values[0].len();
+        let op_list = self.config.ops.clone();
+        for op in op_list {
+            let info = ops::info(op).expect("repertoire op");
+            let arity = info.arity;
+            // Operand choices: slots for every position; literals only in
+            // the second position (the Alpha literal field).
+            let mut choices: Vec<Vec<BruteOperand>> = vec![Vec::new(); arity];
+            for (pos, choice) in choices.iter_mut().enumerate() {
+                for s in 0..slots {
+                    choice.push(BruteOperand::Slot(s));
+                }
+                if pos == 1 {
+                    for &l in &self.config.literals {
+                        choice.push(BruteOperand::Literal(l));
+                    }
+                }
+            }
+            let mut operand_sets = vec![Vec::new()];
+            for choice in &choices {
+                let mut next = Vec::new();
+                for partial in &operand_sets {
+                    for &o in choice {
+                        let mut p = partial.clone();
+                        p.push(o);
+                        next.push(p);
+                    }
+                }
+                operand_sets = next;
+            }
+            for operands in operand_sets {
+                // Commutative-op canonical order: first operand slot index
+                // must not exceed a second operand slot.
+                if is_commutative(op) {
+                    if let (BruteOperand::Slot(a), BruteOperand::Slot(b)) =
+                        (operands[0], *operands.get(1).unwrap_or(&operands[0]))
+                    {
+                        if a > b {
+                            continue;
+                        }
+                    }
+                }
+                // The sequence's *last* instruction must use the newest
+                // slot somewhere, otherwise the previous instruction was
+                // dead (prunes a large class of redundant sequences).
+                if !self.instrs.is_empty() {
+                    let newest = slots - 1;
+                    let uses_newest = operands
+                        .iter()
+                        .any(|o| matches!(o, BruteOperand::Slot(s) if *s == newest));
+                    if remaining == 1 && !uses_newest && newest >= self.num_inputs {
+                        continue;
+                    }
+                }
+                // Evaluate on every test vector; prune values identical to
+                // an existing slot on all tests (redundant instruction).
+                let mut new_values = Vec::with_capacity(self.tests.len());
+                for slots_row in &self.values {
+                    let args: Vec<u64> = operands
+                        .iter()
+                        .map(|o| match o {
+                            BruteOperand::Slot(s) => slots_row[*s],
+                            BruteOperand::Literal(v) => *v,
+                        })
+                        .collect();
+                    new_values.push(ops::eval(op, &args).expect("op evaluates"));
+                }
+                let redundant = (0..slots).any(|s| {
+                    self.values
+                        .iter()
+                        .zip(&new_values)
+                        .all(|(row, &nv)| row[s] == nv)
+                });
+                if redundant {
+                    continue;
+                }
+                // Push and recurse.
+                for (row, &nv) in self.values.iter_mut().zip(&new_values) {
+                    row.push(nv);
+                }
+                self.instrs.push(BruteInstr {
+                    op,
+                    operands: operands.clone(),
+                });
+                let found = self.extend(remaining - 1);
+                self.instrs.pop();
+                for row in self.values.iter_mut() {
+                    row.pop();
+                }
+                if found.is_some() {
+                    return found;
+                }
+            }
+        }
+        None
+    }
+
+    fn verify(&mut self, program: &BruteProgram) -> bool {
+        for _ in 0..self.config.verify {
+            let inputs: Vec<u64> = (0..self.num_inputs).map(|_| self.rng.gen()).collect();
+            if program.eval(&inputs) != (self.target)(&inputs) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn is_commutative(op: Symbol) -> bool {
+    matches!(op.as_str(), "addq" | "mulq" | "and" | "bis" | "xor" | "cmpeq" | "eqv")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(max_len: usize) -> BruteConfig {
+        BruteConfig {
+            max_len,
+            verify: 500,
+            timeout: Duration::from_secs(30),
+            ..BruteConfig::default()
+        }
+    }
+
+    #[test]
+    fn finds_single_instruction_identities() {
+        // x * 4 + 1... too long for one instr, but x + x is addq x, x.
+        let (found, stats) = brute_search(&|i| i[0].wrapping_add(i[0]), 1, &quick_config(1));
+        let program = found.expect("found");
+        assert_eq!(program.len(), 1);
+        assert!(stats.sequences_tested > 0);
+        assert_eq!(program.eval(&[21]), 42);
+    }
+
+    #[test]
+    fn finds_two_instruction_sequence() {
+        // (x & 0xff) << 8: extbl then insbl-at-1, or and+sll.
+        let target = |i: &[u64]| (i[0] & 0xff) << 8;
+        let (found, _) = brute_search(&target, 1, &quick_config(2));
+        let program = found.expect("found");
+        assert!(program.len() <= 2);
+        for x in [0u64, 0x1234, u64::MAX] {
+            assert_eq!(program.eval(&[x]), target(&[x]));
+        }
+    }
+
+    #[test]
+    fn shortest_length_is_preferred() {
+        // x ^ y is one instruction even when max_len allows more.
+        let target = |i: &[u64]| i[0] ^ i[1];
+        let (found, _) = brute_search(&target, 2, &quick_config(3));
+        assert_eq!(found.expect("found").len(), 1);
+    }
+
+    #[test]
+    fn reports_failure_within_budget() {
+        // A 4-byte swap cannot be done in 2 instructions.
+        let target = |i: &[u64]| {
+            let a = i[0];
+            ((a & 0xff) << 24)
+                | (((a >> 8) & 0xff) << 16)
+                | (((a >> 16) & 0xff) << 8)
+                | ((a >> 24) & 0xff)
+        };
+        let (found, stats) = brute_search(&target, 1, &quick_config(2));
+        assert!(found.is_none());
+        assert!(stats.sequences_tested > 100);
+    }
+
+    #[test]
+    fn timeout_is_respected() {
+        let config = BruteConfig {
+            max_len: 12,
+            timeout: Duration::from_millis(50),
+            ..BruteConfig::default()
+        };
+        // An impossible target (non-deterministic in the inputs is not
+        // expressible): use a hash-like mix that needs many instructions.
+        let target = |i: &[u64]| i[0].wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17);
+        let (found, stats) = brute_search(&target, 1, &config);
+        assert!(found.is_none());
+        assert!(stats.timed_out);
+        assert!(stats.total_time < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn literal_operands_are_usable() {
+        // x + 8.
+        let (found, _) = brute_search(&|i| i[0].wrapping_add(8), 1, &quick_config(1));
+        let program = found.expect("found");
+        assert_eq!(program.len(), 1);
+        assert_eq!(program.eval(&[100]), 108);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the conventional rewriting compiler: random
+//! expressions must compile to validated schedules that simulate to the
+//! reference value.
+
+use std::collections::HashMap;
+
+use denali_arch::{validate, Machine, Simulator};
+use denali_baseline::rewrite_compile;
+use denali_lang::{lower_proc, parse_program};
+use denali_term::value::Env;
+use denali_term::{Symbol, Term};
+use proptest::prelude::*;
+
+fn expr_strategy() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        Just(Term::leaf("a")),
+        Just(Term::leaf("b")),
+        (0u64..=u64::MAX).prop_map(Term::constant),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Term::call("add64", vec![x, y])),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Term::call("sub64", vec![x, y])),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Term::call("mul64", vec![x, y])),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Term::call("and64", vec![x, y])),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Term::call("or64", vec![x, y])),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Term::call("xor64", vec![x, y])),
+            inner.clone().prop_map(|x| Term::call("not64", vec![x])),
+            (inner.clone(), 0u64..64)
+                .prop_map(|(x, n)| Term::call("shl64", vec![x, Term::constant(n)])),
+            (inner.clone(), 0u64..64)
+                .prop_map(|(x, n)| Term::call("shr64", vec![x, Term::constant(n)])),
+            (inner.clone(), 0u64..8)
+                .prop_map(|(x, i)| Term::call("selectb", vec![x, Term::constant(i)])),
+            (inner.clone(), 0u64..8, inner.clone()).prop_map(|(w, i, x)| {
+                Term::call("storeb", vec![w, Term::constant(i), x])
+            }),
+            (inner.clone(), inner).prop_map(|(x, y)| Term::call("cmpult", vec![x, y])),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn rewrite_baseline_is_correct(goal in expr_strategy(), a: u64, b: u64) {
+        let source = format!("(procdecl f ((a long) (b long)) long (:= (res {goal})))");
+        let program = parse_program(&source).unwrap();
+        let gma = lower_proc(&program.procs[0]).unwrap().remove(0);
+        let machine = Machine::ev6();
+        let compiled = rewrite_compile(&gma, &machine).expect("baseline compiles");
+        validate(&compiled, &machine).expect("valid schedule");
+
+        let mut env = Env::new();
+        env.set_word("a", a);
+        env.set_word("b", b);
+        let expected = env.eval_word(&goal).unwrap();
+
+        let sim = Simulator::new(&machine);
+        let mut inputs = Vec::new();
+        for (name, value) in [("a", a), ("b", b)] {
+            if compiled.input_reg(Symbol::intern(name)).is_some() {
+                inputs.push((name, value));
+            }
+        }
+        let outcome = sim.run_named(&compiled, &inputs, HashMap::new()).unwrap();
+        let res = compiled.output_reg(Symbol::intern("res")).unwrap();
+        prop_assert_eq!(
+            outcome.regs[&res],
+            expected,
+            "goal {} a={:#x} b={:#x}\n{}",
+            goal, a, b, compiled.listing(4)
+        );
+    }
+
+    #[test]
+    fn reassociation_never_changes_values(n in 2usize..9, seed: u64) {
+        // A long or-chain: reassociation balances it; values unchanged.
+        let mut term = Term::leaf("a");
+        let mut state = seed | 1;
+        for _ in 0..n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            term = Term::call("or64", vec![term, Term::constant(state & 0xff)]);
+        }
+        let source = format!("(procdecl f ((a long)) long (:= (res {term})))");
+        let program = parse_program(&source).unwrap();
+        let gma = lower_proc(&program.procs[0]).unwrap().remove(0);
+        let machine = Machine::ev6();
+        let compiled = rewrite_compile(&gma, &machine).unwrap();
+        let mut env = Env::new();
+        env.set_word("a", seed);
+        let expected = env.eval_word(&term).unwrap();
+        let sim = Simulator::new(&machine);
+        let outcome = sim
+            .run_named(&compiled, &[("a", seed)], HashMap::new())
+            .unwrap();
+        let res = compiled.output_reg(Symbol::intern("res")).unwrap();
+        prop_assert_eq!(outcome.regs[&res], expected);
+    }
+}

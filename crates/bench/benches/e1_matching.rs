@@ -1,0 +1,44 @@
+//! E1 (Figure 2): matching cost for the reg6*4+1 walkthrough and the
+//! full single-instruction pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use denali_axioms::{alpha_axioms, math_axioms, saturate, SaturationLimits};
+use denali_bench::{default_denali, programs};
+use denali_egraph::EGraph;
+use denali_term::Term;
+use std::hint::black_box;
+
+fn goal_term() -> Term {
+    Term::call(
+        "add64",
+        vec![
+            Term::call("mul64", vec![Term::leaf("reg6"), Term::constant(4)]),
+            Term::constant(1),
+        ],
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut axioms = math_axioms();
+    axioms.extend(alpha_axioms());
+
+    c.bench_function("e1/matching_figure2", |b| {
+        b.iter(|| {
+            let mut eg = EGraph::new();
+            let goal = eg.add_term(&goal_term()).unwrap();
+            saturate(&mut eg, &axioms, &SaturationLimits::default()).unwrap();
+            black_box(eg.count_ways(goal, 6))
+        })
+    });
+
+    c.bench_function("e1/pipeline_figure2", |b| {
+        let denali = default_denali();
+        b.iter(|| {
+            let result = denali.compile_source(programs::FIGURE2).unwrap();
+            black_box(result.gmas[0].cycles)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E2 (§5): saturating a+b+c+d+e under associativity/commutativity and
+//! counting the represented ways (paper: "more than a hundred").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use denali_axioms::{math_axioms, saturate, SaturationLimits};
+use denali_egraph::EGraph;
+use denali_term::{sexpr, Term};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let term = Term::from_sexpr(
+        &sexpr::parse_one("(add64 a (add64 b (add64 c (add64 d e))))").unwrap(),
+        &[],
+    )
+    .unwrap();
+    let axioms = math_axioms();
+    let limits = SaturationLimits {
+        max_iterations: 24,
+        ..SaturationLimits::default()
+    };
+    c.bench_function("e2/ac_saturation_5_terms", |b| {
+        b.iter(|| {
+            let mut eg = EGraph::new();
+            let sum = eg.add_term(&term).unwrap();
+            saturate(&mut eg, &axioms, &limits).unwrap();
+            let ways = eg.count_ways(sum, 8);
+            assert!(ways > 100);
+            black_box(ways)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E3 (§8, Figure 4): the full byteswap4 pipeline — the paper's
+//! "just over a minute" experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use denali_bench::{default_denali, programs};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3");
+    group.sample_size(10).measurement_time(Duration::from_secs(40));
+    group.bench_function("byteswap4_pipeline", |b| {
+        let denali = default_denali();
+        b.iter(|| {
+            let result = denali.compile_source(programs::BYTESWAP4).unwrap();
+            assert_eq!(result.gmas[0].cycles, 5);
+            black_box(result.gmas[0].program.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E4 (§8): SAT problem generation and solving per cycle budget for
+//! byteswap4 (the paper reports 1639/4613 at K=4 through 9203/26415 at
+//! K=8; we report our encoding's sizes alongside solve times).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use denali_arch::Machine;
+use denali_axioms::SaturationLimits;
+use denali_core::encode::{encode, EncodeOptions};
+use denali_core::machine_terms::enumerate;
+use denali_core::matcher::match_gma;
+use denali_lang::{lower_proc, parse_program};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let program = parse_program(denali_bench::programs::BYTESWAP4).unwrap();
+    let gma = lower_proc(&program.procs[0]).unwrap().remove(0);
+    let matched = match_gma(&gma, &denali_axioms::standard_axioms(), &SaturationLimits::default()).unwrap();
+    let machine = Machine::ev6();
+    let cands = enumerate(&matched, &machine, &gma.inputs(), None).unwrap();
+
+    let mut group = c.benchmark_group("e4");
+    for k in [4u32, 5, 6, 8] {
+        group.bench_with_input(BenchmarkId::new("encode_and_solve", k), &k, |b, &k| {
+            b.iter(|| {
+                let enc = encode(&matched, &cands, &machine, k, &EncodeOptions::default());
+                let mut solver = enc.cnf.to_solver();
+                black_box(solver.solve())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

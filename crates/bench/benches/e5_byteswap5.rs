@@ -1,0 +1,35 @@
+//! E5 (§8): byteswap5 — Denali versus the conventional rewriting
+//! compiler (the production-C-compiler stand-in).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use denali_arch::Machine;
+use denali_baseline::rewrite_compile;
+use denali_bench::{default_denali, programs};
+use denali_lang::{lower_proc, parse_program};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5");
+    group.sample_size(10).measurement_time(Duration::from_secs(30));
+    group.bench_function("byteswap5_denali", |b| {
+        let denali = default_denali();
+        b.iter(|| {
+            let result = denali.compile_source(programs::BYTESWAP5).unwrap();
+            black_box(result.gmas[0].cycles)
+        })
+    });
+    group.bench_function("byteswap5_rewrite_baseline", |b| {
+        let program = parse_program(programs::BYTESWAP5).unwrap();
+        let gma = lower_proc(&program.procs[0]).unwrap().remove(0);
+        let machine = Machine::ev6();
+        b.iter(|| {
+            let p = rewrite_compile(&gma, &machine).unwrap();
+            black_box(p.cycles())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E8 (§8): the additional tests — rowop and least common power of 2 —
+//! plus ablations: solver substitution (CDCL vs DPLL) and machine-model
+//! variants (unclustered, single-issue).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use denali_arch::Machine;
+use denali_bench::{default_denali, programs};
+use denali_core::{Denali, Options, SolverChoice};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("e8/rowop_pipeline", |b| {
+        let denali = default_denali();
+        b.iter(|| {
+            let result = denali.compile_source(programs::ROWOP).unwrap();
+            black_box(result.main().cycles)
+        })
+    });
+    c.bench_function("e8/lcp2_cdcl", |b| {
+        let denali = default_denali();
+        b.iter(|| black_box(denali.compile_source(programs::LCP2).unwrap().gmas[0].cycles))
+    });
+    c.bench_function("e8/lcp2_dpll", |b| {
+        let denali = Denali::new(Options {
+            solver: SolverChoice::Dpll,
+            ..Options::default()
+        });
+        b.iter(|| black_box(denali.compile_source(programs::LCP2).unwrap().gmas[0].cycles))
+    });
+    c.bench_function("e8/lcp2_unclustered", |b| {
+        let denali = Denali::new(Options {
+            machine: Machine::ev6_unclustered(),
+            ..Options::default()
+        });
+        b.iter(|| black_box(denali.compile_source(programs::LCP2).unwrap().gmas[0].cycles))
+    });
+    c.bench_function("e8/lcp2_single_issue", |b| {
+        let denali = Denali::new(Options {
+            machine: Machine::single_issue(),
+            ..Options::default()
+        });
+        b.iter(|| black_box(denali.compile_source(programs::LCP2).unwrap().gmas[0].cycles))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

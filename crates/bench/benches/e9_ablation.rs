@@ -1,0 +1,56 @@
+//! A1 ablations: sensitivity of the pipeline to this reproduction's two
+//! main design knobs — the matcher's structural budget and the cluster
+//! model. (Not an experiment from the paper; documents our substitutions.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use denali_arch::Machine;
+use denali_axioms::SaturationLimits;
+use denali_bench::programs;
+use denali_core::{Denali, Options};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1");
+    group.sample_size(10).measurement_time(Duration::from_secs(20));
+    // Structural budget: quality is flat (5 cycles at every setting);
+    // matcher cost is the measured variable.
+    for growth in [500usize, 1000, 2000] {
+        group.bench_with_input(
+            BenchmarkId::new("byteswap4_structural_growth", growth),
+            &growth,
+            |b, &growth| {
+                let denali = Denali::new(Options {
+                    saturation: SaturationLimits {
+                        max_structural_growth: growth,
+                        ..SaturationLimits::default()
+                    },
+                    ..Options::default()
+                });
+                b.iter(|| {
+                    let result = denali.compile_source(programs::BYTESWAP4).unwrap();
+                    assert_eq!(result.gmas[0].cycles, 5);
+                    black_box(result.gmas[0].program.len())
+                })
+            },
+        );
+    }
+    // Cluster model on the fast fixture.
+    for (name, machine) in [
+        ("clustered", Machine::ev6()),
+        ("unclustered", Machine::ev6_unclustered()),
+        ("single_issue", Machine::single_issue()),
+    ] {
+        group.bench_function(BenchmarkId::new("lcp2_machine", name), |b| {
+            let denali = Denali::new(Options {
+                machine: machine.clone(),
+                ..Options::default()
+            });
+            b.iter(|| black_box(denali.compile_source(programs::LCP2).unwrap().gmas[0].cycles))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

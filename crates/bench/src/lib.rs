@@ -1,0 +1,258 @@
+#![warn(missing_docs)]
+
+//! Shared fixtures and helpers for the Denali benchmark harness.
+//!
+//! Each experiment from the paper's evaluation (see `EXPERIMENTS.md`)
+//! has its program source here, plus helpers to run the pipeline,
+//! validate results against the reference semantics, and produce the
+//! paper-versus-measured rows the `report` binary prints.
+
+pub mod programs {
+    //! The test programs of the paper's §8 (adapted to this
+    //! reproduction's concrete syntax).
+
+    /// Figure 2's walkthrough term as a one-line procedure.
+    pub const FIGURE2: &str =
+        "(\\procdecl f ((reg6 long)) long (:= (\\res (+ (* reg6 4) 1))))";
+
+    /// Figure 3: the 4-byte swap challenge problem.
+    pub const BYTESWAP4: &str = "
+(\\procdecl byteswap4 ((a long)) long
+  (\\var (r long 0)
+    (\\semi
+      (:= ((\\selectb r 0) (\\selectb a 3)))
+      (:= ((\\selectb r 1) (\\selectb a 2)))
+      (:= ((\\selectb r 2) (\\selectb a 1)))
+      (:= ((\\selectb r 3) (\\selectb a 0)))
+      (:= (\\res r)))))";
+
+    /// The 5-byte swap (Denali beats the C compiler by one cycle, §8).
+    pub const BYTESWAP5: &str = "
+(\\procdecl byteswap5 ((a long)) long
+  (\\var (r long 0)
+    (\\semi
+      (:= ((\\selectb r 0) (\\selectb a 4)))
+      (:= ((\\selectb r 1) (\\selectb a 3)))
+      (:= ((\\selectb r 2) (\\selectb a 2)))
+      (:= ((\\selectb r 3) (\\selectb a 1)))
+      (:= ((\\selectb r 4) (\\selectb a 0)))
+      (:= (\\res r)))))";
+
+    /// Figure 6: the packet-checksum routine — 4x-unrolled,
+    /// software-pipelined by hand with the `v1..v4` temporaries, using
+    /// the program-specific `add`/`carry` axioms.
+    pub const CHECKSUM: &str = r"
+(\opdecl carry (long long) long)
+(\axiom (forall (a b) (pats (carry a b))
+  (eq (carry a b) (\cmpult (\add64 a b) a))))
+(\axiom (forall (a b) (pats (carry a b))
+  (eq (carry a b) (\cmpult (\add64 a b) b))))
+(\opdecl add (long long) long)
+(\axiom (forall (a b) (pats (add a b)) (eq (add a b) (add b a))))
+(\axiom (forall (a b)
+  (pats (add a b))
+  (eq (add a b) (\add64 (\add64 a b) (carry a b)))))
+(\procdecl checksum ((ptr long*) (ptrend long*)) short
+  (\var (sum1 long 0) (\var (sum2 long 0)
+  (\var (sum3 long 0) (\var (sum4 long 0)
+  (\var (v1 long (\deref ptr))
+  (\var (v2 long (\deref (+ ptr 8)))
+  (\var (v3 long (\deref (+ ptr 16)))
+  (\var (v4 long (\deref (+ ptr 24)))
+  (\semi
+    (\do (-> (<u ptr ptrend)
+      (\semi
+        (:= (sum1 (add sum1 v1)) (sum2 (add sum2 v2))
+            (sum3 (add sum3 v3)) (sum4 (add sum4 v4)))
+        (:= (ptr (+ ptr 32)))
+        (:= (v1 (\deref ptr)))
+        (:= (v2 (\deref (+ ptr 8))))
+        (:= (v3 (\deref (+ ptr 16))))
+        (:= (v4 (\deref (+ ptr 24)))))))
+    (\var (s1 long) (\var (s2 long) (\var (s long)
+    (\semi
+      (:= (s1 (add sum1 sum2)))
+      (:= (s2 (add sum3 sum4)))
+      (:= (s (add s1 s2)))
+      (:= (s (+ (+ (\extwl s 0) (\extwl s 2)) (+ (\extwl s 4) (\extwl s 6)))))
+      (:= (s (+ (\extwl s 0) (\extwl s 2))))
+      (:= (\res (\cast s short)))))))))))))))))";
+
+    /// The checksum with four accumulators but NO hand pipelining — the
+    /// input a programmer would naturally write. Compile with
+    /// `Options { pipeline_loads: true, .. }` to let the mechanized
+    /// Figure 6 transformation recover the hand-pipelined schedule.
+    pub const CHECKSUM_AUTO: &str = r"
+(\opdecl carry (long long) long)
+(\axiom (forall (a b) (pats (carry a b))
+  (eq (carry a b) (\cmpult (\add64 a b) a))))
+(\axiom (forall (a b) (pats (carry a b))
+  (eq (carry a b) (\cmpult (\add64 a b) b))))
+(\opdecl add (long long) long)
+(\axiom (forall (a b) (pats (add a b)) (eq (add a b) (add b a))))
+(\axiom (forall (a b)
+  (pats (add a b))
+  (eq (add a b) (\add64 (\add64 a b) (carry a b)))))
+(\procdecl checksum_auto ((ptr long*) (ptrend long*)) long
+  (\var (sum1 long 0) (\var (sum2 long 0)
+  (\var (sum3 long 0) (\var (sum4 long 0)
+  (\do (-> (<u ptr ptrend)
+    (\semi
+      (:= (sum1 (add sum1 (\deref ptr)))
+          (sum2 (add sum2 (\deref (+ ptr 8))))
+          (sum3 (add sum3 (\deref (+ ptr 16))))
+          (sum4 (add sum4 (\deref (+ ptr 24)))))
+      (:= (ptr (+ ptr 32)))))))))))";
+
+    /// A serial (not unrolled, not pipelined) checksum loop body, for
+    /// the E7 comparison: what the inner loop costs without the paper's
+    /// three techniques.
+    pub const CHECKSUM_SERIAL: &str = r"
+(\opdecl carry (long long) long)
+(\axiom (forall (a b) (pats (carry a b))
+  (eq (carry a b) (\cmpult (\add64 a b) a))))
+(\opdecl add (long long) long)
+(\axiom (forall (a b)
+  (pats (add a b))
+  (eq (add a b) (\add64 (\add64 a b) (carry a b)))))
+(\procdecl checksum_serial ((ptr long*) (ptrend long*)) long
+  (\var (sum long 0)
+    (\do (-> (<u ptr ptrend)
+      (\semi
+        (:= (sum (add sum (\deref ptr))))
+        (:= (ptr (+ ptr 8))))))))";
+
+    /// The `rowop` matrix routine mentioned in §8: one element of
+    /// `row_p += c * row_q` per iteration.
+    pub const ROWOP: &str = "
+(\\procdecl rowop ((p long*) (q long*) (r long*) (c long)) long
+  (\\do (-> (<u p r)
+    (\\semi
+      (:= ((\\deref p) (+ (\\deref p) (* c (\\deref q)))))
+      (:= (p (+ p 8)) (q (+ q 8)))))))";
+
+    /// Halfword swap: exchange the two 16-bit fields of a 32-bit value
+    /// (a natural sibling of the byte-swap problems, exercising the
+    /// inswl/mskwl/extwl field algebra).
+    pub const WORDSWAP32: &str = "
+(\\procdecl wordswap32 ((a long)) long
+  (:= (\\res (\\storew (\\storew 0 0 (\\selectw a 1)) 1 (\\selectw a 0)))))";
+
+    /// The least common power of two of two registers (§8): the largest
+    /// power of two dividing both, i.e. the lowest set bit of `a | b`.
+    pub const LCP2: &str = "
+(\\procdecl lcp2 ((a long) (b long)) long
+  (\\var (u long (| a b))
+    (:= (\\res (& u (- 0 u))))))";
+}
+
+use std::collections::HashMap;
+
+use denali_arch::Simulator;
+use denali_core::{CompileResult, CompiledGma, Denali, Options};
+use denali_term::value::Env;
+use denali_term::Symbol;
+
+/// Compiles a fixture and differentially validates every GMA of it by
+/// simulation against the reference semantics on the given inputs.
+///
+/// # Panics
+///
+/// Panics on any compilation, simulation, or mismatch failure — these
+/// are harness invariants, not measurable outcomes.
+pub fn compile_checked(
+    denali: &Denali,
+    source: &str,
+    input_values: &[(&str, u64)],
+    memory: &HashMap<u64, u64>,
+) -> CompileResult {
+    let result = denali.compile_source(source).expect("fixture compiles");
+    for compiled in &result.gmas {
+        check_compiled(denali, compiled, input_values, memory);
+    }
+    result
+}
+
+/// Differentially validates one compiled GMA on one input valuation.
+///
+/// # Panics
+///
+/// Panics on simulation failure or output mismatch.
+pub fn check_compiled(
+    denali: &Denali,
+    compiled: &CompiledGma,
+    input_values: &[(&str, u64)],
+    memory: &HashMap<u64, u64>,
+) {
+    let program = &compiled.program;
+    let mut env = Env::new();
+    // Loop-carried variables and other inputs the caller did not name
+    // get deterministic pseudo-random values derived from their names.
+    let mut all_inputs: Vec<(String, u64)> = Vec::new();
+    for input in compiled.gma.inputs() {
+        let name = input.as_str();
+        let value = input_values
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| {
+                name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+                    (h ^ u64::from(b)).wrapping_mul(0x100000001b3)
+                })
+            });
+        all_inputs.push((name.to_owned(), value));
+    }
+    for (name, value) in &all_inputs {
+        env.set_word(name.as_str(), *value);
+    }
+    env.set_mem("M", memory.clone());
+    // Program-specific ops used by the fixtures.
+    env.define_op("add", |a| {
+        let s = a[0].wrapping_add(a[1]);
+        s.wrapping_add(u64::from(s < a[0]))
+    });
+    env.define_op("carry", |a| u64::from(a[0].wrapping_add(a[1]) < a[0]));
+    let expected = compiled.gma.evaluate(&env).expect("reference evaluates");
+
+    let sim = Simulator::new(&denali.options().machine);
+    let needed: Vec<(&str, u64)> = all_inputs
+        .iter()
+        .map(|(n, v)| (n.as_str(), *v))
+        .filter(|(name, _)| program.input_reg(Symbol::intern(name)).is_some())
+        .collect();
+    let outcome = sim
+        .run_named(program, &needed, memory.clone())
+        .expect("program simulates");
+    for (name, want) in &expected.assigns {
+        let reg = program
+            .output_reg(*name)
+            .unwrap_or_else(|| panic!("no output register for {name}"));
+        assert_eq!(
+            outcome.regs[&reg], *want,
+            "{}: output {name} mismatch\n{}",
+            compiled.gma.name,
+            program.listing(4)
+        );
+    }
+    if let Some(guard) = expected.guard {
+        let reg = program
+            .output_reg(Symbol::intern("guard"))
+            .expect("guard register");
+        assert_eq!(outcome.regs[&reg], guard, "guard mismatch");
+    }
+    if let Some(mem) = &expected.memory {
+        for (addr, want) in mem {
+            assert_eq!(
+                outcome.memory.get(addr).copied().unwrap_or(0),
+                *want,
+                "memory[{addr:#x}] mismatch\n{}",
+                program.listing(4)
+            );
+        }
+    }
+}
+
+/// Default pipeline used by benches and the report binary.
+pub fn default_denali() -> Denali {
+    Denali::new(Options::default())
+}

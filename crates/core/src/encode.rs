@@ -1,0 +1,613 @@
+//! The constraint generator: candidates + cycle budget → CNF.
+//!
+//! Implements §6's encoding, generalized from the single-issue
+//! presentation to the real EV6 shape (quad issue, unit restrictions,
+//! clusters), plus the §7 constraints (guard-before-unsafe-operations
+//! and memory ordering):
+//!
+//! * `L(T, i, u)` — candidate `T` is **launched** at cycle `i` on unit
+//!   `u` (the paper's `L(i, T)`, refined by unit),
+//! * `B(Q, i, c)` — the value of class `Q` has been computed **by** the
+//!   end of cycle `i` and is usable on cluster `c` (the paper's
+//!   `B(i, Q)`, refined by cluster to model the EV6's cross-cluster
+//!   bypass delay).
+//!
+//! The paper's five condition families map to:
+//! 1. launch/completion wiring — folded into the `B` ladder clauses
+//!    (a launch at `j` completes at `j + λ - 1`),
+//! 2. arguments available before launch — `L(T,i,u) ⇒ B(Q, i-1, cluster(u))`,
+//! 3. `B` holds iff some member term completed in time — the ladder
+//!    `B(Q,i,c) ⇔ B(Q,i-1,c) ∨ {launches completing at i on c}`,
+//! 4. issue exclusivity — at most one launch per `(cycle, unit)` slot,
+//! 5. goals computed within budget — `∨_c B(G, K-1, c)` per goal class.
+
+use std::collections::HashMap;
+
+use denali_arch::{Machine, Unit};
+use denali_egraph::ClassId;
+use denali_sat::dimacs::Cnf;
+use denali_sat::{Lit, Var};
+
+use crate::machine_terms::{CandidateKind, Candidates};
+use crate::matcher::Matched;
+
+/// Encoding options (§7 behaviors).
+#[derive(Clone, Copy, Debug)]
+pub struct EncodeOptions {
+    /// If false, loads are unsafe to speculate and must wait for the
+    /// guard like stores do. The default matches the paper's checksum
+    /// experiment, which speculates next-iteration loads.
+    pub speculate_loads: bool,
+}
+
+impl Default for EncodeOptions {
+    fn default() -> EncodeOptions {
+        EncodeOptions {
+            speculate_loads: true,
+        }
+    }
+}
+
+/// A launch variable's coordinates.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LaunchCoord {
+    /// Candidate index into [`Candidates::list`].
+    pub candidate: usize,
+    /// Issue cycle.
+    pub cycle: u32,
+    /// Functional unit.
+    pub unit: Unit,
+}
+
+/// The CNF for one cycle budget, with the variable maps needed to decode
+/// a model.
+#[derive(Clone, Debug)]
+pub struct Encoding {
+    /// The formula.
+    pub cnf: Cnf,
+    /// Cycle budget encoded.
+    pub k: u32,
+    /// Launch variable coordinates, indexed by SAT variable order
+    /// (launch variables come first).
+    pub launches: Vec<LaunchCoord>,
+    /// `B` variable index: (class, cycle, cluster) → var.
+    pub avail: HashMap<(ClassId, u32, usize), Var>,
+}
+
+impl Encoding {
+    /// Number of SAT variables.
+    pub fn num_vars(&self) -> usize {
+        self.cnf.num_vars
+    }
+
+    /// Number of CNF clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.cnf.clauses.len()
+    }
+
+    /// Decodes a model into the set of true launches.
+    pub fn true_launches(&self, model: &[bool]) -> Vec<LaunchCoord> {
+        self.launches
+            .iter()
+            .enumerate()
+            .filter(|&(v, _)| model[v])
+            .map(|(_, &c)| c)
+            .collect()
+    }
+}
+
+struct Builder {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Builder {
+    fn var(&mut self) -> Var {
+        let v = Var::from_index(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    fn clause(&mut self, lits: Vec<Lit>) {
+        self.clauses.push(lits);
+    }
+
+    /// At-most-one over `lits`: pairwise for small sets, the sequential
+    /// (ladder) encoding for larger ones (3n clauses and n−1 auxiliary
+    /// variables instead of n²/2 clauses).
+    fn at_most_one(&mut self, lits: &[Lit]) {
+        if lits.len() <= 4 {
+            for (i, &a) in lits.iter().enumerate() {
+                for &b in &lits[i + 1..] {
+                    self.clause(vec![!a, !b]);
+                }
+            }
+            return;
+        }
+        // s_i = "some literal among lits[..=i] is true".
+        let mut prev: Option<Var> = None;
+        for (i, &x) in lits.iter().enumerate() {
+            if i + 1 == lits.len() {
+                if let Some(s) = prev {
+                    self.clause(vec![!x, Lit::neg(s)]);
+                }
+                break;
+            }
+            let s = self.var();
+            self.clause(vec![!x, Lit::pos(s)]);
+            if let Some(p) = prev {
+                self.clause(vec![Lit::neg(p), Lit::pos(s)]);
+                self.clause(vec![!x, Lit::neg(p)]);
+            }
+            prev = Some(s);
+        }
+    }
+}
+
+/// Earliest cycle at which each class's value could be usable by a
+/// consumer (critical path from the inputs, ignoring resource limits).
+fn earliest_completion(
+    candidates: &Candidates,
+    eg: &denali_egraph::EGraph,
+    k: u32,
+) -> HashMap<ClassId, u32> {
+    let horizon = k + 1;
+    let mut usable: HashMap<ClassId, u32> = HashMap::new();
+    loop {
+        let mut changed = false;
+        for cand in &candidates.list {
+            if matches!(cand.kind, CandidateKind::Store { .. }) {
+                continue;
+            }
+            let class = eg.find(cand.class);
+            let mut start = 0u32;
+            let mut feasible = true;
+            for dep in cand.register_deps() {
+                let dep = eg.find(dep);
+                if candidates.is_available(dep) {
+                    continue;
+                }
+                match usable.get(&dep) {
+                    Some(&e) if e <= horizon => start = start.max(e),
+                    _ => {
+                        feasible = false;
+                        break;
+                    }
+                }
+            }
+            if !feasible {
+                continue;
+            }
+            let finish = (start + cand.latency).min(horizon + 1);
+            let entry = usable.entry(class).or_insert(u32::MAX);
+            if finish < *entry {
+                *entry = finish;
+                changed = true;
+            }
+        }
+        if !changed {
+            return usable;
+        }
+    }
+}
+
+/// Generates the CNF asserting "a legal `k`-cycle schedule computing the
+/// goals exists". Unsatisfiability of this formula is the paper's
+/// conjecture that no `k`-cycle program exists.
+pub fn encode(
+    matched: &Matched,
+    candidates: &Candidates,
+    machine: &Machine,
+    k: u32,
+    options: &EncodeOptions,
+) -> Encoding {
+    let eg = &matched.egraph;
+    let clusters = machine.num_clusters();
+    let cluster_of = |u: Unit| -> usize {
+        if clusters == 1 {
+            0
+        } else {
+            u.cluster()
+        }
+    };
+    let delay = machine.cluster_delay();
+
+    let mut b = Builder {
+        num_vars: 0,
+        clauses: Vec::new(),
+    };
+
+    // Earliest feasible completion cycle per class (critical path from
+    // the inputs), used to prune launch variables that could never
+    // satisfy their argument-readiness constraints.
+    let earliest = earliest_completion(candidates, eg, k);
+
+    // ---- Launch variables ----
+    let mut launches: Vec<LaunchCoord> = Vec::new();
+    for (t, cand) in candidates.list.iter().enumerate() {
+        if cand.latency > k {
+            continue; // cannot complete within the budget
+        }
+        // A launch cannot start before every register argument could
+        // possibly be ready (same-cluster best case).
+        let mut start = 0u32;
+        for dep in cand.register_deps() {
+            let dep = eg.find(dep);
+            if candidates.is_available(dep) {
+                continue;
+            }
+            match earliest.get(&dep) {
+                Some(&e) => start = start.max(e),
+                None => {
+                    start = k + 1; // dependency never computable
+                    break;
+                }
+            }
+        }
+        if start > k || cand.latency > k - start {
+            continue;
+        }
+        for cycle in start..=(k - cand.latency) {
+            for &unit in &cand.units {
+                let var = b.var();
+                debug_assert_eq!(var.index(), launches.len());
+                launches.push(LaunchCoord {
+                    candidate: t,
+                    cycle,
+                    unit,
+                });
+            }
+        }
+    }
+
+    // ---- Availability variables (B ladder) ----
+    let mut avail: HashMap<(ClassId, u32, usize), Var> = HashMap::new();
+    for &class in &candidates.needed_classes {
+        if candidates.is_available(class) {
+            continue; // inputs are available everywhere from cycle 0
+        }
+        for cycle in 0..k {
+            for cluster in 0..clusters {
+                let var = b.var();
+                avail.insert((class, cycle, cluster), var);
+            }
+        }
+    }
+
+    // Completion events: (class, cycle, cluster) -> launch literals.
+    let mut completions: HashMap<(ClassId, u32, usize), Vec<Lit>> = HashMap::new();
+    for (v, coord) in launches.iter().enumerate() {
+        let (t, cycle, unit) = (coord.candidate, coord.cycle, coord.unit);
+        let var = Var::from_index(v);
+        let cand = &candidates.list[t];
+        if matches!(cand.kind, CandidateKind::Store { .. }) {
+            continue; // stores produce no register value
+        }
+        let class = eg.find(cand.class);
+        let own = cluster_of(unit);
+        let complete = cycle + cand.latency - 1;
+        if complete < k {
+            completions
+                .entry((class, complete, own))
+                .or_default()
+                .push(Lit::pos(var));
+        }
+        if clusters > 1 {
+            let other = 1 - own;
+            let cross = complete + delay;
+            if cross < k {
+                completions
+                    .entry((class, cross, other))
+                    .or_default()
+                    .push(Lit::pos(var));
+            }
+        }
+    }
+
+    // Ladder clauses: B(Q,i,c) ⇔ B(Q,i-1,c) ∨ completions(Q,i,c).
+    for &class in &candidates.needed_classes {
+        if candidates.is_available(class) {
+            continue;
+        }
+        for cycle in 0..k {
+            for cluster in 0..clusters {
+                let bvar = avail[&(class, cycle, cluster)];
+                let events = completions
+                    .get(&(class, cycle, cluster))
+                    .cloned()
+                    .unwrap_or_default();
+                // B(i) -> B(i-1) ∨ events
+                let mut forward = vec![Lit::neg(bvar)];
+                if cycle > 0 {
+                    forward.push(Lit::pos(avail[&(class, cycle - 1, cluster)]));
+                }
+                forward.extend(events.iter().copied());
+                b.clause(forward);
+                // B(i-1) -> B(i); event -> B(i)
+                if cycle > 0 {
+                    b.clause(vec![
+                        Lit::neg(avail[&(class, cycle - 1, cluster)]),
+                        Lit::pos(bvar),
+                    ]);
+                }
+                for &e in &events {
+                    b.clause(vec![!e, Lit::pos(bvar)]);
+                }
+            }
+        }
+    }
+
+    // ---- Argument readiness ----
+    let guard_class = candidates.guard_class.map(|c| eg.find(c));
+    for (v, coord) in launches.iter().enumerate() {
+        let (t, cycle, unit) = (coord.candidate, coord.cycle, coord.unit);
+        let var = Var::from_index(v);
+        let cand = &candidates.list[t];
+        let mut deps = cand.register_deps();
+        // §7: unsafe operations wait for the guard.
+        let unsafe_op = match cand.kind {
+            CandidateKind::Store { .. } => true,
+            CandidateKind::Load { .. } => !options.speculate_loads,
+            _ => false,
+        };
+        if unsafe_op {
+            if let Some(g) = guard_class {
+                deps.push(g);
+            }
+        }
+        for dep in deps {
+            let dep = eg.find(dep);
+            if candidates.is_available(dep) {
+                continue;
+            }
+            if cycle == 0 {
+                b.clause(vec![Lit::neg(var)]);
+                break;
+            }
+            let bvar = avail[&(dep, cycle - 1, cluster_of(unit))];
+            b.clause(vec![Lit::neg(var), Lit::pos(bvar)]);
+        }
+    }
+
+    // ---- Issue exclusivity: at most one launch per (cycle, unit) ----
+    let mut slots: std::collections::BTreeMap<(u32, Unit), Vec<Var>> = std::collections::BTreeMap::new();
+    for (v, coord) in launches.iter().enumerate() {
+        slots
+            .entry((coord.cycle, coord.unit))
+            .or_default()
+            .push(Var::from_index(v));
+    }
+    for vars in slots.values() {
+        let lits: Vec<Lit> = vars.iter().map(|&v| Lit::pos(v)).collect();
+        b.at_most_one(&lits);
+    }
+
+    // ---- Goals ----
+    for &goal in &candidates.goal_classes {
+        if candidates.is_available(goal) {
+            continue; // already in an input register
+        }
+        let mut clause = Vec::new();
+        for cluster in 0..clusters {
+            clause.push(Lit::pos(avail[&(goal, k - 1, cluster)]));
+        }
+        b.clause(clause);
+    }
+
+    // ---- Stores: exactly one launch per chain level ----
+    for level in &candidates.store_levels {
+        let mut level_launches: Vec<Var> = Vec::new();
+        for (v, coord) in launches.iter().enumerate() {
+            if level.contains(&coord.candidate) {
+                level_launches.push(Var::from_index(v));
+            }
+        }
+        b.clause(level_launches.iter().map(|&v| Lit::pos(v)).collect());
+        let lits: Vec<Lit> = level_launches.iter().map(|&v| Lit::pos(v)).collect();
+        b.at_most_one(&lits);
+    }
+
+    // ---- Memory ordering (§7) ----
+    // Loads read the GMA's pre-state: a load must not issue after a
+    // store it may alias. Store levels must retain their chain order
+    // unless the addresses are provably distinct.
+    let loads = candidates.loads();
+    let store_cands: Vec<usize> = candidates.store_levels.iter().flatten().copied().collect();
+    let addr_of = |t: usize| -> ClassId {
+        match candidates.list[t].kind {
+            CandidateKind::Load { addr, .. } | CandidateKind::Store { addr, .. } => addr,
+            _ => unreachable!("memory candidate"),
+        }
+    };
+    let may_alias = |a: ClassId, b: ClassId| !eg.provably_distinct(a, b);
+    for &l in &loads {
+        for &s in &store_cands {
+            if !may_alias(addr_of(l), addr_of(s)) {
+                continue;
+            }
+            for (i1, lc1) in launches.iter().enumerate() {
+                if lc1.candidate != l {
+                    continue;
+                }
+                for (i2, lc2) in launches.iter().enumerate() {
+                    if lc2.candidate == s && lc1.cycle > lc2.cycle {
+                        b.clause(vec![
+                            Lit::neg(Var::from_index(i1)),
+                            Lit::neg(Var::from_index(i2)),
+                        ]);
+                    }
+                }
+            }
+        }
+    }
+    for (li, level_a) in candidates.store_levels.iter().enumerate() {
+        for level_b in &candidates.store_levels[li + 1..] {
+            for &s1 in level_a {
+                for &s2 in level_b {
+                    if !may_alias(addr_of(s1), addr_of(s2)) {
+                        continue;
+                    }
+                    // Earlier level must issue strictly before later.
+                    for (i1, lc1) in launches.iter().enumerate() {
+                        if lc1.candidate != s1 {
+                            continue;
+                        }
+                        for (i2, lc2) in launches.iter().enumerate() {
+                            if lc2.candidate == s2 && lc2.cycle <= lc1.cycle {
+                                b.clause(vec![
+                                    Lit::neg(Var::from_index(i1)),
+                                    Lit::neg(Var::from_index(i2)),
+                                ]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    Encoding {
+        cnf: Cnf {
+            num_vars: b.num_vars,
+            clauses: b.clauses,
+        },
+        k,
+        launches,
+        avail,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine_terms::enumerate;
+    use crate::matcher::match_gma;
+    use denali_axioms::SaturationLimits;
+    use denali_lang::{lower_proc, parse_program};
+    use denali_sat::SolveResult;
+
+    fn pipeline(text: &str) -> (Matched, Candidates) {
+        let p = parse_program(text).unwrap();
+        let gma = lower_proc(&p.procs[0]).unwrap().remove(0);
+        let matched = match_gma(&gma, &denali_axioms::standard_axioms(), &SaturationLimits::default()).unwrap();
+        let inputs = gma.inputs();
+        let cands = enumerate(&matched, &Machine::ev6(), &inputs, None).unwrap();
+        (matched, cands)
+    }
+
+    fn solve_at(matched: &Matched, cands: &Candidates, machine: &Machine, k: u32) -> SolveResult {
+        let enc = encode(matched, cands, machine, k, &EncodeOptions::default());
+        let mut solver = enc.cnf.to_solver();
+        solver.solve()
+    }
+
+    #[test]
+    fn figure2_is_one_cycle() {
+        let (matched, cands) =
+            pipeline("(procdecl f ((reg6 long)) long (:= (res (+ (* reg6 4) 1))))");
+        let m = Machine::ev6();
+        assert_eq!(solve_at(&matched, &cands, &m, 1), SolveResult::Sat);
+    }
+
+    #[test]
+    fn dependent_adds_need_two_cycles() {
+        // (a + b) + c: two dependent adds.
+        let (matched, cands) = pipeline(
+            "(procdecl f ((a long) (b long) (c long)) long (:= (res (+ (+ a b) c))))",
+        );
+        let m = Machine::ev6();
+        assert_eq!(solve_at(&matched, &cands, &m, 1), SolveResult::Unsat);
+        assert_eq!(solve_at(&matched, &cands, &m, 2), SolveResult::Sat);
+    }
+
+    #[test]
+    fn multiply_latency_dominates() {
+        let (matched, cands) =
+            pipeline("(procdecl f ((a long)) long (:= (res (+ (* a a) 1))))");
+        let m = Machine::ev6();
+        // mulq latency 7, then the add: 8 cycles; 7 is impossible.
+        assert_eq!(solve_at(&matched, &cands, &m, 7), SolveResult::Unsat);
+        assert_eq!(solve_at(&matched, &cands, &m, 8), SolveResult::Sat);
+    }
+
+    #[test]
+    fn issue_width_constrains_parallelism() {
+        // Four independent ops combined with xors (no associativity
+        // axioms, so no AC blowup) on a single-issue machine need more
+        // cycles than on the quad-issue EV6.
+        let text = "(procdecl f ((a long) (b long)) long
+            (:= (res (^ (^ (+ a 1) (- a 2)) (^ (& b 3) (| b 4))))))";
+        let p = parse_program(text).unwrap();
+        let gma = lower_proc(&p.procs[0]).unwrap().remove(0);
+        let limits = SaturationLimits {
+            max_iterations: 8,
+            max_nodes: 4_000,
+            ..SaturationLimits::default()
+        };
+        let matched = match_gma(&gma, &denali_axioms::standard_axioms(), &limits).unwrap();
+        let quad = Machine::ev6();
+        let single = Machine::single_issue();
+        let cands_quad = enumerate(&matched, &quad, &gma.inputs(), None).unwrap();
+        let cands_single = enumerate(&matched, &single, &gma.inputs(), None).unwrap();
+        // Quad issue with clusters: the final xor's two operands are
+        // produced on different clusters, so one pays the bypass delay;
+        // 3 cycles is impossible but 4 works.
+        assert_eq!(solve_at(&matched, &cands_quad, &quad, 3), SolveResult::Unsat);
+        assert_eq!(solve_at(&matched, &cands_quad, &quad, 4), SolveResult::Sat);
+        // Without the cluster penalty, 3 cycles suffice.
+        let flat = Machine::ev6_unclustered();
+        let cands_flat = enumerate(&matched, &flat, &gma.inputs(), None).unwrap();
+        assert_eq!(solve_at(&matched, &cands_flat, &flat, 3), SolveResult::Sat);
+        // Single issue needs at least 7 instructions, so 7 cycles.
+        assert_eq!(
+            solve_at(&matched, &cands_single, &single, 6),
+            SolveResult::Unsat
+        );
+        assert_eq!(
+            solve_at(&matched, &cands_single, &single, 7),
+            SolveResult::Sat
+        );
+    }
+
+    #[test]
+    fn load_latency_is_respected() {
+        let (matched, cands) =
+            pipeline("(procdecl f ((p long*)) long (:= (res (+ (deref p) 1))))");
+        let m = Machine::ev6();
+        // ldq (3 cycles) + addq (1): 4 cycles minimum.
+        assert_eq!(solve_at(&matched, &cands, &m, 3), SolveResult::Unsat);
+        assert_eq!(solve_at(&matched, &cands, &m, 4), SolveResult::Sat);
+    }
+
+    #[test]
+    fn guard_orders_stores() {
+        // A guarded store cannot launch before the guard is computed.
+        let (matched, cands) = pipeline(
+            "(procdecl f ((p long*) (q long*) (x long)) long
+               (do (-> (<u p q) (:= ((deref p) x)))))",
+        );
+        let m = Machine::ev6();
+        // Guard (1 cycle) then store: 2 cycles minimum.
+        assert_eq!(solve_at(&matched, &cands, &m, 1), SolveResult::Unsat);
+        assert_eq!(solve_at(&matched, &cands, &m, 2), SolveResult::Sat);
+    }
+
+    #[test]
+    fn encoding_sizes_grow_with_k() {
+        let (matched, cands) =
+            pipeline("(procdecl f ((a long)) long (:= (res (+ (* a 4) 1))))");
+        let m = Machine::ev6();
+        let e4 = encode(&matched, &cands, &m, 4, &EncodeOptions::default());
+        let e8 = encode(&matched, &cands, &m, 8, &EncodeOptions::default());
+        assert!(e8.num_vars() > e4.num_vars());
+        assert!(e8.num_clauses() > e4.num_clauses());
+    }
+
+    #[test]
+    fn identity_goal_needs_no_instructions() {
+        let (matched, cands) = pipeline("(procdecl f ((a long)) long (:= (res a)))");
+        let m = Machine::ev6();
+        // K = 1 trivially SAT (no launches needed at all).
+        assert_eq!(solve_at(&matched, &cands, &m, 1), SolveResult::Sat);
+    }
+}

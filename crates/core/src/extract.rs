@@ -1,0 +1,257 @@
+//! Model decoding: a satisfying assignment → an assembly [`Program`].
+//!
+//! "The L's that are assigned true by the solver determine which machine
+//! operations are launched at each cycle, from which the required
+//! machine program can be read off." (§6). Decoding garbage-collects
+//! launches the model asserted but nothing needs, assigns virtual
+//! destination registers (the prototype "ignores register allocation"),
+//! and re-validates the result against the machine description.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use denali_arch::{validate, Instr, Machine, Operand, Program, Reg, Unit};
+use denali_egraph::ClassId;
+use denali_lang::Gma;
+use denali_term::Symbol;
+
+use crate::encode::{Encoding, LaunchCoord};
+use crate::machine_terms::{ArgSpec, CandidateKind, Candidates};
+use crate::matcher::Matched;
+
+/// Decoding failure (indicates an encoder bug; the SAT model should
+/// always decode).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExtractError {
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+fn err(message: impl Into<String>) -> ExtractError {
+    ExtractError {
+        message: message.into(),
+    }
+}
+
+/// Decodes a model into a validated program.
+///
+/// # Errors
+///
+/// Fails if the model cannot be decoded into a legal schedule (an
+/// internal invariant violation) or the decoded program fails
+/// validation.
+pub fn extract(
+    gma: &Gma,
+    matched: &Matched,
+    candidates: &Candidates,
+    machine: &Machine,
+    encoding: &Encoding,
+    model: &[bool],
+) -> Result<Program, ExtractError> {
+    let eg = &matched.egraph;
+    let k = encoding.k;
+    let clusters = machine.num_clusters();
+    let cluster_of = |u: Unit| if clusters == 1 { 0 } else { u.cluster() };
+    let delay = machine.cluster_delay();
+
+    let true_launches = encoding.true_launches(model);
+
+    // Input registers.
+    let mut next_reg = 0u32;
+    let mut inputs: Vec<(Symbol, Reg)> = Vec::new();
+    let mut input_reg_of_class: HashMap<ClassId, Reg> = HashMap::new();
+    for (&class, &name) in &candidates.inputs {
+        let reg = Reg(next_reg);
+        next_reg += 1;
+        inputs.push((name, reg));
+        input_reg_of_class.insert(class, reg);
+    }
+    inputs.sort_by_key(|&(n, _)| n);
+
+    // Launch selection: for a requirement (class, usable at `cycle` on
+    // `cluster`), pick the earliest true launch that satisfies it.
+    let usable_at = |launch: &LaunchCoord, cluster: usize| -> u32 {
+        let cand = &candidates.list[launch.candidate];
+        let own = cluster_of(launch.unit);
+        let cross = if own == cluster { 0 } else { delay };
+        launch.cycle + cand.latency + cross
+    };
+    let find_launch = |class: ClassId, by_cycle: u32, cluster: usize| -> Option<LaunchCoord> {
+        let class = eg.find(class);
+        let producers = candidates.by_class.get(&class)?;
+        true_launches
+            .iter()
+            .filter(|l| producers.contains(&l.candidate))
+            .filter(|l| usable_at(l, cluster) <= by_cycle)
+            .min_by_key(|l| l.cycle)
+            .copied()
+    };
+
+    // Needed launches, keyed by coordinates; worklist over dependencies.
+    let mut needed: Vec<LaunchCoord> = Vec::new();
+    let enqueue = |l: LaunchCoord, needed: &mut Vec<LaunchCoord>| {
+        if !needed.contains(&l) {
+            needed.push(l);
+        }
+    };
+
+    // Goals: guard + register targets.
+    let mut goal_launch: HashMap<ClassId, LaunchCoord> = HashMap::new();
+    for &goal in &candidates.goal_classes {
+        if candidates.is_available(goal) {
+            continue; // satisfied by an input register
+        }
+        // Any cluster by end of cycle k-1; i.e. usable by cycle k.
+        let launch = (0..clusters)
+            .filter_map(|c| find_launch(goal, k, c))
+            .min_by_key(|l| l.cycle)
+            .ok_or_else(|| err(format!("no launch computes goal class {goal}")))?;
+        goal_launch.insert(goal, launch);
+        enqueue(launch, &mut needed);
+    }
+    // Stores are all needed.
+    for level in &candidates.store_levels {
+        let launch = true_launches
+            .iter()
+            .find(|l| level.contains(&l.candidate))
+            .copied()
+            .ok_or_else(|| err("store level has no launch in the model"))?;
+        enqueue(launch, &mut needed);
+    }
+
+    // Resolve dependencies transitively, remembering which launch feeds
+    // each (consumer, argument) pair.
+    let mut chosen_source: HashMap<(LaunchCoord, usize), LaunchCoord> = HashMap::new();
+    let mut cursor = 0;
+    while cursor < needed.len() {
+        let launch = needed[cursor];
+        cursor += 1;
+        let cand = &candidates.list[launch.candidate];
+        let cluster = cluster_of(launch.unit);
+        for (arg_idx, spec) in cand.args.iter().enumerate() {
+            let ArgSpec::Class(dep) = spec else { continue };
+            let dep = eg.find(*dep);
+            if input_reg_of_class.contains_key(&dep) && candidates.is_available(dep) {
+                continue;
+            }
+            let source = find_launch(dep, launch.cycle, cluster).ok_or_else(|| {
+                err(format!(
+                    "no launch provides class {dep} for {} at cycle {}",
+                    cand.op, launch.cycle
+                ))
+            })?;
+            chosen_source.insert((launch, arg_idx), source);
+            if !needed.contains(&source) {
+                needed.push(source);
+            }
+        }
+    }
+
+    // Destination registers per needed launch.
+    let mut dest_reg: HashMap<LaunchCoord, Reg> = HashMap::new();
+    let mut ordered = needed.clone();
+    ordered.sort_by_key(|l| (l.cycle, l.unit, l.candidate));
+    for &launch in &ordered {
+        let cand = &candidates.list[launch.candidate];
+        if matches!(cand.kind, CandidateKind::Store { .. }) {
+            continue;
+        }
+        dest_reg.insert(launch, Reg(next_reg));
+        next_reg += 1;
+    }
+
+    // Emit instructions.
+    let mut instrs = Vec::new();
+    for &launch in &ordered {
+        let cand = &candidates.list[launch.candidate];
+        let reg_of = |arg_idx: usize, class: ClassId| -> Result<Reg, ExtractError> {
+            let class = eg.find(class);
+            if let Some(source) = chosen_source.get(&(launch, arg_idx)) {
+                return Ok(dest_reg[source]);
+            }
+            input_reg_of_class
+                .get(&class)
+                .copied()
+                .ok_or_else(|| err(format!("no register holds class {class}")))
+        };
+        let (operands, dest) = match &cand.kind {
+            CandidateKind::LoadImm(value) => {
+                (vec![Operand::Imm(*value)], Some(dest_reg[&launch]))
+            }
+            CandidateKind::Load { base, disp, .. } => (
+                vec![Operand::Reg(reg_of(0, *base)?), Operand::Imm(*disp)],
+                Some(dest_reg[&launch]),
+            ),
+            CandidateKind::Store {
+                value, base, disp, ..
+            } => (
+                vec![
+                    Operand::Reg(reg_of(0, *value)?),
+                    Operand::Reg(reg_of(1, *base)?),
+                    Operand::Imm(*disp),
+                ],
+                None,
+            ),
+            CandidateKind::Alu => {
+                let mut operands = Vec::with_capacity(cand.args.len());
+                for (i, spec) in cand.args.iter().enumerate() {
+                    operands.push(match spec {
+                        ArgSpec::Literal(v) => Operand::Imm(*v),
+                        ArgSpec::Class(c) => Operand::Reg(reg_of(i, *c)?),
+                    });
+                }
+                (operands, Some(dest_reg[&launch]))
+            }
+        };
+        instrs.push(Instr {
+            op: cand.op,
+            operands,
+            dest,
+            cycle: launch.cycle,
+            unit: launch.unit,
+            comment: format!("class {}", eg.find(cand.class)),
+        });
+    }
+
+    // Outputs: GMA targets (and the guard) → registers.
+    let mut outputs: Vec<(Symbol, Reg)> = Vec::new();
+    let reg_for_goal = |class: ClassId| -> Result<Reg, ExtractError> {
+        let class = eg.find(class);
+        if let Some(launch) = goal_launch.get(&class) {
+            return Ok(dest_reg[launch]);
+        }
+        input_reg_of_class
+            .get(&class)
+            .copied()
+            .ok_or_else(|| err(format!("goal class {class} has no register")))
+    };
+    if let Some(guard) = matched.guard {
+        outputs.push((Symbol::intern("guard"), reg_for_goal(guard)?));
+    }
+    for ((name, _), &class) in gma.assigns.iter().zip(&matched.assigns) {
+        outputs.push((*name, reg_for_goal(class)?));
+    }
+
+    let program = Program {
+        instrs,
+        inputs,
+        outputs,
+        name: gma.name.clone(),
+        reg_reuse: false,
+    };
+    validate(&program, machine).map_err(|e| {
+        err(format!(
+            "decoded program failed validation (encoder bug):\n{e}\n{}",
+            program.listing(machine.issue_width())
+        ))
+    })?;
+    Ok(program)
+}

@@ -1,0 +1,287 @@
+//! The end-to-end Denali pipeline.
+
+use std::fmt;
+use std::time::Instant;
+
+use denali_arch::Machine;
+use denali_axioms::{Axiom, SaturationLimits, SaturationReport};
+use denali_lang::{lower_proc, parse_program, Gma, SourceProgram};
+
+use crate::encode::EncodeOptions;
+use crate::matcher::match_gma;
+use crate::search::{search, ProbeStats, SearchOutcome};
+
+pub use crate::search::SolverChoice;
+
+/// Pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Target machine description.
+    pub machine: Machine,
+    /// Matcher budgets.
+    pub saturation: SaturationLimits,
+    /// Encoding behaviors (§7).
+    pub encode: EncodeOptions,
+    /// SAT engine.
+    pub solver: SolverChoice,
+    /// Give up if no schedule exists within this many cycles.
+    pub max_cycles: u32,
+    /// Extra axioms applied to every GMA (beyond the built-ins and the
+    /// program's own axioms).
+    pub extra_axioms: Vec<Axiom>,
+    /// Override the default load latency (the paper's memory-latency
+    /// annotations from profiling).
+    pub load_latency: Option<u32>,
+    /// Latency charged to loads annotated `\derefm` (likely cache
+    /// misses).
+    pub miss_latency: u32,
+    /// If set, every SAT probe's CNF is written to this directory in
+    /// DIMACS format (`<gma>_k<K>.cnf`), for comparison with external
+    /// solvers.
+    pub dump_dimacs: Option<std::path::PathBuf>,
+    /// Automatically software-pipeline loop loads (the Figure 6 hand
+    /// transformation, mechanized; the paper's unimplemented design).
+    pub pipeline_loads: bool,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            machine: Machine::ev6(),
+            saturation: SaturationLimits::default(),
+            encode: EncodeOptions::default(),
+            solver: SolverChoice::Cdcl,
+            max_cycles: 48,
+            extra_axioms: Vec::new(),
+            load_latency: None,
+            miss_latency: 20,
+            dump_dimacs: None,
+            pipeline_loads: false,
+        }
+    }
+}
+
+/// Code generation for one GMA, with full diagnostics.
+#[derive(Clone, Debug)]
+pub struct CompiledGma {
+    /// The GMA that was compiled.
+    pub gma: Gma,
+    /// The generated (validated) program.
+    pub program: denali_arch::Program,
+    /// Optimal cycle count found.
+    pub cycles: u32,
+    /// True if `cycles - 1` was refuted.
+    pub refuted_below: bool,
+    /// Matching-phase report.
+    pub matcher: SaturationReport,
+    /// Every SAT probe (budget, size, outcome, time).
+    pub probes: Vec<ProbeStats>,
+    /// Wall-clock milliseconds in the matching phase.
+    pub match_ms: f64,
+    /// Total wall-clock milliseconds in encoding + solving.
+    pub search_ms: f64,
+}
+
+impl CompiledGma {
+    /// Total milliseconds spent inside the SAT solver.
+    pub fn solver_ms(&self) -> f64 {
+        self.probes.iter().map(|p| p.solve_ms).sum()
+    }
+}
+
+/// Result of compiling a source file (one entry per GMA of the chosen
+/// procedure).
+#[derive(Clone, Debug)]
+pub struct CompileResult {
+    /// Compiled GMAs, in program order.
+    pub gmas: Vec<CompiledGma>,
+}
+
+impl CompileResult {
+    /// The largest compiled GMA (typically the inner loop) — a
+    /// convenience for single-kernel programs.
+    pub fn main(&self) -> &CompiledGma {
+        self.gmas
+            .iter()
+            .max_by_key(|g| g.program.len())
+            .expect("at least one GMA")
+    }
+}
+
+/// Pipeline failure.
+#[derive(Clone, Debug)]
+pub struct CompileError {
+    /// Which stage failed.
+    pub stage: &'static str,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.stage, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+fn stage_err<E: fmt::Display>(stage: &'static str) -> impl Fn(E) -> CompileError {
+    move |e| CompileError {
+        stage,
+        message: e.to_string(),
+    }
+}
+
+/// The Denali superoptimizer façade.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Clone, Debug, Default)]
+pub struct Denali {
+    options: Options,
+}
+
+impl Denali {
+    /// Creates a pipeline with the given options.
+    pub fn new(options: Options) -> Denali {
+        Denali { options }
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &Options {
+        &self.options
+    }
+
+    /// Compiles the first procedure of `source`.
+    ///
+    /// # Errors
+    ///
+    /// Reports the failing stage: parsing, axiom parsing, lowering,
+    /// matching, enumeration, or search.
+    pub fn compile_source(&self, source: &str) -> Result<CompileResult, CompileError> {
+        let program = parse_program(source).map_err(stage_err("parse"))?;
+        let first = program
+            .procs
+            .first()
+            .ok_or_else(|| CompileError {
+                stage: "parse",
+                message: "source contains no procedures".to_owned(),
+            })?
+            .name;
+        self.compile_proc(&program, first.as_str())
+    }
+
+    /// Compiles the named procedure of an already-parsed program.
+    ///
+    /// # Errors
+    ///
+    /// As [`Denali::compile_source`].
+    pub fn compile_proc(
+        &self,
+        program: &SourceProgram,
+        name: &str,
+    ) -> Result<CompileResult, CompileError> {
+        let proc = program.proc(name).ok_or_else(|| CompileError {
+            stage: "parse",
+            message: format!("no procedure named {name}"),
+        })?;
+        let mut axioms = denali_axioms::axioms_for(self.options.machine.name());
+        axioms.extend(self.options.extra_axioms.iter().cloned());
+        for (i, form) in program.axiom_forms.iter().enumerate() {
+            axioms.push(
+                Axiom::parse_sexpr(form, &format!("{name}-axiom-{i}"))
+                    .map_err(stage_err("axiom"))?,
+            );
+        }
+        let mut gmas = lower_proc(proc).map_err(stage_err("lower"))?;
+        if self.options.pipeline_loads {
+            // Transform every loop body, pairing it with the preceding
+            // unguarded GMA (its prologue) when present.
+            for i in 0..gmas.len() {
+                if gmas[i].guard.is_none() {
+                    continue;
+                }
+                let prologue_idx =
+                    (i > 0 && gmas[i - 1].guard.is_none()).then(|| i - 1);
+                let prologue = prologue_idx.map(|j| gmas[j].clone());
+                if let Some((new_prologue, new_body)) =
+                    denali_lang::pipeline_loads(prologue.as_ref(), &gmas[i])
+                {
+                    gmas[i] = new_body;
+                    match prologue_idx {
+                        Some(j) => gmas[j] = new_prologue,
+                        None => gmas.insert(i, new_prologue),
+                    }
+                }
+            }
+        }
+        if gmas.is_empty() {
+            return Err(CompileError {
+                stage: "lower",
+                message: format!("procedure {name} has no effect (no GMAs)"),
+            });
+        }
+        let compiled = gmas
+            .into_iter()
+            .map(|gma| self.compile_gma(gma, &axioms))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CompileResult { gmas: compiled })
+    }
+
+    /// Runs the crucial inner subroutine (Figure 1) on a single GMA.
+    ///
+    /// # Errors
+    ///
+    /// As [`Denali::compile_source`].
+    pub fn compile_gma(
+        &self,
+        gma: Gma,
+        axioms: &[Axiom],
+    ) -> Result<CompiledGma, CompileError> {
+        let match_start = Instant::now();
+        let matched =
+            match_gma(&gma, axioms, &self.options.saturation).map_err(stage_err("match"))?;
+        let match_ms = match_start.elapsed().as_secs_f64() * 1e3;
+
+        let inputs = gma.inputs();
+        let candidates = crate::machine_terms::enumerate_with_misses(
+            &matched,
+            &self.options.machine,
+            &inputs,
+            self.options.load_latency,
+            &gma.miss_addrs,
+            self.options.miss_latency,
+        )
+        .map_err(stage_err("enumerate"))?;
+
+        let search_start = Instant::now();
+        let dump = self.options.dump_dimacs.as_ref().map(|dir| {
+            crate::search::DimacsDump {
+                directory: dir.clone(),
+                label: gma.name.clone(),
+            }
+        });
+        let outcome: SearchOutcome = search(
+            &gma,
+            &matched,
+            &candidates,
+            &self.options.machine,
+            &self.options.encode,
+            self.options.solver,
+            self.options.max_cycles,
+            dump,
+        )
+        .map_err(stage_err("search"))?;
+        let search_ms = search_start.elapsed().as_secs_f64() * 1e3;
+
+        Ok(CompiledGma {
+            gma,
+            program: outcome.program,
+            cycles: outcome.cycles,
+            refuted_below: outcome.refuted_below,
+            matcher: matched.report,
+            probes: outcome.probes,
+            match_ms,
+            search_ms,
+        })
+    }
+}

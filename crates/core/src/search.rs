@@ -1,0 +1,229 @@
+//! The cycle-budget search.
+//!
+//! §1.3: "Continuing with binary search, we eventually find, for some K,
+//! a K-cycle program that computes P, together with a proof that K−1
+//! cycles are insufficient: that is, an optimal program". We probe
+//! geometrically upward from a structural lower bound until the first
+//! satisfiable budget, then binary-search the gap, recording the size
+//! and outcome of every SAT problem (the paper reports these sizes for
+//! byteswap4 in §8).
+
+use std::fmt;
+use std::time::Instant;
+
+use denali_arch::{Machine, Program};
+use denali_lang::Gma;
+use denali_sat::{dpll, SolveResult};
+
+use crate::encode::{encode, EncodeOptions};
+use crate::extract::extract;
+use crate::machine_terms::Candidates;
+use crate::matcher::Matched;
+
+/// Which SAT engine answers the probes (the paper's point that the
+/// solver is swappable: CHAFF vs its predecessors).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SolverChoice {
+    /// The CDCL solver (CHAFF's stand-in).
+    #[default]
+    Cdcl,
+    /// The naive DPLL solver (the "previous solver").
+    Dpll,
+}
+
+/// One SAT probe of the search.
+#[derive(Clone, Copy, Debug)]
+pub struct ProbeStats {
+    /// Cycle budget tested.
+    pub k: u32,
+    /// SAT variables in the encoding.
+    pub vars: usize,
+    /// CNF clauses in the encoding.
+    pub clauses: usize,
+    /// Whether a schedule exists within `k` cycles.
+    pub satisfiable: bool,
+    /// Wall-clock milliseconds in the solver.
+    pub solve_ms: f64,
+    /// Wall-clock milliseconds generating the constraints.
+    pub encode_ms: f64,
+}
+
+impl fmt::Display for ProbeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "K={}: {} vars, {} clauses, {} ({:.1} ms solve)",
+            self.k,
+            self.vars,
+            self.clauses,
+            if self.satisfiable { "SAT" } else { "UNSAT" },
+            self.solve_ms
+        )
+    }
+}
+
+/// The search result: the optimal program found plus the probe log.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// The decoded program at the smallest satisfiable budget.
+    pub program: Program,
+    /// The optimal cycle count.
+    pub cycles: u32,
+    /// True if `cycles - 1` was refuted (the optimality certificate).
+    pub refuted_below: bool,
+    /// Every probe performed, in order.
+    pub probes: Vec<ProbeStats>,
+}
+
+/// Search failure.
+#[derive(Clone, Debug)]
+pub struct SearchError {
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+/// Where to dump each probe's CNF in DIMACS format.
+#[derive(Clone, Debug)]
+pub struct DimacsDump {
+    /// Target directory (created if missing).
+    pub directory: std::path::PathBuf,
+    /// File-name prefix (the GMA name).
+    pub label: String,
+}
+
+/// Finds the smallest cycle budget with a legal schedule and decodes it.
+///
+/// # Errors
+///
+/// Fails if no schedule exists within `max_cycles`, or on a decoding
+/// error (which indicates an internal bug).
+#[allow(clippy::too_many_arguments)]
+pub fn search(
+    gma: &Gma,
+    matched: &Matched,
+    candidates: &Candidates,
+    machine: &Machine,
+    options: &EncodeOptions,
+    solver: SolverChoice,
+    max_cycles: u32,
+    dump: Option<DimacsDump>,
+) -> Result<SearchOutcome, SearchError> {
+    let mut probes = Vec::new();
+    let probe = |k: u32, probes: &mut Vec<ProbeStats>| -> (bool, Option<Vec<bool>>) {
+        let encode_start = Instant::now();
+        let encoding = encode(matched, candidates, machine, k, options);
+        let encode_ms = encode_start.elapsed().as_secs_f64() * 1e3;
+        if let Some(dump) = &dump {
+            let _ = std::fs::create_dir_all(&dump.directory);
+            let path = dump
+                .directory
+                .join(format!("{}_k{k}.cnf", dump.label));
+            let _ = std::fs::write(path, encoding.cnf.to_dimacs());
+        }
+        let solve_start = Instant::now();
+        let (satisfiable, model) = match solver {
+            SolverChoice::Cdcl => {
+                let mut s = encoding.cnf.to_solver();
+                match s.solve() {
+                    SolveResult::Sat => (true, Some(s.model().expect("sat model").to_vec())),
+                    SolveResult::Unsat => (false, None),
+                }
+            }
+            SolverChoice::Dpll => match dpll::solve(encoding.cnf.num_vars, &encoding.cnf.clauses)
+            {
+                dpll::DpllResult::Sat(m) => (true, Some(m)),
+                dpll::DpllResult::Unsat => (false, None),
+            },
+        };
+        let solve_ms = solve_start.elapsed().as_secs_f64() * 1e3;
+        probes.push(ProbeStats {
+            k,
+            vars: encoding.num_vars(),
+            clauses: encoding.num_clauses(),
+            satisfiable,
+            solve_ms,
+            encode_ms,
+        });
+        (satisfiable, model)
+    };
+
+    // A trivial case first: no launches needed at all (identity GMA).
+    if candidates
+        .goal_classes
+        .iter()
+        .all(|&g| candidates.is_available(g))
+        && candidates.store_levels.is_empty()
+    {
+        let encoding = encode(matched, candidates, machine, 1, options);
+        let program = extract(gma, matched, candidates, machine, &encoding, &vec![
+            false;
+            encoding.num_vars()
+        ])
+        .map_err(|e| SearchError {
+            message: e.to_string(),
+        })?;
+        return Ok(SearchOutcome {
+            program,
+            cycles: 0,
+            refuted_below: true,
+            probes,
+        });
+    }
+
+    // Geometric ascent to the first satisfiable budget.
+    let mut k = 1u32;
+    let first_sat: (u32, Vec<bool>);
+    let mut max_unsat = 0u32;
+    loop {
+        if k > max_cycles {
+            return Err(SearchError {
+                message: format!("no schedule within {max_cycles} cycles"),
+            });
+        }
+        let (sat, model) = probe(k, &mut probes);
+        if sat {
+            first_sat = (k, model.expect("model"));
+            break;
+        }
+        max_unsat = k;
+        k = (k * 2).min(max_cycles.max(1));
+        if k == max_unsat {
+            return Err(SearchError {
+                message: format!("no schedule within {max_cycles} cycles"),
+            });
+        }
+    }
+    let (mut best_k, mut best_model) = first_sat;
+
+    // Binary search in (max_unsat, best_k).
+    while best_k - max_unsat > 1 {
+        let mid = max_unsat + (best_k - max_unsat) / 2;
+        let (sat, model) = probe(mid, &mut probes);
+        if sat {
+            best_k = mid;
+            best_model = model.expect("model");
+        } else {
+            max_unsat = mid;
+        }
+    }
+
+    let encoding = encode(matched, candidates, machine, best_k, options);
+    let program = extract(gma, matched, candidates, machine, &encoding, &best_model)
+        .map_err(|e| SearchError {
+            message: e.to_string(),
+        })?;
+    Ok(SearchOutcome {
+        program,
+        cycles: best_k,
+        refuted_below: max_unsat + 1 == best_k,
+        probes,
+    })
+}

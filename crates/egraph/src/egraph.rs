@@ -1,0 +1,926 @@
+//! Core E-graph data structure: hashcons, union-find, congruence
+//! closure, analyses, distinctions, and clauses.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use denali_term::{ops, Op, Symbol, Term};
+
+/// Identifier of an equivalence class.
+///
+/// Class ids are stable names for e-nodes' classes; after unions several
+/// ids may denote the same class. Use [`EGraph::find`] to canonicalize.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(u32);
+
+impl ClassId {
+    /// Dense index (canonical only after [`EGraph::find`]).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// An e-node: an operator applied to equivalence classes.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ENode {
+    /// Head operator (symbol or constant; never a pattern variable).
+    pub op: Op,
+    /// Argument classes.
+    pub children: Vec<ClassId>,
+}
+
+impl ENode {
+    /// Creates an e-node.
+    pub fn new(op: Op, children: Vec<ClassId>) -> ENode {
+        ENode { op, children }
+    }
+
+    /// The head symbol, if the op is a symbol.
+    pub fn sym(&self) -> Option<Symbol> {
+        self.op.as_sym()
+    }
+}
+
+/// A literal for recorded clauses: an equality or distinction between
+/// classes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EqLiteral {
+    /// The two classes are equal.
+    Eq(ClassId, ClassId),
+    /// The two classes are distinct (uncombinable).
+    Ne(ClassId, ClassId),
+}
+
+/// Error raised when the asserted facts are contradictory (e.g. a union
+/// of classes constrained to be distinct, or two different constants in
+/// one class). In Denali this indicates an unsound axiom set.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EGraphError {
+    message: String,
+}
+
+impl EGraphError {
+    fn new(message: impl Into<String>) -> EGraphError {
+        EGraphError {
+            message: message.into(),
+        }
+    }
+
+    /// Creates an error with a caller-supplied message (used by layers
+    /// that wrap e-graph contradictions with more context).
+    pub fn from_message(message: impl Into<String>) -> EGraphError {
+        EGraphError::new(message)
+    }
+}
+
+impl fmt::Display for EGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for EGraphError {}
+
+#[derive(Clone, Default, Debug)]
+struct EClass {
+    nodes: Vec<ENode>,
+    /// Parent e-nodes (as inserted, possibly stale) and the class each
+    /// parent node belongs to.
+    parents: Vec<(ENode, ClassId)>,
+    /// Known constant value of every term in this class.
+    constant: Option<u64>,
+}
+
+/// The E-graph. See the [crate docs](crate) for an overview and example.
+#[derive(Clone, Default, Debug)]
+pub struct EGraph {
+    uf: Vec<u32>,
+    classes: HashMap<ClassId, EClass>,
+    memo: HashMap<ENode, ClassId>,
+    /// Canonical ids of constant classes, for eager folding.
+    constants: HashMap<u64, ClassId>,
+    /// Classes whose parents need congruence repair.
+    dirty: Vec<ClassId>,
+    /// Canonicalized (smaller, larger) root pairs that must never merge.
+    uncombinable: HashSet<(ClassId, ClassId)>,
+    /// Recorded clauses awaiting literal deletion / unit assertion.
+    clauses: Vec<Vec<EqLiteral>>,
+    /// Total number of e-node insertions (distinct canonical nodes).
+    node_count: usize,
+    /// Operator index: symbol → classes that (at insertion time) held a
+    /// node with that head. Entries may be stale; readers canonicalize.
+    op_index: HashMap<Symbol, Vec<ClassId>>,
+}
+
+impl EGraph {
+    /// Creates an empty e-graph.
+    pub fn new() -> EGraph {
+        EGraph::default()
+    }
+
+    /// Number of (canonical) e-nodes ever added.
+    pub fn num_nodes(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of live equivalence classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Canonical representative of `id`'s class.
+    pub fn find(&self, id: ClassId) -> ClassId {
+        let mut i = id.0;
+        while self.uf[i as usize] != i {
+            i = self.uf[i as usize];
+        }
+        ClassId(i)
+    }
+
+    fn find_compress(&mut self, id: ClassId) -> ClassId {
+        let root = self.find(id);
+        let mut i = id.0;
+        while self.uf[i as usize] != root.0 {
+            let next = self.uf[i as usize];
+            self.uf[i as usize] = root.0;
+            i = next;
+        }
+        root
+    }
+
+    fn canonicalize(&self, node: &ENode) -> ENode {
+        ENode {
+            op: node.op,
+            children: node.children.iter().map(|&c| self.find(c)).collect(),
+        }
+    }
+
+    /// Adds an e-node (children given as classes), returning its class.
+    ///
+    /// Congruent nodes are hash-consed to the same class. Constant
+    /// folding is eager: a node whose children all have known constant
+    /// values is unified with the literal constant's class.
+    pub fn add_node(&mut self, op: Op, children: Vec<ClassId>) -> ClassId {
+        let node = self.canonicalize(&ENode::new(op, children));
+        if let Some(&existing) = self.memo.get(&node) {
+            return self.find(existing);
+        }
+        let id = ClassId(u32::try_from(self.uf.len()).expect("class id overflow"));
+        self.uf.push(id.0);
+        let constant = self.node_constant(&node);
+        for &child in &node.children {
+            self.classes
+                .get_mut(&child)
+                .expect("canonical child class")
+                .parents
+                .push((node.clone(), id));
+        }
+        self.classes.insert(
+            id,
+            EClass {
+                nodes: vec![node.clone()],
+                parents: Vec::new(),
+                constant,
+            },
+        );
+        if let Op::Sym(sym) = op {
+            self.op_index.entry(sym).or_default().push(id);
+        }
+        self.memo.insert(node, id);
+        self.node_count += 1;
+        // Register / fold constants.
+        if let Some(value) = constant {
+            match self.constants.get(&value) {
+                None => {
+                    self.constants.insert(value, id);
+                    // Make sure the literal constant node itself exists so
+                    // the class always contains `Const(value)`.
+                    if op != Op::Const(value) {
+                        let lit = self.add_node(Op::Const(value), Vec::new());
+                        self.union(lit, id).expect("fresh constant cannot conflict");
+                    }
+                }
+                Some(&existing) => {
+                    let existing = self.find(existing);
+                    self.union(existing, id)
+                        .expect("equal constants cannot conflict");
+                }
+            }
+        }
+        self.find(id)
+    }
+
+    fn node_constant(&self, node: &ENode) -> Option<u64> {
+        match node.op {
+            Op::Const(c) => Some(c),
+            Op::Var(_) => None,
+            Op::Sym(sym) => {
+                if node.children.is_empty() {
+                    return None;
+                }
+                let args: Option<Vec<u64>> = node
+                    .children
+                    .iter()
+                    .map(|&c| self.classes.get(&c).and_then(|cl| cl.constant))
+                    .collect();
+                ops::eval(sym, &args?)
+            }
+        }
+    }
+
+    /// Adds a ground term, returning its class.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the term contains pattern variables.
+    pub fn add_term(&mut self, term: &Term) -> Result<ClassId, EGraphError> {
+        match term.op() {
+            Op::Var(v) => Err(EGraphError::new(format!(
+                "cannot add pattern variable ?{v} to the e-graph"
+            ))),
+            op => {
+                let children = term
+                    .args()
+                    .iter()
+                    .map(|a| self.add_term(a))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(self.add_node(op, children))
+            }
+        }
+    }
+
+    /// Instantiates a pattern term: variables are looked up in `subst`
+    /// (mapping variable symbols to classes) and the rest is added.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a pattern variable is missing from `subst`.
+    pub fn add_instantiation(
+        &mut self,
+        pattern: &Term,
+        subst: &HashMap<Symbol, ClassId>,
+    ) -> Result<ClassId, EGraphError> {
+        match pattern.op() {
+            Op::Var(v) => subst
+                .get(&v)
+                .map(|&c| self.find(c))
+                .ok_or_else(|| EGraphError::new(format!("unbound pattern variable ?{v}"))),
+            op => {
+                let children = pattern
+                    .args()
+                    .iter()
+                    .map(|a| self.add_instantiation(a, subst))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(self.add_node(op, children))
+            }
+        }
+    }
+
+    /// Looks up the class of a ground term without inserting anything.
+    pub fn lookup_term(&self, term: &Term) -> Option<ClassId> {
+        let children = term
+            .args()
+            .iter()
+            .map(|a| self.lookup_term(a))
+            .collect::<Option<Vec<_>>>()?;
+        let node = self.canonicalize(&ENode::new(term.op(), children));
+        self.memo.get(&node).map(|&c| self.find(c))
+    }
+
+    /// Merges two classes.
+    ///
+    /// Returns the surviving root. Congruence repair is deferred to
+    /// [`EGraph::rebuild`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the classes are constrained to be distinct or carry
+    /// different constant values (contradiction — an unsound axiom).
+    pub fn union(&mut self, a: ClassId, b: ClassId) -> Result<ClassId, EGraphError> {
+        let a = self.find_compress(a);
+        let b = self.find_compress(b);
+        if a == b {
+            return Ok(a);
+        }
+        if self.uncombinable.contains(&ordered(a, b)) {
+            return Err(EGraphError::new(format!(
+                "contradiction: classes {a} and {b} are constrained to be distinct"
+            )));
+        }
+        // Union by size (number of nodes).
+        let (root, other) = if self.classes[&a].nodes.len() >= self.classes[&b].nodes.len() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let merged = self.classes.remove(&other).expect("live class");
+        self.uf[other.0 as usize] = root.0;
+        let root_class = self.classes.get_mut(&root).expect("live class");
+        root_class.nodes.extend(merged.nodes);
+        root_class.parents.extend(merged.parents);
+        let root_const = root_class.constant;
+        let new_const = match (root_const, merged.constant) {
+            (Some(x), Some(y)) if x != y => {
+                return Err(EGraphError::new(format!(
+                    "contradiction: class holds two constants {x} and {y}"
+                )));
+            }
+            (x, y) => x.or(y),
+        };
+        self.classes.get_mut(&root).expect("live class").constant = new_const;
+        if let Some(v) = new_const {
+            self.constants.entry(v).or_insert(root);
+        }
+        // Re-point uncombinable pairs involving `other` at `root`.
+        let stale: Vec<(ClassId, ClassId)> = self
+            .uncombinable
+            .iter()
+            .filter(|&&(x, y)| x == other || y == other)
+            .copied()
+            .collect();
+        for pair in stale {
+            self.uncombinable.remove(&pair);
+            let (x, y) = pair;
+            let x = if x == other { root } else { x };
+            let y = if y == other { root } else { y };
+            self.uncombinable.insert(ordered(x, y));
+        }
+        self.dirty.push(root);
+        Ok(root)
+    }
+
+    /// Constrains two classes to be forever distinct (a paper
+    /// "distinction", `T ≠ U`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the classes are already equal.
+    pub fn assert_distinct(&mut self, a: ClassId, b: ClassId) -> Result<(), EGraphError> {
+        let a = self.find(a);
+        let b = self.find(b);
+        if a == b {
+            return Err(EGraphError::new(format!(
+                "contradiction: distinction asserted within one class {a}"
+            )));
+        }
+        self.uncombinable.insert(ordered(a, b));
+        Ok(())
+    }
+
+    /// Records a clause (disjunction of literals). Untenable literals are
+    /// deleted during [`EGraph::rebuild`]; a surviving unit literal is
+    /// asserted (§5 of the paper).
+    pub fn add_clause(&mut self, literals: Vec<EqLiteral>) {
+        self.clauses.push(literals);
+    }
+
+    /// The known constant value of a class, if any.
+    pub fn constant(&self, id: ClassId) -> Option<u64> {
+        self.classes.get(&self.find(id)).and_then(|c| c.constant)
+    }
+
+    /// The canonical class of the literal constant `value`, if present.
+    pub fn constant_class(&self, value: u64) -> Option<ClassId> {
+        self.constants.get(&value).map(|&c| self.find(c))
+    }
+
+    /// True if the two classes are provably different values: distinct
+    /// constants, an asserted distinction, or a shared base pointer with
+    /// different constant offsets (the analysis behind the paper's
+    /// `p ≠ p + 8` step).
+    pub fn provably_distinct(&self, a: ClassId, b: ClassId) -> bool {
+        let a = self.find(a);
+        let b = self.find(b);
+        if a == b {
+            return false;
+        }
+        if let (Some(x), Some(y)) = (self.constant(a), self.constant(b)) {
+            return x != y;
+        }
+        if self.uncombinable.contains(&ordered(a, b)) {
+            return true;
+        }
+        // Base+offset analysis.
+        for (base_a, off_a) in self.base_offsets(a) {
+            for (base_b, off_b) in self.base_offsets(b) {
+                if base_a == base_b && off_a != off_b {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// All `(base_class, offset)` decompositions of a class: the class
+    /// itself at offset 0, plus every `add64/addq/sub64/subq(base, const)`
+    /// node in it. Used by the code generator to fold address arithmetic
+    /// into load/store displacement fields.
+    pub fn address_decompositions(&self, id: ClassId) -> Vec<(ClassId, u64)> {
+        self.base_offsets(id)
+    }
+
+    fn base_offsets(&self, id: ClassId) -> Vec<(ClassId, u64)> {
+        let id = self.find(id);
+        let mut out = vec![(id, 0u64)];
+        let Some(class) = self.classes.get(&id) else {
+            return out;
+        };
+        for node in &class.nodes {
+            let Some(sym) = node.sym() else { continue };
+            let name = sym.as_str();
+            let negate = match name {
+                "add64" | "addq" => false,
+                "sub64" | "subq" => true,
+                _ => continue,
+            };
+            if node.children.len() != 2 {
+                continue;
+            }
+            let lhs = self.find(node.children[0]);
+            let rhs = self.find(node.children[1]);
+            if let Some(c) = self.constant(rhs) {
+                let off = if negate { c.wrapping_neg() } else { c };
+                out.push((lhs, off));
+            }
+            if !negate {
+                if let Some(c) = self.constant(lhs) {
+                    out.push((rhs, c));
+                }
+            }
+        }
+        out
+    }
+
+    /// Restores the congruence invariant, folds newly constant parents,
+    /// and processes recorded clauses, repeating until a fixpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates contradictions discovered while merging.
+    pub fn rebuild(&mut self) -> Result<(), EGraphError> {
+        loop {
+            while let Some(dirty) = self.dirty.pop() {
+                let dirty = self.find(dirty);
+                let parents = {
+                    let Some(class) = self.classes.get_mut(&dirty) else {
+                        continue;
+                    };
+                    std::mem::take(&mut class.parents)
+                };
+                let mut new_parents: HashMap<ENode, ClassId> = HashMap::new();
+                for (node, node_class) in parents {
+                    self.memo.remove(&node);
+                    let canon = self.canonicalize(&node);
+                    let node_class = self.find(node_class);
+                    if let Some(&existing) = new_parents.get(&canon) {
+                        self.union(existing, node_class)?;
+                    }
+                    let node_class = self.find(node_class);
+                    if let Some(&memo_class) = self.memo.get(&canon) {
+                        let memo_class = self.find(memo_class);
+                        if memo_class != node_class {
+                            self.union(memo_class, node_class)?;
+                        }
+                    }
+                    let node_class = self.find(node_class);
+                    self.memo.insert(canon.clone(), node_class);
+                    new_parents.insert(canon, node_class);
+                    // Constant propagation: the child's merge may have
+                    // given this parent a constant value.
+                    self.try_fold_parent(dirty, node_class)?;
+                }
+                let dirty = self.find(dirty);
+                if let Some(class) = self.classes.get_mut(&dirty) {
+                    class
+                        .parents
+                        .extend(new_parents.into_iter().map(|(n, c)| (n, c)));
+                }
+            }
+            // Canonicalize and dedupe the node lists.
+            let ids: Vec<ClassId> = self.classes.keys().copied().collect();
+            for id in ids {
+                let Some(class) = self.classes.get(&id) else {
+                    continue;
+                };
+                let canon_nodes: Vec<ENode> =
+                    class.nodes.iter().map(|n| self.canonicalize(n)).collect();
+                let mut seen = HashSet::new();
+                let deduped: Vec<ENode> = canon_nodes
+                    .into_iter()
+                    .filter(|n| seen.insert(n.clone()))
+                    .collect();
+                self.classes.get_mut(&id).expect("live class").nodes = deduped;
+            }
+            if !self.process_clauses()? && self.dirty.is_empty() {
+                return Ok(());
+            }
+        }
+    }
+
+    fn try_fold_parent(&mut self, _child: ClassId, parent_class: ClassId) -> Result<(), EGraphError> {
+        let parent_class = self.find(parent_class);
+        if self.constant(parent_class).is_some() {
+            return Ok(());
+        }
+        let nodes: Vec<ENode> = match self.classes.get(&parent_class) {
+            Some(c) => c.nodes.clone(),
+            None => return Ok(()),
+        };
+        for node in nodes {
+            if let Some(value) = self.node_constant(&self.canonicalize(&node)) {
+                // Record the constant and unify with the literal's class.
+                let parent_class = self.find(parent_class);
+                self.classes
+                    .get_mut(&parent_class)
+                    .expect("live class")
+                    .constant = Some(value);
+                let lit = self.add_node(Op::Const(value), Vec::new());
+                let lit = self.find(lit);
+                let parent_class = self.find(parent_class);
+                if lit != parent_class {
+                    self.union(lit, parent_class)?;
+                }
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    /// One pass of clause processing. Returns true if any assertion was
+    /// made (requiring another rebuild round).
+    fn process_clauses(&mut self) -> Result<bool, EGraphError> {
+        let mut changed = false;
+        let mut remaining = Vec::new();
+        let clauses = std::mem::take(&mut self.clauses);
+        for clause in clauses {
+            let mut satisfied = false;
+            let mut live = Vec::new();
+            for lit in clause {
+                match lit {
+                    EqLiteral::Eq(a, b) => {
+                        if self.find(a) == self.find(b) {
+                            satisfied = true;
+                            break;
+                        }
+                        if !self.provably_distinct(a, b) {
+                            live.push(lit); // tenable
+                        }
+                    }
+                    EqLiteral::Ne(a, b) => {
+                        if self.provably_distinct(a, b) {
+                            satisfied = true;
+                            break;
+                        }
+                        if self.find(a) != self.find(b) {
+                            live.push(lit);
+                        }
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match live.len() {
+                0 => {
+                    return Err(EGraphError::new(
+                        "contradiction: all literals of a recorded clause are untenable",
+                    ));
+                }
+                1 => {
+                    match live[0] {
+                        EqLiteral::Eq(a, b) => {
+                            self.union(a, b)?;
+                        }
+                        EqLiteral::Ne(a, b) => {
+                            self.assert_distinct(a, b)?;
+                        }
+                    }
+                    changed = true;
+                }
+                _ => remaining.push(live),
+            }
+        }
+        self.clauses.extend(remaining);
+        Ok(changed)
+    }
+
+    /// Canonical ids of the classes that contain at least one node with
+    /// head operator `sym`. This is the matcher's top-level index: a
+    /// pattern `(f ...)` can only match inside these classes.
+    pub fn classes_with_op(&self, sym: Symbol) -> Vec<ClassId> {
+        let Some(ids) = self.op_index.get(&sym) else {
+            return Vec::new();
+        };
+        let mut out: Vec<ClassId> = ids.iter().map(|&c| self.find(c)).collect();
+        out.sort();
+        out.dedup();
+        // Stale entries can point at classes that no longer hold the op
+        // (nodes are only ever merged, never removed, so a class that
+        // absorbed one keeps it; no filtering needed).
+        out
+    }
+
+    /// Canonical ids of all live classes.
+    pub fn classes(&self) -> Vec<ClassId> {
+        let mut ids: Vec<ClassId> = self.classes.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// The canonicalized, deduplicated e-nodes of a class.
+    pub fn nodes(&self, id: ClassId) -> Vec<ENode> {
+        let id = self.find(id);
+        let Some(class) = self.classes.get(&id) else {
+            return Vec::new();
+        };
+        let mut seen = HashSet::new();
+        class
+            .nodes
+            .iter()
+            .map(|n| self.canonicalize(n))
+            .filter(|n| seen.insert(n.clone()))
+            .collect()
+    }
+}
+
+fn ordered(a: ClassId, b: ClassId) -> (ClassId, ClassId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> Term {
+        let sexpr = denali_term::sexpr::parse_one(s).unwrap();
+        Term::from_sexpr(&sexpr, &[]).unwrap()
+    }
+
+    #[test]
+    fn hashconsing_shares_structure() {
+        let mut eg = EGraph::new();
+        let a = eg.add_term(&t("(add64 x y)")).unwrap();
+        let b = eg.add_term(&t("(add64 x y)")).unwrap();
+        assert_eq!(a, b);
+        // x, y, add64(x,y) = 3 classes.
+        assert_eq!(eg.num_classes(), 3);
+    }
+
+    #[test]
+    fn union_merges_and_find_canonicalizes() {
+        let mut eg = EGraph::new();
+        let x = eg.add_term(&t("x")).unwrap();
+        let y = eg.add_term(&t("y")).unwrap();
+        assert_ne!(eg.find(x), eg.find(y));
+        eg.union(x, y).unwrap();
+        eg.rebuild().unwrap();
+        assert_eq!(eg.find(x), eg.find(y));
+    }
+
+    #[test]
+    fn congruence_closure_merges_parents() {
+        // x = y implies f(x) = f(y).
+        let mut eg = EGraph::new();
+        let fx = eg.add_term(&t("(f x)")).unwrap();
+        let fy = eg.add_term(&t("(f y)")).unwrap();
+        let x = eg.lookup_term(&t("x")).unwrap();
+        let y = eg.lookup_term(&t("y")).unwrap();
+        assert_ne!(eg.find(fx), eg.find(fy));
+        eg.union(x, y).unwrap();
+        eg.rebuild().unwrap();
+        assert_eq!(eg.find(fx), eg.find(fy));
+    }
+
+    #[test]
+    fn congruence_closure_is_transitive_through_layers() {
+        // x = y implies g(f(x)) = g(f(y)).
+        let mut eg = EGraph::new();
+        let gfx = eg.add_term(&t("(g (f x))")).unwrap();
+        let gfy = eg.add_term(&t("(g (f y))")).unwrap();
+        let x = eg.lookup_term(&t("x")).unwrap();
+        let y = eg.lookup_term(&t("y")).unwrap();
+        eg.union(x, y).unwrap();
+        eg.rebuild().unwrap();
+        assert_eq!(eg.find(gfx), eg.find(gfy));
+    }
+
+    #[test]
+    fn constant_folding_is_eager() {
+        let mut eg = EGraph::new();
+        let four = eg.add_term(&Term::constant(4)).unwrap();
+        let pow = eg.add_term(&t("(pow 2 2)")).unwrap();
+        assert_eq!(eg.find(four), eg.find(pow));
+        assert_eq!(eg.constant(pow), Some(4));
+        assert_eq!(eg.constant_class(4), Some(eg.find(four)));
+    }
+
+    #[test]
+    fn folding_propagates_after_union() {
+        // n has no constant; add64(n, 1) unknown. After n = 2 the parent
+        // must fold to 3.
+        let mut eg = EGraph::new();
+        let sum = eg.add_term(&t("(add64 n 1)")).unwrap();
+        let n = eg.lookup_term(&t("n")).unwrap();
+        assert_eq!(eg.constant(sum), None);
+        let two = eg.add_term(&Term::constant(2)).unwrap();
+        eg.union(n, two).unwrap();
+        eg.rebuild().unwrap();
+        assert_eq!(eg.constant(sum), Some(3));
+        let three = eg.add_term(&Term::constant(3)).unwrap();
+        assert_eq!(eg.find(sum), eg.find(three));
+    }
+
+    #[test]
+    fn conflicting_constants_are_contradictions() {
+        let mut eg = EGraph::new();
+        let one = eg.add_term(&Term::constant(1)).unwrap();
+        let two = eg.add_term(&Term::constant(2)).unwrap();
+        assert!(eg.union(one, two).is_err());
+    }
+
+    #[test]
+    fn distinctions_block_unions() {
+        let mut eg = EGraph::new();
+        let x = eg.add_term(&t("x")).unwrap();
+        let y = eg.add_term(&t("y")).unwrap();
+        eg.assert_distinct(x, y).unwrap();
+        assert!(eg.provably_distinct(x, y));
+        assert!(eg.union(x, y).is_err());
+    }
+
+    #[test]
+    fn distinction_in_same_class_is_contradiction() {
+        let mut eg = EGraph::new();
+        let x = eg.add_term(&t("x")).unwrap();
+        let y = eg.add_term(&t("y")).unwrap();
+        eg.union(x, y).unwrap();
+        eg.rebuild().unwrap();
+        assert!(eg.assert_distinct(x, y).is_err());
+    }
+
+    #[test]
+    fn base_offset_analysis_separates_p_and_p_plus_8() {
+        let mut eg = EGraph::new();
+        let p = eg.add_term(&t("p")).unwrap();
+        let p8 = eg.add_term(&t("(add64 p 8)")).unwrap();
+        let p8b = eg.add_term(&t("(addq p 8)")).unwrap();
+        eg.rebuild().unwrap();
+        assert!(eg.provably_distinct(p, p8));
+        assert!(eg.provably_distinct(p, p8b));
+        // Two different offsets from the same base.
+        let p16 = eg.add_term(&t("(add64 p 16)")).unwrap();
+        assert!(eg.provably_distinct(p8, p16));
+        // Same offset is not distinct (they may be equal).
+        assert!(!eg.provably_distinct(p8, p8b));
+        // Unknown relationship is not distinct.
+        let q = eg.add_term(&t("q")).unwrap();
+        assert!(!eg.provably_distinct(p, q));
+    }
+
+    #[test]
+    fn clause_unit_literal_is_asserted() {
+        // The paper's select/store example: the clause
+        //   p = p+8  ∨  select(store(M,p,x), p+8) = select(M, p+8)
+        // loses its first literal to the offset analysis and asserts the
+        // second.
+        let mut eg = EGraph::new();
+        let p = eg.add_term(&t("p")).unwrap();
+        let p8 = eg.add_term(&t("(add64 p 8)")).unwrap();
+        let lhs = eg
+            .add_term(&t("(select (store M p x) (add64 p 8))"))
+            .unwrap();
+        let rhs = eg.add_term(&t("(select M (add64 p 8))")).unwrap();
+        assert_ne!(eg.find(lhs), eg.find(rhs));
+        eg.add_clause(vec![EqLiteral::Eq(p, p8), EqLiteral::Eq(lhs, rhs)]);
+        eg.rebuild().unwrap();
+        assert_eq!(eg.find(lhs), eg.find(rhs));
+    }
+
+    #[test]
+    fn clause_satisfied_by_true_literal_is_dropped() {
+        let mut eg = EGraph::new();
+        let x = eg.add_term(&t("x")).unwrap();
+        let y = eg.add_term(&t("y")).unwrap();
+        let z = eg.add_term(&t("z")).unwrap();
+        eg.union(x, y).unwrap();
+        // x = y is already true; the clause must not force y = z.
+        eg.add_clause(vec![EqLiteral::Eq(x, y), EqLiteral::Eq(y, z)]);
+        eg.rebuild().unwrap();
+        assert_ne!(eg.find(y), eg.find(z));
+    }
+
+    #[test]
+    fn clause_with_all_untenable_literals_is_a_contradiction() {
+        let mut eg = EGraph::new();
+        let one = eg.add_term(&Term::constant(1)).unwrap();
+        let two = eg.add_term(&Term::constant(2)).unwrap();
+        let three = eg.add_term(&Term::constant(3)).unwrap();
+        eg.add_clause(vec![EqLiteral::Eq(one, two), EqLiteral::Eq(two, three)]);
+        assert!(eg.rebuild().is_err());
+    }
+
+    #[test]
+    fn ne_literal_asserts_distinction() {
+        let mut eg = EGraph::new();
+        let x = eg.add_term(&t("x")).unwrap();
+        let y = eg.add_term(&t("y")).unwrap();
+        let one = eg.add_term(&Term::constant(1)).unwrap();
+        let one_b = eg.add_term(&Term::constant(1)).unwrap();
+        // First literal Eq(1,1)... is satisfied, so nothing asserted.
+        eg.add_clause(vec![EqLiteral::Eq(one, one_b), EqLiteral::Ne(x, y)]);
+        eg.rebuild().unwrap();
+        assert!(!eg.provably_distinct(x, y));
+        // Now a clause whose only tenable literal is the distinction.
+        let two = eg.add_term(&Term::constant(2)).unwrap();
+        eg.add_clause(vec![EqLiteral::Eq(one, two), EqLiteral::Ne(x, y)]);
+        eg.rebuild().unwrap();
+        assert!(eg.provably_distinct(x, y));
+        assert!(eg.union(x, y).is_err());
+    }
+
+    #[test]
+    fn nodes_are_canonical_and_deduped() {
+        let mut eg = EGraph::new();
+        let fx = eg.add_term(&t("(f x)")).unwrap();
+        let fy = eg.add_term(&t("(f y)")).unwrap();
+        let x = eg.lookup_term(&t("x")).unwrap();
+        let y = eg.lookup_term(&t("y")).unwrap();
+        eg.union(x, y).unwrap();
+        eg.rebuild().unwrap();
+        // f(x) and f(y) are now the same canonical node.
+        let nodes = eg.nodes(fx);
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(eg.find(fx), eg.find(fy));
+    }
+
+    #[test]
+    fn lookup_term_does_not_insert() {
+        let mut eg = EGraph::new();
+        eg.add_term(&t("(f x)")).unwrap();
+        let before = eg.num_nodes();
+        assert!(eg.lookup_term(&t("(g x)")).is_none());
+        assert_eq!(eg.num_nodes(), before);
+    }
+
+    #[test]
+    fn add_instantiation_uses_bindings() {
+        let mut eg = EGraph::new();
+        let reg6 = eg.add_term(&t("reg6")).unwrap();
+        let one = eg.add_term(&Term::constant(1)).unwrap();
+        let pattern = Term::call("s4addq", vec![Term::var("k"), Term::var("n")]);
+        let mut subst = HashMap::new();
+        subst.insert(Symbol::intern("k"), reg6);
+        subst.insert(Symbol::intern("n"), one);
+        let c = eg.add_instantiation(&pattern, &subst).unwrap();
+        assert_eq!(eg.lookup_term(&t("(s4addq reg6 1)")), Some(eg.find(c)));
+        // Missing binding errors.
+        let bad = Term::var("missing");
+        assert!(eg.add_instantiation(&bad, &subst).is_err());
+    }
+
+    #[test]
+    fn figure2_shift_equivalence_via_congruence() {
+        // Manually apply the Figure 2 steps: after asserting
+        // mul64(reg6,4) = shl64(reg6,2), both are in one class.
+        let mut eg = EGraph::new();
+        let goal = eg.add_term(&t("(add64 (mul64 reg6 4) 1)")).unwrap();
+        let mul = eg.lookup_term(&t("(mul64 reg6 4)")).unwrap();
+        let shift = eg.add_term(&t("(shl64 reg6 2)")).unwrap();
+        eg.union(mul, shift).unwrap();
+        let s4 = eg.add_term(&t("(s4addq reg6 1)")).unwrap();
+        eg.union(goal, s4).unwrap();
+        eg.rebuild().unwrap();
+        // The goal class now contains add64, and s4addq nodes; the mul
+        // class contains mul64 and shl64 nodes.
+        let goal_ops: Vec<String> = eg
+            .nodes(goal)
+            .iter()
+            .filter_map(|n| n.sym().map(|s| s.to_string()))
+            .collect();
+        assert!(goal_ops.contains(&"add64".to_owned()));
+        assert!(goal_ops.contains(&"s4addq".to_owned()));
+        let mul_ops: Vec<String> = eg
+            .nodes(mul)
+            .iter()
+            .filter_map(|n| n.sym().map(|s| s.to_string()))
+            .collect();
+        assert!(mul_ops.contains(&"mul64".to_owned()));
+        assert!(mul_ops.contains(&"shl64".to_owned()));
+    }
+}

@@ -1,0 +1,223 @@
+//! E-matching: matching axiom patterns against the E-graph *modulo the
+//! equivalence relation*.
+//!
+//! The paper (§5): "An ordinary matcher would fail to match the pattern
+//! `k * 2**n` against the term-DAG node `reg6*4` because the node
+//! labelled 4 is not of the form `2**n`, but an E-graph matcher will
+//! search the equivalence class and find the node `2**2` and the match
+//! will succeed."
+
+use std::collections::HashMap;
+
+use denali_term::{Op, Symbol, Term};
+
+use crate::egraph::{ClassId, EGraph};
+
+/// A substitution from pattern variables to equivalence classes.
+pub type Subst = HashMap<Symbol, ClassId>;
+
+/// Matches `pattern` anywhere in the e-graph.
+///
+/// Returns `(class, substitution)` pairs: the class the pattern's root
+/// matched, and the variable bindings. Results are canonicalized and
+/// deduplicated.
+///
+/// Patterns are [`Term`]s whose [`Op::Var`] leaves are the quantified
+/// variables. Constant leaves match any class whose known constant value
+/// equals the literal (so a pattern `4` matches a class containing
+/// `pow(2, 2)` even if the literal `4` node was added separately).
+pub fn ematch(egraph: &EGraph, pattern: &Term) -> Vec<(ClassId, Subst)> {
+    let mut out = Vec::new();
+    // Patterns headed by a symbol can only match classes containing a
+    // node with that symbol; use the operator index to skip the rest.
+    let candidates = match pattern.op() {
+        Op::Sym(sym) if !pattern.args().is_empty() => egraph.classes_with_op(sym),
+        _ => egraph.classes(),
+    };
+    for class in candidates {
+        for subst in ematch_in_class(egraph, pattern, class) {
+            out.push((class, subst));
+        }
+    }
+    dedup(out)
+}
+
+/// Matches `pattern` against the members of one equivalence class.
+pub fn ematch_in_class(egraph: &EGraph, pattern: &Term, class: ClassId) -> Vec<Subst> {
+    let mut results = Vec::new();
+    match_class(egraph, pattern, egraph.find(class), Subst::new(), &mut results);
+    results
+}
+
+fn match_class(
+    egraph: &EGraph,
+    pattern: &Term,
+    class: ClassId,
+    subst: Subst,
+    out: &mut Vec<Subst>,
+) {
+    match pattern.op() {
+        Op::Var(v) => {
+            match subst.get(&v) {
+                Some(&bound) => {
+                    if egraph.find(bound) == class {
+                        out.push(subst);
+                    }
+                }
+                None => {
+                    let mut subst = subst;
+                    subst.insert(v, class);
+                    out.push(subst);
+                }
+            }
+        }
+        Op::Const(c) => {
+            // A constant pattern matches via the constant analysis, so
+            // classes folded to the value match even without a literal
+            // node.
+            if egraph.constant(class) == Some(c) {
+                out.push(subst);
+            }
+        }
+        Op::Sym(sym) => {
+            for node in egraph.nodes(class) {
+                if node.op != Op::Sym(sym) || node.children.len() != pattern.args().len() {
+                    continue;
+                }
+                // Match children left to right, threading substitutions.
+                let mut partial = vec![subst.clone()];
+                for (child_pat, &child_class) in pattern.args().iter().zip(&node.children) {
+                    let mut next = Vec::new();
+                    for s in partial {
+                        match_class(egraph, child_pat, egraph.find(child_class), s, &mut next);
+                    }
+                    partial = next;
+                    if partial.is_empty() {
+                        break;
+                    }
+                }
+                out.extend(partial);
+            }
+        }
+    }
+}
+
+fn dedup(matches: Vec<(ClassId, Subst)>) -> Vec<(ClassId, Subst)> {
+    let mut seen: std::collections::HashSet<(ClassId, Vec<(Symbol, ClassId)>)> =
+        std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for (class, subst) in matches {
+        let mut key: Vec<(Symbol, ClassId)> = subst.iter().map(|(&v, &c)| (v, c)).collect();
+        key.sort();
+        if seen.insert((class, key)) {
+            out.push((class, subst));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use denali_term::sexpr;
+
+    fn t(s: &str, vars: &[&str]) -> Term {
+        let vars: Vec<Symbol> = vars.iter().map(|v| Symbol::intern(v)).collect();
+        Term::from_sexpr(&sexpr::parse_one(s).unwrap(), &vars).unwrap()
+    }
+
+    #[test]
+    fn matches_ground_pattern() {
+        let mut eg = EGraph::new();
+        let c = eg.add_term(&t("(add64 x y)", &[])).unwrap();
+        let matches = ematch(&eg, &t("(add64 x y)", &[]));
+        assert_eq!(matches.len(), 1);
+        assert_eq!(eg.find(matches[0].0), eg.find(c));
+    }
+
+    #[test]
+    fn binds_variables() {
+        let mut eg = EGraph::new();
+        eg.add_term(&t("(add64 x y)", &[])).unwrap();
+        let matches = ematch(&eg, &t("(add64 a b)", &["a", "b"]));
+        assert_eq!(matches.len(), 1);
+        let subst = &matches[0].1;
+        let x = eg.lookup_term(&t("x", &[])).unwrap();
+        let y = eg.lookup_term(&t("y", &[])).unwrap();
+        assert_eq!(subst[&Symbol::intern("a")], x);
+        assert_eq!(subst[&Symbol::intern("b")], y);
+    }
+
+    #[test]
+    fn nonlinear_patterns_require_equal_classes() {
+        let mut eg = EGraph::new();
+        eg.add_term(&t("(add64 x y)", &[])).unwrap();
+        let doubled = t("(add64 a a)", &["a"]);
+        assert!(ematch(&eg, &doubled).is_empty());
+        // After x = y the nonlinear pattern matches.
+        let x = eg.lookup_term(&t("x", &[])).unwrap();
+        let y = eg.lookup_term(&t("y", &[])).unwrap();
+        eg.union(x, y).unwrap();
+        eg.rebuild().unwrap();
+        assert_eq!(ematch(&eg, &doubled).len(), 1);
+    }
+
+    #[test]
+    fn matches_modulo_equivalence_like_figure2() {
+        // The paper's key example: pattern (mul64 ?k (pow 2 ?n)) matches
+        // reg6 * 4 because 4's class also contains pow(2, 2).
+        let mut eg = EGraph::new();
+        let mul = eg.add_term(&t("(mul64 reg6 4)", &[])).unwrap();
+        let pattern = t("(mul64 k (pow 2 n))", &["k", "n"]);
+        assert!(ematch(&eg, &pattern).is_empty(), "no pow node yet");
+        eg.add_term(&t("(pow 2 2)", &[])).unwrap(); // folds into 4's class
+        eg.rebuild().unwrap();
+        let matches = ematch(&eg, &pattern);
+        assert_eq!(matches.len(), 1);
+        let (class, subst) = &matches[0];
+        assert_eq!(eg.find(*class), eg.find(mul));
+        let reg6 = eg.lookup_term(&t("reg6", &[])).unwrap();
+        let two = eg.lookup_term(&Term::constant(2)).unwrap();
+        assert_eq!(eg.find(subst[&Symbol::intern("k")]), eg.find(reg6));
+        assert_eq!(eg.find(subst[&Symbol::intern("n")]), eg.find(two));
+    }
+
+    #[test]
+    fn constant_pattern_matches_folded_class() {
+        let mut eg = EGraph::new();
+        eg.add_term(&t("(pow 2 3)", &[])).unwrap();
+        let matches = ematch(&eg, &Term::constant(8));
+        assert_eq!(matches.len(), 1);
+        assert!(ematch(&eg, &Term::constant(9)).is_empty());
+    }
+
+    #[test]
+    fn multiple_matches_in_one_class() {
+        // add64(a, b) and add64(b, a) in the same class give two
+        // substitutions for pattern add64(?x, ?y) on that class.
+        let mut eg = EGraph::new();
+        let ab = eg.add_term(&t("(add64 a b)", &[])).unwrap();
+        let ba = eg.add_term(&t("(add64 b a)", &[])).unwrap();
+        eg.union(ab, ba).unwrap();
+        eg.rebuild().unwrap();
+        let matches = ematch_in_class(&eg, &t("(add64 x y)", &["x", "y"]), ab);
+        assert_eq!(matches.len(), 2);
+    }
+
+    #[test]
+    fn arity_must_match() {
+        let mut eg = EGraph::new();
+        eg.add_term(&t("(f x)", &[])).unwrap();
+        assert!(ematch(&eg, &t("(f a b)", &["a", "b"])).is_empty());
+    }
+
+    #[test]
+    fn deduplicates_equivalent_matches() {
+        let mut eg = EGraph::new();
+        // f(x) added twice — hashconsed, so one node, one match.
+        eg.add_term(&t("(f x)", &[])).unwrap();
+        eg.add_term(&t("(f x)", &[])).unwrap();
+        let matches = ematch(&eg, &t("(f a)", &["a"]));
+        assert_eq!(matches.len(), 1);
+    }
+}

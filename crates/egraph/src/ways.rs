@@ -1,0 +1,128 @@
+//! Counting the distinct ways of computing a class.
+//!
+//! The paper (§5): "an E-graph of size O(n) can represent Θ(2^n)
+//! distinct ways of computing a term of size n" and "Denali's matcher
+//! uses the commutativity and associativity of addition to find more
+//! than a hundred different ways of computing a + b + c + d + e."
+//!
+//! The count is over derivations bounded by a depth limit (the e-graph
+//! may be cyclic — `x = add64(x, 0)` — so the unbounded count can be
+//! infinite).
+
+use std::collections::HashMap;
+
+use crate::egraph::{ClassId, EGraph};
+
+impl EGraph {
+    /// Counts the distinct bounded-depth computations of `class`.
+    ///
+    /// A computation picks one e-node of the class and, recursively, a
+    /// computation of each child with depth at most `depth - 1`. Leaves
+    /// (nullary nodes) count as one way at any depth. Saturates at
+    /// `u128::MAX`.
+    pub fn count_ways(&self, class: ClassId, depth: usize) -> u128 {
+        let mut memo = HashMap::new();
+        self.count_ways_memo(self.find(class), depth, &mut memo)
+    }
+
+    fn count_ways_memo(
+        &self,
+        class: ClassId,
+        depth: usize,
+        memo: &mut HashMap<(ClassId, usize), u128>,
+    ) -> u128 {
+        if let Some(&n) = memo.get(&(class, depth)) {
+            return n;
+        }
+        let mut total = 0u128;
+        for node in self.nodes(class) {
+            if node.children.is_empty() {
+                total = total.saturating_add(1);
+            } else if depth > 0 {
+                let mut product = 1u128;
+                for &child in &node.children {
+                    let ways = self.count_ways_memo(self.find(child), depth - 1, memo);
+                    product = product.saturating_mul(ways);
+                    if product == 0 {
+                        break;
+                    }
+                }
+                total = total.saturating_add(product);
+            }
+        }
+        memo.insert((class, depth), total);
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use denali_term::{sexpr, Term};
+
+    fn t(s: &str) -> Term {
+        Term::from_sexpr(&sexpr::parse_one(s).unwrap(), &[]).unwrap()
+    }
+
+    #[test]
+    fn single_term_is_one_way() {
+        let mut eg = EGraph::new();
+        let c = eg.add_term(&t("(add64 x y)")).unwrap();
+        assert_eq!(eg.count_ways(c, 10), 1);
+    }
+
+    #[test]
+    fn equivalent_forms_multiply() {
+        let mut eg = EGraph::new();
+        let ab = eg.add_term(&t("(add64 a b)")).unwrap();
+        let ba = eg.add_term(&t("(add64 b a)")).unwrap();
+        eg.union(ab, ba).unwrap();
+        eg.rebuild().unwrap();
+        assert_eq!(eg.count_ways(ab, 10), 2);
+    }
+
+    #[test]
+    fn nested_choices_compound_exponentially() {
+        // (a+b) + (c+d) with both inner sums commuted both ways and the
+        // outer sum commuted: 2 * (2 * 2) = 8 ways.
+        let mut eg = EGraph::new();
+        let ab = eg.add_term(&t("(add64 a b)")).unwrap();
+        let ba = eg.add_term(&t("(add64 b a)")).unwrap();
+        eg.union(ab, ba).unwrap();
+        let cd = eg.add_term(&t("(add64 c d)")).unwrap();
+        let dc = eg.add_term(&t("(add64 d c)")).unwrap();
+        eg.union(cd, dc).unwrap();
+        let outer1 = eg.add_term(&t("(add64 (add64 a b) (add64 c d))")).unwrap();
+        let outer2 = eg.add_term(&t("(add64 (add64 c d) (add64 a b))")).unwrap();
+        eg.union(outer1, outer2).unwrap();
+        eg.rebuild().unwrap();
+        assert_eq!(eg.count_ways(outer1, 10), 8);
+    }
+
+    #[test]
+    fn cycles_are_bounded_by_depth() {
+        // x = add64(x, 0): infinitely many unbounded derivations, but
+        // the depth bound keeps the count finite and growing with depth.
+        let mut eg = EGraph::new();
+        let x = eg.add_term(&t("x")).unwrap();
+        let x0 = eg.add_term(&t("(add64 x 0)")).unwrap();
+        eg.union(x, x0).unwrap();
+        eg.rebuild().unwrap();
+        let w1 = eg.count_ways(x, 1);
+        let w3 = eg.count_ways(x, 3);
+        let w6 = eg.count_ways(x, 6);
+        assert!(w1 >= 1);
+        assert!(w3 > w1);
+        assert!(w6 > w3);
+    }
+
+    #[test]
+    fn depth_zero_counts_leaves_only() {
+        let mut eg = EGraph::new();
+        let x = eg.add_term(&t("x")).unwrap();
+        let fx = eg.add_term(&t("(f x)")).unwrap();
+        assert_eq!(eg.count_ways(x, 0), 1);
+        assert_eq!(eg.count_ways(fx, 0), 0);
+        assert_eq!(eg.count_ways(fx, 1), 1);
+    }
+}

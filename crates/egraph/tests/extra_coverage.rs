@@ -1,0 +1,90 @@
+//! Additional e-graph coverage: the operator index, way-counting
+//! saturation behavior, and error formatting.
+
+use denali_egraph::{EGraph, EqLiteral};
+use denali_term::{sexpr, Symbol, Term};
+
+fn t(s: &str) -> Term {
+    Term::from_sexpr(&sexpr::parse_one(s).unwrap(), &[]).unwrap()
+}
+
+#[test]
+fn operator_index_tracks_merges() {
+    let mut eg = EGraph::new();
+    let f = eg.add_term(&t("(f x)")).unwrap();
+    let g = eg.add_term(&t("(g y)")).unwrap();
+    assert_eq!(eg.classes_with_op(Symbol::intern("f")), vec![eg.find(f)]);
+    assert_eq!(eg.classes_with_op(Symbol::intern("g")), vec![eg.find(g)]);
+    assert!(eg.classes_with_op(Symbol::intern("zzz")).is_empty());
+    // After merging f(x) and g(y), both index entries resolve to the
+    // shared canonical class.
+    eg.union(f, g).unwrap();
+    eg.rebuild().unwrap();
+    assert_eq!(eg.classes_with_op(Symbol::intern("f")), vec![eg.find(f)]);
+    assert_eq!(eg.classes_with_op(Symbol::intern("g")), vec![eg.find(f)]);
+}
+
+#[test]
+fn count_ways_saturates_instead_of_overflowing() {
+    // A chain of classes each with two equivalent forms: 2^n ways; a
+    // deep chain must saturate at u128::MAX rather than panic.
+    let mut eg = EGraph::new();
+    let mut prev = eg.add_term(&t("x0")).unwrap();
+    for i in 1..140 {
+        let a = eg.add_term(&Term::call("f", vec![Term::leaf(format!("x{}", i - 1))])).unwrap();
+        let b = eg.add_term(&Term::call("g", vec![Term::leaf(format!("x{}", i - 1))])).unwrap();
+        eg.union(a, b).unwrap();
+        let x = eg.add_term(&Term::leaf(format!("x{i}"))).unwrap();
+        eg.union(x, a).unwrap();
+        prev = x;
+    }
+    eg.rebuild().unwrap();
+    let ways = eg.count_ways(prev, 200);
+    assert!(ways >= 1u128 << 127 || ways == u128::MAX);
+}
+
+#[test]
+fn contradiction_errors_name_the_conflict() {
+    let mut eg = EGraph::new();
+    let one = eg.add_term(&Term::constant(1)).unwrap();
+    let two = eg.add_term(&Term::constant(2)).unwrap();
+    let err = eg.union(one, two).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains('1') && msg.contains('2'), "{msg}");
+}
+
+#[test]
+fn clauses_survive_multiple_rebuilds_until_resolved() {
+    let mut eg = EGraph::new();
+    let x = eg.add_term(&t("x")).unwrap();
+    let y = eg.add_term(&t("y")).unwrap();
+    let p = eg.add_term(&t("p")).unwrap();
+    let q = eg.add_term(&t("q")).unwrap();
+    // x = y ∨ p = q: neither literal resolvable yet.
+    eg.add_clause(vec![EqLiteral::Eq(x, y), EqLiteral::Eq(p, q)]);
+    eg.rebuild().unwrap();
+    assert_ne!(eg.find(x), eg.find(y));
+    assert_ne!(eg.find(p), eg.find(q));
+    // Make the first literal untenable via constants; the second fires.
+    let one = eg.add_term(&Term::constant(1)).unwrap();
+    let two = eg.add_term(&Term::constant(2)).unwrap();
+    eg.union(x, one).unwrap();
+    eg.union(y, two).unwrap();
+    eg.rebuild().unwrap();
+    assert_eq!(eg.find(p), eg.find(q), "surviving unit literal asserted");
+}
+
+#[test]
+fn address_decompositions_cover_both_operand_orders() {
+    let mut eg = EGraph::new();
+    let sum = eg.add_term(&t("(add64 8 p)")).unwrap();
+    eg.rebuild().unwrap();
+    let decomps = eg.address_decompositions(sum);
+    let p = eg.lookup_term(&t("p")).unwrap();
+    assert!(
+        decomps.iter().any(|&(b, o)| b == eg.find(p) && o == 8),
+        "{decomps:?}"
+    );
+    // And the identity decomposition is always present.
+    assert!(decomps.iter().any(|&(b, o)| b == eg.find(sum) && o == 0));
+}

@@ -1,0 +1,98 @@
+//! Property tests: congruence-closure invariants under random
+//! interleavings of insertions and unions.
+
+use denali_egraph::EGraph;
+use denali_term::Term;
+use proptest::prelude::*;
+
+/// A small random term over leaves l0..l3 and binary ops f, g.
+fn term_strategy() -> impl Strategy<Value = Term> {
+    let leaf = (0u8..4).prop_map(|i| Term::leaf(format!("l{i}")));
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        (prop_oneof![Just("f"), Just("g")], inner.clone(), inner)
+            .prop_map(|(op, a, b)| Term::call(op, vec![a, b]))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn unions_are_congruent(
+        terms in proptest::collection::vec(term_strategy(), 1..8),
+        merges in proptest::collection::vec((0usize..8, 0usize..8), 0..6),
+    ) {
+        let mut eg = EGraph::new();
+        let classes: Vec<_> = terms
+            .iter()
+            .map(|t| eg.add_term(t).unwrap())
+            .collect();
+        for &(i, j) in &merges {
+            let (i, j) = (i % classes.len(), j % classes.len());
+            // Random unions of whole terms can never contradict (no
+            // constants or distinctions involved).
+            eg.union(classes[i], classes[j]).unwrap();
+        }
+        eg.rebuild().unwrap();
+
+        // Invariant 1: hashconsing is stable — re-adding any term gives
+        // back its class.
+        for (t, &c) in terms.iter().zip(&classes) {
+            let again = eg.add_term(t).unwrap();
+            prop_assert_eq!(eg.find(again), eg.find(c));
+        }
+
+        // Invariant 2: congruence — wrapping any two equal classes in
+        // the same operator yields equal classes.
+        for &(i, j) in &merges {
+            let (i, j) = (i % classes.len(), j % classes.len());
+            let fi = Term::call("h", vec![terms[i].clone()]);
+            let fj = Term::call("h", vec![terms[j].clone()]);
+            let ci = eg.add_term(&fi).unwrap();
+            let cj = eg.add_term(&fj).unwrap();
+            eg.rebuild().unwrap();
+            prop_assert_eq!(eg.find(ci), eg.find(cj));
+        }
+
+        // Invariant 3: every node list is canonical and deduplicated.
+        for class in eg.classes() {
+            let nodes = eg.nodes(class);
+            for (a, na) in nodes.iter().enumerate() {
+                for nb in &nodes[a + 1..] {
+                    prop_assert_ne!(na, nb, "duplicate node in class");
+                }
+                for &child in &na.children {
+                    prop_assert_eq!(eg.find(child), child, "non-canonical child");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transitive_merges_collapse_to_one_class(count in 2usize..10) {
+        let mut eg = EGraph::new();
+        let leaves: Vec<_> = (0..count)
+            .map(|i| eg.add_term(&Term::leaf(format!("m{i}"))).unwrap())
+            .collect();
+        for w in leaves.windows(2) {
+            eg.union(w[0], w[1]).unwrap();
+        }
+        eg.rebuild().unwrap();
+        let root = eg.find(leaves[0]);
+        for &l in &leaves {
+            prop_assert_eq!(eg.find(l), root);
+        }
+    }
+
+    #[test]
+    fn constant_folding_agrees_with_evaluator(a: u32, b: u32) {
+        // add64(a, b) folds to the evaluator's result.
+        let (a, b) = (u64::from(a), u64::from(b));
+        let mut eg = EGraph::new();
+        let t = Term::call("add64", vec![Term::constant(a), Term::constant(b)]);
+        let c = eg.add_term(&t).unwrap();
+        prop_assert_eq!(eg.constant(c), Some(a.wrapping_add(b)));
+        let lit = eg.add_term(&Term::constant(a.wrapping_add(b))).unwrap();
+        prop_assert_eq!(eg.find(lit), eg.find(c));
+    }
+}

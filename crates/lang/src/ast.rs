@@ -1,0 +1,100 @@
+//! Abstract syntax of the Denali source language.
+
+use std::fmt;
+
+use denali_term::{Sexpr, Symbol, Term};
+
+/// An assignment target.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Target {
+    /// A variable or the result pseudo-variable `res`.
+    Var(Symbol),
+    /// `*addr` — a store to memory.
+    Deref(Term),
+    /// `name<i>` — a byte update, `name := storeb(name, i, value)`.
+    Byte(Symbol, Term),
+}
+
+/// A statement.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Stmt {
+    /// `\var (name type init?) body`.
+    Var {
+        /// The declared name.
+        name: Symbol,
+        /// Initializer, if present.
+        init: Option<Term>,
+        /// Scope of the declaration.
+        body: Box<Stmt>,
+    },
+    /// `\semi stmt...` — sequential composition.
+    Seq(Vec<Stmt>),
+    /// `:= (target expr)...` — parallel multi-assignment.
+    Assign(Vec<(Target, Term)>),
+    /// `\do (-> guard body)` — a loop, possibly unrolled.
+    Loop {
+        /// Loop guard (continue while true).
+        guard: Term,
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Unroll factor (≥ 1).
+        unroll: usize,
+    },
+}
+
+/// A procedure definition.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Proc {
+    /// Procedure name.
+    pub name: Symbol,
+    /// Parameter names (types are recorded but unused by codegen).
+    pub params: Vec<(Symbol, String)>,
+    /// Return type name.
+    pub ret: String,
+    /// Body.
+    pub body: Stmt,
+}
+
+/// A parsed source file: procedures, program-specific axiom forms (kept
+/// as s-expressions; the axiom parser lives in `denali-axioms`), and
+/// operation declarations.
+#[derive(Clone, Default, Debug)]
+pub struct SourceProgram {
+    /// Procedures in declaration order.
+    pub procs: Vec<Proc>,
+    /// Program-specific axioms, unparsed.
+    pub axiom_forms: Vec<Sexpr>,
+    /// Declared uninterpreted operations: name and arity.
+    pub opdecls: Vec<(Symbol, usize)>,
+}
+
+impl SourceProgram {
+    /// Finds a procedure by name.
+    pub fn proc(&self, name: &str) -> Option<&Proc> {
+        let sym = Symbol::intern(name);
+        self.procs.iter().find(|p| p.name == sym)
+    }
+}
+
+/// Source syntax error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseProgramError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseProgramError {
+    pub(crate) fn new(message: impl Into<String>) -> ParseProgramError {
+        ParseProgramError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ParseProgramError {}

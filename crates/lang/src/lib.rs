@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! The Denali source language and its lowering to guarded
+//! multi-assignments (GMAs).
+//!
+//! The paper (§2): "The input to Denali is a program in a language with
+//! a low-level machine model, similar to C or assembly language. [...]
+//! it is intended to be used for writing the body of an inner loop, for
+//! example, or for writing short subroutines." §3 describes the
+//! translation strategy: "Each procedure in the input is converted into
+//! a set of guarded multi-assignments, which are the inputs to the
+//! crucial inner subroutine of the code generator."
+//!
+//! The concrete syntax is the LISP-like form of the paper's Figure 6
+//! (the parenthesized syntax its prototype required). Supported forms:
+//!
+//! ```text
+//! (\opdecl name (argtype...) rettype)
+//! (\axiom ...)                        ; program-specific axioms
+//! (\procdecl name ((param type)...) rettype body)
+//! ; statements:
+//! (\var (name type init?) body)
+//! (\semi stmt...)
+//! (:= (target expr)...)               ; parallel multi-assignment
+//! (\do (-> guard body))               ; loop
+//! (\do (\unroll k) (-> guard body))   ; unrolled loop
+//! ; targets: name | (\deref addr) | (\selectb name i)   ; byte update
+//! ; expressions: s-expressions over +,-,*,<,<u,<=,=,<<,>>,&,^,|,
+//! ;   (\deref addr), (\selectb w i), \extwl, \cmpult, ... and any
+//! ;   declared operation
+//! ```
+//!
+//! Pointer dereferences are lowered to `select`/`store` on the memory
+//! `M` exactly as in §3's copy-loop example:
+//!
+//! ```text
+//! p < r → (*p, p, q) := (*q, p+8, q+8)
+//! ```
+//!
+//! becomes `p < r → (M, p, q) := (store(M, p, M[q]), p+8, q+8)`.
+
+mod ast;
+mod lower;
+mod parse;
+mod pipeline;
+
+pub use ast::{ParseProgramError, Proc, SourceProgram, Stmt, Target};
+pub use lower::{lower_proc, Gma, GmaEval};
+pub use pipeline::pipeline_loads;
+pub use parse::parse_program;

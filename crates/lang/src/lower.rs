@@ -1,0 +1,565 @@
+//! Lowering procedures to guarded multi-assignments.
+
+use std::collections::HashMap;
+
+use denali_term::value::{Env, EvalError, Val};
+use denali_term::{Op, Symbol, Term};
+
+use crate::ast::{ParseProgramError, Proc, Stmt, Target};
+
+/// A guarded multi-assignment: `G → (targets) := (newvals)` (§3).
+///
+/// Register targets are listed in `assigns`; an update to memory is the
+/// single `mem` term (a chain of `store`s over the initial memory `M`),
+/// matching the paper's transformation of `M[p] := x` into
+/// `M := store(M, p, x)`.
+#[derive(Clone, Debug)]
+pub struct Gma {
+    /// Diagnostic name (`proc_loop0`, `proc_final`, ...).
+    pub name: String,
+    /// The guard, or `None` for an unconditional GMA.
+    pub guard: Option<Term>,
+    /// Register targets and their new values.
+    pub assigns: Vec<(Symbol, Term)>,
+    /// New memory value, if the GMA stores.
+    pub mem: Option<Term>,
+    /// Addresses whose loads were annotated as likely cache misses
+    /// (`\derefm`, the paper's §6 profiling annotations). The encoder
+    /// gives these loads the miss latency instead of the hit latency.
+    pub miss_addrs: Vec<Term>,
+}
+
+impl Gma {
+    /// The goal expressions: "the machine code for a GMA must evaluate
+    /// the boolean expression that is the guard [...] and must also
+    /// evaluate the expressions on the right side of the assignment" (§5).
+    pub fn goal_terms(&self) -> Vec<Term> {
+        let mut goals = Vec::new();
+        if let Some(g) = &self.guard {
+            goals.push(g.clone());
+        }
+        goals.extend(self.assigns.iter().map(|(_, t)| t.clone()));
+        if let Some(m) = &self.mem {
+            goals.push(m.clone());
+        }
+        goals
+    }
+
+    /// The free input names of the GMA (leaf symbols of the goals),
+    /// excluding the memory `M`.
+    pub fn inputs(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        let mem = Symbol::intern("M");
+        for goal in self.goal_terms() {
+            collect_leaves(&goal, &mut out);
+        }
+        out.retain(|&s| s != mem);
+        out
+    }
+
+    /// True if any goal reads or writes memory.
+    pub fn touches_memory(&self) -> bool {
+        self.mem.is_some()
+            || self
+                .goal_terms()
+                .iter()
+                .any(|g| mentions(g, Symbol::intern("M")))
+    }
+
+    /// Reference semantics: evaluates the guard, register targets, and
+    /// memory under `env` (which must bind every input, and `M` if
+    /// memory is touched).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures (unbound inputs, unknown ops).
+    pub fn evaluate(&self, env: &Env) -> Result<GmaEval, EvalError> {
+        let guard = self.guard.as_ref().map(|g| env.eval_word(g)).transpose()?;
+        let mut assigns = Vec::new();
+        for (name, term) in &self.assigns {
+            assigns.push((*name, env.eval_word(term)?));
+        }
+        let memory = match &self.mem {
+            None => None,
+            Some(m) => match env.eval(m)? {
+                Val::Mem(map) => Some(map),
+                Val::Word(_) => {
+                    return Err(EvalError::custom("memory target evaluated to a word"));
+                }
+            },
+        };
+        Ok(GmaEval {
+            guard,
+            assigns,
+            memory,
+        })
+    }
+}
+
+/// Result of [`Gma::evaluate`].
+#[derive(Clone, Debug)]
+pub struct GmaEval {
+    /// Guard value (None if unconditional).
+    pub guard: Option<u64>,
+    /// New values of the register targets.
+    pub assigns: Vec<(Symbol, u64)>,
+    /// Final memory, if the GMA stores.
+    pub memory: Option<HashMap<u64, u64>>,
+}
+
+fn collect_leaves(term: &Term, out: &mut Vec<Symbol>) {
+    if let Op::Sym(s) = term.op() {
+        if term.args().is_empty() {
+            if !out.contains(&s) {
+                out.push(s);
+            }
+            return;
+        }
+    }
+    for a in term.args() {
+        collect_leaves(a, out);
+    }
+}
+
+/// Strips `missing(a)` annotation markers from a term, collecting the
+/// annotated addresses.
+fn strip_missing(term: &Term, out: &mut Vec<Term>) -> Term {
+    if let Op::Sym(s) = term.op() {
+        if s.as_str() == "missing" && term.args().len() == 1 {
+            let addr = strip_missing(&term.args()[0], out);
+            if !out.contains(&addr) {
+                out.push(addr.clone());
+            }
+            return addr;
+        }
+    }
+    Term::new(
+        term.op(),
+        term.args()
+            .iter()
+            .map(|a| strip_missing(a, out))
+            .collect(),
+    )
+}
+
+/// Builds a GMA, separating `missing` load annotations from the terms.
+fn make_gma(
+    name: String,
+    guard: Option<Term>,
+    assigns: Vec<(Symbol, Term)>,
+    mem: Option<Term>,
+) -> Gma {
+    let mut miss_addrs = Vec::new();
+    let guard = guard.map(|g| strip_missing(&g, &mut miss_addrs));
+    let assigns = assigns
+        .into_iter()
+        .map(|(n, t)| (n, strip_missing(&t, &mut miss_addrs)))
+        .collect();
+    let mem = mem.map(|m| strip_missing(&m, &mut miss_addrs));
+    Gma {
+        name,
+        guard,
+        assigns,
+        mem,
+        miss_addrs,
+    }
+}
+
+fn mentions(term: &Term, sym: Symbol) -> bool {
+    match term.op() {
+        Op::Sym(s) if s == sym && term.args().is_empty() => true,
+        _ => term.args().iter().any(|a| mentions(a, sym)),
+    }
+}
+
+#[derive(Clone)]
+struct LowerState {
+    /// Current symbolic value of each variable.
+    vars: HashMap<Symbol, Term>,
+    /// Current symbolic memory.
+    mem: Term,
+    /// True if `mem` differs from the initial `M`.
+    mem_dirty: bool,
+    /// Declaration order, for stable GMA target order.
+    order: Vec<Symbol>,
+}
+
+impl LowerState {
+    fn new() -> LowerState {
+        LowerState {
+            vars: HashMap::new(),
+            mem: Term::leaf("M"),
+            mem_dirty: false,
+            order: Vec::new(),
+        }
+    }
+
+    fn define(&mut self, name: Symbol, value: Term) {
+        if !self.order.contains(&name) {
+            self.order.push(name);
+        }
+        self.vars.insert(name, value);
+    }
+
+    /// Substitutes current variable values and the current memory into a
+    /// source expression.
+    fn subst(&self, term: &Term) -> Term {
+        match term.op() {
+            Op::Sym(s) if term.args().is_empty() => {
+                if s == Symbol::intern("M") {
+                    self.mem.clone()
+                } else {
+                    self.vars.get(&s).cloned().unwrap_or_else(|| term.clone())
+                }
+            }
+            op => Term::new(op, term.args().iter().map(|a| self.subst(a)).collect()),
+        }
+    }
+
+    /// Variables whose current value is not simply themselves.
+    fn changed_vars(&self) -> Vec<(Symbol, Term)> {
+        self.order
+            .iter()
+            .filter_map(|&name| {
+                let value = self.vars.get(&name)?;
+                (*value != Term::leaf(name)).then(|| (name, value.clone()))
+            })
+            .collect()
+    }
+
+    /// Resets every variable to an abstract input and memory to `M`.
+    fn havoc(&mut self) {
+        for (&name, value) in &mut self.vars {
+            *value = Term::leaf(name);
+        }
+        self.mem = Term::leaf("M");
+        self.mem_dirty = false;
+    }
+}
+
+/// Lowers a procedure into its set of GMAs: optionally a prologue (the
+/// straight-line code before a loop), one GMA per loop (unrolled by the
+/// requested factor), and a final GMA computing `res` and any trailing
+/// stores.
+///
+/// # Errors
+///
+/// Fails on unsupported nesting (a loop inside a loop body).
+pub fn lower_proc(proc: &Proc) -> Result<Vec<Gma>, ParseProgramError> {
+    let mut gmas = Vec::new();
+    let mut state = LowerState::new();
+    for &(name, _) in &proc.params {
+        state.define(name, Term::leaf(name));
+    }
+    walk(&proc.body, &mut state, &mut gmas, proc.name.as_str(), false)?;
+
+    // Final GMA: `res` plus any trailing memory update. Dead locals are
+    // dropped.
+    let res = Symbol::intern("res");
+    let mut assigns = Vec::new();
+    if let Some(value) = state.vars.get(&res) {
+        if *value != Term::leaf(res) {
+            assigns.push((res, value.clone()));
+        }
+    }
+    let mem = state.mem_dirty.then(|| state.mem.clone());
+    if !assigns.is_empty() || mem.is_some() {
+        gmas.push(make_gma(
+            format!("{}_final", proc.name),
+            None,
+            assigns,
+            mem,
+        ));
+    }
+    Ok(gmas)
+}
+
+fn walk(
+    stmt: &Stmt,
+    state: &mut LowerState,
+    gmas: &mut Vec<Gma>,
+    proc_name: &str,
+    in_loop: bool,
+) -> Result<(), ParseProgramError> {
+    match stmt {
+        Stmt::Var { name, init, body } => {
+            let value = match init {
+                Some(e) => state.subst(e),
+                None => Term::leaf(*name),
+            };
+            state.define(*name, value);
+            walk(body, state, gmas, proc_name, in_loop)
+        }
+        Stmt::Seq(stmts) => {
+            for s in stmts {
+                walk(s, state, gmas, proc_name, in_loop)?;
+            }
+            Ok(())
+        }
+        Stmt::Assign(assigns) => {
+            // Parallel semantics: all right-hand sides (and target
+            // addresses/indices) are evaluated in the old state.
+            let mut var_updates: Vec<(Symbol, Term)> = Vec::new();
+            let mut mem_updates: Vec<(Term, Term)> = Vec::new();
+            for (target, expr) in assigns {
+                let value = state.subst(expr);
+                match target {
+                    Target::Var(name) => var_updates.push((*name, value)),
+                    Target::Byte(name, index) => {
+                        let old = state
+                            .vars
+                            .get(name)
+                            .cloned()
+                            .unwrap_or_else(|| Term::leaf(*name));
+                        let index = state.subst(index);
+                        var_updates.push((
+                            *name,
+                            Term::call("storeb", vec![old, index, value]),
+                        ));
+                    }
+                    Target::Deref(addr) => {
+                        mem_updates.push((state.subst(addr), value));
+                    }
+                }
+            }
+            for (name, value) in var_updates {
+                state.define(name, value);
+            }
+            for (addr, value) in mem_updates {
+                state.mem = Term::call("store", vec![state.mem.clone(), addr, value]);
+                state.mem_dirty = true;
+            }
+            Ok(())
+        }
+        Stmt::Loop {
+            guard,
+            body,
+            unroll,
+        } => {
+            if in_loop {
+                return Err(ParseProgramError::new(
+                    "nested loops are not supported; factor the inner loop into its own procedure",
+                ));
+            }
+            // Flush the prologue (straight-line code before the loop).
+            let changed = state.changed_vars();
+            if !changed.is_empty() || state.mem_dirty {
+                gmas.push(make_gma(
+                    format!("{proc_name}_pre{}", gmas.len()),
+                    None,
+                    changed,
+                    state.mem_dirty.then(|| state.mem.clone()),
+                ));
+                state.havoc();
+            }
+            // The loop body starts from abstract loop-carried values.
+            let guard_term = state.subst(guard);
+            for _ in 0..*unroll {
+                walk(body, state, gmas, proc_name, true)?;
+            }
+            gmas.push(make_gma(
+                format!("{proc_name}_loop{}", gmas.len()),
+                Some(guard_term),
+                state.changed_vars(),
+                state.mem_dirty.then(|| state.mem.clone()),
+            ));
+            state.havoc();
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+
+    fn lower_one(text: &str) -> Vec<Gma> {
+        let program = parse_program(text).unwrap();
+        lower_proc(&program.procs[0]).unwrap()
+    }
+
+    #[test]
+    fn straight_line_forward_substitution() {
+        let gmas = lower_one(
+            "(procdecl f ((a long)) long
+               (var (t long (+ a 1))
+                 (:= (res (* t t)))))",
+        );
+        assert_eq!(gmas.len(), 1);
+        let gma = &gmas[0];
+        assert!(gma.guard.is_none());
+        assert_eq!(gma.assigns.len(), 1);
+        assert_eq!(
+            gma.assigns[0].1.to_string(),
+            "(mul64 (add64 a 1) (add64 a 1))"
+        );
+        assert_eq!(gma.inputs(), vec![Symbol::intern("a")]);
+    }
+
+    #[test]
+    fn byteswap_lowering_builds_storeb_chain() {
+        let gmas = lower_one(
+            "(procdecl bs ((a long)) long
+               (var (r long 0)
+                 (semi
+                   (:= ((selectb r 0) (selectb a 3)))
+                   (:= ((selectb r 1) (selectb a 2)))
+                   (:= (res r)))))",
+        );
+        assert_eq!(gmas.len(), 1);
+        let value = &gmas[0].assigns[0].1;
+        assert_eq!(
+            value.to_string(),
+            "(storeb (storeb 0 0 (selectb a 3)) 1 (selectb a 2))"
+        );
+    }
+
+    #[test]
+    fn copy_loop_matches_paper_example() {
+        // §3: p < r → (M, p, q) := (store(M, p, M[q]), p+8, q+8).
+        let gmas = lower_one(
+            "(procdecl copy ((p long*) (q long*) (r long*)) long
+               (do (-> (<u p r)
+                 (:= ((deref p) (deref q)) (p (+ p 8)) (q (+ q 8))))))",
+        );
+        assert_eq!(gmas.len(), 1);
+        let gma = &gmas[0];
+        assert_eq!(gma.guard.as_ref().unwrap().to_string(), "(cmpult p r)");
+        assert_eq!(gma.mem.as_ref().unwrap().to_string(), "(store M p (select M q))");
+        let assigned: Vec<String> = gma.assigns.iter().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(assigned, vec!["p", "q"]);
+        assert!(gma.touches_memory());
+    }
+
+    #[test]
+    fn parallel_assignment_uses_old_values() {
+        // (x, y) := (x+y, x): the swap-flavored case from §7.
+        let gmas = lower_one(
+            "(procdecl f ((x long) (y long)) long
+               (semi
+                 (:= (x (+ x y)) (y x))
+                 (:= (res (+ x y)))))",
+        );
+        let gma = &gmas[0];
+        // res = (x+y) + x with the *original* x and y.
+        assert_eq!(
+            gma.assigns[0].1.to_string(),
+            "(add64 (add64 x y) x)"
+        );
+    }
+
+    #[test]
+    fn sequential_assignments_chain() {
+        let gmas = lower_one(
+            "(procdecl f ((x long)) long
+               (semi
+                 (:= (x (+ x 1)))
+                 (:= (x (+ x 1)))
+                 (:= (res x))))",
+        );
+        assert_eq!(
+            gmas[0].assigns[0].1.to_string(),
+            "(add64 (add64 x 1) 1)"
+        );
+    }
+
+    #[test]
+    fn loop_splits_into_prologue_loop_and_final() {
+        let gmas = lower_one(
+            "(procdecl sum ((ptr long*) (ptrend long*)) long
+               (var (s long 0)
+                 (semi
+                   (do (-> (<u ptr ptrend)
+                     (semi
+                       (:= (s (+ s (deref ptr))))
+                       (:= (ptr (+ ptr 8))))))
+                   (:= (res s)))))",
+        );
+        assert_eq!(gmas.len(), 3, "{gmas:?}");
+        // Prologue: s := 0.
+        assert_eq!(gmas[0].assigns[0].0, Symbol::intern("s"));
+        assert_eq!(gmas[0].assigns[0].1.to_string(), "0");
+        // Loop GMA: guard + s, ptr updates; reads memory.
+        let body = &gmas[1];
+        assert!(body.guard.is_some());
+        assert_eq!(body.assigns.len(), 2);
+        let value_of = |name: &str| {
+            body.assigns
+                .iter()
+                .find(|(n, _)| *n == Symbol::intern(name))
+                .map(|(_, t)| t.to_string())
+                .unwrap()
+        };
+        assert_eq!(value_of("s"), "(add64 s (select M ptr))");
+        assert_eq!(value_of("ptr"), "(add64 ptr 8)");
+        assert!(body.touches_memory());
+        assert!(body.mem.is_none());
+        // Final: res = s (abstract after the loop).
+        assert_eq!(gmas[2].assigns[0].1.to_string(), "s");
+    }
+
+    #[test]
+    fn unrolled_loop_repeats_body() {
+        let gmas = lower_one(
+            "(procdecl f ((x long) (n long)) long
+               (do (unroll 3) (-> (<u x n) (:= (x (+ x 1))))))",
+        );
+        let body = &gmas[0];
+        assert_eq!(
+            body.assigns[0].1.to_string(),
+            "(add64 (add64 (add64 x 1) 1) 1)"
+        );
+    }
+
+    #[test]
+    fn nested_loops_are_rejected() {
+        let program = parse_program(
+            "(procdecl f ((x long)) long
+               (do (-> (<u x 10) (do (-> (<u x 5) (:= (x (+ x 1))))))))",
+        )
+        .unwrap();
+        assert!(lower_proc(&program.procs[0]).is_err());
+    }
+
+    #[test]
+    fn gma_reference_evaluation() {
+        let gmas = lower_one(
+            "(procdecl f ((a long)) long (:= (res (+ (* a 4) 1))))",
+        );
+        let mut env = Env::new();
+        env.set_word("a", 10);
+        let eval = gmas[0].evaluate(&env).unwrap();
+        assert_eq!(eval.guard, None);
+        assert_eq!(eval.assigns, vec![(Symbol::intern("res"), 41)]);
+        assert!(eval.memory.is_none());
+    }
+
+    #[test]
+    fn gma_memory_evaluation() {
+        let gmas = lower_one(
+            "(procdecl st ((p long*) (x long)) long
+               (semi (:= ((deref p) x)) (:= (res x))))",
+        );
+        let gma = &gmas[0];
+        let mut env = Env::new();
+        env.set_word("p", 64).set_word("x", 9);
+        env.set_mem("M", HashMap::from([(64, 1), (72, 2)]));
+        let eval = gma.evaluate(&env).unwrap();
+        let memory = eval.memory.unwrap();
+        assert_eq!(memory[&64], 9);
+        assert_eq!(memory[&72], 2);
+    }
+
+    #[test]
+    fn dead_locals_are_dropped_from_final_gma() {
+        let gmas = lower_one(
+            "(procdecl f ((a long)) long
+               (var (dead long (+ a 2))
+                 (:= (res a))))",
+        );
+        assert_eq!(gmas.len(), 1);
+        assert_eq!(gmas[0].assigns.len(), 1);
+        assert_eq!(gmas[0].assigns[0].0, Symbol::intern("res"));
+    }
+}

@@ -1,0 +1,421 @@
+//! Parser: s-expressions → [`SourceProgram`].
+
+use denali_term::{sexpr, Sexpr, Symbol, Term};
+
+use crate::ast::{ParseProgramError, Proc, SourceProgram, Stmt, Target};
+
+type Result<T> = std::result::Result<T, ParseProgramError>;
+
+fn err(message: impl Into<String>) -> ParseProgramError {
+    ParseProgramError::new(message)
+}
+
+/// Operator spellings accepted in expressions, mapped to operation names.
+fn operator_name(atom: &str) -> Option<&'static str> {
+    Some(match atom {
+        "+" => "add64",
+        "-" => "sub64",
+        "*" => "mul64",
+        "<<" => "shl64",
+        ">>" => "shr64",
+        "&" => "and64",
+        "|" => "or64",
+        "^" => "xor64",
+        "<" => "cmplt",
+        "<u" => "cmpult",
+        "<=" => "cmple",
+        "<=u" => "cmpule",
+        "=" => "cmpeq",
+        _ => return None,
+    })
+}
+
+/// Parses an expression. `deref` forms become `select(M, addr)`; `cast`
+/// becomes the cast operation for the named type.
+fn parse_expr(form: &Sexpr) -> Result<Term> {
+    match form {
+        Sexpr::Atom(a) => {
+            if let Some(c) = denali_term::term::parse_integer(a) {
+                Ok(Term::constant(c))
+            } else {
+                Ok(Term::leaf(Symbol::intern(a)))
+            }
+        }
+        Sexpr::List(items) => {
+            let (head, rest) = items
+                .split_first()
+                .ok_or_else(|| err("empty expression"))?;
+            let head = head
+                .as_atom()
+                .ok_or_else(|| err("expression head must be an atom"))?;
+            match head {
+                "deref" => {
+                    let [addr] = rest else {
+                        return Err(err("deref takes one address"));
+                    };
+                    let addr = parse_expr(addr)?;
+                    Ok(Term::call("select", vec![Term::leaf("M"), addr]))
+                }
+                // A dereference annotated as likely to miss in the cache
+                // (§6: memory-latency annotations from profiling). The
+                // term is the same `select`; the annotation is recorded
+                // during lowering via the marker wrapper.
+                "derefm" => {
+                    let [addr] = rest else {
+                        return Err(err("derefm takes one address"));
+                    };
+                    let addr = parse_expr(addr)?;
+                    Ok(Term::call(
+                        "select",
+                        vec![Term::leaf("M"), Term::call("missing", vec![addr])],
+                    ))
+                }
+                "cast" => {
+                    let [value, ty] = rest else {
+                        return Err(err("cast takes value and type"));
+                    };
+                    let value = parse_expr(value)?;
+                    let ty = ty.as_atom().ok_or_else(|| err("cast type must be an atom"))?;
+                    let op = match ty {
+                        "short" => "castshort",
+                        "int" => "castint",
+                        "long" => return Ok(value),
+                        other => return Err(err(format!("unknown cast type {other}"))),
+                    };
+                    Ok(Term::call(op, vec![value]))
+                }
+                _ => {
+                    let name = operator_name(head).unwrap_or(head);
+                    let args = rest.iter().map(parse_expr).collect::<Result<Vec<_>>>()?;
+                    Ok(Term::call(name, args))
+                }
+            }
+        }
+    }
+}
+
+fn parse_target(form: &Sexpr) -> Result<Target> {
+    match form {
+        Sexpr::Atom(a) => Ok(Target::Var(Symbol::intern(a))),
+        Sexpr::List(items) => {
+            let (head, rest) = items.split_first().ok_or_else(|| err("empty target"))?;
+            let head = head.as_atom().ok_or_else(|| err("target head must be an atom"))?;
+            match head {
+                "deref" => {
+                    let [addr] = rest else {
+                        return Err(err("deref target takes one address"));
+                    };
+                    Ok(Target::Deref(parse_expr(addr)?))
+                }
+                "selectb" => {
+                    let [var, index] = rest else {
+                        return Err(err("byte target takes variable and index"));
+                    };
+                    let var = var
+                        .as_atom()
+                        .map(Symbol::intern)
+                        .ok_or_else(|| err("byte target variable must be an atom"))?;
+                    Ok(Target::Byte(var, parse_expr(index)?))
+                }
+                other => Err(err(format!("unknown target form {other}"))),
+            }
+        }
+    }
+}
+
+fn parse_stmt(form: &Sexpr) -> Result<Stmt> {
+    let items = form.as_list().ok_or_else(|| err("statement must be a list"))?;
+    let (head, rest) = items.split_first().ok_or_else(|| err("empty statement"))?;
+    let head = head.as_atom().ok_or_else(|| err("statement head must be an atom"))?;
+    match head {
+        "var" => {
+            let [decl, body] = rest else {
+                return Err(err("var takes a declaration and a body"));
+            };
+            let decl = decl.as_list().ok_or_else(|| err("var declaration must be a list"))?;
+            let name = decl
+                .first()
+                .and_then(Sexpr::as_atom)
+                .map(Symbol::intern)
+                .ok_or_else(|| err("var name must be an atom"))?;
+            let init = match decl.len() {
+                0 | 1 => return Err(err("var needs a name and type")),
+                2 => None,
+                3 => Some(parse_expr(&decl[2])?),
+                _ => return Err(err("var declaration has too many parts")),
+            };
+            Ok(Stmt::Var {
+                name,
+                init,
+                body: Box::new(parse_stmt(body)?),
+            })
+        }
+        "semi" => Ok(Stmt::Seq(rest.iter().map(parse_stmt).collect::<Result<Vec<_>>>()?)),
+        ":=" => {
+            let mut assigns = Vec::new();
+            for pair in rest {
+                let pair = pair.as_list().ok_or_else(|| err(":= takes (target expr) pairs"))?;
+                let [target, expr] = pair else {
+                    return Err(err(":= pair must be (target expr)"));
+                };
+                assigns.push((parse_target(target)?, parse_expr(expr)?));
+            }
+            if assigns.is_empty() {
+                return Err(err(":= needs at least one pair"));
+            }
+            Ok(Stmt::Assign(assigns))
+        }
+        "do" => {
+            let (unroll, arrow) = match rest {
+                [arrow] => (1usize, arrow),
+                [unroll_form, arrow] => {
+                    let parts = unroll_form
+                        .as_list()
+                        .ok_or_else(|| err("do unroll annotation must be (unroll k)"))?;
+                    let [kw, k] = parts else {
+                        return Err(err("do unroll annotation must be (unroll k)"));
+                    };
+                    if !kw.is_keyword("unroll") {
+                        return Err(err("expected (unroll k)"));
+                    }
+                    let k = k
+                        .as_atom()
+                        .and_then(|a| a.parse::<usize>().ok())
+                        .filter(|&k| k >= 1)
+                        .ok_or_else(|| err("unroll factor must be a positive integer"))?;
+                    (k, arrow)
+                }
+                _ => return Err(err("do takes a guarded body")),
+            };
+            let parts = arrow.as_list().ok_or_else(|| err("do body must be (-> guard stmt)"))?;
+            let [kw, guard, body] = parts else {
+                return Err(err("do body must be (-> guard stmt)"));
+            };
+            if kw.as_atom() != Some("->") {
+                return Err(err("do body must start with ->"));
+            }
+            Ok(Stmt::Loop {
+                guard: parse_expr(guard)?,
+                body: Box::new(parse_stmt(body)?),
+                unroll,
+            })
+        }
+        other => Err(err(format!("unknown statement {other}"))),
+    }
+}
+
+fn parse_proc(items: &[Sexpr]) -> Result<Proc> {
+    let [name, params, ret, body] = items else {
+        return Err(err("procdecl takes name, params, return type, body"));
+    };
+    let name = name
+        .as_atom()
+        .map(Symbol::intern)
+        .ok_or_else(|| err("procedure name must be an atom"))?;
+    let params = params
+        .as_list()
+        .ok_or_else(|| err("parameter list must be a list"))?
+        .iter()
+        .map(|p| {
+            let parts = p.as_list().ok_or_else(|| err("parameter must be (name type)"))?;
+            let [pname, ptype] = parts else {
+                return Err(err("parameter must be (name type)"));
+            };
+            let pname = pname
+                .as_atom()
+                .map(Symbol::intern)
+                .ok_or_else(|| err("parameter name must be an atom"))?;
+            Ok((pname, ptype.to_string()))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let ret = ret.as_atom().unwrap_or("long").to_owned();
+    Ok(Proc {
+        name,
+        params,
+        ret,
+        body: parse_stmt(body)?,
+    })
+}
+
+/// Parses a Denali source file.
+///
+/// # Errors
+///
+/// Returns the first syntax error encountered.
+///
+/// # Example
+///
+/// ```
+/// let program = denali_lang::parse_program(
+///     "(\\procdecl id ((a long)) long (:= (\\res a)))",
+/// ).unwrap();
+/// assert_eq!(program.procs.len(), 1);
+/// ```
+pub fn parse_program(text: &str) -> Result<SourceProgram> {
+    let forms = sexpr::parse(text).map_err(|e| err(format!("syntax error: {e}")))?;
+    let mut program = SourceProgram::default();
+    for form in &forms {
+        let stripped = form.strip_backslashes();
+        let items = stripped
+            .as_list()
+            .ok_or_else(|| err(format!("top-level form must be a list: {form}")))?;
+        let head = items
+            .first()
+            .and_then(Sexpr::as_atom)
+            .ok_or_else(|| err("top-level form must start with a keyword"))?;
+        match head {
+            "procdecl" | "proc" => program.procs.push(parse_proc(&items[1..])?),
+            "axiom" => program.axiom_forms.push(stripped.clone()),
+            "opdecl" => {
+                let [name, args, _ret] = &items[1..] else {
+                    return Err(err("opdecl takes name, argument types, return type"));
+                };
+                let name = name
+                    .as_atom()
+                    .map(Symbol::intern)
+                    .ok_or_else(|| err("opdecl name must be an atom"))?;
+                let arity = args
+                    .as_list()
+                    .ok_or_else(|| err("opdecl argument types must be a list"))?
+                    .len();
+                program.opdecls.push((name, arity));
+            }
+            other => return Err(err(format!("unknown top-level form {other}"))),
+        }
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_identity_proc() {
+        let p = parse_program("(\\procdecl id ((a long)) long (:= (\\res a)))").unwrap();
+        let id = p.proc("id").unwrap();
+        assert_eq!(id.params.len(), 1);
+        match &id.body {
+            Stmt::Assign(assigns) => {
+                assert_eq!(assigns.len(), 1);
+                assert_eq!(assigns[0].0, Target::Var(Symbol::intern("res")));
+            }
+            other => panic!("unexpected body {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_spellings_map_to_ops() {
+        let p = parse_program(
+            "(procdecl f ((a long) (b long)) long (:= (res (+ (* a 4) (< a b)))))",
+        )
+        .unwrap();
+        let Stmt::Assign(assigns) = &p.proc("f").unwrap().body else {
+            panic!("expected assign");
+        };
+        assert_eq!(
+            assigns[0].1.to_string(),
+            "(add64 (mul64 a 4) (cmplt a b))"
+        );
+    }
+
+    #[test]
+    fn parses_byteswap_style_byte_targets() {
+        let p = parse_program(
+            "(procdecl bs ((a long)) long
+               (var (r long 0)
+                 (semi
+                   (:= ((selectb r 0) (selectb a 3)))
+                   (:= (res r)))))",
+        )
+        .unwrap();
+        let Stmt::Var { init, body, .. } = &p.proc("bs").unwrap().body else {
+            panic!("expected var");
+        };
+        assert_eq!(init.as_ref().unwrap().to_string(), "0");
+        let Stmt::Seq(stmts) = body.as_ref() else {
+            panic!("expected seq");
+        };
+        let Stmt::Assign(assigns) = &stmts[0] else {
+            panic!("expected assign");
+        };
+        assert!(matches!(assigns[0].0, Target::Byte(_, _)));
+    }
+
+    #[test]
+    fn parses_deref_and_loop() {
+        let p = parse_program(
+            "(procdecl copy ((p long*) (q long*) (r long*)) long
+               (do (-> (<u p r)
+                 (:= ((deref p) (deref q)) (p (+ p 8)) (q (+ q 8))))))",
+        )
+        .unwrap();
+        let Stmt::Loop { guard, body, unroll } = &p.proc("copy").unwrap().body else {
+            panic!("expected loop");
+        };
+        assert_eq!(*unroll, 1);
+        assert_eq!(guard.to_string(), "(cmpult p r)");
+        let Stmt::Assign(assigns) = body.as_ref() else {
+            panic!("expected assign");
+        };
+        assert_eq!(assigns.len(), 3);
+        assert!(matches!(assigns[0].0, Target::Deref(_)));
+        assert_eq!(assigns[0].1.to_string(), "(select M q)");
+    }
+
+    #[test]
+    fn parses_unroll_annotation() {
+        let p = parse_program(
+            "(procdecl f ((p long*)) long
+               (var (s long 0)
+                 (do (unroll 4) (-> (<u s 100) (:= (s (+ s 1)))))))",
+        )
+        .unwrap();
+        let Stmt::Var { body, .. } = &p.proc("f").unwrap().body else {
+            panic!()
+        };
+        let Stmt::Loop { unroll, .. } = body.as_ref() else {
+            panic!("expected loop")
+        };
+        assert_eq!(*unroll, 4);
+    }
+
+    #[test]
+    fn collects_axioms_and_opdecls() {
+        let p = parse_program(
+            "(\\opdecl carry (long long) long)
+             (\\axiom (forall (a b) (eq (carry a b) (\\cmpult (\\add64 a b) a))))
+             (\\procdecl f ((a long)) long (:= (\\res a)))",
+        )
+        .unwrap();
+        assert_eq!(p.opdecls, vec![(Symbol::intern("carry"), 2)]);
+        assert_eq!(p.axiom_forms.len(), 1);
+    }
+
+    #[test]
+    fn parses_cast() {
+        let p = parse_program(
+            "(procdecl f ((a long)) short (:= (res (cast a short))))",
+        )
+        .unwrap();
+        let Stmt::Assign(assigns) = &p.proc("f").unwrap().body else {
+            panic!()
+        };
+        assert_eq!(assigns[0].1.to_string(), "(castshort a)");
+    }
+
+    #[test]
+    fn rejects_malformed_programs() {
+        for text in [
+            "(procdecl)",
+            "(procdecl f x long (:= (res 1)))",
+            "(procdecl f () long (:= ))",
+            "(procdecl f () long (unknown-stmt))",
+            "(procdecl f () long (do (-> a)))",
+            "(weird)",
+            "(procdecl f () long (var (x) (:= (res 1))))",
+        ] {
+            assert!(parse_program(text).is_err(), "{text}");
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Automatic software pipelining of loads.
+//!
+//! The paper (§8): "Three techniques are required to generate efficient
+//! code for this problem: loop unrolling, software pipelining (the
+//! computation in one loop iteration of a result that is used on the
+//! next iteration), and word parallelism. The current Denali prototype
+//! implements loop unrolling. **We have a design for software pipelining,
+//! but haven't implemented it yet.** In the meantime [...] we
+//! hand-specified the required pipelining by introducing temporaries to
+//! carry intermediate values across loop iterations."
+//!
+//! This module implements that design: it mechanizes exactly the Figure 6
+//! hand transformation. For every memory read `select(M, a)` in a loop
+//! body's right-hand sides, it introduces a loop-carried temporary `v`:
+//!
+//! * the body uses `v` instead of the load;
+//! * the body reloads `v` from the *next iteration's* address `a'`
+//!   (obtained by substituting the loop's own updates into `a`);
+//! * the prologue initializes `v` with the first iteration's load.
+//!
+//! The transformation speculates one iteration of loads past the loop
+//! exit — precisely what the paper's hand-written Figure 6 does, with
+//! the same proviso about reading one stride beyond the data.
+
+use denali_term::{Op, Symbol, Term};
+
+use crate::lower::Gma;
+
+/// Replaces every occurrence of `target` in `term` by `replacement`.
+fn replace(term: &Term, target: &Term, replacement: &Term) -> Term {
+    if term == target {
+        return replacement.clone();
+    }
+    Term::new(
+        term.op(),
+        term.args()
+            .iter()
+            .map(|a| replace(a, target, replacement))
+            .collect(),
+    )
+}
+
+/// Substitutes the GMA's own updates into `term` (the "next iteration"
+/// valuation): every target variable is replaced by its new value.
+fn next_iteration(term: &Term, gma: &Gma) -> Term {
+    match term.op() {
+        Op::Sym(s) if term.args().is_empty() => {
+            for (name, value) in &gma.assigns {
+                if *name == s {
+                    return value.clone();
+                }
+            }
+            term.clone()
+        }
+        op => Term::new(
+            op,
+            term.args().iter().map(|a| next_iteration(a, gma)).collect(),
+        ),
+    }
+}
+
+/// Substitutes the prologue's assignments into `term` (the loop-entry
+/// valuation).
+fn at_entry(term: &Term, prologue: Option<&Gma>) -> Term {
+    let Some(prologue) = prologue else {
+        return term.clone();
+    };
+    match term.op() {
+        Op::Sym(s) if term.args().is_empty() => {
+            for (name, value) in &prologue.assigns {
+                if *name == s {
+                    return value.clone();
+                }
+            }
+            term.clone()
+        }
+        op => Term::new(
+            op,
+            term.args()
+                .iter()
+                .map(|a| at_entry(a, Some(prologue)))
+                .collect(),
+        ),
+    }
+}
+
+/// Collects the distinct `select(M, a)` subterms of `term` in first-seen
+/// order.
+fn collect_loads(term: &Term, out: &mut Vec<Term>) {
+    if let Op::Sym(s) = term.op() {
+        if s.as_str() == "select"
+            && term.args().len() == 2
+            && term.args()[0] == Term::leaf("M")
+        {
+            if !out.contains(term) {
+                out.push(term.clone());
+            }
+            // Addresses can themselves contain loads (rare); recurse.
+        }
+    }
+    for a in term.args() {
+        collect_loads(a, out);
+    }
+}
+
+/// Software-pipelines the loads of a loop-body GMA, returning the
+/// transformed `(prologue, body)` pair.
+///
+/// Returns `None` (no transformation) when the body stores to memory
+/// (moving loads across stores would need alias proofs) or contains no
+/// loads.
+pub fn pipeline_loads(prologue: Option<&Gma>, body: &Gma) -> Option<(Gma, Gma)> {
+    if body.mem.is_some() {
+        return None;
+    }
+    let mut loads = Vec::new();
+    for (_, value) in &body.assigns {
+        collect_loads(value, &mut loads);
+    }
+    if loads.is_empty() {
+        return None;
+    }
+
+    let mut new_body = body.clone();
+    new_body.name = format!("{}_pipelined", body.name);
+    let mut new_prologue = prologue.cloned().unwrap_or(Gma {
+        name: format!("{}_pre", body.name),
+        guard: None,
+        assigns: Vec::new(),
+        mem: None,
+        miss_addrs: Vec::new(),
+    });
+    if prologue.is_some() {
+        new_prologue.name = format!("{}_pipelined", new_prologue.name);
+    }
+
+    for (k, load) in loads.iter().enumerate() {
+        let carried = Symbol::intern(&format!("v_pl{k}"));
+        let carried_term = Term::leaf(carried);
+        // Body: use the carried value in every target expression.
+        for (_, value) in new_body.assigns.iter_mut() {
+            *value = replace(value, load, &carried_term);
+        }
+        // Body: reload from the next iteration's address. (Substitute
+        // into the ORIGINAL body's updates, then replace this
+        // iteration's loads by the carried temporaries so nested loads
+        // also pipeline.)
+        let mut next_load = next_iteration(load, body);
+        for (j, other) in loads.iter().enumerate().take(k + 1) {
+            next_load = replace(&next_load, other, &Term::leaf(format!("v_pl{j}")));
+        }
+        new_body.assigns.push((carried, next_load.clone()));
+        // Prologue: first iteration's load at loop-entry values.
+        let entry_load = at_entry(load, prologue);
+        new_prologue.assigns.push((carried, entry_load.clone()));
+        // Propagate cache-miss annotations to the moved loads.
+        let addr = &load.args()[1];
+        if body.miss_addrs.contains(addr) {
+            let next_addr = next_load.args().get(1).cloned();
+            if let Some(a) = next_addr {
+                if !new_body.miss_addrs.contains(&a) {
+                    new_body.miss_addrs.push(a);
+                }
+            }
+            if let Some(a) = entry_load.args().get(1).cloned() {
+                if !new_prologue.miss_addrs.contains(&a) {
+                    new_prologue.miss_addrs.push(a);
+                }
+            }
+        }
+    }
+    Some((new_prologue, new_body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_proc;
+    use crate::parse::parse_program;
+    use denali_term::value::Env;
+    use std::collections::HashMap;
+
+    fn lower(src: &str) -> Vec<Gma> {
+        lower_proc(&parse_program(src).unwrap().procs[0]).unwrap()
+    }
+
+    const SERIAL_SUM: &str = "
+(\\procdecl sum ((ptr long*) (ptrend long*)) long
+  (\\var (s long 0)
+    (\\semi
+      (\\do (-> (<u ptr ptrend)
+        (\\semi
+          (:= (s (+ s (\\deref ptr))))
+          (:= (ptr (+ ptr 8))))))
+      (:= (\\res s)))))";
+
+    #[test]
+    fn introduces_carried_temporaries() {
+        let gmas = lower(SERIAL_SUM);
+        let (prologue, body) = pipeline_loads(Some(&gmas[0]), &gmas[1]).expect("pipelines");
+        // The body no longer loads for its sum; it loads for next time.
+        let sum_value = body
+            .assigns
+            .iter()
+            .find(|(n, _)| n.as_str() == "s")
+            .map(|(_, v)| v.to_string())
+            .unwrap();
+        assert_eq!(sum_value, "(add64 s v_pl0)");
+        let reload = body
+            .assigns
+            .iter()
+            .find(|(n, _)| n.as_str() == "v_pl0")
+            .map(|(_, v)| v.to_string())
+            .unwrap();
+        assert_eq!(reload, "(select M (add64 ptr 8))");
+        // The prologue preloads the first element (s := 0 kept).
+        let init = prologue
+            .assigns
+            .iter()
+            .find(|(n, _)| n.as_str() == "v_pl0")
+            .map(|(_, v)| v.to_string())
+            .unwrap();
+        assert_eq!(init, "(select M ptr)");
+    }
+
+    #[test]
+    fn pipelined_loop_computes_the_same_sums() {
+        let gmas = lower(SERIAL_SUM);
+        let (prologue, body) = pipeline_loads(Some(&gmas[0]), &gmas[1]).unwrap();
+
+        // Drive both loops over a small buffer via reference evaluation.
+        let base = 64u64;
+        let n = 5u64;
+        let memory: HashMap<u64, u64> =
+            (0..=n).map(|i| (base + 8 * i, 10 + i)).collect();
+        let run = |prologue: &Gma, body: &Gma| -> u64 {
+            let mut state: HashMap<&str, u64> =
+                HashMap::from([("ptr", base), ("ptrend", base + 8 * n)]);
+            // Apply the prologue.
+            let mut env = Env::new();
+            for (&k, &v) in &state {
+                env.set_word(k, v);
+            }
+            env.set_mem("M", memory.clone());
+            let pre = prologue.evaluate(&env).unwrap();
+            let mut values: HashMap<String, u64> = HashMap::new();
+            for (name, value) in pre.assigns {
+                values.insert(name.to_string(), value);
+            }
+            loop {
+                let mut env = Env::new();
+                for (&k, &v) in &state {
+                    env.set_word(k, v);
+                }
+                for (k, &v) in &values {
+                    env.set_word(k.as_str(), v);
+                }
+                env.set_mem("M", memory.clone());
+                let out = body.evaluate(&env).unwrap();
+                if out.guard == Some(0) {
+                    break;
+                }
+                for (name, value) in out.assigns {
+                    let name = name.to_string();
+                    if name == "ptr" {
+                        state.insert("ptr", value);
+                    } else {
+                        values.insert(name, value);
+                    }
+                }
+            }
+            values["s"]
+        };
+
+        let plain = run(&gmas[0], &gmas[1]);
+        let pipelined = run(&prologue, &body);
+        let expected: u64 = (0..n).map(|i| 10 + i).sum();
+        assert_eq!(plain, expected);
+        assert_eq!(pipelined, expected);
+    }
+
+    #[test]
+    fn stores_disable_the_transform() {
+        let gmas = lower(
+            "(\\procdecl cp ((p long*) (q long*) (r long*)) long
+               (\\do (-> (<u p r)
+                 (:= ((\\deref p) (\\deref q)) (p (+ p 8)) (q (+ q 8))))))",
+        );
+        assert!(pipeline_loads(None, &gmas[0]).is_none());
+    }
+
+    #[test]
+    fn loadless_loops_are_untouched() {
+        let gmas = lower(
+            "(\\procdecl f ((x long) (n long)) long
+               (\\do (-> (<u x n) (:= (x (+ x 1))))))",
+        );
+        assert!(pipeline_loads(None, &gmas[0]).is_none());
+    }
+
+    #[test]
+    fn unrolled_loop_pipelines_every_load() {
+        // A 2x-unrolled sum has two loads; both become carried temps.
+        let gmas = lower(
+            "(\\procdecl sum2 ((ptr long*) (ptrend long*)) long
+               (\\var (s long 0)
+                 (\\do (\\unroll 2) (-> (<u ptr ptrend)
+                   (\\semi
+                     (:= (s (+ s (\\deref ptr))))
+                     (:= (ptr (+ ptr 8))))))))",
+        );
+        let body_idx = gmas.iter().position(|g| g.guard.is_some()).unwrap();
+        let (_, body) = pipeline_loads(gmas.first(), &gmas[body_idx]).unwrap();
+        let carried: Vec<&str> = body
+            .assigns
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .filter(|n| n.starts_with("v_pl"))
+            .collect();
+        assert_eq!(carried.len(), 2, "{carried:?}");
+    }
+}

@@ -1,0 +1,148 @@
+//! Additional language coverage: miss annotations through lowering and
+//! pipelining, evaluation corner cases, and input collection.
+
+use std::collections::HashMap;
+
+use denali_lang::{lower_proc, parse_program, pipeline_loads};
+use denali_term::value::Env;
+use denali_term::Symbol;
+
+#[test]
+fn derefm_annotations_survive_lowering() {
+    let program = parse_program(
+        "(\\procdecl f ((p long*) (q long*)) long
+           (:= (\\res (+ (\\derefm p) (\\deref (+ q 8))))))",
+    )
+    .unwrap();
+    let gma = lower_proc(&program.procs[0]).unwrap().remove(0);
+    // One annotated address (p); the marker is stripped from the terms.
+    assert_eq!(gma.miss_addrs.len(), 1);
+    assert_eq!(gma.miss_addrs[0].to_string(), "p");
+    assert!(
+        !gma.assigns[0].1.to_string().contains("missing"),
+        "{}",
+        gma.assigns[0].1
+    );
+    // The annotated and plain loads still evaluate identically.
+    let mut env = Env::new();
+    env.set_word("p", 64).set_word("q", 96);
+    env.set_mem("M", HashMap::from([(64, 5), (104, 6)]));
+    let eval = gma.evaluate(&env).unwrap();
+    assert_eq!(eval.assigns[0].1, 11);
+}
+
+#[test]
+fn derefm_in_a_loop_body_annotates_the_carried_load() {
+    let program = parse_program(
+        "(\\procdecl sum ((ptr long*) (ptrend long*)) long
+           (\\var (s long 0)
+             (\\do (-> (<u ptr ptrend)
+               (\\semi
+                 (:= (s (+ s (\\derefm ptr))))
+                 (:= (ptr (+ ptr 8))))))))",
+    )
+    .unwrap();
+    let gmas = lower_proc(&program.procs[0]).unwrap();
+    let body = gmas.iter().find(|g| g.guard.is_some()).unwrap();
+    assert_eq!(body.miss_addrs.len(), 1);
+    // Pipelining carries the annotation to the moved (next-iteration)
+    // load and the prologue's first load.
+    let prologue = gmas.iter().find(|g| g.guard.is_none());
+    let (new_prologue, new_body) = pipeline_loads(prologue, body).unwrap();
+    // The moved (next-iteration) load is annotated; the original entry
+    // is retained but inert (no load at `ptr` remains in the body).
+    let body_misses: Vec<String> =
+        new_body.miss_addrs.iter().map(|t| t.to_string()).collect();
+    assert!(
+        body_misses.contains(&"(add64 ptr 8)".to_owned()),
+        "{body_misses:?}"
+    );
+    assert!(new_prologue
+        .miss_addrs
+        .iter()
+        .any(|t| t.to_string() == "ptr"));
+}
+
+#[test]
+fn guard_false_evaluation_reports_zero() {
+    let program = parse_program(
+        "(\\procdecl f ((x long) (n long)) long
+           (\\do (-> (<u x n) (:= (x (+ x 1))))))",
+    )
+    .unwrap();
+    let gma = lower_proc(&program.procs[0]).unwrap().remove(0);
+    let mut env = Env::new();
+    env.set_word("x", 10).set_word("n", 5);
+    let eval = gma.evaluate(&env).unwrap();
+    assert_eq!(eval.guard, Some(0));
+    // The updates are still evaluated (the GMA's semantics applies them
+    // only when the guard holds; the caller decides).
+    assert_eq!(eval.assigns[0].1, 11);
+}
+
+#[test]
+fn inputs_include_guard_only_names() {
+    let program = parse_program(
+        "(\\procdecl f ((x long) (limit long)) long
+           (\\do (-> (<u x limit) (:= (x (+ x 1))))))",
+    )
+    .unwrap();
+    let gma = lower_proc(&program.procs[0]).unwrap().remove(0);
+    let inputs: Vec<&str> = gma.inputs().iter().map(|s| s.as_str()).collect();
+    assert!(inputs.contains(&"x"));
+    assert!(inputs.contains(&"limit"), "{inputs:?}");
+}
+
+#[test]
+fn byte_target_on_undeclared_variable_defaults_to_leaf() {
+    // Writing a byte of a parameter: storeb over its current value.
+    let program = parse_program(
+        "(\\procdecl f ((a long)) long
+           (\\semi (:= ((\\selectb a 0) 7)) (:= (\\res a))))",
+    )
+    .unwrap();
+    let gma = lower_proc(&program.procs[0]).unwrap().remove(0);
+    assert_eq!(gma.assigns[0].1.to_string(), "(storeb a 0 7)");
+    let mut env = Env::new();
+    env.set_word("a", 0x1234);
+    assert_eq!(gma.evaluate(&env).unwrap().assigns[0].1, 0x1207);
+}
+
+#[test]
+fn multiple_stores_chain_in_statement_order() {
+    let program = parse_program(
+        "(\\procdecl f ((p long*) (x long)) long
+           (\\semi
+             (:= ((\\deref p) x))
+             (:= ((\\deref (+ p 8)) (+ x 1)))
+             (:= (\\res x))))",
+    )
+    .unwrap();
+    let gma = lower_proc(&program.procs[0]).unwrap().remove(0);
+    let mem = gma.mem.as_ref().unwrap().to_string();
+    assert_eq!(
+        mem,
+        "(store (store M p x) (add64 p 8) (add64 x 1))"
+    );
+    let mut env = Env::new();
+    env.set_word("p", 64).set_word("x", 9);
+    env.set_mem("M", HashMap::new());
+    let eval = gma.evaluate(&env).unwrap();
+    let memory = eval.memory.unwrap();
+    assert_eq!(memory[&64], 9);
+    assert_eq!(memory[&72], 10);
+}
+
+#[test]
+fn source_program_proc_lookup() {
+    let program = parse_program(
+        "(\\procdecl a ((x long)) long (:= (\\res x)))
+         (\\procdecl b ((x long)) long (:= (\\res (+ x 1))))",
+    )
+    .unwrap();
+    assert!(program.proc("a").is_some());
+    assert!(program.proc("b").is_some());
+    assert!(program.proc("c").is_none());
+    assert_eq!(program.procs.len(), 2);
+    assert_eq!(program.proc("b").unwrap().params[0].0, Symbol::intern("x"));
+}

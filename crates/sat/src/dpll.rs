@@ -1,0 +1,174 @@
+//! A deliberately simple DPLL solver.
+//!
+//! This is the "previous solver" in the paper's solver-substitution
+//! story and the oracle for differential testing of the CDCL engine. It
+//! does unit propagation and chronological backtracking, nothing else, so
+//! it is easy to audit but exponential in practice.
+
+use crate::lit::{Lit, Var};
+
+/// Result of a [`solve`] call.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DpllResult {
+    /// Satisfiable, with a witness assignment indexed by variable.
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl DpllResult {
+    /// True if satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, DpllResult::Sat(_))
+    }
+}
+
+/// Solves a CNF formula over `num_vars` variables by DPLL.
+///
+/// Clauses use the same [`Lit`] representation as the CDCL solver.
+///
+/// # Panics
+///
+/// Panics if a literal mentions a variable `>= num_vars`.
+pub fn solve(num_vars: usize, clauses: &[Vec<Lit>]) -> DpllResult {
+    for c in clauses {
+        for l in c {
+            assert!(l.var().index() < num_vars, "literal out of range");
+        }
+    }
+    let mut assignment: Vec<Option<bool>> = vec![None; num_vars];
+    if search(clauses, &mut assignment) {
+        DpllResult::Sat(assignment.into_iter().map(|a| a.unwrap_or(false)).collect())
+    } else {
+        DpllResult::Unsat
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ClauseState {
+    Satisfied,
+    Conflict,
+    Unit(Lit),
+    Open,
+}
+
+fn clause_state(clause: &[Lit], assignment: &[Option<bool>]) -> ClauseState {
+    let mut unassigned = None;
+    let mut unassigned_count = 0;
+    for &l in clause {
+        match assignment[l.var().index()] {
+            Some(v) if v == l.is_pos() => return ClauseState::Satisfied,
+            Some(_) => {}
+            None => {
+                unassigned = Some(l);
+                unassigned_count += 1;
+            }
+        }
+    }
+    match unassigned_count {
+        0 => ClauseState::Conflict,
+        1 => ClauseState::Unit(unassigned.expect("one unassigned literal")),
+        _ => ClauseState::Open,
+    }
+}
+
+fn search(clauses: &[Vec<Lit>], assignment: &mut Vec<Option<bool>>) -> bool {
+    // Unit propagation to fixpoint.
+    let mut propagated: Vec<Var> = Vec::new();
+    loop {
+        let mut changed = false;
+        for clause in clauses {
+            match clause_state(clause, assignment) {
+                ClauseState::Conflict => {
+                    for &v in &propagated {
+                        assignment[v.index()] = None;
+                    }
+                    return false;
+                }
+                ClauseState::Unit(l) => {
+                    assignment[l.var().index()] = Some(l.is_pos());
+                    propagated.push(l.var());
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Pick an unassigned variable; if none, the formula is satisfied
+    // (every clause is Satisfied or vacuously Open with no unassigned —
+    // impossible — so check explicitly).
+    let branch = assignment.iter().position(|a| a.is_none());
+    match branch {
+        None => true,
+        Some(v) => {
+            for value in [true, false] {
+                assignment[v] = Some(value);
+                if search(clauses, assignment) {
+                    return true;
+                }
+                assignment[v] = None;
+            }
+            for &v in &propagated {
+                assignment[v.index()] = None;
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> Var {
+        Var::from_index(i)
+    }
+
+    #[test]
+    fn trivial_cases() {
+        assert!(solve(0, &[]).is_sat());
+        assert_eq!(solve(1, &[vec![]]), DpllResult::Unsat);
+        assert!(solve(1, &[vec![Lit::pos(v(0))]]).is_sat());
+        assert_eq!(
+            solve(1, &[vec![Lit::pos(v(0))], vec![Lit::neg(v(0))]]),
+            DpllResult::Unsat
+        );
+    }
+
+    #[test]
+    fn model_is_returned() {
+        let r = solve(
+            2,
+            &[vec![Lit::pos(v(0)), Lit::pos(v(1))], vec![Lit::neg(v(0))]],
+        );
+        match r {
+            DpllResult::Sat(m) => {
+                assert!(!m[0]);
+                assert!(m[1]);
+            }
+            DpllResult::Unsat => panic!("expected sat"),
+        }
+    }
+
+    #[test]
+    fn small_pigeonhole_unsat() {
+        // 3 pigeons, 2 holes.
+        let mut clauses = Vec::new();
+        let var = |p: usize, h: usize| v(p * 2 + h);
+        for p in 0..3 {
+            clauses.push(vec![Lit::pos(var(p, 0)), Lit::pos(var(p, 1))]);
+        }
+        for h in 0..2 {
+            for p1 in 0..3 {
+                for p2 in (p1 + 1)..3 {
+                    clauses.push(vec![Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]);
+                }
+            }
+        }
+        assert_eq!(solve(6, &clauses), DpllResult::Unsat);
+    }
+}

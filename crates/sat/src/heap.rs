@@ -1,0 +1,167 @@
+//! Indexed max-heap ordering variables by VSIDS activity.
+
+use crate::lit::Var;
+
+/// A binary max-heap of variables keyed by an external activity array,
+/// supporting O(log n) insert/remove-max and O(log n) priority increase.
+#[derive(Clone, Default, Debug)]
+pub(crate) struct VarHeap {
+    heap: Vec<Var>,
+    /// Position of each variable in `heap`, or `usize::MAX` if absent.
+    positions: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl VarHeap {
+    #[cfg(test)]
+    pub(crate) fn new() -> VarHeap {
+        VarHeap::default()
+    }
+
+    pub(crate) fn grow(&mut self, num_vars: usize) {
+        self.positions.resize(num_vars, ABSENT);
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub(crate) fn contains(&self, var: Var) -> bool {
+        self.positions[var.index()] != ABSENT
+    }
+
+    pub(crate) fn insert(&mut self, var: Var, activity: &[f64]) {
+        if self.contains(var) {
+            return;
+        }
+        self.positions[var.index()] = self.heap.len();
+        self.heap.push(var);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    pub(crate) fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("nonempty");
+        self.positions[top.index()] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.positions[last.index()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restores heap order after `var`'s activity increased.
+    pub(crate) fn increased(&mut self, var: Var, activity: &[f64]) {
+        let pos = self.positions[var.index()];
+        if pos != ABSENT {
+            self.sift_up(pos, activity);
+        }
+    }
+
+    /// Rebuilds the heap after all activities were rescaled (order is
+    /// preserved by uniform rescaling, so nothing to do — kept for
+    /// documentation value and future-proofing).
+    pub(crate) fn rescaled(&mut self) {}
+
+    fn sift_up(&mut self, mut pos: usize, activity: &[f64]) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if activity[self.heap[pos].index()] <= activity[self.heap[parent].index()] {
+                break;
+            }
+            self.swap(pos, parent);
+            pos = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut pos: usize, activity: &[f64]) {
+        loop {
+            let left = 2 * pos + 1;
+            if left >= self.heap.len() {
+                break;
+            }
+            let right = left + 1;
+            let mut best = left;
+            if right < self.heap.len()
+                && activity[self.heap[right].index()] > activity[self.heap[left].index()]
+            {
+                best = right;
+            }
+            if activity[self.heap[best].index()] <= activity[self.heap[pos].index()] {
+                break;
+            }
+            self.swap(pos, best);
+            pos = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.positions[self.heap[a].index()] = a;
+        self.positions[self.heap[b].index()] = b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(i: usize) -> Var {
+        Var::from_index(i)
+    }
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = [3.0, 1.0, 4.0, 1.5, 9.0];
+        let mut heap = VarHeap::new();
+        heap.grow(5);
+        for i in 0..5 {
+            heap.insert(var(i), &activity);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| heap.pop_max(&activity))
+            .map(Var::index)
+            .collect();
+        assert_eq!(order, vec![4, 2, 0, 3, 1]);
+        assert!(heap.is_empty());
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let activity = [1.0, 2.0];
+        let mut heap = VarHeap::new();
+        heap.grow(2);
+        heap.insert(var(0), &activity);
+        heap.insert(var(0), &activity);
+        assert_eq!(heap.pop_max(&activity), Some(var(0)));
+        assert!(heap.is_empty());
+    }
+
+    #[test]
+    fn increased_restores_order() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut heap = VarHeap::new();
+        heap.grow(3);
+        for i in 0..3 {
+            heap.insert(var(i), &activity);
+        }
+        activity[0] = 10.0;
+        heap.increased(var(0), &activity);
+        assert_eq!(heap.pop_max(&activity), Some(var(0)));
+        assert_eq!(heap.pop_max(&activity), Some(var(2)));
+    }
+
+    #[test]
+    fn contains_tracks_membership() {
+        let activity = [1.0];
+        let mut heap = VarHeap::new();
+        heap.grow(1);
+        assert!(!heap.contains(var(0)));
+        heap.insert(var(0), &activity);
+        assert!(heap.contains(var(0)));
+        heap.pop_max(&activity);
+        assert!(!heap.contains(var(0)));
+    }
+}

@@ -1,0 +1,150 @@
+//! Variables and literals.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, numbered densely from zero.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable from its dense index.
+    pub fn from_index(index: usize) -> Var {
+        Var(u32::try_from(index).expect("variable index overflow"))
+    }
+
+    /// The dense index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A literal: a variable or its negation.
+///
+/// Encoded as `2*var + sign` so literals can index dense arrays (watch
+/// lists in particular).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn pos(var: Var) -> Lit {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    pub fn neg(var: Var) -> Lit {
+        Lit((var.0 << 1) | 1)
+    }
+
+    /// Creates a literal with an explicit sign (`true` = positive).
+    pub fn new(var: Var, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(var)
+        } else {
+            Lit::neg(var)
+        }
+    }
+
+    /// The literal's variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// True if this is the positive literal.
+    pub fn is_pos(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Dense index usable for watch lists (`2*var + sign`).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a literal from [`Lit::index`].
+    pub fn from_index(index: usize) -> Lit {
+        Lit(u32::try_from(index).expect("literal index overflow"))
+    }
+
+    /// DIMACS integer encoding: 1-based, negative for negated literals.
+    pub fn to_dimacs(self) -> i64 {
+        let v = i64::from(self.0 >> 1) + 1;
+        if self.is_pos() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// Parses a DIMACS integer (non-zero) into a literal.
+    pub fn from_dimacs(value: i64) -> Option<Lit> {
+        if value == 0 {
+            return None;
+        }
+        let var = Var(u32::try_from(value.unsigned_abs() - 1).ok()?);
+        Some(Lit::new(var, value > 0))
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_dimacs())
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_dimacs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negation_is_involutive() {
+        let v = Var::from_index(3);
+        let l = Lit::pos(v);
+        assert_eq!(!!l, l);
+        assert_ne!(!l, l);
+        assert_eq!((!l).var(), v);
+        assert!(l.is_pos());
+        assert!(!(!l).is_pos());
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for i in 0..10 {
+            let v = Var::from_index(i);
+            assert_eq!(v.index(), i);
+            assert_eq!(Lit::from_index(Lit::pos(v).index()), Lit::pos(v));
+            assert_eq!(Lit::from_index(Lit::neg(v).index()), Lit::neg(v));
+        }
+    }
+
+    #[test]
+    fn dimacs_round_trips() {
+        let v = Var::from_index(41);
+        assert_eq!(Lit::pos(v).to_dimacs(), 42);
+        assert_eq!(Lit::neg(v).to_dimacs(), -42);
+        assert_eq!(Lit::from_dimacs(42), Some(Lit::pos(v)));
+        assert_eq!(Lit::from_dimacs(-42), Some(Lit::neg(v)));
+        assert_eq!(Lit::from_dimacs(0), None);
+    }
+
+    #[test]
+    fn new_with_sign() {
+        let v = Var::from_index(0);
+        assert_eq!(Lit::new(v, true), Lit::pos(v));
+        assert_eq!(Lit::new(v, false), Lit::neg(v));
+    }
+}

@@ -1,0 +1,796 @@
+//! The CDCL solver.
+
+use crate::heap::VarHeap;
+use crate::lit::{Lit, Var};
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it with [`Solver::model`].
+    Sat,
+    /// The clause set is unsatisfiable.
+    Unsat,
+}
+
+/// Counters describing the work a solve performed.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct SolverStats {
+    /// Number of decision variables assigned by branching.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of conflicts analyzed.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learned clauses currently retained.
+    pub learned: u64,
+    /// Number of problem variables.
+    pub vars: u64,
+    /// Number of problem (non-learned) clauses added.
+    pub clauses: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Assign {
+    True,
+    False,
+    Undef,
+}
+
+impl Assign {
+    fn of(positive: bool) -> Assign {
+        if positive {
+            Assign::True
+        } else {
+            Assign::False
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learned: bool,
+    deleted: bool,
+    lbd: u32,
+}
+
+type ClauseRef = u32;
+const NO_REASON: ClauseRef = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    clause: ClauseRef,
+    /// A literal of the clause other than the watched one; if it is
+    /// already true the clause is satisfied and the watcher untouched.
+    blocker: Lit,
+}
+
+/// A conflict-driven clause-learning SAT solver.
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Clone, Default, Debug)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<Assign>,
+    polarity: Vec<bool>,
+    level: Vec<u32>,
+    reason: Vec<ClauseRef>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: VarHeap,
+    seen: Vec<bool>,
+    /// False once an empty clause has been derived; the instance is
+    /// permanently unsatisfiable.
+    ok: bool,
+    model: Option<Vec<bool>>,
+    stats: SolverStats,
+    reduce_threshold: usize,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            var_inc: 1.0,
+            ok: true,
+            reduce_threshold: 4000,
+            ..Solver::default()
+        }
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of problem clauses added (excluding learned clauses and
+    /// clauses simplified away at add time).
+    pub fn num_clauses(&self) -> usize {
+        self.stats.clauses as usize
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let var = Var::from_index(self.assigns.len());
+        self.assigns.push(Assign::Undef);
+        self.polarity.push(false);
+        self.level.push(0);
+        self.reason.push(NO_REASON);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.grow(self.assigns.len());
+        self.order.insert(var, &self.activity);
+        self.stats.vars = self.assigns.len() as u64;
+        var
+    }
+
+    /// Ensures at least `n` variables exist, creating the missing ones.
+    pub fn reserve_vars(&mut self, n: usize) {
+        while self.num_vars() < n {
+            self.new_var();
+        }
+    }
+
+    fn value(&self, lit: Lit) -> Assign {
+        match self.assigns[lit.var().index()] {
+            Assign::Undef => Assign::Undef,
+            Assign::True => Assign::of(lit.is_pos()),
+            Assign::False => Assign::of(!lit.is_pos()),
+        }
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// Duplicate literals are removed and tautologies ignored. Adding the
+    /// empty clause (or a clause falsified at level zero) makes the
+    /// instance permanently unsatisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal mentions a variable that was never created,
+    /// or if called mid-search (clauses may only be added at decision
+    /// level zero).
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        assert_eq!(
+            self.trail_lim.len(),
+            0,
+            "clauses may only be added at decision level zero"
+        );
+        if !self.ok {
+            return;
+        }
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        for &l in &lits {
+            assert!(l.var().index() < self.num_vars(), "unknown variable in clause");
+        }
+        lits.sort();
+        lits.dedup();
+        // Tautology / level-zero simplification.
+        let mut simplified = Vec::with_capacity(lits.len());
+        for &l in &lits {
+            if lits.binary_search(&!l).is_ok() && l.is_pos() {
+                return; // contains l and !l: tautology
+            }
+            match self.value(l) {
+                Assign::True => return, // already satisfied at level 0
+                Assign::False => {}     // drop falsified literal
+                Assign::Undef => simplified.push(l),
+            }
+        }
+        self.stats.clauses += 1;
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+            }
+            1 => {
+                self.enqueue(simplified[0], NO_REASON);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+            }
+            _ => {
+                self.attach_clause(simplified, false, 0);
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learned: bool, lbd: u32) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = u32::try_from(self.clauses.len()).expect("clause arena overflow");
+        self.watches[lits[0].index()].push(Watcher {
+            clause: cref,
+            blocker: lits[1],
+        });
+        self.watches[lits[1].index()].push(Watcher {
+            clause: cref,
+            blocker: lits[0],
+        });
+        self.clauses.push(Clause {
+            lits,
+            learned,
+            deleted: false,
+            lbd,
+        });
+        cref
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: ClauseRef) {
+        debug_assert_eq!(self.value(lit), Assign::Undef);
+        let v = lit.var().index();
+        self.assigns[v] = Assign::of(lit.is_pos());
+        self.level[v] = self.trail_lim.len() as u32;
+        self.reason[v] = reason;
+        self.trail.push(lit);
+    }
+
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = !p;
+            let mut watchers = std::mem::take(&mut self.watches[false_lit.index()]);
+            let mut kept = 0;
+            let mut i = 0;
+            let mut conflict = None;
+            'watchers: while i < watchers.len() {
+                let w = watchers[i];
+                i += 1;
+                if self.value(w.blocker) == Assign::True {
+                    watchers[kept] = w;
+                    kept += 1;
+                    continue;
+                }
+                let clause = &mut self.clauses[w.clause as usize];
+                debug_assert!(!clause.deleted);
+                if clause.lits[0] == false_lit {
+                    clause.lits.swap(0, 1);
+                }
+                debug_assert_eq!(clause.lits[1], false_lit);
+                let first = clause.lits[0];
+                if first != w.blocker && self.value(first) == Assign::True {
+                    watchers[kept] = Watcher {
+                        clause: w.clause,
+                        blocker: first,
+                    };
+                    kept += 1;
+                    continue;
+                }
+                // Look for a non-false literal to watch instead.
+                let clause = &mut self.clauses[w.clause as usize];
+                for k in 2..clause.lits.len() {
+                    let candidate = clause.lits[k];
+                    let value = match self.assigns[candidate.var().index()] {
+                        Assign::Undef => Assign::Undef,
+                        Assign::True => Assign::of(candidate.is_pos()),
+                        Assign::False => Assign::of(!candidate.is_pos()),
+                    };
+                    if value != Assign::False {
+                        clause.lits.swap(1, k);
+                        self.watches[candidate.index()].push(Watcher {
+                            clause: w.clause,
+                            blocker: first,
+                        });
+                        continue 'watchers;
+                    }
+                }
+                // Clause is unit or conflicting; keep watching false_lit.
+                watchers[kept] = Watcher {
+                    clause: w.clause,
+                    blocker: first,
+                };
+                kept += 1;
+                if self.value(first) == Assign::False {
+                    // Conflict: keep the remaining watchers and stop.
+                    while i < watchers.len() {
+                        watchers[kept] = watchers[i];
+                        kept += 1;
+                        i += 1;
+                    }
+                    self.qhead = self.trail.len();
+                    conflict = Some(w.clause);
+                } else {
+                    self.enqueue(first, w.clause);
+                }
+            }
+            watchers.truncate(kept);
+            self.watches[false_lit.index()] = watchers;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn bump_var(&mut self, var: Var) {
+        self.activity[var.index()] += self.var_inc;
+        if self.activity[var.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+            self.order.rescaled();
+        }
+        self.order.increased(var, &self.activity);
+    }
+
+    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::pos(Var::from_index(0))]; // placeholder for UIP
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut confl = conflict;
+        let mut index = self.trail.len();
+
+        loop {
+            let clause = &self.clauses[confl as usize];
+            let start = usize::from(p.is_some());
+            let clause_lits: Vec<Lit> = clause.lits[start..].to_vec();
+            for q in clause_lits {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select next literal on the trail to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            p = Some(pl);
+            self.seen[pl.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !pl;
+                break;
+            }
+            confl = self.reason[pl.var().index()];
+            debug_assert_ne!(confl, NO_REASON);
+        }
+
+        // Conflict-clause minimization: drop a literal whose reason's
+        // antecedents are all already in the clause (non-recursive check).
+        let retained: Vec<Lit> = learnt[1..]
+            .iter()
+            .copied()
+            .filter(|&l| !self.literal_redundant(l))
+            .collect();
+        let mut minimized = vec![learnt[0]];
+        minimized.extend(retained);
+
+        // Compute backtrack level (second-highest decision level) and
+        // move a literal of that level to position 1.
+        let backtrack_level = if minimized.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..minimized.len() {
+                if self.level[minimized[i].var().index()]
+                    > self.level[minimized[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            minimized.swap(1, max_i);
+            self.level[minimized[1].var().index()]
+        };
+
+        // Clear seen flags for the literals we kept.
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        (minimized, backtrack_level)
+    }
+
+    fn literal_redundant(&self, lit: Lit) -> bool {
+        let reason = self.reason[lit.var().index()];
+        if reason == NO_REASON {
+            return false;
+        }
+        self.clauses[reason as usize].lits.iter().all(|&q| {
+            q.var() == lit.var() || self.seen[q.var().index()] || self.level[q.var().index()] == 0
+        })
+    }
+
+    fn lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.level[l.var().index()]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let new_len = self.trail_lim[level as usize];
+        for &lit in &self.trail[new_len..] {
+            let v = lit.var();
+            self.assigns[v.index()] = Assign::Undef;
+            self.polarity[v.index()] = lit.is_pos();
+            self.reason[v.index()] = NO_REASON;
+            if !self.order.contains(v) {
+                self.order.insert(v, &self.activity);
+            }
+        }
+        self.trail.truncate(new_len);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = new_len;
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.order.pop_max(&self.activity) {
+            if self.assigns[v.index()] == Assign::Undef {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn reduce_learned(&mut self) {
+        // Retain learned clauses with good (small) LBD; delete the worst
+        // half of the rest, except clauses locked as reasons.
+        let mut candidates: Vec<(u32, ClauseRef)> = Vec::new();
+        for (i, c) in self.clauses.iter().enumerate() {
+            if c.learned && !c.deleted && c.lbd > 2 {
+                candidates.push((c.lbd, i as ClauseRef));
+            }
+        }
+        candidates.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        let locked: Vec<bool> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                self.trail.iter().any(|&l| self.reason[l.var().index()] == i as ClauseRef)
+            })
+            .collect();
+        for &(_, cref) in candidates.iter().take(candidates.len() / 2) {
+            if !locked[cref as usize] {
+                self.clauses[cref as usize].deleted = true;
+            }
+        }
+        // Rebuild watch lists without deleted clauses.
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            if !c.deleted {
+                debug_assert!(c.lits.len() >= 2);
+                self.watches[c.lits[0].index()].push(Watcher {
+                    clause: i as ClauseRef,
+                    blocker: c.lits[1],
+                });
+                self.watches[c.lits[1].index()].push(Watcher {
+                    clause: i as ClauseRef,
+                    blocker: c.lits[0],
+                });
+            }
+        }
+        self.stats.learned = self
+            .clauses
+            .iter()
+            .filter(|c| c.learned && !c.deleted)
+            .count() as u64;
+        self.reduce_threshold += 1000;
+    }
+
+    /// Solves the current clause set.
+    ///
+    /// Returns [`SolveResult::Sat`] and records a model, or
+    /// [`SolveResult::Unsat`]. The solver can be reused afterwards (state
+    /// is reset to decision level zero), including adding more clauses.
+    pub fn solve(&mut self) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        self.model = None;
+        self.backtrack_to(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SolveResult::Unsat;
+        }
+
+        let mut conflicts_since_restart = 0u64;
+        let mut restart_limit = luby(self.stats.restarts + 1) * 100;
+
+        loop {
+            match self.propagate() {
+                Some(conflict) => {
+                    self.stats.conflicts += 1;
+                    conflicts_since_restart += 1;
+                    if self.decision_level() == 0 {
+                        self.ok = false;
+                        return SolveResult::Unsat;
+                    }
+                    let (learnt, backtrack_level) = self.analyze(conflict);
+                    self.backtrack_to(backtrack_level);
+                    let asserting = learnt[0];
+                    if learnt.len() == 1 {
+                        self.enqueue(asserting, NO_REASON);
+                    } else {
+                        let lbd = self.lbd(&learnt);
+                        let cref = self.attach_clause(learnt, true, lbd);
+                        self.stats.learned += 1;
+                        self.enqueue(asserting, cref);
+                    }
+                    self.decay_activities();
+                }
+                None => {
+                    if conflicts_since_restart >= restart_limit {
+                        self.stats.restarts += 1;
+                        conflicts_since_restart = 0;
+                        restart_limit = luby(self.stats.restarts + 1) * 100;
+                        self.backtrack_to(0);
+                        continue;
+                    }
+                    if self.stats.learned as usize > self.reduce_threshold {
+                        self.backtrack_to(0);
+                        self.reduce_learned();
+                        continue;
+                    }
+                    match self.pick_branch_var() {
+                        None => {
+                            // All variables assigned: a model.
+                            let model = self
+                                .assigns
+                                .iter()
+                                .map(|&a| a == Assign::True)
+                                .collect();
+                            self.model = Some(model);
+                            self.backtrack_to(0);
+                            return SolveResult::Sat;
+                        }
+                        Some(v) => {
+                            self.stats.decisions += 1;
+                            self.trail_lim.push(self.trail.len());
+                            let lit = Lit::new(v, self.polarity[v.index()]);
+                            self.enqueue(lit, NO_REASON);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    /// The satisfying assignment found by the last successful
+    /// [`Solver::solve`], indexed by [`Var::index`].
+    pub fn model(&self) -> Option<&[bool]> {
+        self.model.as_deref()
+    }
+
+    /// Work counters for the lifetime of this solver.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+}
+
+/// The Luby restart sequence (1,1,2,1,1,2,4,...), 1-indexed.
+fn luby(mut i: u64) -> u64 {
+    loop {
+        // Smallest k with 2^k - 1 >= i.
+        let mut k = 1u32;
+        while (1u64 << k) - 1 < i {
+            k += 1;
+        }
+        if (1u64 << k) - 1 == i {
+            return 1 << (k - 1);
+        }
+        // i falls in the repeated prefix of the next block.
+        i -= (1 << (k - 1)) - 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(solver: &mut Solver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| solver.new_var()).collect()
+    }
+
+    #[test]
+    fn empty_problem_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn unit_clauses_force_assignment() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause([Lit::pos(v[0])]);
+        s.add_clause([Lit::neg(v[1])]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let m = s.model().unwrap();
+        assert!(m[0]);
+        assert!(!m[1]);
+    }
+
+    #[test]
+    fn contradictory_units_are_unsat() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause([Lit::pos(v)]);
+        s.add_clause([Lit::neg(v)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        // Solver stays unsat.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        s.add_clause([]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautologies_are_ignored() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause([Lit::pos(v), Lit::neg(v)]);
+        assert_eq!(s.num_clauses(), 0);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        // a, a->b, b->c, c->d : all true.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        s.add_clause([Lit::pos(v[0])]);
+        for i in 0..3 {
+            s.add_clause([Lit::neg(v[i]), Lit::pos(v[i + 1])]);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model().unwrap().iter().all(|&b| b));
+    }
+
+    fn pigeonhole(holes: usize) -> (Solver, Vec<Vec<Var>>) {
+        // holes+1 pigeons into `holes` holes: unsat.
+        let pigeons = holes + 1;
+        let mut s = Solver::new();
+        let vars: Vec<Vec<Var>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| s.new_var()).collect())
+            .collect();
+        for p in 0..pigeons {
+            s.add_clause(vars[p].iter().map(|&v| Lit::pos(v)));
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    s.add_clause([Lit::neg(vars[p1][h]), Lit::neg(vars[p2][h])]);
+                }
+            }
+        }
+        (s, vars)
+    }
+
+    #[test]
+    fn pigeonhole_principle_is_unsat() {
+        for holes in 2..=5 {
+            let (mut s, _) = pigeonhole(holes);
+            assert_eq!(s.solve(), SolveResult::Unsat, "PHP({holes})");
+        }
+    }
+
+    #[test]
+    fn exactly_fitting_pigeons_is_sat() {
+        // 4 pigeons, 4 holes (drop the last pigeon from PHP(4)).
+        let holes = 4;
+        let mut s = Solver::new();
+        let vars: Vec<Vec<Var>> = (0..holes)
+            .map(|_| (0..holes).map(|_| s.new_var()).collect())
+            .collect();
+        for p in 0..holes {
+            s.add_clause(vars[p].iter().map(|&v| Lit::pos(v)));
+        }
+        for h in 0..holes {
+            for p1 in 0..holes {
+                for p2 in (p1 + 1)..holes {
+                    s.add_clause([Lit::neg(vars[p1][h]), Lit::neg(vars[p2][h])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // Verify the model is a valid assignment of pigeons to holes.
+        let m = s.model().unwrap().to_vec();
+        for p in 0..holes {
+            assert!(vars[p].iter().any(|v| m[v.index()]));
+        }
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses_on_random_instance() {
+        // Deterministic xorshift-based random 3-SAT near the threshold.
+        let mut state = 0x12345678u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _round in 0..20 {
+            let n = 30;
+            let m = 100;
+            let mut s = Solver::new();
+            let vars = lits(&mut s, n);
+            let mut clause_set = Vec::new();
+            for _ in 0..m {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = vars[(rand() % n as u64) as usize];
+                    c.push(Lit::new(v, rand() % 2 == 0));
+                }
+                clause_set.push(c.clone());
+                s.add_clause(c);
+            }
+            if s.solve() == SolveResult::Sat {
+                let model = s.model().unwrap();
+                for c in &clause_set {
+                    assert!(
+                        c.iter().any(|l| model[l.var().index()] == l.is_pos()),
+                        "model violates clause {c:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solver_is_reusable_and_monotone() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause([Lit::pos(v[0]), Lit::pos(v[1])]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause([Lit::neg(v[0])]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model().unwrap()[v[1].index()]);
+        s.add_clause([Lit::neg(v[1])]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (mut s, _) = pigeonhole(4);
+        s.solve();
+        let stats = s.stats();
+        assert!(stats.conflicts > 0);
+        assert!(stats.decisions > 0);
+        assert!(stats.propagations > 0);
+        assert_eq!(stats.vars, 20);
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (1..=15).map(luby).collect();
+        assert_eq!(got, expected);
+    }
+}

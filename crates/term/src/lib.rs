@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Terms, symbols, values, and s-expressions for the Denali superoptimizer.
+//!
+//! This crate is the foundation of the reproduction of *Denali: A
+//! Goal-directed Superoptimizer* (Joshi, Nelson & Randall, PLDI 2002).
+//! It provides:
+//!
+//! * [`Symbol`] — cheap interned identifiers for operators, registers, and
+//!   variables,
+//! * [`Term`] — immutable first-order terms (the things Denali's E-graph
+//!   represents, matches, and schedules),
+//! * [`value`] — the 64-bit semantics of every operation Denali knows
+//!   about, used as the single ground truth by the axiom soundness tests,
+//!   the E-graph constant folder, the instruction simulator, and the
+//!   brute-force baseline,
+//! * [`sexpr`] — the small LISP-like surface syntax shared by the axiom
+//!   files and the Denali source language (the paper's Figure 6 syntax).
+//!
+//! # Example
+//!
+//! ```
+//! use denali_term::{Term, Symbol};
+//!
+//! // The paper's Figure 2 goal term: reg6 * 4 + 1.
+//! let reg6 = Term::leaf(Symbol::intern("reg6"));
+//! let goal = Term::call("add64", vec![
+//!     Term::call("mul64", vec![reg6, Term::constant(4)]),
+//!     Term::constant(1),
+//! ]);
+//! assert_eq!(goal.to_string(), "(add64 (mul64 reg6 4) 1)");
+//! ```
+
+pub mod ops;
+pub mod sexpr;
+pub mod symbol;
+pub mod term;
+pub mod value;
+
+pub use ops::{OpInfo, OpKind};
+pub use sexpr::Sexpr;
+pub use symbol::Symbol;
+pub use term::{Op, Term};

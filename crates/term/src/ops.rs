@@ -1,0 +1,474 @@
+//! The operation registry: every function symbol Denali knows about,
+//! with its arity, classification, and 64-bit semantics.
+//!
+//! The paper distinguishes *machine operations* (computable by one
+//! instruction of the target architecture) from *non-machine operations*
+//! (allowed in the input and the axioms, but not directly executable,
+//! like `**` in Figure 2). This registry records that classification and
+//! the executable semantics of each operation on 64-bit words.
+//!
+//! The semantics here are the single source of truth: the E-graph constant
+//! folder, the instruction simulator, the brute-force baseline, and the
+//! axiom soundness property tests all evaluate through this table.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use crate::symbol::Symbol;
+
+/// How an operation relates to the target machine.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpKind {
+    /// A mathematical helper function (`add64`, `pow`, `selectb`, ...);
+    /// not directly executable, introduced so axioms can be stated
+    /// conveniently.
+    Math,
+    /// Computable by a single register-to-register instruction of the
+    /// target architecture.
+    Machine,
+    /// A machine memory access (`ldq`, `stq`).
+    MachineMemory,
+    /// A mathematical array operation on memory values (`select`,
+    /// `store`).
+    MathMemory,
+}
+
+/// Static description of one operation.
+#[derive(Clone, Copy, Debug)]
+pub struct OpInfo {
+    /// The operation's name.
+    pub name: &'static str,
+    /// Number of arguments.
+    pub arity: usize,
+    /// Machine/math classification.
+    pub kind: OpKind,
+    /// Word-level semantics, if the operation maps words to a word.
+    /// Memory operations and uninterpreted program-specific operations
+    /// have no entry here.
+    pub eval: Option<fn(&[u64]) -> u64>,
+}
+
+fn sext32(x: u64) -> u64 {
+    x as u32 as i32 as i64 as u64
+}
+
+fn byte_shift(i: u64) -> u32 {
+    (8 * (i & 7)) as u32
+}
+
+fn shifted_mask(width_mask: u64, i: u64) -> u64 {
+    // Alpha insert/mask ops shift an 8/16/32/64-bit field to byte
+    // position i & 7; bits shifted past bit 63 fall off.
+    width_mask.checked_shl(byte_shift(i)).unwrap_or(0)
+}
+
+fn zapnot_mask(m: u64) -> u64 {
+    let mut keep = 0u64;
+    for byte in 0..8 {
+        if (m >> byte) & 1 == 1 {
+            keep |= 0xff << (8 * byte);
+        }
+    }
+    keep
+}
+
+fn wrapping_pow(base: u64, exp: u64) -> u64 {
+    let mut result = 1u64;
+    let mut base = base;
+    let mut exp = exp;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = result.wrapping_mul(base);
+        }
+        base = base.wrapping_mul(base);
+        exp >>= 1;
+    }
+    result
+}
+
+macro_rules! op_table {
+    ($(($name:literal, $arity:literal, $kind:ident, $eval:expr)),* $(,)?) => {
+        &[$(OpInfo {
+            name: $name,
+            arity: $arity,
+            kind: OpKind::$kind,
+            eval: $eval,
+        }),*]
+    };
+}
+
+/// All built-in operations.
+#[rustfmt::skip]
+fn table() -> &'static [OpInfo] {
+    // Wrapper fns (no closures in statics).
+    fn add64(a: &[u64]) -> u64 { a[0].wrapping_add(a[1]) }
+    fn sub64(a: &[u64]) -> u64 { a[0].wrapping_sub(a[1]) }
+    fn mul64(a: &[u64]) -> u64 { a[0].wrapping_mul(a[1]) }
+    fn neg64(a: &[u64]) -> u64 { a[0].wrapping_neg() }
+    fn and64(a: &[u64]) -> u64 { a[0] & a[1] }
+    fn or64(a: &[u64]) -> u64 { a[0] | a[1] }
+    fn xor64(a: &[u64]) -> u64 { a[0] ^ a[1] }
+    fn not64(a: &[u64]) -> u64 { !a[0] }
+    fn shl64(a: &[u64]) -> u64 { a[0] << (a[1] & 63) }
+    fn shr64(a: &[u64]) -> u64 { a[0] >> (a[1] & 63) }
+    fn sar64(a: &[u64]) -> u64 { ((a[0] as i64) >> (a[1] & 63)) as u64 }
+    fn pow(a: &[u64]) -> u64 { wrapping_pow(a[0], a[1]) }
+    fn selectb(a: &[u64]) -> u64 { (a[0] >> byte_shift(a[1])) & 0xff }
+    fn storeb(a: &[u64]) -> u64 {
+        (a[0] & !shifted_mask(0xff, a[1])) | ((a[2] & 0xff) << byte_shift(a[1]))
+    }
+    fn selectw(a: &[u64]) -> u64 { (a[0] >> (16 * (a[1] & 3))) & 0xffff }
+    fn storew(a: &[u64]) -> u64 {
+        let sh = (16 * (a[1] & 3)) as u32;
+        (a[0] & !(0xffffu64 << sh)) | ((a[2] & 0xffff) << sh)
+    }
+    fn castshort(a: &[u64]) -> u64 { a[0] & 0xffff }
+    fn castint(a: &[u64]) -> u64 { sext32(a[0]) }
+    fn ite(a: &[u64]) -> u64 { if a[0] != 0 { a[1] } else { a[2] } }
+    fn log2(a: &[u64]) -> u64 { if a[0] == 0 { 0 } else { 63 - a[0].leading_zeros() as u64 } }
+
+    fn addq(a: &[u64]) -> u64 { a[0].wrapping_add(a[1]) }
+    fn subq(a: &[u64]) -> u64 { a[0].wrapping_sub(a[1]) }
+    fn mulq(a: &[u64]) -> u64 { a[0].wrapping_mul(a[1]) }
+    fn umulh(a: &[u64]) -> u64 { (((a[0] as u128) * (a[1] as u128)) >> 64) as u64 }
+    fn addl(a: &[u64]) -> u64 { sext32(a[0].wrapping_add(a[1])) }
+    fn subl(a: &[u64]) -> u64 { sext32(a[0].wrapping_sub(a[1])) }
+    fn s4addq(a: &[u64]) -> u64 { a[0].wrapping_mul(4).wrapping_add(a[1]) }
+    fn s8addq(a: &[u64]) -> u64 { a[0].wrapping_mul(8).wrapping_add(a[1]) }
+    fn s4subq(a: &[u64]) -> u64 { a[0].wrapping_mul(4).wrapping_sub(a[1]) }
+    fn s8subq(a: &[u64]) -> u64 { a[0].wrapping_mul(8).wrapping_sub(a[1]) }
+    fn and(a: &[u64]) -> u64 { a[0] & a[1] }
+    fn bis(a: &[u64]) -> u64 { a[0] | a[1] }
+    fn xor(a: &[u64]) -> u64 { a[0] ^ a[1] }
+    fn bic(a: &[u64]) -> u64 { a[0] & !a[1] }
+    fn ornot(a: &[u64]) -> u64 { a[0] | !a[1] }
+    fn eqv(a: &[u64]) -> u64 { !(a[0] ^ a[1]) }
+    fn sll(a: &[u64]) -> u64 { a[0] << (a[1] & 63) }
+    fn srl(a: &[u64]) -> u64 { a[0] >> (a[1] & 63) }
+    fn sra(a: &[u64]) -> u64 { ((a[0] as i64) >> (a[1] & 63)) as u64 }
+    fn extbl(a: &[u64]) -> u64 { (a[0] >> byte_shift(a[1])) & 0xff }
+    fn extwl(a: &[u64]) -> u64 { (a[0] >> byte_shift(a[1])) & 0xffff }
+    fn extll(a: &[u64]) -> u64 { (a[0] >> byte_shift(a[1])) & 0xffff_ffff }
+    fn extql(a: &[u64]) -> u64 { a[0] >> byte_shift(a[1]) }
+    fn insbl(a: &[u64]) -> u64 { (a[0] & 0xff).checked_shl(byte_shift(a[1])).unwrap_or(0) }
+    fn inswl(a: &[u64]) -> u64 { (a[0] & 0xffff).checked_shl(byte_shift(a[1])).unwrap_or(0) }
+    fn insll(a: &[u64]) -> u64 { (a[0] & 0xffff_ffff).checked_shl(byte_shift(a[1])).unwrap_or(0) }
+    fn insql(a: &[u64]) -> u64 { a[0].checked_shl(byte_shift(a[1])).unwrap_or(0) }
+    fn mskbl(a: &[u64]) -> u64 { a[0] & !shifted_mask(0xff, a[1]) }
+    fn mskwl(a: &[u64]) -> u64 { a[0] & !shifted_mask(0xffff, a[1]) }
+    fn mskll(a: &[u64]) -> u64 { a[0] & !shifted_mask(0xffff_ffff, a[1]) }
+    fn mskql(a: &[u64]) -> u64 { a[0] & !shifted_mask(u64::MAX, a[1]) }
+    fn zapnot(a: &[u64]) -> u64 { a[0] & zapnot_mask(a[1]) }
+    fn zap(a: &[u64]) -> u64 { a[0] & !zapnot_mask(a[1]) }
+    fn sextb(a: &[u64]) -> u64 { a[0] as u8 as i8 as i64 as u64 }
+    fn sextw(a: &[u64]) -> u64 { a[0] as u16 as i16 as i64 as u64 }
+    fn cmpeq(a: &[u64]) -> u64 { (a[0] == a[1]) as u64 }
+    fn cmplt(a: &[u64]) -> u64 { ((a[0] as i64) < (a[1] as i64)) as u64 }
+    fn cmple(a: &[u64]) -> u64 { ((a[0] as i64) <= (a[1] as i64)) as u64 }
+    fn cmpult(a: &[u64]) -> u64 { (a[0] < a[1]) as u64 }
+    fn cmpule(a: &[u64]) -> u64 { (a[0] <= a[1]) as u64 }
+    fn cmoveq(a: &[u64]) -> u64 { if a[0] == 0 { a[1] } else { a[2] } }
+    fn cmovne(a: &[u64]) -> u64 { if a[0] != 0 { a[1] } else { a[2] } }
+    fn ldiq(a: &[u64]) -> u64 { a[0] }
+    // IA-64-flavored operations (the paper's in-progress Itanium port).
+    fn shladd(a: &[u64]) -> u64 { (a[0] << (a[1] & 63)).wrapping_add(a[2]) }
+    fn extr_u(a: &[u64]) -> u64 {
+        let len = a[2] & 63;
+        let mask = if len == 0 { u64::MAX } else { (1u64 << len).wrapping_sub(1) };
+        // len == 0 is interpreted as 64 (whole word), matching dep_z.
+        let mask = if a[2] == 64 { u64::MAX } else { mask };
+        (a[0] >> (a[1] & 63)) & mask
+    }
+    fn dep_z(a: &[u64]) -> u64 {
+        let len = a[2] & 63;
+        let mask = if len == 0 { u64::MAX } else { (1u64 << len).wrapping_sub(1) };
+        let mask = if a[2] == 64 { u64::MAX } else { mask };
+        (a[0] & mask).checked_shl((a[1] & 63) as u32).unwrap_or(0)
+    }
+    fn andcm(a: &[u64]) -> u64 { a[0] & !a[1] }
+
+    static TABLE: &[OpInfo] = op_table![
+        // ---- Mathematical (non-machine) operations ----
+        ("add64",    2, Math, Some(add64)),
+        ("sub64",    2, Math, Some(sub64)),
+        ("mul64",    2, Math, Some(mul64)),
+        ("neg64",    1, Math, Some(neg64)),
+        ("and64",    2, Math, Some(and64)),
+        ("or64",     2, Math, Some(or64)),
+        ("xor64",    2, Math, Some(xor64)),
+        ("not64",    1, Math, Some(not64)),
+        ("shl64",    2, Math, Some(shl64)),
+        ("shr64",    2, Math, Some(shr64)),
+        ("sar64",    2, Math, Some(sar64)),
+        ("pow",      2, Math, Some(pow)),
+        ("selectb",  2, Math, Some(selectb)),
+        ("storeb",   3, Math, Some(storeb)),
+        ("selectw",  2, Math, Some(selectw)),
+        ("storew",   3, Math, Some(storew)),
+        ("castshort", 1, Math, Some(castshort)),
+        ("castint",  1, Math, Some(castint)),
+        ("ite",      3, Math, Some(ite)),
+        ("log2",     1, Math, Some(log2)),
+        // Array operations over memory values.
+        ("select",   2, MathMemory, None),
+        ("store",    3, MathMemory, None),
+
+        // ---- Machine operations (Alpha EV6 subset) ----
+        ("addq",   2, Machine, Some(addq)),
+        ("subq",   2, Machine, Some(subq)),
+        ("mulq",   2, Machine, Some(mulq)),
+        ("umulh",  2, Machine, Some(umulh)),
+        ("addl",   2, Machine, Some(addl)),
+        ("subl",   2, Machine, Some(subl)),
+        ("s4addq", 2, Machine, Some(s4addq)),
+        ("s8addq", 2, Machine, Some(s8addq)),
+        ("s4subq", 2, Machine, Some(s4subq)),
+        ("s8subq", 2, Machine, Some(s8subq)),
+        ("and",    2, Machine, Some(and)),
+        ("bis",    2, Machine, Some(bis)),
+        ("xor",    2, Machine, Some(xor)),
+        ("bic",    2, Machine, Some(bic)),
+        ("ornot",  2, Machine, Some(ornot)),
+        ("eqv",    2, Machine, Some(eqv)),
+        ("sll",    2, Machine, Some(sll)),
+        ("srl",    2, Machine, Some(srl)),
+        ("sra",    2, Machine, Some(sra)),
+        ("extbl",  2, Machine, Some(extbl)),
+        ("extwl",  2, Machine, Some(extwl)),
+        ("extll",  2, Machine, Some(extll)),
+        ("extql",  2, Machine, Some(extql)),
+        ("insbl",  2, Machine, Some(insbl)),
+        ("inswl",  2, Machine, Some(inswl)),
+        ("insll",  2, Machine, Some(insll)),
+        ("insql",  2, Machine, Some(insql)),
+        ("mskbl",  2, Machine, Some(mskbl)),
+        ("mskwl",  2, Machine, Some(mskwl)),
+        ("mskll",  2, Machine, Some(mskll)),
+        ("mskql",  2, Machine, Some(mskql)),
+        ("zapnot", 2, Machine, Some(zapnot)),
+        ("zap",    2, Machine, Some(zap)),
+        ("sextb",  1, Machine, Some(sextb)),
+        ("sextw",  1, Machine, Some(sextw)),
+        ("cmpeq",  2, Machine, Some(cmpeq)),
+        ("cmplt",  2, Machine, Some(cmplt)),
+        ("cmple",  2, Machine, Some(cmple)),
+        ("cmpult", 2, Machine, Some(cmpult)),
+        ("cmpule", 2, Machine, Some(cmpule)),
+        ("cmoveq", 3, Machine, Some(cmoveq)),
+        ("cmovne", 3, Machine, Some(cmovne)),
+        // Constant materialization pseudo-instruction (stands in for
+        // lda/ldah sequences; see DESIGN.md).
+        ("ldiq",   1, Machine, Some(ldiq)),
+        // ---- IA-64-flavored machine operations (Itanium port) ----
+        ("shladd", 3, Machine, Some(shladd)),
+        ("extr_u", 3, Machine, Some(extr_u)),
+        ("dep_z",  3, Machine, Some(dep_z)),
+        ("andcm",  2, Machine, Some(andcm)),
+
+        // ---- Machine memory operations ----
+        ("ldq", 2, MachineMemory, None), // ldq(M, addr)
+        ("stq", 3, MachineMemory, None), // stq(M, addr, value) -> memory
+    ];
+    TABLE
+}
+
+fn registry() -> &'static HashMap<Symbol, &'static OpInfo> {
+    static REGISTRY: OnceLock<HashMap<Symbol, &'static OpInfo>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut map = HashMap::new();
+        for info in table() {
+            let prev = map.insert(Symbol::intern(info.name), info);
+            assert!(prev.is_none(), "duplicate op {}", info.name);
+        }
+        map
+    })
+}
+
+/// Looks up a built-in operation by symbol.
+///
+/// Returns `None` for uninterpreted (program-specific) operations like the
+/// checksum example's `add` and `carry`.
+pub fn info(sym: Symbol) -> Option<&'static OpInfo> {
+    registry().get(&sym).copied()
+}
+
+/// Evaluates a built-in operation on constant arguments.
+///
+/// Returns `None` if the operation is unknown, has no word-level
+/// semantics (memory ops), or `args` has the wrong arity.
+pub fn eval(sym: Symbol, args: &[u64]) -> Option<u64> {
+    let info = info(sym)?;
+    if args.len() != info.arity {
+        return None;
+    }
+    info.eval.map(|f| f(args))
+}
+
+/// True if `sym` names a machine operation (register-to-register or
+/// memory).
+pub fn is_machine(sym: Symbol) -> bool {
+    matches!(
+        info(sym).map(|i| i.kind),
+        Some(OpKind::Machine | OpKind::MachineMemory)
+    )
+}
+
+/// Iterates over every built-in operation.
+pub fn all() -> impl Iterator<Item = &'static OpInfo> {
+    table().iter()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, args: &[u64]) -> u64 {
+        eval(Symbol::intern(name), args).expect("op evaluates")
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        assert_eq!(ev("add64", &[u64::MAX, 1]), 0);
+        assert_eq!(ev("sub64", &[0, 1]), u64::MAX);
+        assert_eq!(ev("mul64", &[1 << 63, 2]), 0);
+        assert_eq!(ev("neg64", &[1]), u64::MAX);
+    }
+
+    #[test]
+    fn machine_and_math_arithmetic_agree() {
+        for (a, b) in [(3, 4), (u64::MAX, 7), (1 << 62, 1 << 63)] {
+            assert_eq!(ev("addq", &[a, b]), ev("add64", &[a, b]));
+            assert_eq!(ev("subq", &[a, b]), ev("sub64", &[a, b]));
+            assert_eq!(ev("mulq", &[a, b]), ev("mul64", &[a, b]));
+        }
+    }
+
+    #[test]
+    fn scaled_adds() {
+        assert_eq!(ev("s4addq", &[10, 1]), 41);
+        assert_eq!(ev("s8addq", &[10, 1]), 81);
+        assert_eq!(ev("s4subq", &[10, 1]), 39);
+        assert_eq!(ev("s8subq", &[10, 1]), 79);
+    }
+
+    #[test]
+    fn addl_sign_extends() {
+        assert_eq!(ev("addl", &[0x7fff_ffff, 1]), 0xffff_ffff_8000_0000);
+        assert_eq!(ev("addl", &[1, 1]), 2);
+        assert_eq!(ev("subl", &[0, 1]), u64::MAX);
+    }
+
+    #[test]
+    fn shifts_mask_the_count() {
+        assert_eq!(ev("sll", &[1, 64]), 1); // count taken mod 64, like Alpha
+        assert_eq!(ev("sll", &[1, 3]), 8);
+        assert_eq!(ev("srl", &[0x80, 4]), 8);
+        assert_eq!(ev("sra", &[u64::MAX, 5]), u64::MAX);
+        assert_eq!(ev("shl64", &[1, 3]), ev("sll", &[1, 3]));
+    }
+
+    #[test]
+    fn pow_of_two() {
+        assert_eq!(ev("pow", &[2, 2]), 4);
+        assert_eq!(ev("pow", &[2, 63]), 1 << 63);
+        assert_eq!(ev("pow", &[2, 64]), 0); // wraps
+        assert_eq!(ev("pow", &[3, 0]), 1);
+    }
+
+    #[test]
+    fn byte_extract_insert_mask() {
+        let w = 0x8877_6655_4433_2211u64;
+        assert_eq!(ev("extbl", &[w, 0]), 0x11);
+        assert_eq!(ev("extbl", &[w, 3]), 0x44);
+        assert_eq!(ev("extbl", &[w, 8]), 0x11); // index mod 8
+        assert_eq!(ev("extwl", &[w, 2]), 0x4433);
+        assert_eq!(ev("extql", &[w, 4]), 0x8877_6655);
+        assert_eq!(ev("insbl", &[0xab, 3]), 0x0000_00ab_0000_0000 >> 8);
+        assert_eq!(ev("insbl", &[0x1_23, 1]), 0x2300);
+        assert_eq!(ev("mskbl", &[w, 1]), 0x8877_6655_4433_0011);
+        assert_eq!(ev("mskwl", &[w, 0]), 0x8877_6655_4433_0000);
+        assert_eq!(ev("mskql", &[w, 0]), 0);
+    }
+
+    #[test]
+    fn selectb_storeb_agree_with_ext_ins_msk() {
+        let w = 0xdead_beef_1234_5678u64;
+        for i in 0..8 {
+            assert_eq!(ev("selectb", &[w, i]), ev("extbl", &[w, i]));
+            let composed = ev("bis", &[ev("mskbl", &[w, i]), ev("insbl", &[0xa5, i])]);
+            assert_eq!(ev("storeb", &[w, i, 0xa5]), composed);
+        }
+    }
+
+    #[test]
+    fn zapnot_keeps_selected_bytes() {
+        let w = 0x8877_6655_4433_2211u64;
+        assert_eq!(ev("zapnot", &[w, 0b0000_0011]), 0x2211);
+        assert_eq!(ev("zapnot", &[w, 0xff]), w);
+        assert_eq!(ev("zap", &[w, 0xff]), 0);
+        assert_eq!(ev("zap", &[w, 0]), w);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(ev("cmpult", &[1, 2]), 1);
+        assert_eq!(ev("cmpult", &[2, 1]), 0);
+        assert_eq!(ev("cmplt", &[u64::MAX, 0]), 1); // -1 < 0 signed
+        assert_eq!(ev("cmpult", &[u64::MAX, 0]), 0);
+        assert_eq!(ev("cmpeq", &[5, 5]), 1);
+        assert_eq!(ev("cmple", &[3, 3]), 1);
+        assert_eq!(ev("cmpule", &[4, 3]), 0);
+    }
+
+    #[test]
+    fn conditional_moves() {
+        assert_eq!(ev("cmoveq", &[0, 7, 9]), 7);
+        assert_eq!(ev("cmoveq", &[1, 7, 9]), 9);
+        assert_eq!(ev("cmovne", &[1, 7, 9]), 7);
+    }
+
+    #[test]
+    fn sign_extensions() {
+        assert_eq!(ev("sextb", &[0x80]), 0xffff_ffff_ffff_ff80);
+        assert_eq!(ev("sextb", &[0x7f]), 0x7f);
+        assert_eq!(ev("sextw", &[0x8000]), 0xffff_ffff_ffff_8000);
+    }
+
+    #[test]
+    fn selectw_is_word_indexed() {
+        let w = 0x4444_3333_2222_1111u64;
+        assert_eq!(ev("selectw", &[w, 0]), 0x1111);
+        assert_eq!(ev("selectw", &[w, 3]), 0x4444);
+        assert_eq!(ev("storew", &[w, 1, 0xabcd]), 0x4444_3333_abcd_1111);
+    }
+
+    #[test]
+    fn registry_rejects_bad_arity_and_unknown_ops() {
+        assert_eq!(eval(Symbol::intern("addq"), &[1]), None);
+        assert_eq!(eval(Symbol::intern("no_such_op"), &[1, 2]), None);
+        assert_eq!(eval(Symbol::intern("ldq"), &[1, 2]), None); // memory: no word semantics
+    }
+
+    #[test]
+    fn classification() {
+        assert!(is_machine(Symbol::intern("addq")));
+        assert!(is_machine(Symbol::intern("ldq")));
+        assert!(!is_machine(Symbol::intern("add64")));
+        assert!(!is_machine(Symbol::intern("pow")));
+        assert!(!is_machine(Symbol::intern("carry")));
+        assert_eq!(info(Symbol::intern("select")).unwrap().kind, OpKind::MathMemory);
+    }
+
+    #[test]
+    fn all_ops_have_consistent_metadata() {
+        for op in all() {
+            let sym = Symbol::intern(op.name);
+            assert_eq!(info(sym).unwrap().name, op.name);
+            if let Some(f) = op.eval {
+                // Evaluator must not panic on arbitrary args of the right arity.
+                let args: Vec<u64> = (0..op.arity as u64).map(|i| i.wrapping_mul(u64::MAX / 3)).collect();
+                let _ = f(&args);
+            }
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! S-expression reader and printer.
+//!
+//! Denali's axiom files and source programs use a LISP-like syntax (the
+//! paper's Figure 6). Keywords are written with a leading backslash
+//! (`\axiom`, `\procdecl`); the reader keeps the backslash as part of the
+//! atom so higher layers can distinguish keywords from user identifiers.
+//! Comments run from `;` to end of line.
+
+use std::fmt;
+
+/// A parsed s-expression: an atom or a list.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Sexpr {
+    /// A bare token (identifier, keyword, or numeric literal).
+    Atom(String),
+    /// A parenthesized sequence.
+    List(Vec<Sexpr>),
+}
+
+impl Sexpr {
+    /// Convenience constructor for an atom.
+    pub fn atom(s: impl Into<String>) -> Sexpr {
+        Sexpr::Atom(s.into())
+    }
+
+    /// Returns the atom text, if this is an atom.
+    pub fn as_atom(&self) -> Option<&str> {
+        match self {
+            Sexpr::Atom(a) => Some(a),
+            Sexpr::List(_) => None,
+        }
+    }
+
+    /// Returns the list items, if this is a list.
+    pub fn as_list(&self) -> Option<&[Sexpr]> {
+        match self {
+            Sexpr::Atom(_) => None,
+            Sexpr::List(items) => Some(items),
+        }
+    }
+
+    /// Returns a copy with every atom's leading backslash removed
+    /// (`\add64` → `add64`), recursively. The Denali surface syntax uses
+    /// the backslash to mark built-in names; once a form is recognized,
+    /// the marker is noise.
+    pub fn strip_backslashes(&self) -> Sexpr {
+        match self {
+            Sexpr::Atom(a) => Sexpr::Atom(a.strip_prefix('\\').unwrap_or(a).to_owned()),
+            Sexpr::List(items) => {
+                Sexpr::List(items.iter().map(Sexpr::strip_backslashes).collect())
+            }
+        }
+    }
+
+    /// True if this is an atom equal to `text` (modulo a leading `\`).
+    ///
+    /// The paper's syntax writes keywords as `\axiom`; we accept both
+    /// `\axiom` and `axiom`.
+    pub fn is_keyword(&self, text: &str) -> bool {
+        match self {
+            Sexpr::Atom(a) => a == text || a.strip_prefix('\\') == Some(text),
+            Sexpr::List(_) => false,
+        }
+    }
+}
+
+impl fmt::Display for Sexpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sexpr::Atom(a) => f.write_str(a),
+            Sexpr::List(items) => {
+                write!(f, "(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A parse error with 1-based line/column of the offending character.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseSexprError {
+    /// Explanation of the failure.
+    pub message: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub column: usize,
+}
+
+impl fmt::Display for ParseSexprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseSexprError {}
+
+struct Reader<'a> {
+    input: &'a [u8],
+    pos: usize,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(input: &'a str) -> Reader<'a> {
+        Reader {
+            input: input.as_bytes(),
+            pos: 0,
+            line: 1,
+            column: 1,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseSexprError {
+        ParseSexprError {
+            message: message.into(),
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b';') => {
+                    while let Some(b) = self.bump() {
+                        if b == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn read(&mut self) -> Result<Sexpr, ParseSexprError> {
+        self.skip_trivia();
+        match self.peek() {
+            None => Err(self.error("unexpected end of input")),
+            Some(b'(') => {
+                self.bump();
+                let mut items = Vec::new();
+                loop {
+                    self.skip_trivia();
+                    match self.peek() {
+                        None => return Err(self.error("unclosed '('")),
+                        Some(b')') => {
+                            self.bump();
+                            return Ok(Sexpr::List(items));
+                        }
+                        Some(_) => items.push(self.read()?),
+                    }
+                }
+            }
+            Some(b')') => Err(self.error("unexpected ')'")),
+            Some(_) => self.read_atom(),
+        }
+    }
+
+    fn read_atom(&mut self) -> Result<Sexpr, ParseSexprError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_whitespace() || b == b'(' || b == b')' || b == b';' {
+                break;
+            }
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.error("expected atom"));
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| self.error("atom is not valid UTF-8"))?;
+        Ok(Sexpr::Atom(text.to_owned()))
+    }
+}
+
+/// Parses a sequence of top-level s-expressions.
+///
+/// # Errors
+///
+/// Returns a [`ParseSexprError`] on unbalanced parentheses or stray input.
+///
+/// # Example
+///
+/// ```
+/// let forms = denali_term::sexpr::parse("(a (b 1)) ; comment\n(c)").unwrap();
+/// assert_eq!(forms.len(), 2);
+/// ```
+pub fn parse(input: &str) -> Result<Vec<Sexpr>, ParseSexprError> {
+    let mut reader = Reader::new(input);
+    let mut forms = Vec::new();
+    loop {
+        reader.skip_trivia();
+        if reader.peek().is_none() {
+            return Ok(forms);
+        }
+        forms.push(reader.read()?);
+    }
+}
+
+/// Parses exactly one s-expression.
+///
+/// # Errors
+///
+/// Returns an error if the input is empty or contains more than one form.
+pub fn parse_one(input: &str) -> Result<Sexpr, ParseSexprError> {
+    let mut forms = parse(input)?;
+    match forms.len() {
+        1 => Ok(forms.remove(0)),
+        0 => Err(ParseSexprError {
+            message: "expected one form, found none".to_owned(),
+            line: 1,
+            column: 1,
+        }),
+        _ => Err(ParseSexprError {
+            message: format!("expected one form, found {}", forms.len()),
+            line: 1,
+            column: 1,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_lists() {
+        let forms = parse("(eq (add a b) (add b a))").unwrap();
+        assert_eq!(forms.len(), 1);
+        let items = forms[0].as_list().unwrap();
+        assert_eq!(items[0].as_atom(), Some("eq"));
+        assert_eq!(items[1].as_list().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn skips_comments_and_whitespace() {
+        let forms = parse("; header\n a ; trailing\n (b)\n").unwrap();
+        assert_eq!(forms.len(), 2);
+        assert_eq!(forms[0].as_atom(), Some("a"));
+    }
+
+    #[test]
+    fn keeps_backslash_keywords() {
+        let forms = parse("(\\axiom x)").unwrap();
+        let items = forms[0].as_list().unwrap();
+        assert_eq!(items[0].as_atom(), Some("\\axiom"));
+        assert!(items[0].is_keyword("axiom"));
+        assert!(Sexpr::atom("axiom").is_keyword("axiom"));
+        assert!(!items[0].is_keyword("procdecl"));
+    }
+
+    #[test]
+    fn reports_unbalanced_parens() {
+        let err = parse("(a (b)").unwrap_err();
+        assert!(err.message.contains("unclosed"));
+        let err = parse("a)").unwrap_err();
+        assert!(err.message.contains("unexpected ')'"));
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let err = parse("(a\n(b\n").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let text = "(\\procdecl f ((a long)) long (:= (\\res a)))";
+        let form = parse_one(text).unwrap();
+        let printed = form.to_string();
+        assert_eq!(parse_one(&printed).unwrap(), form);
+    }
+
+    #[test]
+    fn parse_one_rejects_extra_forms() {
+        assert!(parse_one("a b").is_err());
+        assert!(parse_one("").is_err());
+    }
+
+    #[test]
+    fn operators_are_atoms() {
+        let form = parse_one("(:= (ptr (+ ptr 32)))").unwrap();
+        let items = form.as_list().unwrap();
+        assert_eq!(items[0].as_atom(), Some(":="));
+    }
+}

@@ -1,0 +1,132 @@
+//! Interned string symbols.
+//!
+//! Symbols are `u32`-sized handles to a process-global interner, so they
+//! are `Copy`, hash in O(1), and compare by identity. Interned strings are
+//! leaked: a superoptimizer interns a few hundred operator and register
+//! names, so the leak is bounded and buys `&'static str` access.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string.
+///
+/// # Example
+///
+/// ```
+/// use denali_term::Symbol;
+/// let a = Symbol::intern("add64");
+/// let b = Symbol::intern("add64");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "add64");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `name`, returning its canonical symbol.
+    pub fn intern(name: &str) -> Symbol {
+        let mut interner = interner().lock().expect("interner poisoned");
+        if let Some(&id) = interner.map.get(name) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(interner.strings.len()).expect("interner overflow");
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        interner.strings.push(leaked);
+        interner.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// Returns the interned string.
+    pub fn as_str(self) -> &'static str {
+        let interner = interner().lock().expect("interner poisoned");
+        interner.strings[self.0 as usize]
+    }
+
+    /// Returns the raw interner index (useful as a dense map key).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(name: &str) -> Symbol {
+        Symbol::intern(name)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(name: String) -> Symbol {
+        Symbol::intern(&name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("x");
+        let b = Symbol::intern("x");
+        assert_eq!(a, b);
+        assert_eq!(a.index(), b.index());
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_symbols() {
+        assert_ne!(Symbol::intern("foo_unique_1"), Symbol::intern("foo_unique_2"));
+    }
+
+    #[test]
+    fn round_trips_string() {
+        let s = Symbol::intern("mskbl");
+        assert_eq!(s.as_str(), "mskbl");
+        assert_eq!(s.to_string(), "mskbl");
+    }
+
+    #[test]
+    fn from_str_interns() {
+        let s: Symbol = "bis".into();
+        assert_eq!(s, Symbol::intern("bis"));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Symbol::intern("q")).is_empty());
+    }
+
+    #[test]
+    fn symbols_usable_across_threads() {
+        let s = Symbol::intern("threaded");
+        let handle = std::thread::spawn(move || s.as_str().to_owned());
+        assert_eq!(handle.join().unwrap(), "threaded");
+    }
+}

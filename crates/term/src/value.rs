@@ -1,0 +1,284 @@
+//! Reference evaluation of terms.
+//!
+//! This module evaluates ground terms against an environment of input
+//! values and a memory, using the operation semantics from [`crate::ops`].
+//! It is the *reference semantics* every generated program is checked
+//! against: a GMA's goal expressions are evaluated here and compared with
+//! the simulator's execution of the generated machine code.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ops;
+use crate::symbol::Symbol;
+use crate::term::{Op, Term};
+
+/// A runtime value: a 64-bit word or a memory (array) value.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Val {
+    /// A 64-bit word.
+    Word(u64),
+    /// A memory value: a sparse map from addresses to 64-bit words.
+    /// Unmapped addresses read as zero.
+    Mem(HashMap<u64, u64>),
+}
+
+impl Val {
+    /// Returns the word, or an error if this is a memory value.
+    pub fn as_word(&self) -> Result<u64, EvalError> {
+        match self {
+            Val::Word(w) => Ok(*w),
+            Val::Mem(_) => Err(EvalError::new("expected a word, got a memory value")),
+        }
+    }
+
+    /// Returns the memory map, or an error if this is a word.
+    pub fn as_mem(&self) -> Result<&HashMap<u64, u64>, EvalError> {
+        match self {
+            Val::Mem(m) => Ok(m),
+            Val::Word(_) => Err(EvalError::new("expected a memory value, got a word")),
+        }
+    }
+}
+
+impl From<u64> for Val {
+    fn from(w: u64) -> Val {
+        Val::Word(w)
+    }
+}
+
+/// Evaluation failure (unknown operation, arity mismatch, type mismatch).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EvalError {
+    message: String,
+}
+
+impl EvalError {
+    pub(crate) fn new(message: impl Into<String>) -> EvalError {
+        EvalError {
+            message: message.into(),
+        }
+    }
+
+    /// Creates an evaluation error with a caller-supplied message (for
+    /// layers that evaluate terms in richer contexts, e.g. GMA reference
+    /// evaluation).
+    pub fn custom(message: impl Into<String>) -> EvalError {
+        EvalError::new(message)
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Word-level semantics for operations not in the built-in registry
+/// (program-specific operations like the checksum example's `add` and
+/// `carry`).
+pub type CustomOp = fn(&[u64]) -> u64;
+
+/// An evaluation environment: named inputs plus custom operation
+/// definitions.
+///
+/// # Example
+///
+/// ```
+/// use denali_term::{Term, value::Env};
+///
+/// let t = Term::call("add64", vec![Term::leaf("a"), Term::constant(1)]);
+/// let mut env = Env::new();
+/// env.set_word("a", 41);
+/// assert_eq!(env.eval_word(&t).unwrap(), 42);
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct Env {
+    vars: HashMap<Symbol, Val>,
+    custom: HashMap<Symbol, CustomOp>,
+}
+
+impl Env {
+    /// Creates an empty environment.
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Binds a leaf symbol to a word value.
+    pub fn set_word(&mut self, name: impl Into<Symbol>, value: u64) -> &mut Env {
+        self.vars.insert(name.into(), Val::Word(value));
+        self
+    }
+
+    /// Binds a leaf symbol to a memory value.
+    pub fn set_mem(&mut self, name: impl Into<Symbol>, mem: HashMap<u64, u64>) -> &mut Env {
+        self.vars.insert(name.into(), Val::Mem(mem));
+        self
+    }
+
+    /// Defines word semantics for an uninterpreted operation.
+    pub fn define_op(&mut self, name: impl Into<Symbol>, f: CustomOp) -> &mut Env {
+        self.custom.insert(name.into(), f);
+        self
+    }
+
+    /// Looks up a bound leaf value.
+    pub fn get(&self, name: Symbol) -> Option<&Val> {
+        self.vars.get(&name)
+    }
+
+    /// Evaluates a ground term to a value.
+    ///
+    /// # Errors
+    ///
+    /// Fails on pattern variables, unbound leaves, unknown operations, or
+    /// word/memory type mismatches.
+    pub fn eval(&self, term: &Term) -> Result<Val, EvalError> {
+        match term.op() {
+            Op::Const(c) => Ok(Val::Word(c)),
+            Op::Var(v) => Err(EvalError::new(format!("unbound pattern variable ?{v}"))),
+            Op::Sym(sym) => {
+                if term.args().is_empty() {
+                    return self
+                        .vars
+                        .get(&sym)
+                        .cloned()
+                        .ok_or_else(|| EvalError::new(format!("unbound input {sym}")));
+                }
+                self.eval_app(sym, term)
+            }
+        }
+    }
+
+    /// Evaluates a ground term, requiring a word result.
+    ///
+    /// # Errors
+    ///
+    /// As [`Env::eval`], plus an error if the result is a memory value.
+    pub fn eval_word(&self, term: &Term) -> Result<u64, EvalError> {
+        self.eval(term)?.as_word()
+    }
+
+    fn eval_app(&self, sym: Symbol, term: &Term) -> Result<Val, EvalError> {
+        let name = sym.as_str();
+        // Memory operations need non-word arguments; handle them first.
+        match name {
+            "select" | "ldq" => {
+                let mem = self.eval(&term.args()[0])?;
+                let addr = self.eval_word(&term.args()[1])?;
+                let mem = mem.as_mem()?;
+                return Ok(Val::Word(mem.get(&addr).copied().unwrap_or(0)));
+            }
+            "store" | "stq" => {
+                let mem = self.eval(&term.args()[0])?;
+                let addr = self.eval_word(&term.args()[1])?;
+                let value = self.eval_word(&term.args()[2])?;
+                let mut mem = mem.as_mem()?.clone();
+                mem.insert(addr, value);
+                return Ok(Val::Mem(mem));
+            }
+            _ => {}
+        }
+        let args = term
+            .args()
+            .iter()
+            .map(|a| self.eval_word(a))
+            .collect::<Result<Vec<_>, _>>()?;
+        if let Some(result) = ops::eval(sym, &args) {
+            return Ok(Val::Word(result));
+        }
+        if let Some(f) = self.custom.get(&sym) {
+            return Ok(Val::Word(f(&args)));
+        }
+        Err(EvalError::new(format!(
+            "no semantics for operation {name}/{}",
+            args.len()
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluates_figure2_goal() {
+        // reg6*4 + 1 with reg6 = 10 -> 41, matching s4addq(10, 1).
+        let goal = Term::call(
+            "add64",
+            vec![
+                Term::call("mul64", vec![Term::leaf("reg6"), Term::constant(4)]),
+                Term::constant(1),
+            ],
+        );
+        let mut env = Env::new();
+        env.set_word("reg6", 10);
+        assert_eq!(env.eval_word(&goal).unwrap(), 41);
+        let s4 = Term::call("s4addq", vec![Term::leaf("reg6"), Term::constant(1)]);
+        assert_eq!(env.eval_word(&s4).unwrap(), 41);
+    }
+
+    #[test]
+    fn select_store_semantics() {
+        let mut env = Env::new();
+        env.set_mem("M", HashMap::from([(8, 99)]));
+        env.set_word("p", 8);
+        let select = Term::call("select", vec![Term::leaf("M"), Term::leaf("p")]);
+        assert_eq!(env.eval_word(&select).unwrap(), 99);
+
+        // select(store(M, p, x), p) == x
+        let store = Term::call(
+            "store",
+            vec![Term::leaf("M"), Term::leaf("p"), Term::constant(7)],
+        );
+        let read_back = Term::call("select", vec![store.clone(), Term::leaf("p")]);
+        assert_eq!(env.eval_word(&read_back).unwrap(), 7);
+
+        // select(store(M, p, x), q) == select(M, q) for q != p
+        let other = Term::call("select", vec![store, Term::constant(16)]);
+        assert_eq!(env.eval_word(&other).unwrap(), 0); // unmapped reads as 0
+    }
+
+    #[test]
+    fn unbound_inputs_error() {
+        let env = Env::new();
+        assert!(env.eval(&Term::leaf("nowhere")).is_err());
+        assert!(env.eval(&Term::var("x")).is_err());
+    }
+
+    #[test]
+    fn custom_ops_cover_program_axiom_functions() {
+        // The checksum example's carry(a, b).
+        fn carry(args: &[u64]) -> u64 {
+            (args[0].wrapping_add(args[1]) < args[0]) as u64
+        }
+        let mut env = Env::new();
+        env.define_op("carry", carry);
+        env.set_word("a", u64::MAX);
+        env.set_word("b", 1);
+        let t = Term::call("carry", vec![Term::leaf("a"), Term::leaf("b")]);
+        assert_eq!(env.eval_word(&t).unwrap(), 1);
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error() {
+        let mut env = Env::new();
+        env.set_mem("M", HashMap::new());
+        // add64 over a memory value must fail.
+        let t = Term::call("add64", vec![Term::leaf("M"), Term::constant(1)]);
+        assert!(env.eval(&t).is_err());
+        // select over a word must fail.
+        let t = Term::call("select", vec![Term::constant(0), Term::constant(1)]);
+        assert!(env.eval(&t).is_err());
+    }
+
+    #[test]
+    fn unknown_op_reports_name() {
+        let env = Env::new();
+        let t = Term::call("mystery", vec![Term::constant(1)]);
+        let err = env.eval(&t).unwrap_err();
+        assert!(err.to_string().contains("mystery"));
+    }
+}

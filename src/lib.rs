@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Denali: a goal-directed superoptimizer (façade crate).
+//!
+//! This crate re-exports the public APIs of the component crates of the
+//! Denali reproduction (Joshi, Nelson & Randall, PLDI 2002):
+//!
+//! * [`term`] — symbols, terms, 64-bit operation semantics, s-expressions,
+//! * [`sat`] — a from-scratch CDCL SAT solver (the CHAFF substitute),
+//! * [`egraph`] — the E-graph with congruence closure and e-matching,
+//! * [`axioms`] — mathematical and architectural axiom sets,
+//! * [`arch`] — the EV6-like machine description, assembler, and simulator,
+//! * [`lang`] — the Denali source language and lowering to guarded
+//!   multi-assignments,
+//! * [`core`] — the matcher, the SAT constraint generator, the cycle-budget
+//!   search, and code extraction,
+//! * [`baseline`] — the brute-force superoptimizer and conventional
+//!   rewriting-compiler baselines used in the paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use denali::core::{Denali, Options};
+//!
+//! // Generate code for the paper's Figure 2 term: reg6*4 + 1.
+//! let denali = Denali::new(Options::default());
+//! let result = denali
+//!     .compile_source("(\\procdecl f ((reg6 long)) long (:= (\\res (+ (* reg6 4) 1))))")
+//!     .expect("compilation succeeds");
+//! assert_eq!(result.gmas[0].program.cycles(), 1); // a single s4addq
+//! ```
+
+pub use denali_arch as arch;
+pub use denali_axioms as axioms;
+pub use denali_baseline as baseline;
+pub use denali_core as core;
+pub use denali_egraph as egraph;
+pub use denali_lang as lang;
+pub use denali_sat as sat;
+pub use denali_term as term;

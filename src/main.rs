@@ -1,0 +1,220 @@
+//! The `denali` command-line superoptimizer.
+//!
+//! ```text
+//! denali FILE.dnl [--proc NAME] [--machine ev6|ev6-unclustered|single-issue|ia64like]
+//!                 [--solver cdcl|dpll] [--load-latency N] [--max-cycles N]
+//!                 [--probes] [--dump-dimacs DIR]
+//!                 [--simulate name=value ...]
+//! ```
+//!
+//! Compiles a Denali source file, prints a Figure-4-style listing per
+//! generated GMA, and optionally executes the result on the simulator.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use denali::arch::{Machine, Simulator};
+use denali::core::{Denali, Options, SolverChoice};
+
+struct Cli {
+    file: String,
+    proc_name: Option<String>,
+    options: Options,
+    show_probes: bool,
+    allocate: bool,
+    simulate: Vec<(String, u64)>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: denali FILE.dnl [--proc NAME] [--machine ev6|ev6-unclustered|single-issue|ia64like]\n\
+         \x20                   [--solver cdcl|dpll] [--load-latency N] [--max-cycles N]\n\
+         \x20                   [--probes] [--allocate] [--dump-dimacs DIR]\n\
+         \x20                   [--simulate name=value ...]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_cli() -> Cli {
+    let mut args = std::env::args().skip(1);
+    let mut cli = Cli {
+        file: String::new(),
+        proc_name: None,
+        options: Options::default(),
+        show_probes: false,
+        allocate: false,
+        simulate: Vec::new(),
+    };
+    let need = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            usage();
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--proc" => cli.proc_name = Some(need(&mut args, "--proc")),
+            "--machine" => {
+                cli.options.machine = match need(&mut args, "--machine").as_str() {
+                    "ev6" => Machine::ev6(),
+                    "ia64like" => Machine::ia64like(),
+                    "ev6-unclustered" => Machine::ev6_unclustered(),
+                    "single-issue" => Machine::single_issue(),
+                    other => {
+                        eprintln!("unknown machine {other}");
+                        usage();
+                    }
+                }
+            }
+            "--solver" => {
+                cli.options.solver = match need(&mut args, "--solver").as_str() {
+                    "cdcl" => SolverChoice::Cdcl,
+                    "dpll" => SolverChoice::Dpll,
+                    other => {
+                        eprintln!("unknown solver {other}");
+                        usage();
+                    }
+                }
+            }
+            "--load-latency" => {
+                cli.options.load_latency =
+                    Some(need(&mut args, "--load-latency").parse().unwrap_or_else(|_| usage()))
+            }
+            "--max-cycles" => {
+                cli.options.max_cycles =
+                    need(&mut args, "--max-cycles").parse().unwrap_or_else(|_| usage())
+            }
+            "--probes" => cli.show_probes = true,
+            "--allocate" => cli.allocate = true,
+            "--pipeline" => cli.options.pipeline_loads = true,
+            "--dump-dimacs" => {
+                cli.options.dump_dimacs = Some(need(&mut args, "--dump-dimacs").into())
+            }
+            "--simulate" => {
+                let binding = need(&mut args, "--simulate");
+                let Some((name, value)) = binding.split_once('=') else {
+                    eprintln!("--simulate expects name=value");
+                    usage();
+                };
+                let value = denali::term::term::parse_integer(value).unwrap_or_else(|| {
+                    eprintln!("bad value in {binding}");
+                    usage();
+                });
+                cli.simulate.push((name.to_owned(), value));
+            }
+            "--help" | "-h" => usage(),
+            _ if cli.file.is_empty() && !arg.starts_with('-') => cli.file = arg,
+            other => {
+                eprintln!("unknown argument {other}");
+                usage();
+            }
+        }
+    }
+    if cli.file.is_empty() {
+        usage();
+    }
+    cli
+}
+
+fn main() -> ExitCode {
+    let cli = parse_cli();
+    let source = match std::fs::read_to_string(&cli.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", cli.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let denali = Denali::new(cli.options);
+    let result = match &cli.proc_name {
+        None => denali.compile_source(&source),
+        Some(name) => match denali::lang::parse_program(&source) {
+            Ok(program) => denali.compile_proc(&program, name),
+            Err(e) => {
+                eprintln!("error: parse: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let result = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for compiled in &result.gmas {
+        println!(
+            "// {}: {} cycles ({} instructions){}",
+            compiled.gma.name,
+            compiled.cycles,
+            compiled.program.len(),
+            if compiled.refuted_below {
+                format!(", {} cycles refuted", compiled.cycles.saturating_sub(1))
+            } else {
+                String::new()
+            }
+        );
+        if cli.show_probes {
+            for probe in &compiled.probes {
+                println!("//   {probe}");
+            }
+            println!(
+                "//   matching: {:.1} ms ({} nodes, {} classes); SAT total {:.1} ms",
+                compiled.match_ms,
+                compiled.matcher.nodes,
+                compiled.matcher.classes,
+                compiled.solver_ms()
+            );
+        }
+        if cli.allocate {
+            match denali::arch::allocate(
+                &compiled.program,
+                &denali.options().machine,
+                &denali::arch::alpha_temp_pool(),
+            ) {
+                Ok(allocated) => {
+                    println!("{}", allocated.listing(denali.options().machine.issue_width()))
+                }
+                Err(e) => {
+                    eprintln!("// register allocation failed: {e}");
+                    println!("{}", compiled.program.listing(denali.options().machine.issue_width()));
+                }
+            }
+        } else {
+            println!("{}", compiled.program.listing(denali.options().machine.issue_width()));
+        }
+    }
+
+    if !cli.simulate.is_empty() {
+        let sim = Simulator::new(&denali.options().machine);
+        for compiled in &result.gmas {
+            let inputs: Vec<(&str, u64)> = cli
+                .simulate
+                .iter()
+                .map(|(n, v)| (n.as_str(), *v))
+                .filter(|(n, _)| {
+                    compiled
+                        .program
+                        .input_reg(denali::term::Symbol::intern(n))
+                        .is_some()
+                })
+                .collect();
+            match sim.run_named(&compiled.program, &inputs, HashMap::new()) {
+                Ok(outcome) => {
+                    for (name, reg) in &compiled.program.outputs {
+                        println!("// {}: {name} = {:#x}", compiled.gma.name, outcome.regs[reg]);
+                    }
+                }
+                Err(e) => {
+                    eprintln!(
+                        "// {}: simulation needs more inputs ({e})",
+                        compiled.gma.name
+                    );
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
