@@ -69,11 +69,14 @@ impl fmt::Display for Instr {
             "ldq" => {
                 // ldq $d, disp($base)
                 let (base, disp) = (&self.operands[0], &self.operands[1]);
-                write!(f, "ldq {}, {disp}({base})", self.dest.expect("load has dest"))?;
+                write!(
+                    f,
+                    "ldq {}, {disp}({base})",
+                    self.dest.expect("load has dest")
+                )?;
             }
             "stq" => {
-                let (value, base, disp) =
-                    (&self.operands[0], &self.operands[1], &self.operands[2]);
+                let (value, base, disp) = (&self.operands[0], &self.operands[1], &self.operands[2]);
                 write!(f, "stq {value}, {disp}({base})")?;
             }
             "ldiq" => {
@@ -85,7 +88,12 @@ impl fmt::Display for Instr {
                 )?;
             }
             "mov" => {
-                write!(f, "mov {}, {}", self.operands[0], self.dest.expect("mov has dest"))?;
+                write!(
+                    f,
+                    "mov {}, {}",
+                    self.operands[0],
+                    self.dest.expect("mov has dest")
+                )?;
             }
             _ => {
                 write!(f, "{name} ")?;
@@ -130,11 +138,7 @@ impl Program {
     /// instruction's latency is the true makespan; this reports the
     /// *cycle budget* K used by the paper: the number of issue cycles).
     pub fn cycles(&self) -> u32 {
-        self.instrs
-            .iter()
-            .map(|i| i.cycle + 1)
-            .max()
-            .unwrap_or(0)
+        self.instrs.iter().map(|i| i.cycle + 1).max().unwrap_or(0)
     }
 
     /// Number of real instructions (nops in listings are not stored).
@@ -149,12 +153,18 @@ impl Program {
 
     /// The register assigned to a named input.
     pub fn input_reg(&self, name: Symbol) -> Option<Reg> {
-        self.inputs.iter().find(|(n, _)| *n == name).map(|&(_, r)| r)
+        self.inputs
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, r)| r)
     }
 
     /// The register holding a named output.
     pub fn output_reg(&self, name: Symbol) -> Option<Reg> {
-        self.outputs.iter().find(|(n, _)| *n == name).map(|&(_, r)| r)
+        self.outputs
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, r)| r)
     }
 
     /// Renders a Figure-4-style listing: one line per instruction,

@@ -29,7 +29,7 @@ mod sim;
 mod validate;
 
 pub use asm::{Instr, Operand, Program, Reg};
-pub use regalloc::{allocate, alpha_temp_pool, AllocError};
 pub use machine::{InstrInfo, Machine, Unit};
+pub use regalloc::{allocate, alpha_temp_pool, AllocError};
 pub use sim::{SimError, Simulator};
 pub use validate::{validate, ValidationError};

@@ -111,8 +111,8 @@ impl Machine {
         add(
             &[
                 "addq", "subq", "addl", "subl", "s4addq", "s8addq", "s4subq", "s8subq", "and",
-                "bis", "xor", "bic", "ornot", "eqv", "cmpeq", "cmplt", "cmple", "cmpult",
-                "cmpule", "cmoveq", "cmovne", "ldiq", "mov",
+                "bis", "xor", "bic", "ornot", "eqv", "cmpeq", "cmplt", "cmple", "cmpult", "cmpule",
+                "cmoveq", "cmovne", "ldiq", "mov",
             ],
             &ALL_UNITS,
             1,
@@ -120,9 +120,8 @@ impl Machine {
         // Shifts and the byte-manipulation unit live on the upper pipes.
         add(
             &[
-                "sll", "srl", "sra", "extbl", "extwl", "extll", "extql", "insbl", "inswl",
-                "insll", "insql", "mskbl", "mskwl", "mskll", "mskql", "zapnot", "zap", "sextb",
-                "sextw",
+                "sll", "srl", "sra", "extbl", "extwl", "extll", "extql", "insbl", "inswl", "insll",
+                "insql", "mskbl", "mskwl", "mskll", "mskql", "zapnot", "zap", "sextb", "sextw",
             ],
             &UPPER,
             1,
@@ -165,13 +164,17 @@ impl Machine {
         };
         add(
             &[
-                "addq", "subq", "and", "bis", "xor", "andcm", "ornot", "cmpeq", "cmplt",
-                "cmple", "cmpult", "cmpule", "cmoveq", "cmovne", "ldiq", "mov", "shladd",
+                "addq", "subq", "and", "bis", "xor", "andcm", "ornot", "cmpeq", "cmplt", "cmple",
+                "cmpult", "cmpule", "cmoveq", "cmovne", "ldiq", "mov", "shladd",
             ],
             &ALL_UNITS,
             1,
         );
-        add(&["sll", "srl", "sra", "extr_u", "dep_z", "sextb", "sextw"], &UPPER, 1);
+        add(
+            &["sll", "srl", "sra", "extr_u", "dep_z", "sextb", "sextw"],
+            &UPPER,
+            1,
+        );
         // Integer multiply goes through the FP unit on Itanium: slow and
         // single-ported.
         add(&["mulq", "umulh"], &[Unit::U1], 9);
@@ -236,12 +239,7 @@ impl Machine {
         if self.cluster_delay == 0 {
             1
         } else {
-            self.units
-                .iter()
-                .map(|u| u.cluster())
-                .max()
-                .unwrap_or(0)
-                + 1
+            self.units.iter().map(|u| u.cluster()).max().unwrap_or(0) + 1
         }
     }
 

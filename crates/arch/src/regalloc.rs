@@ -55,11 +55,7 @@ pub fn alpha_temp_pool() -> Vec<Reg> {
 ///
 /// Fails if the program needs more live temporaries than `pool` offers
 /// (this allocator does not spill).
-pub fn allocate(
-    program: &Program,
-    machine: &Machine,
-    pool: &[Reg],
-) -> Result<Program, AllocError> {
+pub fn allocate(program: &Program, machine: &Machine, pool: &[Reg]) -> Result<Program, AllocError> {
     // Input mapping: argument registers, in input order.
     let mut mapping: HashMap<Reg, Reg> = HashMap::new();
     let mut inputs = Vec::new();
@@ -180,9 +176,27 @@ mod tests {
         let a = Reg(100);
         Program {
             instrs: vec![
-                instr("addq", vec![Operand::Reg(a), Operand::Imm(1)], Some(Reg(101)), 0, Unit::U0),
-                instr("addq", vec![Operand::Reg(Reg(101)), Operand::Imm(1)], Some(Reg(102)), 1, Unit::U0),
-                instr("addq", vec![Operand::Reg(Reg(102)), Operand::Imm(1)], Some(Reg(103)), 2, Unit::U0),
+                instr(
+                    "addq",
+                    vec![Operand::Reg(a), Operand::Imm(1)],
+                    Some(Reg(101)),
+                    0,
+                    Unit::U0,
+                ),
+                instr(
+                    "addq",
+                    vec![Operand::Reg(Reg(101)), Operand::Imm(1)],
+                    Some(Reg(102)),
+                    1,
+                    Unit::U0,
+                ),
+                instr(
+                    "addq",
+                    vec![Operand::Reg(Reg(102)), Operand::Imm(1)],
+                    Some(Reg(103)),
+                    2,
+                    Unit::U0,
+                ),
             ],
             inputs: vec![(sym("a"), a)],
             outputs: vec![(sym("res"), Reg(103))],
@@ -206,11 +220,8 @@ mod tests {
         // two registers suffice.
         let machine = Machine::ev6();
         let allocated = allocate(&chain_program(), &machine, &[Reg(0), Reg(1)]).unwrap();
-        let used: std::collections::HashSet<Reg> = allocated
-            .instrs
-            .iter()
-            .filter_map(|i| i.dest)
-            .collect();
+        let used: std::collections::HashSet<Reg> =
+            allocated.instrs.iter().filter_map(|i| i.dest).collect();
         assert!(used.len() <= 2, "{used:?}");
     }
 
@@ -245,11 +256,41 @@ mod tests {
         let a = Reg(100);
         let program = Program {
             instrs: vec![
-                instr("addq", vec![Operand::Reg(a), Operand::Imm(1)], Some(Reg(101)), 0, Unit::U0),
-                instr("addq", vec![Operand::Reg(a), Operand::Imm(2)], Some(Reg(102)), 0, Unit::U1),
-                instr("addq", vec![Operand::Reg(a), Operand::Imm(3)], Some(Reg(103)), 0, Unit::L0),
-                instr("addq", vec![Operand::Reg(Reg(101)), Operand::Reg(Reg(102))], Some(Reg(104)), 1, Unit::U0),
-                instr("addq", vec![Operand::Reg(Reg(104)), Operand::Reg(Reg(103))], Some(Reg(105)), 2, Unit::U0),
+                instr(
+                    "addq",
+                    vec![Operand::Reg(a), Operand::Imm(1)],
+                    Some(Reg(101)),
+                    0,
+                    Unit::U0,
+                ),
+                instr(
+                    "addq",
+                    vec![Operand::Reg(a), Operand::Imm(2)],
+                    Some(Reg(102)),
+                    0,
+                    Unit::U1,
+                ),
+                instr(
+                    "addq",
+                    vec![Operand::Reg(a), Operand::Imm(3)],
+                    Some(Reg(103)),
+                    0,
+                    Unit::L0,
+                ),
+                instr(
+                    "addq",
+                    vec![Operand::Reg(Reg(101)), Operand::Reg(Reg(102))],
+                    Some(Reg(104)),
+                    1,
+                    Unit::U0,
+                ),
+                instr(
+                    "addq",
+                    vec![Operand::Reg(Reg(104)), Operand::Reg(Reg(103))],
+                    Some(Reg(105)),
+                    2,
+                    Unit::U0,
+                ),
             ],
             inputs: vec![(sym("a"), a)],
             outputs: vec![(sym("res"), Reg(105))],

@@ -133,11 +133,8 @@ impl<'m> Simulator<'m> {
                 "ldiq" => Some(read(&instr.operands[0])?),
                 "mov" => Some(read(&instr.operands[0])?),
                 _ => {
-                    let args: Vec<u64> = instr
-                        .operands
-                        .iter()
-                        .map(read)
-                        .collect::<Result<_, _>>()?;
+                    let args: Vec<u64> =
+                        instr.operands.iter().map(read).collect::<Result<_, _>>()?;
                     Some(ops::eval(instr.op, &args).ok_or_else(|| {
                         SimError::new(format!("no semantics for opcode {name}/{}", args.len()))
                     })?)
@@ -148,10 +145,7 @@ impl<'m> Simulator<'m> {
                 let dest = instr
                     .dest
                     .ok_or_else(|| SimError::new(format!("{instr}: missing destination")))?;
-                if !program.reg_reuse
-                    && values.contains_key(&dest)
-                    && !inputs.contains_key(&dest)
-                {
+                if !program.reg_reuse && values.contains_key(&dest) && !inputs.contains_key(&dest) {
                     return Err(SimError::new(format!("{instr}: double write of {dest}")));
                 }
                 values.insert(dest, value);
@@ -359,7 +353,9 @@ mod tests {
             name: "t".to_owned(),
             reg_reuse: false,
         };
-        assert!(Simulator::new(&m).run(&p, &HashMap::new(), HashMap::new()).is_err());
+        assert!(Simulator::new(&m)
+            .run(&p, &HashMap::new(), HashMap::new())
+            .is_err());
 
         let p2 = Program {
             instrs: vec![
@@ -371,7 +367,9 @@ mod tests {
             name: "t".to_owned(),
             reg_reuse: false,
         };
-        let err = Simulator::new(&m).run(&p2, &HashMap::new(), HashMap::new()).unwrap_err();
+        let err = Simulator::new(&m)
+            .run(&p2, &HashMap::new(), HashMap::new())
+            .unwrap_err();
         assert!(err.to_string().contains("double write"));
     }
 

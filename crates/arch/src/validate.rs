@@ -140,11 +140,7 @@ pub fn validate(program: &Program, machine: &Machine) -> Result<(), ValidationEr
                     // The read resolves to the latest write issued
                     // strictly before this instruction's cycle.
                     let event = producers.get(r).and_then(|events| {
-                        events
-                            .iter()
-                            .copied()
-                            .filter(|&(c, _, _)| c < instr.cycle)
-                            .next_back()
+                        events.iter().copied().rfind(|&(c, _, _)| c < instr.cycle)
                     });
                     match event {
                         None => {
@@ -191,8 +187,16 @@ pub fn validate(program: &Program, machine: &Machine) -> Result<(), ValidationEr
             _ => None,
         }
     };
-    let loads: Vec<&Instr> = program.instrs.iter().filter(|i| i.op.as_str() == "ldq").collect();
-    let stores: Vec<&Instr> = program.instrs.iter().filter(|i| i.op.as_str() == "stq").collect();
+    let loads: Vec<&Instr> = program
+        .instrs
+        .iter()
+        .filter(|i| i.op.as_str() == "ldq")
+        .collect();
+    let stores: Vec<&Instr> = program
+        .instrs
+        .iter()
+        .filter(|i| i.op.as_str() == "stq")
+        .collect();
     for store in &stores {
         let store_addr = mem_addr(store);
         for load in &loads {
@@ -261,8 +265,20 @@ mod tests {
     #[test]
     fn valid_program_passes() {
         let p = base_program(vec![
-            instr("extbl", vec![Operand::Reg(Reg(100)), Operand::Imm(1)], Some(Reg(1)), 0, Unit::U0),
-            instr("addq", vec![Operand::Reg(Reg(1)), Operand::Imm(1)], Some(Reg(2)), 1, Unit::U0),
+            instr(
+                "extbl",
+                vec![Operand::Reg(Reg(100)), Operand::Imm(1)],
+                Some(Reg(1)),
+                0,
+                Unit::U0,
+            ),
+            instr(
+                "addq",
+                vec![Operand::Reg(Reg(1)), Operand::Imm(1)],
+                Some(Reg(2)),
+                1,
+                Unit::U0,
+            ),
         ]);
         assert_eq!(errors(&p), Vec::<String>::new());
     }
@@ -283,8 +299,20 @@ mod tests {
     #[test]
     fn latency_is_enforced() {
         let p = base_program(vec![
-            instr("mulq", vec![Operand::Reg(Reg(100)), Operand::Reg(Reg(100))], Some(Reg(1)), 0, Unit::U1),
-            instr("addq", vec![Operand::Reg(Reg(1)), Operand::Imm(1)], Some(Reg(2)), 3, Unit::U0),
+            instr(
+                "mulq",
+                vec![Operand::Reg(Reg(100)), Operand::Reg(Reg(100))],
+                Some(Reg(1)),
+                0,
+                Unit::U1,
+            ),
+            instr(
+                "addq",
+                vec![Operand::Reg(Reg(1)), Operand::Imm(1)],
+                Some(Reg(2)),
+                3,
+                Unit::U0,
+            ),
         ]);
         assert!(errors(&p).iter().any(|e| e.contains("not available")));
     }
@@ -294,14 +322,38 @@ mod tests {
         // Producer on cluster 1 (U1), consumer on cluster 0 (U0) one
         // cycle later: needs 1 (latency) + 1 (cluster) = cycle 2.
         let p = base_program(vec![
-            instr("addq", vec![Operand::Reg(Reg(100)), Operand::Imm(1)], Some(Reg(1)), 0, Unit::U1),
-            instr("addq", vec![Operand::Reg(Reg(1)), Operand::Imm(1)], Some(Reg(2)), 1, Unit::U0),
+            instr(
+                "addq",
+                vec![Operand::Reg(Reg(100)), Operand::Imm(1)],
+                Some(Reg(1)),
+                0,
+                Unit::U1,
+            ),
+            instr(
+                "addq",
+                vec![Operand::Reg(Reg(1)), Operand::Imm(1)],
+                Some(Reg(2)),
+                1,
+                Unit::U0,
+            ),
         ]);
         assert!(errors(&p).iter().any(|e| e.contains("not available")));
         // Same cluster is fine at cycle 1.
         let p_ok = base_program(vec![
-            instr("addq", vec![Operand::Reg(Reg(100)), Operand::Imm(1)], Some(Reg(1)), 0, Unit::U1),
-            instr("addq", vec![Operand::Reg(Reg(1)), Operand::Imm(1)], Some(Reg(2)), 1, Unit::U1),
+            instr(
+                "addq",
+                vec![Operand::Reg(Reg(100)), Operand::Imm(1)],
+                Some(Reg(1)),
+                0,
+                Unit::U1,
+            ),
+            instr(
+                "addq",
+                vec![Operand::Reg(Reg(1)), Operand::Imm(1)],
+                Some(Reg(2)),
+                1,
+                Unit::U1,
+            ),
         ]);
         assert_eq!(errors(&p_ok), Vec::<String>::new());
     }
@@ -309,8 +361,20 @@ mod tests {
     #[test]
     fn issue_slots_are_exclusive() {
         let p = base_program(vec![
-            instr("addq", vec![Operand::Reg(Reg(100)), Operand::Imm(1)], Some(Reg(1)), 0, Unit::U0),
-            instr("addq", vec![Operand::Reg(Reg(100)), Operand::Imm(2)], Some(Reg(2)), 0, Unit::U0),
+            instr(
+                "addq",
+                vec![Operand::Reg(Reg(100)), Operand::Imm(1)],
+                Some(Reg(1)),
+                0,
+                Unit::U0,
+            ),
+            instr(
+                "addq",
+                vec![Operand::Reg(Reg(100)), Operand::Imm(2)],
+                Some(Reg(2)),
+                0,
+                Unit::U0,
+            ),
         ]);
         assert!(errors(&p).iter().any(|e| e.contains("used twice")));
     }
@@ -320,8 +384,20 @@ mod tests {
         let m = Machine::single_issue();
         let p = Program {
             instrs: vec![
-                instr("addq", vec![Operand::Reg(Reg(100)), Operand::Imm(1)], Some(Reg(1)), 0, Unit::U0),
-                instr("subq", vec![Operand::Reg(Reg(100)), Operand::Imm(1)], Some(Reg(2)), 0, Unit::U0),
+                instr(
+                    "addq",
+                    vec![Operand::Reg(Reg(100)), Operand::Imm(1)],
+                    Some(Reg(1)),
+                    0,
+                    Unit::U0,
+                ),
+                instr(
+                    "subq",
+                    vec![Operand::Reg(Reg(100)), Operand::Imm(1)],
+                    Some(Reg(2)),
+                    0,
+                    Unit::U0,
+                ),
             ],
             inputs: vec![(sym("a"), Reg(100))],
             outputs: vec![],
@@ -397,7 +473,11 @@ mod tests {
         let p = base_program(vec![
             instr(
                 "stq",
-                vec![Operand::Reg(Reg(100)), Operand::Reg(Reg(100)), Operand::Imm(0)],
+                vec![
+                    Operand::Reg(Reg(100)),
+                    Operand::Reg(Reg(100)),
+                    Operand::Imm(0),
+                ],
                 None,
                 0,
                 Unit::L0,
@@ -415,7 +495,11 @@ mod tests {
         let p2 = base_program(vec![
             instr(
                 "stq",
-                vec![Operand::Reg(Reg(100)), Operand::Reg(Reg(100)), Operand::Imm(0)],
+                vec![
+                    Operand::Reg(Reg(100)),
+                    Operand::Reg(Reg(100)),
+                    Operand::Imm(0),
+                ],
                 None,
                 0,
                 Unit::L0,

@@ -36,10 +36,20 @@ fn one_input_program(instrs: Vec<Instr>) -> Program {
 fn simulator_executes_cmov() {
     let m = Machine::ev6();
     let p = one_input_program(vec![
-        instr("cmpult", vec![Operand::Reg(Reg(100)), Operand::Imm(10)], Some(Reg(1)), 0, Unit::U0),
+        instr(
+            "cmpult",
+            vec![Operand::Reg(Reg(100)), Operand::Imm(10)],
+            Some(Reg(1)),
+            0,
+            Unit::U0,
+        ),
         instr(
             "cmovne",
-            vec![Operand::Reg(Reg(1)), Operand::Imm(7), Operand::Reg(Reg(100))],
+            vec![
+                Operand::Reg(Reg(1)),
+                Operand::Imm(7),
+                Operand::Reg(Reg(100)),
+            ],
             Some(Reg(2)),
             1,
             Unit::U0,
@@ -72,7 +82,11 @@ fn simulator_executes_ia64_field_ops() {
         ),
         instr(
             "shladd",
-            vec![Operand::Reg(Reg(2)), Operand::Imm(2), Operand::Reg(Reg(100))],
+            vec![
+                Operand::Reg(Reg(2)),
+                Operand::Imm(2),
+                Operand::Reg(Reg(100)),
+            ],
             Some(Reg(3)),
             2,
             Unit::L0,
@@ -93,7 +107,11 @@ fn validator_enforces_ia64_immediate_rules() {
     // extr_u with a register length operand is not encodable.
     let p = one_input_program(vec![instr(
         "extr_u",
-        vec![Operand::Reg(Reg(100)), Operand::Imm(8), Operand::Reg(Reg(100))],
+        vec![
+            Operand::Reg(Reg(100)),
+            Operand::Imm(8),
+            Operand::Reg(Reg(100)),
+        ],
         Some(Reg(1)),
         0,
         Unit::U0,
@@ -145,8 +163,20 @@ fn listing_of_reused_registers_shows_every_write() {
     let m = Machine::ev6();
     let p = Program {
         instrs: vec![
-            instr("addq", vec![Operand::Reg(Reg(100)), Operand::Imm(1)], Some(Reg(0)), 0, Unit::U0),
-            instr("addq", vec![Operand::Reg(Reg(0)), Operand::Imm(1)], Some(Reg(0)), 1, Unit::U0),
+            instr(
+                "addq",
+                vec![Operand::Reg(Reg(100)), Operand::Imm(1)],
+                Some(Reg(0)),
+                0,
+                Unit::U0,
+            ),
+            instr(
+                "addq",
+                vec![Operand::Reg(Reg(0)), Operand::Imm(1)],
+                Some(Reg(0)),
+                1,
+                Unit::U0,
+            ),
         ],
         inputs: vec![(sym("a"), Reg(100))],
         outputs: vec![(sym("res"), Reg(0))],
@@ -167,8 +197,20 @@ fn reused_register_waw_violation_is_caught() {
     let m = Machine::ev6();
     let p = Program {
         instrs: vec![
-            instr("mulq", vec![Operand::Reg(Reg(100)), Operand::Imm(3)], Some(Reg(0)), 0, Unit::U1),
-            instr("addq", vec![Operand::Reg(Reg(100)), Operand::Imm(1)], Some(Reg(0)), 2, Unit::U0),
+            instr(
+                "mulq",
+                vec![Operand::Reg(Reg(100)), Operand::Imm(3)],
+                Some(Reg(0)),
+                0,
+                Unit::U1,
+            ),
+            instr(
+                "addq",
+                vec![Operand::Reg(Reg(100)), Operand::Imm(1)],
+                Some(Reg(0)),
+                2,
+                Unit::U0,
+            ),
         ],
         inputs: vec![(sym("a"), Reg(100))],
         outputs: vec![],

@@ -218,12 +218,11 @@ impl Axiom {
             // Default trigger: the left-hand side of the first literal.
             let default = match &body {
                 AxiomBody::Equal(l, _) | AxiomBody::Distinct(l, _) => l.clone(),
-                AxiomBody::Clause(lits) => {
-                    lits.first()
-                        .ok_or_else(|| ParseAxiomError::new("empty clause"))?
-                        .1
-                        .clone()
-                }
+                AxiomBody::Clause(lits) => lits
+                    .first()
+                    .ok_or_else(|| ParseAxiomError::new("empty clause"))?
+                    .1
+                    .clone(),
             };
             patterns.push(default);
         }
@@ -377,7 +376,12 @@ mod tests {
 
     #[test]
     fn rejects_malformed_axioms() {
-        let bad = ["(axiom)", "(axiom (zz a b))", "(axiom (eq a))", "(axiom (forall x (eq a b)))"];
+        let bad = [
+            "(axiom)",
+            "(axiom (zz a b))",
+            "(axiom (eq a))",
+            "(axiom (forall x (eq a b)))",
+        ];
         for text in bad {
             let form = sexpr::parse_one(text).unwrap();
             assert!(Axiom::parse_sexpr(&form, "bad").is_err(), "{text}");

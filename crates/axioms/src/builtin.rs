@@ -166,11 +166,11 @@ pub fn math_axioms() -> Vec<Axiom> {
     // The select-store clause: i = j  ∨  select(store(a,i,x), j) = select(a, j).
     axioms.push(Axiom {
         name: "select-store-other".to_owned(),
-        vars: ["a", "i", "j", "x"].iter().map(|v| Symbol::intern(v)).collect(),
-        patterns: vec![pat(
-            "(select (store a i x) j)",
-            &["a", "i", "j", "x"],
-        )],
+        vars: ["a", "i", "j", "x"]
+            .iter()
+            .map(|v| Symbol::intern(v))
+            .collect(),
+        patterns: vec![pat("(select (store a i x) j)", &["a", "i", "j", "x"])],
         body: AxiomBody::Clause(vec![
             (true, pat("i", &["i"]), pat("j", &["j"])),
             (
@@ -227,7 +227,12 @@ pub fn alpha_axioms() -> Vec<Axiom> {
         eq("xor-def", &["a", "b"], "(xor64 a b)", "(xor a b)"),
         eq("not-ornot", &["a"], "(not64 a)", "(ornot 0 a)"),
         eq("bic-def", &["a", "b"], "(and64 a (not64 b))", "(bic a b)"),
-        eq("ornot-def", &["a", "b"], "(or64 a (not64 b))", "(ornot a b)"),
+        eq(
+            "ornot-def",
+            &["a", "b"],
+            "(or64 a (not64 b))",
+            "(ornot a b)",
+        ),
         eq("eqv-def", &["a", "b"], "(not64 (xor64 a b))", "(eqv a b)"),
         eq("sll-def", &["a", "b"], "(shl64 a b)", "(sll a b)"),
         eq("srl-def", &["a", "b"], "(shr64 a b)", "(srl a b)"),
@@ -338,7 +343,9 @@ pub fn alpha_axioms() -> Vec<Axiom> {
             "(mskwl (extwl w j) i)",
             "(extwl w j)",
         )
-        .with_condition(&["i"], "byte(i) != 0 and != 1", |vs| (vs[0] & 7) > 1 && (vs[0] & 7) <= 6),
+        .with_condition(&["i"], "byte(i) != 0 and != 1", |vs| {
+            (vs[0] & 7) > 1 && (vs[0] & 7) <= 6
+        }),
         // inswl reads only the low 16 bits of its operand.
         eq(
             "inswl-low-word",
@@ -358,7 +365,12 @@ pub fn alpha_axioms() -> Vec<Axiom> {
         // ---- zapnot / mask idioms ----
         eq("zapnot-byte", &["a"], "(and64 a 255)", "(zapnot a 1)"),
         eq("zapnot-word", &["a"], "(and64 a 65535)", "(zapnot a 3)"),
-        eq("zapnot-long", &["a"], "(and64 a 4294967295)", "(zapnot a 15)"),
+        eq(
+            "zapnot-long",
+            &["a"],
+            "(and64 a 4294967295)",
+            "(zapnot a 15)",
+        ),
         eq("extbl-low", &["a"], "(and64 a 255)", "(extbl a 0)"),
         eq("extwl-low", &["a"], "(and64 a 65535)", "(extwl a 0)"),
         // ---- conditional move (if-then-else) ----
@@ -375,18 +387,8 @@ pub fn alpha_axioms() -> Vec<Axiom> {
             "(cmoveq c b a)",
         ),
         // ---- sign extension ----
-        eq(
-            "sextb-def",
-            &["a"],
-            "(sar64 (shl64 a 56) 56)",
-            "(sextb a)",
-        ),
-        eq(
-            "sextw-def",
-            &["a"],
-            "(sar64 (shl64 a 48) 48)",
-            "(sextw a)",
-        ),
+        eq("sextb-def", &["a"], "(sar64 (shl64 a 56) 56)", "(sextb a)"),
+        eq("sextw-def", &["a"], "(sar64 (shl64 a 48) 48)", "(sextw a)"),
         // ---- 32-bit arithmetic ----
         eq(
             "addl-def",
@@ -422,8 +424,18 @@ pub fn ia64_axioms() -> Vec<Axiom> {
         eq("bis-def", &["a", "b"], "(or64 a b)", "(bis a b)"),
         eq("xor-def", &["a", "b"], "(xor64 a b)", "(xor a b)"),
         eq("not-ornot", &["a"], "(not64 a)", "(ornot 0 a)"),
-        eq("andcm-def", &["a", "b"], "(and64 a (not64 b))", "(andcm a b)"),
-        eq("ornot-def", &["a", "b"], "(or64 a (not64 b))", "(ornot a b)"),
+        eq(
+            "andcm-def",
+            &["a", "b"],
+            "(and64 a (not64 b))",
+            "(andcm a b)",
+        ),
+        eq(
+            "ornot-def",
+            &["a", "b"],
+            "(or64 a (not64 b))",
+            "(ornot a b)",
+        ),
         eq("sll-def", &["a", "b"], "(shl64 a b)", "(sll a b)"),
         eq("srl-def", &["a", "b"], "(shr64 a b)", "(srl a b)"),
         eq("sra-def", &["a", "b"], "(sar64 a b)", "(sra a b)"),
@@ -470,8 +482,18 @@ pub fn ia64_axioms() -> Vec<Axiom> {
             "(extr_u w (mul64 8 i) 8)",
         ),
         // ---- conditional move and sign extension (same as Alpha) ----
-        eq("cmovne-def", &["c", "a", "b"], "(ite c a b)", "(cmovne c a b)"),
-        eq("cmoveq-def", &["c", "a", "b"], "(ite c a b)", "(cmoveq c b a)"),
+        eq(
+            "cmovne-def",
+            &["c", "a", "b"],
+            "(ite c a b)",
+            "(cmovne c a b)",
+        ),
+        eq(
+            "cmoveq-def",
+            &["c", "a", "b"],
+            "(ite c a b)",
+            "(cmoveq c b a)",
+        ),
         eq("sextb-def", &["a"], "(sar64 (shl64 a 56) 56)", "(sextb a)"),
         eq("sextw-def", &["a"], "(sar64 (shl64 a 48) 48)", "(sextw a)"),
         // ---- memory bridges ----
@@ -527,10 +549,7 @@ mod tests {
         for axiom in all_axioms() {
             for v in axiom.body_vars() {
                 assert!(
-                    axiom
-                        .patterns
-                        .iter()
-                        .any(|p| p.vars().contains(&v)),
+                    axiom.patterns.iter().any(|p| p.vars().contains(&v)),
                     "axiom {} has unbindable variable ?{v}",
                     axiom.name
                 );
@@ -543,9 +562,7 @@ mod tests {
         // The paper's Figure 2 walkthrough: reg6*4 + 1 must end up with
         // mul+add, shift+add, and s4addq ways.
         let mut eg = EGraph::new();
-        let goal = eg
-            .add_term(&pat("(add64 (mul64 reg6 4) 1)", &[]))
-            .unwrap();
+        let goal = eg.add_term(&pat("(add64 (mul64 reg6 4) 1)", &[])).unwrap();
         let mul = eg.lookup_term(&pat("(mul64 reg6 4)", &[])).unwrap();
         saturate(&mut eg, &all_axioms(), &SaturationLimits::default()).unwrap();
         let goal_ops = crate::saturate::class_ops(&eg, goal);
@@ -562,10 +579,7 @@ mod tests {
         // a + b + c + d + e".
         let mut eg = EGraph::new();
         let sum = eg
-            .add_term(&pat(
-                "(add64 a (add64 b (add64 c (add64 d e))))",
-                &[],
-            ))
+            .add_term(&pat("(add64 a (add64 b (add64 c (add64 d e))))", &[]))
             .unwrap();
         saturate(
             &mut eg,

@@ -36,6 +36,12 @@ pub struct SaturationLimits {
     /// principal "stop the matcher" heuristic and the main reason output
     /// is "near-optimal" rather than "optimal".
     pub max_structural_growth: usize,
+    /// Threads for the read-only e-matching pass of every round (`0`
+    /// means one per available CPU). The e-graph is frozen while axioms
+    /// are matched, so patterns can match concurrently; instances are
+    /// then applied serially in axiom order, making the result
+    /// byte-identical to the serial path at any thread count.
+    pub threads: usize,
 }
 
 impl Default for SaturationLimits {
@@ -47,6 +53,7 @@ impl Default for SaturationLimits {
             max_structural_per_round: 1500,
             pow2_facts: true,
             max_structural_growth: 4000,
+            threads: 1,
         }
     }
 }
@@ -131,6 +138,10 @@ pub fn saturate(
     })
 }
 
+/// Canonicalized dedup key for one axiom instance: the substitution with
+/// every class representative resolved, in sorted variable order.
+type Key = Vec<(Symbol, ClassId)>;
+
 fn saturate_phase(
     egraph: &mut EGraph,
     axioms: &[Axiom],
@@ -171,8 +182,7 @@ fn saturate_phase(
                     any_change = true;
                 }
                 if c % 8 == 0 && c < 64 {
-                    let shift =
-                        Term::call("mul64", vec![Term::constant(8), Term::constant(c / 8)]);
+                    let shift = Term::call("mul64", vec![Term::constant(8), Term::constant(c / 8)]);
                     egraph.add_term(&shift).expect("ground term");
                     any_change = true;
                 }
@@ -180,20 +190,30 @@ fn saturate_phase(
             egraph.rebuild()?;
         }
 
-        // Collect matches for this round. Structural (associativity-
-        // style) instances are budgeted and shared fairly across axioms
-        // so they cannot starve each other or blow the e-graph up.
-        let mut instances: Vec<(usize, HashMap<Symbol, ClassId>)> = Vec::new();
-        let mut structural_queues: Vec<Vec<(usize, HashMap<Symbol, ClassId>)>> = Vec::new();
-        'axioms: for (i, axiom) in axioms.iter().enumerate() {
-            let is_structural = axiom.priority == AxiomPriority::Structural;
-            let mut queue = Vec::new();
-            let body_vars = axiom.body_vars();
-            for pattern in &axiom.patterns {
-                if instances.len() >= limits.max_instances_per_round {
-                    break 'axioms;
-                }
-                for (_, subst) in ematch(egraph, pattern) {
+        // Collect matches for this round. The e-graph is frozen here, so
+        // the e-matching pass is a pure read-only fan-out: every
+        // (axiom, pattern) pair is matched concurrently (including
+        // body-variable/side-condition filtering and canonical-key
+        // computation, which only read the e-graph), and the results come
+        // back in work order. The stateful parts — the cross-round
+        // `applied` dedup, the per-round instance budget, and the
+        // structural queues — are then replayed serially in exactly the
+        // order the serial implementation uses, so the applied instance
+        // set is byte-identical at any thread count.
+        let match_work: Vec<(usize, &Term)> = axioms
+            .iter()
+            .enumerate()
+            .flat_map(|(i, axiom)| axiom.patterns.iter().map(move |p| (i, p)))
+            .collect();
+        let frozen: &EGraph = egraph;
+        let match_results: Vec<Vec<(HashMap<Symbol, ClassId>, Key)>> = denali_par::map_indexed(
+            denali_par::resolve_threads(limits.threads),
+            &match_work,
+            |_, &(i, pattern)| {
+                let axiom = &axioms[i];
+                let body_vars = axiom.body_vars();
+                let mut out = Vec::new();
+                for (_, subst) in ematch(frozen, pattern) {
                     if !body_vars.iter().all(|v| subst.contains_key(v)) {
                         continue; // pattern does not bind every body variable
                     }
@@ -201,23 +221,42 @@ fn saturate_phase(
                         let values: Option<Vec<u64>> = cond
                             .vars
                             .iter()
-                            .map(|v| subst.get(v).and_then(|&c| egraph.constant(c)))
+                            .map(|v| subst.get(v).and_then(|&c| frozen.constant(c)))
                             .collect();
                         match values {
                             Some(vs) if (cond.pred)(&vs) => {}
                             _ => continue,
                         }
                     }
-                    let mut key: Vec<(Symbol, ClassId)> = subst
-                        .iter()
-                        .map(|(&v, &c)| (v, egraph.find(c)))
-                        .collect();
+                    let mut key: Key = subst.iter().map(|(&v, &c)| (v, frozen.find(c))).collect();
                     key.sort();
+                    out.push((subst, key));
+                }
+                out
+            },
+        );
+
+        // Serial replay: budget accounting and deduplication in axiom
+        // order. Structural (associativity-style) instances are budgeted
+        // and shared fairly across axioms so they cannot starve each
+        // other or blow the e-graph up.
+        let mut instances: Vec<(usize, HashMap<Symbol, ClassId>)> = Vec::new();
+        let mut structural_queues: Vec<Vec<(usize, HashMap<Symbol, ClassId>)>> = Vec::new();
+        let mut results = match_results.into_iter();
+        'axioms: for (i, axiom) in axioms.iter().enumerate() {
+            let is_structural = axiom.priority == AxiomPriority::Structural;
+            let mut queue = Vec::new();
+            for _ in &axiom.patterns {
+                let pattern_matches = results.next().expect("one result per pattern");
+                if instances.len() >= limits.max_instances_per_round {
+                    break 'axioms;
+                }
+                for (subst, key) in pattern_matches {
                     if applied.contains(&(i, key.clone())) {
                         continue;
                     }
                     if is_structural {
-                        queue.push((i, subst.clone()));
+                        queue.push((i, subst));
                         // Deduplication happens when the instance is
                         // actually taken from the queue below.
                         continue;
@@ -245,10 +284,8 @@ fn saturate_phase(
                 if let Some((i, subst)) = queue.get(cursors[q]) {
                     cursors[q] += 1;
                     advanced = true;
-                    let mut key: Vec<(Symbol, ClassId)> = subst
-                        .iter()
-                        .map(|(&v, &c)| (v, egraph.find(c)))
-                        .collect();
+                    let mut key: Vec<(Symbol, ClassId)> =
+                        subst.iter().map(|(&v, &c)| (v, egraph.find(c))).collect();
                     key.sort();
                     if applied.insert((*i, key)) {
                         instances.push((*i, subst.clone()));
@@ -433,7 +470,12 @@ mod tests {
             .unwrap();
         let direct = eg.add_term(&pat("(select M (add64 p 8))", &[])).unwrap();
         assert_ne!(eg.find(loaded), eg.find(direct));
-        saturate(&mut eg, &crate::builtin::math_axioms(), &SaturationLimits::default()).unwrap();
+        saturate(
+            &mut eg,
+            &crate::builtin::math_axioms(),
+            &SaturationLimits::default(),
+        )
+        .unwrap();
         assert_eq!(eg.find(loaded), eg.find(direct));
     }
 }

@@ -1,0 +1,81 @@
+//! Determinism of the parallel matcher: saturation must produce a
+//! byte-identical e-graph at every thread count.
+//!
+//! The matching pass is a read-only fan-out over a frozen e-graph with
+//! results recombined in axiom order, so the applied instance sequence —
+//! and therefore class structure, node counts, and represented ways —
+//! cannot depend on scheduling.
+
+use denali_axioms::{saturate, standard_axioms, SaturationLimits};
+use denali_egraph::{ClassId, EGraph};
+use denali_term::{sexpr, Term};
+
+fn seed_terms() -> Vec<Term> {
+    [
+        "(add64 (mul64 reg6 4) 1)",
+        "(add64 a (add64 b (add64 c (add64 d e))))",
+        "(storeb (storeb 0 0 (selectb a 3)) 3 (selectb a 0))",
+    ]
+    .iter()
+    .map(|s| Term::from_sexpr(&sexpr::parse_one(s).unwrap(), &[]).unwrap())
+    .collect()
+}
+
+/// A full structural snapshot: every class with its canonicalized node
+/// list, sorted, plus the goal's way count.
+fn snapshot(eg: &EGraph, goal: ClassId) -> (Vec<String>, u128, usize, usize) {
+    let mut classes: Vec<String> = eg
+        .classes()
+        .iter()
+        .map(|&c| format!("{c:?} -> {:?}", eg.nodes(c)))
+        .collect();
+    classes.sort();
+    (
+        classes,
+        eg.count_ways(goal, 6),
+        eg.num_nodes(),
+        eg.num_classes(),
+    )
+}
+
+#[test]
+fn saturation_is_identical_at_every_thread_count() {
+    let axioms = standard_axioms();
+    for term in seed_terms() {
+        let mut reference = None;
+        for threads in [1usize, 2, 3, 4, 8] {
+            let limits = SaturationLimits {
+                threads,
+                ..SaturationLimits::default()
+            };
+            let mut eg = EGraph::new();
+            let goal = eg.add_term(&term).unwrap();
+            let report = saturate(&mut eg, &axioms, &limits).unwrap();
+            let snap = (snapshot(&eg, goal), report.instances, report.iterations);
+            match &reference {
+                None => reference = Some(snap),
+                Some(expect) => assert_eq!(
+                    &snap, expect,
+                    "thread count {threads} changed saturation of {term}"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_threads_means_auto_and_stays_deterministic() {
+    let axioms = standard_axioms();
+    let term = seed_terms().remove(0);
+    let run = |threads: usize| {
+        let limits = SaturationLimits {
+            threads,
+            ..SaturationLimits::default()
+        };
+        let mut eg = EGraph::new();
+        let goal = eg.add_term(&term).unwrap();
+        saturate(&mut eg, &axioms, &limits).unwrap();
+        snapshot(&eg, goal)
+    };
+    assert_eq!(run(0), run(1));
+}

@@ -8,9 +8,9 @@
 use std::collections::HashMap;
 
 use denali_axioms::{alpha_axioms, ia64_axioms, math_axioms, Axiom, AxiomBody};
+use denali_prng::{forall, Rng};
 use denali_term::value::{Env, Val};
 use denali_term::{Op, Symbol, Term};
-use proptest::prelude::*;
 
 fn instantiate(term: &Term, values: &HashMap<Symbol, u64>) -> Term {
     term.substitute(&|v| values.get(&v).map(|&x| Term::constant(x)))
@@ -77,9 +77,7 @@ fn check_axiom(axiom: &Axiom, raw: &[u64]) -> Result<(), String> {
     let eval = |t: &Term| -> Result<Val, String> {
         let inst = instantiate(t, &values);
         // Remaining variables are memory variables (leaf lookups).
-        let inst = inst.substitute(&|v| {
-            mem_vars.contains(&v).then(|| Term::leaf(v))
-        });
+        let inst = inst.substitute(&|v| mem_vars.contains(&v).then(|| Term::leaf(v)));
         env.eval(&inst).map_err(|e| format!("{e}"))
     };
 
@@ -108,59 +106,81 @@ fn check_axiom(axiom: &Axiom, raw: &[u64]) -> Result<(), String> {
         // contain none, so nothing to check.
     }
     if is_clause && !clause_holds {
-        return Err(format!("clause axiom {} violated under {values:?}", axiom.name));
+        return Err(format!(
+            "clause axiom {} violated under {values:?}",
+            axiom.name
+        ));
     }
     Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn random_words(rng: &mut Rng) -> Vec<u64> {
+    (0..6).map(|_| rng.next_u64()).collect()
+}
 
-    #[test]
-    fn math_axioms_are_sound(raw in proptest::collection::vec(any::<u64>(), 6)) {
+#[test]
+fn math_axioms_are_sound() {
+    forall("math_axioms_are_sound", 256, |rng| {
+        let raw = random_words(rng);
         for axiom in math_axioms() {
             if let Err(msg) = check_axiom(&axiom, &raw) {
-                prop_assert!(false, "{msg}");
+                panic!("{msg}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn alpha_axioms_are_sound(raw in proptest::collection::vec(any::<u64>(), 6)) {
+#[test]
+fn alpha_axioms_are_sound() {
+    forall("alpha_axioms_are_sound", 256, |rng| {
+        let raw = random_words(rng);
         for axiom in alpha_axioms() {
             if let Err(msg) = check_axiom(&axiom, &raw) {
-                prop_assert!(false, "{msg}");
+                panic!("{msg}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn ia64_axioms_are_sound(raw in proptest::collection::vec(any::<u64>(), 6)) {
+#[test]
+fn ia64_axioms_are_sound() {
+    forall("ia64_axioms_are_sound", 256, |rng| {
+        let raw = random_words(rng);
         for axiom in ia64_axioms() {
             if let Err(msg) = check_axiom(&axiom, &raw) {
-                prop_assert!(false, "{msg}");
+                panic!("{msg}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn ia64_axioms_are_sound_on_field_shapes(w: u64, p in 0u64..64, k in 1u64..64) {
+#[test]
+fn ia64_axioms_are_sound_on_field_shapes() {
+    forall("ia64_axioms_are_sound_on_field_shapes", 256, |rng| {
         // Masks of the shape the extr/dep conditions accept.
+        let w = rng.next_u64();
+        let p = rng.below(64);
+        let k = rng.range(1, 64);
         let m = (1u64 << k).wrapping_sub(1);
         for axiom in ia64_axioms() {
             if let Err(msg) = check_axiom(&axiom, &[w, p, m, w ^ m, p, m]) {
-                prop_assert!(false, "{msg}");
+                panic!("{msg}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn axioms_are_sound_on_small_byte_indices(a: u64, i in 0u64..8, j in 0u64..8) {
+#[test]
+fn axioms_are_sound_on_small_byte_indices() {
+    forall("axioms_are_sound_on_small_byte_indices", 256, |rng| {
         // Byte axioms with realistic indices (the interesting range).
+        let a = rng.next_u64();
+        let i = rng.below(8);
+        let j = rng.below(8);
         for axiom in alpha_axioms() {
             if let Err(msg) = check_axiom(&axiom, &[a, i, j, a ^ 0xff, i, j]) {
-                prop_assert!(false, "{msg}");
+                panic!("{msg}");
             }
         }
-    }
+    });
 }

@@ -10,9 +10,8 @@
 
 use std::time::{Duration, Instant};
 
+use denali_prng::Rng;
 use denali_term::{ops, Symbol};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// An operand of a brute-force instruction: a value slot (input or
 /// earlier result) or a small literal.
@@ -161,14 +160,14 @@ pub fn brute_search(
     num_inputs: usize,
     config: &BruteConfig,
 ) -> (Option<BruteProgram>, BruteStats) {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::new(config.seed);
     let mut tests: Vec<Vec<u64>> = Vec::new();
     // A few adversarial vectors plus random ones.
     for special in [0u64, 1, u64::MAX, 0x0123_4567_89ab_cdef] {
         tests.push(vec![special; num_inputs]);
     }
     while tests.len() < config.tests.max(4) {
-        tests.push((0..num_inputs).map(|_| rng.gen()).collect());
+        tests.push((0..num_inputs).map(|_| rng.next_u64()).collect());
     }
     let expected: Vec<u64> = tests.iter().map(|t| target(t)).collect();
 
@@ -186,7 +185,7 @@ pub fn brute_search(
             instrs: Vec::new(),
             stats: &mut stats,
             start,
-            rng: StdRng::seed_from_u64(config.seed ^ 0x5eed),
+            rng: Rng::new(config.seed ^ 0x5eed),
             num_inputs,
         };
         if let Some(program) = state.extend(len) {
@@ -212,7 +211,7 @@ struct SearchState<'a> {
     instrs: Vec<BruteInstr>,
     stats: &'a mut BruteStats,
     start: Instant,
-    rng: StdRng,
+    rng: Rng,
     num_inputs: usize,
 }
 
@@ -343,7 +342,7 @@ impl SearchState<'_> {
 
     fn verify(&mut self, program: &BruteProgram) -> bool {
         for _ in 0..self.config.verify {
-            let inputs: Vec<u64> = (0..self.num_inputs).map(|_| self.rng.gen()).collect();
+            let inputs: Vec<u64> = (0..self.num_inputs).map(|_| self.rng.next_u64()).collect();
             if program.eval(&inputs) != (self.target)(&inputs) {
                 return false;
             }
@@ -353,7 +352,10 @@ impl SearchState<'_> {
 }
 
 fn is_commutative(op: Symbol) -> bool {
-    matches!(op.as_str(), "addq" | "mulq" | "and" | "bis" | "xor" | "cmpeq" | "eqv")
+    matches!(
+        op.as_str(),
+        "addq" | "mulq" | "and" | "bis" | "xor" | "cmpeq" | "eqv"
+    )
 }
 
 #[cfg(test)]

@@ -19,5 +19,5 @@
 pub mod brute;
 pub mod rewrite;
 
-pub use brute::{BruteConfig, BruteProgram, BruteStats, brute_search};
+pub use brute::{brute_search, BruteConfig, BruteProgram, BruteStats};
 pub use rewrite::{rewrite_compile, RewriteError};

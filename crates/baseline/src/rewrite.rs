@@ -47,8 +47,15 @@ enum Node {
     /// Machine operation over nodes; the bool per operand marks a
     /// literal immediate (stored as a Const node that needs no register).
     Op(Symbol, Vec<NodeId>),
-    Load { base: NodeId, disp: u64 },
-    Store { value: NodeId, base: NodeId, disp: u64 },
+    Load {
+        base: NodeId,
+        disp: u64,
+    },
+    Store {
+        value: NodeId,
+        base: NodeId,
+        disp: u64,
+    },
 }
 
 #[derive(Default)]
@@ -322,12 +329,10 @@ fn reassociate(dag: &mut Dag, id: NodeId) -> NodeId {
             let mut leaves = Vec::new();
             flatten(dag, id, op, &mut leaves);
             if leaves.len() <= 2 {
-                let rebuilt: Vec<NodeId> =
-                    args.iter().map(|&a| reassociate(dag, a)).collect();
+                let rebuilt: Vec<NodeId> = args.iter().map(|&a| reassociate(dag, a)).collect();
                 return dag.add(Node::Op(op, rebuilt));
             }
-            let mut level: Vec<NodeId> =
-                leaves.into_iter().map(|l| reassociate(dag, l)).collect();
+            let mut level: Vec<NodeId> = leaves.into_iter().map(|l| reassociate(dag, l)).collect();
             while level.len() > 1 {
                 let mut next = Vec::new();
                 for pair in level.chunks(2) {
@@ -359,12 +364,15 @@ fn flatten(dag: &Dag, id: NodeId, op: Symbol, out: &mut Vec<NodeId>) {
     }
 }
 
+/// A schedule: placed nodes, register assignments, and input bindings.
+type Schedule = (
+    Vec<(NodeId, u32, Unit)>,
+    HashMap<NodeId, Reg>,
+    Vec<(Symbol, Reg)>,
+);
+
 /// Greedy critical-path list scheduling of the DAG on `machine`.
-fn schedule(
-    dag: &Dag,
-    roots: &[NodeId],
-    machine: &Machine,
-) -> Result<(Vec<(NodeId, u32, Unit)>, HashMap<NodeId, Reg>, Vec<(Symbol, Reg)>), RewriteError> {
+fn schedule(dag: &Dag, roots: &[NodeId], machine: &Machine) -> Result<Schedule, RewriteError> {
     // Which const nodes need registers (used outside a literal slot)?
     let mut needs_reg: Vec<bool> = vec![false; dag.nodes.len()];
     let mut schedulable: Vec<bool> = vec![false; dag.nodes.len()];
@@ -468,12 +476,16 @@ fn schedule(
             Node::Load { base, .. } => [*base]
                 .iter()
                 .copied()
-                .filter(|&a| !matches!(dag.nodes[a], Node::Input(_) | Node::Const(_)) || needs_reg[a])
+                .filter(|&a| {
+                    !matches!(dag.nodes[a], Node::Input(_) | Node::Const(_)) || needs_reg[a]
+                })
                 .collect(),
             Node::Store { value, base, .. } => [*value, *base]
                 .iter()
                 .copied()
-                .filter(|&a| !matches!(dag.nodes[a], Node::Input(_) | Node::Const(_)) || needs_reg[a])
+                .filter(|&a| {
+                    !matches!(dag.nodes[a], Node::Input(_) | Node::Const(_)) || needs_reg[a]
+                })
                 .collect(),
             _ => Vec::new(),
         }
@@ -493,10 +505,7 @@ fn schedule(
             if !schedulable[id] {
                 continue;
             }
-            let lat = machine
-                .info(opcode(id))
-                .map(|i| i.latency)
-                .unwrap_or(1);
+            let lat = machine.info(opcode(id)).map(|i| i.latency).unwrap_or(1);
             for dep in register_deps(id) {
                 let h = height[id] + lat;
                 if height[dep] < h {
@@ -526,9 +535,7 @@ fn schedule(
         let mut ready: Vec<NodeId> = remaining
             .iter()
             .copied()
-            .filter(|&id| {
-                register_deps(id).iter().all(|d| placed.contains_key(d))
-            })
+            .filter(|&id| register_deps(id).iter().all(|d| placed.contains_key(d)))
             .collect();
         ready.sort_by_key(|&id| std::cmp::Reverse(height[id]));
         for id in ready {
@@ -584,10 +591,8 @@ fn schedule(
             inputs.push((*name, reg));
         }
     }
-    let mut order: Vec<(NodeId, u32, Unit)> = placed
-        .iter()
-        .map(|(&id, &(c, u))| (id, c, u))
-        .collect();
+    let mut order: Vec<(NodeId, u32, Unit)> =
+        placed.iter().map(|(&id, &(c, u))| (id, c, u)).collect();
     order.sort_by_key(|&(_, c, u)| (c, u));
     for &(id, _, _) in &order {
         if !matches!(dag.nodes[id], Node::Store { .. }) {
@@ -636,7 +641,9 @@ pub fn rewrite_compile(gma: &Gma, machine: &Machine) -> Result<Program, RewriteE
                 for (pos, &a) in args.iter().enumerate() {
                     match dag.nodes[a] {
                         Node::Const(c)
-                            if pos == 1 && machine.fits_alu_literal(c) && !regs.contains_key(&a) =>
+                            if pos == 1
+                                && machine.fits_alu_literal(c)
+                                && !regs.contains_key(&a) =>
                         {
                             operands.push(Operand::Imm(c));
                         }
@@ -683,8 +690,11 @@ pub fn rewrite_compile(gma: &Gma, machine: &Machine) -> Result<Program, RewriteE
         name: format!("{}_rewrite", gma.name),
         reg_reuse: false,
     };
-    denali_arch::validate(&program, machine)
-        .map_err(|e| err(format!("rewrite baseline produced an invalid schedule:\n{e}")))?;
+    denali_arch::validate(&program, machine).map_err(|e| {
+        err(format!(
+            "rewrite baseline produced an invalid schedule:\n{e}"
+        ))
+    })?;
     Ok(program)
 }
 
@@ -705,9 +715,7 @@ mod tests {
     fn figure2_without_egraph_misses_s4addq() {
         // A rewriting engine commits to mul->shift and add: 2 cycles,
         // 2 instructions (where Denali finds the 1-cycle s4addq).
-        let (_, program) = compile(
-            "(procdecl f ((reg6 long)) long (:= (res (+ (* reg6 4) 1))))",
-        );
+        let (_, program) = compile("(procdecl f ((reg6 long)) long (:= (res (+ (* reg6 4) 1))))");
         assert_eq!(program.len(), 2);
         assert_eq!(program.cycles(), 2);
         let ops: Vec<&str> = program.instrs.iter().map(|i| i.op.as_str()).collect();

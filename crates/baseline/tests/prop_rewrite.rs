@@ -7,44 +7,76 @@ use std::collections::HashMap;
 use denali_arch::{validate, Machine, Simulator};
 use denali_baseline::rewrite_compile;
 use denali_lang::{lower_proc, parse_program};
+use denali_prng::{forall, Rng};
 use denali_term::value::Env;
 use denali_term::{Symbol, Term};
-use proptest::prelude::*;
 
-fn expr_strategy() -> impl Strategy<Value = Term> {
-    let leaf = prop_oneof![
-        Just(Term::leaf("a")),
-        Just(Term::leaf("b")),
-        (0u64..=u64::MAX).prop_map(Term::constant),
-    ];
-    leaf.prop_recursive(4, 32, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| Term::call("add64", vec![x, y])),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| Term::call("sub64", vec![x, y])),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| Term::call("mul64", vec![x, y])),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| Term::call("and64", vec![x, y])),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| Term::call("or64", vec![x, y])),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| Term::call("xor64", vec![x, y])),
-            inner.clone().prop_map(|x| Term::call("not64", vec![x])),
-            (inner.clone(), 0u64..64)
-                .prop_map(|(x, n)| Term::call("shl64", vec![x, Term::constant(n)])),
-            (inner.clone(), 0u64..64)
-                .prop_map(|(x, n)| Term::call("shr64", vec![x, Term::constant(n)])),
-            (inner.clone(), 0u64..8)
-                .prop_map(|(x, i)| Term::call("selectb", vec![x, Term::constant(i)])),
-            (inner.clone(), 0u64..8, inner.clone()).prop_map(|(w, i, x)| {
-                Term::call("storeb", vec![w, Term::constant(i), x])
-            }),
-            (inner.clone(), inner).prop_map(|(x, y)| Term::call("cmpult", vec![x, y])),
-        ]
-    })
+fn random_expr(rng: &mut Rng, depth: usize) -> Term {
+    if depth == 0 || rng.below(4) == 0 {
+        return match rng.below(3) {
+            0 => Term::leaf("a"),
+            1 => Term::leaf("b"),
+            _ => Term::constant(rng.next_u64()),
+        };
+    }
+    match rng.below(12) {
+        0 => Term::call(
+            "add64",
+            vec![random_expr(rng, depth - 1), random_expr(rng, depth - 1)],
+        ),
+        1 => Term::call(
+            "sub64",
+            vec![random_expr(rng, depth - 1), random_expr(rng, depth - 1)],
+        ),
+        2 => Term::call(
+            "mul64",
+            vec![random_expr(rng, depth - 1), random_expr(rng, depth - 1)],
+        ),
+        3 => Term::call(
+            "and64",
+            vec![random_expr(rng, depth - 1), random_expr(rng, depth - 1)],
+        ),
+        4 => Term::call(
+            "or64",
+            vec![random_expr(rng, depth - 1), random_expr(rng, depth - 1)],
+        ),
+        5 => Term::call(
+            "xor64",
+            vec![random_expr(rng, depth - 1), random_expr(rng, depth - 1)],
+        ),
+        6 => Term::call("not64", vec![random_expr(rng, depth - 1)]),
+        7 => Term::call(
+            "shl64",
+            vec![random_expr(rng, depth - 1), Term::constant(rng.below(64))],
+        ),
+        8 => Term::call(
+            "shr64",
+            vec![random_expr(rng, depth - 1), Term::constant(rng.below(64))],
+        ),
+        9 => Term::call(
+            "selectb",
+            vec![random_expr(rng, depth - 1), Term::constant(rng.below(8))],
+        ),
+        10 => Term::call(
+            "storeb",
+            vec![
+                random_expr(rng, depth - 1),
+                Term::constant(rng.below(8)),
+                random_expr(rng, depth - 1),
+            ],
+        ),
+        _ => Term::call(
+            "cmpult",
+            vec![random_expr(rng, depth - 1), random_expr(rng, depth - 1)],
+        ),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn rewrite_baseline_is_correct(goal in expr_strategy(), a: u64, b: u64) {
+#[test]
+fn rewrite_baseline_is_correct() {
+    forall("rewrite_baseline_is_correct", 96, |rng| {
+        let goal = random_expr(rng, 4);
+        let (a, b) = (rng.next_u64(), rng.next_u64());
         let source = format!("(procdecl f ((a long) (b long)) long (:= (res {goal})))");
         let program = parse_program(&source).unwrap();
         let gma = lower_proc(&program.procs[0]).unwrap().remove(0);
@@ -66,17 +98,24 @@ proptest! {
         }
         let outcome = sim.run_named(&compiled, &inputs, HashMap::new()).unwrap();
         let res = compiled.output_reg(Symbol::intern("res")).unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             outcome.regs[&res],
             expected,
             "goal {} a={:#x} b={:#x}\n{}",
-            goal, a, b, compiled.listing(4)
+            goal,
+            a,
+            b,
+            compiled.listing(4)
         );
-    }
+    });
+}
 
-    #[test]
-    fn reassociation_never_changes_values(n in 2usize..9, seed: u64) {
+#[test]
+fn reassociation_never_changes_values() {
+    forall("reassociation_never_changes_values", 96, |rng| {
         // A long or-chain: reassociation balances it; values unchanged.
+        let n = rng.range(2, 9);
+        let seed = rng.next_u64();
         let mut term = Term::leaf("a");
         let mut state = seed | 1;
         for _ in 0..n {
@@ -97,6 +136,6 @@ proptest! {
             .run_named(&compiled, &[("a", seed)], HashMap::new())
             .unwrap();
         let res = compiled.output_reg(Symbol::intern("res")).unwrap();
-        prop_assert_eq!(outcome.regs[&res], expected);
-    }
+        assert_eq!(outcome.regs[&res], expected);
+    });
 }

@@ -1,8 +1,8 @@
 //! E1 (Figure 2): matching cost for the reg6*4+1 walkthrough and the
 //! full single-instruction pipeline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use denali_axioms::{alpha_axioms, math_axioms, saturate, SaturationLimits};
+use denali_bench::harness::Criterion;
 use denali_bench::{default_denali, programs};
 use denali_egraph::EGraph;
 use denali_term::Term;
@@ -40,5 +40,6 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    bench(&mut Criterion::new());
+}

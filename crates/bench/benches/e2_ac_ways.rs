@@ -1,8 +1,8 @@
 //! E2 (§5): saturating a+b+c+d+e under associativity/commutativity and
 //! counting the represented ways (paper: "more than a hundred").
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use denali_axioms::{math_axioms, saturate, SaturationLimits};
+use denali_bench::harness::Criterion;
 use denali_egraph::EGraph;
 use denali_term::{sexpr, Term};
 use std::hint::black_box;
@@ -30,5 +30,6 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    bench(&mut Criterion::new());
+}

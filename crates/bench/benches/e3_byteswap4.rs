@@ -1,14 +1,16 @@
 //! E3 (§8, Figure 4): the full byteswap4 pipeline — the paper's
 //! "just over a minute" experiment.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use denali_bench::harness::Criterion;
 use denali_bench::{default_denali, programs};
 use std::hint::black_box;
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3");
-    group.sample_size(10).measurement_time(Duration::from_secs(40));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(40));
     group.bench_function("byteswap4_pipeline", |b| {
         let denali = default_denali();
         b.iter(|| {
@@ -20,5 +22,6 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    bench(&mut Criterion::new());
+}

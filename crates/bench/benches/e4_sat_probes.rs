@@ -2,9 +2,9 @@
 //! byteswap4 (the paper reports 1639/4613 at K=4 through 9203/26415 at
 //! K=8; we report our encoding's sizes alongside solve times).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use denali_arch::Machine;
 use denali_axioms::SaturationLimits;
+use denali_bench::harness::{BenchmarkId, Criterion};
 use denali_core::encode::{encode, EncodeOptions};
 use denali_core::machine_terms::enumerate;
 use denali_core::matcher::match_gma;
@@ -14,7 +14,12 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let program = parse_program(denali_bench::programs::BYTESWAP4).unwrap();
     let gma = lower_proc(&program.procs[0]).unwrap().remove(0);
-    let matched = match_gma(&gma, &denali_axioms::standard_axioms(), &SaturationLimits::default()).unwrap();
+    let matched = match_gma(
+        &gma,
+        &denali_axioms::standard_axioms(),
+        &SaturationLimits::default(),
+    )
+    .unwrap();
     let machine = Machine::ev6();
     let cands = enumerate(&matched, &machine, &gma.inputs(), None).unwrap();
 
@@ -31,5 +36,6 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    bench(&mut Criterion::new());
+}

@@ -1,9 +1,9 @@
 //! E5 (§8): byteswap5 — Denali versus the conventional rewriting
 //! compiler (the production-C-compiler stand-in).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use denali_arch::Machine;
 use denali_baseline::rewrite_compile;
+use denali_bench::harness::Criterion;
 use denali_bench::{default_denali, programs};
 use denali_lang::{lower_proc, parse_program};
 use std::hint::black_box;
@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5");
-    group.sample_size(10).measurement_time(Duration::from_secs(30));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(30));
     group.bench_function("byteswap5_denali", |b| {
         let denali = default_denali();
         b.iter(|| {
@@ -31,5 +33,6 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    bench(&mut Criterion::new());
+}

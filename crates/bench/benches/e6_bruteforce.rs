@@ -1,21 +1,25 @@
 //! E6 (§8): brute-force enumeration cost versus sequence length (the
 //! GNU-superoptimizer comparison: fine at 5 instructions, days beyond).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use denali_baseline::{brute_search, BruteConfig};
+use denali_bench::harness::{BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
+
+type Target = (usize, fn(&[u64]) -> u64);
 
 fn bench(c: &mut Criterion) {
     // Targets whose optimal length is 1, 2, 3 — the exponential growth
     // in search cost is the measured series.
-    let targets: Vec<(usize, fn(&[u64]) -> u64)> = vec![
+    let targets: Vec<Target> = vec![
         (1, |i| i[0].wrapping_add(i[0])),
         (2, |i| (i[0] & 0xff) << 8),
         (3, |i| ((i[0] & 0xff) << 24) | ((i[0] >> 24) & 0xff)),
     ];
     let mut group = c.benchmark_group("e6");
-    group.sample_size(10).measurement_time(Duration::from_secs(20));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(20));
     for (len, target) in targets {
         group.bench_with_input(BenchmarkId::new("brute_len", len), &len, |b, &len| {
             let config = BruteConfig {
@@ -34,5 +38,6 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    bench(&mut Criterion::new());
+}

@@ -1,14 +1,16 @@
 //! E7 (§8, Figures 5-6): the checksum pipeline — the paper's largest
 //! challenge problem (10 cycles / 31 instructions in ~4 hours there).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use denali_bench::harness::Criterion;
 use denali_bench::{default_denali, programs};
 use std::hint::black_box;
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7");
-    group.sample_size(10).measurement_time(Duration::from_secs(30));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(30));
     group.bench_function("checksum_pipeline", |b| {
         let denali = default_denali();
         b.iter(|| {
@@ -31,5 +33,6 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    bench(&mut Criterion::new());
+}

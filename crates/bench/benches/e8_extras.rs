@@ -2,8 +2,8 @@
 //! plus ablations: solver substitution (CDCL vs DPLL) and machine-model
 //! variants (unclustered, single-issue).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use denali_arch::Machine;
+use denali_bench::harness::Criterion;
 use denali_bench::{default_denali, programs};
 use denali_core::{Denali, Options, SolverChoice};
 use std::hint::black_box;
@@ -43,5 +43,6 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    bench(&mut Criterion::new());
+}

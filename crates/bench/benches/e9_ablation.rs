@@ -2,9 +2,9 @@
 //! main design knobs — the matcher's structural budget and the cluster
 //! model. (Not an experiment from the paper; documents our substitutions.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use denali_arch::Machine;
 use denali_axioms::SaturationLimits;
+use denali_bench::harness::{BenchmarkId, Criterion};
 use denali_bench::programs;
 use denali_core::{Denali, Options};
 use std::hint::black_box;
@@ -12,7 +12,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("a1");
-    group.sample_size(10).measurement_time(Duration::from_secs(20));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(20));
     // Structural budget: quality is flat (5 cycles at every setting);
     // matcher cost is the measured variable.
     for growth in [500usize, 1000, 2000] {
@@ -52,5 +54,6 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    bench(&mut Criterion::new());
+}

@@ -6,16 +6,28 @@ use std::time::Instant;
 
 fn main() {
     let denali = default_denali();
-    let memory: HashMap<u64, u64> =
-        (0..16u64).map(|i| (64 + 8 * i, 0x1111 * (i + 1))).collect();
-    let fixtures: Vec<(&str, &str, Vec<(&str, u64)>)> = vec![
+    let memory: HashMap<u64, u64> = (0..16u64).map(|i| (64 + 8 * i, 0x1111 * (i + 1))).collect();
+    type Fixture = (&'static str, &'static str, Vec<(&'static str, u64)>);
+    let fixtures: Vec<Fixture> = vec![
         ("figure2", programs::FIGURE2, vec![("reg6", 10)]),
         ("byteswap4", programs::BYTESWAP4, vec![("a", 0x11223344)]),
         ("byteswap5", programs::BYTESWAP5, vec![("a", 0x1122334455)]),
         ("lcp2", programs::LCP2, vec![("a", 48), ("b", 80)]),
-        ("rowop", programs::ROWOP, vec![("p", 64), ("q", 128), ("r", 1024), ("c", 3)]),
-        ("checksum_serial", programs::CHECKSUM_SERIAL, vec![("ptr", 64), ("ptrend", 128)]),
-        ("checksum", programs::CHECKSUM, vec![("ptr", 64), ("ptrend", 128)]),
+        (
+            "rowop",
+            programs::ROWOP,
+            vec![("p", 64), ("q", 128), ("r", 1024), ("c", 3)],
+        ),
+        (
+            "checksum_serial",
+            programs::CHECKSUM_SERIAL,
+            vec![("ptr", 64), ("ptrend", 128)],
+        ),
+        (
+            "checksum",
+            programs::CHECKSUM,
+            vec![("ptr", 64), ("ptrend", 128)],
+        ),
     ];
     for (name, src, inputs) in fixtures {
         let t = Instant::now();

@@ -93,9 +93,12 @@ fn e1_matching() {
     );
     println!(
         "              pow(2,2) in 4's class: {}",
-        eg.lookup_term(&Term::call("pow", vec![Term::constant(2), Term::constant(2)]))
-            .map(|c| eg.find(c) == eg.find(eg.constant_class(4).unwrap()))
-            .unwrap_or(false)
+        eg.lookup_term(&Term::call(
+            "pow",
+            vec![Term::constant(2), Term::constant(2)]
+        ))
+        .map(|c| eg.find(c) == eg.find(eg.constant_class(4).unwrap()))
+        .unwrap_or(false)
     );
     println!(
         "              ways of computing the goal (depth 6): {}",
@@ -150,7 +153,12 @@ fn e3_byteswap4() {
     );
     let denali = default_denali();
     let t = Instant::now();
-    let result = compile_checked(&denali, programs::BYTESWAP4, &[("a", 0x11223344)], &HashMap::new());
+    let result = compile_checked(
+        &denali,
+        programs::BYTESWAP4,
+        &[("a", 0x11223344)],
+        &HashMap::new(),
+    );
     let total = t.elapsed();
     let compiled = &result.gmas[0];
     println!(
@@ -248,13 +256,10 @@ fn e6_bruteforce() {
         "GNU superoptimizer: 5-instruction sequences OK, longer took days; Denali: 31 instrs in ~4 h",
     );
     // Targets of increasing optimal length.
-    let targets: Vec<(&str, usize, Box<dyn Fn(&[u64]) -> u64>)> = vec![
+    type Target = (&'static str, usize, Box<dyn Fn(&[u64]) -> u64>);
+    let targets: Vec<Target> = vec![
         ("x+x", 1, Box::new(|i: &[u64]| i[0].wrapping_add(i[0]))),
-        (
-            "(x&255)<<8",
-            2,
-            Box::new(|i: &[u64]| (i[0] & 0xff) << 8),
-        ),
+        ("(x&255)<<8", 2, Box::new(|i: &[u64]| (i[0] & 0xff) << 8)),
         (
             "byte0->3 | byte3->0",
             3,
@@ -263,9 +268,7 @@ fn e6_bruteforce() {
         (
             "swap bytes 0,1",
             4,
-            Box::new(|i: &[u64]| {
-                (i[0] & !0xffffu64) | ((i[0] & 0xff) << 8) | ((i[0] >> 8) & 0xff)
-            }),
+            Box::new(|i: &[u64]| (i[0] & !0xffffu64) | ((i[0] & 0xff) << 8) | ((i[0] >> 8) & 0xff)),
         ),
     ];
     for (name, hint, target) in &targets {
@@ -279,7 +282,9 @@ fn e6_bruteforce() {
         println!(
             "    measured: brute force {:22} len<={hint}: {} in {:?} ({} sequences, timed_out={})",
             name,
-            found.map(|p| format!("found {} instrs", p.len())).unwrap_or_else(|| "NOT FOUND".into()),
+            found
+                .map(|p| format!("found {} instrs", p.len()))
+                .unwrap_or_else(|| "NOT FOUND".into()),
             t.elapsed(),
             stats.sequences_tested,
             stats.timed_out,
@@ -304,8 +309,7 @@ fn e7_checksum() {
         "10 cycles and 31 instructions for the 4x-unrolled pipelined body (~4 h generation)",
     );
     let denali = default_denali();
-    let memory: HashMap<u64, u64> =
-        (0..16u64).map(|i| (64 + 8 * i, 0x1111 * (i + 1))).collect();
+    let memory: HashMap<u64, u64> = (0..16u64).map(|i| (64 + 8 * i, 0x1111 * (i + 1))).collect();
     let t = Instant::now();
     let result = compile_checked(
         &denali,
@@ -346,9 +350,13 @@ fn e7_checksum() {
     // Extension: the paper's unimplemented software-pipelining design,
     // mechanized. The natural (non-pipelined) source recovers the
     // hand-pipelined schedule automatically.
-    for (label, pipeline) in [("natural source, no pipelining", false), ("with automatic pipelining", true)] {
+    for (label, pipeline) in [
+        ("natural source, no pipelining", false),
+        ("with automatic pipelining", true),
+    ] {
         let denali = Denali::new(Options {
             pipeline_loads: pipeline,
+            threads: denali_bench::bench_threads(),
             ..Options::default()
         });
         let result = denali
@@ -376,8 +384,7 @@ fn e8_extras() {
         "Denali handles the rowop matrix routine and the least-common-power-of-2 problem",
     );
     let denali = default_denali();
-    let memory: HashMap<u64, u64> =
-        (0..16u64).map(|i| (64 + 8 * i, 7 * (i + 1))).collect();
+    let memory: HashMap<u64, u64> = (0..16u64).map(|i| (64 + 8 * i, 7 * (i + 1))).collect();
     let rowop = compile_checked(
         &denali,
         programs::ROWOP,
@@ -390,7 +397,12 @@ fn e8_extras() {
         body.cycles,
         body.program.len()
     );
-    let lcp2 = compile_checked(&denali, programs::LCP2, &[("a", 48), ("b", 80)], &HashMap::new());
+    let lcp2 = compile_checked(
+        &denali,
+        programs::LCP2,
+        &[("a", 48), ("b", 80)],
+        &HashMap::new(),
+    );
     println!(
         "    measured: lcp2: {} cycles, {} instructions",
         lcp2.gmas[0].cycles,
@@ -400,6 +412,7 @@ fn e8_extras() {
     // the DPLL engine must agree with CDCL on a small problem.
     let dpll = Denali::new(Options {
         solver: SolverChoice::Dpll,
+        threads: denali_bench::bench_threads(),
         ..Options::default()
     });
     let via_dpll = dpll.compile_source(programs::LCP2).unwrap();
@@ -424,6 +437,7 @@ fn a1_ablations() {
                 max_structural_growth: growth,
                 ..denali_axioms::SaturationLimits::default()
             },
+            threads: denali_bench::bench_threads(),
             ..Options::default()
         });
         let t = Instant::now();
@@ -448,9 +462,12 @@ fn a1_ablations() {
     ] {
         let denali = Denali::new(Options {
             machine,
+            threads: denali_bench::bench_threads(),
             ..Options::default()
         });
-        let result = denali.compile_source(programs::BYTESWAP4).expect("compiles");
+        let result = denali
+            .compile_source(programs::BYTESWAP4)
+            .expect("compiles");
         let c = &result.gmas[0];
         println!(
             "    measured: {name:18}: {} cycles, {} instructions",
@@ -472,10 +489,14 @@ fn r1_retargeting() {
     for (name, machine) in [("ev6", Machine::ev6()), ("ia64like", Machine::ia64like())] {
         let denali = Denali::new(Options {
             machine,
+            threads: denali_bench::bench_threads(),
             ..Options::default()
         });
         for (label, src) in [
-            ("figure2 (a*4+b)", r"(\procdecl f ((a long) (b long)) long (:= (\res (+ (* a 4) b))))"),
+            (
+                "figure2 (a*4+b)",
+                r"(\procdecl f ((a long) (b long)) long (:= (\res (+ (* a 4) b))))",
+            ),
             ("byteswap4", programs::BYTESWAP4),
             ("lcp2", programs::LCP2),
         ] {

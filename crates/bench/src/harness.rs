@@ -1,0 +1,239 @@
+//! A minimal, dependency-free benchmarking harness.
+//!
+//! The repository must build fully offline, so the experiment binaries
+//! cannot depend on crates.io. This module provides the
+//! Criterion-shaped subset of an API the `benches/` targets need:
+//! named benchmark functions, parameterized groups, and a per-iteration
+//! timer with warmup. Results are printed as one line per benchmark
+//! (samples, min / median / mean wall-clock).
+//!
+//! Knobs (environment variables):
+//!
+//! - `DENALI_BENCH_SAMPLES` — target number of timed iterations
+//!   (default 20; groups may lower it via [`BenchmarkGroup::sample_size`]).
+//! - `DENALI_BENCH_TIME_SECS` — wall-clock budget per benchmark
+//!   (default 5; stops sampling early once exceeded).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Top-level driver: owns the default sampling configuration.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion::new()
+    }
+}
+
+impl Criterion {
+    /// Creates a driver with defaults (overridable by environment).
+    pub fn new() -> Criterion {
+        Criterion {
+            sample_size: env_u64("DENALI_BENCH_SAMPLES", 20) as usize,
+            measurement_time: Duration::from_secs(env_u64("DENALI_BENCH_TIME_SECS", 5)),
+        }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Criterion {
+        run_benchmark(name, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Starts a named group with its own sampling configuration.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            prefix: name.to_owned(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup {
+    prefix: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Sets the target number of timed iterations for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut BenchmarkGroup {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the wall-clock budget per benchmark in this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut BenchmarkGroup {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut BenchmarkGroup {
+        let id: BenchmarkId = id.into();
+        let name = format!("{}/{}", self.prefix, id.0);
+        run_benchmark(&name, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut BenchmarkGroup {
+        let name = format!("{}/{}", self.prefix, id.0);
+        run_benchmark(&name, self.sample_size, self.measurement_time, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (provided for API symmetry; nothing buffered).
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark name of the form `function/parameter`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new(function: &str, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId(name.to_owned())
+    }
+}
+
+/// Hands the routine under test to the timer.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly: one untimed warmup call, then up to
+    /// the configured number of samples (stopping early when the
+    /// wall-clock budget runs out, but always taking at least one).
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        std::hint::black_box(routine());
+        let started = Instant::now();
+        while self.times.len() < self.sample_size {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.times.push(t0.elapsed());
+            if started.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+fn run_benchmark(
+    name: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        sample_size,
+        measurement_time,
+        times: Vec::new(),
+    };
+    f(&mut bencher);
+    let mut times = bencher.times;
+    if times.is_empty() {
+        println!("{name:<44} (no samples)");
+        return;
+    }
+    times.sort();
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let total: Duration = times.iter().sum();
+    let mean = total / times.len() as u32;
+    println!(
+        "{name:<44} samples={:<3} min={:>10} median={:>10} mean={:>10}",
+        times.len(),
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_takes_at_least_one_sample() {
+        let mut b = Bencher {
+            sample_size: 5,
+            measurement_time: Duration::ZERO,
+            times: Vec::new(),
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(b.times.len(), 1, "budget 0 still times one sample");
+        assert_eq!(calls, 2, "warmup + one timed call");
+    }
+
+    #[test]
+    fn bencher_honors_sample_size() {
+        let mut b = Bencher {
+            sample_size: 7,
+            measurement_time: Duration::from_secs(60),
+            times: Vec::new(),
+        };
+        b.iter(|| 1 + 1);
+        assert_eq!(b.times.len(), 7);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("encode", 4).0, "encode/4");
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(12)), "12.00 s");
+    }
+}

@@ -7,13 +7,14 @@
 //! validate results against the reference semantics, and produce the
 //! paper-versus-measured rows the `report` binary prints.
 
+pub mod harness;
+
 pub mod programs {
     //! The test programs of the paper's §8 (adapted to this
     //! reproduction's concrete syntax).
 
     /// Figure 2's walkthrough term as a one-line procedure.
-    pub const FIGURE2: &str =
-        "(\\procdecl f ((reg6 long)) long (:= (\\res (+ (* reg6 4) 1))))";
+    pub const FIGURE2: &str = "(\\procdecl f ((reg6 long)) long (:= (\\res (+ (* reg6 4) 1))))";
 
     /// Figure 3: the 4-byte swap challenge problem.
     pub const BYTESWAP4: &str = "
@@ -228,7 +229,8 @@ pub fn check_compiled(
             .output_reg(*name)
             .unwrap_or_else(|| panic!("no output register for {name}"));
         assert_eq!(
-            outcome.regs[&reg], *want,
+            outcome.regs[&reg],
+            *want,
             "{}: output {name} mismatch\n{}",
             compiled.gma.name,
             program.listing(4)
@@ -252,7 +254,21 @@ pub fn check_compiled(
     }
 }
 
-/// Default pipeline used by benches and the report binary.
+/// Worker-thread count for benches and the report binary: the
+/// `DENALI_THREADS` environment variable (`0` = all CPUs), defaulting
+/// to the serial pipeline. Results are identical at every setting.
+pub fn bench_threads() -> usize {
+    std::env::var("DENALI_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Default pipeline used by benches and the report binary. Honors
+/// [`bench_threads`].
 pub fn default_denali() -> Denali {
-    Denali::new(Options::default())
+    Denali::new(Options {
+        threads: bench_threads(),
+        ..Options::default()
+    })
 }

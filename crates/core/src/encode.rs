@@ -370,7 +370,8 @@ pub fn encode(
     }
 
     // ---- Issue exclusivity: at most one launch per (cycle, unit) ----
-    let mut slots: std::collections::BTreeMap<(u32, Unit), Vec<Var>> = std::collections::BTreeMap::new();
+    let mut slots: std::collections::BTreeMap<(u32, Unit), Vec<Var>> =
+        std::collections::BTreeMap::new();
     for (v, coord) in launches.iter().enumerate() {
         slots
             .entry((coord.cycle, coord.unit))
@@ -489,7 +490,12 @@ mod tests {
     fn pipeline(text: &str) -> (Matched, Candidates) {
         let p = parse_program(text).unwrap();
         let gma = lower_proc(&p.procs[0]).unwrap().remove(0);
-        let matched = match_gma(&gma, &denali_axioms::standard_axioms(), &SaturationLimits::default()).unwrap();
+        let matched = match_gma(
+            &gma,
+            &denali_axioms::standard_axioms(),
+            &SaturationLimits::default(),
+        )
+        .unwrap();
         let inputs = gma.inputs();
         let cands = enumerate(&matched, &Machine::ev6(), &inputs, None).unwrap();
         (matched, cands)
@@ -512,9 +518,8 @@ mod tests {
     #[test]
     fn dependent_adds_need_two_cycles() {
         // (a + b) + c: two dependent adds.
-        let (matched, cands) = pipeline(
-            "(procdecl f ((a long) (b long) (c long)) long (:= (res (+ (+ a b) c))))",
-        );
+        let (matched, cands) =
+            pipeline("(procdecl f ((a long) (b long) (c long)) long (:= (res (+ (+ a b) c))))");
         let m = Machine::ev6();
         assert_eq!(solve_at(&matched, &cands, &m, 1), SolveResult::Unsat);
         assert_eq!(solve_at(&matched, &cands, &m, 2), SolveResult::Sat);
@@ -522,8 +527,7 @@ mod tests {
 
     #[test]
     fn multiply_latency_dominates() {
-        let (matched, cands) =
-            pipeline("(procdecl f ((a long)) long (:= (res (+ (* a a) 1))))");
+        let (matched, cands) = pipeline("(procdecl f ((a long)) long (:= (res (+ (* a a) 1))))");
         let m = Machine::ev6();
         // mulq latency 7, then the add: 8 cycles; 7 is impossible.
         assert_eq!(solve_at(&matched, &cands, &m, 7), SolveResult::Unsat);
@@ -552,7 +556,10 @@ mod tests {
         // Quad issue with clusters: the final xor's two operands are
         // produced on different clusters, so one pays the bypass delay;
         // 3 cycles is impossible but 4 works.
-        assert_eq!(solve_at(&matched, &cands_quad, &quad, 3), SolveResult::Unsat);
+        assert_eq!(
+            solve_at(&matched, &cands_quad, &quad, 3),
+            SolveResult::Unsat
+        );
         assert_eq!(solve_at(&matched, &cands_quad, &quad, 4), SolveResult::Sat);
         // Without the cluster penalty, 3 cycles suffice.
         let flat = Machine::ev6_unclustered();
@@ -571,8 +578,7 @@ mod tests {
 
     #[test]
     fn load_latency_is_respected() {
-        let (matched, cands) =
-            pipeline("(procdecl f ((p long*)) long (:= (res (+ (deref p) 1))))");
+        let (matched, cands) = pipeline("(procdecl f ((p long*)) long (:= (res (+ (deref p) 1))))");
         let m = Machine::ev6();
         // ldq (3 cycles) + addq (1): 4 cycles minimum.
         assert_eq!(solve_at(&matched, &cands, &m, 3), SolveResult::Unsat);
@@ -594,8 +600,7 @@ mod tests {
 
     #[test]
     fn encoding_sizes_grow_with_k() {
-        let (matched, cands) =
-            pipeline("(procdecl f ((a long)) long (:= (res (+ (* a 4) 1))))");
+        let (matched, cands) = pipeline("(procdecl f ((a long)) long (:= (res (+ (* a 4) 1))))");
         let m = Machine::ev6();
         let e4 = encode(&matched, &cands, &m, 4, &EncodeOptions::default());
         let e8 = encode(&matched, &cands, &m, 8, &EncodeOptions::default());

@@ -183,9 +183,7 @@ pub fn extract(
                 .ok_or_else(|| err(format!("no register holds class {class}")))
         };
         let (operands, dest) = match &cand.kind {
-            CandidateKind::LoadImm(value) => {
-                (vec![Operand::Imm(*value)], Some(dest_reg[&launch]))
-            }
+            CandidateKind::LoadImm(value) => (vec![Operand::Imm(*value)], Some(dest_reg[&launch])),
             CandidateKind::Load { base, disp, .. } => (
                 vec![Operand::Reg(reg_of(0, *base)?), Operand::Imm(*disp)],
                 Some(dest_reg[&launch]),

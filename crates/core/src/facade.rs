@@ -1,7 +1,6 @@
 //! The end-to-end Denali pipeline.
 
 use std::fmt;
-use std::time::Instant;
 
 use denali_arch::Machine;
 use denali_axioms::{Axiom, SaturationLimits, SaturationReport};
@@ -9,7 +8,8 @@ use denali_lang::{lower_proc, parse_program, Gma, SourceProgram};
 
 use crate::encode::EncodeOptions;
 use crate::matcher::match_gma;
-use crate::search::{search, ProbeStats, SearchOutcome};
+use crate::search::{search, ProbeStats, SearchOutcome, SearchParams};
+use crate::telemetry::Telemetry;
 
 pub use crate::search::SolverChoice;
 
@@ -42,6 +42,12 @@ pub struct Options {
     /// Automatically software-pipeline loop loads (the Figure 6 hand
     /// transformation, mechanized; the paper's unimplemented design).
     pub pipeline_loads: bool,
+    /// Worker threads for both phases: parallel e-matching during
+    /// saturation and speculative SAT probes during the search. `1` is
+    /// the serial pipeline, `0` means one thread per available CPU.
+    /// Results are byte-identical at every setting. Any value other
+    /// than `1` overrides [`SaturationLimits::threads`].
+    pub threads: usize,
 }
 
 impl Default for Options {
@@ -57,6 +63,7 @@ impl Default for Options {
             miss_latency: 20,
             dump_dimacs: None,
             pipeline_loads: false,
+            threads: 1,
         }
     }
 }
@@ -80,6 +87,8 @@ pub struct CompiledGma {
     pub match_ms: f64,
     /// Total wall-clock milliseconds in encoding + solving.
     pub search_ms: f64,
+    /// Per-phase timings (`match`, `enumerate`, `search`).
+    pub telemetry: Telemetry,
 }
 
 impl CompiledGma {
@@ -200,8 +209,7 @@ impl Denali {
                 if gmas[i].guard.is_none() {
                     continue;
                 }
-                let prologue_idx =
-                    (i > 0 && gmas[i - 1].guard.is_none()).then(|| i - 1);
+                let prologue_idx = (i > 0 && gmas[i - 1].guard.is_none()).then(|| i - 1);
                 let prologue = prologue_idx.map(|j| gmas[j].clone());
                 if let Some((new_prologue, new_body)) =
                     denali_lang::pipeline_loads(prologue.as_ref(), &gmas[i])
@@ -232,47 +240,59 @@ impl Denali {
     /// # Errors
     ///
     /// As [`Denali::compile_source`].
-    pub fn compile_gma(
-        &self,
-        gma: Gma,
-        axioms: &[Axiom],
-    ) -> Result<CompiledGma, CompileError> {
-        let match_start = Instant::now();
-        let matched =
-            match_gma(&gma, axioms, &self.options.saturation).map_err(stage_err("match"))?;
-        let match_ms = match_start.elapsed().as_secs_f64() * 1e3;
+    pub fn compile_gma(&self, gma: Gma, axioms: &[Axiom]) -> Result<CompiledGma, CompileError> {
+        let mut telemetry = Telemetry::new();
+
+        let mut saturation = self.options.saturation;
+        if self.options.threads != 1 {
+            saturation.threads = self.options.threads;
+        }
+        let matched = telemetry
+            .time("match", || match_gma(&gma, axioms, &saturation))
+            .map_err(stage_err("match"))?;
 
         let inputs = gma.inputs();
-        let candidates = crate::machine_terms::enumerate_with_misses(
-            &matched,
-            &self.options.machine,
-            &inputs,
-            self.options.load_latency,
-            &gma.miss_addrs,
-            self.options.miss_latency,
-        )
-        .map_err(stage_err("enumerate"))?;
+        let candidates = telemetry
+            .time("enumerate", || {
+                crate::machine_terms::enumerate_with_misses(
+                    &matched,
+                    &self.options.machine,
+                    &inputs,
+                    self.options.load_latency,
+                    &gma.miss_addrs,
+                    self.options.miss_latency,
+                )
+            })
+            .map_err(stage_err("enumerate"))?;
 
-        let search_start = Instant::now();
-        let dump = self.options.dump_dimacs.as_ref().map(|dir| {
-            crate::search::DimacsDump {
-                directory: dir.clone(),
-                label: gma.name.clone(),
-            }
-        });
-        let outcome: SearchOutcome = search(
-            &gma,
-            &matched,
-            &candidates,
-            &self.options.machine,
-            &self.options.encode,
-            self.options.solver,
-            self.options.max_cycles,
-            dump,
-        )
-        .map_err(stage_err("search"))?;
-        let search_ms = search_start.elapsed().as_secs_f64() * 1e3;
+        let params = SearchParams {
+            solver: self.options.solver,
+            max_cycles: self.options.max_cycles,
+            threads: self.options.threads,
+            dump: self
+                .options
+                .dump_dimacs
+                .as_ref()
+                .map(|dir| crate::search::DimacsDump {
+                    directory: dir.clone(),
+                    label: gma.name.clone(),
+                }),
+        };
+        let outcome: SearchOutcome = telemetry
+            .time("search", || {
+                search(
+                    &gma,
+                    &matched,
+                    &candidates,
+                    &self.options.machine,
+                    &self.options.encode,
+                    &params,
+                )
+            })
+            .map_err(stage_err("search"))?;
 
+        let match_ms = telemetry.ms("match");
+        let search_ms = telemetry.ms("search");
         Ok(CompiledGma {
             gma,
             program: outcome.program,
@@ -282,6 +302,7 @@ impl Denali {
             probes: outcome.probes,
             match_ms,
             search_ms,
+            telemetry,
         })
     }
 }

@@ -40,8 +40,10 @@ pub mod extract;
 pub mod machine_terms;
 pub mod matcher;
 pub mod search;
+pub mod telemetry;
 
 mod facade;
 
 pub use facade::{CompileError, CompileResult, CompiledGma, Denali, Options, SolverChoice};
-pub use search::{ProbeStats, SearchOutcome};
+pub use search::{DimacsDump, ProbeStats, SearchOutcome, SearchParams};
+pub use telemetry::Telemetry;

@@ -231,9 +231,7 @@ pub fn enumerate_with_misses(
     // BFS over the cone of the goals, generating candidates.
     let mut queue: VecDeque<ClassId> = out.goal_classes.iter().copied().collect();
     let mut visited: HashSet<ClassId> = HashSet::new();
-    let enqueue = |q: ClassId,
-                       queue: &mut VecDeque<ClassId>,
-                       visited: &HashSet<ClassId>| {
+    let enqueue = |q: ClassId, queue: &mut VecDeque<ClassId>, visited: &HashSet<ClassId>| {
         if !visited.contains(&q) {
             queue.push_back(q);
         }
@@ -307,7 +305,9 @@ pub fn enumerate_with_misses(
                 }
                 continue;
             }
-            let Some(info) = machine.info(op) else { continue };
+            let Some(info) = machine.info(op) else {
+                continue;
+            };
             // Ordinary register-to-register machine operation.
             if ops::info(op).map(|i| i.kind) == Some(OpKind::MachineMemory) {
                 continue;
@@ -350,7 +350,9 @@ pub fn enumerate_with_misses(
 
     // Store candidates per chain level.
     for (level_idx, level) in store_chain.iter().enumerate() {
-        let info = machine.info(Symbol::intern("stq")).expect("stq is an instruction");
+        let info = machine
+            .info(Symbol::intern("stq"))
+            .expect("stq is an instruction");
         let mut level_cands = Vec::new();
         for (base, disp) in address_choices(eg, level.addr, machine) {
             let idx = out.list.len();
@@ -426,7 +428,9 @@ fn mem_chain(matched: &Matched, eg: &EGraph, mem_class: Option<ClassId>) -> Vec<
     let mut prev_class = mem_class;
     let mut out = Vec::new();
     for term in levels_outer_first.iter().rev() {
-        let Some(class) = eg.lookup_term(term) else { continue };
+        let Some(class) = eg.lookup_term(term) else {
+            continue;
+        };
         let class = eg.find(class);
         if Some(class) == prev_class {
             // This store is a no-op (e.g. store(a, i, select(a, i))).
@@ -469,8 +473,7 @@ impl Candidates {
     /// Fixpoint computability check; removes candidates that can never
     /// launch and errors if a goal (or store input) is uncomputable.
     fn prune(&mut self, eg: &EGraph) -> Result<(), EnumerateError> {
-        let mut computable: HashSet<ClassId> =
-            self.inputs.keys().copied().collect();
+        let mut computable: HashSet<ClassId> = self.inputs.keys().copied().collect();
         loop {
             let mut changed = false;
             for cand in &self.list {
@@ -480,11 +483,7 @@ impl Candidates {
                 if computable.contains(&cand.class) {
                     continue;
                 }
-                if cand
-                    .register_deps()
-                    .iter()
-                    .all(|d| computable.contains(d))
-                {
+                if cand.register_deps().iter().all(|d| computable.contains(d)) {
                     computable.insert(cand.class);
                     changed = true;
                 }
@@ -494,11 +493,7 @@ impl Candidates {
             }
         }
         let describe = |c: ClassId| -> String {
-            let ops: Vec<String> = eg
-                .nodes(c)
-                .iter()
-                .map(|n| format!("{}", n.op))
-                .collect();
+            let ops: Vec<String> = eg.nodes(c).iter().map(|n| format!("{}", n.op)).collect();
             format!("{c} [{}]", ops.join(", "))
         };
         for goal in &self.goal_classes {
@@ -541,7 +536,10 @@ impl Candidates {
         }
         self.list = new_list;
         for indices in self.by_class.values_mut() {
-            *indices = indices.iter().filter_map(|i| remap.get(i).copied()).collect();
+            *indices = indices
+                .iter()
+                .filter_map(|i| remap.get(i).copied())
+                .collect();
         }
         self.by_class.retain(|_, v| !v.is_empty());
         for level in &mut self.store_levels {
@@ -561,7 +559,12 @@ mod tests {
     fn candidates_for(text: &str) -> (Matched, Candidates) {
         let p = parse_program(text).unwrap();
         let gma = lower_proc(&p.procs[0]).unwrap().remove(0);
-        let matched = match_gma(&gma, &denali_axioms::standard_axioms(), &SaturationLimits::default()).unwrap();
+        let matched = match_gma(
+            &gma,
+            &denali_axioms::standard_axioms(),
+            &SaturationLimits::default(),
+        )
+        .unwrap();
         let inputs = gma.inputs();
         let cands = enumerate(&matched, &Machine::ev6(), &inputs, None).unwrap();
         (matched, cands)
@@ -569,9 +572,8 @@ mod tests {
 
     #[test]
     fn figure2_candidates_include_s4addq() {
-        let (matched, cands) = candidates_for(
-            "(procdecl f ((reg6 long)) long (:= (res (+ (* reg6 4) 1))))",
-        );
+        let (matched, cands) =
+            candidates_for("(procdecl f ((reg6 long)) long (:= (res (+ (* reg6 4) 1))))");
         let goal = matched.egraph.find(matched.assigns[0]);
         let ops: Vec<&str> = cands.by_class[&goal]
             .iter()
@@ -592,9 +594,8 @@ mod tests {
 
     #[test]
     fn large_constants_get_ldiq_candidates() {
-        let (matched, cands) = candidates_for(
-            "(procdecl f ((a long)) long (:= (res (& a 65535))))",
-        );
+        let (matched, cands) =
+            candidates_for("(procdecl f ((a long)) long (:= (res (& a 65535))))");
         // 65535 exceeds the literal field; zapnot/extwl avoid it, but the
         // plain `and` path needs a materialized constant.
         let has_ldiq = cands
@@ -613,9 +614,7 @@ mod tests {
 
     #[test]
     fn loads_fold_displacements() {
-        let (_, cands) = candidates_for(
-            "(procdecl f ((p long*)) long (:= (res (deref (+ p 8)))))",
-        );
+        let (_, cands) = candidates_for("(procdecl f ((p long*)) long (:= (res (deref (+ p 8)))))");
         let loads: Vec<&Candidate> = cands
             .list
             .iter()
@@ -623,10 +622,9 @@ mod tests {
             .collect();
         assert!(!loads.is_empty());
         assert!(
-            loads.iter().any(|c| matches!(
-                c.kind,
-                CandidateKind::Load { disp: 8, .. }
-            )),
+            loads
+                .iter()
+                .any(|c| matches!(c.kind, CandidateKind::Load { disp: 8, .. })),
             "{loads:?}"
         );
     }
@@ -646,12 +644,14 @@ mod tests {
 
     #[test]
     fn uninterpreted_goal_is_rejected() {
-        let p = parse_program(
-            "(procdecl f ((a long)) long (:= (res (mystery a))))",
+        let p = parse_program("(procdecl f ((a long)) long (:= (res (mystery a))))").unwrap();
+        let gma = lower_proc(&p.procs[0]).unwrap().remove(0);
+        let matched = match_gma(
+            &gma,
+            &denali_axioms::standard_axioms(),
+            &SaturationLimits::default(),
         )
         .unwrap();
-        let gma = lower_proc(&p.procs[0]).unwrap().remove(0);
-        let matched = match_gma(&gma, &denali_axioms::standard_axioms(), &SaturationLimits::default()).unwrap();
         let inputs = gma.inputs();
         let err = enumerate(&matched, &Machine::ev6(), &inputs, None).unwrap_err();
         assert!(err.to_string().contains("no machine realization"));
@@ -673,7 +673,12 @@ mod tests {
     fn load_latency_override_applies() {
         let p = parse_program("(procdecl f ((p long*)) long (:= (res (deref p))))").unwrap();
         let gma = lower_proc(&p.procs[0]).unwrap().remove(0);
-        let matched = match_gma(&gma, &denali_axioms::standard_axioms(), &SaturationLimits::default()).unwrap();
+        let matched = match_gma(
+            &gma,
+            &denali_axioms::standard_axioms(),
+            &SaturationLimits::default(),
+        )
+        .unwrap();
         let inputs = gma.inputs();
         let cands = enumerate(&matched, &Machine::ev6(), &inputs, Some(12)).unwrap();
         let load = cands

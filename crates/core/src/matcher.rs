@@ -57,21 +57,13 @@ pub fn match_gma(
     limits: &SaturationLimits,
 ) -> Result<Matched, EGraphError> {
     let mut egraph = EGraph::new();
-    let guard = gma
-        .guard
-        .as_ref()
-        .map(|g| egraph.add_term(g))
-        .transpose()?;
+    let guard = gma.guard.as_ref().map(|g| egraph.add_term(g)).transpose()?;
     let assigns = gma
         .assigns
         .iter()
         .map(|(_, t)| egraph.add_term(t))
         .collect::<Result<Vec<_>, _>>()?;
-    let mem = gma
-        .mem
-        .as_ref()
-        .map(|m| egraph.add_term(m))
-        .transpose()?;
+    let mem = gma.mem.as_ref().map(|m| egraph.add_term(m)).transpose()?;
 
     let report = saturate(&mut egraph, axioms, limits)?;
 
@@ -98,7 +90,12 @@ mod tests {
     #[test]
     fn figure2_matching() {
         let gma = gma_of("(procdecl f ((reg6 long)) long (:= (res (+ (* reg6 4) 1))))");
-        let m = match_gma(&gma, &denali_axioms::standard_axioms(), &SaturationLimits::default()).unwrap();
+        let m = match_gma(
+            &gma,
+            &denali_axioms::standard_axioms(),
+            &SaturationLimits::default(),
+        )
+        .unwrap();
         assert!(m.report.saturated);
         assert_eq!(m.assigns.len(), 1);
         let ops: Vec<String> = m
@@ -117,7 +114,12 @@ mod tests {
             "(procdecl f ((p long*) (q long*)) long
                (do (-> (<u p q) (:= (p (+ p 8))))))",
         );
-        let m = match_gma(&gma, &denali_axioms::standard_axioms(), &SaturationLimits::default()).unwrap();
+        let m = match_gma(
+            &gma,
+            &denali_axioms::standard_axioms(),
+            &SaturationLimits::default(),
+        )
+        .unwrap();
         assert!(m.guard.is_some());
         assert!(m.value_goal_classes().len() >= 2);
     }
@@ -127,9 +129,12 @@ mod tests {
         // Without the carry axioms, `carry` has no machine realization;
         // with them it becomes cmpult(add64(a,b), a).
         let gma = gma_of("(procdecl f ((a long) (b long)) long (:= (res (carry a b))))");
-        let m_without =
-            match_gma(&gma, &denali_axioms::standard_axioms(), &SaturationLimits::default())
-                .unwrap();
+        let m_without = match_gma(
+            &gma,
+            &denali_axioms::standard_axioms(),
+            &SaturationLimits::default(),
+        )
+        .unwrap();
         let ops: Vec<String> = m_without
             .egraph
             .nodes(m_without.assigns[0])

@@ -7,15 +7,35 @@
 //! satisfiable budget, then binary-search the gap, recording the size
 //! and outcome of every SAT problem (the paper reports these sizes for
 //! byteswap4 in §8).
+//!
+//! # Speculation
+//!
+//! With [`SearchParams::threads`] > 1 the search becomes *speculative*:
+//! each probe owns its CNF and solver, so while the current budget is
+//! being decided the budgets the search would visit *next* are encoded
+//! and solved concurrently on scoped threads. During geometric ascent
+//! the partner of budget `K` is `2K` (needed exactly when `K` is
+//! UNSAT); during binary search the partners of the midpoint are the
+//! two possible next midpoints (one needed per outcome). As soon as
+//! the primary probe resolves, the speculation on the losing branch is
+//! cancelled via [`CancelToken`] and the CDCL solver abandons it at its
+//! next checkpoint. Completed speculations are cached and consumed when
+//! — and only when — the serial control flow reaches their budget, so
+//! the probe log, the chosen program, and the cycle count are identical
+//! to the serial search at any thread count. (DPLL probes cannot be
+//! interrupted; losing DPLL speculations run to completion and are
+//! simply discarded.)
 
+use std::collections::HashMap;
 use std::fmt;
 use std::time::Instant;
 
 use denali_arch::{Machine, Program};
 use denali_lang::Gma;
-use denali_sat::{dpll, SolveResult};
+use denali_par::CancelToken;
+use denali_sat::{dpll, SolveResult, SolverStats};
 
-use crate::encode::{encode, EncodeOptions};
+use crate::encode::{encode, EncodeOptions, Encoding};
 use crate::extract::extract;
 use crate::machine_terms::Candidates;
 use crate::matcher::Matched;
@@ -46,6 +66,8 @@ pub struct ProbeStats {
     pub solve_ms: f64,
     /// Wall-clock milliseconds generating the constraints.
     pub encode_ms: f64,
+    /// CDCL search counters for this probe (`None` under DPLL).
+    pub solver: Option<SolverStats>,
 }
 
 impl fmt::Display for ProbeStats {
@@ -58,7 +80,15 @@ impl fmt::Display for ProbeStats {
             self.clauses,
             if self.satisfiable { "SAT" } else { "UNSAT" },
             self.solve_ms
-        )
+        )?;
+        if let Some(s) = &self.solver {
+            write!(
+                f,
+                " [{} decisions, {} conflicts, {} restarts]",
+                s.decisions, s.conflicts, s.restarts
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -69,7 +99,11 @@ pub struct SearchOutcome {
     pub program: Program,
     /// The optimal cycle count.
     pub cycles: u32,
-    /// True if `cycles - 1` was refuted (the optimality certificate).
+    /// True if `cycles - 1` was refuted (the optimality certificate):
+    /// either a probe at `cycles - 1` returned UNSAT, or `cycles == 1`
+    /// and the GMA requires launches (zero cycles is vacuously
+    /// insufficient). The zero-launch identity path reports `false` —
+    /// nothing was refuted there.
     pub refuted_below: bool,
     /// Every probe performed, in order.
     pub probes: Vec<ProbeStats>,
@@ -99,63 +133,257 @@ pub struct DimacsDump {
     pub label: String,
 }
 
-/// Finds the smallest cycle budget with a legal schedule and decodes it.
-///
-/// # Errors
-///
-/// Fails if no schedule exists within `max_cycles`, or on a decoding
-/// error (which indicates an internal bug).
-#[allow(clippy::too_many_arguments)]
-pub fn search(
-    gma: &Gma,
-    matched: &Matched,
-    candidates: &Candidates,
-    machine: &Machine,
-    options: &EncodeOptions,
-    solver: SolverChoice,
-    max_cycles: u32,
-    dump: Option<DimacsDump>,
-) -> Result<SearchOutcome, SearchError> {
-    let mut probes = Vec::new();
-    let probe = |k: u32, probes: &mut Vec<ProbeStats>| -> (bool, Option<Vec<bool>>) {
-        let encode_start = Instant::now();
-        let encoding = encode(matched, candidates, machine, k, options);
-        let encode_ms = encode_start.elapsed().as_secs_f64() * 1e3;
-        if let Some(dump) = &dump {
-            let _ = std::fs::create_dir_all(&dump.directory);
-            let path = dump
-                .directory
-                .join(format!("{}_k{k}.cnf", dump.label));
-            let _ = std::fs::write(path, encoding.cnf.to_dimacs());
+/// How the search runs: engine, budget ceiling, parallelism, dumps.
+#[derive(Clone, Debug)]
+pub struct SearchParams {
+    /// SAT engine answering the probes.
+    pub solver: SolverChoice,
+    /// Give up if no schedule exists within this many cycles.
+    pub max_cycles: u32,
+    /// Worker threads for speculative probing: `1` is the serial
+    /// search, `0` means one thread per available CPU. The result is
+    /// identical at every setting; only wall-clock changes.
+    pub threads: usize,
+    /// If set, every *consumed* probe's CNF is written here in DIMACS
+    /// format (`<label>_k<K>.cnf`). Cancelled speculations are not
+    /// dumped, so the file set matches the serial search.
+    pub dump: Option<DimacsDump>,
+}
+
+impl Default for SearchParams {
+    fn default() -> SearchParams {
+        SearchParams {
+            solver: SolverChoice::default(),
+            max_cycles: 48,
+            threads: 1,
+            dump: None,
         }
-        let solve_start = Instant::now();
-        let (satisfiable, model) = match solver {
-            SolverChoice::Cdcl => {
-                let mut s = encoding.cnf.to_solver();
-                match s.solve() {
-                    SolveResult::Sat => (true, Some(s.model().expect("sat model").to_vec())),
-                    SolveResult::Unsat => (false, None),
-                }
+    }
+}
+
+/// Everything a probe needs, bundled so it can be handed to a scoped
+/// thread by copy.
+#[derive(Clone, Copy)]
+struct ProbeCtx<'a> {
+    matched: &'a Matched,
+    candidates: &'a Candidates,
+    machine: &'a Machine,
+    options: &'a EncodeOptions,
+    solver: SolverChoice,
+}
+
+/// A completed probe: its log entry plus the artifacts needed to decode
+/// it (the winning probe's model is extracted against the *same*
+/// encoding that produced it — never a re-encoding).
+struct ProbeRun {
+    stats: ProbeStats,
+    model: Option<Vec<bool>>,
+    encoding: Encoding,
+}
+
+enum ProbeOutcome {
+    Done(Box<ProbeRun>),
+    /// The cancel flag was raised before the solver finished; the
+    /// budget's status is unknown and nothing may be cached.
+    Interrupted,
+}
+
+fn run_probe(ctx: ProbeCtx<'_>, k: u32, cancel: Option<&CancelToken>) -> ProbeOutcome {
+    let encode_start = Instant::now();
+    let encoding = encode(ctx.matched, ctx.candidates, ctx.machine, k, ctx.options);
+    let encode_ms = encode_start.elapsed().as_secs_f64() * 1e3;
+    let solve_start = Instant::now();
+    let (satisfiable, model, solver_stats) = match ctx.solver {
+        SolverChoice::Cdcl => {
+            let mut s = encoding.cnf.to_solver();
+            if let Some(token) = cancel {
+                s.set_interrupt(token.handle());
             }
-            SolverChoice::Dpll => match dpll::solve(encoding.cnf.num_vars, &encoding.cnf.clauses)
-            {
-                dpll::DpllResult::Sat(m) => (true, Some(m)),
-                dpll::DpllResult::Unsat => (false, None),
-            },
-        };
-        let solve_ms = solve_start.elapsed().as_secs_f64() * 1e3;
-        probes.push(ProbeStats {
+            match s.solve() {
+                SolveResult::Sat => (
+                    true,
+                    Some(s.model().expect("sat model").to_vec()),
+                    Some(s.stats()),
+                ),
+                SolveResult::Unsat => (false, None, Some(s.stats())),
+                SolveResult::Interrupted => return ProbeOutcome::Interrupted,
+            }
+        }
+        // DPLL has no interrupt hook: a cancelled DPLL speculation runs
+        // to completion and its (valid) answer is simply never used.
+        SolverChoice::Dpll => match dpll::solve(encoding.cnf.num_vars, &encoding.cnf.clauses) {
+            dpll::DpllResult::Sat(m) => (true, Some(m), None),
+            dpll::DpllResult::Unsat => (false, None, None),
+        },
+    };
+    let solve_ms = solve_start.elapsed().as_secs_f64() * 1e3;
+    ProbeOutcome::Done(Box::new(ProbeRun {
+        stats: ProbeStats {
             k,
             vars: encoding.num_vars(),
             clauses: encoding.num_clauses(),
             satisfiable,
             solve_ms,
             encode_ms,
+            solver: solver_stats,
+        },
+        model,
+        encoding,
+    }))
+}
+
+/// Which primary outcome keeps a speculative probe on the search path.
+#[derive(Clone, Copy)]
+enum Keep {
+    IfSat,
+    IfUnsat,
+}
+
+/// The probe scheduler: runs primaries (with optional speculation on
+/// the budgets the search would visit next), caches completed
+/// speculations, and *consumes* probes strictly in the serial search
+/// order — so the probe log and DIMACS dumps are oblivious to
+/// parallelism.
+struct Scheduler<'a> {
+    ctx: ProbeCtx<'a>,
+    /// Extra worker threads available for speculation (0 = serial).
+    workers: usize,
+    dump: Option<&'a DimacsDump>,
+    cache: HashMap<u32, ProbeRun>,
+    probes: Vec<ProbeStats>,
+}
+
+impl<'a> Scheduler<'a> {
+    fn new(ctx: ProbeCtx<'a>, threads: usize, dump: Option<&'a DimacsDump>) -> Scheduler<'a> {
+        Scheduler {
+            ctx,
+            workers: denali_par::resolve_threads(threads).saturating_sub(1),
+            dump,
+            cache: HashMap::new(),
+            probes: Vec::new(),
+        }
+    }
+
+    /// Probes `primary`, speculating on `speculative` budgets (each
+    /// tagged with the primary outcome that keeps it relevant; losers
+    /// are cancelled). Returns the primary's completed run after
+    /// logging and (optionally) dumping it.
+    fn probe(
+        &mut self,
+        primary: u32,
+        speculative: &[(u32, Keep)],
+    ) -> Result<ProbeRun, SearchError> {
+        let run = match self.cache.remove(&primary) {
+            Some(run) => run,
+            None if self.workers == 0 || speculative.is_empty() => {
+                match run_probe(self.ctx, primary, None) {
+                    ProbeOutcome::Done(run) => *run,
+                    ProbeOutcome::Interrupted => unreachable!("probe without cancel interrupted"),
+                }
+            }
+            None => self.run_speculating(primary, speculative),
+        };
+        self.consume(run)
+    }
+
+    /// Runs `primary` on the caller's thread while speculations run on
+    /// scoped threads; cancels losers the moment the primary resolves.
+    fn run_speculating(&mut self, primary: u32, speculative: &[(u32, Keep)]) -> ProbeRun {
+        let ctx = self.ctx;
+        let launches: Vec<(u32, Keep)> = speculative
+            .iter()
+            .filter(|(k, _)| !self.cache.contains_key(k))
+            .take(self.workers)
+            .copied()
+            .collect();
+        let (run, completed) = std::thread::scope(|scope| {
+            let handles: Vec<_> = launches
+                .iter()
+                .map(|&(k, keep)| {
+                    let token = CancelToken::new();
+                    let worker_token = token.clone();
+                    let handle = scope.spawn(move || run_probe(ctx, k, Some(&worker_token)));
+                    (k, keep, token, handle)
+                })
+                .collect();
+            let run = match run_probe(ctx, primary, None) {
+                ProbeOutcome::Done(run) => *run,
+                ProbeOutcome::Interrupted => unreachable!("probe without cancel interrupted"),
+            };
+            for (_, keep, token, _) in &handles {
+                let off_path = match keep {
+                    Keep::IfSat => !run.stats.satisfiable,
+                    Keep::IfUnsat => run.stats.satisfiable,
+                };
+                if off_path {
+                    token.cancel();
+                }
+            }
+            let completed: Vec<(u32, ProbeOutcome)> = handles
+                .into_iter()
+                .map(|(k, _, _, handle)| (k, handle.join().expect("speculative probe panicked")))
+                .collect();
+            (run, completed)
         });
-        (satisfiable, model)
+        for (k, outcome) in completed {
+            if let ProbeOutcome::Done(done) = outcome {
+                self.cache.insert(k, *done);
+            }
+        }
+        run
+    }
+
+    /// Logs a probe the serial control flow has reached, writing its
+    /// DIMACS dump if requested. A dump failure is a hard error — a
+    /// silently missing CNF defeats the point of dumping.
+    fn consume(&mut self, run: ProbeRun) -> Result<ProbeRun, SearchError> {
+        if let Some(dump) = self.dump {
+            std::fs::create_dir_all(&dump.directory).map_err(|e| SearchError {
+                message: format!(
+                    "cannot create DIMACS dump directory {}: {e}",
+                    dump.directory.display()
+                ),
+            })?;
+            let path = dump
+                .directory
+                .join(format!("{}_k{}.cnf", dump.label, run.stats.k));
+            std::fs::write(&path, run.encoding.cnf.to_dimacs()).map_err(|e| SearchError {
+                message: format!("cannot write DIMACS dump {}: {e}", path.display()),
+            })?;
+        }
+        self.probes.push(run.stats);
+        Ok(run)
+    }
+}
+
+/// Finds the smallest cycle budget with a legal schedule and decodes it.
+///
+/// # Errors
+///
+/// Fails if no schedule exists within `params.max_cycles`, if a
+/// requested DIMACS dump cannot be written, or on a decoding error
+/// (which indicates an internal bug).
+pub fn search(
+    gma: &Gma,
+    matched: &Matched,
+    candidates: &Candidates,
+    machine: &Machine,
+    options: &EncodeOptions,
+    params: &SearchParams,
+) -> Result<SearchOutcome, SearchError> {
+    let ctx = ProbeCtx {
+        matched,
+        candidates,
+        machine,
+        options,
+        solver: params.solver,
     };
+    let mut sched = Scheduler::new(ctx, params.threads, params.dump.as_ref());
+    let max_cycles = params.max_cycles;
 
     // A trivial case first: no launches needed at all (identity GMA).
+    // No budget was refuted here, so no optimality certificate is
+    // claimed.
     if candidates
         .goal_classes
         .iter()
@@ -163,67 +391,101 @@ pub fn search(
         && candidates.store_levels.is_empty()
     {
         let encoding = encode(matched, candidates, machine, 1, options);
-        let program = extract(gma, matched, candidates, machine, &encoding, &vec![
-            false;
-            encoding.num_vars()
-        ])
+        let program = extract(
+            gma,
+            matched,
+            candidates,
+            machine,
+            &encoding,
+            &vec![false; encoding.num_vars()],
+        )
         .map_err(|e| SearchError {
             message: e.to_string(),
         })?;
         return Ok(SearchOutcome {
             program,
             cycles: 0,
-            refuted_below: true,
-            probes,
+            refuted_below: false,
+            probes: sched.probes,
         });
     }
 
-    // Geometric ascent to the first satisfiable budget.
+    // Geometric ascent to the first satisfiable budget; the partner
+    // probe 2K is only needed if K is UNSAT.
     let mut k = 1u32;
-    let first_sat: (u32, Vec<bool>);
     let mut max_unsat = 0u32;
+    let mut best: ProbeRun;
     loop {
         if k > max_cycles {
             return Err(SearchError {
                 message: format!("no schedule within {max_cycles} cycles"),
             });
         }
-        let (sat, model) = probe(k, &mut probes);
-        if sat {
-            first_sat = (k, model.expect("model"));
+        let next = (k * 2).min(max_cycles.max(1));
+        let speculative: &[(u32, Keep)] = if next != k {
+            &[(next, Keep::IfUnsat)]
+        } else {
+            &[]
+        };
+        let run = sched.probe(k, speculative)?;
+        if run.stats.satisfiable {
+            best = run;
             break;
         }
         max_unsat = k;
-        k = (k * 2).min(max_cycles.max(1));
-        if k == max_unsat {
+        if next == k {
             return Err(SearchError {
                 message: format!("no schedule within {max_cycles} cycles"),
             });
         }
+        k = next;
     }
-    let (mut best_k, mut best_model) = first_sat;
+    let mut best_k = best.stats.k;
 
-    // Binary search in (max_unsat, best_k).
+    // Binary search in (max_unsat, best_k); the partners of each
+    // midpoint are the two possible next midpoints.
     while best_k - max_unsat > 1 {
         let mid = max_unsat + (best_k - max_unsat) / 2;
-        let (sat, model) = probe(mid, &mut probes);
-        if sat {
+        let mut speculative = Vec::new();
+        let if_sat = max_unsat + (mid - max_unsat) / 2;
+        if if_sat > max_unsat {
+            speculative.push((if_sat, Keep::IfSat));
+        }
+        let if_unsat = mid + (best_k - mid) / 2;
+        if if_unsat > mid {
+            speculative.push((if_unsat, Keep::IfUnsat));
+        }
+        let run = sched.probe(mid, &speculative)?;
+        if run.stats.satisfiable {
+            best = run;
             best_k = mid;
-            best_model = model.expect("model");
         } else {
             max_unsat = mid;
         }
     }
 
-    let encoding = encode(matched, candidates, machine, best_k, options);
-    let program = extract(gma, matched, candidates, machine, &encoding, &best_model)
-        .map_err(|e| SearchError {
-            message: e.to_string(),
+    // The optimality certificate: K-1 was actually refuted, or K == 1
+    // and launches are required (zero cycles is vacuously infeasible —
+    // the zero-launch case was handled above).
+    let refuted_below = best_k == 1
+        || sched
+            .probes
+            .iter()
+            .any(|p| p.k + 1 == best_k && !p.satisfiable);
+
+    // Decode the cached winning probe: its model against its own
+    // encoding.
+    let model = best.model.as_ref().expect("satisfiable probe has a model");
+    let program =
+        extract(gma, matched, candidates, machine, &best.encoding, model).map_err(|e| {
+            SearchError {
+                message: e.to_string(),
+            }
         })?;
     Ok(SearchOutcome {
         program,
         cycles: best_k,
-        refuted_below: max_unsat + 1 == best_k,
-        probes,
+        refuted_below,
+        probes: sched.probes,
     })
 }

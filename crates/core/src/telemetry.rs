@@ -1,0 +1,112 @@
+//! Lightweight per-phase wall-clock telemetry.
+//!
+//! The paper's headline measurement splits compilation into a matching
+//! phase and a satisfiability search; [`Telemetry`] records that split
+//! (plus any finer phases) as an ordered list of named timings, cheap
+//! enough to collect unconditionally and render with [`fmt::Display`].
+
+use std::fmt;
+use std::time::Instant;
+
+/// One named, timed phase.
+#[derive(Clone, Copy, Debug)]
+pub struct Phase {
+    /// Phase name (e.g. `"match"`, `"enumerate"`, `"search"`).
+    pub name: &'static str,
+    /// Wall-clock milliseconds spent in the phase.
+    pub ms: f64,
+}
+
+/// An ordered log of phase timings for one compilation.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    /// Phases in execution order. A name may repeat (e.g. one entry
+    /// per saturation round); [`Telemetry::ms`] sums repeats.
+    pub phases: Vec<Phase>,
+}
+
+impl Telemetry {
+    /// Creates an empty log.
+    pub fn new() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// Runs `f`, recording its wall-clock time under `name`.
+    pub fn time<T>(&mut self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(name, start.elapsed().as_secs_f64() * 1e3);
+        out
+    }
+
+    /// Records an externally measured duration.
+    pub fn record(&mut self, name: &'static str, ms: f64) {
+        self.phases.push(Phase { name, ms });
+    }
+
+    /// Total milliseconds recorded under `name` (0.0 if absent).
+    pub fn ms(&self, name: &str) -> f64 {
+        self.phases
+            .iter()
+            .filter(|p| p.name == name)
+            .map(|p| p.ms)
+            .sum()
+    }
+
+    /// Total milliseconds across every phase.
+    pub fn total_ms(&self) -> f64 {
+        self.phases.iter().map(|p| p.ms).sum()
+    }
+}
+
+impl fmt::Display for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for phase in &self.phases {
+            if !first {
+                f.write_str(", ")?;
+            }
+            first = false;
+            write!(f, "{} {:.1} ms", phase.name, phase.ms)?;
+        }
+        if first {
+            f.write_str("(no phases)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_records_and_returns() {
+        let mut t = Telemetry::new();
+        let out = t.time("work", || 41 + 1);
+        assert_eq!(out, 42);
+        assert_eq!(t.phases.len(), 1);
+        assert_eq!(t.phases[0].name, "work");
+        assert!(t.phases[0].ms >= 0.0);
+    }
+
+    #[test]
+    fn repeated_names_sum() {
+        let mut t = Telemetry::new();
+        t.record("round", 1.5);
+        t.record("round", 2.5);
+        t.record("other", 10.0);
+        assert!((t.ms("round") - 4.0).abs() < 1e-9);
+        assert!((t.total_ms() - 14.0).abs() < 1e-9);
+        assert_eq!(t.ms("missing"), 0.0);
+    }
+
+    #[test]
+    fn display_lists_phases_in_order() {
+        let mut t = Telemetry::new();
+        assert_eq!(t.to_string(), "(no phases)");
+        t.record("match", 12.34);
+        t.record("search", 5.0);
+        assert_eq!(t.to_string(), "match 12.3 ms, search 5.0 ms");
+    }
+}

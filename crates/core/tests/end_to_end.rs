@@ -46,21 +46,25 @@ fn check_against_reference(
                 .unwrap_or_else(|| panic!("no output register for {name}"));
             let got = outcome.regs[&reg];
             assert_eq!(
-                got, *want,
+                got,
+                *want,
                 "{}: output {name} mismatch (got {got:#x}, want {want:#x})\n{}",
                 compiled.gma.name,
                 program.listing(4)
             );
         }
         if let Some(guard) = expected.guard {
-            let reg = program.output_reg(Symbol::intern("guard")).expect("guard register");
+            let reg = program
+                .output_reg(Symbol::intern("guard"))
+                .expect("guard register");
             assert_eq!(outcome.regs[&reg], guard, "guard mismatch");
         }
         if let Some(expected_memory) = &expected.memory {
             for (addr, want) in expected_memory {
                 let got = outcome.memory.get(addr).copied().unwrap_or(0);
                 assert_eq!(
-                    got, *want,
+                    got,
+                    *want,
                     "memory[{addr:#x}] mismatch\n{}",
                     program.listing(4)
                 );
@@ -99,12 +103,8 @@ fn figure2_compiles_to_one_s4addq() {
 #[test]
 fn byteswap4_is_five_cycles_and_correct() {
     let denali = Denali::new(Options::default());
-    let result = check_against_reference(
-        &denali,
-        BYTESWAP4,
-        &[("a", 0x1122_3344u64)],
-        HashMap::new(),
-    );
+    let result =
+        check_against_reference(&denali, BYTESWAP4, &[("a", 0x1122_3344u64)], HashMap::new());
     let compiled = &result.gmas[0];
     // The paper's §8: a 5-cycle EV6 program, optimal to the authors'
     // knowledge; our machine model reproduces the same budget.
@@ -117,7 +117,9 @@ fn byteswap4_is_five_cycles_and_correct() {
         env.set_word("a", a);
         let expected = compiled.gma.evaluate(&env).unwrap();
         let sim = Simulator::new(&denali.options().machine);
-        let outcome = sim.run_named(&compiled.program, &[("a", a)], HashMap::new()).unwrap();
+        let outcome = sim
+            .run_named(&compiled.program, &[("a", a)], HashMap::new())
+            .unwrap();
         let reg = compiled.program.output_reg(Symbol::intern("res")).unwrap();
         assert_eq!(outcome.regs[&reg], expected.assigns[0].1, "a = {a:#x}");
     }
@@ -226,7 +228,7 @@ fn probe_log_matches_search_shape() {
         .unwrap();
     let compiled = &result.gmas[0];
     assert_eq!(compiled.cycles, 8); // mulq(7) + addq(1)
-    // The probe log must contain an unsatisfiable K=7 and a satisfiable K=8.
+                                    // The probe log must contain an unsatisfiable K=7 and a satisfiable K=8.
     assert!(compiled.probes.iter().any(|p| p.k == 7 && !p.satisfiable));
     assert!(compiled.probes.iter().any(|p| p.k == 8 && p.satisfiable));
     // Sizes grow with K.
@@ -250,7 +252,12 @@ fn conditional_move_compiles_to_cmov() {
     );
     let compiled = &result.gmas[0];
     assert_eq!(compiled.cycles, 2, "\n{}", compiled.program.listing(4));
-    let ops: Vec<&str> = compiled.program.instrs.iter().map(|i| i.op.as_str()).collect();
+    let ops: Vec<&str> = compiled
+        .program
+        .instrs
+        .iter()
+        .map(|i| i.op.as_str())
+        .collect();
     assert!(
         ops.contains(&"cmovne") || ops.contains(&"cmoveq"),
         "{ops:?}"
@@ -258,10 +265,7 @@ fn conditional_move_compiles_to_cmov() {
 
     // And on swapped operands.
     let sim = Simulator::new(&denali.options().machine);
-    let res = compiled
-        .program
-        .output_reg(Symbol::intern("res"))
-        .unwrap();
+    let res = compiled.program.output_reg(Symbol::intern("res")).unwrap();
     for (a, b) in [(10u64, 42u64), (42, 10), (7, 7), (u64::MAX, 0)] {
         let outcome = sim
             .run_named(&compiled.program, &[("a", a), ("b", b)], HashMap::new())
@@ -299,7 +303,12 @@ fn wordswap_uses_16bit_field_instructions() {
     );
     let compiled = &result.gmas[0];
     assert!(compiled.cycles <= 3, "\n{}", compiled.program.listing(4));
-    let ops: Vec<&str> = compiled.program.instrs.iter().map(|i| i.op.as_str()).collect();
+    let ops: Vec<&str> = compiled
+        .program
+        .instrs
+        .iter()
+        .map(|i| i.op.as_str())
+        .collect();
     assert!(ops.contains(&"extwl") || ops.contains(&"inswl"), "{ops:?}");
     let sim = Simulator::new(&denali.options().machine);
     let res = compiled.program.output_reg(Symbol::intern("res")).unwrap();
@@ -390,7 +399,10 @@ fn auto_pipelining_recovers_the_hand_pipelined_schedule() {
     let plain = body_cycles(false);
     let pipelined = body_cycles(true);
     assert_eq!(plain, 7, "natural source: loads on the critical path");
-    assert_eq!(pipelined, 5, "pipelined: matches the hand-written Figure 6 schedule");
+    assert_eq!(
+        pipelined, 5,
+        "pipelined: matches the hand-written Figure 6 schedule"
+    );
 }
 
 #[test]
@@ -403,11 +415,16 @@ fn register_allocation_end_to_end() {
     let machine = &denali.options().machine;
     let allocated =
         denali_arch::allocate(program, machine, &denali_arch::alpha_temp_pool()).unwrap();
-    assert_eq!(allocated.input_reg(Symbol::intern("a")), Some(denali_arch::Reg(16)));
+    assert_eq!(
+        allocated.input_reg(Symbol::intern("a")),
+        Some(denali_arch::Reg(16))
+    );
     let sim = Simulator::new(machine);
     for a in [0x11223344u64, 0xdeadbeef] {
         let before = sim.run_named(program, &[("a", a)], HashMap::new()).unwrap();
-        let after = sim.run_named(&allocated, &[("a", a)], HashMap::new()).unwrap();
+        let after = sim
+            .run_named(&allocated, &[("a", a)], HashMap::new())
+            .unwrap();
         let r1 = program.output_reg(Symbol::intern("res")).unwrap();
         let r2 = allocated.output_reg(Symbol::intern("res")).unwrap();
         assert_eq!(before.regs[&r1], after.regs[&r2]);
@@ -424,14 +441,15 @@ fn retargeting_to_ia64like_uses_field_instructions() {
         machine: denali_arch::Machine::ia64like(),
         ..Options::default()
     });
-    let result = check_against_reference(
-        &denali,
-        BYTESWAP4,
-        &[("a", 0x1122_3344u64)],
-        HashMap::new(),
-    );
+    let result =
+        check_against_reference(&denali, BYTESWAP4, &[("a", 0x1122_3344u64)], HashMap::new());
     let compiled = &result.gmas[0];
-    let ops: Vec<&str> = compiled.program.instrs.iter().map(|i| i.op.as_str()).collect();
+    let ops: Vec<&str> = compiled
+        .program
+        .instrs
+        .iter()
+        .map(|i| i.op.as_str())
+        .collect();
     assert!(
         ops.iter().any(|o| *o == "extr_u" || *o == "dep_z"),
         "expected IA-64 field ops, got {ops:?}\n{}",
@@ -485,7 +503,12 @@ fn cache_miss_annotations_stretch_the_schedule() {
         HashMap::from([(64, 5), (72, 6)]),
     );
     // Annotated load: 20 cycles, then the add.
-    assert_eq!(slow.gmas[0].cycles, 21, "\n{}", slow.gmas[0].program.listing(4));
+    assert_eq!(
+        slow.gmas[0].cycles,
+        21,
+        "\n{}",
+        slow.gmas[0].program.listing(4)
+    );
 
     // The annotation is per-site: the other load still has hit latency
     // and is hidden under the miss.

@@ -16,7 +16,12 @@ fn compile_proc_selects_by_name() {
     let second = denali.compile_proc(&program, "second").unwrap();
     // a+1+2 folds to a+3 via associativity... the matcher finds a+3 as
     // one addq.
-    assert_eq!(second.gmas[0].cycles, 1, "{}", second.gmas[0].program.listing(4));
+    assert_eq!(
+        second.gmas[0].cycles,
+        1,
+        "{}",
+        second.gmas[0].program.listing(4)
+    );
 }
 
 /// Helper namespace to keep the test body readable.
@@ -39,7 +44,10 @@ fn unknown_procedure_is_a_parse_stage_error() {
 fn error_stages_are_reported() {
     let pipeline = Denali::new(Options::default());
     // Syntax error.
-    assert_eq!(pipeline.compile_source("(procdecl").unwrap_err().stage, "parse");
+    assert_eq!(
+        pipeline.compile_source("(procdecl").unwrap_err().stage,
+        "parse"
+    );
     // Unknown statement -> parse.
     assert_eq!(
         pipeline
@@ -51,9 +59,7 @@ fn error_stages_are_reported() {
     // Malformed program axiom -> axiom.
     assert_eq!(
         pipeline
-            .compile_source(
-                "(axiom (zzz a b))\n(procdecl f ((a long)) long (:= (res a)))"
-            )
+            .compile_source("(axiom (zzz a b))\n(procdecl f ((a long)) long (:= (res a)))")
             .unwrap_err()
             .stage,
         "axiom"
@@ -131,7 +137,10 @@ fn main_accessor_picks_the_largest_gma() {
         .unwrap();
     assert!(result.gmas.len() >= 2);
     let main = result.main();
-    assert!(result.gmas.iter().all(|g| g.program.len() <= main.program.len()));
+    assert!(result
+        .gmas
+        .iter()
+        .all(|g| g.program.len() <= main.program.len()));
 }
 
 #[test]

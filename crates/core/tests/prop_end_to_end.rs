@@ -8,36 +8,63 @@ use denali_arch::{validate, Simulator};
 use denali_axioms::SaturationLimits;
 use denali_core::{Denali, Options};
 use denali_lang::{lower_proc, parse_program};
+use denali_prng::{forall, Rng};
 use denali_term::value::Env;
 use denali_term::{Symbol, Term};
-use proptest::prelude::*;
 
 /// Random goal expressions over two inputs, mixing arithmetic, bitwise,
 /// shift, byte, and compare operations (no memory; memory has its own
 /// deterministic tests).
-fn expr_strategy() -> impl Strategy<Value = Term> {
-    let leaf = prop_oneof![
-        Just(Term::leaf("a")),
-        Just(Term::leaf("b")),
-        (0u64..256).prop_map(Term::constant),
-    ];
-    leaf.prop_recursive(3, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| Term::call("add64", vec![x, y])),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| Term::call("sub64", vec![x, y])),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| Term::call("and64", vec![x, y])),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| Term::call("or64", vec![x, y])),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| Term::call("xor64", vec![x, y])),
-            (inner.clone(), 0u64..64)
-                .prop_map(|(x, n)| Term::call("shl64", vec![x, Term::constant(n)])),
-            (inner.clone(), 0u64..64)
-                .prop_map(|(x, n)| Term::call("shr64", vec![x, Term::constant(n)])),
-            (inner.clone(), 0u64..8)
-                .prop_map(|(x, i)| Term::call("selectb", vec![x, Term::constant(i)])),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| Term::call("cmpult", vec![x, y])),
-            (inner.clone(), inner).prop_map(|(x, y)| Term::call("cmpeq", vec![x, y])),
-        ]
-    })
+fn random_goal(rng: &mut Rng, depth: usize) -> Term {
+    if depth == 0 || rng.below(4) == 0 {
+        return match rng.below(3) {
+            0 => Term::leaf("a"),
+            1 => Term::leaf("b"),
+            _ => Term::constant(rng.below(256)),
+        };
+    }
+    match rng.below(10) {
+        0 => Term::call(
+            "add64",
+            vec![random_goal(rng, depth - 1), random_goal(rng, depth - 1)],
+        ),
+        1 => Term::call(
+            "sub64",
+            vec![random_goal(rng, depth - 1), random_goal(rng, depth - 1)],
+        ),
+        2 => Term::call(
+            "and64",
+            vec![random_goal(rng, depth - 1), random_goal(rng, depth - 1)],
+        ),
+        3 => Term::call(
+            "or64",
+            vec![random_goal(rng, depth - 1), random_goal(rng, depth - 1)],
+        ),
+        4 => Term::call(
+            "xor64",
+            vec![random_goal(rng, depth - 1), random_goal(rng, depth - 1)],
+        ),
+        5 => Term::call(
+            "shl64",
+            vec![random_goal(rng, depth - 1), Term::constant(rng.below(64))],
+        ),
+        6 => Term::call(
+            "shr64",
+            vec![random_goal(rng, depth - 1), Term::constant(rng.below(64))],
+        ),
+        7 => Term::call(
+            "selectb",
+            vec![random_goal(rng, depth - 1), Term::constant(rng.below(8))],
+        ),
+        8 => Term::call(
+            "cmpult",
+            vec![random_goal(rng, depth - 1), random_goal(rng, depth - 1)],
+        ),
+        _ => Term::call(
+            "cmpeq",
+            vec![random_goal(rng, depth - 1), random_goal(rng, depth - 1)],
+        ),
+    }
 }
 
 fn pipeline() -> Denali {
@@ -55,14 +82,12 @@ fn pipeline() -> Denali {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn generated_code_matches_reference(goal in expr_strategy(), a: u64, b: u64) {
-        let source = format!(
-            "(procdecl f ((a long) (b long)) long (:= (res {goal})))"
-        );
+#[test]
+fn generated_code_matches_reference() {
+    forall("generated_code_matches_reference", 48, |rng| {
+        let goal = random_goal(rng, 3);
+        let (a, b) = (rng.next_u64(), rng.next_u64());
+        let source = format!("(procdecl f ((a long) (b long)) long (:= (res {goal})))");
         let denali = pipeline();
         let result = denali.compile_source(&source).expect("pipeline succeeds");
         let compiled = &result.gmas[0];
@@ -91,7 +116,7 @@ proptest! {
             .program
             .output_reg(Symbol::intern("res"))
             .expect("result register");
-        prop_assert_eq!(
+        assert_eq!(
             outcome.regs[&res],
             expected,
             "goal {} a={:#x} b={:#x}\n{}",
@@ -100,27 +125,28 @@ proptest! {
             b,
             compiled.program.listing(4)
         );
-    }
+    });
+}
 
-    #[test]
-    fn denali_is_at_least_as_good_as_the_rewriting_baseline(goal in expr_strategy()) {
-        let source = format!(
-            "(procdecl f ((a long) (b long)) long (:= (res {goal})))"
-        );
+#[test]
+fn denali_is_at_least_as_good_as_the_rewriting_baseline() {
+    forall("denali_vs_rewriting_baseline", 48, |rng| {
+        let goal = random_goal(rng, 3);
+        let source = format!("(procdecl f ((a long) (b long)) long (:= (res {goal})))");
         let program = parse_program(&source).unwrap();
         let gma = lower_proc(&program.procs[0]).unwrap().remove(0);
         let machine = denali_arch::Machine::ev6();
         let Ok(baseline) = denali_baseline::rewrite_compile(&gma, &machine) else {
-            return Ok(()); // baseline has no rewrite for this shape
+            return; // baseline has no rewrite for this shape
         };
         let denali = pipeline();
         let result = denali.compile_source(&source).expect("pipeline succeeds");
-        prop_assert!(
+        assert!(
             result.gmas[0].cycles <= baseline.cycles(),
             "goal {}: denali {} cycles, baseline {}",
             goal,
             result.gmas[0].cycles,
             baseline.cycles()
         );
-    }
+    });
 }

@@ -1,0 +1,182 @@
+//! Regression tests for the speculative cycle-budget search: at every
+//! thread count the search must emit byte-identical programs, identical
+//! cycle counts, and the exact serial probe log — speculation may only
+//! change wall-clock, never results. Also pins the `refuted_below`
+//! certificate semantics and the DIMACS-dump error path.
+
+use denali_core::{Denali, Options, SolverChoice};
+
+const BYTESWAP4: &str = "
+(\\procdecl byteswap4 ((a long)) long
+  (\\var (r long 0)
+    (\\semi
+      (:= ((\\selectb r 0) (\\selectb a 3)))
+      (:= ((\\selectb r 1) (\\selectb a 2)))
+      (:= ((\\selectb r 2) (\\selectb a 1)))
+      (:= ((\\selectb r 3) (\\selectb a 0)))
+      (:= (\\res r)))))";
+
+const FIGURE2: &str = "(\\procdecl f ((reg6 long)) long (:= (\\res (+ (* reg6 4) 1))))";
+
+/// The comparable footprint of one compilation: everything except
+/// wall-clock timings — cycles, certificate, listing, probe log.
+type Snapshot = (u32, bool, String, Vec<(u32, usize, usize, bool)>);
+
+fn snapshot(denali: &Denali, source: &str) -> Snapshot {
+    let result = denali.compile_source(source).expect("compiles");
+    let compiled = &result.gmas[0];
+    (
+        compiled.cycles,
+        compiled.refuted_below,
+        compiled.program.listing(4),
+        compiled
+            .probes
+            .iter()
+            .map(|p| (p.k, p.vars, p.clauses, p.satisfiable))
+            .collect(),
+    )
+}
+
+#[test]
+fn search_is_identical_at_every_thread_count() {
+    let serial = snapshot(&Denali::new(Options::default()), BYTESWAP4);
+    assert_eq!(serial.0, 5, "byteswap4 is a 5-cycle program");
+    assert!(serial.1, "4 cycles must be refuted");
+    for threads in [2, 3, 4, 8] {
+        let speculative = snapshot(
+            &Denali::new(Options {
+                threads,
+                ..Options::default()
+            }),
+            BYTESWAP4,
+        );
+        assert_eq!(serial, speculative, "threads={threads}");
+    }
+}
+
+#[test]
+fn zero_threads_means_auto_and_stays_deterministic() {
+    let serial = snapshot(&Denali::new(Options::default()), FIGURE2);
+    let auto = snapshot(
+        &Denali::new(Options {
+            threads: 0,
+            ..Options::default()
+        }),
+        FIGURE2,
+    );
+    assert_eq!(serial, auto);
+}
+
+#[test]
+fn speculative_dpll_agrees_with_serial_dpll() {
+    // DPLL probes cannot be interrupted; losing speculations run to
+    // completion but their answers must never leak into the result.
+    let opts = |threads| Options {
+        solver: SolverChoice::Dpll,
+        threads,
+        ..Options::default()
+    };
+    let serial = snapshot(&Denali::new(opts(1)), FIGURE2);
+    let speculative = snapshot(&Denali::new(opts(4)), FIGURE2);
+    assert_eq!(serial, speculative);
+}
+
+#[test]
+fn identity_claims_no_refutation_certificate() {
+    // The zero-launch path performs no UNSAT probe, so it must not
+    // claim that "cycles - 1" was refuted.
+    let denali = Denali::new(Options::default());
+    let result = denali
+        .compile_source("(\\procdecl id ((a long)) long (:= (\\res a)))")
+        .unwrap();
+    let compiled = &result.gmas[0];
+    assert_eq!(compiled.cycles, 0);
+    assert!(compiled.probes.is_empty());
+    assert!(!compiled.refuted_below);
+}
+
+#[test]
+fn one_cycle_result_is_vacuously_refuted() {
+    // figure2 needs a launch, so zero cycles is infeasible without any
+    // probe: the certificate holds even though the first probe is SAT.
+    let denali = Denali::new(Options::default());
+    let result = denali.compile_source(FIGURE2).unwrap();
+    let compiled = &result.gmas[0];
+    assert_eq!(compiled.cycles, 1);
+    assert!(compiled.refuted_below);
+    assert!(compiled.probes.iter().all(|p| p.satisfiable));
+}
+
+#[test]
+fn unsat_neighbor_backs_the_certificate() {
+    // byteswap4's certificate must rest on an actual UNSAT probe at
+    // cycles - 1, not on bookkeeping.
+    let denali = Denali::new(Options::default());
+    let result = denali.compile_source(BYTESWAP4).unwrap();
+    let compiled = &result.gmas[0];
+    assert!(compiled.refuted_below);
+    assert!(compiled
+        .probes
+        .iter()
+        .any(|p| p.k + 1 == compiled.cycles && !p.satisfiable));
+}
+
+#[test]
+fn cdcl_probes_surface_solver_stats() {
+    let denali = Denali::new(Options::default());
+    let result = denali.compile_source(BYTESWAP4).unwrap();
+    let compiled = &result.gmas[0];
+    assert!(!compiled.probes.is_empty());
+    for probe in &compiled.probes {
+        let stats = probe.solver.expect("CDCL probes carry solver stats");
+        assert_eq!(stats.vars as usize, probe.vars);
+    }
+}
+
+#[test]
+fn unwritable_dump_directory_is_a_hard_error() {
+    // Point the dump "directory" underneath a regular file: creating
+    // it must fail, and the search must report that instead of
+    // silently skipping the dump.
+    let base = std::env::temp_dir().join("denali_dump_blocker");
+    std::fs::write(&base, b"not a directory").unwrap();
+    let denali = Denali::new(Options {
+        dump_dimacs: Some(base.join("sub")),
+        ..Options::default()
+    });
+    let err = denali
+        .compile_source(FIGURE2)
+        .expect_err("dump into a non-directory must fail");
+    assert_eq!(err.stage, "search");
+    assert!(
+        err.message.contains("DIMACS"),
+        "error should name the dump: {}",
+        err.message
+    );
+    let _ = std::fs::remove_file(&base);
+}
+
+#[test]
+fn dump_writes_one_cnf_per_consumed_probe() {
+    let dir = std::env::temp_dir().join("denali_dump_ok_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let denali = Denali::new(Options {
+        dump_dimacs: Some(dir.clone()),
+        ..Options::default()
+    });
+    let result = denali.compile_source(BYTESWAP4).unwrap();
+    let compiled = &result.gmas[0];
+    let mut dumped: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    dumped.sort();
+    let mut expected: Vec<String> = compiled
+        .probes
+        .iter()
+        .map(|p| format!("{}_k{}.cnf", compiled.gma.name, p.k))
+        .collect();
+    expected.sort();
+    assert_eq!(dumped, expected);
+    let _ = std::fs::remove_dir_all(&dir);
+}

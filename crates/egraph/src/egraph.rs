@@ -124,6 +124,15 @@ pub struct EGraph {
     op_index: HashMap<Symbol, Vec<ClassId>>,
 }
 
+// The matcher freezes the e-graph and e-matches axioms against it from
+// multiple threads; every read accessor takes `&self`, and this pins the
+// auto-trait obligations so a future non-Sync field (e.g. an interior-
+// mutability cache) fails to compile here rather than in the matcher.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EGraph>();
+};
+
 impl EGraph {
     /// Creates an empty e-graph.
     pub fn new() -> EGraph {
@@ -503,9 +512,7 @@ impl EGraph {
                 }
                 let dirty = self.find(dirty);
                 if let Some(class) = self.classes.get_mut(&dirty) {
-                    class
-                        .parents
-                        .extend(new_parents.into_iter().map(|(n, c)| (n, c)));
+                    class.parents.extend(new_parents);
                 }
             }
             // Canonicalize and dedupe the node lists.
@@ -529,7 +536,11 @@ impl EGraph {
         }
     }
 
-    fn try_fold_parent(&mut self, _child: ClassId, parent_class: ClassId) -> Result<(), EGraphError> {
+    fn try_fold_parent(
+        &mut self,
+        _child: ClassId,
+        parent_class: ClassId,
+    ) -> Result<(), EGraphError> {
         let parent_class = self.find(parent_class);
         if self.constant(parent_class).is_some() {
             return Ok(());

@@ -45,7 +45,13 @@ pub fn ematch(egraph: &EGraph, pattern: &Term) -> Vec<(ClassId, Subst)> {
 /// Matches `pattern` against the members of one equivalence class.
 pub fn ematch_in_class(egraph: &EGraph, pattern: &Term, class: ClassId) -> Vec<Subst> {
     let mut results = Vec::new();
-    match_class(egraph, pattern, egraph.find(class), Subst::new(), &mut results);
+    match_class(
+        egraph,
+        pattern,
+        egraph.find(class),
+        Subst::new(),
+        &mut results,
+    );
     results
 }
 
@@ -57,20 +63,18 @@ fn match_class(
     out: &mut Vec<Subst>,
 ) {
     match pattern.op() {
-        Op::Var(v) => {
-            match subst.get(&v) {
-                Some(&bound) => {
-                    if egraph.find(bound) == class {
-                        out.push(subst);
-                    }
-                }
-                None => {
-                    let mut subst = subst;
-                    subst.insert(v, class);
+        Op::Var(v) => match subst.get(&v) {
+            Some(&bound) => {
+                if egraph.find(bound) == class {
                     out.push(subst);
                 }
             }
-        }
+            None => {
+                let mut subst = subst;
+                subst.insert(v, class);
+                out.push(subst);
+            }
+        },
         Op::Const(c) => {
             // A constant pattern matches via the constant analysis, so
             // classes folded to the value match even without a literal

@@ -47,5 +47,5 @@ mod egraph;
 mod ematch;
 mod ways;
 
-pub use egraph::{ClassId, ENode, EqLiteral, EGraph, EGraphError};
+pub use egraph::{ClassId, EGraph, EGraphError, ENode, EqLiteral};
 pub use ematch::{ematch, ematch_in_class, Subst};

@@ -31,8 +31,12 @@ fn count_ways_saturates_instead_of_overflowing() {
     let mut eg = EGraph::new();
     let mut prev = eg.add_term(&t("x0")).unwrap();
     for i in 1..140 {
-        let a = eg.add_term(&Term::call("f", vec![Term::leaf(format!("x{}", i - 1))])).unwrap();
-        let b = eg.add_term(&Term::call("g", vec![Term::leaf(format!("x{}", i - 1))])).unwrap();
+        let a = eg
+            .add_term(&Term::call("f", vec![Term::leaf(format!("x{}", i - 1))]))
+            .unwrap();
+        let b = eg
+            .add_term(&Term::call("g", vec![Term::leaf(format!("x{}", i - 1))]))
+            .unwrap();
         eg.union(a, b).unwrap();
         let x = eg.add_term(&Term::leaf(format!("x{i}"))).unwrap();
         eg.union(x, a).unwrap();

@@ -2,31 +2,31 @@
 //! interleavings of insertions and unions.
 
 use denali_egraph::EGraph;
+use denali_prng::{forall, Rng};
 use denali_term::Term;
-use proptest::prelude::*;
 
 /// A small random term over leaves l0..l3 and binary ops f, g.
-fn term_strategy() -> impl Strategy<Value = Term> {
-    let leaf = (0u8..4).prop_map(|i| Term::leaf(format!("l{i}")));
-    leaf.prop_recursive(3, 24, 2, |inner| {
-        (prop_oneof![Just("f"), Just("g")], inner.clone(), inner)
-            .prop_map(|(op, a, b)| Term::call(op, vec![a, b]))
-    })
+fn random_term(rng: &mut Rng, depth: usize) -> Term {
+    if depth == 0 || rng.below(3) == 0 {
+        Term::leaf(format!("l{}", rng.below(4)))
+    } else {
+        let op = if rng.next_bool() { "f" } else { "g" };
+        let a = random_term(rng, depth - 1);
+        let b = random_term(rng, depth - 1);
+        Term::call(op, vec![a, b])
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn unions_are_congruent(
-        terms in proptest::collection::vec(term_strategy(), 1..8),
-        merges in proptest::collection::vec((0usize..8, 0usize..8), 0..6),
-    ) {
-        let mut eg = EGraph::new();
-        let classes: Vec<_> = terms
-            .iter()
-            .map(|t| eg.add_term(t).unwrap())
+#[test]
+fn unions_are_congruent() {
+    forall("unions_are_congruent", 64, |rng| {
+        let terms: Vec<Term> = (0..rng.range(1, 8)).map(|_| random_term(rng, 3)).collect();
+        let merges: Vec<(usize, usize)> = (0..rng.below(6))
+            .map(|_| (rng.below_usize(8), rng.below_usize(8)))
             .collect();
+
+        let mut eg = EGraph::new();
+        let classes: Vec<_> = terms.iter().map(|t| eg.add_term(t).unwrap()).collect();
         for &(i, j) in &merges {
             let (i, j) = (i % classes.len(), j % classes.len());
             // Random unions of whole terms can never contradict (no
@@ -39,7 +39,7 @@ proptest! {
         // back its class.
         for (t, &c) in terms.iter().zip(&classes) {
             let again = eg.add_term(t).unwrap();
-            prop_assert_eq!(eg.find(again), eg.find(c));
+            assert_eq!(eg.find(again), eg.find(c));
         }
 
         // Invariant 2: congruence — wrapping any two equal classes in
@@ -51,7 +51,7 @@ proptest! {
             let ci = eg.add_term(&fi).unwrap();
             let cj = eg.add_term(&fj).unwrap();
             eg.rebuild().unwrap();
-            prop_assert_eq!(eg.find(ci), eg.find(cj));
+            assert_eq!(eg.find(ci), eg.find(cj));
         }
 
         // Invariant 3: every node list is canonical and deduplicated.
@@ -59,17 +59,20 @@ proptest! {
             let nodes = eg.nodes(class);
             for (a, na) in nodes.iter().enumerate() {
                 for nb in &nodes[a + 1..] {
-                    prop_assert_ne!(na, nb, "duplicate node in class");
+                    assert_ne!(na, nb, "duplicate node in class");
                 }
                 for &child in &na.children {
-                    prop_assert_eq!(eg.find(child), child, "non-canonical child");
+                    assert_eq!(eg.find(child), child, "non-canonical child");
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn transitive_merges_collapse_to_one_class(count in 2usize..10) {
+#[test]
+fn transitive_merges_collapse_to_one_class() {
+    forall("transitive_merges_collapse_to_one_class", 64, |rng| {
+        let count = rng.range(2, 10) as usize;
         let mut eg = EGraph::new();
         let leaves: Vec<_> = (0..count)
             .map(|i| eg.add_term(&Term::leaf(format!("m{i}"))).unwrap())
@@ -80,19 +83,22 @@ proptest! {
         eg.rebuild().unwrap();
         let root = eg.find(leaves[0]);
         for &l in &leaves {
-            prop_assert_eq!(eg.find(l), root);
+            assert_eq!(eg.find(l), root);
         }
-    }
+    });
+}
 
-    #[test]
-    fn constant_folding_agrees_with_evaluator(a: u32, b: u32) {
+#[test]
+fn constant_folding_agrees_with_evaluator() {
+    forall("constant_folding_agrees_with_evaluator", 64, |rng| {
         // add64(a, b) folds to the evaluator's result.
-        let (a, b) = (u64::from(a), u64::from(b));
+        let a = rng.next_u64() & 0xffff_ffff;
+        let b = rng.next_u64() & 0xffff_ffff;
         let mut eg = EGraph::new();
         let t = Term::call("add64", vec![Term::constant(a), Term::constant(b)]);
         let c = eg.add_term(&t).unwrap();
-        prop_assert_eq!(eg.constant(c), Some(a.wrapping_add(b)));
+        assert_eq!(eg.constant(c), Some(a.wrapping_add(b)));
         let lit = eg.add_term(&Term::constant(a.wrapping_add(b))).unwrap();
-        prop_assert_eq!(eg.find(lit), eg.find(c));
-    }
+        assert_eq!(eg.find(lit), eg.find(c));
+    });
 }

@@ -46,5 +46,5 @@ mod pipeline;
 
 pub use ast::{ParseProgramError, Proc, SourceProgram, Stmt, Target};
 pub use lower::{lower_proc, Gma, GmaEval};
-pub use pipeline::pipeline_loads;
 pub use parse::parse_program;
+pub use pipeline::pipeline_loads;

@@ -135,10 +135,7 @@ fn strip_missing(term: &Term, out: &mut Vec<Term>) -> Term {
     }
     Term::new(
         term.op(),
-        term.args()
-            .iter()
-            .map(|a| strip_missing(a, out))
-            .collect(),
+        term.args().iter().map(|a| strip_missing(a, out)).collect(),
     )
 }
 
@@ -264,12 +261,7 @@ pub fn lower_proc(proc: &Proc) -> Result<Vec<Gma>, ParseProgramError> {
     }
     let mem = state.mem_dirty.then(|| state.mem.clone());
     if !assigns.is_empty() || mem.is_some() {
-        gmas.push(make_gma(
-            format!("{}_final", proc.name),
-            None,
-            assigns,
-            mem,
-        ));
+        gmas.push(make_gma(format!("{}_final", proc.name), None, assigns, mem));
     }
     Ok(gmas)
 }
@@ -312,10 +304,7 @@ fn walk(
                             .cloned()
                             .unwrap_or_else(|| Term::leaf(*name));
                         let index = state.subst(index);
-                        var_updates.push((
-                            *name,
-                            Term::call("storeb", vec![old, index, value]),
-                        ));
+                        var_updates.push((*name, Term::call("storeb", vec![old, index, value])));
                     }
                     Target::Deref(addr) => {
                         mem_updates.push((state.subst(addr), value));
@@ -426,7 +415,10 @@ mod tests {
         assert_eq!(gmas.len(), 1);
         let gma = &gmas[0];
         assert_eq!(gma.guard.as_ref().unwrap().to_string(), "(cmpult p r)");
-        assert_eq!(gma.mem.as_ref().unwrap().to_string(), "(store M p (select M q))");
+        assert_eq!(
+            gma.mem.as_ref().unwrap().to_string(),
+            "(store M p (select M q))"
+        );
         let assigned: Vec<String> = gma.assigns.iter().map(|(n, _)| n.to_string()).collect();
         assert_eq!(assigned, vec!["p", "q"]);
         assert!(gma.touches_memory());
@@ -443,10 +435,7 @@ mod tests {
         );
         let gma = &gmas[0];
         // res = (x+y) + x with the *original* x and y.
-        assert_eq!(
-            gma.assigns[0].1.to_string(),
-            "(add64 (add64 x y) x)"
-        );
+        assert_eq!(gma.assigns[0].1.to_string(), "(add64 (add64 x y) x)");
     }
 
     #[test]
@@ -458,10 +447,7 @@ mod tests {
                  (:= (x (+ x 1)))
                  (:= (res x))))",
         );
-        assert_eq!(
-            gmas[0].assigns[0].1.to_string(),
-            "(add64 (add64 x 1) 1)"
-        );
+        assert_eq!(gmas[0].assigns[0].1.to_string(), "(add64 (add64 x 1) 1)");
     }
 
     #[test]
@@ -524,9 +510,7 @@ mod tests {
 
     #[test]
     fn gma_reference_evaluation() {
-        let gmas = lower_one(
-            "(procdecl f ((a long)) long (:= (res (+ (* a 4) 1))))",
-        );
+        let gmas = lower_one("(procdecl f ((a long)) long (:= (res (+ (* a 4) 1))))");
         let mut env = Env::new();
         env.set_word("a", 10);
         let eval = gmas[0].evaluate(&env).unwrap();

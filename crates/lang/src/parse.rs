@@ -42,9 +42,7 @@ fn parse_expr(form: &Sexpr) -> Result<Term> {
             }
         }
         Sexpr::List(items) => {
-            let (head, rest) = items
-                .split_first()
-                .ok_or_else(|| err("empty expression"))?;
+            let (head, rest) = items.split_first().ok_or_else(|| err("empty expression"))?;
             let head = head
                 .as_atom()
                 .ok_or_else(|| err("expression head must be an atom"))?;
@@ -75,7 +73,9 @@ fn parse_expr(form: &Sexpr) -> Result<Term> {
                         return Err(err("cast takes value and type"));
                     };
                     let value = parse_expr(value)?;
-                    let ty = ty.as_atom().ok_or_else(|| err("cast type must be an atom"))?;
+                    let ty = ty
+                        .as_atom()
+                        .ok_or_else(|| err("cast type must be an atom"))?;
                     let op = match ty {
                         "short" => "castshort",
                         "int" => "castint",
@@ -99,7 +99,9 @@ fn parse_target(form: &Sexpr) -> Result<Target> {
         Sexpr::Atom(a) => Ok(Target::Var(Symbol::intern(a))),
         Sexpr::List(items) => {
             let (head, rest) = items.split_first().ok_or_else(|| err("empty target"))?;
-            let head = head.as_atom().ok_or_else(|| err("target head must be an atom"))?;
+            let head = head
+                .as_atom()
+                .ok_or_else(|| err("target head must be an atom"))?;
             match head {
                 "deref" => {
                     let [addr] = rest else {
@@ -124,15 +126,21 @@ fn parse_target(form: &Sexpr) -> Result<Target> {
 }
 
 fn parse_stmt(form: &Sexpr) -> Result<Stmt> {
-    let items = form.as_list().ok_or_else(|| err("statement must be a list"))?;
+    let items = form
+        .as_list()
+        .ok_or_else(|| err("statement must be a list"))?;
     let (head, rest) = items.split_first().ok_or_else(|| err("empty statement"))?;
-    let head = head.as_atom().ok_or_else(|| err("statement head must be an atom"))?;
+    let head = head
+        .as_atom()
+        .ok_or_else(|| err("statement head must be an atom"))?;
     match head {
         "var" => {
             let [decl, body] = rest else {
                 return Err(err("var takes a declaration and a body"));
             };
-            let decl = decl.as_list().ok_or_else(|| err("var declaration must be a list"))?;
+            let decl = decl
+                .as_list()
+                .ok_or_else(|| err("var declaration must be a list"))?;
             let name = decl
                 .first()
                 .and_then(Sexpr::as_atom)
@@ -150,11 +158,15 @@ fn parse_stmt(form: &Sexpr) -> Result<Stmt> {
                 body: Box::new(parse_stmt(body)?),
             })
         }
-        "semi" => Ok(Stmt::Seq(rest.iter().map(parse_stmt).collect::<Result<Vec<_>>>()?)),
+        "semi" => Ok(Stmt::Seq(
+            rest.iter().map(parse_stmt).collect::<Result<Vec<_>>>()?,
+        )),
         ":=" => {
             let mut assigns = Vec::new();
             for pair in rest {
-                let pair = pair.as_list().ok_or_else(|| err(":= takes (target expr) pairs"))?;
+                let pair = pair
+                    .as_list()
+                    .ok_or_else(|| err(":= takes (target expr) pairs"))?;
                 let [target, expr] = pair else {
                     return Err(err(":= pair must be (target expr)"));
                 };
@@ -187,7 +199,9 @@ fn parse_stmt(form: &Sexpr) -> Result<Stmt> {
                 }
                 _ => return Err(err("do takes a guarded body")),
             };
-            let parts = arrow.as_list().ok_or_else(|| err("do body must be (-> guard stmt)"))?;
+            let parts = arrow
+                .as_list()
+                .ok_or_else(|| err("do body must be (-> guard stmt)"))?;
             let [kw, guard, body] = parts else {
                 return Err(err("do body must be (-> guard stmt)"));
             };
@@ -217,7 +231,9 @@ fn parse_proc(items: &[Sexpr]) -> Result<Proc> {
         .ok_or_else(|| err("parameter list must be a list"))?
         .iter()
         .map(|p| {
-            let parts = p.as_list().ok_or_else(|| err("parameter must be (name type)"))?;
+            let parts = p
+                .as_list()
+                .ok_or_else(|| err("parameter must be (name type)"))?;
             let [pname, ptype] = parts else {
                 return Err(err("parameter must be (name type)"));
             };
@@ -306,17 +322,13 @@ mod tests {
 
     #[test]
     fn operator_spellings_map_to_ops() {
-        let p = parse_program(
-            "(procdecl f ((a long) (b long)) long (:= (res (+ (* a 4) (< a b)))))",
-        )
-        .unwrap();
+        let p =
+            parse_program("(procdecl f ((a long) (b long)) long (:= (res (+ (* a 4) (< a b)))))")
+                .unwrap();
         let Stmt::Assign(assigns) = &p.proc("f").unwrap().body else {
             panic!("expected assign");
         };
-        assert_eq!(
-            assigns[0].1.to_string(),
-            "(add64 (mul64 a 4) (cmplt a b))"
-        );
+        assert_eq!(assigns[0].1.to_string(), "(add64 (mul64 a 4) (cmplt a b))");
     }
 
     #[test]
@@ -350,7 +362,12 @@ mod tests {
                  (:= ((deref p) (deref q)) (p (+ p 8)) (q (+ q 8))))))",
         )
         .unwrap();
-        let Stmt::Loop { guard, body, unroll } = &p.proc("copy").unwrap().body else {
+        let Stmt::Loop {
+            guard,
+            body,
+            unroll,
+        } = &p.proc("copy").unwrap().body
+        else {
             panic!("expected loop");
         };
         assert_eq!(*unroll, 1);
@@ -394,10 +411,7 @@ mod tests {
 
     #[test]
     fn parses_cast() {
-        let p = parse_program(
-            "(procdecl f ((a long)) short (:= (res (cast a short))))",
-        )
-        .unwrap();
+        let p = parse_program("(procdecl f ((a long)) short (:= (res (cast a short))))").unwrap();
         let Stmt::Assign(assigns) = &p.proc("f").unwrap().body else {
             panic!()
         };

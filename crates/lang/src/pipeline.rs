@@ -88,14 +88,14 @@ fn at_entry(term: &Term, prologue: Option<&Gma>) -> Term {
 /// order.
 fn collect_loads(term: &Term, out: &mut Vec<Term>) {
     if let Op::Sym(s) = term.op() {
+        // Addresses can themselves contain loads (rare); the recursion
+        // below covers them.
         if s.as_str() == "select"
             && term.args().len() == 2
             && term.args()[0] == Term::leaf("M")
+            && !out.contains(term)
         {
-            if !out.contains(term) {
-                out.push(term.clone());
-            }
-            // Addresses can themselves contain loads (rare); recurse.
+            out.push(term.clone());
         }
     }
     for a in term.args() {
@@ -231,8 +231,7 @@ mod tests {
         // Drive both loops over a small buffer via reference evaluation.
         let base = 64u64;
         let n = 5u64;
-        let memory: HashMap<u64, u64> =
-            (0..=n).map(|i| (base + 8 * i, 10 + i)).collect();
+        let memory: HashMap<u64, u64> = (0..=n).map(|i| (base + 8 * i, 10 + i)).collect();
         let run = |prologue: &Gma, body: &Gma| -> u64 {
             let mut state: HashMap<&str, u64> =
                 HashMap::from([("ptr", base), ("ptrend", base + 8 * n)]);

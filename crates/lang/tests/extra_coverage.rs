@@ -51,8 +51,7 @@ fn derefm_in_a_loop_body_annotates_the_carried_load() {
     let (new_prologue, new_body) = pipeline_loads(prologue, body).unwrap();
     // The moved (next-iteration) load is annotated; the original entry
     // is retained but inert (no load at `ptr` remains in the body).
-    let body_misses: Vec<String> =
-        new_body.miss_addrs.iter().map(|t| t.to_string()).collect();
+    let body_misses: Vec<String> = new_body.miss_addrs.iter().map(|t| t.to_string()).collect();
     assert!(
         body_misses.contains(&"(add64 ptr 8)".to_owned()),
         "{body_misses:?}"
@@ -120,10 +119,7 @@ fn multiple_stores_chain_in_statement_order() {
     .unwrap();
     let gma = lower_proc(&program.procs[0]).unwrap().remove(0);
     let mem = gma.mem.as_ref().unwrap().to_string();
-    assert_eq!(
-        mem,
-        "(store (store M p x) (add64 p 8) (add64 x 1))"
-    );
+    assert_eq!(mem, "(store (store M p x) (add64 p 8) (add64 x 1))");
     let mut env = Env::new();
     env.set_word("p", 64).set_word("x", 9);
     env.set_mem("M", HashMap::new());

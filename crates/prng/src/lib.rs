@@ -1,0 +1,173 @@
+#![warn(missing_docs)]
+
+//! A self-contained deterministic PRNG plus a minimal property-test
+//! harness.
+//!
+//! The repository must build in fully offline environments, so the test
+//! suite cannot depend on crates.io (`rand`, `proptest`). This crate
+//! provides the two facilities those dependencies were used for:
+//!
+//! - [`Rng`] — a seedable SplitMix64 generator with the handful of
+//!   sampling helpers the tests and the brute-force baseline need.
+//! - [`forall`] — a property-test driver: run a closure over many
+//!   deterministically-seeded cases and report the failing case's seed
+//!   so a failure can be replayed in isolation.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A SplitMix64 pseudo-random generator.
+///
+/// SplitMix64 passes BigCrush, needs only a single `u64` of state, and
+/// is trivially seedable — exactly what deterministic tests want. It is
+/// NOT cryptographically secure.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniformly random boolean.
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A value in `0..n`. `n` must be nonzero.
+    ///
+    /// Uses Lemire's multiply-shift reduction; the modulo bias is
+    /// negligible for the small ranges tests use.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "Rng::below(0)");
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// A value in `lo..hi` (half-open). `hi` must exceed `lo`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(hi > lo, "Rng::range: empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// A `usize` in `0..n`. `n` must be nonzero.
+    pub fn below_usize(&mut self, n: usize) -> usize {
+        self.below(n as u64) as usize
+    }
+
+    /// Picks a uniformly random element of a nonempty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below_usize(items.len())]
+    }
+}
+
+/// Runs `body` for `cases` deterministically-seeded cases.
+///
+/// Each case receives its own [`Rng`]; case `i` of a given `name` always
+/// sees the same stream, so failures are reproducible. On panic the
+/// harness re-panics with the case index and seed prepended, and the
+/// environment variable `DENALI_PROP_SEED` replays a single case.
+///
+/// # Panics
+///
+/// Re-panics with diagnostic context if `body` panics for any case.
+pub fn forall(name: &str, cases: u64, mut body: impl FnMut(&mut Rng)) {
+    let seed_base = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    });
+    if let Some(replay) = std::env::var_os("DENALI_PROP_SEED") {
+        let seed: u64 = replay
+            .to_string_lossy()
+            .parse()
+            .expect("DENALI_PROP_SEED must be a u64");
+        body(&mut Rng::new(seed));
+        return;
+    }
+    for case in 0..cases {
+        let seed = seed_base.wrapping_add(case.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut Rng::new(seed))));
+        if let Err(payload) = outcome {
+            let message = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                .unwrap_or_else(|| "<non-string panic>".to_owned());
+            panic!(
+                "property `{name}` failed at case {case}/{cases} \
+                 (replay with DENALI_PROP_SEED={seed}): {message}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut rng = Rng::new(7);
+        for _ in 0..10_000 {
+            assert!(rng.below(13) < 13);
+            let v = rng.range(5, 9);
+            assert!((5..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn below_hits_every_small_residue() {
+        let mut rng = Rng::new(3);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.below_usize(8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn forall_runs_every_case() {
+        let mut count = 0;
+        forall("counting", 17, |_| count += 1);
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn forall_reports_the_failing_seed() {
+        let failure = catch_unwind(AssertUnwindSafe(|| {
+            forall("always-fails", 3, |_| panic!("boom"))
+        }))
+        .expect_err("must fail");
+        let message = failure.downcast_ref::<String>().unwrap();
+        assert!(message.contains("DENALI_PROP_SEED="), "{message}");
+        assert!(message.contains("boom"), "{message}");
+    }
+}

@@ -1,5 +1,8 @@
 //! The CDCL solver.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use crate::heap::VarHeap;
 use crate::lit::{Lit, Var};
 
@@ -10,6 +13,11 @@ pub enum SolveResult {
     Sat,
     /// The clause set is unsatisfiable.
     Unsat,
+    /// The solve was abandoned because the interrupt flag installed with
+    /// [`Solver::set_interrupt`] was raised. The answer is unknown; the
+    /// solver remains usable (state is reset to decision level zero) and
+    /// a later [`Solver::solve`] may be attempted.
+    Interrupted,
 }
 
 /// Counters describing the work a solve performed.
@@ -91,6 +99,9 @@ pub struct Solver {
     model: Option<Vec<bool>>,
     stats: SolverStats,
     reduce_threshold: usize,
+    /// Raised by another thread to abandon an in-flight solve (used by
+    /// the speculative probe scheduler to cancel losing probes).
+    interrupt: Option<Arc<AtomicBool>>,
 }
 
 impl Solver {
@@ -139,6 +150,19 @@ impl Solver {
         }
     }
 
+    /// Installs a cancellation flag checked periodically during
+    /// [`Solver::solve`]; once the flag is raised, the solve returns
+    /// [`SolveResult::Interrupted`] at its next checkpoint.
+    pub fn set_interrupt(&mut self, flag: Arc<AtomicBool>) {
+        self.interrupt = Some(flag);
+    }
+
+    fn interrupted(&self) -> bool {
+        self.interrupt
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
+    }
+
     fn value(&self, lit: Lit) -> Assign {
         match self.assigns[lit.var().index()] {
             Assign::Undef => Assign::Undef,
@@ -169,7 +193,10 @@ impl Solver {
         }
         let mut lits: Vec<Lit> = lits.into_iter().collect();
         for &l in &lits {
-            assert!(l.var().index() < self.num_vars(), "unknown variable in clause");
+            assert!(
+                l.var().index() < self.num_vars(),
+                "unknown variable in clause"
+            );
         }
         lits.sort();
         lits.dedup();
@@ -456,13 +483,15 @@ impl Solver {
                 candidates.push((c.lbd, i as ClauseRef));
             }
         }
-        candidates.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        candidates.sort_unstable_by_key(|&(lbd, _)| std::cmp::Reverse(lbd));
         let locked: Vec<bool> = self
             .clauses
             .iter()
             .enumerate()
             .map(|(i, _)| {
-                self.trail.iter().any(|&l| self.reason[l.var().index()] == i as ClauseRef)
+                self.trail
+                    .iter()
+                    .any(|&l| self.reason[l.var().index()] == i as ClauseRef)
             })
             .collect();
         for &(_, cref) in candidates.iter().take(candidates.len() / 2) {
@@ -513,8 +542,20 @@ impl Solver {
 
         let mut conflicts_since_restart = 0u64;
         let mut restart_limit = luby(self.stats.restarts + 1) * 100;
+        let mut since_interrupt_check = 0u32;
 
         loop {
+            // Cancellation checkpoint: cheap enough to amortize (one
+            // relaxed atomic load every 1024 steps), frequent enough that
+            // a cancelled speculative probe stops promptly.
+            since_interrupt_check += 1;
+            if since_interrupt_check >= 1024 {
+                since_interrupt_check = 0;
+                if self.interrupted() {
+                    self.backtrack_to(0);
+                    return SolveResult::Interrupted;
+                }
+            }
             match self.propagate() {
                 Some(conflict) => {
                     self.stats.conflicts += 1;
@@ -552,11 +593,7 @@ impl Solver {
                     match self.pick_branch_var() {
                         None => {
                             // All variables assigned: a model.
-                            let model = self
-                                .assigns
-                                .iter()
-                                .map(|&a| a == Assign::True)
-                                .collect();
+                            let model = self.assigns.iter().map(|&a| a == Assign::True).collect();
                             self.model = Some(model);
                             self.backtrack_to(0);
                             return SolveResult::Sat;
@@ -606,6 +643,7 @@ fn luby(mut i: u64) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;
 
@@ -785,6 +823,24 @@ mod tests {
         assert!(stats.decisions > 0);
         assert!(stats.propagations > 0);
         assert_eq!(stats.vars, 20);
+    }
+
+    #[test]
+    fn raised_interrupt_abandons_solve() {
+        let (mut s, _) = pigeonhole(6);
+        let flag = Arc::new(AtomicBool::new(true));
+        s.set_interrupt(Arc::clone(&flag));
+        assert_eq!(s.solve(), SolveResult::Interrupted);
+        // The solver stays usable: lower the flag and finish the solve.
+        flag.store(false, Ordering::Relaxed);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn unraised_interrupt_changes_nothing() {
+        let (mut s, _) = pigeonhole(4);
+        s.set_interrupt(Arc::new(AtomicBool::new(false)));
+        assert_eq!(s.solve(), SolveResult::Unsat);
     }
 
     #[test]

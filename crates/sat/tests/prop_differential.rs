@@ -1,24 +1,23 @@
 //! Differential testing: the CDCL solver against the naive DPLL oracle
-//! on random instances, plus model validity checks.
+//! on random instances, plus model validity and DIMACS round-trip
+//! checks.
 
+use denali_prng::{forall, Rng};
 use denali_sat::{dpll, Lit, SolveResult, Solver, Var};
-use proptest::prelude::*;
 
-/// Strategy producing a random CNF: (num_vars, clauses).
-fn cnf_strategy(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = (usize, Vec<Vec<Lit>>)> {
-    (2..=max_vars).prop_flat_map(move |nv| {
-        let clause = proptest::collection::vec((0..nv, any::<bool>()), 1..=4).prop_map(
-            move |lits| {
-                lits.into_iter()
-                    .map(|(v, sign)| Lit::new(Var::from_index(v), sign))
-                    .collect::<Vec<_>>()
-            },
-        );
-        (
-            Just(nv),
-            proptest::collection::vec(clause, 0..=max_clauses),
-        )
-    })
+/// A random CNF: `(num_vars, clauses)` with clauses of 1..=4 literals.
+fn random_cnf(rng: &mut Rng, max_vars: usize, max_clauses: usize) -> (usize, Vec<Vec<Lit>>) {
+    let nv = rng.range(2, max_vars as u64 + 1) as usize;
+    let num_clauses = rng.below_usize(max_clauses + 1);
+    let clauses = (0..num_clauses)
+        .map(|_| {
+            let len = rng.range(1, 5) as usize;
+            (0..len)
+                .map(|_| Lit::new(Var::from_index(rng.below_usize(nv)), rng.next_bool()))
+                .collect()
+        })
+        .collect();
+    (nv, clauses)
 }
 
 fn model_satisfies(model: &[bool], clauses: &[Vec<Lit>]) -> bool {
@@ -27,11 +26,10 @@ fn model_satisfies(model: &[bool], clauses: &[Vec<Lit>]) -> bool {
         .all(|c| c.iter().any(|l| model[l.var().index()] == l.is_pos()))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    #[test]
-    fn cdcl_agrees_with_dpll((nv, clauses) in cnf_strategy(12, 60)) {
+#[test]
+fn cdcl_agrees_with_dpll() {
+    forall("cdcl_agrees_with_dpll", 200, |rng| {
+        let (nv, clauses) = random_cnf(rng, 12, 60);
         let mut solver = Solver::new();
         solver.reserve_vars(nv);
         for c in &clauses {
@@ -42,36 +40,43 @@ proptest! {
         match (cdcl, &oracle) {
             (SolveResult::Sat, dpll::DpllResult::Sat(_)) => {
                 let model = solver.model().expect("sat has model");
-                prop_assert!(model_satisfies(model, &clauses), "CDCL model invalid");
+                assert!(model_satisfies(model, &clauses), "CDCL model invalid");
             }
             (SolveResult::Unsat, dpll::DpllResult::Unsat) => {}
-            _ => prop_assert!(false, "CDCL={cdcl:?} disagrees with DPLL={oracle:?}"),
+            _ => panic!("CDCL={cdcl:?} disagrees with DPLL={oracle:?}"),
         }
-    }
+    });
+}
 
-    #[test]
-    fn dimacs_round_trip_preserves_satisfiability((nv, clauses) in cnf_strategy(10, 40)) {
-        let cnf = denali_sat::dimacs::Cnf { num_vars: nv, clauses: clauses.clone() };
+#[test]
+fn dimacs_round_trip_preserves_formula_and_satisfiability() {
+    forall("dimacs_round_trip", 200, |rng| {
+        let (nv, clauses) = random_cnf(rng, 10, 40);
+        let cnf = denali_sat::dimacs::Cnf {
+            num_vars: nv,
+            clauses: clauses.clone(),
+        };
         let parsed = denali_sat::dimacs::parse(&cnf.to_dimacs()).unwrap();
-        prop_assert_eq!(&parsed, &cnf);
+        assert_eq!(&parsed, &cnf, "to_dimacs -> parse must be the identity");
         let a = cnf.to_solver().solve();
         let b = parsed.to_solver().solve();
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    #[test]
-    fn adding_model_negation_eventually_exhausts(seed in 0u64..50) {
+#[test]
+fn adding_model_negation_eventually_exhausts() {
+    forall("adding_model_negation_eventually_exhausts", 50, |rng| {
         // Enumerate models of a tiny formula by blocking clauses; the
         // count must equal brute force.
-        let nv = 4 + (seed % 3) as usize;
+        let nv = 4 + rng.below_usize(3);
+        let num_clauses = 3 + rng.below(5);
         let mut clauses = Vec::new();
-        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
-        let mut rand = move || { state ^= state << 13; state ^= state >> 7; state ^= state << 17; state };
-        for _ in 0..(3 + seed % 5) {
+        for _ in 0..num_clauses {
             let mut c = Vec::new();
             for _ in 0..3 {
-                let v = (rand() % nv as u64) as usize;
-                c.push(Lit::new(Var::from_index(v), rand() % 2 == 0));
+                let v = rng.below_usize(nv);
+                c.push(Lit::new(Var::from_index(v), rng.next_bool()));
             }
             clauses.push(c);
         }
@@ -94,13 +99,13 @@ proptest! {
         let mut found = 0u64;
         while solver.solve() == SolveResult::Sat {
             found += 1;
-            prop_assert!(found <= expected, "solver produced too many models");
+            assert!(found <= expected, "solver produced too many models");
             let model = solver.model().unwrap().to_vec();
             let blocking: Vec<Lit> = (0..nv)
                 .map(|i| Lit::new(Var::from_index(i), !model[i]))
                 .collect();
             solver.add_clause(blocking);
         }
-        prop_assert_eq!(found, expected);
-    }
+        assert_eq!(found, expected);
+    });
 }

@@ -456,7 +456,10 @@ mod tests {
         assert!(!is_machine(Symbol::intern("add64")));
         assert!(!is_machine(Symbol::intern("pow")));
         assert!(!is_machine(Symbol::intern("carry")));
-        assert_eq!(info(Symbol::intern("select")).unwrap().kind, OpKind::MathMemory);
+        assert_eq!(
+            info(Symbol::intern("select")).unwrap().kind,
+            OpKind::MathMemory
+        );
     }
 
     #[test]
@@ -466,7 +469,9 @@ mod tests {
             assert_eq!(info(sym).unwrap().name, op.name);
             if let Some(f) = op.eval {
                 // Evaluator must not panic on arbitrary args of the right arity.
-                let args: Vec<u64> = (0..op.arity as u64).map(|i| i.wrapping_mul(u64::MAX / 3)).collect();
+                let args: Vec<u64> = (0..op.arity as u64)
+                    .map(|i| i.wrapping_mul(u64::MAX / 3))
+                    .collect();
                 let _ = f(&args);
             }
         }

@@ -46,9 +46,7 @@ impl Sexpr {
     pub fn strip_backslashes(&self) -> Sexpr {
         match self {
             Sexpr::Atom(a) => Sexpr::Atom(a.strip_prefix('\\').unwrap_or(a).to_owned()),
-            Sexpr::List(items) => {
-                Sexpr::List(items.iter().map(Sexpr::strip_backslashes).collect())
-            }
+            Sexpr::List(items) => Sexpr::List(items.iter().map(Sexpr::strip_backslashes).collect()),
         }
     }
 

@@ -102,7 +102,10 @@ mod tests {
 
     #[test]
     fn distinct_names_get_distinct_symbols() {
-        assert_ne!(Symbol::intern("foo_unique_1"), Symbol::intern("foo_unique_2"));
+        assert_ne!(
+            Symbol::intern("foo_unique_1"),
+            Symbol::intern("foo_unique_2")
+        );
     }
 
     #[test]

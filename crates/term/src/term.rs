@@ -1,7 +1,7 @@
 //! Immutable first-order terms.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::sexpr::Sexpr;
 use crate::symbol::Symbol;
@@ -57,8 +57,9 @@ struct TermNode {
 
 /// An immutable term: an [`Op`] applied to zero or more argument terms.
 ///
-/// Terms are reference-counted trees; cloning is O(1). Equality and
-/// hashing are structural.
+/// Terms are atomically reference-counted trees; cloning is O(1),
+/// sharing across threads is free (the matcher fans patterns out over a
+/// thread pool), and equality and hashing are structural.
 ///
 /// # Example
 ///
@@ -69,12 +70,12 @@ struct TermNode {
 /// assert_eq!(t.to_string(), "(mul64 ?x 4)");
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
-pub struct Term(Rc<TermNode>);
+pub struct Term(Arc<TermNode>);
 
 impl Term {
     /// Creates a term from an op and arguments.
     pub fn new(op: Op, args: Vec<Term>) -> Term {
-        Term(Rc::new(TermNode { op, args }))
+        Term(Arc::new(TermNode { op, args }))
     }
 
     /// Creates a nullary leaf term from a symbol (a register, memory, or
@@ -261,7 +262,10 @@ mod tests {
     fn vars_collects_in_preorder_without_dups() {
         let t = Term::call(
             "f",
-            vec![Term::var("x"), Term::call("g", vec![Term::var("y"), Term::var("x")])],
+            vec![
+                Term::var("x"),
+                Term::call("g", vec![Term::var("y"), Term::var("x")]),
+            ],
         );
         let vs = t.vars();
         assert_eq!(vs, vec![Symbol::intern("x"), Symbol::intern("y")]);
@@ -272,9 +276,7 @@ mod tests {
     #[test]
     fn substitute_replaces_vars_only() {
         let pat = Term::call("mul64", vec![Term::var("k"), Term::constant(4)]);
-        let inst = pat.substitute(&|v| {
-            (v == Symbol::intern("k")).then(|| Term::leaf("reg6"))
-        });
+        let inst = pat.substitute(&|v| (v == Symbol::intern("k")).then(|| Term::leaf("reg6")));
         assert_eq!(inst.to_string(), "(mul64 reg6 4)");
         assert!(!inst.has_vars());
     }

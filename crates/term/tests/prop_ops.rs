@@ -2,137 +2,195 @@
 //! reader. These pin down the algebraic identities the axiom sets assert
 //! declaratively, directly against the evaluator.
 
+use denali_prng::{forall, Rng};
 use denali_term::ops;
 use denali_term::sexpr;
 use denali_term::{Symbol, Term};
-use proptest::prelude::*;
 
 fn ev(name: &str, args: &[u64]) -> u64 {
     ops::eval(Symbol::intern(name), args).expect("op evaluates")
 }
 
-proptest! {
-    #[test]
-    fn add64_commutes_and_associates(a: u64, b: u64, c: u64) {
-        prop_assert_eq!(ev("add64", &[a, b]), ev("add64", &[b, a]));
-        prop_assert_eq!(
+#[test]
+fn add64_commutes_and_associates() {
+    forall("add64_commutes_and_associates", 256, |rng| {
+        let (a, b, c) = (rng.next_u64(), rng.next_u64(), rng.next_u64());
+        assert_eq!(ev("add64", &[a, b]), ev("add64", &[b, a]));
+        assert_eq!(
             ev("add64", &[a, ev("add64", &[b, c])]),
             ev("add64", &[ev("add64", &[a, b]), c])
         );
-        prop_assert_eq!(ev("add64", &[a, 0]), a);
-    }
+        assert_eq!(ev("add64", &[a, 0]), a);
+    });
+}
 
-    #[test]
-    fn mul_by_pow2_is_shift(a: u64, n in 0u64..63) {
+#[test]
+fn mul_by_pow2_is_shift() {
+    forall("mul_by_pow2_is_shift", 256, |rng| {
+        let a = rng.next_u64();
+        let n = rng.below(63);
         let p = ev("pow", &[2, n]);
-        prop_assert_eq!(ev("mul64", &[a, p]), ev("shl64", &[a, n]));
-    }
+        assert_eq!(ev("mul64", &[a, p]), ev("shl64", &[a, n]));
+    });
+}
 
-    #[test]
-    fn s4addq_is_scale_and_add(a: u64, b: u64) {
-        prop_assert_eq!(
+#[test]
+fn s4addq_is_scale_and_add() {
+    forall("s4addq_is_scale_and_add", 256, |rng| {
+        let (a, b) = (rng.next_u64(), rng.next_u64());
+        assert_eq!(
             ev("s4addq", &[a, b]),
             ev("add64", &[ev("mul64", &[a, 4]), b])
         );
-        prop_assert_eq!(
+        assert_eq!(
             ev("s8addq", &[a, b]),
             ev("add64", &[ev("mul64", &[a, 8]), b])
         );
-    }
+    });
+}
 
-    #[test]
-    fn storeb_reads_back(w: u64, i in 0u64..8, x: u64) {
+#[test]
+fn storeb_reads_back() {
+    forall("storeb_reads_back", 256, |rng| {
+        let (w, x) = (rng.next_u64(), rng.next_u64());
+        let i = rng.below(8);
         let stored = ev("storeb", &[w, i, x]);
-        prop_assert_eq!(ev("selectb", &[stored, i]), x & 0xff);
+        assert_eq!(ev("selectb", &[stored, i]), x & 0xff);
         // Other bytes are unchanged.
         for j in 0..8 {
             if j != i {
-                prop_assert_eq!(ev("selectb", &[stored, j]), ev("selectb", &[w, j]));
+                assert_eq!(ev("selectb", &[stored, j]), ev("selectb", &[w, j]));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn storeb_decomposes_into_msk_ins_bis(w: u64, i in 0u64..8, x: u64) {
+#[test]
+fn storeb_decomposes_into_msk_ins_bis() {
+    forall("storeb_decomposes_into_msk_ins_bis", 256, |rng| {
         // The identity the byte-swap code generation depends on:
         // storeb(w,i,x) = bis(mskbl(w,i), insbl(x,i)).
+        let (w, x) = (rng.next_u64(), rng.next_u64());
+        let i = rng.below(8);
         let lhs = ev("storeb", &[w, i, x]);
         let rhs = ev("bis", &[ev("mskbl", &[w, i]), ev("insbl", &[x, i])]);
-        prop_assert_eq!(lhs, rhs);
-    }
+        assert_eq!(lhs, rhs);
+    });
+}
 
-    #[test]
-    fn extbl_matches_shift_and_mask(w: u64, i in 0u64..8) {
-        prop_assert_eq!(ev("extbl", &[w, i]), ev("and64", &[ev("shr64", &[w, 8 * i]), 0xff]));
-        prop_assert_eq!(ev("extbl", &[w, i]), ev("selectb", &[w, i]));
-        prop_assert_eq!(ev("extwl", &[w, i]), ev("and64", &[ev("shr64", &[w, 8 * i]), 0xffff]));
-    }
+#[test]
+fn extbl_matches_shift_and_mask() {
+    forall("extbl_matches_shift_and_mask", 256, |rng| {
+        let w = rng.next_u64();
+        let i = rng.below(8);
+        assert_eq!(
+            ev("extbl", &[w, i]),
+            ev("and64", &[ev("shr64", &[w, 8 * i]), 0xff])
+        );
+        assert_eq!(ev("extbl", &[w, i]), ev("selectb", &[w, i]));
+        assert_eq!(
+            ev("extwl", &[w, i]),
+            ev("and64", &[ev("shr64", &[w, 8 * i]), 0xffff])
+        );
+    });
+}
 
-    #[test]
-    fn insbl_only_depends_on_low_byte(w: u64, i in 0u64..8) {
-        prop_assert_eq!(ev("insbl", &[w, i]), ev("insbl", &[w & 0xff, i]));
-        prop_assert_eq!(ev("insbl", &[w, 0]), w & 0xff);
-    }
+#[test]
+fn insbl_only_depends_on_low_byte() {
+    forall("insbl_only_depends_on_low_byte", 256, |rng| {
+        let w = rng.next_u64();
+        let i = rng.below(8);
+        assert_eq!(ev("insbl", &[w, i]), ev("insbl", &[w & 0xff, i]));
+        assert_eq!(ev("insbl", &[w, 0]), w & 0xff);
+    });
+}
 
-    #[test]
-    fn carry_identity_from_checksum_example(a: u64, b: u64) {
+#[test]
+fn carry_identity_from_checksum_example() {
+    forall("carry_identity_from_checksum_example", 256, |rng| {
         // carry(a,b) = cmpult(add64(a,b), a) = cmpult(add64(a,b), b)
         // (the program-specific axioms of Figure 6), except both forms
         // coincide exactly when they equal the mathematical carry.
+        let (a, b) = (rng.next_u64(), rng.next_u64());
         let sum = ev("add64", &[a, b]);
-        let carry = (sum < a) as u64;
-        prop_assert_eq!(ev("cmpult", &[sum, a]), carry);
-        prop_assert_eq!(ev("cmpult", &[sum, b]), carry);
-    }
+        let carry = u64::from(sum < a);
+        assert_eq!(ev("cmpult", &[sum, a]), carry);
+        assert_eq!(ev("cmpult", &[sum, b]), carry);
+    });
+}
 
-    #[test]
-    fn zapnot_is_bytewise(w: u64, m in 0u64..256) {
+#[test]
+fn zapnot_is_bytewise() {
+    forall("zapnot_is_bytewise", 256, |rng| {
+        let w = rng.next_u64();
+        let m = rng.below(256);
         let z = ev("zapnot", &[w, m]);
         for byte in 0..8u64 {
-            let expected = if (m >> byte) & 1 == 1 { ev("selectb", &[w, byte]) } else { 0 };
-            prop_assert_eq!(ev("selectb", &[z, byte]), expected);
-        }
-        prop_assert_eq!(ev("zap", &[w, m]), ev("zapnot", &[w, !m & 0xff]));
-    }
-
-    #[test]
-    fn cmov_selects(c: u64, v: u64, old: u64) {
-        prop_assert_eq!(ev("cmoveq", &[c, v, old]), if c == 0 { v } else { old });
-        prop_assert_eq!(ev("cmovne", &[c, v, old]), if c != 0 { v } else { old });
-    }
-
-    #[test]
-    fn parse_integer_round_trips(v: u64) {
-        prop_assert_eq!(denali_term::term::parse_integer(&v.to_string()), Some(v));
-        prop_assert_eq!(denali_term::term::parse_integer(&format!("0x{v:x}")), Some(v));
-    }
-
-    #[test]
-    fn sexpr_display_round_trips(depth in 0usize..4, seed: u64) {
-        // Build a deterministic pseudo-random sexpr and round-trip it.
-        fn build(depth: usize, seed: u64) -> sexpr::Sexpr {
-            if depth == 0 || seed % 3 == 0 {
-                sexpr::Sexpr::atom(format!("a{}", seed % 100))
+            let expected = if (m >> byte) & 1 == 1 {
+                ev("selectb", &[w, byte])
             } else {
-                let n = (seed % 4) as usize;
-                sexpr::Sexpr::List(
-                    (0..n).map(|i| build(depth - 1, seed / 2 + i as u64)).collect(),
-                )
-            }
+                0
+            };
+            assert_eq!(ev("selectb", &[z, byte]), expected);
         }
-        let s = build(depth, seed);
+        assert_eq!(ev("zap", &[w, m]), ev("zapnot", &[w, !m & 0xff]));
+    });
+}
+
+#[test]
+fn cmov_selects() {
+    forall("cmov_selects", 256, |rng| {
+        let (c, v, old) = (rng.next_u64(), rng.next_u64(), rng.next_u64());
+        assert_eq!(ev("cmoveq", &[c, v, old]), if c == 0 { v } else { old });
+        assert_eq!(ev("cmovne", &[c, v, old]), if c != 0 { v } else { old });
+        // Exercise the c == 0 branch explicitly (a random u64 is almost
+        // never zero).
+        assert_eq!(ev("cmoveq", &[0, v, old]), v);
+        assert_eq!(ev("cmovne", &[0, v, old]), old);
+    });
+}
+
+#[test]
+fn parse_integer_round_trips() {
+    forall("parse_integer_round_trips", 256, |rng| {
+        let v = rng.next_u64();
+        assert_eq!(denali_term::term::parse_integer(&v.to_string()), Some(v));
+        assert_eq!(
+            denali_term::term::parse_integer(&format!("0x{v:x}")),
+            Some(v)
+        );
+    });
+}
+
+#[test]
+fn sexpr_display_round_trips() {
+    // Build a deterministic pseudo-random sexpr and round-trip it.
+    fn build(depth: usize, rng: &mut Rng) -> sexpr::Sexpr {
+        if depth == 0 || rng.below(3) == 0 {
+            sexpr::Sexpr::atom(format!("a{}", rng.below(100)))
+        } else {
+            let n = rng.below_usize(4);
+            sexpr::Sexpr::List((0..n).map(|_| build(depth - 1, rng)).collect())
+        }
+    }
+    forall("sexpr_display_round_trips", 256, |rng| {
+        let depth = rng.below_usize(4);
+        let s = build(depth, rng);
         let printed = s.to_string();
         let parsed = sexpr::parse(&printed).unwrap();
         if let sexpr::Sexpr::Atom(_) = s {
-            prop_assert_eq!(&parsed[0], &s);
+            assert_eq!(&parsed[0], &s);
         } else {
-            prop_assert_eq!(parsed.len(), 1);
-            prop_assert_eq!(&parsed[0], &s);
+            assert_eq!(parsed.len(), 1);
+            assert_eq!(&parsed[0], &s);
         }
-    }
+    });
+}
 
-    #[test]
-    fn substitution_preserves_groundness(x: u64, y: u64) {
+#[test]
+fn substitution_preserves_groundness() {
+    forall("substitution_preserves_groundness", 256, |rng| {
+        let (x, y) = (rng.next_u64(), rng.next_u64());
         let pat = Term::call("add64", vec![Term::var("a"), Term::var("b")]);
         let inst = pat.substitute(&|v| {
             if v == Symbol::intern("a") {
@@ -143,8 +201,8 @@ proptest! {
                 None
             }
         });
-        prop_assert!(!inst.has_vars());
+        assert!(!inst.has_vars());
         let env = denali_term::value::Env::new();
-        prop_assert_eq!(env.eval_word(&inst).unwrap(), x.wrapping_add(y));
-    }
+        assert_eq!(env.eval_word(&inst).unwrap(), x.wrapping_add(y));
+    });
 }

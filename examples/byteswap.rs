@@ -17,7 +17,7 @@ use denali_bench::programs::BYTESWAP4;
 
 fn reference_swap(a: u64) -> u64 {
     ((a & 0xff) << 24) | (((a >> 8) & 0xff) << 16) | (((a >> 16) & 0xff) << 8) | ((a >> 24) & 0xff)
-        | (a & !0xffff_ffffu64 & 0) // lower four bytes only; upper bytes are zeroed
+    // lower four bytes only; the upper bytes are zeroed
 }
 
 fn main() {

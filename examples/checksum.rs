@@ -45,7 +45,9 @@ fn main() {
 
     // Drive the generated loop body over a 16-word buffer: run the loop
     // GMA's code once per unrolled group, feeding outputs back in.
-    let words: Vec<u64> = (0..16u64).map(|i| 0x0123_4567_89ab_cdefu64.rotate_left(i as u32)).collect();
+    let words: Vec<u64> = (0..16u64)
+        .map(|i| 0x0123_4567_89ab_cdefu64.rotate_left(i as u32))
+        .collect();
     let base = 0x1000u64;
     let memory: HashMap<u64, u64> = words
         .iter()
@@ -78,7 +80,9 @@ fn main() {
         if outcome.regs[&out_reg("guard")] == 0 {
             break;
         }
-        for name in ["sum1", "sum2", "sum3", "sum4", "v1", "v2", "v3", "v4", "ptr"] {
+        for name in [
+            "sum1", "sum2", "sum3", "sum4", "v1", "v2", "v3", "v4", "ptr",
+        ] {
             state.insert(name, outcome.regs[&out_reg(name)]);
         }
     }
@@ -90,8 +94,10 @@ fn main() {
     }
     // Note the generated loop runs while ptr < ptrend, accumulating the
     // *previous* iteration's loads — the software pipelining of Fig. 6.
-    println!("simulated sums: {:#x?} {:#x?} {:#x?} {:#x?}",
-        state["sum1"], state["sum2"], state["sum3"], state["sum4"]);
+    println!(
+        "simulated sums: {:#x?} {:#x?} {:#x?} {:#x?}",
+        state["sum1"], state["sum2"], state["sum3"], state["sum4"]
+    );
     assert_eq!(state["sum1"], sums[0]);
     assert_eq!(state["sum2"], sums[1]);
     assert_eq!(state["sum3"], sums[2]);

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! denali FILE.dnl [--proc NAME] [--machine ev6|ev6-unclustered|single-issue|ia64like]
-//!                 [--solver cdcl|dpll] [--load-latency N] [--max-cycles N]
+//!                 [--solver cdcl|dpll] [--threads N] [--load-latency N] [--max-cycles N]
 //!                 [--probes] [--dump-dimacs DIR]
 //!                 [--simulate name=value ...]
 //! ```
@@ -28,9 +28,10 @@ struct Cli {
 fn usage() -> ! {
     eprintln!(
         "usage: denali FILE.dnl [--proc NAME] [--machine ev6|ev6-unclustered|single-issue|ia64like]\n\
-         \x20                   [--solver cdcl|dpll] [--load-latency N] [--max-cycles N]\n\
+         \x20                   [--solver cdcl|dpll] [--threads N] [--load-latency N] [--max-cycles N]\n\
          \x20                   [--probes] [--allocate] [--dump-dimacs DIR]\n\
-         \x20                   [--simulate name=value ...]"
+         \x20                   [--simulate name=value ...]\n\
+         \x20 --threads N   worker threads for matching + speculative probes (0 = all CPUs, 1 = serial)"
     );
     std::process::exit(2);
 }
@@ -77,12 +78,21 @@ fn parse_cli() -> Cli {
                 }
             }
             "--load-latency" => {
-                cli.options.load_latency =
-                    Some(need(&mut args, "--load-latency").parse().unwrap_or_else(|_| usage()))
+                cli.options.load_latency = Some(
+                    need(&mut args, "--load-latency")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
             }
             "--max-cycles" => {
-                cli.options.max_cycles =
-                    need(&mut args, "--max-cycles").parse().unwrap_or_else(|_| usage())
+                cli.options.max_cycles = need(&mut args, "--max-cycles")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--threads" => {
+                cli.options.threads = need(&mut args, "--threads")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
             }
             "--probes" => cli.show_probes = true,
             "--allocate" => cli.allocate = true,
@@ -167,6 +177,7 @@ fn main() -> ExitCode {
                 compiled.matcher.classes,
                 compiled.solver_ms()
             );
+            println!("//   phases: {}", compiled.telemetry);
         }
         if cli.allocate {
             match denali::arch::allocate(
@@ -175,15 +186,28 @@ fn main() -> ExitCode {
                 &denali::arch::alpha_temp_pool(),
             ) {
                 Ok(allocated) => {
-                    println!("{}", allocated.listing(denali.options().machine.issue_width()))
+                    println!(
+                        "{}",
+                        allocated.listing(denali.options().machine.issue_width())
+                    )
                 }
                 Err(e) => {
                     eprintln!("// register allocation failed: {e}");
-                    println!("{}", compiled.program.listing(denali.options().machine.issue_width()));
+                    println!(
+                        "{}",
+                        compiled
+                            .program
+                            .listing(denali.options().machine.issue_width())
+                    );
                 }
             }
         } else {
-            println!("{}", compiled.program.listing(denali.options().machine.issue_width()));
+            println!(
+                "{}",
+                compiled
+                    .program
+                    .listing(denali.options().machine.issue_width())
+            );
         }
     }
 
@@ -204,7 +228,10 @@ fn main() -> ExitCode {
             match sim.run_named(&compiled.program, &inputs, HashMap::new()) {
                 Ok(outcome) => {
                     for (name, reg) in &compiled.program.outputs {
-                        println!("// {}: {name} = {:#x}", compiled.gma.name, outcome.regs[reg]);
+                        println!(
+                            "// {}: {name} = {:#x}",
+                            compiled.gma.name, outcome.regs[reg]
+                        );
                     }
                 }
                 Err(e) => {

@@ -164,8 +164,7 @@ fn every_fixture_is_correct_by_simulation() {
     // The umbrella differential test: every experiment fixture, every
     // GMA, checked against the reference semantics.
     let denali = Denali::new(Options::default());
-    let memory: HashMap<u64, u64> =
-        (0..16u64).map(|i| (64 + 8 * i, 0x2222 * (i + 3))).collect();
+    let memory: HashMap<u64, u64> = (0..16u64).map(|i| (64 + 8 * i, 0x2222 * (i + 3))).collect();
     for source in [
         programs::FIGURE2,
         programs::LCP2,
