@@ -1,15 +1,21 @@
 //! E4 (§8): SAT problem generation and solving per cycle budget for
 //! byteswap4 (the paper reports 1639/4613 at K=4 through 9203/26415 at
-//! K=8; we report our encoding's sizes alongside solve times).
+//! K=8; we report our encoding's sizes alongside solve times), plus the
+//! search's full probe ladder with fresh per-probe solvers versus one
+//! persistent solver probed under assumptions.
 
 use denali_arch::Machine;
 use denali_axioms::SaturationLimits;
 use denali_bench::harness::{BenchmarkId, Criterion};
-use denali_core::encode::{encode, EncodeOptions};
+use denali_core::encode::{encode, EncodeOptions, IncrementalEncoding};
 use denali_core::machine_terms::enumerate;
 use denali_core::matcher::match_gma;
 use denali_lang::{lower_proc, parse_program};
 use std::hint::black_box;
+
+/// The serial search's probe order for byteswap4: doubling ascent to
+/// the first SAT budget, then the downward walk to the optimum.
+const PROBE_LADDER: [u32; 6] = [1, 2, 4, 8, 6, 5];
 
 fn bench(c: &mut Criterion) {
     let program = parse_program(denali_bench::programs::BYTESWAP4).unwrap();
@@ -33,6 +39,26 @@ fn bench(c: &mut Criterion) {
             })
         });
     }
+
+    // The whole search ladder, both probing strategies.
+    group.bench_function("probe_ladder_fresh", |b| {
+        b.iter(|| {
+            for k in PROBE_LADDER {
+                let enc = encode(&matched, &cands, &machine, k, &EncodeOptions::default());
+                let mut solver = enc.cnf.to_solver();
+                black_box(solver.solve());
+            }
+        })
+    });
+    group.bench_function("probe_ladder_incremental", |b| {
+        b.iter(|| {
+            let mut inc =
+                IncrementalEncoding::new(&matched, &cands, &machine, &EncodeOptions::default());
+            for k in PROBE_LADDER {
+                black_box(inc.probe(k).satisfiable);
+            }
+        })
+    });
     group.finish();
 }
 

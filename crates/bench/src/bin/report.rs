@@ -183,7 +183,12 @@ fn e4_sat_sizes() {
         "byteswap4 SAT problem sizes",
         "1639 vars / 4613 clauses at the 4-cycle refutation up to 9203 / 26415 at 8 cycles",
     );
-    let denali = default_denali();
+    // Per-budget formula sizes want fresh per-probe solvers; the
+    // incremental run below reports cumulative live-solver sizes.
+    let denali = Denali::new(Options {
+        incremental: false,
+        ..default_denali().options().clone()
+    });
     let result = denali
         .compile_source(programs::BYTESWAP4)
         .expect("compiles");
@@ -200,6 +205,35 @@ fn e4_sat_sizes() {
             p.solve_ms
         );
     }
+
+    // The same search on one persistent solver probed under
+    // assumptions: probe order, with learned clauses carried into each
+    // probe from its predecessors.
+    let incremental = Denali::new(Options {
+        threads: 1,
+        incremental: true,
+        ..default_denali().options().clone()
+    });
+    let result = incremental
+        .compile_source(programs::BYTESWAP4)
+        .expect("compiles");
+    let compiled = &result.gmas[0];
+    println!("    incremental (one solver, probe order):");
+    for p in &compiled.probes {
+        let carried = p.solver.map_or(0, |s| s.carried_learned);
+        println!(
+            "    measured: K={}: -> {:5}  carrying {:4} learned clauses  ({:.1} ms solve)",
+            p.k,
+            if p.satisfiable { "SAT" } else { "UNSAT" },
+            carried,
+            p.solve_ms
+        );
+    }
+    println!(
+        "    measured: {} learned clauses reused across {} probes",
+        compiled.carried_clauses(),
+        compiled.probes.len()
+    );
     println!();
 }
 

@@ -22,11 +22,12 @@
 //! 5. goals computed within budget — `∨_c B(G, K-1, c)` per goal class.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use denali_arch::{Machine, Unit};
 use denali_egraph::ClassId;
 use denali_sat::dimacs::Cnf;
-use denali_sat::{Lit, Var};
+use denali_sat::{Lit, SolveResult, Solver, SolverStats, Var};
 
 use crate::machine_terms::{CandidateKind, Candidates};
 use crate::matcher::Matched;
@@ -475,6 +476,470 @@ pub fn encode(
         k,
         launches,
         avail,
+    }
+}
+
+/// One assumption-based probe of an [`IncrementalEncoding`].
+#[derive(Clone, Copy, Debug)]
+pub struct IncrementalProbe {
+    /// Whether a schedule exists within the probed budget.
+    pub satisfiable: bool,
+    /// Live solver variable count (cumulative across budgets).
+    pub vars: usize,
+    /// Live solver problem-clause count (cumulative across budgets).
+    pub clauses: usize,
+    /// Milliseconds spent growing the encoding for this probe.
+    pub encode_ms: f64,
+    /// Milliseconds inside [`Solver::solve_under`].
+    pub solve_ms: f64,
+    /// This probe's solver work (counters are per-probe deltas; gauges
+    /// such as `carried_learned` describe the live solver).
+    pub stats: SolverStats,
+}
+
+/// The budget-*monotone* form of the [`encode`] formula, held inside one
+/// persistent [`Solver`] so a sequence of cycle-budget probes shares
+/// learned clauses, variable activity, and saved polarities.
+///
+/// The trick is standard incremental BMC: variables and clauses cover
+/// cycles `0..horizon`, and every launch `L` completing at cycle `e`
+/// carries an *activation* clause `L ⇒ active[e]`. Probing budget `K ≤
+/// horizon` is then [`Solver::solve_under`] with assumptions
+/// `¬active[K..horizon]` (no launch may complete at or after cycle `K`),
+/// `goal_ok[K-1]` (every goal available by the end of cycle `K-1`), and
+/// `¬frontier` (the current store at-least-one clauses are in force).
+/// Growing the horizon only ever *adds* variables and clauses — the §6
+/// constraint families are emitted so that earlier clauses never need a
+/// literal that does not exist yet:
+///
+/// * availability ladders are emitted cycle by cycle, with completion
+///   events buffered until their cycle's ladder clause is written (new
+///   launches always complete at or after the old horizon, so emitted
+///   ladders never miss an event);
+/// * at-most-one constraints (issue slots, store levels) use extendable
+///   sequential chains with one commander variable per literal;
+/// * store at-least-one clauses, the only non-monotone family, are
+///   re-emitted per extension behind a fresh `frontier` guard literal
+///   (stale guards are left free, making the old clauses vacuous).
+///
+/// The probe answers are identical to solving [`encode`]'s fresh
+/// formula at each budget; only solver statistics and formula sizes
+/// differ (they are cumulative here).
+pub struct IncrementalEncoding<'a> {
+    matched: &'a Matched,
+    candidates: &'a Candidates,
+    machine: &'a Machine,
+    options: EncodeOptions,
+    solver: Solver,
+    horizon: u32,
+    /// Launches created so far, per candidate: `(var, cycle)`.
+    by_candidate: Vec<Vec<(Var, u32)>>,
+    /// Highest launch cycle created per candidate (`None` = none yet).
+    created_upto: Vec<Option<u32>>,
+    /// `B` variable index: (class, cycle, cluster) → var.
+    avail: HashMap<(ClassId, u32, usize), Var>,
+    /// Completion events buffered for not-yet-emitted ladder cycles.
+    events: HashMap<(ClassId, u32, usize), Vec<Lit>>,
+    /// Activation literal per completion cycle (`0..horizon`).
+    active: Vec<Var>,
+    /// `goal_ok[i]` ⇒ every goal class is available by end of cycle `i`.
+    goal_ok: Vec<Var>,
+    /// Sequential at-most-one chain head per `(cycle, unit)` slot.
+    slot_chain: HashMap<(u32, Unit), Var>,
+    /// Sequential at-most-one chain head per store level.
+    level_chain: Vec<Option<Var>>,
+    /// Every launch literal per store level (for at-least-one).
+    level_lits: Vec<Vec<Lit>>,
+    /// Guard literal of the current store at-least-one clauses.
+    frontier: Option<Var>,
+    /// Memory-ordering conflicts `(a, b, strict)`: launching `a` at
+    /// cycle `ca` and `b` at `cb` is forbidden when `ca > cb` (strict)
+    /// or `ca ≥ cb`.
+    order_pairs: Vec<(usize, usize, bool)>,
+    /// Store level index per store candidate.
+    level_of: HashMap<usize, usize>,
+}
+
+impl<'a> IncrementalEncoding<'a> {
+    /// Creates an empty encoding (horizon 0); the first
+    /// [`IncrementalEncoding::probe`] grows it.
+    pub fn new(
+        matched: &'a Matched,
+        candidates: &'a Candidates,
+        machine: &'a Machine,
+        options: &EncodeOptions,
+    ) -> IncrementalEncoding<'a> {
+        let eg = &matched.egraph;
+        let addr_of = |t: usize| -> ClassId {
+            match candidates.list[t].kind {
+                CandidateKind::Load { addr, .. } | CandidateKind::Store { addr, .. } => addr,
+                _ => unreachable!("memory candidate"),
+            }
+        };
+        let may_alias = |a: ClassId, b: ClassId| !eg.provably_distinct(a, b);
+        let store_cands: Vec<usize> = candidates.store_levels.iter().flatten().copied().collect();
+        let mut order_pairs = Vec::new();
+        for &l in &candidates.loads() {
+            for &s in &store_cands {
+                if may_alias(addr_of(l), addr_of(s)) {
+                    // A load must not issue after a store it may alias.
+                    order_pairs.push((l, s, true));
+                }
+            }
+        }
+        for (li, level_a) in candidates.store_levels.iter().enumerate() {
+            for level_b in &candidates.store_levels[li + 1..] {
+                for &s1 in level_a {
+                    for &s2 in level_b {
+                        if may_alias(addr_of(s1), addr_of(s2)) {
+                            // Earlier level must issue strictly before.
+                            order_pairs.push((s1, s2, false));
+                        }
+                    }
+                }
+            }
+        }
+        let mut level_of = HashMap::new();
+        for (li, level) in candidates.store_levels.iter().enumerate() {
+            for &t in level {
+                level_of.insert(t, li);
+            }
+        }
+        IncrementalEncoding {
+            matched,
+            candidates,
+            machine,
+            options: *options,
+            solver: Solver::new(),
+            horizon: 0,
+            by_candidate: vec![Vec::new(); candidates.list.len()],
+            created_upto: vec![None; candidates.list.len()],
+            avail: HashMap::new(),
+            events: HashMap::new(),
+            active: Vec::new(),
+            goal_ok: Vec::new(),
+            slot_chain: HashMap::new(),
+            level_chain: vec![None; candidates.store_levels.len()],
+            level_lits: vec![Vec::new(); candidates.store_levels.len()],
+            frontier: None,
+            order_pairs,
+            level_of,
+        }
+    }
+
+    /// The cycle horizon currently encoded (budgets `1..=horizon` are
+    /// probeable without growing).
+    pub fn horizon(&self) -> u32 {
+        self.horizon
+    }
+
+    /// Lifetime work counters of the persistent solver.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.solver.stats()
+    }
+
+    /// Grows the encoded horizon from `self.horizon` to `new_h`,
+    /// adding variables and clauses to the live solver.
+    fn extend(&mut self, new_h: u32) {
+        let old_h = self.horizon;
+        debug_assert!(new_h > old_h);
+        let eg = &self.matched.egraph;
+        let clusters = self.machine.num_clusters();
+        let cluster_of = |u: Unit| -> usize {
+            if clusters == 1 {
+                0
+            } else {
+                u.cluster()
+            }
+        };
+        let delay = self.machine.cluster_delay();
+
+        // New availability and activation variables for the new cycles.
+        for &class in &self.candidates.needed_classes {
+            if self.candidates.is_available(class) {
+                continue;
+            }
+            for cycle in old_h..new_h {
+                for cluster in 0..clusters {
+                    let var = self.solver.new_var();
+                    self.avail.insert((class, cycle, cluster), var);
+                }
+            }
+        }
+        for _ in old_h..new_h {
+            let var = self.solver.new_var();
+            self.active.push(var);
+        }
+
+        // Goal-deadline guards: goal_ok[i] ⇒ ∨_c B(goal, i, c).
+        for cycle in old_h..new_h {
+            let ok = self.solver.new_var();
+            for &goal in &self.candidates.goal_classes {
+                if self.candidates.is_available(goal) {
+                    continue;
+                }
+                let mut clause = vec![Lit::neg(ok)];
+                for cluster in 0..clusters {
+                    clause.push(Lit::pos(self.avail[&(goal, cycle, cluster)]));
+                }
+                self.solver.add_clause(clause);
+            }
+            self.goal_ok.push(ok);
+        }
+
+        // New launches: exactly the launch set [`encode`] would build at
+        // budget `new_h`, minus what already exists. Launch starts never
+        // move earlier as the horizon grows (a candidate only has
+        // launches once its critical path fits, and from then on the
+        // path lengths below the horizon are exact), so the new launches
+        // are a suffix of each candidate's cycle range — and they all
+        // complete at or after `old_h`, which keeps the already-emitted
+        // ladder clauses complete.
+        let earliest = earliest_completion(self.candidates, eg, new_h);
+        let guard_class = self.candidates.guard_class.map(|c| eg.find(c));
+        let mut new_launches: Vec<(Var, LaunchCoord)> = Vec::new();
+        for (t, cand) in self.candidates.list.iter().enumerate() {
+            if cand.latency > new_h {
+                continue;
+            }
+            let mut start = 0u32;
+            for dep in cand.register_deps() {
+                let dep = eg.find(dep);
+                if self.candidates.is_available(dep) {
+                    continue;
+                }
+                match earliest.get(&dep) {
+                    Some(&e) => start = start.max(e),
+                    None => {
+                        start = new_h + 1;
+                        break;
+                    }
+                }
+            }
+            if start > new_h || cand.latency > new_h - start {
+                continue;
+            }
+            let first = match self.created_upto[t] {
+                Some(end) => {
+                    debug_assert!(start <= end + 1, "launch start moved earlier");
+                    end + 1
+                }
+                None => start,
+            };
+            let last = new_h - cand.latency;
+            if first > last {
+                continue;
+            }
+            for cycle in first..=last {
+                for &unit in &cand.units {
+                    let var = self.solver.new_var();
+                    new_launches.push((
+                        var,
+                        LaunchCoord {
+                            candidate: t,
+                            cycle,
+                            unit,
+                        },
+                    ));
+                }
+            }
+            self.created_upto[t] = Some(last);
+        }
+
+        // Per-launch clauses: activation, completion events, argument
+        // readiness, issue-slot and store-level at-most-one chains.
+        for &(var, coord) in &new_launches {
+            let cand = &self.candidates.list[coord.candidate];
+            let completion = coord.cycle + cand.latency - 1;
+            debug_assert!(
+                (old_h..new_h).contains(&completion),
+                "new launch must complete in the new cycle range"
+            );
+            self.solver
+                .add_clause([Lit::neg(var), Lit::pos(self.active[completion as usize])]);
+
+            if !matches!(cand.kind, CandidateKind::Store { .. }) {
+                let class = eg.find(cand.class);
+                let own = cluster_of(coord.unit);
+                self.events
+                    .entry((class, completion, own))
+                    .or_default()
+                    .push(Lit::pos(var));
+                if clusters > 1 {
+                    let other = 1 - own;
+                    self.events
+                        .entry((class, completion + delay, other))
+                        .or_default()
+                        .push(Lit::pos(var));
+                }
+            }
+
+            let mut deps = cand.register_deps();
+            let unsafe_op = match cand.kind {
+                CandidateKind::Store { .. } => true,
+                CandidateKind::Load { .. } => !self.options.speculate_loads,
+                _ => false,
+            };
+            if unsafe_op {
+                if let Some(g) = guard_class {
+                    deps.push(g);
+                }
+            }
+            for dep in deps {
+                let dep = eg.find(dep);
+                if self.candidates.is_available(dep) {
+                    continue;
+                }
+                if coord.cycle == 0 {
+                    self.solver.add_clause([Lit::neg(var)]);
+                    break;
+                }
+                let bvar = self.avail[&(dep, coord.cycle - 1, cluster_of(coord.unit))];
+                self.solver.add_clause([Lit::neg(var), Lit::pos(bvar)]);
+            }
+
+            let prev = self.slot_chain.get(&(coord.cycle, coord.unit)).copied();
+            let head = self.chain_link(var, prev);
+            self.slot_chain.insert((coord.cycle, coord.unit), head);
+
+            if let Some(&li) = self.level_of.get(&coord.candidate) {
+                self.level_lits[li].push(Lit::pos(var));
+                let head = self.chain_link(var, self.level_chain[li]);
+                self.level_chain[li] = Some(head);
+            }
+        }
+
+        // Memory-ordering conflicts touching a new launch.
+        for &(a, b, strict) in &self.order_pairs {
+            let forbidden = |ca: u32, cb: u32| if strict { ca > cb } else { ca >= cb };
+            let new_of = |t: usize| {
+                new_launches
+                    .iter()
+                    .filter(move |(_, c)| c.candidate == t)
+                    .map(|&(v, c)| (v, c.cycle))
+            };
+            for (va, ca) in new_of(a) {
+                for (vb, cb) in self.by_candidate[b].iter().copied().chain(new_of(b)) {
+                    if forbidden(ca, cb) {
+                        self.solver.add_clause([Lit::neg(va), Lit::neg(vb)]);
+                    }
+                }
+            }
+            for &(va, ca) in &self.by_candidate[a] {
+                for (vb, cb) in new_of(b) {
+                    if forbidden(ca, cb) {
+                        self.solver.add_clause([Lit::neg(va), Lit::neg(vb)]);
+                    }
+                }
+            }
+        }
+        for &(var, coord) in &new_launches {
+            self.by_candidate[coord.candidate].push((var, coord.cycle));
+        }
+
+        // Ladder clauses for the new cycles, consuming buffered events:
+        // B(Q,i,c) ⇔ B(Q,i-1,c) ∨ completions(Q,i,c).
+        for &class in &self.candidates.needed_classes {
+            if self.candidates.is_available(class) {
+                continue;
+            }
+            for cycle in old_h..new_h {
+                for cluster in 0..clusters {
+                    let bvar = self.avail[&(class, cycle, cluster)];
+                    let events = self
+                        .events
+                        .remove(&(class, cycle, cluster))
+                        .unwrap_or_default();
+                    let mut forward = vec![Lit::neg(bvar)];
+                    if cycle > 0 {
+                        forward.push(Lit::pos(self.avail[&(class, cycle - 1, cluster)]));
+                    }
+                    forward.extend(events.iter().copied());
+                    self.solver.add_clause(forward);
+                    if cycle > 0 {
+                        self.solver.add_clause([
+                            Lit::neg(self.avail[&(class, cycle - 1, cluster)]),
+                            Lit::pos(bvar),
+                        ]);
+                    }
+                    for &e in &events {
+                        self.solver.add_clause([!e, Lit::pos(bvar)]);
+                    }
+                }
+            }
+        }
+
+        // Store at-least-one, re-emitted over the grown launch sets
+        // behind a fresh guard; the previous guard is left free, which
+        // makes its clauses vacuous.
+        if !self.candidates.store_levels.is_empty() {
+            let f = self.solver.new_var();
+            for lits in &self.level_lits {
+                let mut clause = lits.clone();
+                clause.push(Lit::pos(f));
+                self.solver.add_clause(clause);
+            }
+            self.frontier = Some(f);
+        }
+
+        self.horizon = new_h;
+    }
+
+    /// Extends a sequential at-most-one chain with launch `var`:
+    /// `head ⇐ var ∨ prev` and `var ⇒ ¬prev`. Returns the new head.
+    fn chain_link(&mut self, var: Var, prev: Option<Var>) -> Var {
+        let head = self.solver.new_var();
+        if let Some(p) = prev {
+            self.solver.add_clause([Lit::neg(var), Lit::neg(p)]);
+            self.solver.add_clause([Lit::neg(p), Lit::pos(head)]);
+        }
+        self.solver.add_clause([Lit::neg(var), Lit::pos(head)]);
+        head
+    }
+
+    /// Asks whether a `k`-cycle schedule exists, reusing the live
+    /// solver. Growing the horizon (when `k > horizon`) only adds
+    /// variables and clauses; the budget restriction itself is pure
+    /// assumptions, so the answer matches a fresh [`encode`] at `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` (the zero-launch case never probes).
+    pub fn probe(&mut self, k: u32) -> IncrementalProbe {
+        assert!(k >= 1, "budgets start at one cycle");
+        let encode_start = Instant::now();
+        if k > self.horizon {
+            self.extend(k);
+        }
+        let encode_ms = encode_start.elapsed().as_secs_f64() * 1e3;
+
+        let mut assumptions: Vec<Lit> = (k..self.horizon)
+            .map(|e| Lit::neg(self.active[e as usize]))
+            .collect();
+        assumptions.push(Lit::pos(self.goal_ok[(k - 1) as usize]));
+        if let Some(f) = self.frontier {
+            assumptions.push(Lit::neg(f));
+        }
+
+        let before = self.solver.stats();
+        let solve_start = Instant::now();
+        let result = self.solver.solve_under(&assumptions);
+        let solve_ms = solve_start.elapsed().as_secs_f64() * 1e3;
+        let satisfiable = match result {
+            SolveResult::Sat => true,
+            SolveResult::Unsat => false,
+            SolveResult::Interrupted => {
+                unreachable!("no interrupt is installed on the incremental solver")
+            }
+        };
+        IncrementalProbe {
+            satisfiable,
+            vars: self.solver.num_vars(),
+            clauses: self.solver.num_clauses(),
+            encode_ms,
+            solve_ms,
+            stats: self.solver.stats().since(before),
+        }
     }
 }
 

@@ -15,7 +15,7 @@ use denali_egraph::ClassId;
 use denali_lang::Gma;
 use denali_term::Symbol;
 
-use crate::encode::{Encoding, LaunchCoord};
+use crate::encode::LaunchCoord;
 use crate::machine_terms::{ArgSpec, CandidateKind, Candidates};
 use crate::matcher::Matched;
 
@@ -41,11 +41,14 @@ fn err(message: impl Into<String>) -> ExtractError {
     }
 }
 
-/// Decodes a model into a validated program.
+/// Decodes the true launches of a model (at cycle budget `k`) into a
+/// validated program. An empty launch set is legal when every goal is
+/// already an input register and there are no stores — the identity
+/// program.
 ///
 /// # Errors
 ///
-/// Fails if the model cannot be decoded into a legal schedule (an
+/// Fails if the launches cannot be decoded into a legal schedule (an
 /// internal invariant violation) or the decoded program fails
 /// validation.
 pub fn extract(
@@ -53,28 +56,32 @@ pub fn extract(
     matched: &Matched,
     candidates: &Candidates,
     machine: &Machine,
-    encoding: &Encoding,
-    model: &[bool],
+    k: u32,
+    true_launches: &[LaunchCoord],
 ) -> Result<Program, ExtractError> {
     let eg = &matched.egraph;
-    let k = encoding.k;
     let clusters = machine.num_clusters();
     let cluster_of = |u: Unit| if clusters == 1 { 0 } else { u.cluster() };
     let delay = machine.cluster_delay();
 
-    let true_launches = encoding.true_launches(model);
-
-    // Input registers.
+    // Input registers, numbered in sorted name order — not map order,
+    // which varies between `HashMap` instances and would make repeated
+    // compiles disagree on register names.
     let mut next_reg = 0u32;
     let mut inputs: Vec<(Symbol, Reg)> = Vec::new();
     let mut input_reg_of_class: HashMap<ClassId, Reg> = HashMap::new();
-    for (&class, &name) in &candidates.inputs {
+    let mut named: Vec<(Symbol, ClassId)> = candidates
+        .inputs
+        .iter()
+        .map(|(&class, &name)| (name, class))
+        .collect();
+    named.sort();
+    for (name, class) in named {
         let reg = Reg(next_reg);
         next_reg += 1;
         inputs.push((name, reg));
         input_reg_of_class.insert(class, reg);
     }
-    inputs.sort_by_key(|&(n, _)| n);
 
     // Launch selection: for a requirement (class, usable at `cycle` on
     // `cluster`), pick the earliest true launch that satisfies it.

@@ -46,8 +46,17 @@ pub struct Options {
     /// saturation and speculative SAT probes during the search. `1` is
     /// the serial pipeline, `0` means one thread per available CPU.
     /// Results are byte-identical at every setting. Any value other
-    /// than `1` overrides [`SaturationLimits::threads`].
+    /// than `1` overrides [`SaturationLimits::threads`]. Defaults to
+    /// the `DENALI_THREADS` environment variable, else `1`.
     pub threads: usize,
+    /// Reuse one persistent CDCL solver across the search's cycle
+    /// budgets via assumption probing (serial CDCL searches without a
+    /// DIMACS dump only; speculative and DPLL probes keep per-probe
+    /// solvers). Probe outcomes, cycle counts, certificates, and
+    /// programs are identical either way — only wall-clock and the
+    /// reported formula/solver counters change. Defaults to on;
+    /// `DENALI_INCREMENTAL=0` turns it off.
+    pub incremental: bool,
 }
 
 impl Default for Options {
@@ -63,8 +72,26 @@ impl Default for Options {
             miss_latency: 20,
             dump_dimacs: None,
             pipeline_loads: false,
-            threads: 1,
+            threads: env_threads(),
+            incremental: env_incremental(),
         }
+    }
+}
+
+/// `DENALI_THREADS` (a worker count, `0` = auto), defaulting to the
+/// serial pipeline.
+fn env_threads() -> usize {
+    std::env::var("DENALI_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(1)
+}
+
+/// `DENALI_INCREMENTAL` (`0`/`false`/`off` disable), defaulting to on.
+fn env_incremental() -> bool {
+    match std::env::var("DENALI_INCREMENTAL") {
+        Ok(v) => !matches!(v.trim(), "0" | "false" | "off"),
+        Err(_) => true,
     }
 }
 
@@ -95,6 +122,17 @@ impl CompiledGma {
     /// Total milliseconds spent inside the SAT solver.
     pub fn solver_ms(&self) -> f64 {
         self.probes.iter().map(|p| p.solve_ms).sum()
+    }
+
+    /// Learned clauses carried into probes from earlier probes on the
+    /// same solver — nonzero only when incremental probing reused a
+    /// solver (and it learned something worth carrying).
+    pub fn carried_clauses(&self) -> u64 {
+        self.probes
+            .iter()
+            .filter_map(|p| p.solver.as_ref())
+            .map(|s| s.carried_learned)
+            .sum()
     }
 }
 
@@ -269,6 +307,7 @@ impl Denali {
             solver: self.options.solver,
             max_cycles: self.options.max_cycles,
             threads: self.options.threads,
+            incremental: self.options.incremental,
             dump: self
                 .options
                 .dump_dimacs

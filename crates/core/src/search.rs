@@ -8,6 +8,21 @@
 //! and outcome of every SAT problem (the paper reports these sizes for
 //! byteswap4 in §8).
 //!
+//! # Incremental probing
+//!
+//! The probes are a sequence of closely related SAT problems — the
+//! encodings differ only in the cycle budget — so the serial CDCL
+//! search defaults to *incremental* mode ([`SearchParams::incremental`]):
+//! one [`IncrementalEncoding`] holds a persistent solver, growing the
+//! encoded horizon during geometric ascent and restricting it back down
+//! per probe with assumption literals, so learned clauses, variable
+//! activity, and saved polarities carry over between budgets. The probe
+//! log's (K, SAT/UNSAT) sequence, the chosen cycle count, the
+//! optimality certificate, and the decoded program are identical to
+//! fresh-solver mode; only formula sizes and solver counters differ
+//! (they are cumulative for the live solver). Speculative (`threads >
+//! 1`), DPLL, and DIMACS-dumping searches keep fresh per-probe solvers.
+//!
 //! # Speculation
 //!
 //! With [`SearchParams::threads`] > 1 the search becomes *speculative*:
@@ -18,13 +33,12 @@
 //! UNSAT); during binary search the partners of the midpoint are the
 //! two possible next midpoints (one needed per outcome). As soon as
 //! the primary probe resolves, the speculation on the losing branch is
-//! cancelled via [`CancelToken`] and the CDCL solver abandons it at its
-//! next checkpoint. Completed speculations are cached and consumed when
-//! — and only when — the serial control flow reaches their budget, so
-//! the probe log, the chosen program, and the cycle count are identical
-//! to the serial search at any thread count. (DPLL probes cannot be
-//! interrupted; losing DPLL speculations run to completion and are
-//! simply discarded.)
+//! cancelled via [`CancelToken`] and both solvers abandon it at their
+//! next 1024-step checkpoint (the CDCL solver via its interrupt flag,
+//! DPLL via `solve_interruptible`). Completed speculations are cached
+//! and consumed when — and only when — the serial control flow reaches
+//! their budget, so the probe log, the chosen program, and the cycle
+//! count are identical to the serial search at any thread count.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -33,9 +47,10 @@ use std::time::Instant;
 use denali_arch::{Machine, Program};
 use denali_lang::Gma;
 use denali_par::CancelToken;
+use denali_sat::dimacs::Cnf;
 use denali_sat::{dpll, SolveResult, SolverStats};
 
-use crate::encode::{encode, EncodeOptions, Encoding};
+use crate::encode::{encode, EncodeOptions, IncrementalEncoding, LaunchCoord};
 use crate::extract::extract;
 use crate::machine_terms::Candidates;
 use crate::matcher::Matched;
@@ -56,9 +71,12 @@ pub enum SolverChoice {
 pub struct ProbeStats {
     /// Cycle budget tested.
     pub k: u32,
-    /// SAT variables in the encoding.
+    /// SAT variables in the probe's formula. Fresh probes report their
+    /// own encoding's size; incremental probes report the live solver's
+    /// cumulative size.
     pub vars: usize,
-    /// CNF clauses in the encoding.
+    /// CNF clauses in the probe's formula (cumulative for incremental
+    /// probes, like `vars`).
     pub clauses: usize,
     /// Whether a schedule exists within `k` cycles.
     pub satisfiable: bool,
@@ -66,7 +84,10 @@ pub struct ProbeStats {
     pub solve_ms: f64,
     /// Wall-clock milliseconds generating the constraints.
     pub encode_ms: f64,
-    /// CDCL search counters for this probe (`None` under DPLL).
+    /// CDCL search counters for this probe (`None` under DPLL). In
+    /// incremental mode the work counters are per-probe deltas and the
+    /// `solves`/`carried_learned`/`carried_activity` gauges show the
+    /// solver reuse.
     pub solver: Option<SolverStats>,
 }
 
@@ -84,9 +105,17 @@ impl fmt::Display for ProbeStats {
         if let Some(s) = &self.solver {
             write!(
                 f,
-                " [{} decisions, {} conflicts, {} restarts]",
+                " [{} decisions, {} conflicts, {} restarts",
                 s.decisions, s.conflicts, s.restarts
             )?;
+            if s.solves > 1 {
+                write!(
+                    f,
+                    ", carried {} learned / {} warm vars",
+                    s.carried_learned, s.carried_activity
+                )?;
+            }
+            write!(f, "]")?;
         }
         Ok(())
     }
@@ -144,9 +173,17 @@ pub struct SearchParams {
     /// search, `0` means one thread per available CPU. The result is
     /// identical at every setting; only wall-clock changes.
     pub threads: usize,
+    /// Reuse one persistent CDCL solver across budgets via assumption
+    /// probing. Applies only to serial (`threads == 1`) CDCL searches
+    /// without a DIMACS dump — speculative probes need per-probe
+    /// solvers, DPLL has no assumption interface, and dumps want one
+    /// standalone CNF per probe. The probe outcomes, cycle count,
+    /// certificate, and decoded program are identical either way.
+    pub incremental: bool,
     /// If set, every *consumed* probe's CNF is written here in DIMACS
     /// format (`<label>_k<K>.cnf`). Cancelled speculations are not
-    /// dumped, so the file set matches the serial search.
+    /// dumped, so the file set matches the serial search. A dump
+    /// disables incremental probing (see [`SearchParams::incremental`]).
     pub dump: Option<DimacsDump>,
 }
 
@@ -156,6 +193,7 @@ impl Default for SearchParams {
             solver: SolverChoice::default(),
             max_cycles: 48,
             threads: 1,
+            incremental: true,
             dump: None,
         }
     }
@@ -173,12 +211,16 @@ struct ProbeCtx<'a> {
 }
 
 /// A completed probe: its log entry plus the artifacts needed to decode
-/// it (the winning probe's model is extracted against the *same*
-/// encoding that produced it — never a re-encoding).
+/// or dump it.
 struct ProbeRun {
     stats: ProbeStats,
-    model: Option<Vec<bool>>,
-    encoding: Encoding,
+    /// The model's true launches when satisfiable. Fresh probes decode
+    /// their own model; incremental probes leave this `None` and the
+    /// winner is decoded by one canonical fresh re-solve.
+    launches: Option<Vec<LaunchCoord>>,
+    /// The probe's standalone formula, kept for DIMACS dumps (fresh
+    /// probes only).
+    cnf: Option<Cnf>,
 }
 
 enum ProbeOutcome {
@@ -209,14 +251,21 @@ fn run_probe(ctx: ProbeCtx<'_>, k: u32, cancel: Option<&CancelToken>) -> ProbeOu
                 SolveResult::Interrupted => return ProbeOutcome::Interrupted,
             }
         }
-        // DPLL has no interrupt hook: a cancelled DPLL speculation runs
-        // to completion and its (valid) answer is simply never used.
-        SolverChoice::Dpll => match dpll::solve(encoding.cnf.num_vars, &encoding.cnf.clauses) {
-            dpll::DpllResult::Sat(m) => (true, Some(m), None),
-            dpll::DpllResult::Unsat => (false, None, None),
-        },
+        SolverChoice::Dpll => {
+            let flag = cancel.map(|token| token.handle());
+            match dpll::solve_interruptible(
+                encoding.cnf.num_vars,
+                &encoding.cnf.clauses,
+                flag.as_deref(),
+            ) {
+                dpll::DpllResult::Sat(m) => (true, Some(m), None),
+                dpll::DpllResult::Unsat => (false, None, None),
+                dpll::DpllResult::Interrupted => return ProbeOutcome::Interrupted,
+            }
+        }
     };
     let solve_ms = solve_start.elapsed().as_secs_f64() * 1e3;
+    let launches = model.map(|m| encoding.true_launches(&m));
     ProbeOutcome::Done(Box::new(ProbeRun {
         stats: ProbeStats {
             k,
@@ -227,8 +276,8 @@ fn run_probe(ctx: ProbeCtx<'_>, k: u32, cancel: Option<&CancelToken>) -> ProbeOu
             encode_ms,
             solver: solver_stats,
         },
-        model,
-        encoding,
+        launches,
+        cnf: Some(encoding.cnf),
     }))
 }
 
@@ -347,13 +396,79 @@ impl<'a> Scheduler<'a> {
             let path = dump
                 .directory
                 .join(format!("{}_k{}.cnf", dump.label, run.stats.k));
-            std::fs::write(&path, run.encoding.cnf.to_dimacs()).map_err(|e| SearchError {
+            let cnf = run.cnf.as_ref().expect("fresh probes keep their CNF");
+            std::fs::write(&path, cnf.to_dimacs()).map_err(|e| SearchError {
                 message: format!("cannot write DIMACS dump {}: {e}", path.display()),
             })?;
         }
         self.probes.push(run.stats);
         Ok(run)
     }
+}
+
+/// One probe engine for the whole search: fresh per-probe solvers
+/// (with optional speculation) or the persistent incremental solver.
+enum Prober<'a> {
+    Fresh(Scheduler<'a>),
+    Incremental {
+        // Boxed: the live encoding (solver included) dwarfs the fresh
+        // scheduler.
+        inc: Box<IncrementalEncoding<'a>>,
+        probes: Vec<ProbeStats>,
+    },
+}
+
+impl<'a> Prober<'a> {
+    /// Probes `primary`; the speculation hints only apply to the fresh
+    /// engine (the incremental solver is strictly serial).
+    fn probe(
+        &mut self,
+        primary: u32,
+        speculative: &[(u32, Keep)],
+    ) -> Result<ProbeRun, SearchError> {
+        match self {
+            Prober::Fresh(sched) => sched.probe(primary, speculative),
+            Prober::Incremental { inc, probes } => {
+                let p = inc.probe(primary);
+                let stats = ProbeStats {
+                    k: primary,
+                    vars: p.vars,
+                    clauses: p.clauses,
+                    satisfiable: p.satisfiable,
+                    solve_ms: p.solve_ms,
+                    encode_ms: p.encode_ms,
+                    solver: Some(p.stats),
+                };
+                probes.push(stats);
+                Ok(ProbeRun {
+                    stats,
+                    launches: None,
+                    cnf: None,
+                })
+            }
+        }
+    }
+
+    fn probes(&self) -> &[ProbeStats] {
+        match self {
+            Prober::Fresh(sched) => &sched.probes,
+            Prober::Incremental { probes, .. } => probes,
+        }
+    }
+
+    fn into_probes(self) -> Vec<ProbeStats> {
+        match self {
+            Prober::Fresh(sched) => sched.probes,
+            Prober::Incremental { probes, .. } => probes,
+        }
+    }
+}
+
+/// The next budget of the geometric ascent: doubles, saturating at the
+/// cycle ceiling (`max_cycles` may be near `u32::MAX`; plain `k * 2`
+/// overflows in debug builds).
+fn next_budget(k: u32, max_cycles: u32) -> u32 {
+    k.saturating_mul(2).min(max_cycles.max(1))
 }
 
 /// Finds the smallest cycle budget with a legal schedule and decodes it.
@@ -371,6 +486,27 @@ pub fn search(
     options: &EncodeOptions,
     params: &SearchParams,
 ) -> Result<SearchOutcome, SearchError> {
+    // A trivial case first: no launches needed at all (identity GMA) —
+    // nothing to schedule, nothing to probe. No budget was refuted
+    // here, so no optimality certificate is claimed.
+    if candidates
+        .goal_classes
+        .iter()
+        .all(|&g| candidates.is_available(g))
+        && candidates.store_levels.is_empty()
+    {
+        let program =
+            extract(gma, matched, candidates, machine, 0, &[]).map_err(|e| SearchError {
+                message: e.to_string(),
+            })?;
+        return Ok(SearchOutcome {
+            program,
+            cycles: 0,
+            refuted_below: false,
+            probes: Vec::new(),
+        });
+    }
+
     let ctx = ProbeCtx {
         matched,
         candidates,
@@ -378,37 +514,21 @@ pub fn search(
         options,
         solver: params.solver,
     };
-    let mut sched = Scheduler::new(ctx, params.threads, params.dump.as_ref());
+    let use_incremental = params.incremental
+        && params.solver == SolverChoice::Cdcl
+        && params.dump.is_none()
+        && denali_par::resolve_threads(params.threads) == 1;
+    let mut prober = if use_incremental {
+        Prober::Incremental {
+            inc: Box::new(IncrementalEncoding::new(
+                matched, candidates, machine, options,
+            )),
+            probes: Vec::new(),
+        }
+    } else {
+        Prober::Fresh(Scheduler::new(ctx, params.threads, params.dump.as_ref()))
+    };
     let max_cycles = params.max_cycles;
-
-    // A trivial case first: no launches needed at all (identity GMA).
-    // No budget was refuted here, so no optimality certificate is
-    // claimed.
-    if candidates
-        .goal_classes
-        .iter()
-        .all(|&g| candidates.is_available(g))
-        && candidates.store_levels.is_empty()
-    {
-        let encoding = encode(matched, candidates, machine, 1, options);
-        let program = extract(
-            gma,
-            matched,
-            candidates,
-            machine,
-            &encoding,
-            &vec![false; encoding.num_vars()],
-        )
-        .map_err(|e| SearchError {
-            message: e.to_string(),
-        })?;
-        return Ok(SearchOutcome {
-            program,
-            cycles: 0,
-            refuted_below: false,
-            probes: sched.probes,
-        });
-    }
 
     // Geometric ascent to the first satisfiable budget; the partner
     // probe 2K is only needed if K is UNSAT.
@@ -421,13 +541,13 @@ pub fn search(
                 message: format!("no schedule within {max_cycles} cycles"),
             });
         }
-        let next = (k * 2).min(max_cycles.max(1));
+        let next = next_budget(k, max_cycles);
         let speculative: &[(u32, Keep)] = if next != k {
             &[(next, Keep::IfUnsat)]
         } else {
             &[]
         };
-        let run = sched.probe(k, speculative)?;
+        let run = prober.probe(k, speculative)?;
         if run.stats.satisfiable {
             best = run;
             break;
@@ -455,7 +575,7 @@ pub fn search(
         if if_unsat > mid {
             speculative.push((if_unsat, Keep::IfUnsat));
         }
-        let run = sched.probe(mid, &speculative)?;
+        let run = prober.probe(mid, &speculative)?;
         if run.stats.satisfiable {
             best = run;
             best_k = mid;
@@ -468,24 +588,64 @@ pub fn search(
     // and launches are required (zero cycles is vacuously infeasible —
     // the zero-launch case was handled above).
     let refuted_below = best_k == 1
-        || sched
-            .probes
+        || prober
+            .probes()
             .iter()
             .any(|p| p.k + 1 == best_k && !p.satisfiable);
 
-    // Decode the cached winning probe: its model against its own
-    // encoding.
-    let model = best.model.as_ref().expect("satisfiable probe has a model");
-    let program =
-        extract(gma, matched, candidates, machine, &best.encoding, model).map_err(|e| {
-            SearchError {
-                message: e.to_string(),
+    // Decode the winner. Fresh probes carry their own model's launches;
+    // the incremental engine instead re-solves the winning budget's
+    // standalone encoding once — both solvers are deterministic, so
+    // this decodes the exact program fresh-solver mode would.
+    let launches = match best.launches.take() {
+        Some(launches) => launches,
+        None => {
+            let encoding = encode(matched, candidates, machine, best_k, options);
+            let mut solver = encoding.cnf.to_solver();
+            match solver.solve() {
+                SolveResult::Sat => encoding.true_launches(solver.model().expect("sat model")),
+                _ => {
+                    return Err(SearchError {
+                        message: format!(
+                            "internal: budget {best_k} satisfiable under assumptions \
+                             but unsatisfiable standalone"
+                        ),
+                    })
+                }
             }
+        }
+    };
+    let program =
+        extract(gma, matched, candidates, machine, best_k, &launches).map_err(|e| SearchError {
+            message: e.to_string(),
         })?;
     Ok(SearchOutcome {
         program,
         cycles: best_k,
         refuted_below,
-        probes: sched.probes,
+        probes: prober.into_probes(),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_budget_doubles_then_clamps() {
+        assert_eq!(next_budget(1, 48), 2);
+        assert_eq!(next_budget(2, 48), 4);
+        assert_eq!(next_budget(32, 48), 48);
+        assert_eq!(next_budget(48, 48), 48);
+    }
+
+    #[test]
+    fn next_budget_survives_huge_ceilings() {
+        // Regression: `k * 2` overflowed in debug builds once the
+        // ascent passed 2^31 on a near-u32::MAX ceiling.
+        assert_eq!(next_budget(1 << 31, u32::MAX), u32::MAX);
+        assert_eq!(next_budget(u32::MAX, u32::MAX), u32::MAX);
+        assert_eq!(next_budget(3 << 30, u32::MAX - 1), u32::MAX - 1);
+        assert_eq!(next_budget(1, 0), 1);
+    }
 }

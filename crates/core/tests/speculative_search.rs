@@ -39,31 +39,33 @@ fn snapshot(denali: &Denali, source: &str) -> Snapshot {
 
 #[test]
 fn search_is_identical_at_every_thread_count() {
-    let serial = snapshot(&Denali::new(Options::default()), BYTESWAP4);
+    // Pin fresh-solver probes: this snapshot compares per-probe formula
+    // sizes, and incremental probes (serial only) report the live
+    // solver's cumulative sizes instead. The probe *outcomes* are
+    // compared against incremental mode in `incremental_search.rs`.
+    let fresh = |threads| Options {
+        threads,
+        incremental: false,
+        ..Options::default()
+    };
+    let serial = snapshot(&Denali::new(fresh(1)), BYTESWAP4);
     assert_eq!(serial.0, 5, "byteswap4 is a 5-cycle program");
     assert!(serial.1, "4 cycles must be refuted");
     for threads in [2, 3, 4, 8] {
-        let speculative = snapshot(
-            &Denali::new(Options {
-                threads,
-                ..Options::default()
-            }),
-            BYTESWAP4,
-        );
+        let speculative = snapshot(&Denali::new(fresh(threads)), BYTESWAP4);
         assert_eq!(serial, speculative, "threads={threads}");
     }
 }
 
 #[test]
 fn zero_threads_means_auto_and_stays_deterministic() {
-    let serial = snapshot(&Denali::new(Options::default()), FIGURE2);
-    let auto = snapshot(
-        &Denali::new(Options {
-            threads: 0,
-            ..Options::default()
-        }),
-        FIGURE2,
-    );
+    let fresh = |threads| Options {
+        threads,
+        incremental: false,
+        ..Options::default()
+    };
+    let serial = snapshot(&Denali::new(fresh(1)), FIGURE2);
+    let auto = snapshot(&Denali::new(fresh(0)), FIGURE2);
     assert_eq!(serial, auto);
 }
 

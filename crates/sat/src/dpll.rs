@@ -5,6 +5,8 @@
 //! does unit propagation and chronological backtracking, nothing else, so
 //! it is easy to audit but exponential in practice.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use crate::lit::{Lit, Var};
 
 /// Result of a [`solve`] call.
@@ -14,6 +16,9 @@ pub enum DpllResult {
     Sat(Vec<bool>),
     /// Unsatisfiable.
     Unsat,
+    /// The solve was abandoned because the interrupt flag passed to
+    /// [`solve_interruptible`] was raised. The answer is unknown.
+    Interrupted,
 }
 
 impl DpllResult {
@@ -31,16 +36,33 @@ impl DpllResult {
 ///
 /// Panics if a literal mentions a variable `>= num_vars`.
 pub fn solve(num_vars: usize, clauses: &[Vec<Lit>]) -> DpllResult {
+    solve_interruptible(num_vars, clauses, None)
+}
+
+/// As [`solve`], but checks `interrupt` every 1024 clause evaluations
+/// (the same checkpoint cadence as the CDCL solver) and returns
+/// [`DpllResult::Interrupted`] once the flag is raised — so a losing
+/// speculative probe stops promptly instead of running to completion.
+///
+/// # Panics
+///
+/// Panics if a literal mentions a variable `>= num_vars`.
+pub fn solve_interruptible(
+    num_vars: usize,
+    clauses: &[Vec<Lit>],
+    interrupt: Option<&AtomicBool>,
+) -> DpllResult {
     for c in clauses {
         for l in c {
             assert!(l.var().index() < num_vars, "literal out of range");
         }
     }
     let mut assignment: Vec<Option<bool>> = vec![None; num_vars];
-    if search(clauses, &mut assignment) {
-        DpllResult::Sat(assignment.into_iter().map(|a| a.unwrap_or(false)).collect())
-    } else {
-        DpllResult::Unsat
+    let mut steps = 0u32;
+    match search(clauses, &mut assignment, interrupt, &mut steps) {
+        Some(true) => DpllResult::Sat(assignment.into_iter().map(|a| a.unwrap_or(false)).collect()),
+        Some(false) => DpllResult::Unsat,
+        None => DpllResult::Interrupted,
     }
 }
 
@@ -72,18 +94,35 @@ fn clause_state(clause: &[Lit], assignment: &[Option<bool>]) -> ClauseState {
     }
 }
 
-fn search(clauses: &[Vec<Lit>], assignment: &mut Vec<Option<bool>>) -> bool {
+/// One DPLL node. `Some(sat?)` is an answer; `None` means the interrupt
+/// flag was observed raised at a checkpoint and the search is abandoned
+/// (partial assignments are not unwound — the caller discards them).
+fn search(
+    clauses: &[Vec<Lit>],
+    assignment: &mut Vec<Option<bool>>,
+    interrupt: Option<&AtomicBool>,
+    steps: &mut u32,
+) -> Option<bool> {
     // Unit propagation to fixpoint.
     let mut propagated: Vec<Var> = Vec::new();
     loop {
         let mut changed = false;
         for clause in clauses {
+            // Cancellation checkpoint, amortized exactly like the CDCL
+            // solver's: one relaxed load every 1024 clause evaluations.
+            *steps += 1;
+            if *steps >= 1024 {
+                *steps = 0;
+                if interrupt.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
+                    return None;
+                }
+            }
             match clause_state(clause, assignment) {
                 ClauseState::Conflict => {
                     for &v in &propagated {
                         assignment[v.index()] = None;
                     }
-                    return false;
+                    return Some(false);
                 }
                 ClauseState::Unit(l) => {
                     assignment[l.var().index()] = Some(l.is_pos());
@@ -103,19 +142,21 @@ fn search(clauses: &[Vec<Lit>], assignment: &mut Vec<Option<bool>>) -> bool {
     // impossible — so check explicitly).
     let branch = assignment.iter().position(|a| a.is_none());
     match branch {
-        None => true,
+        None => Some(true),
         Some(v) => {
             for value in [true, false] {
                 assignment[v] = Some(value);
-                if search(clauses, assignment) {
-                    return true;
+                match search(clauses, assignment, interrupt, steps) {
+                    Some(true) => return Some(true),
+                    Some(false) => {}
+                    None => return None,
                 }
                 assignment[v] = None;
             }
             for &v in &propagated {
                 assignment[v.index()] = None;
             }
-            false
+            Some(false)
         }
     }
 }
@@ -150,25 +191,56 @@ mod tests {
                 assert!(!m[0]);
                 assert!(m[1]);
             }
-            DpllResult::Unsat => panic!("expected sat"),
+            other => panic!("expected sat, got {other:?}"),
         }
     }
 
-    #[test]
-    fn small_pigeonhole_unsat() {
-        // 3 pigeons, 2 holes.
+    fn pigeonhole(holes: usize) -> (usize, Vec<Vec<Lit>>) {
+        let pigeons = holes + 1;
         let mut clauses = Vec::new();
-        let var = |p: usize, h: usize| v(p * 2 + h);
-        for p in 0..3 {
-            clauses.push(vec![Lit::pos(var(p, 0)), Lit::pos(var(p, 1))]);
+        let var = |p: usize, h: usize| v(p * holes + h);
+        for p in 0..pigeons {
+            clauses.push((0..holes).map(|h| Lit::pos(var(p, h))).collect());
         }
-        for h in 0..2 {
-            for p1 in 0..3 {
-                for p2 in (p1 + 1)..3 {
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
                     clauses.push(vec![Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]);
                 }
             }
         }
-        assert_eq!(solve(6, &clauses), DpllResult::Unsat);
+        (pigeons * holes, clauses)
+    }
+
+    #[test]
+    fn small_pigeonhole_unsat() {
+        let (nv, clauses) = pigeonhole(2);
+        assert_eq!(solve(nv, &clauses), DpllResult::Unsat);
+    }
+
+    #[test]
+    fn raised_interrupt_abandons_solve() {
+        let (nv, clauses) = pigeonhole(6);
+        let flag = AtomicBool::new(true);
+        assert_eq!(
+            solve_interruptible(nv, &clauses, Some(&flag)),
+            DpllResult::Interrupted
+        );
+        // Lowering the flag lets the same instance finish.
+        flag.store(false, Ordering::Relaxed);
+        assert_eq!(
+            solve_interruptible(nv, &clauses, Some(&flag)),
+            DpllResult::Unsat
+        );
+    }
+
+    #[test]
+    fn unraised_interrupt_changes_nothing() {
+        let (nv, clauses) = pigeonhole(3);
+        let flag = AtomicBool::new(false);
+        assert_eq!(
+            solve_interruptible(nv, &clauses, Some(&flag)),
+            DpllResult::Unsat
+        );
     }
 }

@@ -37,6 +37,32 @@ pub struct SolverStats {
     pub vars: u64,
     /// Number of problem (non-learned) clauses added.
     pub clauses: u64,
+    /// Number of [`Solver::solve`] / [`Solver::solve_under`] calls made
+    /// on this solver so far.
+    pub solves: u64,
+    /// Learned clauses retained from *previous* solve calls when the
+    /// most recent call started — the incremental-reuse payoff.
+    pub carried_learned: u64,
+    /// Variables whose VSIDS activity was non-zero when the most recent
+    /// solve call started (branching heat carried across calls).
+    pub carried_activity: u64,
+}
+
+impl SolverStats {
+    /// The work performed since `before` was captured: monotone work
+    /// counters are subtracted, while gauges describing current solver
+    /// state (`learned`, `vars`, `clauses`, `solves`, `carried_*`) are
+    /// reported as-is.
+    #[must_use]
+    pub fn since(&self, before: SolverStats) -> SolverStats {
+        SolverStats {
+            decisions: self.decisions - before.decisions,
+            propagations: self.propagations - before.propagations,
+            conflicts: self.conflicts - before.conflicts,
+            restarts: self.restarts - before.restarts,
+            ..*self
+        }
+    }
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -97,6 +123,10 @@ pub struct Solver {
     /// permanently unsatisfiable.
     ok: bool,
     model: Option<Vec<bool>>,
+    /// Populated by [`Solver::solve_under`] when the instance is
+    /// unsatisfiable only under the given assumptions: the subset of
+    /// assumptions the final conflict depends on.
+    failed_assumptions: Vec<Lit>,
     stats: SolverStats,
     reduce_threshold: usize,
     /// Raised by another thread to abandon an in-flight solve (used by
@@ -530,6 +560,36 @@ impl Solver {
     /// [`SolveResult::Unsat`]. The solver can be reused afterwards (state
     /// is reset to decision level zero), including adding more clauses.
     pub fn solve(&mut self) -> SolveResult {
+        self.solve_under(&[])
+    }
+
+    /// Solves the current clause set under `assumptions`.
+    ///
+    /// Each assumption literal is enqueued as a pseudo-decision before
+    /// ordinary branching, so [`SolveResult::Unsat`] here means
+    /// "unsatisfiable *under the assumptions*" — unlike a plain
+    /// [`Solver::solve`] refutation it does **not** poison the solver,
+    /// and [`Solver::failed_assumptions`] reports the subset of
+    /// assumptions the final conflict depended on. Learned clauses,
+    /// variable activity, and saved polarities persist across calls,
+    /// which is the point: a sequence of closely related queries (the
+    /// cycle-budget probes) shares one solver instead of starting cold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assumption mentions a variable that was never
+    /// created.
+    pub fn solve_under(&mut self, assumptions: &[Lit]) -> SolveResult {
+        for &a in assumptions {
+            assert!(
+                a.var().index() < self.num_vars(),
+                "unknown variable in assumption"
+            );
+        }
+        self.stats.solves += 1;
+        self.stats.carried_learned = self.stats.learned;
+        self.stats.carried_activity = self.activity.iter().filter(|&&a| a > 0.0).count() as u64;
+        self.failed_assumptions.clear();
         if !self.ok {
             return SolveResult::Unsat;
         }
@@ -590,24 +650,98 @@ impl Solver {
                         self.reduce_learned();
                         continue;
                     }
-                    match self.pick_branch_var() {
-                        None => {
-                            // All variables assigned: a model.
-                            let model = self.assigns.iter().map(|&a| a == Assign::True).collect();
-                            self.model = Some(model);
-                            self.backtrack_to(0);
-                            return SolveResult::Sat;
+                    // Re-establish pending assumptions (a restart or a
+                    // deep backjump may have unassigned them) before any
+                    // ordinary branching.
+                    let mut next_assumption = None;
+                    while (self.decision_level() as usize) < assumptions.len() {
+                        let p = assumptions[self.decision_level() as usize];
+                        match self.value(p) {
+                            // Already implied: open a dummy level so the
+                            // level index keeps tracking the assumption
+                            // index.
+                            Assign::True => self.trail_lim.push(self.trail.len()),
+                            Assign::False => {
+                                // The clause set refutes this assumption
+                                // given the earlier ones: UNSAT under
+                                // assumptions, but the solver stays ok.
+                                self.analyze_final(p);
+                                self.backtrack_to(0);
+                                return SolveResult::Unsat;
+                            }
+                            Assign::Undef => {
+                                next_assumption = Some(p);
+                                break;
+                            }
                         }
-                        Some(v) => {
-                            self.stats.decisions += 1;
+                    }
+                    match next_assumption {
+                        Some(p) => {
                             self.trail_lim.push(self.trail.len());
-                            let lit = Lit::new(v, self.polarity[v.index()]);
-                            self.enqueue(lit, NO_REASON);
+                            self.enqueue(p, NO_REASON);
                         }
+                        None => match self.pick_branch_var() {
+                            None => {
+                                // All variables assigned: a model.
+                                let model =
+                                    self.assigns.iter().map(|&a| a == Assign::True).collect();
+                                self.model = Some(model);
+                                self.backtrack_to(0);
+                                return SolveResult::Sat;
+                            }
+                            Some(v) => {
+                                self.stats.decisions += 1;
+                                self.trail_lim.push(self.trail.len());
+                                let lit = Lit::new(v, self.polarity[v.index()]);
+                                self.enqueue(lit, NO_REASON);
+                            }
+                        },
                     }
                 }
             }
         }
+    }
+
+    /// Final-conflict analysis: the assumption `p` is falsified by
+    /// propagation from earlier assumptions (and the clause set).
+    /// Collects into `failed_assumptions` the subset of assumptions the
+    /// falsification depends on, by walking the trail from the reason of
+    /// `¬p` back to the pseudo-decisions.
+    fn analyze_final(&mut self, p: Lit) {
+        self.failed_assumptions.push(p);
+        if self.decision_level() == 0 {
+            return;
+        }
+        self.seen[p.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            let v = lit.var();
+            if !self.seen[v.index()] {
+                continue;
+            }
+            let reason = self.reason[v.index()];
+            if reason == NO_REASON {
+                // A pseudo-decision, i.e. one of the assumptions.
+                debug_assert!(self.level[v.index()] > 0);
+                self.failed_assumptions.push(lit);
+            } else {
+                for &q in &self.clauses[reason as usize].lits[1..] {
+                    if self.level[q.var().index()] > 0 {
+                        self.seen[q.var().index()] = true;
+                    }
+                }
+            }
+            self.seen[v.index()] = false;
+        }
+        self.seen[p.var().index()] = false;
+    }
+
+    /// After [`Solver::solve_under`] returns [`SolveResult::Unsat`]
+    /// without the clause set itself being unsatisfiable: the subset of
+    /// the assumptions that the refutation depended on. Empty after a
+    /// plain refutation, a SAT result, or an interrupt.
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.failed_assumptions
     }
 
     fn decay_activities(&mut self) {
@@ -841,6 +975,121 @@ mod tests {
         let (mut s, _) = pigeonhole(4);
         s.set_interrupt(Arc::new(AtomicBool::new(false)));
         assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn unsat_under_assumptions_leaves_solver_usable() {
+        // (a | b), assume !a & !b: UNSAT under assumptions, but the
+        // instance itself stays satisfiable and the solver stays ok.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause([Lit::pos(v[0]), Lit::pos(v[1])]);
+        assert_eq!(
+            s.solve_under(&[Lit::neg(v[0]), Lit::neg(v[1])]),
+            SolveResult::Unsat
+        );
+        assert!(!s.failed_assumptions().is_empty());
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.failed_assumptions().is_empty());
+        // And a satisfiable assumption set works after the failed one.
+        assert_eq!(s.solve_under(&[Lit::neg(v[0])]), SolveResult::Sat);
+        assert!(s.model().unwrap()[v[1].index()]);
+    }
+
+    #[test]
+    fn failed_assumptions_are_a_relevant_subset() {
+        // x0, assume [x5 (irrelevant), !x0]: only !x0 conflicts.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 6);
+        s.add_clause([Lit::pos(v[0])]);
+        let assumptions = [Lit::pos(v[5]), Lit::neg(v[0])];
+        assert_eq!(s.solve_under(&assumptions), SolveResult::Unsat);
+        for &f in s.failed_assumptions() {
+            assert!(assumptions.contains(&f), "{f:?} was never assumed");
+        }
+        assert!(s.failed_assumptions().contains(&Lit::neg(v[0])));
+        assert!(!s.failed_assumptions().contains(&Lit::pos(v[5])));
+    }
+
+    #[test]
+    fn contradictory_assumptions_are_unsat_but_recoverable() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        assert_eq!(
+            s.solve_under(&[Lit::pos(v), Lit::neg(v)]),
+            SolveResult::Unsat
+        );
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn sat_under_assumptions_honors_them() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause([Lit::pos(v[0]), Lit::pos(v[1]), Lit::pos(v[2])]);
+        assert_eq!(
+            s.solve_under(&[Lit::neg(v[0]), Lit::neg(v[2])]),
+            SolveResult::Sat
+        );
+        let m = s.model().unwrap();
+        assert!(!m[v[0].index()] && m[v[1].index()] && !m[v[2].index()]);
+    }
+
+    #[test]
+    fn real_unsat_still_poisons_under_assumptions() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause([Lit::pos(v)]);
+        s.add_clause([Lit::neg(v)]);
+        assert_eq!(s.solve_under(&[Lit::pos(v)]), SolveResult::Unsat);
+        assert!(s.failed_assumptions().is_empty(), "not assumption-caused");
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn reuse_stats_track_carried_work() {
+        // 4 pigeons in 4 holes is SAT but needs real search: the second
+        // solve starts with learned clauses and warm activity.
+        let holes = 4;
+        let mut s = Solver::new();
+        let vars: Vec<Vec<Var>> = (0..holes)
+            .map(|_| (0..holes).map(|_| s.new_var()).collect())
+            .collect();
+        for p in 0..holes {
+            s.add_clause(vars[p].iter().map(|&v| Lit::pos(v)));
+        }
+        for h in 0..holes {
+            for p1 in 0..holes {
+                for p2 in (p1 + 1)..holes {
+                    s.add_clause([Lit::neg(vars[p1][h]), Lit::neg(vars[p2][h])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.stats().solves, 1);
+        assert_eq!(s.stats().carried_learned, 0);
+        assert_eq!(s.stats().carried_activity, 0);
+        // Block models until the solver has had to learn something.
+        let mut rounds = 0;
+        while s.stats().conflicts == 0 {
+            assert_eq!(s.solve(), SolveResult::Sat);
+            let m = s.model().unwrap().to_vec();
+            let blocking: Vec<Lit> = (0..s.num_vars())
+                .map(|i| Lit::new(Var::from_index(i), !m[i]))
+                .collect();
+            s.add_clause(blocking);
+            rounds += 1;
+            assert!(rounds < 64, "PHP-sat(4) ran out of models conflict-free");
+        }
+        let first = s.stats();
+        s.solve();
+        let second = s.stats();
+        assert_eq!(second.solves, first.solves + 1);
+        assert_eq!(second.carried_learned, first.learned);
+        assert!(second.carried_activity > 0, "activity should carry over");
+        let delta = second.since(first);
+        assert_eq!(delta.solves, second.solves, "gauges pass through");
+        assert!(delta.conflicts <= second.conflicts);
     }
 
     #[test]

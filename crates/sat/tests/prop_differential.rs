@@ -49,6 +49,67 @@ fn cdcl_agrees_with_dpll() {
 }
 
 #[test]
+fn solve_under_agrees_with_unit_clauses_and_recovers() {
+    // solve_under(assumptions) must answer exactly like a fresh solver
+    // with the assumptions added as unit clauses — and must leave the
+    // incremental solver's plain-solve answer unchanged afterwards.
+    forall("solve_under_agrees_with_unit_clauses", 200, |rng| {
+        let (nv, clauses) = random_cnf(rng, 10, 40);
+        let num_assumptions = rng.below_usize(4);
+        let assumptions: Vec<Lit> = (0..num_assumptions)
+            .map(|_| Lit::new(Var::from_index(rng.below_usize(nv)), rng.next_bool()))
+            .collect();
+
+        let mut incremental = Solver::new();
+        incremental.reserve_vars(nv);
+        for c in &clauses {
+            incremental.add_clause(c.iter().copied());
+        }
+        let base = dpll::solve(nv, &clauses).is_sat();
+
+        let mut fresh = Solver::new();
+        fresh.reserve_vars(nv);
+        for c in &clauses {
+            fresh.add_clause(c.iter().copied());
+        }
+        for &a in &assumptions {
+            fresh.add_clause([a]);
+        }
+        let expected = fresh.solve();
+
+        let got = incremental.solve_under(&assumptions);
+        assert_eq!(got, expected, "assumptions {assumptions:?}");
+        if got == SolveResult::Sat {
+            let model = incremental.model().expect("sat has model");
+            assert!(model_satisfies(model, &clauses), "model invalid");
+            for &a in &assumptions {
+                assert_eq!(
+                    model[a.var().index()],
+                    a.is_pos(),
+                    "model violates assumption {a:?}"
+                );
+            }
+        } else if base {
+            // UNSAT was caused by the assumptions alone: the failed set
+            // must be a subset of them and the solver must stay usable.
+            assert!(
+                !incremental.failed_assumptions().is_empty(),
+                "assumption-caused UNSAT must report a failed set"
+            );
+            for f in incremental.failed_assumptions() {
+                assert!(assumptions.contains(f), "{f:?} was never assumed");
+            }
+        }
+        // The assumptions must not have poisoned the solver.
+        assert_eq!(
+            incremental.solve() == SolveResult::Sat,
+            base,
+            "plain solve changed after solve_under"
+        );
+    });
+}
+
+#[test]
 fn dimacs_round_trip_preserves_formula_and_satisfiability() {
     forall("dimacs_round_trip", 200, |rng| {
         let (nv, clauses) = random_cnf(rng, 10, 40);

@@ -3,7 +3,7 @@
 //! ```text
 //! denali FILE.dnl [--proc NAME] [--machine ev6|ev6-unclustered|single-issue|ia64like]
 //!                 [--solver cdcl|dpll] [--threads N] [--load-latency N] [--max-cycles N]
-//!                 [--probes] [--dump-dimacs DIR]
+//!                 [--incremental|--no-incremental] [--probes] [--dump-dimacs DIR]
 //!                 [--simulate name=value ...]
 //! ```
 //!
@@ -29,9 +29,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: denali FILE.dnl [--proc NAME] [--machine ev6|ev6-unclustered|single-issue|ia64like]\n\
          \x20                   [--solver cdcl|dpll] [--threads N] [--load-latency N] [--max-cycles N]\n\
-         \x20                   [--probes] [--allocate] [--dump-dimacs DIR]\n\
-         \x20                   [--simulate name=value ...]\n\
-         \x20 --threads N   worker threads for matching + speculative probes (0 = all CPUs, 1 = serial)"
+         \x20                   [--incremental|--no-incremental] [--probes] [--allocate]\n\
+         \x20                   [--dump-dimacs DIR] [--simulate name=value ...]\n\
+         \x20 --threads N       worker threads for matching + speculative probes (0 = all CPUs, 1 = serial)\n\
+         \x20 --no-incremental  fresh SAT solver per probe instead of one persistent solver (serial CDCL)"
     );
     std::process::exit(2);
 }
@@ -94,6 +95,8 @@ fn parse_cli() -> Cli {
                     .parse()
                     .unwrap_or_else(|_| usage())
             }
+            "--incremental" => cli.options.incremental = true,
+            "--no-incremental" => cli.options.incremental = false,
             "--probes" => cli.show_probes = true,
             "--allocate" => cli.allocate = true,
             "--pipeline" => cli.options.pipeline_loads = true,
