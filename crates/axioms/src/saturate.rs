@@ -4,13 +4,43 @@
 //! relevant axiom and asserting the instance in the E-graph. This is
 //! repeated until a quiescent state is reached in which the E-graph
 //! records all relevant instances of axioms." (§5)
+//!
+//! # Delta-driven rounds
+//!
+//! A naive saturation loop re-matches every axiom against the *entire*
+//! e-graph each round, recomputing all of the previous rounds' matches
+//! only to throw them away against the `applied` dedup set. This module
+//! instead drives rounds off the e-graph's change journal
+//! ([`EGraph::take_delta`]): the first round scans everything, and each
+//! later round restricts the top-level candidate scan to the *dirty
+//! cone* — the classes touched since the previous scan, plus every
+//! ancestor within the deepest pattern's depth ([`EGraph::dirty_cone`]).
+//! A new match must have its root in that cone (matching below the root
+//! still searches full equivalence classes), so the applied instance
+//! sequence — and therefore the final e-graph, byte for byte — is
+//! identical to full re-matching. Two situations fall back to a full
+//! scan: a round that truncated work against a budget (the discarded
+//! matches' roots may lie outside the next cone), and the final
+//! *verification pass* — when a delta round comes back idle, the round
+//! re-matches everything before declaring quiescence, so the paper's
+//! "quiescent state" guarantee never rests on the cone computation.
+//! `DENALI_DELTA_MATCH=0` (or [`SaturationLimits::delta_match`]) forces
+//! full re-matching every round.
 
 use std::collections::{HashMap, HashSet};
 
-use denali_egraph::{ematch, ClassId, EGraph, EGraphError, EqLiteral};
+use denali_egraph::{
+    candidates, ematch_classes, pattern_depth, ClassId, Delta, EGraph, EGraphError, EqLiteral,
+    Subst,
+};
 use denali_term::{Op, Symbol, Term};
 
 use crate::axiom::{Axiom, AxiomBody, AxiomPriority};
+
+/// Candidate classes handed to one parallel work item. Chunks split
+/// *between* classes, so per-class dedup and result order are unaffected;
+/// the number only balances uneven per-class match costs across threads.
+const MATCH_CHUNK: usize = 64;
 
 /// Budgets that keep the matcher from running forever (the paper's
 /// caveat: heuristics may stop it before true quiescence, which is one
@@ -38,10 +68,17 @@ pub struct SaturationLimits {
     pub max_structural_growth: usize,
     /// Threads for the read-only e-matching pass of every round (`0`
     /// means one per available CPU). The e-graph is frozen while axioms
-    /// are matched, so patterns can match concurrently; instances are
-    /// then applied serially in axiom order, making the result
+    /// are matched, so candidate chunks can match concurrently; instances
+    /// are then applied serially in axiom order, making the result
     /// byte-identical to the serial path at any thread count.
     pub threads: usize,
+    /// Restrict each round's top-level candidate scan to the classes
+    /// changed since the previous round (plus a final full verification
+    /// pass at quiescence). On by default; `DENALI_DELTA_MATCH=0`
+    /// disables it, forcing a full re-match every round. Either setting
+    /// produces byte-identical results — this knob only exists for
+    /// differential testing and benchmarking.
+    pub delta_match: bool,
 }
 
 impl Default for SaturationLimits {
@@ -54,12 +91,44 @@ impl Default for SaturationLimits {
             pow2_facts: true,
             max_structural_growth: 4000,
             threads: 1,
+            delta_match: env_delta_match(),
         }
     }
 }
 
-/// What the saturation run did.
+/// `DENALI_DELTA_MATCH` (`0`/`false`/`off` disable), defaulting to on.
+fn env_delta_match() -> bool {
+    match std::env::var("DENALI_DELTA_MATCH") {
+        Ok(v) => !matches!(v.trim(), "0" | "false" | "off"),
+        Err(_) => true,
+    }
+}
+
+/// Telemetry for one match-apply round.
 #[derive(Clone, Copy, Default, Debug)]
+pub struct RoundStats {
+    /// Top-level candidate classes actually e-matched (summed over
+    /// every axiom pattern).
+    pub scanned: usize,
+    /// Candidate classes the delta filter excluded from the top-level
+    /// scan. `scanned + skipped` is what a full pass would have matched.
+    pub skipped: usize,
+    /// Axiom instances applied this round.
+    pub instances: usize,
+    /// True for rounds that scanned every candidate: the first round of
+    /// a phase, rounds after a budget truncation, every round with
+    /// [`SaturationLimits::delta_match`] off, and verification passes.
+    pub full: bool,
+    /// True for the full-fidelity re-match that runs when a delta round
+    /// reports quiescence (recorded as an extra entry in the same
+    /// iteration).
+    pub verification: bool,
+    /// Wall-clock time for the round, in milliseconds.
+    pub ms: f64,
+}
+
+/// What the saturation run did.
+#[derive(Clone, Default, Debug)]
 pub struct SaturationReport {
     /// Rounds executed.
     pub iterations: usize,
@@ -71,6 +140,27 @@ pub struct SaturationReport {
     pub nodes: usize,
     /// Final class count.
     pub classes: usize,
+    /// Total top-level candidate classes e-matched across all rounds.
+    pub scanned_candidates: usize,
+    /// Total top-level candidates the delta filter skipped.
+    pub skipped_candidates: usize,
+    /// Per-round telemetry, in execution order (verification passes
+    /// appear as their own entries, so this can be longer than
+    /// `iterations`).
+    pub rounds: Vec<RoundStats>,
+}
+
+impl SaturationReport {
+    fn absorb(&mut self, other: SaturationReport) {
+        self.iterations += other.iterations;
+        self.instances += other.instances;
+        self.saturated &= other.saturated;
+        self.nodes = other.nodes;
+        self.classes = other.classes;
+        self.scanned_candidates += other.scanned_candidates;
+        self.skipped_candidates += other.skipped_candidates;
+        self.rounds.extend(other.rounds);
+    }
 }
 
 /// True if the axiom's equality right-hand side introduces at most one
@@ -120,7 +210,7 @@ pub fn saturate(
         .filter(|a| a.priority == AxiomPriority::Structural || simple_rhs(a))
         .cloned()
         .collect();
-    let r1 = saturate_phase(egraph, &phase1, limits)?;
+    let mut report = saturate_phase(egraph, &phase1, limits)?;
     let phase2_limits = SaturationLimits {
         max_iterations: limits.max_iterations.min(8),
         max_nodes: limits
@@ -129,17 +219,13 @@ pub fn saturate(
         ..*limits
     };
     let r2 = saturate_phase(egraph, &phase2, &phase2_limits)?;
-    Ok(SaturationReport {
-        iterations: r1.iterations + r2.iterations,
-        instances: r1.instances + r2.instances,
-        saturated: r1.saturated && r2.saturated,
-        nodes: r2.nodes,
-        classes: r2.classes,
-    })
+    report.absorb(r2);
+    Ok(report)
 }
 
 /// Canonicalized dedup key for one axiom instance: the substitution with
-/// every class representative resolved, in sorted variable order.
+/// every class representative resolved, in sorted variable order (which
+/// is the order [`Subst::iter`] already yields).
 type Key = Vec<(Symbol, ClassId)>;
 
 fn saturate_phase(
@@ -148,28 +234,74 @@ fn saturate_phase(
     limits: &SaturationLimits,
 ) -> Result<SaturationReport, EGraphError> {
     let mut report = SaturationReport::default();
-    let mut applied: HashSet<(usize, Vec<(Symbol, ClassId)>)> = HashSet::new();
+    let mut applied: HashMap<usize, HashSet<Key>> = HashMap::new();
     let mut pow2_done: HashSet<u64> = HashSet::new();
+
+    // Flattened (axiom index, pattern) work list; fixed for the phase.
+    let patterns: Vec<(usize, &Term)> = axioms
+        .iter()
+        .enumerate()
+        .flat_map(|(i, axiom)| axiom.patterns.iter().map(move |p| (i, p)))
+        .collect();
+    let body_vars: Vec<Vec<Symbol>> = axioms.iter().map(|a| a.body_vars()).collect();
+    // A match for the deepest pattern only reaches classes within this
+    // many child edges of its root, so this bounds how far dirtiness
+    // must propagate up the parent index.
+    let cone_depth = patterns
+        .iter()
+        .map(|&(_, p)| pattern_depth(p))
+        .max()
+        .unwrap_or(0);
+    let threads = denali_par::resolve_threads(limits.threads);
 
     let trace = std::env::var_os("DENALI_TRACE").is_some();
     egraph.rebuild()?;
+
+    // Journal entries not yet consumed by a scan: `constants` feed the
+    // next round's pow2 step, `classes` seed the next cone.
+    let mut pending = Delta::default();
+    let mut full_next = true;
     for _ in 0..limits.max_iterations {
         report.iterations += 1;
         let round_start = std::time::Instant::now();
+        let mut stats = RoundStats {
+            full: full_next || !limits.delta_match,
+            ..RoundStats::default()
+        };
+        let full_round = stats.full;
         let mut any_change = false;
+
+        if full_round {
+            // A full scan supersedes everything journaled so far.
+            egraph.take_delta();
+            pending = Delta::default();
+        } else {
+            // Changes from the previous round's apply + rebuild.
+            pending.absorb(egraph.take_delta());
+        }
 
         // Dynamic constant facts: for every constant class holding a
         // power of two, record c = pow(2, log2 c) so patterns like
         // k * 2**n can match literal constants; for byte-shift amounts
         // (multiples of 8 below 64) record c = 8 * (c/8) so the
         // byte-instruction definitions (insbl = selectb << 8*i) can
-        // match literal shift counts.
+        // match literal shift counts. A full round walks every class;
+        // a delta round only visits the journal's newly registered
+        // constants, ordered by canonical class id — the order the full
+        // walk would visit them in.
         if limits.pow2_facts {
-            let constants: Vec<u64> = egraph
-                .classes()
-                .iter()
-                .filter_map(|&c| egraph.constant(c))
-                .collect();
+            let constants: Vec<u64> = if full_round {
+                egraph
+                    .classes()
+                    .iter()
+                    .filter_map(|&c| egraph.constant(c))
+                    .collect()
+            } else {
+                let mut pend = std::mem::take(&mut pending.constants);
+                pend.sort_by_key(|&v| egraph.constant_class(v));
+                pend.dedup();
+                pend
+            };
             for c in constants {
                 if !pow2_done.insert(c) {
                     continue;
@@ -190,164 +322,104 @@ fn saturate_phase(
             egraph.rebuild()?;
         }
 
-        // Collect matches for this round. The e-graph is frozen here, so
-        // the e-matching pass is a pure read-only fan-out: every
-        // (axiom, pattern) pair is matched concurrently (including
-        // body-variable/side-condition filtering and canonical-key
-        // computation, which only read the e-graph), and the results come
-        // back in work order. The stateful parts — the cross-round
-        // `applied` dedup, the per-round instance budget, and the
-        // structural queues — are then replayed serially in exactly the
-        // order the serial implementation uses, so the applied instance
-        // set is byte-identical at any thread count.
-        let match_work: Vec<(usize, &Term)> = axioms
-            .iter()
-            .enumerate()
-            .flat_map(|(i, axiom)| axiom.patterns.iter().map(move |p| (i, p)))
-            .collect();
-        let frozen: &EGraph = egraph;
-        let match_results: Vec<Vec<(HashMap<Symbol, ClassId>, Key)>> = denali_par::map_indexed(
-            denali_par::resolve_threads(limits.threads),
-            &match_work,
-            |_, &(i, pattern)| {
-                let axiom = &axioms[i];
-                let body_vars = axiom.body_vars();
-                let mut out = Vec::new();
-                for (_, subst) in ematch(frozen, pattern) {
-                    if !body_vars.iter().all(|v| subst.contains_key(v)) {
-                        continue; // pattern does not bind every body variable
-                    }
-                    if let Some(cond) = &axiom.condition {
-                        let values: Option<Vec<u64>> = cond
-                            .vars
-                            .iter()
-                            .map(|v| subst.get(v).and_then(|&c| frozen.constant(c)))
-                            .collect();
-                        match values {
-                            Some(vs) if (cond.pred)(&vs) => {}
-                            _ => continue,
-                        }
-                    }
-                    let mut key: Key = subst.iter().map(|(&v, &c)| (v, frozen.find(c))).collect();
-                    key.sort();
-                    out.push((subst, key));
-                }
-                out
-            },
+        // Changes made by the pow2 step itself. In a full round only the
+        // new constants matter (the full match below covers every class
+        // anyway); in a delta round the touched classes join this
+        // round's cone, exactly as the pow2 additions precede matching
+        // in a full round.
+        let pow2_delta = egraph.take_delta();
+        let cone: Option<HashSet<ClassId>> = if full_round {
+            pending.constants.extend(pow2_delta.constants);
+            None
+        } else {
+            pending.absorb(pow2_delta);
+            let seeds = std::mem::take(&mut pending.classes);
+            Some(egraph.dirty_cone(&seeds, cone_depth))
+        };
+
+        let (mut instances, truncated) = match_and_replay(
+            egraph,
+            axioms,
+            &patterns,
+            &body_vars,
+            cone.as_ref(),
+            limits,
+            threads,
+            &mut applied,
+            &mut stats,
         );
-
-        // Serial replay: budget accounting and deduplication in axiom
-        // order. Structural (associativity-style) instances are budgeted
-        // and shared fairly across axioms so they cannot starve each
-        // other or blow the e-graph up.
-        let mut instances: Vec<(usize, HashMap<Symbol, ClassId>)> = Vec::new();
-        let mut structural_queues: Vec<Vec<(usize, HashMap<Symbol, ClassId>)>> = Vec::new();
-        let mut results = match_results.into_iter();
-        'axioms: for (i, axiom) in axioms.iter().enumerate() {
-            let is_structural = axiom.priority == AxiomPriority::Structural;
-            let mut queue = Vec::new();
-            for _ in &axiom.patterns {
-                let pattern_matches = results.next().expect("one result per pattern");
-                if instances.len() >= limits.max_instances_per_round {
-                    break 'axioms;
-                }
-                for (subst, key) in pattern_matches {
-                    if applied.contains(&(i, key.clone())) {
-                        continue;
-                    }
-                    if is_structural {
-                        queue.push((i, subst));
-                        // Deduplication happens when the instance is
-                        // actually taken from the queue below.
-                        continue;
-                    }
-                    applied.insert((i, key));
-                    instances.push((i, subst));
-                    if instances.len() >= limits.max_instances_per_round {
-                        break;
-                    }
-                }
-            }
-            if !queue.is_empty() {
-                structural_queues.push(queue);
-            }
-        }
-        // Round-robin the structural budget across axioms.
-        let mut budget = limits.max_structural_per_round;
-        let mut cursors = vec![0usize; structural_queues.len()];
-        while budget > 0 {
-            let mut advanced = false;
-            for (q, queue) in structural_queues.iter().enumerate() {
-                if budget == 0 {
-                    break;
-                }
-                if let Some((i, subst)) = queue.get(cursors[q]) {
-                    cursors[q] += 1;
-                    advanced = true;
-                    let mut key: Vec<(Symbol, ClassId)> =
-                        subst.iter().map(|(&v, &c)| (v, egraph.find(c))).collect();
-                    key.sort();
-                    if applied.insert((*i, key)) {
-                        instances.push((*i, subst.clone()));
-                        budget -= 1;
-                    }
-                }
-            }
-            if !advanced {
-                break;
-            }
-        }
-
-        // Apply the batch.
-        for (i, subst) in instances {
-            let axiom = &axioms[i];
-            match &axiom.body {
-                AxiomBody::Equal(lhs, rhs) => {
-                    let l = egraph.add_instantiation(lhs, &subst)?;
-                    let r = egraph.add_instantiation(rhs, &subst)?;
-                    egraph.union(l, r).map_err(|e| {
-                        EGraphError::from_message(format!("axiom {}: {e}", axiom.name))
-                    })?;
-                }
-                AxiomBody::Distinct(lhs, rhs) => {
-                    let l = egraph.add_instantiation(lhs, &subst)?;
-                    let r = egraph.add_instantiation(rhs, &subst)?;
-                    egraph.assert_distinct(l, r).map_err(|e| {
-                        EGraphError::from_message(format!("axiom {}: {e}", axiom.name))
-                    })?;
-                }
-                AxiomBody::Clause(lits) => {
-                    let mut literals = Vec::with_capacity(lits.len());
-                    for (is_eq, lhs, rhs) in lits {
-                        let l = egraph.add_instantiation(lhs, &subst)?;
-                        let r = egraph.add_instantiation(rhs, &subst)?;
-                        literals.push(if *is_eq {
-                            EqLiteral::Eq(l, r)
-                        } else {
-                            EqLiteral::Ne(l, r)
-                        });
-                    }
-                    egraph.add_clause(literals);
-                }
-            }
-            report.instances += 1;
+        stats.instances = instances.len();
+        apply_instances(egraph, axioms, std::mem::take(&mut instances), &mut report)?;
+        if stats.instances > 0 {
             any_change = true;
         }
         egraph.rebuild()?;
+
+        report.scanned_candidates += stats.scanned;
+        report.skipped_candidates += stats.skipped;
+        stats.ms = round_start.elapsed().as_secs_f64() * 1e3;
+        report.rounds.push(stats);
         if trace {
             eprintln!(
-                "[saturate] round {}: {:?}, nodes={}, classes={}, instances={}",
+                "[saturate] round {}: {:?}, nodes={}, classes={}, instances={}, \
+                 candidates={}+{} skipped{}",
                 report.iterations,
                 round_start.elapsed(),
                 egraph.num_nodes(),
                 egraph.num_classes(),
-                report.instances
+                report.instances,
+                stats.scanned,
+                stats.skipped,
+                if full_round { " (full)" } else { "" },
             );
         }
 
+        // A truncated round may have discarded matches whose roots lie
+        // outside the next cone; rescan everything to pick them up.
+        full_next = truncated;
+
         if !any_change {
-            report.saturated = true;
-            break;
+            if limits.delta_match && !full_round {
+                // Full-fidelity verification: an idle delta round only
+                // counts as quiescence if a complete re-match (same
+                // round) agrees. If the cone ever missed something this
+                // applies it and keeps going instead of stopping early.
+                let verify_start = std::time::Instant::now();
+                let mut vstats = RoundStats {
+                    full: true,
+                    verification: true,
+                    ..RoundStats::default()
+                };
+                egraph.take_delta();
+                pending = Delta::default();
+                let (mut vinstances, vtruncated) = match_and_replay(
+                    egraph,
+                    axioms,
+                    &patterns,
+                    &body_vars,
+                    None,
+                    limits,
+                    threads,
+                    &mut applied,
+                    &mut vstats,
+                );
+                vstats.instances = vinstances.len();
+                apply_instances(egraph, axioms, std::mem::take(&mut vinstances), &mut report)?;
+                egraph.rebuild()?;
+                report.scanned_candidates += vstats.scanned;
+                report.skipped_candidates += vstats.skipped;
+                vstats.ms = verify_start.elapsed().as_secs_f64() * 1e3;
+                let idle = vstats.instances == 0;
+                report.rounds.push(vstats);
+                full_next = vtruncated;
+                if idle {
+                    report.saturated = true;
+                    break;
+                }
+            } else {
+                report.saturated = true;
+                break;
+            }
         }
         if egraph.num_nodes() >= limits.max_nodes {
             break;
@@ -357,6 +429,211 @@ fn saturate_phase(
     report.nodes = egraph.num_nodes();
     report.classes = egraph.num_classes();
     Ok(report)
+}
+
+/// One match pass plus the serial replay: e-matches every pattern
+/// (restricted to `cone` roots when given), then deduplicates and
+/// budgets the matches in axiom order. Returns the instances to apply
+/// and whether any budget truncated work (in which case discarded
+/// matches must be re-found by a full scan next round).
+#[allow(clippy::too_many_arguments)]
+fn match_and_replay(
+    egraph: &EGraph,
+    axioms: &[Axiom],
+    patterns: &[(usize, &Term)],
+    body_vars: &[Vec<Symbol>],
+    cone: Option<&HashSet<ClassId>>,
+    limits: &SaturationLimits,
+    threads: usize,
+    applied: &mut HashMap<usize, HashSet<Key>>,
+    stats: &mut RoundStats,
+) -> (Vec<(usize, Subst)>, bool) {
+    // Top-level candidates per pattern, delta-filtered. Filtering a
+    // sorted candidate list keeps relative order, so the match stream is
+    // a subsequence of the full pass's stream.
+    let mut cand_lists: Vec<Vec<ClassId>> = Vec::with_capacity(patterns.len());
+    for &(_, pattern) in patterns {
+        let all = candidates(egraph, pattern);
+        match cone {
+            None => {
+                stats.scanned += all.len();
+                cand_lists.push(all);
+            }
+            Some(cone) => {
+                let kept: Vec<ClassId> = all.iter().copied().filter(|c| cone.contains(c)).collect();
+                stats.scanned += kept.len();
+                stats.skipped += all.len() - kept.len();
+                cand_lists.push(kept);
+            }
+        }
+    }
+
+    // Collect matches for this round. The e-graph is frozen here, so the
+    // e-matching pass is a pure read-only fan-out: each candidate chunk
+    // of each (axiom, pattern) pair is matched concurrently (including
+    // body-variable/side-condition filtering and canonical-key
+    // computation, which only read the e-graph), and the results come
+    // back in work order — chunks never split a class, so concatenating
+    // them per pattern reproduces the unchunked stream. The stateful
+    // parts — the cross-round `applied` dedup, the per-round instance
+    // budget, and the structural queues — are then replayed serially in
+    // exactly the order the serial implementation uses, so the applied
+    // instance set is byte-identical at any thread count.
+    let work: Vec<(usize, std::ops::Range<usize>)> = cand_lists
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, list)| {
+            denali_par::chunk_ranges(list.len(), MATCH_CHUNK)
+                .into_iter()
+                .map(move |r| (pi, r))
+        })
+        .collect();
+    let frozen: &EGraph = egraph;
+    let chunk_results: Vec<Vec<(Subst, Key)>> =
+        denali_par::map_indexed(threads, &work, |_, (pi, range)| {
+            let (axiom_idx, pattern) = patterns[*pi];
+            let axiom = &axioms[axiom_idx];
+            let body_vars = &body_vars[axiom_idx];
+            let mut out = Vec::new();
+            for (_, subst) in ematch_classes(frozen, pattern, &cand_lists[*pi][range.clone()]) {
+                if !body_vars.iter().all(|&v| subst.contains(v)) {
+                    continue; // pattern does not bind every body variable
+                }
+                if let Some(cond) = &axiom.condition {
+                    let values: Option<Vec<u64>> = cond
+                        .vars
+                        .iter()
+                        .map(|&v| subst.get(v).and_then(|c| frozen.constant(c)))
+                        .collect();
+                    match values {
+                        Some(vs) if (cond.pred)(&vs) => {}
+                        _ => continue,
+                    }
+                }
+                // Bindings iterate in sorted variable order, so the key
+                // needs no sort.
+                let key: Key = subst.iter().map(|(v, c)| (v, frozen.find(c))).collect();
+                out.push((subst, key));
+            }
+            out
+        });
+    let mut per_pattern: Vec<Vec<(Subst, Key)>> = vec![Vec::new(); patterns.len()];
+    for ((pi, _), result) in work.into_iter().zip(chunk_results) {
+        per_pattern[pi].extend(result);
+    }
+
+    // Serial replay: budget accounting and deduplication in axiom
+    // order. Structural (associativity-style) instances are budgeted
+    // and shared fairly across axioms so they cannot starve each
+    // other or blow the e-graph up.
+    let mut truncated = false;
+    let mut instances: Vec<(usize, Subst)> = Vec::new();
+    let mut structural_queues: Vec<Vec<(usize, Subst)>> = Vec::new();
+    let mut results = per_pattern.into_iter();
+    'axioms: for (i, axiom) in axioms.iter().enumerate() {
+        let is_structural = axiom.priority == AxiomPriority::Structural;
+        let mut queue = Vec::new();
+        for _ in &axiom.patterns {
+            let pattern_matches = results.next().expect("one result per pattern");
+            if instances.len() >= limits.max_instances_per_round {
+                truncated = true;
+                break 'axioms;
+            }
+            for (subst, key) in pattern_matches {
+                if applied.get(&i).is_some_and(|keys| keys.contains(&key)) {
+                    continue;
+                }
+                if is_structural {
+                    queue.push((i, subst));
+                    // Deduplication happens when the instance is
+                    // actually taken from the queue below.
+                    continue;
+                }
+                applied.entry(i).or_default().insert(key);
+                instances.push((i, subst));
+                if instances.len() >= limits.max_instances_per_round {
+                    break;
+                }
+            }
+        }
+        if !queue.is_empty() {
+            structural_queues.push(queue);
+        }
+    }
+    // Round-robin the structural budget across axioms.
+    let mut budget = limits.max_structural_per_round;
+    let mut cursors = vec![0usize; structural_queues.len()];
+    while budget > 0 {
+        let mut advanced = false;
+        for (q, queue) in structural_queues.iter().enumerate() {
+            if budget == 0 {
+                break;
+            }
+            if let Some((i, subst)) = queue.get(cursors[q]) {
+                cursors[q] += 1;
+                advanced = true;
+                let key: Key = subst.iter().map(|(v, c)| (v, egraph.find(c))).collect();
+                if applied.entry(*i).or_default().insert(key) {
+                    instances.push((*i, subst.clone()));
+                    budget -= 1;
+                }
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+    if cursors
+        .iter()
+        .zip(&structural_queues)
+        .any(|(&c, q)| c < q.len())
+    {
+        truncated = true;
+    }
+    (instances, truncated)
+}
+
+/// Asserts a batch of axiom instances into the e-graph.
+fn apply_instances(
+    egraph: &mut EGraph,
+    axioms: &[Axiom],
+    instances: Vec<(usize, Subst)>,
+    report: &mut SaturationReport,
+) -> Result<(), EGraphError> {
+    for (i, subst) in instances {
+        let axiom = &axioms[i];
+        match &axiom.body {
+            AxiomBody::Equal(lhs, rhs) => {
+                let l = egraph.add_instantiation(lhs, &subst)?;
+                let r = egraph.add_instantiation(rhs, &subst)?;
+                egraph
+                    .union(l, r)
+                    .map_err(|e| EGraphError::from_message(format!("axiom {}: {e}", axiom.name)))?;
+            }
+            AxiomBody::Distinct(lhs, rhs) => {
+                let l = egraph.add_instantiation(lhs, &subst)?;
+                let r = egraph.add_instantiation(rhs, &subst)?;
+                egraph
+                    .assert_distinct(l, r)
+                    .map_err(|e| EGraphError::from_message(format!("axiom {}: {e}", axiom.name)))?;
+            }
+            AxiomBody::Clause(lits) => {
+                let mut literals = Vec::with_capacity(lits.len());
+                for (is_eq, lhs, rhs) in lits {
+                    let l = egraph.add_instantiation(lhs, &subst)?;
+                    let r = egraph.add_instantiation(rhs, &subst)?;
+                    literals.push(if *is_eq {
+                        EqLiteral::Eq(l, r)
+                    } else {
+                        EqLiteral::Ne(l, r)
+                    });
+                }
+                egraph.add_clause(literals);
+            }
+        }
+        report.instances += 1;
+    }
+    Ok(())
 }
 
 /// Helper used by the Figure 2 walkthrough in tests and examples: the
@@ -382,55 +659,68 @@ mod tests {
         Term::from_sexpr(&denali_term::sexpr::parse_one(s).unwrap(), &vars).unwrap()
     }
 
+    fn limits(delta: bool) -> SaturationLimits {
+        SaturationLimits {
+            delta_match: delta,
+            ..SaturationLimits::default()
+        }
+    }
+
     #[test]
     fn commutativity_doubles_the_class() {
-        let mut eg = EGraph::new();
-        let sum = eg.add_term(&pat("(add64 x y)", &[])).unwrap();
-        let comm = Axiom::equality(
-            "add64-comm",
-            &["a", "b"],
-            pat("(add64 a b)", &["a", "b"]),
-            pat("(add64 b a)", &["a", "b"]),
-        );
-        let report = saturate(&mut eg, &[comm], &SaturationLimits::default()).unwrap();
-        assert!(report.saturated);
-        assert!(report.instances >= 1);
-        assert_eq!(eg.nodes(sum).len(), 2);
+        for delta in [false, true] {
+            let mut eg = EGraph::new();
+            let sum = eg.add_term(&pat("(add64 x y)", &[])).unwrap();
+            let comm = Axiom::equality(
+                "add64-comm",
+                &["a", "b"],
+                pat("(add64 a b)", &["a", "b"]),
+                pat("(add64 b a)", &["a", "b"]),
+            );
+            let report = saturate(&mut eg, &[comm], &limits(delta)).unwrap();
+            assert!(report.saturated);
+            assert!(report.instances >= 1);
+            assert_eq!(eg.nodes(sum).len(), 2, "delta={delta}");
+        }
     }
 
     #[test]
     fn side_conditions_gate_instantiation() {
         // f(x, c) = x only when c is the constant zero.
-        let mut eg = EGraph::new();
-        let keep = eg.add_term(&pat("(f x 1)", &[])).unwrap();
-        let fold = eg.add_term(&pat("(f x 0)", &[])).unwrap();
-        let x = eg.add_term(&pat("x", &[])).unwrap();
-        let ax = Axiom::equality(
-            "f-zero",
-            &["a", "c"],
-            pat("(f a c)", &["a", "c"]),
-            pat("a", &["a"]),
-        )
-        .with_condition(&["c"], "c == 0", |vs| vs[0] == 0);
-        saturate(&mut eg, &[ax], &SaturationLimits::default()).unwrap();
-        assert_eq!(eg.find(fold), eg.find(x));
-        assert_ne!(eg.find(keep), eg.find(x));
+        for delta in [false, true] {
+            let mut eg = EGraph::new();
+            let keep = eg.add_term(&pat("(f x 1)", &[])).unwrap();
+            let fold = eg.add_term(&pat("(f x 0)", &[])).unwrap();
+            let x = eg.add_term(&pat("x", &[])).unwrap();
+            let ax = Axiom::equality(
+                "f-zero",
+                &["a", "c"],
+                pat("(f a c)", &["a", "c"]),
+                pat("a", &["a"]),
+            )
+            .with_condition(&["c"], "c == 0", |vs| vs[0] == 0);
+            saturate(&mut eg, &[ax], &limits(delta)).unwrap();
+            assert_eq!(eg.find(fold), eg.find(x));
+            assert_ne!(eg.find(keep), eg.find(x));
+        }
     }
 
     #[test]
     fn pow2_facts_enable_shift_discovery() {
-        let mut eg = EGraph::new();
-        let mul = eg.add_term(&pat("(mul64 reg6 4)", &[])).unwrap();
-        let shift_ax = Axiom::equality(
-            "mul64-pow2",
-            &["k", "n"],
-            pat("(mul64 k (pow 2 n))", &["k", "n"]),
-            pat("(shl64 k n)", &["k", "n"]),
-        )
-        .with_condition(&["n"], "n < 64", |vs| vs[0] < 64);
-        saturate(&mut eg, &[shift_ax], &SaturationLimits::default()).unwrap();
-        let ops = class_ops(&eg, mul);
-        assert!(ops.contains(&"shl64".to_owned()), "ops: {ops:?}");
+        for delta in [false, true] {
+            let mut eg = EGraph::new();
+            let mul = eg.add_term(&pat("(mul64 reg6 4)", &[])).unwrap();
+            let shift_ax = Axiom::equality(
+                "mul64-pow2",
+                &["k", "n"],
+                pat("(mul64 k (pow 2 n))", &["k", "n"]),
+                pat("(shl64 k n)", &["k", "n"]),
+            )
+            .with_condition(&["n"], "n < 64", |vs| vs[0] < 64);
+            saturate(&mut eg, &[shift_ax], &limits(delta)).unwrap();
+            let ops = class_ops(&eg, mul);
+            assert!(ops.contains(&"shl64".to_owned()), "ops: {ops:?}");
+        }
     }
 
     #[test]
@@ -464,18 +754,64 @@ mod tests {
     fn clause_axiom_reaches_unit_assertion() {
         // select(store(M, p, x), p+8): the select-store axiom's clause
         // must fire and equate with select(M, p+8).
+        for delta in [false, true] {
+            let mut eg = EGraph::new();
+            let loaded = eg
+                .add_term(&pat("(select (store M p x) (add64 p 8))", &[]))
+                .unwrap();
+            let direct = eg.add_term(&pat("(select M (add64 p 8))", &[])).unwrap();
+            assert_ne!(eg.find(loaded), eg.find(direct));
+            saturate(&mut eg, &crate::builtin::math_axioms(), &limits(delta)).unwrap();
+            assert_eq!(eg.find(loaded), eg.find(direct));
+        }
+    }
+
+    #[test]
+    fn delta_rounds_skip_quiescent_candidates() {
+        // After the first full scan, every later non-verification round
+        // must restrict its top-level scan (skipped > 0 once the graph
+        // has quiescent regions), while the sum scanned+skipped per
+        // round accounts for every candidate a full pass would touch.
         let mut eg = EGraph::new();
-        let loaded = eg
-            .add_term(&pat("(select (store M p x) (add64 p 8))", &[]))
+        eg.add_term(&pat("(mul64 (add64 a (add64 b c)) 4)", &[]))
             .unwrap();
-        let direct = eg.add_term(&pat("(select M (add64 p 8))", &[])).unwrap();
-        assert_ne!(eg.find(loaded), eg.find(direct));
-        saturate(
-            &mut eg,
-            &crate::builtin::math_axioms(),
-            &SaturationLimits::default(),
-        )
-        .unwrap();
-        assert_eq!(eg.find(loaded), eg.find(direct));
+        let report = saturate(&mut eg, &crate::builtin::math_axioms(), &limits(true)).unwrap();
+        assert!(report.saturated);
+        assert!(report.rounds.len() >= 3, "rounds: {:?}", report.rounds);
+        assert!(report.rounds[0].full && report.rounds[0].skipped == 0);
+        let delta_rounds: Vec<&RoundStats> = report.rounds.iter().filter(|r| !r.full).collect();
+        assert!(!delta_rounds.is_empty());
+        // Early rounds may legitimately dirty the whole (small) graph;
+        // what matters is that quiescent regions eventually drop out of
+        // the scan.
+        assert!(
+            delta_rounds.iter().any(|r| r.skipped > 0),
+            "delta rounds must skip quiescent candidates: {:?}",
+            report.rounds
+        );
+        // The run ends with a verification pass that found nothing.
+        let last = report.rounds.last().unwrap();
+        assert!(last.verification && last.instances == 0);
+        assert!(report.skipped_candidates > 0);
+    }
+
+    #[test]
+    fn delta_and_full_agree_on_reports() {
+        // Beyond e-graph equality (covered by the differential test),
+        // the *reports* must agree on everything except scan telemetry.
+        let build = |delta: bool| {
+            let mut eg = EGraph::new();
+            eg.add_term(&pat("(add64 (mul64 reg6 4) (add64 b c))", &[]))
+                .unwrap();
+            let report = saturate(&mut eg, &crate::builtin::math_axioms(), &limits(delta)).unwrap();
+            (report, eg.num_nodes(), eg.num_classes())
+        };
+        let (full, fnodes, fclasses) = build(false);
+        let (delta, dnodes, dclasses) = build(true);
+        assert_eq!((fnodes, fclasses), (dnodes, dclasses));
+        assert_eq!(full.iterations, delta.iterations);
+        assert_eq!(full.instances, delta.instances);
+        assert_eq!(full.saturated, delta.saturated);
+        assert!(delta.scanned_candidates < full.scanned_candidates);
     }
 }

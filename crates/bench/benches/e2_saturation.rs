@@ -1,0 +1,49 @@
+//! E2b: full versus delta-driven saturation on the AC workhorse
+//! (a+b+c+d+e) — the round structure is identical, but delta rounds
+//! restrict the top-level candidate scan to the dirty cone.
+
+use denali_axioms::{math_axioms, saturate, SaturationLimits};
+use denali_bench::harness::Criterion;
+use denali_egraph::EGraph;
+use denali_term::{sexpr, Term};
+use std::hint::black_box;
+
+fn goal_term() -> Term {
+    Term::from_sexpr(
+        &sexpr::parse_one("(add64 a (add64 b (add64 c (add64 d e))))").unwrap(),
+        &[],
+    )
+    .unwrap()
+}
+
+fn limits(delta: bool) -> SaturationLimits {
+    SaturationLimits {
+        max_iterations: 24,
+        delta_match: delta,
+        ..SaturationLimits::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let axioms = math_axioms();
+    let term = goal_term();
+    for delta in [false, true] {
+        let name = if delta {
+            "e2/saturation_delta"
+        } else {
+            "e2/saturation_full"
+        };
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let mut eg = EGraph::new();
+                eg.add_term(&term).unwrap();
+                let report = saturate(&mut eg, &axioms, &limits(delta)).unwrap();
+                black_box(report.instances)
+            })
+        });
+    }
+}
+
+fn main() {
+    bench(&mut Criterion::new());
+}

@@ -288,6 +288,10 @@ impl Denali {
         let matched = telemetry
             .time("match", || match_gma(&gma, axioms, &saturation))
             .map_err(stage_err("match"))?;
+        // Delta-matching effectiveness: top-level e-match candidates
+        // actually scanned vs. excluded by the dirty-cone filter.
+        telemetry.count("match.scanned", matched.report.scanned_candidates as u64);
+        telemetry.count("match.skipped", matched.report.skipped_candidates as u64);
 
         let inputs = gma.inputs();
         let candidates = telemetry

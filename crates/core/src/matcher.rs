@@ -159,4 +159,55 @@ mod tests {
             .collect();
         assert!(ops.contains(&"cmpult".to_owned()), "{ops:?}");
     }
+
+    #[test]
+    fn delta_and_full_matching_build_identical_egraphs() {
+        let gma = gma_of("(procdecl f ((reg6 long)) long (:= (res (+ (* reg6 4) 1))))");
+        let run = |delta: bool| {
+            match_gma(
+                &gma,
+                &denali_axioms::standard_axioms(),
+                &SaturationLimits {
+                    delta_match: delta,
+                    ..SaturationLimits::default()
+                },
+            )
+            .unwrap()
+        };
+        let full = run(false);
+        let delta = run(true);
+        // Identical instance sequence ⇒ identical class-id assignment;
+        // the Debug rendering of every class pins both.
+        let snapshot = |m: &Matched| {
+            let mut lines: Vec<String> = m
+                .egraph
+                .classes()
+                .iter()
+                .map(|&c| format!("{c:?} -> {:?}", m.egraph.nodes(c)))
+                .collect();
+            lines.sort();
+            lines
+        };
+        assert_eq!(snapshot(&full), snapshot(&delta));
+        assert_eq!(full.assigns, delta.assigns);
+        assert_eq!(full.report.iterations, delta.report.iterations);
+        assert_eq!(full.report.instances, delta.report.instances);
+        // The delta run skipped quiescent candidates; the full run, by
+        // definition, skipped none. (Totals are not comparable: the
+        // closing verification pass re-scans everything once.)
+        assert_eq!(full.report.skipped_candidates, 0);
+        assert!(delta.report.skipped_candidates > 0);
+        let delta_rounds: Vec<_> = delta
+            .report
+            .rounds
+            .iter()
+            .filter(|r| !r.full && !r.verification)
+            .collect();
+        // At least one post-first-scan round scanned strictly fewer
+        // top-level candidates than the full universe it was filtered
+        // from (early rounds may legitimately dirty every class while
+        // the graph is still small).
+        assert!(!delta_rounds.is_empty());
+        assert!(delta_rounds.iter().any(|r| r.skipped > 0));
+    }
 }

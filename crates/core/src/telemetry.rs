@@ -17,12 +17,24 @@ pub struct Phase {
     pub ms: f64,
 }
 
+/// One named monotone counter (e.g. candidates scanned).
+#[derive(Clone, Debug)]
+pub struct Counter {
+    /// Counter name (e.g. `"match.scanned"`).
+    pub name: &'static str,
+    /// Accumulated value.
+    pub value: u64,
+}
+
 /// An ordered log of phase timings for one compilation.
 #[derive(Clone, Debug, Default)]
 pub struct Telemetry {
     /// Phases in execution order. A name may repeat (e.g. one entry
     /// per saturation round); [`Telemetry::ms`] sums repeats.
     pub phases: Vec<Phase>,
+    /// Named event counters, in first-use order (e.g. top-level
+    /// e-match candidates scanned vs. skipped by delta matching).
+    pub counters: Vec<Counter>,
 }
 
 impl Telemetry {
@@ -57,6 +69,22 @@ impl Telemetry {
     pub fn total_ms(&self) -> f64 {
         self.phases.iter().map(|p| p.ms).sum()
     }
+
+    /// Adds `n` to the counter `name` (creating it at zero first).
+    pub fn count(&mut self, name: &'static str, n: u64) {
+        match self.counters.iter_mut().find(|c| c.name == name) {
+            Some(c) => c.value += n,
+            None => self.counters.push(Counter { name, value: n }),
+        }
+    }
+
+    /// Current value of counter `name` (0 if never counted).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    }
 }
 
 impl fmt::Display for Telemetry {
@@ -71,6 +99,9 @@ impl fmt::Display for Telemetry {
         }
         if first {
             f.write_str("(no phases)")?;
+        }
+        for counter in &self.counters {
+            write!(f, ", {} {}", counter.name, counter.value)?;
         }
         Ok(())
     }
@@ -108,5 +139,22 @@ mod tests {
         t.record("match", 12.34);
         t.record("search", 5.0);
         assert_eq!(t.to_string(), "match 12.3 ms, search 5.0 ms");
+    }
+
+    #[test]
+    fn counters_accumulate_by_name() {
+        let mut t = Telemetry::new();
+        assert_eq!(t.counter("match.scanned"), 0);
+        t.count("match.scanned", 10);
+        t.count("match.skipped", 3);
+        t.count("match.scanned", 5);
+        assert_eq!(t.counter("match.scanned"), 15);
+        assert_eq!(t.counter("match.skipped"), 3);
+        assert_eq!(t.counters.len(), 2, "repeat names accumulate in place");
+        t.record("match", 1.0);
+        assert_eq!(
+            t.to_string(),
+            "match 1.0 ms, match.scanned 15, match.skipped 3"
+        );
     }
 }

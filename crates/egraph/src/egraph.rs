@@ -6,6 +6,8 @@ use std::fmt;
 
 use denali_term::{ops, Op, Symbol, Term};
 
+use crate::ematch::Subst;
+
 /// Identifier of an equivalence class.
 ///
 /// Class ids are stable names for e-nodes' classes; after unions several
@@ -103,6 +105,35 @@ struct EClass {
     constant: Option<u64>,
 }
 
+/// The changes recorded since the last [`EGraph::take_delta`]: which
+/// classes were touched (created, merged, given new nodes, or folded to
+/// a constant) and which constant values first appeared.
+///
+/// The class list may contain stale (merged-away) ids and duplicates;
+/// consumers canonicalize through [`EGraph::find`] — usually via
+/// [`EGraph::dirty_cone`], which also propagates dirtiness upward
+/// through the parent index.
+#[derive(Clone, Default, Debug)]
+pub struct Delta {
+    /// Ids of classes touched since the last drain (possibly stale).
+    pub classes: Vec<ClassId>,
+    /// Constant values that were first registered since the last drain.
+    pub constants: Vec<u64>,
+}
+
+impl Delta {
+    /// True if nothing was journaled.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty() && self.constants.is_empty()
+    }
+
+    /// Folds another delta into this one (preserving event order).
+    pub fn absorb(&mut self, other: Delta) {
+        self.classes.extend(other.classes);
+        self.constants.extend(other.constants);
+    }
+}
+
 /// The E-graph. See the [crate docs](crate) for an overview and example.
 #[derive(Clone, Default, Debug)]
 pub struct EGraph {
@@ -122,6 +153,13 @@ pub struct EGraph {
     /// Operator index: symbol → classes that (at insertion time) held a
     /// node with that head. Entries may be stale; readers canonicalize.
     op_index: HashMap<Symbol, Vec<ClassId>>,
+    /// Monotone mutation counter: bumped on every journaled change, so
+    /// readers can cheaply detect "something happened since I looked".
+    generation: u64,
+    /// Change journal since the last [`EGraph::take_delta`] (always on;
+    /// the cost is one `Vec` push per mutation, proportional to work
+    /// already being done).
+    journal: Delta,
 }
 
 // The matcher freezes the e-graph and e-matches axioms against it from
@@ -147,6 +185,26 @@ impl EGraph {
     /// Number of live equivalence classes.
     pub fn num_classes(&self) -> usize {
         self.classes.len()
+    }
+
+    /// The mutation generation: a monotone counter bumped on every
+    /// journaled change (class created, classes merged, constant
+    /// folded). Equal generations imply the e-graph has not changed.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Drains and returns the change journal: every class touched and
+    /// every constant value first registered since the previous drain
+    /// (or since creation, for the first call). Pair with
+    /// [`EGraph::dirty_cone`] to seed delta-driven e-matching.
+    pub fn take_delta(&mut self) -> Delta {
+        std::mem::take(&mut self.journal)
+    }
+
+    fn journal_class(&mut self, id: ClassId) {
+        self.generation += 1;
+        self.journal.classes.push(id);
     }
 
     /// Canonical representative of `id`'s class.
@@ -209,11 +267,13 @@ impl EGraph {
         }
         self.memo.insert(node, id);
         self.node_count += 1;
+        self.journal_class(id);
         // Register / fold constants.
         if let Some(value) = constant {
             match self.constants.get(&value) {
                 None => {
                     self.constants.insert(value, id);
+                    self.journal.constants.push(value);
                     // Make sure the literal constant node itself exists so
                     // the class always contains `Const(value)`.
                     if op != Op::Const(value) {
@@ -279,12 +339,12 @@ impl EGraph {
     pub fn add_instantiation(
         &mut self,
         pattern: &Term,
-        subst: &HashMap<Symbol, ClassId>,
+        subst: &Subst,
     ) -> Result<ClassId, EGraphError> {
         match pattern.op() {
             Op::Var(v) => subst
-                .get(&v)
-                .map(|&c| self.find(c))
+                .get(v)
+                .map(|c| self.find(c))
                 .ok_or_else(|| EGraphError::new(format!("unbound pattern variable ?{v}"))),
             op => {
                 let children = pattern
@@ -350,7 +410,10 @@ impl EGraph {
         };
         self.classes.get_mut(&root).expect("live class").constant = new_const;
         if let Some(v) = new_const {
-            self.constants.entry(v).or_insert(root);
+            if let std::collections::hash_map::Entry::Vacant(e) = self.constants.entry(v) {
+                e.insert(root);
+                self.journal.constants.push(v);
+            }
         }
         // Re-point uncombinable pairs involving `other` at `root`.
         let stale: Vec<(ClassId, ClassId)> = self
@@ -367,6 +430,7 @@ impl EGraph {
             self.uncombinable.insert(ordered(x, y));
         }
         self.dirty.push(root);
+        self.journal_class(root);
         Ok(root)
     }
 
@@ -488,13 +552,19 @@ impl EGraph {
                     };
                     std::mem::take(&mut class.parents)
                 };
-                let mut new_parents: HashMap<ENode, ClassId> = HashMap::new();
+                // `new_parents` must preserve first-seen order: it is
+                // written back to `class.parents`, whose order decides
+                // the union order on the *next* repair of this class.
+                // A plain HashMap here leaks hash-seed nondeterminism
+                // into node-list order.
+                let mut new_parents: Vec<(ENode, ClassId)> = Vec::new();
+                let mut parent_index: HashMap<ENode, usize> = HashMap::new();
                 for (node, node_class) in parents {
                     self.memo.remove(&node);
                     let canon = self.canonicalize(&node);
                     let node_class = self.find(node_class);
-                    if let Some(&existing) = new_parents.get(&canon) {
-                        self.union(existing, node_class)?;
+                    if let Some(&i) = parent_index.get(&canon) {
+                        self.union(new_parents[i].1, node_class)?;
                     }
                     let node_class = self.find(node_class);
                     if let Some(&memo_class) = self.memo.get(&canon) {
@@ -505,7 +575,13 @@ impl EGraph {
                     }
                     let node_class = self.find(node_class);
                     self.memo.insert(canon.clone(), node_class);
-                    new_parents.insert(canon, node_class);
+                    match parent_index.get(&canon) {
+                        Some(&i) => new_parents[i].1 = node_class,
+                        None => {
+                            parent_index.insert(canon.clone(), new_parents.len());
+                            new_parents.push((canon, node_class));
+                        }
+                    }
                     // Constant propagation: the child's merge may have
                     // given this parent a constant value.
                     self.try_fold_parent(dirty, node_class)?;
@@ -557,6 +633,10 @@ impl EGraph {
                     .get_mut(&parent_class)
                     .expect("live class")
                     .constant = Some(value);
+                // The class now matches constant patterns it did not
+                // match before — journal it even though the union below
+                // usually covers it.
+                self.journal_class(parent_class);
                 let lit = self.add_node(Op::Const(value), Vec::new());
                 let lit = self.find(lit);
                 let parent_class = self.find(parent_class);
@@ -648,6 +728,55 @@ impl EGraph {
         let mut ids: Vec<ClassId> = self.classes.keys().copied().collect();
         ids.sort();
         ids
+    }
+
+    /// The canonical classes holding a node that uses `id` as a child
+    /// (the parent/uses index), sorted and deduplicated. Parent entries
+    /// survive merges — a class absorbed by a union hands its parent
+    /// list to the surviving root — so the index is complete for every
+    /// node ever inserted.
+    pub fn parent_classes(&self, id: ClassId) -> Vec<ClassId> {
+        let id = self.find(id);
+        let Some(class) = self.classes.get(&id) else {
+            return Vec::new();
+        };
+        let mut out: Vec<ClassId> = class.parents.iter().map(|&(_, pc)| self.find(pc)).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The set of canonical classes within `depth` parent (uses) edges
+    /// of any seed class, seeds included.
+    ///
+    /// This is the dirty set for delta-driven e-matching: if a class
+    /// `x` changed, every pattern match that could newly succeed (or
+    /// whose canonical substitution could have changed) has `x`
+    /// somewhere in its match tree, so the match's *root* class lies at
+    /// most `pattern depth` parent steps above `x`. Seeds may be stale
+    /// ids; they are canonicalized here.
+    pub fn dirty_cone(&self, seeds: &[ClassId], depth: usize) -> HashSet<ClassId> {
+        let mut cone: HashSet<ClassId> = seeds.iter().map(|&c| self.find(c)).collect();
+        let mut frontier: Vec<ClassId> = cone.iter().copied().collect();
+        for _ in 0..depth {
+            let mut next = Vec::new();
+            for &c in &frontier {
+                let Some(class) = self.classes.get(&c) else {
+                    continue;
+                };
+                for &(_, pc) in &class.parents {
+                    let pc = self.find(pc);
+                    if cone.insert(pc) {
+                        next.push(pc);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        cone
     }
 
     /// The canonicalized, deduplicated e-nodes of a class.
@@ -895,7 +1024,7 @@ mod tests {
         let reg6 = eg.add_term(&t("reg6")).unwrap();
         let one = eg.add_term(&Term::constant(1)).unwrap();
         let pattern = Term::call("s4addq", vec![Term::var("k"), Term::var("n")]);
-        let mut subst = HashMap::new();
+        let mut subst = Subst::new();
         subst.insert(Symbol::intern("k"), reg6);
         subst.insert(Symbol::intern("n"), one);
         let c = eg.add_instantiation(&pattern, &subst).unwrap();
@@ -933,5 +1062,109 @@ mod tests {
             .collect();
         assert!(mul_ops.contains(&"mul64".to_owned()));
         assert!(mul_ops.contains(&"shl64".to_owned()));
+    }
+
+    #[test]
+    fn journal_records_new_classes_and_constants() {
+        let mut eg = EGraph::new();
+        let g0 = eg.generation();
+        let sum = eg.add_term(&t("(add64 x 4)")).unwrap();
+        assert!(eg.generation() > g0, "adding terms bumps the generation");
+        let delta = eg.take_delta();
+        // Every created class is journaled: x, 4, add64(x, 4).
+        let touched: HashSet<ClassId> = delta.classes.iter().map(|&c| eg.find(c)).collect();
+        for id in [sum, eg.lookup_term(&t("x")).unwrap()] {
+            assert!(touched.contains(&eg.find(id)), "missing {id:?}");
+        }
+        assert_eq!(delta.constants, vec![4], "new constant values journaled");
+        // Draining resets the journal; no-op lookups journal nothing.
+        let g1 = eg.generation();
+        eg.add_term(&t("(add64 x 4)")).unwrap(); // hashcons hit
+        assert_eq!(eg.generation(), g1);
+        assert!(eg.take_delta().is_empty());
+    }
+
+    #[test]
+    fn journal_records_unions() {
+        let mut eg = EGraph::new();
+        let x = eg.add_term(&t("x")).unwrap();
+        let y = eg.add_term(&t("y")).unwrap();
+        eg.take_delta();
+        let g0 = eg.generation();
+        eg.union(x, y).unwrap();
+        eg.rebuild().unwrap();
+        assert!(eg.generation() > g0);
+        let delta = eg.take_delta();
+        let touched: HashSet<ClassId> = delta.classes.iter().map(|&c| eg.find(c)).collect();
+        assert!(touched.contains(&eg.find(x)), "merged class journaled");
+    }
+
+    #[test]
+    fn journal_records_congruence_merges() {
+        // x = y merges f(x)/f(y) by congruence; the parent class must be
+        // journaled even though union() was never called on it directly.
+        let mut eg = EGraph::new();
+        let fx = eg.add_term(&t("(f x)")).unwrap();
+        let fy = eg.add_term(&t("(f y)")).unwrap();
+        let x = eg.lookup_term(&t("x")).unwrap();
+        let y = eg.lookup_term(&t("y")).unwrap();
+        eg.take_delta();
+        eg.union(x, y).unwrap();
+        eg.rebuild().unwrap();
+        let delta = eg.take_delta();
+        let touched: HashSet<ClassId> = delta.classes.iter().map(|&c| eg.find(c)).collect();
+        assert!(touched.contains(&eg.find(fx)));
+        assert!(touched.contains(&eg.find(fy)));
+    }
+
+    #[test]
+    fn journal_records_constant_folds() {
+        // n = 2 folds add64(n, 1) to 3: the folded class and the new
+        // constant value must both land in the journal, or a delta
+        // matcher would miss matches the fold enables.
+        let mut eg = EGraph::new();
+        let sum = eg.add_term(&t("(add64 n 1)")).unwrap();
+        let n = eg.lookup_term(&t("n")).unwrap();
+        let two = eg.add_term(&Term::constant(2)).unwrap();
+        eg.take_delta();
+        eg.union(n, two).unwrap();
+        eg.rebuild().unwrap();
+        assert_eq!(eg.constant(sum), Some(3));
+        let delta = eg.take_delta();
+        let touched: HashSet<ClassId> = delta.classes.iter().map(|&c| eg.find(c)).collect();
+        assert!(touched.contains(&eg.find(sum)), "folded class journaled");
+        assert!(delta.constants.contains(&3), "folded value journaled");
+    }
+
+    #[test]
+    fn dirty_cone_walks_parents_to_bounded_depth() {
+        let mut eg = EGraph::new();
+        let gfx = eg.add_term(&t("(g (f x))")).unwrap();
+        let fx = eg.lookup_term(&t("(f x)")).unwrap();
+        let x = eg.lookup_term(&t("x")).unwrap();
+        eg.rebuild().unwrap();
+        let cone0 = eg.dirty_cone(&[x], 0);
+        assert_eq!(cone0, [eg.find(x)].into_iter().collect());
+        let cone1 = eg.dirty_cone(&[x], 1);
+        assert!(cone1.contains(&eg.find(fx)) && !cone1.contains(&eg.find(gfx)));
+        let cone2 = eg.dirty_cone(&[x], 2);
+        for id in [x, fx, gfx] {
+            assert!(cone2.contains(&eg.find(id)));
+        }
+    }
+
+    #[test]
+    fn dirty_cone_follows_merged_parent_edges() {
+        // After f(x)'s class merges with m's, parents recorded against
+        // either pre-merge class must still pull h(m) into x's cone.
+        let mut eg = EGraph::new();
+        let fx = eg.add_term(&t("(f x)")).unwrap();
+        let hm = eg.add_term(&t("(h m)")).unwrap();
+        let m = eg.lookup_term(&t("m")).unwrap();
+        let x = eg.lookup_term(&t("x")).unwrap();
+        eg.union(fx, m).unwrap();
+        eg.rebuild().unwrap();
+        let cone = eg.dirty_cone(&[x], 2);
+        assert!(cone.contains(&eg.find(hm)), "cone: {cone:?}");
     }
 }

@@ -6,40 +6,150 @@
 //! labelled 4 is not of the form `2**n`, but an E-graph matcher will
 //! search the equivalence class and find the node `2**2` and the match
 //! will succeed."
+//!
+//! Two entry points: [`ematch`] scans every top-level candidate class,
+//! while [`ematch_delta`] restricts the top-level scan to a caller-
+//! supplied dirty set (typically [`EGraph::dirty_cone`] over the change
+//! journal) but still searches full equivalence classes below the root —
+//! the workhorse of delta-driven saturation.
 
-use std::collections::HashMap;
+use std::collections::HashSet;
 
 use denali_term::{Op, Symbol, Term};
 
 use crate::egraph::{ClassId, EGraph};
 
 /// A substitution from pattern variables to equivalence classes.
-pub type Subst = HashMap<Symbol, ClassId>;
+///
+/// Stored as a small vector sorted by variable: axiom patterns bind a
+/// handful of variables, so binary search beats hashing, cloning is a
+/// single memcpy, and iteration is already in canonical (sorted
+/// variable) order — which is exactly the order dedup keys need.
+#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Subst {
+    bindings: Vec<(Symbol, ClassId)>,
+}
+
+impl Subst {
+    /// Creates an empty substitution.
+    pub fn new() -> Subst {
+        Subst::default()
+    }
+
+    /// The class bound to `var`, if any.
+    pub fn get(&self, var: Symbol) -> Option<ClassId> {
+        self.bindings
+            .binary_search_by_key(&var, |&(v, _)| v)
+            .ok()
+            .map(|i| self.bindings[i].1)
+    }
+
+    /// True if `var` is bound.
+    pub fn contains(&self, var: Symbol) -> bool {
+        self.get(var).is_some()
+    }
+
+    /// Binds `var` to `class` (overwriting any existing binding).
+    pub fn insert(&mut self, var: Symbol, class: ClassId) {
+        match self.bindings.binary_search_by_key(&var, |&(v, _)| v) {
+            Ok(i) => self.bindings[i].1 = class,
+            Err(i) => self.bindings.insert(i, (var, class)),
+        }
+    }
+
+    /// The bindings in sorted variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, ClassId)> + '_ {
+        self.bindings.iter().copied()
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// True if no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+}
+
+/// Nesting depth of a pattern: `0` for a leaf, `1 +` the deepest
+/// argument otherwise. A match for a pattern of depth `d` only explores
+/// classes reachable within `d` child edges of the root class, so `d`
+/// bounds how far dirtiness must propagate upward for delta matching.
+pub fn pattern_depth(pattern: &Term) -> usize {
+    pattern
+        .args()
+        .iter()
+        .map(|a| 1 + pattern_depth(a))
+        .max()
+        .unwrap_or(0)
+}
+
+/// The top-level candidate classes for `pattern`, in sorted order.
+///
+/// Patterns headed by a symbol with arguments can only match classes
+/// containing a node with that symbol (the operator index); other
+/// patterns (variables, constants, leaf symbols) may match any class.
+pub fn candidates(egraph: &EGraph, pattern: &Term) -> Vec<ClassId> {
+    match pattern.op() {
+        Op::Sym(sym) if !pattern.args().is_empty() => egraph.classes_with_op(sym),
+        _ => egraph.classes(),
+    }
+}
 
 /// Matches `pattern` anywhere in the e-graph.
 ///
 /// Returns `(class, substitution)` pairs: the class the pattern's root
 /// matched, and the variable bindings. Results are canonicalized and
-/// deduplicated.
+/// deduplicated, in candidate (sorted class) order.
 ///
 /// Patterns are [`Term`]s whose [`Op::Var`] leaves are the quantified
 /// variables. Constant leaves match any class whose known constant value
 /// equals the literal (so a pattern `4` matches a class containing
 /// `pow(2, 2)` even if the literal `4` node was added separately).
 pub fn ematch(egraph: &EGraph, pattern: &Term) -> Vec<(ClassId, Subst)> {
+    ematch_classes(egraph, pattern, &candidates(egraph, pattern))
+}
+
+/// Seeded e-matching: like [`ematch`], but the top-level candidate scan
+/// is restricted to classes in `dirty`. Equivalence classes *below* the
+/// root are still searched in full, so a match whose root is dirty is
+/// found even when its subterms are old.
+///
+/// With `dirty` = a [`EGraph::dirty_cone`] of every class changed since
+/// the previous scan (cone depth ≥ the pattern's depth), the matches
+/// returned are a superset of the matches [`ematch`] would return that
+/// did not already exist — with identical substitutions and identical
+/// relative order — which is what lets saturation skip quiescent regions
+/// of the e-graph without changing its result.
+pub fn ematch_delta(
+    egraph: &EGraph,
+    pattern: &Term,
+    dirty: &HashSet<ClassId>,
+) -> Vec<(ClassId, Subst)> {
+    let restricted: Vec<ClassId> = candidates(egraph, pattern)
+        .into_iter()
+        .filter(|c| dirty.contains(c))
+        .collect();
+    ematch_classes(egraph, pattern, &restricted)
+}
+
+/// Matches `pattern` with its root in each of `classes`, in the given
+/// order. Callers pass canonical, deduplicated ids (e.g. a slice of
+/// [`candidates`]); results are deduplicated per class.
+pub fn ematch_classes(
+    egraph: &EGraph,
+    pattern: &Term,
+    classes: &[ClassId],
+) -> Vec<(ClassId, Subst)> {
     let mut out = Vec::new();
-    // Patterns headed by a symbol can only match classes containing a
-    // node with that symbol; use the operator index to skip the rest.
-    let candidates = match pattern.op() {
-        Op::Sym(sym) if !pattern.args().is_empty() => egraph.classes_with_op(sym),
-        _ => egraph.classes(),
-    };
-    for class in candidates {
-        for subst in ematch_in_class(egraph, pattern, class) {
-            out.push((class, subst));
-        }
+    for &class in classes {
+        let mut substs = ematch_in_class(egraph, pattern, class);
+        dedup_keep_order(&mut substs);
+        out.extend(substs.into_iter().map(|s| (class, s)));
     }
-    dedup(out)
+    out
 }
 
 /// Matches `pattern` against the members of one equivalence class.
@@ -63,8 +173,8 @@ fn match_class(
     out: &mut Vec<Subst>,
 ) {
     match pattern.op() {
-        Op::Var(v) => match subst.get(&v) {
-            Some(&bound) => {
+        Op::Var(v) => match subst.get(v) {
+            Some(bound) => {
                 if egraph.find(bound) == class {
                     out.push(subst);
                 }
@@ -106,18 +216,19 @@ fn match_class(
     }
 }
 
-fn dedup(matches: Vec<(ClassId, Subst)>) -> Vec<(ClassId, Subst)> {
-    let mut seen: std::collections::HashSet<(ClassId, Vec<(Symbol, ClassId)>)> =
-        std::collections::HashSet::new();
-    let mut out = Vec::new();
-    for (class, subst) in matches {
-        let mut key: Vec<(Symbol, ClassId)> = subst.iter().map(|(&v, &c)| (v, c)).collect();
-        key.sort();
-        if seen.insert((class, key)) {
-            out.push((class, subst));
+/// Removes duplicate substitutions, keeping first occurrences. Bindings
+/// are already sorted by variable, so plain equality is the dedup key —
+/// no re-sorting needed. Lists are tiny (matches within one class), so
+/// the quadratic scan beats hashing.
+fn dedup_keep_order(substs: &mut Vec<Subst>) {
+    let mut i = 1;
+    while i < substs.len() {
+        if substs[..i].contains(&substs[i]) {
+            substs.remove(i);
+        } else {
+            i += 1;
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -148,8 +259,8 @@ mod tests {
         let subst = &matches[0].1;
         let x = eg.lookup_term(&t("x", &[])).unwrap();
         let y = eg.lookup_term(&t("y", &[])).unwrap();
-        assert_eq!(subst[&Symbol::intern("a")], x);
-        assert_eq!(subst[&Symbol::intern("b")], y);
+        assert_eq!(subst.get(Symbol::intern("a")), Some(x));
+        assert_eq!(subst.get(Symbol::intern("b")), Some(y));
     }
 
     #[test]
@@ -182,8 +293,14 @@ mod tests {
         assert_eq!(eg.find(*class), eg.find(mul));
         let reg6 = eg.lookup_term(&t("reg6", &[])).unwrap();
         let two = eg.lookup_term(&Term::constant(2)).unwrap();
-        assert_eq!(eg.find(subst[&Symbol::intern("k")]), eg.find(reg6));
-        assert_eq!(eg.find(subst[&Symbol::intern("n")]), eg.find(two));
+        assert_eq!(
+            eg.find(subst.get(Symbol::intern("k")).unwrap()),
+            eg.find(reg6)
+        );
+        assert_eq!(
+            eg.find(subst.get(Symbol::intern("n")).unwrap()),
+            eg.find(two)
+        );
     }
 
     #[test]
@@ -223,5 +340,65 @@ mod tests {
         eg.add_term(&t("(f x)", &[])).unwrap();
         let matches = ematch(&eg, &t("(f a)", &["a"]));
         assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn deduplicates_matches_reached_through_different_nodes() {
+        // Class of f(x)/f(y) with x = y: pattern (g (f ?a)) reaches the
+        // binding a -> x through both (pre-canonicalization) nodes; one
+        // substitution must survive.
+        let mut eg = EGraph::new();
+        eg.add_term(&t("(g (f x))", &[])).unwrap();
+        eg.add_term(&t("(g (f y))", &[])).unwrap();
+        let x = eg.lookup_term(&t("x", &[])).unwrap();
+        let y = eg.lookup_term(&t("y", &[])).unwrap();
+        eg.union(x, y).unwrap();
+        eg.rebuild().unwrap();
+        let matches = ematch(&eg, &t("(g (f a))", &["a"]));
+        assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn subst_is_sorted_and_overwrites() {
+        let mut s = Subst::new();
+        let (a, b) = (Symbol::intern("a"), Symbol::intern("b"));
+        let mut eg = EGraph::new();
+        let x = eg.add_term(&t("x", &[])).unwrap();
+        let y = eg.add_term(&t("y", &[])).unwrap();
+        s.insert(b, x);
+        s.insert(a, y);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(a) && s.contains(b));
+        let order: Vec<Symbol> = s.iter().map(|(v, _)| v).collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(order, sorted, "bindings iterate in sorted variable order");
+        s.insert(b, y);
+        assert_eq!(s.get(b), Some(y));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn pattern_depth_counts_nesting() {
+        assert_eq!(pattern_depth(&t("x", &[])), 0);
+        assert_eq!(pattern_depth(&t("(f a)", &["a"])), 1);
+        assert_eq!(pattern_depth(&t("(mul64 k (pow 2 n))", &["k", "n"])), 2);
+    }
+
+    #[test]
+    fn delta_matching_restricts_roots_but_searches_below() {
+        let mut eg = EGraph::new();
+        let mul = eg.add_term(&t("(mul64 reg6 4)", &[])).unwrap();
+        eg.add_term(&t("(pow 2 2)", &[])).unwrap();
+        eg.rebuild().unwrap();
+        let pattern = t("(mul64 k (pow 2 n))", &["k", "n"]);
+        // Root class dirty: the match is found even though the (pow 2 2)
+        // evidence sits below the root, outside the dirty set.
+        let dirty: HashSet<ClassId> = [eg.find(mul)].into_iter().collect();
+        let matches = ematch_delta(&eg, &pattern, &dirty);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches, ematch(&eg, &pattern));
+        // Root class not dirty: the top-level scan skips it.
+        assert!(ematch_delta(&eg, &pattern, &HashSet::new()).is_empty());
     }
 }

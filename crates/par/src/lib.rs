@@ -84,6 +84,29 @@ where
         .collect()
 }
 
+/// Splits `0..len` into contiguous ranges of at most `chunk` items, in
+/// order. Used to turn one large work item (e.g. "match axiom A against
+/// 10 000 candidate classes") into several, so [`map_indexed`]'s dynamic
+/// scheduler can balance it across threads; concatenating the per-range
+/// results in range order reproduces the unchunked output exactly.
+///
+/// `chunk == 0` is treated as "one range" (no splitting). An empty input
+/// yields no ranges.
+pub fn chunk_ranges(len: usize, chunk: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    if chunk == 0 {
+        // One range covering everything (not a collect-from-range typo).
+        #[allow(clippy::single_range_in_vec_init)]
+        return vec![0..len];
+    }
+    (0..len)
+        .step_by(chunk)
+        .map(|s| s..(s + chunk).min(len))
+        .collect()
+}
+
 /// A shared cancellation flag for speculative work.
 ///
 /// The probe scheduler hands one of these to every speculative SAT
@@ -180,6 +203,19 @@ mod tests {
         let clone = token.clone();
         clone.cancel();
         assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn chunk_ranges_partition_the_input() {
+        assert!(chunk_ranges(0, 4).is_empty());
+        assert_eq!(chunk_ranges(10, 0), vec![0..10]);
+        assert_eq!(chunk_ranges(10, 4), vec![0..4, 4..8, 8..10]);
+        assert_eq!(chunk_ranges(8, 4), vec![0..4, 4..8]);
+        assert_eq!(chunk_ranges(3, 4), vec![0..3]);
+        // Ranges tile 0..len exactly, in order.
+        let ranges = chunk_ranges(97, 13);
+        let flat: Vec<usize> = ranges.into_iter().flatten().collect();
+        assert_eq!(flat, (0..97).collect::<Vec<_>>());
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! ```text
 //! denali FILE.dnl [--proc NAME] [--machine ev6|ev6-unclustered|single-issue|ia64like]
 //!                 [--solver cdcl|dpll] [--threads N] [--load-latency N] [--max-cycles N]
-//!                 [--incremental|--no-incremental] [--probes] [--dump-dimacs DIR]
-//!                 [--simulate name=value ...]
+//!                 [--incremental|--no-incremental] [--delta-match|--no-delta-match]
+//!                 [--probes] [--dump-dimacs DIR] [--simulate name=value ...]
 //! ```
 //!
 //! Compiles a Denali source file, prints a Figure-4-style listing per
@@ -29,10 +29,11 @@ fn usage() -> ! {
     eprintln!(
         "usage: denali FILE.dnl [--proc NAME] [--machine ev6|ev6-unclustered|single-issue|ia64like]\n\
          \x20                   [--solver cdcl|dpll] [--threads N] [--load-latency N] [--max-cycles N]\n\
-         \x20                   [--incremental|--no-incremental] [--probes] [--allocate]\n\
-         \x20                   [--dump-dimacs DIR] [--simulate name=value ...]\n\
+         \x20                   [--incremental|--no-incremental] [--delta-match|--no-delta-match]\n\
+         \x20                   [--probes] [--allocate] [--dump-dimacs DIR] [--simulate name=value ...]\n\
          \x20 --threads N       worker threads for matching + speculative probes (0 = all CPUs, 1 = serial)\n\
-         \x20 --no-incremental  fresh SAT solver per probe instead of one persistent solver (serial CDCL)"
+         \x20 --no-incremental  fresh SAT solver per probe instead of one persistent solver (serial CDCL)\n\
+         \x20 --no-delta-match  re-match every axiom against the whole e-graph each saturation round"
     );
     std::process::exit(2);
 }
@@ -97,6 +98,8 @@ fn parse_cli() -> Cli {
             }
             "--incremental" => cli.options.incremental = true,
             "--no-incremental" => cli.options.incremental = false,
+            "--delta-match" => cli.options.saturation.delta_match = true,
+            "--no-delta-match" => cli.options.saturation.delta_match = false,
             "--probes" => cli.show_probes = true,
             "--allocate" => cli.allocate = true,
             "--pipeline" => cli.options.pipeline_loads = true,
