@@ -48,4 +48,6 @@ mod saturate;
 pub use axiom::AxiomPriority;
 pub use axiom::{Axiom, AxiomBody, ParseAxiomError, SideCondition};
 pub use builtin::{alpha_axioms, axioms_for, ia64_axioms, math_axioms, standard_axioms};
-pub use saturate::{class_ops, saturate, RoundStats, SaturationLimits, SaturationReport};
+pub use saturate::{
+    class_ops, saturate, saturate_traced, RoundStats, SaturationLimits, SaturationReport,
+};

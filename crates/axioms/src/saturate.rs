@@ -34,6 +34,7 @@ use denali_egraph::{
     Subst,
 };
 use denali_term::{Op, Symbol, Term};
+use denali_trace::{field, Tracer};
 
 use crate::axiom::{Axiom, AxiomBody, AxiomPriority};
 
@@ -200,6 +201,23 @@ pub fn saturate(
     axioms: &[Axiom],
     limits: &SaturationLimits,
 ) -> Result<SaturationReport, EGraphError> {
+    saturate_traced(egraph, axioms, limits, &Tracer::disabled())
+}
+
+/// [`saturate`] with structured tracing: per-phase and per-round spans,
+/// `delta.cone` / `egraph.stats` / `ematch.axiom` / `ematch.chunk`
+/// events. With a disabled tracer this *is* [`saturate`] — the applied
+/// instance sequence is identical either way (tracing only observes).
+///
+/// # Errors
+///
+/// As [`saturate`].
+pub fn saturate_traced(
+    egraph: &mut EGraph,
+    axioms: &[Axiom],
+    limits: &SaturationLimits,
+    tracer: &Tracer,
+) -> Result<SaturationReport, EGraphError> {
     let phase1: Vec<Axiom> = axioms
         .iter()
         .filter(|a| a.priority != AxiomPriority::Structural)
@@ -210,7 +228,7 @@ pub fn saturate(
         .filter(|a| a.priority == AxiomPriority::Structural || simple_rhs(a))
         .cloned()
         .collect();
-    let mut report = saturate_phase(egraph, &phase1, limits)?;
+    let mut report = saturate_phase(egraph, &phase1, limits, tracer, 1)?;
     let phase2_limits = SaturationLimits {
         max_iterations: limits.max_iterations.min(8),
         max_nodes: limits
@@ -218,7 +236,7 @@ pub fn saturate(
             .min(egraph.num_nodes() + limits.max_structural_growth),
         ..*limits
     };
-    let r2 = saturate_phase(egraph, &phase2, &phase2_limits)?;
+    let r2 = saturate_phase(egraph, &phase2, &phase2_limits, tracer, 2)?;
     report.absorb(r2);
     Ok(report)
 }
@@ -232,7 +250,13 @@ fn saturate_phase(
     egraph: &mut EGraph,
     axioms: &[Axiom],
     limits: &SaturationLimits,
+    tracer: &Tracer,
+    phase: u64,
 ) -> Result<SaturationReport, EGraphError> {
+    let phase_span = tracer.span_fields(
+        "saturate.phase",
+        vec![field("phase", phase), field("axioms", axioms.len())],
+    );
     let mut report = SaturationReport::default();
     let mut applied: HashMap<usize, HashSet<Key>> = HashMap::new();
     let mut pow2_done: HashSet<u64> = HashSet::new();
@@ -254,7 +278,6 @@ fn saturate_phase(
         .unwrap_or(0);
     let threads = denali_par::resolve_threads(limits.threads);
 
-    let trace = std::env::var_os("DENALI_TRACE").is_some();
     egraph.rebuild()?;
 
     // Journal entries not yet consumed by a scan: `constants` feed the
@@ -269,6 +292,15 @@ fn saturate_phase(
             ..RoundStats::default()
         };
         let full_round = stats.full;
+        let round_span = tracer.span_fields(
+            "saturate.round",
+            vec![
+                field("round", report.iterations),
+                field("phase", phase),
+                field("full", full_round),
+            ],
+        );
+        let ops_before = egraph.op_counts();
         let mut any_change = false;
 
         if full_round {
@@ -334,7 +366,15 @@ fn saturate_phase(
         } else {
             pending.absorb(pow2_delta);
             let seeds = std::mem::take(&mut pending.classes);
-            Some(egraph.dirty_cone(&seeds, cone_depth))
+            let cone = egraph.dirty_cone(&seeds, cone_depth);
+            tracer.event("delta.cone", || {
+                vec![
+                    field("seeds", seeds.len()),
+                    field("cone", cone.len()),
+                    field("depth", cone_depth),
+                ]
+            });
+            Some(cone)
         };
 
         let (mut instances, truncated) = match_and_replay(
@@ -347,6 +387,7 @@ fn saturate_phase(
             threads,
             &mut applied,
             &mut stats,
+            tracer,
         );
         stats.instances = instances.len();
         apply_instances(egraph, axioms, std::mem::take(&mut instances), &mut report)?;
@@ -359,20 +400,13 @@ fn saturate_phase(
         report.skipped_candidates += stats.skipped;
         stats.ms = round_start.elapsed().as_secs_f64() * 1e3;
         report.rounds.push(stats);
-        if trace {
-            eprintln!(
-                "[saturate] round {}: {:?}, nodes={}, classes={}, instances={}, \
-                 candidates={}+{} skipped{}",
-                report.iterations,
-                round_start.elapsed(),
-                egraph.num_nodes(),
-                egraph.num_classes(),
-                report.instances,
-                stats.scanned,
-                stats.skipped,
-                if full_round { " (full)" } else { "" },
-            );
-        }
+        emit_egraph_stats(egraph, ops_before, tracer);
+        round_span.finish_fields(vec![
+            field("scanned", stats.scanned),
+            field("skipped", stats.skipped),
+            field("instances", stats.instances),
+            field("truncated", truncated),
+        ]);
 
         // A truncated round may have discarded matches whose roots lie
         // outside the next cone; rescan everything to pick them up.
@@ -390,6 +424,16 @@ fn saturate_phase(
                     verification: true,
                     ..RoundStats::default()
                 };
+                let verify_span = tracer.span_fields(
+                    "saturate.round",
+                    vec![
+                        field("round", report.iterations),
+                        field("phase", phase),
+                        field("full", true),
+                        field("verification", true),
+                    ],
+                );
+                let vops_before = egraph.op_counts();
                 egraph.take_delta();
                 pending = Delta::default();
                 let (mut vinstances, vtruncated) = match_and_replay(
@@ -402,6 +446,7 @@ fn saturate_phase(
                     threads,
                     &mut applied,
                     &mut vstats,
+                    tracer,
                 );
                 vstats.instances = vinstances.len();
                 apply_instances(egraph, axioms, std::mem::take(&mut vinstances), &mut report)?;
@@ -411,6 +456,13 @@ fn saturate_phase(
                 vstats.ms = verify_start.elapsed().as_secs_f64() * 1e3;
                 let idle = vstats.instances == 0;
                 report.rounds.push(vstats);
+                emit_egraph_stats(egraph, vops_before, tracer);
+                verify_span.finish_fields(vec![
+                    field("scanned", vstats.scanned),
+                    field("skipped", vstats.skipped),
+                    field("instances", vstats.instances),
+                    field("truncated", vtruncated),
+                ]);
                 full_next = vtruncated;
                 if idle {
                     report.saturated = true;
@@ -428,7 +480,33 @@ fn saturate_phase(
 
     report.nodes = egraph.num_nodes();
     report.classes = egraph.num_classes();
+    phase_span.finish_fields(vec![
+        field("iterations", report.iterations),
+        field("instances", report.instances),
+        field("saturated", report.saturated),
+        field("nodes", report.nodes),
+        field("classes", report.classes),
+    ]);
     Ok(report)
+}
+
+/// Emits the per-round `egraph.stats` event: what the e-graph did since
+/// `before` (deltas) plus its current size (gauges).
+fn emit_egraph_stats(egraph: &EGraph, before: denali_egraph::OpCounts, tracer: &Tracer) {
+    tracer.event("egraph.stats", || {
+        let d = egraph.op_counts().since(before);
+        vec![
+            field("adds", d.adds),
+            field("hits", d.hits),
+            field("new_nodes", d.new_nodes),
+            field("unions", d.unions),
+            field("congruence_unions", d.congruence_unions),
+            field("folds", d.folds),
+            field("rebuilds", d.rebuilds),
+            field("nodes", egraph.num_nodes()),
+            field("classes", egraph.num_classes()),
+        ]
+    });
 }
 
 /// One match pass plus the serial replay: e-matches every pattern
@@ -447,22 +525,31 @@ fn match_and_replay(
     threads: usize,
     applied: &mut HashMap<usize, HashSet<Key>>,
     stats: &mut RoundStats,
+    tracer: &Tracer,
 ) -> (Vec<(usize, Subst)>, bool) {
+    // Per-axiom trace counters, accumulated alongside the round stats
+    // and emitted as `ematch.axiom` events after the serial replay.
+    let mut axiom_scanned = vec![0u64; axioms.len()];
+    let mut axiom_matches = vec![0u64; axioms.len()];
+    let mut axiom_applied = vec![0u64; axioms.len()];
+
     // Top-level candidates per pattern, delta-filtered. Filtering a
     // sorted candidate list keeps relative order, so the match stream is
     // a subsequence of the full pass's stream.
     let mut cand_lists: Vec<Vec<ClassId>> = Vec::with_capacity(patterns.len());
-    for &(_, pattern) in patterns {
+    for &(axiom_idx, pattern) in patterns {
         let all = candidates(egraph, pattern);
         match cone {
             None => {
                 stats.scanned += all.len();
+                axiom_scanned[axiom_idx] += all.len() as u64;
                 cand_lists.push(all);
             }
             Some(cone) => {
                 let kept: Vec<ClassId> = all.iter().copied().filter(|c| cone.contains(c)).collect();
                 stats.scanned += kept.len();
                 stats.skipped += all.len() - kept.len();
+                axiom_scanned[axiom_idx] += kept.len() as u64;
                 cand_lists.push(kept);
             }
         }
@@ -489,8 +576,10 @@ fn match_and_replay(
         })
         .collect();
     let frozen: &EGraph = egraph;
-    let chunk_results: Vec<Vec<(Subst, Key)>> =
+    let chunk_results: Vec<(Vec<(Subst, Key)>, denali_trace::LocalBuffer)> =
         denali_par::map_indexed(threads, &work, |_, (pi, range)| {
+            let mut buffer = tracer.local();
+            let chunk_start = std::time::Instant::now();
             let (axiom_idx, pattern) = patterns[*pi];
             let axiom = &axioms[axiom_idx];
             let body_vars = &body_vars[axiom_idx];
@@ -515,12 +604,28 @@ fn match_and_replay(
                 let key: Key = subst.iter().map(|(v, c)| (v, frozen.find(c))).collect();
                 out.push((subst, key));
             }
-            out
+            buffer.event("ematch.chunk", || {
+                vec![
+                    field("axiom", axioms[axiom_idx].name.clone()),
+                    field("pattern", *pi),
+                    field("candidates", range.len()),
+                    field("matches", out.len()),
+                    field("match_us", chunk_start.elapsed().as_micros() as u64),
+                ]
+            });
+            (out, buffer)
         });
+    // Buffers splice in work order — the order chunks were *created*,
+    // not the order threads finished them — so the event stream is
+    // identical at every thread count.
     let mut per_pattern: Vec<Vec<(Subst, Key)>> = vec![Vec::new(); patterns.len()];
-    for ((pi, _), result) in work.into_iter().zip(chunk_results) {
+    let mut buffers = Vec::with_capacity(chunk_results.len());
+    for ((pi, _), (result, buffer)) in work.into_iter().zip(chunk_results) {
+        axiom_matches[patterns[pi].0] += result.len() as u64;
         per_pattern[pi].extend(result);
+        buffers.push(buffer);
     }
+    tracer.splice(buffers);
 
     // Serial replay: budget accounting and deduplication in axiom
     // order. Structural (associativity-style) instances are budgeted
@@ -550,6 +655,7 @@ fn match_and_replay(
                     continue;
                 }
                 applied.entry(i).or_default().insert(key);
+                axiom_applied[i] += 1;
                 instances.push((i, subst));
                 if instances.len() >= limits.max_instances_per_round {
                     break;
@@ -574,6 +680,7 @@ fn match_and_replay(
                 advanced = true;
                 let key: Key = subst.iter().map(|(v, c)| (v, egraph.find(c))).collect();
                 if applied.entry(*i).or_default().insert(key) {
+                    axiom_applied[*i] += 1;
                     instances.push((*i, subst.clone()));
                     budget -= 1;
                 }
@@ -589,6 +696,20 @@ fn match_and_replay(
         .any(|(&c, q)| c < q.len())
     {
         truncated = true;
+    }
+    // Per-axiom round summary, in axiom order (quiet axioms omitted).
+    for (i, axiom) in axioms.iter().enumerate() {
+        if axiom_scanned[i] == 0 && axiom_matches[i] == 0 && axiom_applied[i] == 0 {
+            continue;
+        }
+        tracer.event("ematch.axiom", || {
+            vec![
+                field("axiom", axiom.name.clone()),
+                field("scanned", axiom_scanned[i]),
+                field("matches", axiom_matches[i]),
+                field("applied", axiom_applied[i]),
+            ]
+        });
     }
     (instances, truncated)
 }

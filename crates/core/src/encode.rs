@@ -28,6 +28,7 @@ use denali_arch::{Machine, Unit};
 use denali_egraph::ClassId;
 use denali_sat::dimacs::Cnf;
 use denali_sat::{Lit, SolveResult, Solver, SolverStats, Var};
+use denali_trace::{field, Tracer};
 
 use crate::machine_terms::{CandidateKind, Candidates};
 use crate::matcher::Matched;
@@ -906,10 +907,32 @@ impl<'a> IncrementalEncoding<'a> {
     ///
     /// Panics if `k == 0` (the zero-launch case never probes).
     pub fn probe(&mut self, k: u32) -> IncrementalProbe {
+        self.probe_traced(k, &Tracer::disabled())
+    }
+
+    /// [`IncrementalEncoding::probe`] with tracing: horizon growth is
+    /// logged as an `encode.grow` event (old/new horizon, variables and
+    /// clauses added to the live solver).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` (the zero-launch case never probes).
+    pub fn probe_traced(&mut self, k: u32, tracer: &Tracer) -> IncrementalProbe {
         assert!(k >= 1, "budgets start at one cycle");
         let encode_start = Instant::now();
         if k > self.horizon {
+            let old_h = self.horizon;
+            let vars_before = self.solver.num_vars();
+            let clauses_before = self.solver.num_clauses();
             self.extend(k);
+            tracer.event("encode.grow", || {
+                vec![
+                    field("from", old_h),
+                    field("to", k),
+                    field("new_vars", self.solver.num_vars() - vars_before),
+                    field("new_clauses", self.solver.num_clauses() - clauses_before),
+                ]
+            });
         }
         let encode_ms = encode_start.elapsed().as_secs_f64() * 1e3;
 

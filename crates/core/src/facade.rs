@@ -6,9 +6,11 @@ use denali_arch::Machine;
 use denali_axioms::{Axiom, SaturationLimits, SaturationReport};
 use denali_lang::{lower_proc, parse_program, Gma, SourceProgram};
 
+use denali_trace::{field, Tracer};
+
 use crate::encode::EncodeOptions;
-use crate::matcher::match_gma;
-use crate::search::{search, ProbeStats, SearchOutcome, SearchParams};
+use crate::matcher::match_gma_traced;
+use crate::search::{search_traced, ProbeStats, SearchOutcome, SearchParams};
 use crate::telemetry::Telemetry;
 
 pub use crate::search::SolverChoice;
@@ -57,6 +59,12 @@ pub struct Options {
     /// reported formula/solver counters change. Defaults to on;
     /// `DENALI_INCREMENTAL=0` turns it off.
     pub incremental: bool,
+    /// Collect a structured trace of the pipeline (hierarchical spans
+    /// and events; see `docs/TRACING.md`). Tracing never perturbs
+    /// results — it only records them — and disabled tracing costs one
+    /// pointer check per instrumentation point. Defaults to the
+    /// `DENALI_TRACE` environment variable, else off.
+    pub trace: bool,
 }
 
 impl Default for Options {
@@ -74,6 +82,7 @@ impl Default for Options {
             pipeline_loads: false,
             threads: env_threads(),
             incremental: env_incremental(),
+            trace: denali_trace::env_enabled(),
         }
     }
 }
@@ -182,20 +191,39 @@ fn stage_err<E: fmt::Display>(stage: &'static str) -> impl Fn(E) -> CompileError
 /// The Denali superoptimizer façade.
 ///
 /// See the [crate docs](crate) for an end-to-end example.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Denali {
     options: Options,
+    tracer: Tracer,
+}
+
+impl Default for Denali {
+    fn default() -> Denali {
+        // Through `new` so the tracer honors `Options::trace` (which
+        // reads `DENALI_TRACE` by default).
+        Denali::new(Options::default())
+    }
 }
 
 impl Denali {
-    /// Creates a pipeline with the given options.
+    /// Creates a pipeline with the given options. An enabled tracer is
+    /// created iff [`Options::trace`] is set.
     pub fn new(options: Options) -> Denali {
-        Denali { options }
+        let tracer = Tracer::when(options.trace);
+        Denali { options, tracer }
     }
 
     /// The configured options.
     pub fn options(&self) -> &Options {
         &self.options
+    }
+
+    /// The pipeline's tracer: records accumulate across every
+    /// compilation this façade runs (including failed ones, which is
+    /// how error paths still get a trace). Disabled unless
+    /// [`Options::trace`] was set.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Compiles the first procedure of `source`.
@@ -280,32 +308,43 @@ impl Denali {
     /// As [`Denali::compile_source`].
     pub fn compile_gma(&self, gma: Gma, axioms: &[Axiom]) -> Result<CompiledGma, CompileError> {
         let mut telemetry = Telemetry::new();
+        let tracer = &self.tracer;
+        // One root span per GMA; the phase spans below both produce the
+        // trace hierarchy and feed the coarse Telemetry aggregate (the
+        // same guard measures both, so the two views always agree).
+        // Each phase span is finished *before* `?` propagates its
+        // error, so failed compilations still trace their phases.
+        let gma_span = tracer.span_fields("gma", vec![field("name", gma.name.clone())]);
 
         let mut saturation = self.options.saturation;
         if self.options.threads != 1 {
             saturation.threads = self.options.threads;
         }
-        let matched = telemetry
-            .time("match", || match_gma(&gma, axioms, &saturation))
-            .map_err(stage_err("match"))?;
+        let span = tracer.span("match");
+        let matched = match_gma_traced(&gma, axioms, &saturation, tracer);
+        telemetry.record("match", span.finish());
+        let matched = matched.map_err(stage_err("match"))?;
         // Delta-matching effectiveness: top-level e-match candidates
         // actually scanned vs. excluded by the dirty-cone filter.
         telemetry.count("match.scanned", matched.report.scanned_candidates as u64);
         telemetry.count("match.skipped", matched.report.skipped_candidates as u64);
 
         let inputs = gma.inputs();
-        let candidates = telemetry
-            .time("enumerate", || {
-                crate::machine_terms::enumerate_with_misses(
-                    &matched,
-                    &self.options.machine,
-                    &inputs,
-                    self.options.load_latency,
-                    &gma.miss_addrs,
-                    self.options.miss_latency,
-                )
-            })
-            .map_err(stage_err("enumerate"))?;
+        let span = tracer.span("enumerate");
+        let candidates = crate::machine_terms::enumerate_with_misses(
+            &matched,
+            &self.options.machine,
+            &inputs,
+            self.options.load_latency,
+            &gma.miss_addrs,
+            self.options.miss_latency,
+        );
+        let enumerate_fields = match &candidates {
+            Ok(c) => vec![field("candidates", c.list.len())],
+            Err(_) => Vec::new(),
+        };
+        telemetry.record("enumerate", span.finish_fields(enumerate_fields));
+        let candidates = candidates.map_err(stage_err("enumerate"))?;
 
         let params = SearchParams {
             solver: self.options.solver,
@@ -321,19 +360,24 @@ impl Denali {
                     label: gma.name.clone(),
                 }),
         };
-        let outcome: SearchOutcome = telemetry
-            .time("search", || {
-                search(
-                    &gma,
-                    &matched,
-                    &candidates,
-                    &self.options.machine,
-                    &self.options.encode,
-                    &params,
-                )
-            })
-            .map_err(stage_err("search"))?;
+        let span = tracer.span("search");
+        let outcome = search_traced(
+            &gma,
+            &matched,
+            &candidates,
+            &self.options.machine,
+            &self.options.encode,
+            &params,
+            tracer,
+        );
+        telemetry.record("search", span.finish());
+        let outcome: SearchOutcome = outcome.map_err(stage_err("search"))?;
 
+        gma_span.finish_fields(vec![
+            field("cycles", outcome.cycles),
+            field("refuted_below", outcome.refuted_below),
+            field("probes", outcome.probes.len()),
+        ]);
         let match_ms = telemetry.ms("match");
         let search_ms = telemetry.ms("search");
         Ok(CompiledGma {

@@ -1,9 +1,10 @@
 //! The matching phase: GMA goals → saturated E-graph.
 
-use denali_axioms::{saturate, Axiom, SaturationLimits, SaturationReport};
+use denali_axioms::{saturate_traced, Axiom, SaturationLimits, SaturationReport};
 use denali_egraph::{ClassId, EGraph, EGraphError};
 use denali_lang::Gma;
 use denali_term::Term;
+use denali_trace::{field, Tracer};
 
 /// The saturated e-graph for a GMA, with its goal classes identified.
 #[derive(Clone, Debug)]
@@ -56,6 +57,22 @@ pub fn match_gma(
     axioms: &[Axiom],
     limits: &SaturationLimits,
 ) -> Result<Matched, EGraphError> {
+    match_gma_traced(gma, axioms, limits, &Tracer::disabled())
+}
+
+/// [`match_gma`] with structured tracing: goal-term loading is logged
+/// as a `match.goals` event and the saturation rounds record their own
+/// spans (see [`denali_axioms::saturate_traced`]).
+///
+/// # Errors
+///
+/// Propagates e-graph contradictions (unsound axioms).
+pub fn match_gma_traced(
+    gma: &Gma,
+    axioms: &[Axiom],
+    limits: &SaturationLimits,
+    tracer: &Tracer,
+) -> Result<Matched, EGraphError> {
     let mut egraph = EGraph::new();
     let guard = gma.guard.as_ref().map(|g| egraph.add_term(g)).transpose()?;
     let assigns = gma
@@ -64,8 +81,17 @@ pub fn match_gma(
         .map(|(_, t)| egraph.add_term(t))
         .collect::<Result<Vec<_>, _>>()?;
     let mem = gma.mem.as_ref().map(|m| egraph.add_term(m)).transpose()?;
+    tracer.event("match.goals", || {
+        vec![
+            field("guarded", guard.is_some()),
+            field("assigns", assigns.len()),
+            field("mem", mem.is_some()),
+            field("nodes", egraph.num_nodes()),
+            field("classes", egraph.num_classes()),
+        ]
+    });
 
-    let report = saturate(&mut egraph, axioms, limits)?;
+    let report = saturate_traced(&mut egraph, axioms, limits, tracer)?;
 
     Ok(Matched {
         guard: guard.map(|c| egraph.find(c)),

@@ -49,6 +49,7 @@ use denali_lang::Gma;
 use denali_par::CancelToken;
 use denali_sat::dimacs::Cnf;
 use denali_sat::{dpll, SolveResult, SolverStats};
+use denali_trace::{field, Tracer};
 
 use crate::encode::{encode, EncodeOptions, IncrementalEncoding, LaunchCoord};
 use crate::extract::extract;
@@ -321,6 +322,7 @@ impl<'a> Scheduler<'a> {
         &mut self,
         primary: u32,
         speculative: &[(u32, Keep)],
+        tracer: &Tracer,
     ) -> Result<ProbeRun, SearchError> {
         let run = match self.cache.remove(&primary) {
             Some(run) => run,
@@ -332,7 +334,7 @@ impl<'a> Scheduler<'a> {
             }
             None => self.run_speculating(primary, speculative),
         };
-        self.consume(run)
+        self.consume(run, tracer)
     }
 
     /// Runs `primary` on the caller's thread while speculations run on
@@ -385,7 +387,7 @@ impl<'a> Scheduler<'a> {
     /// Logs a probe the serial control flow has reached, writing its
     /// DIMACS dump if requested. A dump failure is a hard error — a
     /// silently missing CNF defeats the point of dumping.
-    fn consume(&mut self, run: ProbeRun) -> Result<ProbeRun, SearchError> {
+    fn consume(&mut self, run: ProbeRun, tracer: &Tracer) -> Result<ProbeRun, SearchError> {
         if let Some(dump) = self.dump {
             std::fs::create_dir_all(&dump.directory).map_err(|e| SearchError {
                 message: format!(
@@ -402,8 +404,62 @@ impl<'a> Scheduler<'a> {
             })?;
         }
         self.probes.push(run.stats);
+        emit_probe_trace(tracer, &run.stats);
         Ok(run)
     }
+}
+
+/// Logs one consumed probe as a retrospective `probe` span (with nested
+/// `encode` and `solve` children) plus a `sat.probe` event carrying the
+/// full counter set.
+///
+/// Called only at *consume* time — the moment the serial control flow
+/// reaches the probe — never from [`run_probe`], which may execute
+/// speculatively on a worker thread. That keeps the record stream
+/// identical at every thread count (the determinism contract).
+fn emit_probe_trace(tracer: &Tracer, stats: &ProbeStats) {
+    if !tracer.is_enabled() {
+        return;
+    }
+    let outcome = if stats.satisfiable { "sat" } else { "unsat" };
+    let probe_id = tracer.complete_span(
+        "probe",
+        None,
+        0.0,
+        stats.encode_ms + stats.solve_ms,
+        vec![field("k", stats.k), field("outcome", outcome)],
+    );
+    tracer.complete_span(
+        "encode",
+        probe_id,
+        stats.solve_ms,
+        stats.encode_ms,
+        vec![field("vars", stats.vars), field("clauses", stats.clauses)],
+    );
+    tracer.complete_span("solve", probe_id, 0.0, stats.solve_ms, Vec::new());
+    tracer.event("sat.probe", || {
+        let mut fields = vec![
+            field("k", stats.k),
+            field("outcome", outcome),
+            field("vars", stats.vars),
+            field("clauses", stats.clauses),
+            field("encode_ms", stats.encode_ms),
+            field("solve_ms", stats.solve_ms),
+        ];
+        if let Some(s) = &stats.solver {
+            fields.extend([
+                field("decisions", s.decisions),
+                field("propagations", s.propagations),
+                field("conflicts", s.conflicts),
+                field("restarts", s.restarts),
+                field("learned", s.learned),
+                field("solves", s.solves),
+                field("carried_learned", s.carried_learned),
+                field("carried_activity", s.carried_activity),
+            ]);
+        }
+        fields
+    });
 }
 
 /// One probe engine for the whole search: fresh per-probe solvers
@@ -425,11 +481,12 @@ impl<'a> Prober<'a> {
         &mut self,
         primary: u32,
         speculative: &[(u32, Keep)],
+        tracer: &Tracer,
     ) -> Result<ProbeRun, SearchError> {
         match self {
-            Prober::Fresh(sched) => sched.probe(primary, speculative),
+            Prober::Fresh(sched) => sched.probe(primary, speculative, tracer),
             Prober::Incremental { inc, probes } => {
-                let p = inc.probe(primary);
+                let p = inc.probe_traced(primary, tracer);
                 let stats = ProbeStats {
                     k: primary,
                     vars: p.vars,
@@ -440,6 +497,7 @@ impl<'a> Prober<'a> {
                     solver: Some(p.stats),
                 };
                 probes.push(stats);
+                emit_probe_trace(tracer, &stats);
                 Ok(ProbeRun {
                     stats,
                     launches: None,
@@ -486,6 +544,30 @@ pub fn search(
     options: &EncodeOptions,
     params: &SearchParams,
 ) -> Result<SearchOutcome, SearchError> {
+    search_traced(
+        gma,
+        matched,
+        candidates,
+        machine,
+        options,
+        params,
+        &Tracer::disabled(),
+    )
+}
+
+/// [`search`] with structured tracing: ascent/binary/decode spans, one
+/// retrospective `probe` span (with `encode`/`solve` children) plus a
+/// `sat.probe` event per consumed probe, all emitted in serial search
+/// order regardless of speculation.
+pub fn search_traced(
+    gma: &Gma,
+    matched: &Matched,
+    candidates: &Candidates,
+    machine: &Machine,
+    options: &EncodeOptions,
+    params: &SearchParams,
+    tracer: &Tracer,
+) -> Result<SearchOutcome, SearchError> {
     // A trivial case first: no launches needed at all (identity GMA) —
     // nothing to schedule, nothing to probe. No budget was refuted
     // here, so no optimality certificate is claimed.
@@ -495,6 +577,7 @@ pub fn search(
         .all(|&g| candidates.is_available(g))
         && candidates.store_levels.is_empty()
     {
+        tracer.event("search.identity", Vec::new);
         let program =
             extract(gma, matched, candidates, machine, 0, &[]).map_err(|e| SearchError {
                 message: e.to_string(),
@@ -532,6 +615,7 @@ pub fn search(
 
     // Geometric ascent to the first satisfiable budget; the partner
     // probe 2K is only needed if K is UNSAT.
+    let ascent = tracer.span("search.ascent");
     let mut k = 1u32;
     let mut max_unsat = 0u32;
     let mut best: ProbeRun;
@@ -547,7 +631,7 @@ pub fn search(
         } else {
             &[]
         };
-        let run = prober.probe(k, speculative)?;
+        let run = prober.probe(k, speculative, tracer)?;
         if run.stats.satisfiable {
             best = run;
             break;
@@ -561,9 +645,17 @@ pub fn search(
         k = next;
     }
     let mut best_k = best.stats.k;
+    ascent.finish_fields(vec![
+        field("first_sat", best_k),
+        field("max_unsat", max_unsat),
+    ]);
 
     // Binary search in (max_unsat, best_k); the partners of each
     // midpoint are the two possible next midpoints.
+    let binary = tracer.span_fields(
+        "search.binary",
+        vec![field("lo", max_unsat), field("hi", best_k)],
+    );
     while best_k - max_unsat > 1 {
         let mid = max_unsat + (best_k - max_unsat) / 2;
         let mut speculative = Vec::new();
@@ -575,7 +667,7 @@ pub fn search(
         if if_unsat > mid {
             speculative.push((if_unsat, Keep::IfUnsat));
         }
-        let run = prober.probe(mid, &speculative)?;
+        let run = prober.probe(mid, &speculative, tracer)?;
         if run.stats.satisfiable {
             best = run;
             best_k = mid;
@@ -583,6 +675,7 @@ pub fn search(
             max_unsat = mid;
         }
     }
+    binary.finish_fields(vec![field("cycles", best_k)]);
 
     // The optimality certificate: K-1 was actually refuted, or K == 1
     // and launches are required (zero cycles is vacuously infeasible —
@@ -597,6 +690,7 @@ pub fn search(
     // the incremental engine instead re-solves the winning budget's
     // standalone encoding once — both solvers are deterministic, so
     // this decodes the exact program fresh-solver mode would.
+    let decode = tracer.span_fields("search.decode", vec![field("cycles", best_k)]);
     let launches = match best.launches.take() {
         Some(launches) => launches,
         None => {
@@ -619,6 +713,7 @@ pub fn search(
         extract(gma, matched, candidates, machine, best_k, &launches).map_err(|e| SearchError {
             message: e.to_string(),
         })?;
+    decode.finish_fields(vec![field("launches", launches.len())]);
     Ok(SearchOutcome {
         program,
         cycles: best_k,

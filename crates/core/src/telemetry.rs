@@ -5,6 +5,7 @@
 //! (plus any finer phases) as an ordered list of named timings, cheap
 //! enough to collect unconditionally and render with [`fmt::Display`].
 
+use std::collections::HashMap;
 use std::fmt;
 use std::time::Instant;
 
@@ -35,6 +36,11 @@ pub struct Telemetry {
     /// Named event counters, in first-use order (e.g. top-level
     /// e-match candidates scanned vs. skipped by delta matching).
     pub counters: Vec<Counter>,
+    /// Counter name → index into `counters`, so hot-path counting is
+    /// O(1) instead of a linear scan, while `counters` keeps first-use
+    /// display order. Rebuilt lazily if `counters` was mutated directly
+    /// (the fields are public).
+    counter_index: HashMap<&'static str, usize>,
 }
 
 impl Telemetry {
@@ -72,14 +78,37 @@ impl Telemetry {
 
     /// Adds `n` to the counter `name` (creating it at zero first).
     pub fn count(&mut self, name: &'static str, n: u64) {
-        match self.counters.iter_mut().find(|c| c.name == name) {
-            Some(c) => c.value += n,
-            None => self.counters.push(Counter { name, value: n }),
+        if let Some(&i) = self.counter_index.get(name) {
+            if let Some(c) = self.counters.get_mut(i) {
+                if c.name == name {
+                    c.value += n;
+                    return;
+                }
+            }
+        }
+        // Index miss (or stale after direct `counters` mutation): fall
+        // back to a scan and repair the index.
+        match self.counters.iter_mut().position(|c| c.name == name) {
+            Some(i) => {
+                self.counter_index.insert(name, i);
+                self.counters[i].value += n;
+            }
+            None => {
+                self.counter_index.insert(name, self.counters.len());
+                self.counters.push(Counter { name, value: n });
+            }
         }
     }
 
     /// Current value of counter `name` (0 if never counted).
     pub fn counter(&self, name: &str) -> u64 {
+        if let Some(&i) = self.counter_index.get(name) {
+            if let Some(c) = self.counters.get(i) {
+                if c.name == name {
+                    return c.value;
+                }
+            }
+        }
         self.counters
             .iter()
             .find(|c| c.name == name)
@@ -139,6 +168,26 @@ mod tests {
         t.record("match", 12.34);
         t.record("search", 5.0);
         assert_eq!(t.to_string(), "match 12.3 ms, search 5.0 ms");
+    }
+
+    #[test]
+    fn count_survives_direct_counter_mutation() {
+        let mut t = Telemetry::new();
+        t.count("a", 1);
+        // The fields are public: shift "a" by inserting ahead of it,
+        // making the name→index map stale.
+        t.counters.insert(
+            0,
+            Counter {
+                name: "z",
+                value: 7,
+            },
+        );
+        t.count("a", 2);
+        t.count("z", 1);
+        assert_eq!(t.counter("a"), 3);
+        assert_eq!(t.counter("z"), 8);
+        assert_eq!(t.counters.len(), 2);
     }
 
     #[test]

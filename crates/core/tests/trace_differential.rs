@@ -1,0 +1,146 @@
+//! Tracing must *observe* the pipeline, never perturb it.
+//!
+//! Two contracts are pinned here:
+//!
+//! 1. **No perturbation** — the compiled program, cycle count,
+//!    certificate, and probe log are byte-identical with tracing on and
+//!    off, at every thread count and in both probe engines.
+//! 2. **Determinism** — with tracing on, the record stream for a given
+//!    input is identical across runs and across thread counts, modulo
+//!    timestamps (compared via [`denali_trace::normalized`]).
+//!
+//! Every option that reads an environment variable in
+//! `Options::default()` (threads, incremental, delta matching, trace)
+//! is pinned explicitly, so these tests mean the same thing on every
+//! CI leg.
+
+use denali_core::{CompileResult, Denali, Options};
+use denali_trace::{jsonl, normalized, Record};
+
+const FIGURE2: &str = "(\\procdecl f ((reg6 long)) long (:= (\\res (+ (* reg6 4) 1))))";
+/// mulq latency 7 then an add: 8 cycles, so the search runs a full
+/// geometric ascent (1, 2, 4, 8) plus binary refinement — several
+/// probes, speculation opportunities, and incremental horizon growth.
+const MULTI_PROBE: &str = "(\\procdecl f ((a long)) long (:= (\\res (+ (* a a) 1))))";
+
+fn pinned(threads: usize, incremental: bool, trace: bool) -> Options {
+    let mut options = Options::default();
+    options.threads = threads;
+    options.incremental = incremental;
+    options.trace = trace;
+    options.saturation.threads = 1;
+    options.saturation.delta_match = true;
+    options
+}
+
+/// Everything user-visible about a compilation, as one string.
+fn fingerprint(result: &CompileResult) -> String {
+    let mut out = String::new();
+    for g in &result.gmas {
+        out.push_str(&format!(
+            "{}: cycles={} refuted={}\n",
+            g.gma.name, g.cycles, g.refuted_below
+        ));
+        out.push_str(&g.program.listing(4));
+        for p in &g.probes {
+            out.push_str(&format!(
+                "k={} sat={} vars={} clauses={}\n",
+                p.k, p.satisfiable, p.vars, p.clauses
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn tracing_on_off_is_byte_identical() {
+    for threads in [1usize, 4] {
+        for incremental in [true, false] {
+            let off = Denali::new(pinned(threads, incremental, false))
+                .compile_source(MULTI_PROBE)
+                .unwrap();
+            let traced = Denali::new(pinned(threads, incremental, true));
+            let on = traced.compile_source(MULTI_PROBE).unwrap();
+            assert!(traced.tracer().is_enabled());
+            assert!(
+                !traced.tracer().records().is_empty(),
+                "enabled tracer collected nothing"
+            );
+            assert_eq!(
+                fingerprint(&off),
+                fingerprint(&on),
+                "tracing perturbed the result at threads={threads} incremental={incremental}"
+            );
+        }
+    }
+}
+
+#[test]
+fn trace_is_identical_across_runs() {
+    let run = || -> Vec<Record> {
+        let denali = Denali::new(pinned(1, true, true));
+        denali.compile_source(MULTI_PROBE).unwrap();
+        normalized(&denali.tracer().records())
+    };
+    assert_eq!(run(), run(), "same input, different trace");
+}
+
+#[test]
+fn trace_is_identical_across_thread_counts() {
+    // Incremental probing only engages serially and reports cumulative
+    // formula sizes, so it is pinned off for the cross-thread diff.
+    let run = |threads: usize| -> Vec<Record> {
+        let denali = Denali::new(pinned(threads, false, true));
+        denali.compile_source(MULTI_PROBE).unwrap();
+        normalized(&denali.tracer().records())
+    };
+    assert_eq!(run(1), run(4), "thread count leaked into the trace");
+}
+
+#[test]
+fn figure2_trace_matches_schema_golden() {
+    let denali = Denali::new(pinned(1, true, true));
+    denali.compile_source(FIGURE2).unwrap();
+    let records = normalized(&denali.tracer().records());
+    // The span/event vocabulary documented in docs/TRACING.md.
+    for name in [
+        "gma",
+        "match",
+        "match.goals",
+        "saturate.phase",
+        "saturate.round",
+        "egraph.stats",
+        "ematch.chunk",
+        "ematch.axiom",
+        "enumerate",
+        "search",
+        "search.ascent",
+        "search.decode",
+        "encode.grow",
+        "probe",
+        "encode",
+        "solve",
+        "sat.probe",
+    ] {
+        assert!(
+            records.iter().any(|r| r.name() == Some(name)),
+            "trace is missing a {name} record"
+        );
+    }
+
+    let text = jsonl::to_string(&[], &records);
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/figure2_trace.jsonl");
+    if std::env::var_os("DENALI_REGEN_GOLDEN").is_some() {
+        std::fs::write(&path, &text).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("golden file missing; regenerate with DENALI_REGEN_GOLDEN=1");
+    assert_eq!(
+        text, golden,
+        "normalized figure2 trace drifted from the golden schema; \
+         if the change is intentional, regenerate with DENALI_REGEN_GOLDEN=1 \
+         and update docs/TRACING.md"
+    );
+}

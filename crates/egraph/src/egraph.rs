@@ -134,6 +134,44 @@ impl Delta {
     }
 }
 
+/// Monotone counters over the e-graph's mutating operations, for
+/// observability: how much work saturation actually did, round by
+/// round. Snapshot with [`EGraph::op_counts`] and subtract snapshots
+/// with [`OpCounts::since`] to get per-round deltas.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct OpCounts {
+    /// [`EGraph::add_node`] calls (including hashcons hits).
+    pub adds: u64,
+    /// Adds answered by the hashcons table (no new node).
+    pub hits: u64,
+    /// Adds that created a new e-node (and class).
+    pub new_nodes: u64,
+    /// Class merges actually performed (a union of two distinct roots).
+    pub unions: u64,
+    /// The subset of `unions` performed by congruence repair inside
+    /// [`EGraph::rebuild`] (as opposed to asserted by the caller).
+    pub congruence_unions: u64,
+    /// Classes folded to a constant value after creation.
+    pub folds: u64,
+    /// [`EGraph::rebuild`] calls.
+    pub rebuilds: u64,
+}
+
+impl OpCounts {
+    /// Field-wise difference from an earlier snapshot.
+    pub fn since(self, before: OpCounts) -> OpCounts {
+        OpCounts {
+            adds: self.adds - before.adds,
+            hits: self.hits - before.hits,
+            new_nodes: self.new_nodes - before.new_nodes,
+            unions: self.unions - before.unions,
+            congruence_unions: self.congruence_unions - before.congruence_unions,
+            folds: self.folds - before.folds,
+            rebuilds: self.rebuilds - before.rebuilds,
+        }
+    }
+}
+
 /// The E-graph. See the [crate docs](crate) for an overview and example.
 #[derive(Clone, Default, Debug)]
 pub struct EGraph {
@@ -160,6 +198,11 @@ pub struct EGraph {
     /// the cost is one `Vec` push per mutation, proportional to work
     /// already being done).
     journal: Delta,
+    /// Operation counters (always on; a few integer bumps per op).
+    counts: OpCounts,
+    /// True while [`EGraph::rebuild`] runs, so unions performed during
+    /// repair are attributed to congruence in [`OpCounts`].
+    repairing: bool,
 }
 
 // The matcher freezes the e-graph and e-matches axioms against it from
@@ -192,6 +235,11 @@ impl EGraph {
     /// folded). Equal generations imply the e-graph has not changed.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Snapshot of the operation counters (see [`OpCounts`]).
+    pub fn op_counts(&self) -> OpCounts {
+        self.counts
     }
 
     /// Drains and returns the change journal: every class touched and
@@ -240,10 +288,13 @@ impl EGraph {
     /// folding is eager: a node whose children all have known constant
     /// values is unified with the literal constant's class.
     pub fn add_node(&mut self, op: Op, children: Vec<ClassId>) -> ClassId {
+        self.counts.adds += 1;
         let node = self.canonicalize(&ENode::new(op, children));
         if let Some(&existing) = self.memo.get(&node) {
+            self.counts.hits += 1;
             return self.find(existing);
         }
+        self.counts.new_nodes += 1;
         let id = ClassId(u32::try_from(self.uf.len()).expect("class id overflow"));
         self.uf.push(id.0);
         let constant = self.node_constant(&node);
@@ -387,6 +438,10 @@ impl EGraph {
             return Err(EGraphError::new(format!(
                 "contradiction: classes {a} and {b} are constrained to be distinct"
             )));
+        }
+        self.counts.unions += 1;
+        if self.repairing {
+            self.counts.congruence_unions += 1;
         }
         // Union by size (number of nodes).
         let (root, other) = if self.classes[&a].nodes.len() >= self.classes[&b].nodes.len() {
@@ -543,6 +598,14 @@ impl EGraph {
     ///
     /// Propagates contradictions discovered while merging.
     pub fn rebuild(&mut self) -> Result<(), EGraphError> {
+        self.counts.rebuilds += 1;
+        self.repairing = true;
+        let result = self.rebuild_loop();
+        self.repairing = false;
+        result
+    }
+
+    fn rebuild_loop(&mut self) -> Result<(), EGraphError> {
         loop {
             while let Some(dirty) = self.dirty.pop() {
                 let dirty = self.find(dirty);
@@ -628,6 +691,7 @@ impl EGraph {
         for node in nodes {
             if let Some(value) = self.node_constant(&self.canonicalize(&node)) {
                 // Record the constant and unify with the literal's class.
+                self.counts.folds += 1;
                 let parent_class = self.find(parent_class);
                 self.classes
                     .get_mut(&parent_class)
@@ -1134,6 +1198,40 @@ mod tests {
         let touched: HashSet<ClassId> = delta.classes.iter().map(|&c| eg.find(c)).collect();
         assert!(touched.contains(&eg.find(sum)), "folded class journaled");
         assert!(delta.constants.contains(&3), "folded value journaled");
+    }
+
+    #[test]
+    fn op_counts_attribute_work() {
+        let mut eg = EGraph::new();
+        let fx = eg.add_term(&t("(f x)")).unwrap();
+        let fy = eg.add_term(&t("(f y)")).unwrap();
+        let x = eg.lookup_term(&t("x")).unwrap();
+        let y = eg.lookup_term(&t("y")).unwrap();
+        let before = eg.op_counts();
+        assert_eq!(before.new_nodes, 4, "f(x), x, f(y), y");
+        assert_eq!(before.unions, 0);
+        eg.add_term(&t("(f x)")).unwrap(); // pure hashcons hits
+        let hits = eg.op_counts().since(before);
+        assert_eq!(hits.adds, 2);
+        assert_eq!(hits.hits, 2);
+        assert_eq!(hits.new_nodes, 0);
+        // One asserted union; rebuild merges f(x)/f(y) by congruence.
+        let before = eg.op_counts();
+        eg.union(x, y).unwrap();
+        eg.rebuild().unwrap();
+        let merged = eg.op_counts().since(before);
+        assert_eq!(merged.unions, 2);
+        assert_eq!(merged.congruence_unions, 1, "only f(x)=f(y) is repair");
+        assert_eq!(merged.rebuilds, 1);
+        // A fold: n = 2 gives add64(n, 1) the value 3.
+        let mut eg = EGraph::new();
+        eg.add_term(&t("(add64 n 1)")).unwrap();
+        let n = eg.lookup_term(&t("n")).unwrap();
+        let two = eg.add_term(&Term::constant(2)).unwrap();
+        let before = eg.op_counts();
+        eg.union(n, two).unwrap();
+        eg.rebuild().unwrap();
+        assert_eq!(eg.op_counts().since(before).folds, 1);
     }
 
     #[test]

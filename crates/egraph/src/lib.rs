@@ -47,7 +47,7 @@ mod egraph;
 mod ematch;
 mod ways;
 
-pub use egraph::{ClassId, Delta, EGraph, EGraphError, ENode, EqLiteral};
+pub use egraph::{ClassId, Delta, EGraph, EGraphError, ENode, EqLiteral, OpCounts};
 pub use ematch::{
     candidates, ematch, ematch_classes, ematch_delta, ematch_in_class, pattern_depth, Subst,
 };

@@ -1,0 +1,383 @@
+//! Summary rendering for a recorded (or re-parsed) trace: the
+//! `denali trace-report` subcommand and the CLI's `// phases:` line on
+//! non-success exits both come from here.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::{Record, Value};
+
+fn get<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_u64(fields: &[(String, Value)], key: &str) -> u64 {
+    match get(fields, key) {
+        Some(Value::U64(n)) => *n,
+        Some(Value::I64(n)) => (*n).max(0) as u64,
+        Some(Value::F64(x)) if *x >= 0.0 => *x as u64,
+        _ => 0,
+    }
+}
+
+fn get_f64(fields: &[(String, Value)], key: &str) -> f64 {
+    match get(fields, key) {
+        Some(Value::F64(x)) => *x,
+        Some(Value::U64(n)) => *n as f64,
+        Some(Value::I64(n)) => *n as f64,
+        _ => 0.0,
+    }
+}
+
+fn get_str<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a str> {
+    match get(fields, key) {
+        Some(Value::Str(s)) => Some(s),
+        _ => None,
+    }
+}
+
+/// Closed span: name, duration, merged enter+exit fields. (Parent
+/// links stay on the records; [`phase_line`] reads them from there.)
+struct ClosedSpan {
+    name: String,
+    dur_us: u64,
+    fields: Vec<(String, Value)>,
+}
+
+/// Resolves Begin/End pairs and Complete records into closed spans,
+/// keyed by id. Unclosed Begins get duration 0.
+fn closed_spans(records: &[Record]) -> HashMap<u64, ClosedSpan> {
+    let mut spans: HashMap<u64, ClosedSpan> = HashMap::new();
+    let mut begin_t: HashMap<u64, u64> = HashMap::new();
+    for r in records {
+        match r {
+            Record::Begin {
+                id,
+                name,
+                t_us,
+                fields,
+                ..
+            } => {
+                begin_t.insert(*id, *t_us);
+                spans.insert(
+                    *id,
+                    ClosedSpan {
+                        name: name.clone(),
+                        dur_us: 0,
+                        fields: fields.clone(),
+                    },
+                );
+            }
+            Record::End { id, t_us, fields } => {
+                if let Some(span) = spans.get_mut(id) {
+                    let start = begin_t.get(id).copied().unwrap_or(*t_us);
+                    span.dur_us = t_us.saturating_sub(start);
+                    span.fields.extend(fields.iter().cloned());
+                }
+            }
+            Record::Complete {
+                id,
+                name,
+                dur_us,
+                fields,
+                ..
+            } => {
+                spans.insert(
+                    *id,
+                    ClosedSpan {
+                        name: name.clone(),
+                        dur_us: *dur_us,
+                        fields: fields.clone(),
+                    },
+                );
+            }
+            Record::Event { .. } => {}
+        }
+    }
+    spans
+}
+
+/// Ids of spans named `name`, in record order.
+fn span_ids_named(records: &[Record], name: &str) -> Vec<u64> {
+    records
+        .iter()
+        .filter_map(|r| match r {
+            Record::Begin { id, name: n, .. } | Record::Complete { id, name: n, .. }
+                if n == name =>
+            {
+                Some(*id)
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// Renders the compile's phase split in the same shape as
+/// `denali_core::Telemetry`'s `Display` (`match 12.3 ms, search 5.0 ms`):
+/// the durations of every direct child span of each `gma` span,
+/// aggregated by name in first-seen order. Returns `"(no phases)"` when
+/// the trace has no such spans (e.g. a parse error before the pipeline
+/// started).
+pub fn phase_line(records: &[Record]) -> String {
+    let spans = closed_spans(records);
+    let roots: Vec<u64> = span_ids_named(records, "gma");
+    let mut order: Vec<String> = Vec::new();
+    let mut total: HashMap<String, f64> = HashMap::new();
+    for r in records {
+        let (id, parent) = match r {
+            Record::Begin { id, parent, .. } | Record::Complete { id, parent, .. } => {
+                (*id, *parent)
+            }
+            _ => continue,
+        };
+        let Some(parent) = parent else { continue };
+        if !roots.contains(&parent) {
+            continue;
+        }
+        let Some(span) = spans.get(&id) else { continue };
+        if !total.contains_key(&span.name) {
+            order.push(span.name.clone());
+        }
+        *total.entry(span.name.clone()).or_insert(0.0) += span.dur_us as f64 / 1e3;
+    }
+    if order.is_empty() {
+        return "(no phases)".to_owned();
+    }
+    let mut out = String::new();
+    for (i, name) in order.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{name} {:.1} ms", total[name]);
+    }
+    out
+}
+
+struct AxiomRow {
+    name: String,
+    rounds: u64,
+    scanned: u64,
+    matches: u64,
+    applied: u64,
+}
+
+/// Renders the full per-phase / per-axiom / per-probe summary of a
+/// trace, in the order the pipeline ran.
+pub fn render(records: &[Record]) -> String {
+    let spans = closed_spans(records);
+    let mut out = String::new();
+
+    // -- phases ------------------------------------------------------
+    let _ = writeln!(out, "phases: {}", phase_line(records));
+
+    // GMA roots, with name fields.
+    for id in span_ids_named(records, "gma") {
+        if let Some(span) = spans.get(&id) {
+            if let Some(name) = get_str(&span.fields, "name") {
+                let _ = writeln!(out, "gma {name}: {:.1} ms", span.dur_us as f64 / 1e3);
+            }
+        }
+    }
+
+    // -- saturation rounds -------------------------------------------
+    let rounds: Vec<&ClosedSpan> = records
+        .iter()
+        .filter_map(|r| match r {
+            Record::Begin { id, name, .. } if name == "saturate.round" => spans.get(id),
+            _ => None,
+        })
+        .collect();
+    if !rounds.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{:<6} {:>5} {:>9} {:>8} {:>10} {:>9}",
+            "round", "phase", "scanned", "skipped", "instances", "ms"
+        );
+        for span in rounds {
+            let _ = writeln!(
+                out,
+                "{:<6} {:>5} {:>9} {:>8} {:>10} {:>9.2}",
+                get_u64(&span.fields, "round"),
+                get_u64(&span.fields, "phase"),
+                get_u64(&span.fields, "scanned"),
+                get_u64(&span.fields, "skipped"),
+                get_u64(&span.fields, "instances"),
+                span.dur_us as f64 / 1e3,
+            );
+        }
+    }
+
+    // -- per-axiom ---------------------------------------------------
+    let mut axiom_order: Vec<String> = Vec::new();
+    let mut axioms: HashMap<String, AxiomRow> = HashMap::new();
+    for r in records {
+        let Record::Event { name, fields, .. } = r else {
+            continue;
+        };
+        if name != "ematch.axiom" {
+            continue;
+        }
+        let Some(axiom) = get_str(fields, "axiom") else {
+            continue;
+        };
+        let row = axioms.entry(axiom.to_owned()).or_insert_with(|| {
+            axiom_order.push(axiom.to_owned());
+            AxiomRow {
+                name: axiom.to_owned(),
+                rounds: 0,
+                scanned: 0,
+                matches: 0,
+                applied: 0,
+            }
+        });
+        row.rounds += 1;
+        row.scanned += get_u64(fields, "scanned");
+        row.matches += get_u64(fields, "matches");
+        row.applied += get_u64(fields, "applied");
+    }
+    if !axiom_order.is_empty() {
+        let width = axiom_order
+            .iter()
+            .map(|a| a.len())
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{:<width$} {:>6} {:>9} {:>8} {:>8}",
+            "axiom", "rounds", "scanned", "matches", "applied"
+        );
+        for name in &axiom_order {
+            let row = &axioms[name];
+            let _ = writeln!(
+                out,
+                "{:<width$} {:>6} {:>9} {:>8} {:>8}",
+                row.name, row.rounds, row.scanned, row.matches, row.applied
+            );
+        }
+    }
+
+    // -- per-probe ---------------------------------------------------
+    let probes: Vec<&Vec<(String, Value)>> = records
+        .iter()
+        .filter_map(|r| match r {
+            Record::Event { name, fields, .. } if name == "sat.probe" => Some(fields),
+            _ => None,
+        })
+        .collect();
+    if !probes.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{:>4} {:<8} {:>7} {:>8} {:>9} {:>9} {:>9} {:>9}",
+            "k", "outcome", "vars", "clauses", "decisions", "conflicts", "enc_ms", "solve_ms"
+        );
+        for fields in &probes {
+            let _ = writeln!(
+                out,
+                "{:>4} {:<8} {:>7} {:>8} {:>9} {:>9} {:>9.2} {:>9.2}",
+                get_u64(fields, "k"),
+                get_str(fields, "outcome").unwrap_or("?"),
+                get_u64(fields, "vars"),
+                get_u64(fields, "clauses"),
+                get_u64(fields, "decisions"),
+                get_u64(fields, "conflicts"),
+                get_f64(fields, "encode_ms"),
+                get_f64(fields, "solve_ms"),
+            );
+        }
+        let solve: f64 = probes.iter().map(|f| get_f64(f, "solve_ms")).sum();
+        let encode: f64 = probes.iter().map(|f| get_f64(f, "encode_ms")).sum();
+        let _ = writeln!(
+            out,
+            "{} probes, {:.1} ms encoding, {:.1} ms solving",
+            probes.len(),
+            encode,
+            solve
+        );
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{field, Tracer};
+
+    fn sample_trace() -> Vec<Record> {
+        let t = Tracer::new();
+        let gma = t.span_fields("gma", vec![field("name", "f")]);
+        let m = t.span("match");
+        let round = t.span_fields(
+            "saturate.round",
+            vec![field("round", 1u64), field("phase", 1u64)],
+        );
+        t.event("ematch.axiom", || {
+            vec![
+                field("axiom", "comm-add"),
+                field("scanned", 10u64),
+                field("matches", 4u64),
+                field("applied", 2u64),
+            ]
+        });
+        round.finish_fields(vec![
+            field("scanned", 10u64),
+            field("skipped", 0u64),
+            field("instances", 2u64),
+        ]);
+        m.finish();
+        let s = t.span("search");
+        t.event("sat.probe", || {
+            vec![
+                field("k", 3u32),
+                field("outcome", "unsat"),
+                field("vars", 120u64),
+                field("clauses", 900u64),
+                field("decisions", 40u64),
+                field("conflicts", 7u64),
+                field("encode_ms", 0.5),
+                field("solve_ms", 1.25),
+            ]
+        });
+        s.finish();
+        gma.finish();
+        t.records()
+    }
+
+    #[test]
+    fn phase_line_matches_telemetry_shape() {
+        let line = phase_line(&sample_trace());
+        assert!(line.starts_with("match "), "got: {line}");
+        assert!(line.contains(", search "), "got: {line}");
+        assert!(line.ends_with(" ms"), "got: {line}");
+    }
+
+    #[test]
+    fn phase_line_without_pipeline_spans() {
+        assert_eq!(phase_line(&[]), "(no phases)");
+    }
+
+    #[test]
+    fn render_includes_all_sections() {
+        let text = render(&sample_trace());
+        assert!(text.contains("phases: match"), "got:\n{text}");
+        assert!(text.contains("gma f:"), "got:\n{text}");
+        assert!(text.contains("comm-add"), "got:\n{text}");
+        assert!(text.contains("unsat"), "got:\n{text}");
+        assert!(text.contains("1 probes"), "got:\n{text}");
+    }
+
+    #[test]
+    fn render_survives_jsonl_round_trip() {
+        let records = sample_trace();
+        let text = crate::jsonl::to_string(&[], &records);
+        let parsed = crate::jsonl::parse_records(&text).unwrap();
+        // Timing fields go through JSON; re-render must not panic and
+        // keeps the structural content.
+        let rendered = render(&parsed);
+        assert!(rendered.contains("comm-add"));
+    }
+}

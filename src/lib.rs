@@ -15,7 +15,9 @@
 //! * [`core`] — the matcher, the SAT constraint generator, the cycle-budget
 //!   search, and code extraction,
 //! * [`baseline`] — the brute-force superoptimizer and conventional
-//!   rewriting-compiler baselines used in the paper's evaluation.
+//!   rewriting-compiler baselines used in the paper's evaluation,
+//! * [`trace`] — structured tracing: hierarchical spans, JSONL and
+//!   Chrome-trace sinks, and summary reports (see `docs/TRACING.md`).
 //!
 //! # Quickstart
 //!
@@ -38,3 +40,4 @@ pub use denali_egraph as egraph;
 pub use denali_lang as lang;
 pub use denali_sat as sat;
 pub use denali_term as term;
+pub use denali_trace as trace;

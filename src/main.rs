@@ -4,25 +4,40 @@
 //! denali FILE.dnl [--proc NAME] [--machine ev6|ev6-unclustered|single-issue|ia64like]
 //!                 [--solver cdcl|dpll] [--threads N] [--load-latency N] [--max-cycles N]
 //!                 [--incremental|--no-incremental] [--delta-match|--no-delta-match]
-//!                 [--probes] [--dump-dimacs DIR] [--simulate name=value ...]
+//!                 [--probes] [-v|--verbose] [--trace] [--trace-out FILE]
+//!                 [--trace-format jsonl|chrome] [--dump-dimacs DIR]
+//!                 [--simulate name=value ...]
+//! denali trace-report TRACE.jsonl
 //! ```
 //!
 //! Compiles a Denali source file, prints a Figure-4-style listing per
 //! generated GMA, and optionally executes the result on the simulator.
+//! `trace-report` renders the per-phase / per-axiom / per-probe summary
+//! of a JSONL trace written by `--trace-out`.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 use denali::arch::{Machine, Simulator};
 use denali::core::{Denali, Options, SolverChoice};
+use denali::trace::{chrome, jsonl, report, Tracer, Value};
+
+#[derive(Clone, Copy, PartialEq)]
+enum TraceFormat {
+    Jsonl,
+    Chrome,
+}
 
 struct Cli {
     file: String,
     proc_name: Option<String>,
     options: Options,
     show_probes: bool,
+    verbose: bool,
     allocate: bool,
     simulate: Vec<(String, u64)>,
+    trace_out: Option<std::path::PathBuf>,
+    trace_format: TraceFormat,
 }
 
 fn usage() -> ! {
@@ -30,10 +45,17 @@ fn usage() -> ! {
         "usage: denali FILE.dnl [--proc NAME] [--machine ev6|ev6-unclustered|single-issue|ia64like]\n\
          \x20                   [--solver cdcl|dpll] [--threads N] [--load-latency N] [--max-cycles N]\n\
          \x20                   [--incremental|--no-incremental] [--delta-match|--no-delta-match]\n\
-         \x20                   [--probes] [--allocate] [--dump-dimacs DIR] [--simulate name=value ...]\n\
+         \x20                   [--probes] [-v|--verbose] [--trace] [--trace-out FILE]\n\
+         \x20                   [--trace-format jsonl|chrome] [--allocate] [--dump-dimacs DIR]\n\
+         \x20                   [--simulate name=value ...]\n\
+         \x20      denali trace-report TRACE.jsonl\n\
          \x20 --threads N       worker threads for matching + speculative probes (0 = all CPUs, 1 = serial)\n\
          \x20 --no-incremental  fresh SAT solver per probe instead of one persistent solver (serial CDCL)\n\
-         \x20 --no-delta-match  re-match every axiom against the whole e-graph each saturation round"
+         \x20 --no-delta-match  re-match every axiom against the whole e-graph each saturation round\n\
+         \x20 --trace           collect a structured trace (also DENALI_TRACE=1)\n\
+         \x20 --trace-out FILE  write the trace to FILE (implies --trace; jsonl unless --trace-format chrome)\n\
+         \x20 -v, --verbose     per-round matcher detail + probe log (implies --trace and --probes)\n\
+         \x20 trace-report      summarize a JSONL trace (phases, axioms, probes)"
     );
     std::process::exit(2);
 }
@@ -45,8 +67,11 @@ fn parse_cli() -> Cli {
         proc_name: None,
         options: Options::default(),
         show_probes: false,
+        verbose: false,
         allocate: false,
         simulate: Vec::new(),
+        trace_out: None,
+        trace_format: TraceFormat::Jsonl,
     };
     let need = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         args.next().unwrap_or_else(|| {
@@ -101,6 +126,22 @@ fn parse_cli() -> Cli {
             "--delta-match" => cli.options.saturation.delta_match = true,
             "--no-delta-match" => cli.options.saturation.delta_match = false,
             "--probes" => cli.show_probes = true,
+            "-v" | "--verbose" => cli.verbose = true,
+            "--trace" => cli.options.trace = true,
+            "--trace-out" => {
+                cli.trace_out = Some(need(&mut args, "--trace-out").into());
+                cli.options.trace = true;
+            }
+            "--trace-format" => {
+                cli.trace_format = match need(&mut args, "--trace-format").as_str() {
+                    "jsonl" => TraceFormat::Jsonl,
+                    "chrome" => TraceFormat::Chrome,
+                    other => {
+                        eprintln!("unknown trace format {other}");
+                        usage();
+                    }
+                }
+            }
             "--allocate" => cli.allocate = true,
             "--pipeline" => cli.options.pipeline_loads = true,
             "--dump-dimacs" => {
@@ -129,10 +170,65 @@ fn parse_cli() -> Cli {
     if cli.file.is_empty() {
         usage();
     }
+    if cli.verbose {
+        cli.show_probes = true;
+        cli.options.trace = true;
+    }
     cli
 }
 
+/// Writes the collected trace to `--trace-out` in the chosen format.
+/// Called on every exit path (success, refutation, pipeline error) so a
+/// failed compilation still leaves its trace behind.
+fn flush_trace(cli: &Cli, tracer: &Tracer) -> Result<(), String> {
+    let Some(path) = &cli.trace_out else {
+        return Ok(());
+    };
+    let records = tracer.records();
+    let text = match cli.trace_format {
+        TraceFormat::Jsonl => {
+            jsonl::to_string(&[("source", Value::from(cli.file.as_str()))], &records)
+        }
+        TraceFormat::Chrome => chrome::to_string(&records),
+    };
+    std::fs::write(path, text).map_err(|e| format!("cannot write trace {}: {e}", path.display()))
+}
+
+/// The `denali trace-report FILE.jsonl` subcommand: parse a JSONL trace
+/// and render its summary tables.
+fn trace_report(path: &str) -> ExitCode {
+    let input = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match jsonl::parse_records(&input) {
+        Ok(records) => {
+            print!("{}", report::render(&records));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {path} is not a JSONL trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
+    {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.first().map(String::as_str) == Some("trace-report") {
+            match args.get(1) {
+                Some(path) if args.len() == 2 => return trace_report(path),
+                _ => {
+                    eprintln!("trace-report expects exactly one JSONL file");
+                    usage();
+                }
+            }
+        }
+    }
     let cli = parse_cli();
     let source = match std::fs::read_to_string(&cli.file) {
         Ok(s) => s,
@@ -141,7 +237,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let denali = Denali::new(cli.options);
+    let denali = Denali::new(cli.options.clone());
     let result = match &cli.proc_name {
         None => denali.compile_source(&source),
         Some(name) => match denali::lang::parse_program(&source) {
@@ -155,7 +251,19 @@ fn main() -> ExitCode {
     let result = match result {
         Ok(r) => r,
         Err(e) => {
+            // Refutations ("no schedule within N cycles") and pipeline
+            // errors land here: still report the phases reached and
+            // flush the trace, so failed runs are diagnosable.
             eprintln!("error: {e}");
+            if denali.tracer().is_enabled() {
+                eprintln!(
+                    "// phases: {}",
+                    report::phase_line(&denali.tracer().records())
+                );
+            }
+            if let Err(msg) = flush_trace(&cli, denali.tracer()) {
+                eprintln!("error: {msg}");
+            }
             return ExitCode::FAILURE;
         }
     };
@@ -184,6 +292,21 @@ fn main() -> ExitCode {
                 compiled.solver_ms()
             );
             println!("//   phases: {}", compiled.telemetry);
+        }
+        if cli.verbose {
+            for (i, round) in compiled.matcher.rounds.iter().enumerate() {
+                let kind = if round.verification {
+                    " (verify)"
+                } else if round.full {
+                    " (full)"
+                } else {
+                    ""
+                };
+                println!(
+                    "//   round {i}{kind}: scanned {}, skipped {}, instances {}, {:.1} ms",
+                    round.scanned, round.skipped, round.instances, round.ms
+                );
+            }
         }
         if cli.allocate {
             match denali::arch::allocate(
@@ -248,6 +371,11 @@ fn main() -> ExitCode {
                 }
             }
         }
+    }
+
+    if let Err(msg) = flush_trace(&cli, denali.tracer()) {
+        eprintln!("error: {msg}");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -189,3 +189,111 @@ fn every_fixture_is_correct_by_simulation() {
         );
     }
 }
+
+#[test]
+fn cli_trace_round_trip() {
+    // End-to-end through the real binary: --trace-out must not change
+    // the compiler's stdout, the JSONL must parse back into records
+    // with the expected span vocabulary, the Chrome export must be
+    // valid JSON with properly nested spans, and `trace-report` must
+    // summarize the JSONL.
+    let exe = env!("CARGO_BIN_EXE_denali");
+    let src = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/figure2.dnl");
+    let dir = std::env::temp_dir().join(format!("denali-cli-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let jsonl_path = dir.join("figure2.jsonl");
+    let chrome_path = dir.join("figure2.chrome.json");
+
+    let run = |args: &[&str]| -> String {
+        let out = std::process::Command::new(exe)
+            .args(args)
+            // Pin the env-driven knobs so CI matrix legs cannot skew
+            // the comparison.
+            .env_remove("DENALI_TRACE")
+            .env("DENALI_THREADS", "1")
+            .env("DENALI_INCREMENTAL", "1")
+            .env("DENALI_DELTA_MATCH", "1")
+            .output()
+            .expect("denali binary runs");
+        assert!(
+            out.status.success(),
+            "denali {args:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).expect("utf-8 stdout")
+    };
+
+    let plain = run(&[src]);
+    let traced = run(&[src, "--trace-out", jsonl_path.to_str().unwrap()]);
+    assert_eq!(plain, traced, "tracing changed the compiler's output");
+
+    let text = std::fs::read_to_string(&jsonl_path).unwrap();
+    let records = denali::trace::jsonl::parse_records(&text).expect("JSONL parses");
+    for name in [
+        "gma",
+        "match",
+        "saturate.round",
+        "search",
+        "probe",
+        "sat.probe",
+    ] {
+        assert!(
+            records.iter().any(|r| r.name() == Some(name)),
+            "JSONL trace is missing {name}"
+        );
+    }
+
+    run(&[
+        src,
+        "--trace-out",
+        chrome_path.to_str().unwrap(),
+        "--trace-format",
+        "chrome",
+    ]);
+    let chrome_text = std::fs::read_to_string(&chrome_path).unwrap();
+    let json = denali::trace::json::parse(&chrome_text).expect("Chrome trace is valid JSON");
+    let events = json
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+    let complete = |name: &str| -> (u64, u64) {
+        let e = events
+            .iter()
+            .find(|e| {
+                e.get("ph").and_then(|p| p.as_str()) == Some("X")
+                    && e.get("name").and_then(|n| n.as_str()) == Some(name)
+            })
+            .unwrap_or_else(|| panic!("no complete event named {name}"));
+        (
+            e.get("ts").and_then(|v| v.as_u64()).expect("ts"),
+            e.get("dur").and_then(|v| v.as_u64()).expect("dur"),
+        )
+    };
+    let (gma_ts, gma_dur) = complete("gma");
+    for phase in ["match", "search"] {
+        let (ts, dur) = complete(phase);
+        assert!(
+            gma_ts <= ts && ts + dur <= gma_ts + gma_dur,
+            "{phase} span [{ts}, {}] not nested in gma [{gma_ts}, {}]",
+            ts + dur,
+            gma_ts + gma_dur
+        );
+    }
+    assert!(
+        events
+            .iter()
+            .any(|e| e.get("name").and_then(|n| n.as_str()) == Some("sat.probe")),
+        "Chrome trace is missing the sat.probe instants"
+    );
+
+    let report = std::process::Command::new(exe)
+        .args(["trace-report", jsonl_path.to_str().unwrap()])
+        .output()
+        .expect("trace-report runs");
+    assert!(report.status.success());
+    let report = String::from_utf8(report.stdout).unwrap();
+    assert!(report.contains("phases:"), "{report}");
+    assert!(report.contains("probes,"), "{report}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
