@@ -1,0 +1,75 @@
+//! The serving layer's graceful-degradation path.
+//!
+//! When a compile request's deadline expires before the superoptimizer
+//! finds (and certifies) an optimal schedule, the server still owes the
+//! client *a* correct program. This module is that fallback: the
+//! deterministic rewrite/list-scheduling baseline ([`rewrite_compile`])
+//! run with no search at all, so its cost is microseconds and — unlike
+//! the SAT search — effectively independent of how hard the GMA is.
+//! Identity GMAs (nothing to compute) fall out naturally as empty or
+//! move-only programs.
+//!
+//! The result is tagged `"degraded": true` by the server and is never
+//! admitted to the result cache: a later request with a looser deadline
+//! must get the chance to compute the optimal program.
+
+use denali_arch::{Machine, Program};
+use denali_lang::Gma;
+
+use crate::rewrite::{rewrite_compile, RewriteError};
+
+/// Compiles `gma` with the no-search baseline pipeline. This is the
+/// entry point the serve crate calls when a deadline fires.
+///
+/// # Errors
+///
+/// Fails only where the rewrite baseline itself fails: GMAs using
+/// program-specific uninterpreted operations that no rewrite rule
+/// covers. Such requests get an error rather than a degraded program —
+/// there is nothing correct to fall back to.
+pub fn degraded_compile(gma: &Gma, machine: &Machine) -> Result<Program, RewriteError> {
+    rewrite_compile(gma, machine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use denali_lang::{lower_proc, parse_program};
+
+    fn gma_of(src: &str) -> Gma {
+        let p = parse_program(src).unwrap();
+        lower_proc(&p.procs[0]).unwrap().remove(0)
+    }
+
+    #[test]
+    fn degraded_program_is_valid_machine_code() {
+        let gma = gma_of("(\\procdecl f ((reg6 long)) long (:= (\\res (+ (* reg6 4) 1))))");
+        let machine = Machine::ev6();
+        let program = degraded_compile(&gma, &machine).unwrap();
+        denali_arch::validate(&program, &machine).unwrap();
+        assert!(!program.is_empty());
+    }
+
+    #[test]
+    fn degraded_matches_the_gma_semantics() {
+        let gma = gma_of("(\\procdecl f ((a long) (b long)) long (:= (\\res (& (<< a 2) b))))");
+        let machine = Machine::ev6();
+        let program = degraded_compile(&gma, &machine).unwrap();
+        // Spot-check a few input vectors in the simulator.
+        let sim = denali_arch::Simulator::new(&machine);
+        for (a, b) in [(0u64, 0u64), (1, u64::MAX), (0x1234_5678, 0xff00)] {
+            let out = sim
+                .run_named(&program, &[("a", a), ("b", b)], Default::default())
+                .unwrap();
+            let res_reg = program
+                .output_reg(denali_term::Symbol::intern("res"))
+                .unwrap();
+            let expect = (a << 2) & b;
+            assert_eq!(
+                out.regs.get(&res_reg).copied(),
+                Some(expect),
+                "a={a:#x} b={b:#x}"
+            );
+        }
+    }
+}

@@ -17,7 +17,9 @@
 //!   (`-fast -arch ev6` plus "helpful input").
 
 pub mod brute;
+pub mod degraded;
 pub mod rewrite;
 
 pub use brute::{brute_search, BruteConfig, BruteProgram, BruteStats};
+pub use degraded::degraded_compile;
 pub use rewrite::{rewrite_compile, RewriteError};

@@ -40,6 +40,9 @@ fn main() {
     if want("e5") {
         e5_byteswap5();
     }
+    if want("e5s") {
+        e5_serve();
+    }
     if want("e6") {
         e6_bruteforce();
     }
@@ -338,6 +341,65 @@ fn e5_byteswap5() {
         "              byteswap4: Denali {} cycles; rewriting compiler {} cycles\n",
         result4.gmas[0].cycles,
         baseline4.cycles(),
+    );
+}
+
+/// E5s (not in the paper): the serving layer — cold-miss compile vs
+/// warm cache hit vs degraded-deadline fallback, over the example GMAs.
+fn e5_serve() {
+    use denali_serve::{Server, ServerConfig};
+    header(
+        "E5s",
+        "compilation server: cold / warm / degraded",
+        "persistent server amortizes the paper's repeated-invocation workload (§1, §6)",
+    );
+    let config = ServerConfig {
+        base: Options {
+            threads: denali_bench::bench_threads(),
+            ..Options::default()
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::new(config.clone()).unwrap();
+    // Degraded requests go to a second server so the first one's warm
+    // cache cannot answer them (a hit satisfies any deadline).
+    let fallback = Server::new(config).unwrap();
+    let compile_line = |source: &str, extra: &str| {
+        let mut src = String::new();
+        denali_trace::json::write_str(&mut src, source);
+        format!(r#"{{"type":"compile","id":"r","source":{src}{extra}}}"#)
+    };
+    let timed = |server: &Server, line: &str| {
+        let t = Instant::now();
+        let response = server.handle_line(line).expect("response");
+        (response, t.elapsed())
+    };
+    println!(
+        "    measured: program        cold ms   warm ms   degraded ms   warm==cold   cold/warm"
+    );
+    for (name, source) in [
+        ("figure2", programs::FIGURE2),
+        ("wordswap32", programs::WORDSWAP32),
+        ("lcp2", programs::LCP2),
+    ] {
+        let line = compile_line(source, "");
+        let (cold, cold_t) = timed(&server, &line);
+        let (warm, warm_t) = timed(&server, &line);
+        let late = compile_line(source, r#","deadline_ms":0"#);
+        let (_degraded, degraded_t) = timed(&fallback, &late);
+        println!(
+            "              {name:<12} {:>8.1}  {:>8.3}  {:>12.3}   {:<10}  {:>8.0}x",
+            cold_t.as_secs_f64() * 1e3,
+            warm_t.as_secs_f64() * 1e3,
+            degraded_t.as_secs_f64() * 1e3,
+            cold == warm,
+            cold_t.as_secs_f64() / warm_t.as_secs_f64().max(1e-9),
+        );
+    }
+    let snap = server.cache().snapshot();
+    println!(
+        "              cache: {} hits / {} misses, {} entries, {} bytes resident\n",
+        snap.hits, snap.misses, snap.entries, snap.bytes
     );
 }
 

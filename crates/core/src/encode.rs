@@ -485,6 +485,10 @@ pub fn encode(
 pub struct IncrementalProbe {
     /// Whether a schedule exists within the probed budget.
     pub satisfiable: bool,
+    /// True if an installed interrupt flag (see
+    /// [`IncrementalEncoding::set_interrupt`]) stopped the solver
+    /// before it reached an answer; `satisfiable` is meaningless then.
+    pub interrupted: bool,
     /// Live solver variable count (cumulative across budgets).
     pub vars: usize,
     /// Live solver problem-clause count (cumulative across budgets).
@@ -632,6 +636,15 @@ impl<'a> IncrementalEncoding<'a> {
     /// probeable without growing).
     pub fn horizon(&self) -> u32 {
         self.horizon
+    }
+
+    /// Installs a shared interrupt flag on the persistent solver. Once
+    /// the flag is raised, the in-flight probe (and any later one)
+    /// returns with [`IncrementalProbe::interrupted`] set at the
+    /// solver's next checkpoint instead of an answer. Used by request
+    /// deadlines to abandon a search mid-probe.
+    pub fn set_interrupt(&mut self, flag: std::sync::Arc<std::sync::atomic::AtomicBool>) {
+        self.solver.set_interrupt(flag);
     }
 
     /// Lifetime work counters of the persistent solver.
@@ -948,15 +961,16 @@ impl<'a> IncrementalEncoding<'a> {
         let solve_start = Instant::now();
         let result = self.solver.solve_under(&assumptions);
         let solve_ms = solve_start.elapsed().as_secs_f64() * 1e3;
-        let satisfiable = match result {
-            SolveResult::Sat => true,
-            SolveResult::Unsat => false,
-            SolveResult::Interrupted => {
-                unreachable!("no interrupt is installed on the incremental solver")
-            }
+        let (satisfiable, interrupted) = match result {
+            SolveResult::Sat => (true, false),
+            SolveResult::Unsat => (false, false),
+            // Only possible when `set_interrupt` installed a flag and
+            // it was raised (deadline cancellation).
+            SolveResult::Interrupted => (false, true),
         };
         IncrementalProbe {
             satisfiable,
+            interrupted,
             vars: self.solver.num_vars(),
             clauses: self.solver.num_clauses(),
             encode_ms,

@@ -5,6 +5,7 @@ use std::fmt;
 use denali_arch::Machine;
 use denali_axioms::{Axiom, SaturationLimits, SaturationReport};
 use denali_lang::{lower_proc, parse_program, Gma, SourceProgram};
+use denali_par::CancelToken;
 
 use denali_trace::{field, Tracer};
 
@@ -65,6 +66,12 @@ pub struct Options {
     /// pointer check per instrumentation point. Defaults to the
     /// `DENALI_TRACE` environment variable, else off.
     pub trace: bool,
+    /// External cancellation (request deadlines, server shutdown).
+    /// When the token is raised, the pipeline stops at the next phase
+    /// boundary — or mid-probe inside the SAT search — and reports a
+    /// [`CompileError`] whose [`CompileError::is_cancelled`] is true.
+    /// Never part of the compilation fingerprint.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for Options {
@@ -83,6 +90,7 @@ impl Default for Options {
             threads: env_threads(),
             incremental: env_incremental(),
             trace: denali_trace::env_enabled(),
+            cancel: None,
         }
     }
 }
@@ -173,6 +181,19 @@ pub struct CompileError {
     pub message: String,
 }
 
+impl CompileError {
+    /// The stage name reported when [`Options::cancel`] stopped the
+    /// pipeline.
+    pub const CANCELLED: &'static str = "cancelled";
+
+    /// True if this error reports external cancellation (a deadline or
+    /// shutdown), not a genuine failure. Cancelled compilations are the
+    /// server's cue to fall back to the baseline (degraded) program.
+    pub fn is_cancelled(&self) -> bool {
+        self.stage == CompileError::CANCELLED
+    }
+}
+
 impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}: {}", self.stage, self.message)
@@ -186,6 +207,24 @@ fn stage_err<E: fmt::Display>(stage: &'static str) -> impl Fn(E) -> CompileError
         stage,
         message: e.to_string(),
     }
+}
+
+/// A procedure readied for compilation: parsed, lowered to GMAs, with
+/// its full axiom set assembled (built-ins, [`Options::extra_axioms`],
+/// and the program's own axiom forms) and loop loads pipelined when
+/// [`Options::pipeline_loads`] is set.
+///
+/// This is the front half of [`Denali::compile_proc`], split out so a
+/// caller can [`Denali::fingerprint`] the work before paying for it —
+/// the basis of the serve crate's content-addressed result cache.
+#[derive(Clone, Debug)]
+pub struct Prepared {
+    /// The procedure's name.
+    pub name: String,
+    /// The lowered GMAs, in program order.
+    pub gmas: Vec<Gma>,
+    /// Every axiom the matcher will use.
+    pub axioms: Vec<Axiom>,
 }
 
 /// The Denali superoptimizer façade.
@@ -218,6 +257,23 @@ impl Denali {
         &self.options
     }
 
+    /// Fails with a `cancelled`-stage error if [`Options::cancel`] has
+    /// been raised.
+    fn check_cancelled(&self) -> Result<(), CompileError> {
+        if self
+            .options
+            .cancel
+            .as_ref()
+            .is_some_and(|c| c.is_cancelled())
+        {
+            return Err(CompileError {
+                stage: CompileError::CANCELLED,
+                message: "compilation cancelled".to_owned(),
+            });
+        }
+        Ok(())
+    }
+
     /// The pipeline's tracer: records accumulate across every
     /// compilation this façade runs (including failed ones, which is
     /// how error paths still get a trace). Disabled unless
@@ -233,16 +289,8 @@ impl Denali {
     /// Reports the failing stage: parsing, axiom parsing, lowering,
     /// matching, enumeration, or search.
     pub fn compile_source(&self, source: &str) -> Result<CompileResult, CompileError> {
-        let program = parse_program(source).map_err(stage_err("parse"))?;
-        let first = program
-            .procs
-            .first()
-            .ok_or_else(|| CompileError {
-                stage: "parse",
-                message: "source contains no procedures".to_owned(),
-            })?
-            .name;
-        self.compile_proc(&program, first.as_str())
+        let prepared = self.prepare_source(source)?;
+        self.compile_prepared(&prepared)
     }
 
     /// Compiles the named procedure of an already-parsed program.
@@ -255,6 +303,41 @@ impl Denali {
         program: &SourceProgram,
         name: &str,
     ) -> Result<CompileResult, CompileError> {
+        let prepared = self.prepare_proc(program, name)?;
+        self.compile_prepared(&prepared)
+    }
+
+    /// Runs the front half of [`Denali::compile_source`] — parsing,
+    /// axiom assembly, lowering, load pipelining — without entering the
+    /// match/search phases.
+    ///
+    /// # Errors
+    ///
+    /// Reports the failing stage: parsing, axiom parsing, or lowering.
+    pub fn prepare_source(&self, source: &str) -> Result<Prepared, CompileError> {
+        let program = parse_program(source).map_err(stage_err("parse"))?;
+        let first = program
+            .procs
+            .first()
+            .ok_or_else(|| CompileError {
+                stage: "parse",
+                message: "source contains no procedures".to_owned(),
+            })?
+            .name;
+        self.prepare_proc(&program, first.as_str())
+    }
+
+    /// [`Denali::prepare_source`] for the named procedure of an
+    /// already-parsed program.
+    ///
+    /// # Errors
+    ///
+    /// As [`Denali::prepare_source`].
+    pub fn prepare_proc(
+        &self,
+        program: &SourceProgram,
+        name: &str,
+    ) -> Result<Prepared, CompileError> {
         let proc = program.proc(name).ok_or_else(|| CompileError {
             stage: "parse",
             message: format!("no procedure named {name}"),
@@ -294,11 +377,35 @@ impl Denali {
                 message: format!("procedure {name} has no effect (no GMAs)"),
             });
         }
-        let compiled = gmas
-            .into_iter()
-            .map(|gma| self.compile_gma(gma, &axioms))
+        Ok(Prepared {
+            name: name.to_owned(),
+            gmas,
+            axioms,
+        })
+    }
+
+    /// Runs the back half of [`Denali::compile_source`]: the
+    /// match/enumerate/search pipeline over every prepared GMA.
+    ///
+    /// # Errors
+    ///
+    /// Reports the failing stage: matching, enumeration, search, or
+    /// cancellation.
+    pub fn compile_prepared(&self, prepared: &Prepared) -> Result<CompileResult, CompileError> {
+        let compiled = prepared
+            .gmas
+            .iter()
+            .map(|gma| self.compile_gma(gma.clone(), &prepared.axioms))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(CompileResult { gmas: compiled })
+    }
+
+    /// The content-addressed cache key for compiling `prepared` under
+    /// this façade's options: a 128-bit hex digest over the lowered
+    /// GMAs, the axiom set, and the output-affecting option subset (see
+    /// [`crate::fingerprint`] for what is excluded and why).
+    pub fn fingerprint(&self, prepared: &Prepared) -> String {
+        crate::fingerprint::fingerprint(&prepared.gmas, &prepared.axioms, &self.options)
     }
 
     /// Runs the crucial inner subroutine (Figure 1) on a single GMA.
@@ -307,6 +414,7 @@ impl Denali {
     ///
     /// As [`Denali::compile_source`].
     pub fn compile_gma(&self, gma: Gma, axioms: &[Axiom]) -> Result<CompiledGma, CompileError> {
+        self.check_cancelled()?;
         let mut telemetry = Telemetry::new();
         let tracer = &self.tracer;
         // One root span per GMA; the phase spans below both produce the
@@ -328,6 +436,10 @@ impl Denali {
         // actually scanned vs. excluded by the dirty-cone filter.
         telemetry.count("match.scanned", matched.report.scanned_candidates as u64);
         telemetry.count("match.skipped", matched.report.skipped_candidates as u64);
+        // Phase boundary: a deadline raised during matching stops here
+        // rather than entering enumeration (saturation itself is
+        // bounded by its budgets, so this check is reached promptly).
+        self.check_cancelled()?;
 
         let inputs = gma.inputs();
         let span = tracer.span("enumerate");
@@ -359,6 +471,7 @@ impl Denali {
                     directory: dir.clone(),
                     label: gma.name.clone(),
                 }),
+            cancel: self.options.cancel.clone(),
         };
         let span = tracer.span("search");
         let outcome = search_traced(
@@ -371,7 +484,14 @@ impl Denali {
             tracer,
         );
         telemetry.record("search", span.finish());
-        let outcome: SearchOutcome = outcome.map_err(stage_err("search"))?;
+        let outcome: SearchOutcome = outcome.map_err(|e| CompileError {
+            stage: if e.cancelled {
+                CompileError::CANCELLED
+            } else {
+                "search"
+            },
+            message: e.message,
+        })?;
 
         gma_span.finish_fields(vec![
             field("cycles", outcome.cycles),

@@ -1,0 +1,245 @@
+//! Content-addressed compilation fingerprints.
+//!
+//! A fingerprint is a stable 128-bit hex digest over everything that
+//! determines a compilation's *output*: the lowered GMAs, the full
+//! axiom set, and the output-affecting subset of [`Options`]. Knobs
+//! that only change wall-clock or observability — `threads`,
+//! `incremental`, `trace`, `dump_dimacs`, `saturation.delta_match`,
+//! and the cancellation token — are deliberately excluded: the
+//! pipeline's determinism contract guarantees byte-identical results
+//! across all of them, so requests differing only in those knobs may
+//! share one cached result.
+//!
+//! The hash is two independent FNV-1a-64 lanes over a canonical text
+//! serialization. It is *not* cryptographic; it keys a trusted local
+//! cache, where 128 bits of a well-dispersed hash make accidental
+//! collisions negligible.
+
+use denali_axioms::{Axiom, AxiomBody, AxiomPriority};
+use denali_lang::Gma;
+
+use crate::facade::Options;
+use crate::search::SolverChoice;
+
+/// Two-lane FNV-1a-64 accumulator (128 bits total). The lanes use the
+/// standard FNV prime with distinct offset bases, so they disperse the
+/// same byte stream independently.
+struct Fp {
+    a: u64,
+    b: u64,
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+const FNV_OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+/// Second lane's offset: the standard basis folded with an arbitrary
+/// odd constant so the lanes start decorrelated.
+const FNV_OFFSET_B: u64 = 0xcbf2_9ce4_8422_2325 ^ 0x9e37_79b9_7f4a_7c15;
+
+impl Fp {
+    fn new() -> Fp {
+        Fp {
+            a: FNV_OFFSET_A,
+            b: FNV_OFFSET_B,
+        }
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            self.b = (self.b ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Writes a labeled field with unambiguous framing (label, `=`,
+    /// value, `;`). The labels keep adjacent fields from running
+    /// together under concatenation.
+    fn field(&mut self, label: &str, value: &str) {
+        self.write(label.as_bytes());
+        self.write(b"=");
+        self.write(value.as_bytes());
+        self.write(b";");
+    }
+
+    fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.a, self.b)
+    }
+}
+
+/// Computes the canonical fingerprint for compiling `gmas` under
+/// `axioms` with `options`. See the module docs for what is and is not
+/// part of the key.
+pub fn fingerprint(gmas: &[Gma], axioms: &[Axiom], options: &Options) -> String {
+    let mut fp = Fp::new();
+    fp.field("v", "1");
+
+    // Output-affecting options. `machine` is identified by name: the
+    // constructors are the only way to build one, so the name pins the
+    // full description.
+    fp.field("machine", options.machine.name());
+    let solver = match options.solver {
+        SolverChoice::Cdcl => "cdcl",
+        SolverChoice::Dpll => "dpll",
+    };
+    fp.field("solver", solver);
+    fp.field("max_cycles", &options.max_cycles.to_string());
+    let load_latency = match options.load_latency {
+        Some(l) => l.to_string(),
+        None => "default".to_owned(),
+    };
+    fp.field("load_latency", &load_latency);
+    fp.field("miss_latency", &options.miss_latency.to_string());
+    fp.field(
+        "speculate_loads",
+        &options.encode.speculate_loads.to_string(),
+    );
+    // Saturation budgets shape the e-graph and therefore the output;
+    // `threads` and `delta_match` are result-identical knobs and stay
+    // out of the key.
+    let s = &options.saturation;
+    fp.field("sat.max_iterations", &s.max_iterations.to_string());
+    fp.field("sat.max_nodes", &s.max_nodes.to_string());
+    fp.field(
+        "sat.max_instances_per_round",
+        &s.max_instances_per_round.to_string(),
+    );
+    fp.field(
+        "sat.max_structural_per_round",
+        &s.max_structural_per_round.to_string(),
+    );
+    fp.field("sat.pow2_facts", &s.pow2_facts.to_string());
+    fp.field(
+        "sat.max_structural_growth",
+        &s.max_structural_growth.to_string(),
+    );
+
+    // The lowered GMAs. `pipeline_loads` and `extra_axioms` need no
+    // separate fields: the former rewrites the GMAs before
+    // fingerprinting and the latter lands in `axioms`.
+    fp.field("gmas", &gmas.len().to_string());
+    for gma in gmas {
+        hash_gma(&mut fp, gma);
+    }
+
+    fp.field("axioms", &axioms.len().to_string());
+    for axiom in axioms {
+        hash_axiom(&mut fp, axiom);
+    }
+
+    fp.hex()
+}
+
+fn hash_gma(fp: &mut Fp, gma: &Gma) {
+    fp.field("gma", &gma.name);
+    match &gma.guard {
+        Some(g) => fp.field("guard", &g.to_string()),
+        None => fp.field("guard", "-"),
+    }
+    for (target, value) in &gma.assigns {
+        fp.field("assign", target.as_str());
+        fp.field("value", &value.to_string());
+    }
+    match &gma.mem {
+        Some(m) => fp.field("mem", &m.to_string()),
+        None => fp.field("mem", "-"),
+    }
+    for addr in &gma.miss_addrs {
+        fp.field("miss", &addr.to_string());
+    }
+}
+
+fn hash_axiom(fp: &mut Fp, axiom: &Axiom) {
+    fp.field("axiom", &axiom.name);
+    for var in &axiom.vars {
+        fp.field("var", var.as_str());
+    }
+    for pattern in &axiom.patterns {
+        fp.field("pat", &pattern.to_string());
+    }
+    match &axiom.body {
+        AxiomBody::Equal(l, r) => {
+            fp.field("eq.l", &l.to_string());
+            fp.field("eq.r", &r.to_string());
+        }
+        AxiomBody::Distinct(l, r) => {
+            fp.field("ne.l", &l.to_string());
+            fp.field("ne.r", &r.to_string());
+        }
+        AxiomBody::Clause(lits) => {
+            for (positive, l, r) in lits {
+                fp.field("lit", if *positive { "+" } else { "-" });
+                fp.field("lit.l", &l.to_string());
+                fp.field("lit.r", &r.to_string());
+            }
+        }
+    }
+    // A side condition's predicate is a function pointer; its
+    // description is the stable identity (each built-in condition has a
+    // distinct one).
+    match &axiom.condition {
+        Some(c) => fp.field("cond", c.description),
+        None => fp.field("cond", "-"),
+    }
+    let priority = match axiom.priority {
+        AxiomPriority::Defining => "defining",
+        AxiomPriority::Structural => "structural",
+    };
+    fp.field("priority", priority);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use denali_lang::{lower_proc, parse_program};
+
+    fn figure2_gmas() -> Vec<Gma> {
+        let p = parse_program("(\\procdecl f ((reg6 long)) long (:= (\\res (+ (* reg6 4) 1))))")
+            .unwrap();
+        lower_proc(&p.procs[0]).unwrap()
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_hex() {
+        let gmas = figure2_gmas();
+        let axioms = denali_axioms::standard_axioms();
+        let opts = Options::default();
+        let a = fingerprint(&gmas, &axioms, &opts);
+        let b = fingerprint(&gmas, &axioms, &opts);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 32);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn fingerprint_ignores_execution_knobs() {
+        let gmas = figure2_gmas();
+        let axioms = denali_axioms::standard_axioms();
+        let base = Options::default();
+        let key = fingerprint(&gmas, &axioms, &base);
+        let mut other = base.clone();
+        other.threads = 8;
+        other.incremental = !base.incremental;
+        other.trace = true;
+        other.dump_dimacs = Some(std::path::PathBuf::from("/tmp/nowhere"));
+        other.saturation.threads = 4;
+        other.saturation.delta_match = !base.saturation.delta_match;
+        assert_eq!(key, fingerprint(&gmas, &axioms, &other));
+    }
+
+    #[test]
+    fn fingerprint_tracks_output_affecting_knobs() {
+        let gmas = figure2_gmas();
+        let axioms = denali_axioms::standard_axioms();
+        let base = Options::default();
+        let key = fingerprint(&gmas, &axioms, &base);
+        let mut cycles = base.clone();
+        cycles.max_cycles = 7;
+        assert_ne!(key, fingerprint(&gmas, &axioms, &cycles));
+        let mut latency = base.clone();
+        latency.miss_latency = 3;
+        assert_ne!(key, fingerprint(&gmas, &axioms, &latency));
+        // Dropping an axiom changes the key.
+        assert_ne!(key, fingerprint(&gmas, &axioms[1..], &base));
+        // A different GMA changes the key.
+        assert_ne!(key, fingerprint(&gmas[..0], &axioms, &base));
+    }
+}

@@ -37,6 +37,7 @@
 
 pub mod encode;
 pub mod extract;
+pub mod fingerprint;
 pub mod machine_terms;
 pub mod matcher;
 pub mod search;
@@ -44,6 +45,8 @@ pub mod telemetry;
 
 mod facade;
 
-pub use facade::{CompileError, CompileResult, CompiledGma, Denali, Options, SolverChoice};
-pub use search::{DimacsDump, ProbeStats, SearchOutcome, SearchParams};
+pub use facade::{
+    CompileError, CompileResult, CompiledGma, Denali, Options, Prepared, SolverChoice,
+};
+pub use search::{DimacsDump, ProbeStats, SearchError, SearchOutcome, SearchParams};
 pub use telemetry::Telemetry;

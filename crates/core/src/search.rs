@@ -144,6 +144,25 @@ pub struct SearchOutcome {
 pub struct SearchError {
     /// Explanation.
     pub message: String,
+    /// True if the search stopped because [`SearchParams::cancel`] was
+    /// raised (a deadline or shutdown), not because it failed.
+    pub cancelled: bool,
+}
+
+impl SearchError {
+    fn new(message: String) -> SearchError {
+        SearchError {
+            message,
+            cancelled: false,
+        }
+    }
+
+    fn cancelled() -> SearchError {
+        SearchError {
+            message: "search cancelled".to_owned(),
+            cancelled: true,
+        }
+    }
 }
 
 impl fmt::Display for SearchError {
@@ -186,6 +205,11 @@ pub struct SearchParams {
     /// dumped, so the file set matches the serial search. A dump
     /// disables incremental probing (see [`SearchParams::incremental`]).
     pub dump: Option<DimacsDump>,
+    /// External cancellation (deadlines, shutdown). When raised, the
+    /// search stops at the next budget boundary — or mid-probe, at the
+    /// solver's next checkpoint — and returns a [`SearchError`] with
+    /// `cancelled` set. `None` means the search runs to completion.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for SearchParams {
@@ -196,6 +220,7 @@ impl Default for SearchParams {
             threads: 1,
             incremental: true,
             dump: None,
+            cancel: None,
         }
     }
 }
@@ -299,16 +324,25 @@ struct Scheduler<'a> {
     /// Extra worker threads available for speculation (0 = serial).
     workers: usize,
     dump: Option<&'a DimacsDump>,
+    /// External cancellation, threaded into every primary probe so a
+    /// deadline can abandon the solver mid-probe.
+    cancel: Option<&'a CancelToken>,
     cache: HashMap<u32, ProbeRun>,
     probes: Vec<ProbeStats>,
 }
 
 impl<'a> Scheduler<'a> {
-    fn new(ctx: ProbeCtx<'a>, threads: usize, dump: Option<&'a DimacsDump>) -> Scheduler<'a> {
+    fn new(
+        ctx: ProbeCtx<'a>,
+        threads: usize,
+        dump: Option<&'a DimacsDump>,
+        cancel: Option<&'a CancelToken>,
+    ) -> Scheduler<'a> {
         Scheduler {
             ctx,
             workers: denali_par::resolve_threads(threads).saturating_sub(1),
             dump,
+            cancel,
             cache: HashMap::new(),
             probes: Vec::new(),
         }
@@ -327,20 +361,27 @@ impl<'a> Scheduler<'a> {
         let run = match self.cache.remove(&primary) {
             Some(run) => run,
             None if self.workers == 0 || speculative.is_empty() => {
-                match run_probe(self.ctx, primary, None) {
+                match run_probe(self.ctx, primary, self.cancel) {
                     ProbeOutcome::Done(run) => *run,
-                    ProbeOutcome::Interrupted => unreachable!("probe without cancel interrupted"),
+                    ProbeOutcome::Interrupted => return Err(SearchError::cancelled()),
                 }
             }
-            None => self.run_speculating(primary, speculative),
+            None => self.run_speculating(primary, speculative)?,
         };
         self.consume(run, tracer)
     }
 
     /// Runs `primary` on the caller's thread while speculations run on
     /// scoped threads; cancels losers the moment the primary resolves.
-    fn run_speculating(&mut self, primary: u32, speculative: &[(u32, Keep)]) -> ProbeRun {
+    /// If external cancellation interrupts the primary, every
+    /// speculation is cancelled and joined before the error returns.
+    fn run_speculating(
+        &mut self,
+        primary: u32,
+        speculative: &[(u32, Keep)],
+    ) -> Result<ProbeRun, SearchError> {
         let ctx = self.ctx;
+        let cancel = self.cancel;
         let launches: Vec<(u32, Keep)> = speculative
             .iter()
             .filter(|(k, _)| !self.cache.contains_key(k))
@@ -357,14 +398,18 @@ impl<'a> Scheduler<'a> {
                     (k, keep, token, handle)
                 })
                 .collect();
-            let run = match run_probe(ctx, primary, None) {
-                ProbeOutcome::Done(run) => *run,
-                ProbeOutcome::Interrupted => unreachable!("probe without cancel interrupted"),
+            let run = match run_probe(ctx, primary, cancel) {
+                ProbeOutcome::Done(run) => Some(*run),
+                ProbeOutcome::Interrupted => None,
             };
             for (_, keep, token, _) in &handles {
-                let off_path = match keep {
-                    Keep::IfSat => !run.stats.satisfiable,
-                    Keep::IfUnsat => run.stats.satisfiable,
+                let off_path = match &run {
+                    // Cancelled search: nothing is on-path any more.
+                    None => true,
+                    Some(run) => match keep {
+                        Keep::IfSat => !run.stats.satisfiable,
+                        Keep::IfUnsat => run.stats.satisfiable,
+                    },
                 };
                 if off_path {
                     token.cancel();
@@ -381,7 +426,7 @@ impl<'a> Scheduler<'a> {
                 self.cache.insert(k, *done);
             }
         }
-        run
+        run.ok_or_else(SearchError::cancelled)
     }
 
     /// Logs a probe the serial control flow has reached, writing its
@@ -389,18 +434,18 @@ impl<'a> Scheduler<'a> {
     /// silently missing CNF defeats the point of dumping.
     fn consume(&mut self, run: ProbeRun, tracer: &Tracer) -> Result<ProbeRun, SearchError> {
         if let Some(dump) = self.dump {
-            std::fs::create_dir_all(&dump.directory).map_err(|e| SearchError {
-                message: format!(
+            std::fs::create_dir_all(&dump.directory).map_err(|e| {
+                SearchError::new(format!(
                     "cannot create DIMACS dump directory {}: {e}",
                     dump.directory.display()
-                ),
+                ))
             })?;
             let path = dump
                 .directory
                 .join(format!("{}_k{}.cnf", dump.label, run.stats.k));
             let cnf = run.cnf.as_ref().expect("fresh probes keep their CNF");
-            std::fs::write(&path, cnf.to_dimacs()).map_err(|e| SearchError {
-                message: format!("cannot write DIMACS dump {}: {e}", path.display()),
+            std::fs::write(&path, cnf.to_dimacs()).map_err(|e| {
+                SearchError::new(format!("cannot write DIMACS dump {}: {e}", path.display()))
             })?;
         }
         self.probes.push(run.stats);
@@ -487,6 +532,9 @@ impl<'a> Prober<'a> {
             Prober::Fresh(sched) => sched.probe(primary, speculative, tracer),
             Prober::Incremental { inc, probes } => {
                 let p = inc.probe_traced(primary, tracer);
+                if p.interrupted {
+                    return Err(SearchError::cancelled());
+                }
                 let stats = ProbeStats {
                     k: primary,
                     vars: p.vars,
@@ -578,10 +626,8 @@ pub fn search_traced(
         && candidates.store_levels.is_empty()
     {
         tracer.event("search.identity", Vec::new);
-        let program =
-            extract(gma, matched, candidates, machine, 0, &[]).map_err(|e| SearchError {
-                message: e.to_string(),
-            })?;
+        let program = extract(gma, matched, candidates, machine, 0, &[])
+            .map_err(|e| SearchError::new(e.to_string()))?;
         return Ok(SearchOutcome {
             program,
             cycles: 0,
@@ -602,14 +648,23 @@ pub fn search_traced(
         && params.dump.is_none()
         && denali_par::resolve_threads(params.threads) == 1;
     let mut prober = if use_incremental {
+        let mut inc = Box::new(IncrementalEncoding::new(
+            matched, candidates, machine, options,
+        ));
+        if let Some(token) = &params.cancel {
+            inc.set_interrupt(token.handle());
+        }
         Prober::Incremental {
-            inc: Box::new(IncrementalEncoding::new(
-                matched, candidates, machine, options,
-            )),
+            inc,
             probes: Vec::new(),
         }
     } else {
-        Prober::Fresh(Scheduler::new(ctx, params.threads, params.dump.as_ref()))
+        Prober::Fresh(Scheduler::new(
+            ctx,
+            params.threads,
+            params.dump.as_ref(),
+            params.cancel.as_ref(),
+        ))
     };
     let max_cycles = params.max_cycles;
 
@@ -620,10 +675,13 @@ pub fn search_traced(
     let mut max_unsat = 0u32;
     let mut best: ProbeRun;
     loop {
+        if params.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+            return Err(SearchError::cancelled());
+        }
         if k > max_cycles {
-            return Err(SearchError {
-                message: format!("no schedule within {max_cycles} cycles"),
-            });
+            return Err(SearchError::new(format!(
+                "no schedule within {max_cycles} cycles"
+            )));
         }
         let next = next_budget(k, max_cycles);
         let speculative: &[(u32, Keep)] = if next != k {
@@ -638,9 +696,9 @@ pub fn search_traced(
         }
         max_unsat = k;
         if next == k {
-            return Err(SearchError {
-                message: format!("no schedule within {max_cycles} cycles"),
-            });
+            return Err(SearchError::new(format!(
+                "no schedule within {max_cycles} cycles"
+            )));
         }
         k = next;
     }
@@ -657,6 +715,11 @@ pub fn search_traced(
         vec![field("lo", max_unsat), field("hi", best_k)],
     );
     while best_k - max_unsat > 1 {
+        if params.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+            // A winner exists, but returning it would make the probe
+            // log deadline-dependent; the caller degrades instead.
+            return Err(SearchError::cancelled());
+        }
         let mid = max_unsat + (best_k - max_unsat) / 2;
         let mut speculative = Vec::new();
         let if_sat = max_unsat + (mid - max_unsat) / 2;
@@ -699,20 +762,16 @@ pub fn search_traced(
             match solver.solve() {
                 SolveResult::Sat => encoding.true_launches(solver.model().expect("sat model")),
                 _ => {
-                    return Err(SearchError {
-                        message: format!(
-                            "internal: budget {best_k} satisfiable under assumptions \
-                             but unsatisfiable standalone"
-                        ),
-                    })
+                    return Err(SearchError::new(format!(
+                        "internal: budget {best_k} satisfiable under assumptions \
+                         but unsatisfiable standalone"
+                    )))
                 }
             }
         }
     };
-    let program =
-        extract(gma, matched, candidates, machine, best_k, &launches).map_err(|e| SearchError {
-            message: e.to_string(),
-        })?;
+    let program = extract(gma, matched, candidates, machine, best_k, &launches)
+        .map_err(|e| SearchError::new(e.to_string()))?;
     decode.finish_fields(vec![field("launches", launches.len())]);
     Ok(SearchOutcome {
         program,

@@ -1,7 +1,7 @@
 //! Coverage for the `Denali` façade API surface: procedure selection,
 //! error stages, options plumbing, DIMACS dumps, and result accessors.
 
-use denali_core::{Denali, Options, SolverChoice};
+use denali_core::{CompileError, CompileResult, Denali, Options, Prepared, SolverChoice};
 
 const TWO_PROCS: &str = "
 (\\procdecl first ((a long)) long (:= (\\res (+ a 1))))
@@ -141,6 +141,43 @@ fn main_accessor_picks_the_largest_gma() {
         .gmas
         .iter()
         .all(|g| g.program.len() <= main.program.len()));
+}
+
+/// The serve crate shares pipeline configuration across worker threads
+/// and moves per-request pipelines into pool jobs, which requires the
+/// façade types to be `Send + Sync`. Pinning this at compile time turns
+/// an accidental `Rc`/raw-pointer/`Cell` regression deep inside the
+/// pipeline into an error here, instead of a cryptic one inside the
+/// server's closures.
+#[test]
+fn facade_types_are_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Denali>();
+    assert_send_sync::<Options>();
+    assert_send_sync::<Prepared>();
+    assert_send_sync::<CompileResult>();
+    assert_send_sync::<CompileError>();
+}
+
+/// The façade split (prepare → fingerprint → compile) must be
+/// observationally identical to the one-shot entry point.
+#[test]
+fn prepare_then_compile_matches_compile_source() {
+    let source = r"(\procdecl f ((reg6 long)) long (:= (\res (+ (* reg6 4) 1))))";
+    let denali = Denali::new(Options::default());
+    let one_shot = denali.compile_source(source).unwrap();
+    let prepared = denali.prepare_source(source).unwrap();
+    let split = denali.compile_prepared(&prepared).unwrap();
+    assert_eq!(one_shot.gmas.len(), split.gmas.len());
+    for (a, b) in one_shot.gmas.iter().zip(&split.gmas) {
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.program.listing(4), b.program.listing(4));
+    }
+    // And the fingerprint is stable across prepares of the same source.
+    assert_eq!(
+        denali.fingerprint(&prepared),
+        denali.fingerprint(&denali.prepare_source(source).unwrap())
+    );
 }
 
 #[test]

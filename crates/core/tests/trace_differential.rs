@@ -24,10 +24,12 @@ const FIGURE2: &str = "(\\procdecl f ((reg6 long)) long (:= (\\res (+ (* reg6 4)
 const MULTI_PROBE: &str = "(\\procdecl f ((a long)) long (:= (\\res (+ (* a a) 1))))";
 
 fn pinned(threads: usize, incremental: bool, trace: bool) -> Options {
-    let mut options = Options::default();
-    options.threads = threads;
-    options.incremental = incremental;
-    options.trace = trace;
+    let mut options = Options {
+        threads,
+        incremental,
+        trace,
+        ..Options::default()
+    };
     options.saturation.threads = 1;
     options.saturation.delta_match = true;
     options

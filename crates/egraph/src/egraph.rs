@@ -1203,8 +1203,8 @@ mod tests {
     #[test]
     fn op_counts_attribute_work() {
         let mut eg = EGraph::new();
-        let fx = eg.add_term(&t("(f x)")).unwrap();
-        let fy = eg.add_term(&t("(f y)")).unwrap();
+        let _fx = eg.add_term(&t("(f x)")).unwrap();
+        let _fy = eg.add_term(&t("(f y)")).unwrap();
         let x = eg.lookup_term(&t("x")).unwrap();
         let y = eg.lookup_term(&t("y")).unwrap();
         let before = eg.op_counts();

@@ -190,11 +190,17 @@ fn parse_stmt(form: &Sexpr) -> Result<Stmt> {
                     if !kw.is_keyword("unroll") {
                         return Err(err("expected (unroll k)"));
                     }
+                    // Unrolling duplicates the loop body k times during
+                    // lowering, so an unbounded factor is a trivial
+                    // denial of service (`(unroll 99999999)` never
+                    // finishes lowering). 64 far exceeds any profitable
+                    // unrolling on the modeled machines.
+                    const MAX_UNROLL: usize = 64;
                     let k = k
                         .as_atom()
                         .and_then(|a| a.parse::<usize>().ok())
-                        .filter(|&k| k >= 1)
-                        .ok_or_else(|| err("unroll factor must be a positive integer"))?;
+                        .filter(|&k| (1..=MAX_UNROLL).contains(&k))
+                        .ok_or_else(|| err(format!("unroll factor must be in 1..={MAX_UNROLL}")))?;
                     (k, arrow)
                 }
                 _ => return Err(err("do takes a guarded body")),
@@ -395,6 +401,18 @@ mod tests {
             panic!("expected loop")
         };
         assert_eq!(*unroll, 4);
+    }
+
+    #[test]
+    fn rejects_pathological_unroll_factors() {
+        for k in ["0", "99999999", "x", "-1"] {
+            let src = format!(
+                "(procdecl f ((s long)) long
+                   (do (unroll {k}) (-> (<u s 100) (:= (s (+ s 1))))))"
+            );
+            let err = parse_program(&src).unwrap_err();
+            assert!(err.to_string().contains("unroll"), "{k}: {err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Deadline watchdog: arms [`CancelToken`]s when request deadlines
+//! expire.
+//!
+//! One thread serves every in-flight deadline. Workers arm a token
+//! with [`DeadlineWatch::arm`] before compiling; the returned guard
+//! disarms on drop, so a request that finishes in time leaves no
+//! residue. The watchdog sleeps on a [`Condvar`] until the earliest
+//! armed deadline (or a new arm/shutdown), cancels expired tokens, and
+//! goes back to sleep — no polling, no per-request timer threads.
+//!
+//! Cancellation is *cooperative*: firing a token merely flips the
+//! shared flag that the search loop and SAT solver check at their
+//! checkpoints (see `denali_core::search`), so an expired request
+//! stops within one probe step, not instantly. That latency is
+//! accepted by design: the paper's probes are the unit of progress,
+//! and interrupting below probe granularity would buy nothing.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use denali_par::CancelToken;
+
+struct State {
+    entries: Vec<(u64, Instant, CancelToken)>,
+    next_id: u64,
+    shutdown: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    wake: Condvar,
+}
+
+/// The watchdog thread plus the shared deadline table.
+pub struct DeadlineWatch {
+    inner: Arc<Inner>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Proof that a deadline is armed; dropping it disarms the deadline
+/// (whether or not it already fired).
+pub struct DeadlineGuard {
+    inner: Arc<Inner>,
+    id: u64,
+}
+
+impl Drop for DeadlineGuard {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock().unwrap();
+        state.entries.retain(|(id, _, _)| *id != self.id);
+        // No wake needed: removing an entry can only postpone the
+        // watchdog's next wakeup, and a spurious early wakeup is
+        // harmless.
+    }
+}
+
+impl Default for DeadlineWatch {
+    fn default() -> DeadlineWatch {
+        DeadlineWatch::new()
+    }
+}
+
+impl DeadlineWatch {
+    /// Spawns the watchdog thread.
+    pub fn new() -> DeadlineWatch {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                entries: Vec::new(),
+                next_id: 0,
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+        });
+        let for_thread = Arc::clone(&inner);
+        let handle = std::thread::Builder::new()
+            .name("serve-deadline".to_owned())
+            .spawn(move || watchdog_loop(&for_thread))
+            .expect("spawn deadline watchdog");
+        DeadlineWatch {
+            inner,
+            handle: Some(handle),
+        }
+    }
+
+    /// Cancels `token` at `at` unless the guard is dropped first.
+    #[must_use = "dropping the guard immediately disarms the deadline"]
+    pub fn arm(&self, at: Instant, token: CancelToken) -> DeadlineGuard {
+        let mut state = self.inner.state.lock().unwrap();
+        let id = state.next_id;
+        state.next_id += 1;
+        state.entries.push((id, at, token));
+        drop(state);
+        self.inner.wake.notify_one();
+        DeadlineGuard {
+            inner: Arc::clone(&self.inner),
+            id,
+        }
+    }
+}
+
+impl Drop for DeadlineWatch {
+    fn drop(&mut self) {
+        self.inner.state.lock().unwrap().shutdown = true;
+        self.inner.wake.notify_one();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn watchdog_loop(inner: &Inner) {
+    let mut state = inner.state.lock().unwrap();
+    loop {
+        if state.shutdown {
+            return;
+        }
+        let now = Instant::now();
+        state.entries.retain(|(_, at, token)| {
+            let expired = *at <= now;
+            if expired {
+                token.cancel();
+            }
+            !expired
+        });
+        let next = state.entries.iter().map(|(_, at, _)| *at).min();
+        state = match next {
+            None => inner.wake.wait(state).unwrap(),
+            Some(at) => {
+                let timeout = at.saturating_duration_since(now);
+                inner.wake.wait_timeout(state, timeout).unwrap().0
+            }
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn eventually(what: &str, mut cond: impl FnMut() -> bool) {
+        let start = Instant::now();
+        while !cond() {
+            assert!(
+                start.elapsed() < Duration::from_secs(10),
+                "timed out waiting for {what}"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn fires_expired_deadlines() {
+        let watch = DeadlineWatch::new();
+        let token = CancelToken::default();
+        let _guard = watch.arm(Instant::now() + Duration::from_millis(5), token.clone());
+        eventually("token cancellation", || token.is_cancelled());
+    }
+
+    #[test]
+    fn disarmed_deadlines_never_fire() {
+        let watch = DeadlineWatch::new();
+        let token = CancelToken::default();
+        let guard = watch.arm(Instant::now() + Duration::from_millis(20), token.clone());
+        drop(guard);
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn tracks_many_deadlines_independently() {
+        let watch = DeadlineWatch::new();
+        let soon = CancelToken::default();
+        let later = CancelToken::default();
+        let _g1 = watch.arm(Instant::now() + Duration::from_millis(5), soon.clone());
+        let _g2 = watch.arm(Instant::now() + Duration::from_secs(3600), later.clone());
+        eventually("near deadline", || soon.is_cancelled());
+        assert!(!later.is_cancelled());
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly() {
+        let watch = DeadlineWatch::new();
+        let token = CancelToken::default();
+        let _guard = watch.arm(Instant::now() + Duration::from_secs(3600), token);
+        drop(watch); // must not hang
+    }
+}

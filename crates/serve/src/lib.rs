@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! The Denali compilation server.
+//!
+//! The paper frames Denali as a tool invoked repeatedly on small,
+//! performance-critical kernels (§1, §6). That workload is exactly what
+//! a persistent daemon wins at: axiom construction, process startup,
+//! and — above all — re-solving GMAs the server has already seen can
+//! all be amortized across requests. This crate turns the [`Denali`]
+//! façade into such a daemon:
+//!
+//! * **Protocol** ([`protocol`]) — framed JSONL over stdio or TCP: one
+//!   request object per line in, one response object per line out,
+//!   correlated by `id`. See `docs/SERVER.md` for schema v1.
+//! * **Content-addressed cache** ([`cache`]) — results are keyed by a
+//!   canonical fingerprint over the lowered GMAs, the axiom set, and
+//!   the output-affecting option subset ([`denali_core::fingerprint`]).
+//!   An in-memory LRU with a byte budget fronts an optional on-disk
+//!   tier that survives restarts. Cache hits return *byte-identical*
+//!   response bodies to fresh compiles.
+//! * **Bounded worker pool** ([`pool`]) — requests are admitted to a
+//!   fixed-capacity queue served by a fixed set of workers;
+//!   when the queue is full the server sheds load with a retryable
+//!   `overload` error instead of stalling the connection.
+//! * **Deadlines and graceful degradation** ([`deadline`],
+//!   [`server`]) — a request may carry `deadline_ms`; a watchdog arms
+//!   the pipeline's [`CancelToken`](denali_par::CancelToken) so an
+//!   expired search is abandoned mid-probe, and the server answers
+//!   with the baseline rewrite program tagged `"degraded": true` — the
+//!   client always gets *a* correct program.
+//! * **Stats** ([`stats`]) — a `stats` request exposes request/outcome
+//!   counters, cache hit/miss/eviction gauges, queue depth, and
+//!   uptime. Every request runs under a `serve.request` trace span.
+//!
+//! [`Denali`]: denali_core::Denali
+
+pub mod cache;
+pub mod deadline;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+pub use cache::Cache;
+pub use server::{serve_stdio, serve_tcp, Server, ServerConfig};

@@ -1,0 +1,158 @@
+//! A bounded worker pool with an admission queue.
+//!
+//! The server must stay responsive under overload: SAT probes can run
+//! for seconds, and an unbounded queue would silently convert overload
+//! into unbounded latency. Instead admission is a [`SyncSender`] with a
+//! fixed capacity — [`Pool::try_submit`] never blocks, and a full queue
+//! is reported to the caller, which maps it to a *retryable* `overload`
+//! protocol error. The client, not the queue, decides whether to wait.
+//!
+//! Workers are plain threads sharing one receiver. Dropping the pool
+//! closes the channel and joins the workers, so already-admitted
+//! requests finish (and their responses flush) before shutdown — the
+//! "graceful" half of graceful degradation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The admission queue is full; the caller should shed the request
+/// with a retryable error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolFull;
+
+/// A fixed set of worker threads fed by a bounded queue.
+pub struct Pool {
+    sender: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    queued: Arc<AtomicU64>,
+}
+
+impl Pool {
+    /// Spawns `workers` threads (at least 1) behind a queue holding at
+    /// most `queue` waiting jobs beyond the ones being executed.
+    pub fn new(workers: usize, queue: usize) -> Pool {
+        let (sender, receiver) = mpsc::sync_channel::<Job>(queue);
+        let receiver = Arc::new(Mutex::new(receiver));
+        let queued = Arc::new(AtomicU64::new(0));
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                let queued = Arc::clone(&queued);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&receiver, &queued))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Pool {
+            sender: Some(sender),
+            workers,
+            queued,
+        }
+    }
+
+    /// Admits `job` if the queue has room.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolFull`] when the queue is at capacity; the job is returned
+    /// to the caller unexecuted (dropped here, since it is consumed).
+    pub fn try_submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), PoolFull> {
+        let sender = self.sender.as_ref().expect("pool not shut down");
+        // Count before sending so a worker that dequeues instantly
+        // never observes a decrement racing ahead of the increment.
+        self.queued.fetch_add(1, Ordering::Relaxed);
+        match sender.try_send(Box::new(job)) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                self.queued.fetch_sub(1, Ordering::Relaxed);
+                Err(PoolFull)
+            }
+        }
+    }
+
+    /// Jobs admitted but not yet started (the queue-depth gauge).
+    pub fn depth(&self) -> u64 {
+        self.queued.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        // Closing the channel lets workers drain the queue, then exit.
+        self.sender.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>, queued: &AtomicU64) {
+    loop {
+        // Hold the lock only while dequeuing, never while running.
+        let job = match receiver.lock().unwrap().recv() {
+            Ok(job) => job,
+            Err(_) => return, // pool dropped and queue drained
+        };
+        queued.fetch_sub(1, Ordering::Relaxed);
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    #[test]
+    fn runs_jobs_on_workers() {
+        let pool = Pool::new(2, 8);
+        let (tx, rx) = channel();
+        for i in 0..6 {
+            let tx = tx.clone();
+            pool.try_submit(move || tx.send(i).unwrap()).unwrap();
+        }
+        let mut got: Vec<i32> = (0..6).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn sheds_load_when_the_queue_is_full() {
+        let pool = Pool::new(1, 1);
+        let gate = Arc::new(Mutex::new(()));
+        let hold = gate.lock().unwrap();
+        // First job occupies the single worker...
+        let g = Arc::clone(&gate);
+        pool.try_submit(move || drop(g.lock().unwrap())).unwrap();
+        // ...wait until it is actually running (queue drained)...
+        while pool.depth() > 0 {
+            std::thread::yield_now();
+        }
+        // ...second fills the queue slot; third must be rejected.
+        let g = Arc::clone(&gate);
+        pool.try_submit(move || drop(g.lock().unwrap())).unwrap();
+        assert_eq!(pool.try_submit(|| ()), Err(PoolFull));
+        assert_eq!(pool.depth(), 1);
+        drop(hold);
+    }
+
+    #[test]
+    fn drop_drains_admitted_jobs() {
+        let pool = Pool::new(2, 16);
+        let done = Arc::new(AtomicU64::new(0));
+        for _ in 0..10 {
+            let done = Arc::clone(&done);
+            pool.try_submit(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        drop(pool);
+        assert_eq!(done.load(Ordering::Relaxed), 10);
+    }
+}

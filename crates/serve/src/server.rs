@@ -1,0 +1,410 @@
+//! The server proper: request handling plus the stdio and TCP
+//! transports.
+//!
+//! A [`Server`] owns the shared state (base options, cache, deadline
+//! watchdog, stats); transports own the [`Pool`] so that dropping the
+//! transport drains admitted requests before the process exits — EOF on
+//! stdin is a *graceful* shutdown, not an abort.
+//!
+//! Request handling is deliberately a pure function from request line
+//! to response line ([`Server::handle_line`]): the transports only add
+//! admission (the bounded pool) and the wall-clock admission instant
+//! that deadlines are measured from. This keeps every protocol and
+//! caching property unit-testable without sockets or pipes.
+
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use denali_core::{CompileError, Denali, Options};
+use denali_par::CancelToken;
+use denali_trace::field;
+
+use crate::cache::Cache;
+use crate::deadline::DeadlineWatch;
+use crate::pool::Pool;
+use crate::protocol::{self, CompileRequest, GmaSummary, Request, RequestId};
+use crate::stats::Stats;
+
+/// Server construction parameters.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Base pipeline options; per-request overrides are applied on top.
+    pub base: Options,
+    /// Worker threads (0 = one per available CPU).
+    pub workers: usize,
+    /// Admission-queue capacity beyond the requests being executed.
+    pub queue: usize,
+    /// Memory-tier cache budget in bytes.
+    pub cache_bytes: usize,
+    /// Disk-tier cache directory (persists across restarts).
+    pub cache_dir: Option<PathBuf>,
+    /// Log one line per request to stderr.
+    pub verbose: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            base: Options::default(),
+            workers: 0,
+            queue: 64,
+            cache_bytes: 64 << 20,
+            cache_dir: None,
+            verbose: false,
+        }
+    }
+}
+
+/// Shared server state; transports hold it in an [`Arc`].
+pub struct Server {
+    config: ServerConfig,
+    cache: Cache,
+    watch: DeadlineWatch,
+    stats: Stats,
+}
+
+impl Server {
+    /// Builds the server (creating the cache directory if configured).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the cache directory cannot be created.
+    pub fn new(config: ServerConfig) -> std::io::Result<Server> {
+        let cache = Cache::new(config.cache_bytes, config.cache_dir.clone())?;
+        Ok(Server {
+            config,
+            cache,
+            watch: DeadlineWatch::new(),
+            stats: Stats::default(),
+        })
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The result cache (exposed for tests and benches).
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Handles one request line synchronously (admission = now, queue
+    /// depth reported as 0). The transports go through [`dispatch`]
+    /// instead to get pooled admission; tests and benches use this.
+    /// Returns `None` for blank lines, which elicit no response.
+    pub fn handle_line(&self, line: &str) -> Option<String> {
+        let line = line.trim();
+        if line.is_empty() {
+            return None;
+        }
+        Stats::bump(&self.stats.requests);
+        match protocol::parse_request(line) {
+            Err(e) => Some(self.protocol_error(&e.message)),
+            Ok(Request::Ping(id)) => Some(pong(&id)),
+            Ok(Request::Stats(id)) => Some(self.stats_response(&id, 0)),
+            Ok(Request::Compile(req)) => Some(self.handle_compile(&req, Instant::now())),
+        }
+    }
+
+    fn protocol_error(&self, message: &str) -> String {
+        Stats::bump(&self.stats.protocol_errors);
+        protocol::render_response(
+            &RequestId::Null,
+            &protocol::render_error_body("protocol", message, false),
+        )
+    }
+
+    fn stats_response(&self, id: &RequestId, queue_depth: u64) -> String {
+        let body = self.stats.render_body(queue_depth, &self.cache.snapshot());
+        protocol::render_response(id, &body)
+    }
+
+    /// Compiles one request, measuring its deadline from `admitted`.
+    ///
+    /// The flow pins the PR's three guarantees:
+    /// * **hit == miss**: the cache stores the rendered (deterministic)
+    ///   body, keyed by the canonical fingerprint, so a warm hit
+    ///   replays the cold compile's bytes.
+    /// * **degraded, not dead**: a deadline expiry cancels the search
+    ///   mid-probe; the response falls back to the baseline rewrite
+    ///   program with `"degraded": true` — and is *never* cached, so a
+    ///   later unhurried request gets the real optimum.
+    /// * **always an answer**: every outcome, including internal
+    ///   errors, renders a well-formed response correlated by id.
+    pub fn handle_compile(&self, req: &CompileRequest, admitted: Instant) -> String {
+        let started = Instant::now();
+        let mut options = self.config.base.clone();
+        if let Err(e) = req.options.apply(&mut options) {
+            return self.protocol_error(&e.message);
+        }
+        let cancel = CancelToken::default();
+        options.cancel = Some(cancel.clone());
+        let denali = Denali::new(options);
+        let span = denali
+            .tracer()
+            .span_fields("serve.request", vec![field("id", req.id.render())]);
+
+        // Arm the deadline before any pipeline work so parse/lower time
+        // counts against it too. An already-expired deadline cancels
+        // inline — deterministic degradation, no watchdog race.
+        let _guard = req.deadline_ms.map(|ms| {
+            let at = admitted + Duration::from_millis(ms);
+            if at <= Instant::now() {
+                cancel.cancel();
+            }
+            self.watch.arm(at, cancel.clone())
+        });
+
+        let prepared = match req.proc.as_deref() {
+            None => denali.prepare_source(&req.source),
+            Some(name) => match denali_lang::parse_program(&req.source) {
+                Ok(program) => denali.prepare_proc(&program, name),
+                Err(e) => Err(CompileError {
+                    stage: "parse",
+                    message: e.to_string(),
+                }),
+            },
+        };
+        let prepared = match prepared {
+            Ok(p) => p,
+            Err(e) => {
+                Stats::bump(&self.stats.compile_errors);
+                return self.finish(
+                    req,
+                    started,
+                    "error",
+                    protocol::render_error_body(e.stage, &e.message, false),
+                );
+            }
+        };
+        let fingerprint = denali.fingerprint(&prepared);
+
+        if let Some(body) = self.cache.get(&fingerprint) {
+            span.finish();
+            Stats::bump(&self.stats.compiles_ok);
+            return self.finish(req, started, "hit", body);
+        }
+
+        let issue_width = denali.options().machine.issue_width();
+        let body = match denali.compile_prepared(&prepared) {
+            Ok(result) => {
+                let gmas: Vec<GmaSummary> = result
+                    .gmas
+                    .iter()
+                    .map(|c| GmaSummary {
+                        name: c.gma.name.clone(),
+                        cycles: c.cycles,
+                        instructions: c.program.len(),
+                        refuted_below: c.refuted_below,
+                        listing: c.program.listing(issue_width),
+                    })
+                    .collect();
+                let body = protocol::render_result_body(&fingerprint, false, &gmas);
+                self.cache.put(&fingerprint, &body);
+                Stats::bump(&self.stats.compiles_ok);
+                self.finish(req, started, "ok", body)
+            }
+            Err(e) if e.is_cancelled() => {
+                match degraded_body(&denali, &prepared, &fingerprint) {
+                    Ok(body) => {
+                        // Never cached: degradation is a property of
+                        // this request's deadline, not of the program.
+                        Stats::bump(&self.stats.compiles_degraded);
+                        self.finish(req, started, "degraded", body)
+                    }
+                    Err(message) => {
+                        Stats::bump(&self.stats.compile_errors);
+                        self.finish(
+                            req,
+                            started,
+                            "error",
+                            protocol::render_error_body("degraded", &message, false),
+                        )
+                    }
+                }
+            }
+            Err(e) => {
+                Stats::bump(&self.stats.compile_errors);
+                self.finish(
+                    req,
+                    started,
+                    "error",
+                    protocol::render_error_body(e.stage, &e.message, false),
+                )
+            }
+        };
+        body
+    }
+
+    /// Renders the final response line, logging it when verbose.
+    fn finish(
+        &self,
+        req: &CompileRequest,
+        started: Instant,
+        outcome: &str,
+        body: String,
+    ) -> String {
+        if self.config.verbose {
+            eprintln!(
+                "serve: compile id={} outcome={outcome} ms={:.1}",
+                req.id.render(),
+                started.elapsed().as_secs_f64() * 1e3
+            );
+        }
+        protocol::render_response(&req.id, &body)
+    }
+}
+
+/// Compiles every GMA with the baseline rewriter (microseconds, no
+/// search) and renders a `degraded: true` body.
+fn degraded_body(
+    denali: &Denali,
+    prepared: &denali_core::Prepared,
+    fingerprint: &str,
+) -> Result<String, String> {
+    let machine = &denali.options().machine;
+    let issue_width = machine.issue_width();
+    let mut gmas = Vec::with_capacity(prepared.gmas.len());
+    for gma in &prepared.gmas {
+        let program = denali_baseline::degraded_compile(gma, machine)
+            .map_err(|e| format!("baseline fallback failed for {}: {e}", gma.name))?;
+        gmas.push(GmaSummary {
+            name: gma.name.clone(),
+            cycles: program.cycles(),
+            instructions: program.len(),
+            // The baseline makes no optimality claim.
+            refuted_below: false,
+            listing: program.listing(issue_width),
+        });
+    }
+    Ok(protocol::render_result_body(fingerprint, true, &gmas))
+}
+
+fn pong(id: &RequestId) -> String {
+    protocol::render_response(id, "\"status\":\"ok\",\"pong\":true")
+}
+
+fn write_line<W: Write>(out: &Mutex<W>, line: &str) {
+    let mut out = out.lock().unwrap();
+    // A dead transport (client hung up) is not a server error.
+    let _ = writeln!(out, "{line}");
+    let _ = out.flush();
+}
+
+/// Routes one request line: cheap requests (ping, stats, protocol
+/// errors) answer on the reader thread; compiles go through the bounded
+/// pool and are shed with a retryable `overload` error when it is full.
+fn dispatch<W: Write + Send + 'static>(
+    server: &Arc<Server>,
+    pool: &Pool,
+    line: &str,
+    out: &Arc<Mutex<W>>,
+) {
+    let line = line.trim();
+    if line.is_empty() {
+        return;
+    }
+    Stats::bump(&server.stats.requests);
+    match protocol::parse_request(line) {
+        Err(e) => write_line(out, &server.protocol_error(&e.message)),
+        Ok(Request::Ping(id)) => write_line(out, &pong(&id)),
+        Ok(Request::Stats(id)) => write_line(out, &server.stats_response(&id, pool.depth())),
+        Ok(Request::Compile(req)) => {
+            let admitted = Instant::now();
+            let id = req.id.clone();
+            let server2 = Arc::clone(server);
+            let out2 = Arc::clone(out);
+            let submitted = pool.try_submit(move || {
+                let response = server2.handle_compile(&req, admitted);
+                write_line(&out2, &response);
+            });
+            if submitted.is_err() {
+                Stats::bump(&server.stats.overload_rejections);
+                write_line(
+                    out,
+                    &protocol::render_response(
+                        &id,
+                        &protocol::render_error_body(
+                            "overload",
+                            "admission queue is full; retry later",
+                            true,
+                        ),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Serves framed JSONL requests from `reader`, writing responses to
+/// `out`. Returns when the reader reaches EOF, after draining every
+/// admitted request — the graceful-shutdown path.
+///
+/// # Errors
+///
+/// Propagates read failures from the transport.
+pub fn serve_lines<R: BufRead, W: Write + Send + 'static>(
+    server: &Arc<Server>,
+    pool: &Pool,
+    reader: R,
+    out: &Arc<Mutex<W>>,
+) -> std::io::Result<()> {
+    for line in reader.lines() {
+        dispatch(server, pool, &line?, out);
+    }
+    Ok(())
+}
+
+/// Serves requests on stdin/stdout until EOF, then drains the pool and
+/// returns — so `denali serve --stdio < requests.jsonl` emits every
+/// response before exiting.
+///
+/// # Errors
+///
+/// Propagates stdin read failures.
+pub fn serve_stdio(server: &Arc<Server>) -> std::io::Result<()> {
+    let workers = denali_par::resolve_threads(server.config.workers);
+    let pool = Pool::new(workers, server.config.queue);
+    let out = Arc::new(Mutex::new(std::io::stdout()));
+    let stdin = std::io::stdin();
+    let result = serve_lines(server, &pool, stdin.lock(), &out);
+    drop(pool); // join workers: flush in-flight responses before exit
+    result
+}
+
+/// Binds `addr` and serves each connection on its own reader thread,
+/// all sharing one bounded pool (so total compile concurrency is
+/// bounded server-wide, not per connection). Runs until the process is
+/// terminated.
+///
+/// # Errors
+///
+/// Fails if the address cannot be bound or accepting a connection
+/// fails.
+pub fn serve_tcp(server: &Arc<Server>, addr: &str) -> std::io::Result<()> {
+    let listener = std::net::TcpListener::bind(addr)?;
+    if server.config.verbose {
+        eprintln!("serve: listening on {}", listener.local_addr()?);
+    }
+    let workers = denali_par::resolve_threads(server.config.workers);
+    let pool = Arc::new(Pool::new(workers, server.config.queue));
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let reader = std::io::BufReader::new(stream.try_clone()?);
+        let out = Arc::new(Mutex::new(stream));
+        let server = Arc::clone(server);
+        let pool = Arc::clone(&pool);
+        std::thread::Builder::new()
+            .name("serve-conn".to_owned())
+            .spawn(move || {
+                // A dropped connection mid-read is the client's
+                // prerogative; the server keeps serving others.
+                let _ = serve_lines(&server, &pool, reader, &out);
+            })
+            .expect("spawn connection thread");
+    }
+    Ok(())
+}

@@ -1,0 +1,120 @@
+//! Server telemetry: lock-free counters plus the `stats` response body.
+//!
+//! Counters are plain relaxed [`AtomicU64`]s — they are monotone tallies
+//! read for observability, not for synchronization, so torn cross-counter
+//! snapshots (a request counted as received but not yet as completed)
+//! are acceptable and documented in `docs/SERVER.md`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::cache::CacheSnapshot;
+
+/// Monotone request/outcome counters. One instance per server, shared
+/// by reference across workers.
+#[derive(Debug)]
+pub struct Stats {
+    /// Request lines received (including malformed ones).
+    pub requests: AtomicU64,
+    /// Compiles answered with a full (non-degraded) result.
+    pub compiles_ok: AtomicU64,
+    /// Compiles answered with a `degraded: true` baseline program.
+    pub compiles_degraded: AtomicU64,
+    /// Compiles answered with an error (parse/lower/search/...).
+    pub compile_errors: AtomicU64,
+    /// Lines rejected before admission (malformed JSON, schema).
+    pub protocol_errors: AtomicU64,
+    /// Requests shed with a retryable `overload` error.
+    pub overload_rejections: AtomicU64,
+    /// When the server was started.
+    pub started: Instant,
+}
+
+impl Default for Stats {
+    fn default() -> Stats {
+        Stats {
+            requests: AtomicU64::new(0),
+            compiles_ok: AtomicU64::new(0),
+            compiles_degraded: AtomicU64::new(0),
+            compile_errors: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            overload_rejections: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+}
+
+impl Stats {
+    /// Increments a counter (convenience for call sites).
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the `stats` response body (everything after the echoed
+    /// id). `queue_depth` comes from the pool and `cache` from the
+    /// cache, so one body carries the full picture.
+    pub fn render_body(&self, queue_depth: u64, cache: &CacheSnapshot) -> String {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        format!(
+            concat!(
+                "\"status\":\"ok\",",
+                "\"uptime_ms\":{},",
+                "\"requests\":{},",
+                "\"compiles\":{{\"ok\":{},\"degraded\":{},\"error\":{}}},",
+                "\"protocol_errors\":{},",
+                "\"overload_rejections\":{},",
+                "\"queue_depth\":{},",
+                "\"cache\":{{\"hits\":{},\"misses\":{},\"disk_hits\":{},",
+                "\"evictions\":{},\"entries\":{},\"bytes\":{}}}"
+            ),
+            self.started.elapsed().as_millis(),
+            load(&self.requests),
+            load(&self.compiles_ok),
+            load(&self.compiles_degraded),
+            load(&self.compile_errors),
+            load(&self.protocol_errors),
+            load(&self.overload_rejections),
+            queue_depth,
+            cache.hits,
+            cache.misses,
+            cache.disk_hits,
+            cache.evictions,
+            cache.entries,
+            cache.bytes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{render_response, RequestId};
+    use denali_trace::json::{self, Json};
+
+    #[test]
+    fn stats_body_is_valid_json_with_all_gauges() {
+        let stats = Stats::default();
+        Stats::bump(&stats.requests);
+        Stats::bump(&stats.requests);
+        Stats::bump(&stats.compiles_ok);
+        let cache = CacheSnapshot {
+            hits: 3,
+            misses: 1,
+            disk_hits: 2,
+            evictions: 0,
+            entries: 1,
+            bytes: 512,
+        };
+        let line = render_response(&RequestId::Num(9), &stats.render_body(4, &cache));
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("requests").and_then(Json::as_u64), Some(2));
+        assert_eq!(v.get("queue_depth").and_then(Json::as_u64), Some(4));
+        let compiles = v.get("compiles").unwrap();
+        assert_eq!(compiles.get("ok").and_then(Json::as_u64), Some(1));
+        assert_eq!(compiles.get("degraded").and_then(Json::as_u64), Some(0));
+        let cache = v.get("cache").unwrap();
+        assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(3));
+        assert_eq!(cache.get("bytes").and_then(Json::as_u64), Some(512));
+        assert!(v.get("uptime_ms").and_then(Json::as_u64).is_some());
+    }
+}

@@ -1,0 +1,250 @@
+//! End-to-end server behavior, without sockets: the response-level
+//! guarantees the PR promises. Each test drives [`Server::handle_line`]
+//! (or [`serve_lines`] where admission matters) with real request
+//! lines and asserts on the exact response bytes.
+
+use std::sync::{Arc, Mutex};
+
+use denali_axioms::SaturationLimits;
+use denali_core::Options;
+use denali_serve::pool::Pool;
+use denali_serve::server::serve_lines;
+use denali_serve::{Server, ServerConfig};
+use denali_trace::json::{self, Json};
+
+/// A source cheap enough to compile in milliseconds.
+const SOURCE: &str = r"(\procdecl f ((reg6 long)) long (:= (\res (+ (* reg6 4) 1))))";
+
+/// A second distinct source (different fingerprint).
+const SOURCE2: &str = r"(\procdecl g ((a long) (b long)) long (:= (\res (& (<< a 2) b))))";
+
+fn fast_options() -> Options {
+    Options {
+        max_cycles: 8,
+        saturation: SaturationLimits {
+            max_iterations: 2,
+            max_nodes: 400,
+            max_instances_per_round: 100,
+            max_structural_per_round: 20,
+            max_structural_growth: 100,
+            ..SaturationLimits::default()
+        },
+        ..Options::default()
+    }
+}
+
+fn test_server() -> Server {
+    Server::new(ServerConfig {
+        base: fast_options(),
+        ..ServerConfig::default()
+    })
+    .unwrap()
+}
+
+fn compile_line(id: &str, source: &str, extra: &str) -> String {
+    let mut src = String::new();
+    json::write_str(&mut src, source);
+    format!(r#"{{"type":"compile","id":"{id}","source":{src}{extra}}}"#)
+}
+
+#[test]
+fn warm_hit_is_byte_identical_to_cold_miss() {
+    let server = test_server();
+    let line = compile_line("r", SOURCE, "");
+    let cold = server.handle_line(&line).unwrap();
+    let warm = server.handle_line(&line).unwrap();
+    assert_eq!(cold, warm, "cache hit must replay the cold bytes");
+    let snap = server.cache().snapshot();
+    assert_eq!((snap.hits, snap.misses), (1, 1));
+
+    // And the response is a real result.
+    let v = json::parse(&cold).unwrap();
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(v.get("degraded").and_then(Json::as_bool), Some(false));
+    let gmas = v.get("gmas").and_then(Json::as_arr).unwrap();
+    assert!(!gmas.is_empty());
+    assert!(gmas[0].get("listing").and_then(Json::as_str).is_some());
+}
+
+#[test]
+fn execution_knobs_share_a_cache_entry() {
+    // threads / trace / verbose do not affect results (the pipeline's
+    // determinism contract), so they are not part of the fingerprint:
+    // requests differing only there must share one cache entry.
+    let server = test_server();
+    let cold = server
+        .handle_line(&compile_line("a", SOURCE, r#","options":{"threads":1}"#))
+        .unwrap();
+    let warm = server
+        .handle_line(&compile_line(
+            "a",
+            SOURCE,
+            r#","options":{"threads":4,"trace":true,"verbose":true}"#,
+        ))
+        .unwrap();
+    assert_eq!(cold, warm);
+    assert_eq!(server.cache().snapshot().hits, 1);
+
+    // An output-affecting knob must NOT share the entry.
+    let other = server
+        .handle_line(&compile_line("a", SOURCE, r#","options":{"max_cycles":7}"#))
+        .unwrap();
+    let (a, b) = (json::parse(&warm).unwrap(), json::parse(&other).unwrap());
+    assert_ne!(
+        a.get("fingerprint").and_then(Json::as_str),
+        b.get("fingerprint").and_then(Json::as_str)
+    );
+    assert_eq!(server.cache().snapshot().misses, 2);
+}
+
+#[test]
+fn malformed_input_errors_and_the_server_keeps_serving() {
+    let server = test_server();
+    for bad in [
+        "not json at all",
+        "[1,2,3]",
+        r#"{"type":"compile"}"#,
+        r#"{"type":"compile","source":"x","surce":"y"}"#,
+        &format!("{}{}", "[".repeat(100_000), "1"), // deep-nesting DoS
+        r#"{"type":"compile","source":"(((((((((("}"#,
+    ] {
+        let resp = server.handle_line(bad).unwrap();
+        let v = json::parse(&resp).unwrap();
+        let status = v.get("status").and_then(Json::as_str);
+        assert_eq!(status, Some("error"), "for input {bad:.40}");
+    }
+    // Still alive and correct afterwards.
+    let ok = server
+        .handle_line(&compile_line("after", SOURCE, ""))
+        .unwrap();
+    let v = json::parse(&ok).unwrap();
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+}
+
+#[test]
+fn expired_deadline_degrades_to_a_valid_baseline_program() {
+    let server = test_server();
+    // deadline_ms 0 expires before the search can start.
+    let resp = server
+        .handle_line(&compile_line("d", SOURCE, r#","deadline_ms":0"#))
+        .unwrap();
+    let v = json::parse(&resp).unwrap();
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(v.get("degraded").and_then(Json::as_bool), Some(true));
+    let gmas = v.get("gmas").and_then(Json::as_arr).unwrap();
+    assert_eq!(gmas.len(), 1);
+    let gma = &gmas[0];
+    // The baseline claims no optimality certificate but is a real
+    // scheduled program.
+    assert_eq!(
+        gma.get("refuted_below").and_then(Json::as_bool),
+        Some(false)
+    );
+    assert!(gma.get("cycles").and_then(Json::as_u64).unwrap() > 0);
+    let listing = gma.get("listing").and_then(Json::as_str).unwrap();
+    assert!(listing.contains("res"), "listing:\n{listing}");
+
+    // Degraded results are never cached: the next, unhurried request
+    // must compile for real (a miss, then a non-degraded answer).
+    assert_eq!(server.cache().snapshot().entries, 0);
+    let full = server.handle_line(&compile_line("d", SOURCE, "")).unwrap();
+    let v = json::parse(&full).unwrap();
+    assert_eq!(v.get("degraded").and_then(Json::as_bool), Some(false));
+    // Same fingerprint both times: degradation is per-request, the
+    // program identity is not.
+    assert_eq!(
+        v.get("fingerprint").and_then(Json::as_str),
+        json::parse(&resp)
+            .unwrap()
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .as_deref()
+    );
+}
+
+#[test]
+fn disk_tier_survives_a_server_restart() {
+    let dir = std::env::temp_dir().join(format!("denali-serve-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServerConfig {
+        base: fast_options(),
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+    let line = compile_line("x", SOURCE2, "");
+    let cold = {
+        let server = Server::new(config.clone()).unwrap();
+        server.handle_line(&line).unwrap()
+    };
+    // "Restart": a fresh server over the same cache directory.
+    let server = Server::new(config).unwrap();
+    let warm = server.handle_line(&line).unwrap();
+    assert_eq!(cold, warm, "disk tier must replay across restarts");
+    let snap = server.cache().snapshot();
+    assert_eq!((snap.hits, snap.disk_hits), (1, 1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn full_queue_sheds_with_a_retryable_error() {
+    let server = Arc::new(test_server());
+    // One worker, one queue slot — and both are occupied by jobs that
+    // block until we release the gate, so the compile below must shed.
+    let pool = Pool::new(1, 1);
+    let gate = Arc::new(Mutex::new(()));
+    let hold = gate.lock().unwrap();
+    let g = Arc::clone(&gate);
+    pool.try_submit(move || drop(g.lock().unwrap())).unwrap();
+    // Wait until the worker has dequeued the blocker before filling
+    // the single queue slot.
+    while pool.depth() > 0 {
+        std::thread::yield_now();
+    }
+    let g = Arc::clone(&gate);
+    pool.try_submit(move || drop(g.lock().unwrap())).unwrap();
+
+    let out = Arc::new(Mutex::new(Vec::<u8>::new()));
+    let line = compile_line("shed", SOURCE, "");
+    serve_lines(&server, &pool, line.as_bytes(), &out).unwrap();
+    drop(hold);
+    drop(pool);
+
+    let written = String::from_utf8(out.lock().unwrap().clone()).unwrap();
+    let v = json::parse(written.trim()).unwrap();
+    assert_eq!(v.get("id").and_then(Json::as_str), Some("shed"));
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("error"));
+    let error = v.get("error").unwrap();
+    assert_eq!(error.get("stage").and_then(Json::as_str), Some("overload"));
+    assert_eq!(error.get("retryable").and_then(Json::as_bool), Some(true));
+}
+
+#[test]
+fn ping_stats_and_eof_shutdown_over_a_transport() {
+    let server = Arc::new(test_server());
+    let pool = Pool::new(1, 8);
+    let out = Arc::new(Mutex::new(Vec::<u8>::new()));
+    let input = format!(
+        "{}\n\n{}\n{}\n",
+        r#"{"type":"ping","id":1}"#,
+        compile_line("c", SOURCE, ""),
+        r#"{"type":"stats","id":2}"#
+    );
+    // serve_lines returns at EOF; dropping the pool drains the compile.
+    serve_lines(&server, &pool, input.as_bytes(), &out).unwrap();
+    drop(pool);
+
+    let written = String::from_utf8(out.lock().unwrap().clone()).unwrap();
+    let lines: Vec<&str> = written.lines().collect();
+    assert_eq!(lines.len(), 3, "blank line elicits no response:\n{written}");
+    let pong = json::parse(lines[0]).unwrap();
+    assert_eq!(pong.get("pong").and_then(Json::as_bool), Some(true));
+    assert_eq!(pong.get("id").and_then(Json::as_u64), Some(1));
+    // Stats answered on the reader thread, before the pooled compile.
+    let stats = json::parse(lines[1]).unwrap();
+    assert_eq!(stats.get("requests").and_then(Json::as_u64), Some(3));
+    assert!(stats.get("uptime_ms").and_then(Json::as_u64).is_some());
+    let compile = json::parse(lines[2]).unwrap();
+    assert_eq!(compile.get("id").and_then(Json::as_str), Some("c"));
+    assert_eq!(compile.get("status").and_then(Json::as_str), Some("ok"));
+}

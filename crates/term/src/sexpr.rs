@@ -99,11 +99,19 @@ impl fmt::Display for ParseSexprError {
 
 impl std::error::Error for ParseSexprError {}
 
+/// Maximum list-nesting depth the reader accepts. The recursive-descent
+/// reader uses one stack frame per open paren, so adversarial input
+/// like `((((...` would otherwise overflow the stack (an uncatchable
+/// abort, not an error). Real Denali programs nest a handful of levels;
+/// 200 leaves generous headroom.
+const MAX_DEPTH: usize = 200;
+
 struct Reader<'a> {
     input: &'a [u8],
     pos: usize,
     line: usize,
     column: usize,
+    depth: usize,
 }
 
 impl<'a> Reader<'a> {
@@ -113,6 +121,7 @@ impl<'a> Reader<'a> {
             pos: 0,
             line: 1,
             column: 1,
+            depth: 0,
         }
     }
 
@@ -163,6 +172,10 @@ impl<'a> Reader<'a> {
         match self.peek() {
             None => Err(self.error("unexpected end of input")),
             Some(b'(') => {
+                if self.depth >= MAX_DEPTH {
+                    return Err(self.error(format!("lists nested deeper than {MAX_DEPTH}")));
+                }
+                self.depth += 1;
                 self.bump();
                 let mut items = Vec::new();
                 loop {
@@ -171,6 +184,7 @@ impl<'a> Reader<'a> {
                         None => return Err(self.error("unclosed '('")),
                         Some(b')') => {
                             self.bump();
+                            self.depth -= 1;
                             return Ok(Sexpr::List(items));
                         }
                         Some(_) => items.push(self.read()?),
@@ -301,6 +315,17 @@ mod tests {
     fn parse_one_rejects_extra_forms() {
         assert!(parse_one("a b").is_err());
         assert!(parse_one("").is_err());
+    }
+
+    #[test]
+    fn rejects_pathological_nesting() {
+        // One past the limit errors instead of overflowing the stack.
+        let deep = "(".repeat(MAX_DEPTH + 1);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.message.contains("nested deeper"), "{}", err.message);
+        // At the limit, a balanced form still parses.
+        let ok = format!("{}{}", "(".repeat(MAX_DEPTH), ")".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
     }
 
     #[test]

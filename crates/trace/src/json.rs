@@ -110,6 +110,7 @@ pub fn parse(input: &str) -> Result<Json, String> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -120,9 +121,17 @@ pub fn parse(input: &str) -> Result<Json, String> {
     Ok(value)
 }
 
+/// Maximum array/object nesting the parser accepts. The parser recurses
+/// per nesting level, so without a cap adversarial input (`[[[[...`)
+/// overflows the stack — an abort, not an error. The serve protocol
+/// feeds untrusted request lines through this parser, and no legitimate
+/// document here nests more than a few levels.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -164,12 +173,25 @@ impl<'a> Parser<'a> {
             Some(b't') => self.literal("true").map(|_| Json::Bool(true)),
             Some(b'f') => self.literal("false").map(|_| Json::Bool(false)),
             Some(b'"') => self.string().map(Json::Str),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => self.nested(Parser::array),
+            Some(b'{') => self.nested(Parser::object),
             Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
             Some(b) => Err(format!("unexpected '{}' at byte {}", b as char, self.pos)),
             None => Err("unexpected end of input".to_owned()),
         }
+    }
+
+    fn nested(
+        &mut self,
+        inner: fn(&mut Parser<'a>) -> Result<Json, String>,
+    ) -> Result<Json, String> {
+        if self.depth >= MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH}"));
+        }
+        self.depth += 1;
+        let result = inner(self);
+        self.depth -= 1;
+        result
     }
 
     fn string(&mut self) -> Result<String, String> {
@@ -348,5 +370,16 @@ mod tests {
         assert!(parse("{\"a\":").is_err());
         assert!(parse("[1,2").is_err());
         assert!(parse("\"abc").is_err());
+    }
+
+    #[test]
+    fn rejects_pathological_nesting() {
+        // One past the limit errors instead of overflowing the stack.
+        let deep = "[".repeat(100_000);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        // A modestly nested document still parses.
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse(&ok).is_ok());
     }
 }

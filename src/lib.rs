@@ -17,7 +17,10 @@
 //! * [`baseline`] — the brute-force superoptimizer and conventional
 //!   rewriting-compiler baselines used in the paper's evaluation,
 //! * [`trace`] — structured tracing: hierarchical spans, JSONL and
-//!   Chrome-trace sinks, and summary reports (see `docs/TRACING.md`).
+//!   Chrome-trace sinks, and summary reports (see `docs/TRACING.md`),
+//! * [`serve`] — the compilation server: framed JSONL protocol over
+//!   stdio/TCP, content-addressed result cache, request deadlines with
+//!   graceful degradation (see `docs/SERVER.md`).
 //!
 //! # Quickstart
 //!
@@ -39,5 +42,6 @@ pub use denali_core as core;
 pub use denali_egraph as egraph;
 pub use denali_lang as lang;
 pub use denali_sat as sat;
+pub use denali_serve as serve;
 pub use denali_term as term;
 pub use denali_trace as trace;

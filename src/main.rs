@@ -8,12 +8,17 @@
 //!                 [--trace-format jsonl|chrome] [--dump-dimacs DIR]
 //!                 [--simulate name=value ...]
 //! denali trace-report TRACE.jsonl
+//! denali serve (--stdio | --listen ADDR) [--workers N] [--queue N]
+//!              [--cache-bytes N] [--cache-dir DIR] [--machine M] [--solver S]
+//!              [--max-cycles N] [--threads N] [--trace] [-v|--verbose]
 //! ```
 //!
 //! Compiles a Denali source file, prints a Figure-4-style listing per
 //! generated GMA, and optionally executes the result on the simulator.
 //! `trace-report` renders the per-phase / per-axiom / per-probe summary
-//! of a JSONL trace written by `--trace-out`.
+//! of a JSONL trace written by `--trace-out`. `serve` runs the
+//! long-lived compilation server (framed JSONL protocol, see
+//! `docs/SERVER.md`).
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -49,13 +54,17 @@ fn usage() -> ! {
          \x20                   [--trace-format jsonl|chrome] [--allocate] [--dump-dimacs DIR]\n\
          \x20                   [--simulate name=value ...]\n\
          \x20      denali trace-report TRACE.jsonl\n\
+         \x20      denali serve (--stdio | --listen ADDR) [--workers N] [--queue N]\n\
+         \x20                   [--cache-bytes N] [--cache-dir DIR] [--machine M] [--solver S]\n\
+         \x20                   [--max-cycles N] [--threads N] [--trace] [-v|--verbose]\n\
          \x20 --threads N       worker threads for matching + speculative probes (0 = all CPUs, 1 = serial)\n\
          \x20 --no-incremental  fresh SAT solver per probe instead of one persistent solver (serial CDCL)\n\
          \x20 --no-delta-match  re-match every axiom against the whole e-graph each saturation round\n\
          \x20 --trace           collect a structured trace (also DENALI_TRACE=1)\n\
          \x20 --trace-out FILE  write the trace to FILE (implies --trace; jsonl unless --trace-format chrome)\n\
          \x20 -v, --verbose     per-round matcher detail + probe log (implies --trace and --probes)\n\
-         \x20 trace-report      summarize a JSONL trace (phases, axioms, probes)"
+         \x20 trace-report      summarize a JSONL trace (phases, axioms, probes)\n\
+         \x20 serve             run the compilation server (JSONL protocol, docs/SERVER.md)"
     );
     std::process::exit(2);
 }
@@ -216,6 +225,93 @@ fn trace_report(path: &str) -> ExitCode {
     }
 }
 
+/// The `denali serve` subcommand: the long-lived compilation server.
+fn serve(args: &[String]) -> ExitCode {
+    use denali::serve::{serve_stdio, serve_tcp, Server, ServerConfig};
+
+    let mut config = ServerConfig::default();
+    let mut listen: Option<String> = None;
+    let mut stdio = false;
+    let mut args = args.iter();
+    let need = |args: &mut dyn Iterator<Item = &String>, flag: &str| -> String {
+        args.next().cloned().unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            usage();
+        })
+    };
+    let parse = |value: String, flag: &str| -> usize {
+        value.parse().unwrap_or_else(|_| {
+            eprintln!("bad value for {flag}");
+            usage();
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--stdio" => stdio = true,
+            "--listen" => listen = Some(need(&mut args, "--listen")),
+            "--workers" => config.workers = parse(need(&mut args, "--workers"), "--workers"),
+            "--queue" => config.queue = parse(need(&mut args, "--queue"), "--queue"),
+            "--cache-bytes" => {
+                config.cache_bytes = parse(need(&mut args, "--cache-bytes"), "--cache-bytes")
+            }
+            "--cache-dir" => config.cache_dir = Some(need(&mut args, "--cache-dir").into()),
+            "--machine" => {
+                let name = need(&mut args, "--machine");
+                config.base.machine = match denali::serve::protocol::machine_by_name(&name) {
+                    Ok(machine) => machine,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        usage();
+                    }
+                }
+            }
+            "--solver" => {
+                config.base.solver = match need(&mut args, "--solver").as_str() {
+                    "cdcl" => SolverChoice::Cdcl,
+                    "dpll" => SolverChoice::Dpll,
+                    other => {
+                        eprintln!("unknown solver {other}");
+                        usage();
+                    }
+                }
+            }
+            "--max-cycles" => {
+                config.base.max_cycles =
+                    parse(need(&mut args, "--max-cycles"), "--max-cycles") as u32
+            }
+            "--threads" => config.base.threads = parse(need(&mut args, "--threads"), "--threads"),
+            "--trace" => config.base.trace = true,
+            "-v" | "--verbose" => config.verbose = true,
+            other => {
+                eprintln!("unknown serve argument {other}");
+                usage();
+            }
+        }
+    }
+    if stdio == listen.is_some() {
+        eprintln!("serve needs exactly one of --stdio or --listen ADDR");
+        usage();
+    }
+    let server = match Server::new(config) {
+        Ok(server) => std::sync::Arc::new(server),
+        Err(e) => {
+            eprintln!("error: cannot start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match listen {
+        None => serve_stdio(&server),
+        Some(addr) => serve_tcp(&server, &addr),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     {
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -227,6 +323,9 @@ fn main() -> ExitCode {
                     usage();
                 }
             }
+        }
+        if args.first().map(String::as_str) == Some("serve") {
+            return serve(&args[1..]);
         }
     }
     let cli = parse_cli();

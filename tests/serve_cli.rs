@@ -1,0 +1,156 @@
+//! End-to-end `denali serve --stdio` over the real binary: spawn the
+//! CLI, drive it with framed JSONL requests over a pipe, and assert on
+//! the response lines and the exit status. This is the same flow the
+//! CI smoke leg exercises from a shell.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+use denali::trace::json::{self, Json};
+
+const SOURCE: &str = r"(\procdecl f ((reg6 long)) long (:= (\res (+ (* reg6 4) 1))))";
+
+/// A different program for the deadline leg: the cache is keyed by the
+/// normalized GMA, so reusing `SOURCE` would serve the expired request
+/// from the cache (a hit satisfies any deadline) instead of degrading.
+const SOURCE_LATE: &str = r"(\procdecl g ((reg6 long)) long (:= (\res (* (+ reg6 2) 8))))";
+
+fn compile_source_line(id: &str, source: &str, extra: &str) -> String {
+    let mut src = String::new();
+    json::write_str(&mut src, source);
+    format!(r#"{{"type":"compile","id":"{id}","source":{src}{extra}}}"#)
+}
+
+fn compile_line(id: &str, extra: &str) -> String {
+    compile_source_line(id, SOURCE, extra)
+}
+
+/// An interactive `denali serve --stdio` session. Lock-step send/recv
+/// keeps every stats assertion deterministic: a response is only read
+/// after the worker that produced it has bumped its counters.
+struct Session {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl Session {
+    fn start(extra_args: &[&str]) -> Session {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_denali"))
+            .arg("serve")
+            .arg("--stdio")
+            .args(["--max-cycles", "8"])
+            .args(extra_args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn denali serve");
+        let stdin = child.stdin.take().unwrap();
+        let stdout = BufReader::new(child.stdout.take().unwrap());
+        Session {
+            child,
+            stdin,
+            stdout,
+        }
+    }
+
+    /// Sends one request line and reads its one response line.
+    fn round_trip(&mut self, request: &str) -> String {
+        writeln!(self.stdin, "{request}").expect("write request");
+        self.stdin.flush().expect("flush request");
+        let mut line = String::new();
+        let n = self.stdout.read_line(&mut line).expect("read response");
+        assert!(n > 0, "server closed before responding to {request}");
+        line.trim_end().to_owned()
+    }
+
+    /// Closes stdin (EOF = graceful shutdown) and asserts a clean exit
+    /// with no stray output.
+    fn close(mut self) {
+        drop(self.stdin);
+        let mut rest = String::new();
+        self.stdout.read_to_string(&mut rest).expect("drain stdout");
+        assert_eq!(rest, "", "no unsolicited output after EOF");
+        let status = self.child.wait().expect("wait for server");
+        assert!(status.success(), "EOF must be a clean shutdown: {status}");
+    }
+}
+
+use std::io::Read as _;
+
+#[test]
+fn serves_good_malformed_duplicate_and_deadline_requests() {
+    let mut s = Session::start(&[]);
+
+    let pong = json::parse(&s.round_trip(r#"{"type":"ping","id":0}"#)).unwrap();
+    assert_eq!(pong.get("pong").and_then(Json::as_bool), Some(true));
+
+    // Good request compiles for real.
+    let cold_line = s.round_trip(&compile_line("good", ""));
+    let cold = json::parse(&cold_line).unwrap();
+    assert_eq!(cold.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(cold.get("degraded").and_then(Json::as_bool), Some(false));
+    assert!(!cold.get("gmas").and_then(Json::as_arr).unwrap().is_empty());
+
+    // Malformed line: protocol error with id null, and the server
+    // keeps serving afterwards.
+    let bad = json::parse(&s.round_trip("this is not json")).unwrap();
+    assert_eq!(bad.get("id"), Some(&Json::Null));
+    assert_eq!(
+        bad.get("error")
+            .and_then(|e| e.get("stage"))
+            .and_then(Json::as_str),
+        Some("protocol")
+    );
+
+    // The duplicate request is served from the cache byte-identically.
+    let warm_line = s.round_trip(&compile_line("good", ""));
+    assert_eq!(cold_line, warm_line, "cache hit must replay cold bytes");
+
+    // An already-expired deadline degrades instead of failing.
+    let late = json::parse(&s.round_trip(&compile_source_line(
+        "late",
+        SOURCE_LATE,
+        r#","deadline_ms":0"#,
+    )))
+    .unwrap();
+    assert_eq!(late.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(late.get("degraded").and_then(Json::as_bool), Some(true));
+
+    // Stats reflect all of the above.
+    let stats = json::parse(&s.round_trip(r#"{"type":"stats","id":9}"#)).unwrap();
+    assert_eq!(stats.get("requests").and_then(Json::as_u64), Some(6));
+    assert_eq!(stats.get("protocol_errors").and_then(Json::as_u64), Some(1));
+    let compiles = stats.get("compiles").unwrap();
+    assert_eq!(compiles.get("ok").and_then(Json::as_u64), Some(2));
+    assert_eq!(compiles.get("degraded").and_then(Json::as_u64), Some(1));
+    let cache = stats.get("cache").unwrap();
+    assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(1));
+    assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(2));
+
+    s.close();
+}
+
+#[test]
+fn cache_dir_survives_across_processes() {
+    let dir = std::env::temp_dir().join(format!("denali-serve-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_arg = dir.to_str().unwrap().to_owned();
+    let request = compile_line("r", "");
+
+    let mut first = Session::start(&["--cache-dir", &dir_arg]);
+    let cold = first.round_trip(&request);
+    first.close();
+
+    // "Restart": a fresh process over the same cache directory.
+    let mut second = Session::start(&["--cache-dir", &dir_arg]);
+    let warm = second.round_trip(&request);
+    assert_eq!(cold, warm, "disk tier must replay across restarts");
+    let stats = json::parse(&second.round_trip(r#"{"type":"stats","id":1}"#)).unwrap();
+    let cache = stats.get("cache").unwrap();
+    assert_eq!(cache.get("disk_hits").and_then(Json::as_u64), Some(1));
+    second.close();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
