@@ -1,0 +1,392 @@
+//! Open-loop load benchmark for the compilation server.
+//!
+//! Replays a synthetic request schedule against an in-process server
+//! over real TCP sockets — the same transport, pool, coalescer, and
+//! cache a production `denali serve --tcp` runs. The schedule is
+//! **open-loop**: request *i* is fired at `start + i/rate` regardless
+//! of how many earlier requests have completed, so a slow server grows
+//! a backlog instead of silently slowing the generator down (no
+//! coordinated omission). Latency is measured from each request's
+//! *scheduled* arrival, so schedule slip under load counts against the
+//! server, not the generator.
+//!
+//! Two legs, each reported as a row in `BENCH_serve.json`:
+//!
+//! * **mixed** — a blend of unique programs (cold-cache compiles) and
+//!   a small hot set (cache hits, plus single-flight coalescing when
+//!   duplicates land while the leader is still compiling).
+//! * **stampede** — K identical requests released by a barrier on K
+//!   connections at once. The pipeline must execute exactly **once**;
+//!   everything else must be answered by the coalescer or the cache.
+//!   The binary exits nonzero if it does not.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p denali-bench --bin serve_load -- \
+//!     [--requests N] [--rate R] [--stampede K] [--workers W] \
+//!     [--queue Q] [--out BENCH_serve.json]
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+use denali_axioms::SaturationLimits;
+use denali_core::Options;
+use denali_serve::{serve_listener, Server, ServerConfig};
+use denali_trace::json::{self, Json};
+
+struct Config {
+    requests: usize,
+    rate: f64,
+    stampede: usize,
+    workers: usize,
+    queue: usize,
+    out: String,
+}
+
+fn parse_args() -> Config {
+    let mut config = Config {
+        requests: 160,
+        rate: 120.0,
+        stampede: 64,
+        workers: 2,
+        queue: 64,
+        out: "BENCH_serve.json".to_owned(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--requests" => config.requests = value().parse().expect("--requests"),
+            "--rate" => config.rate = value().parse().expect("--rate"),
+            "--stampede" => config.stampede = value().parse().expect("--stampede"),
+            "--workers" => config.workers = value().parse().expect("--workers"),
+            "--queue" => config.queue = value().parse().expect("--queue"),
+            "--out" => config.out = value(),
+            other => panic!("unknown flag {other}; see the module docs"),
+        }
+    }
+    config
+}
+
+/// Small saturation budgets: per-request pipeline cost in the low
+/// milliseconds, so the bench exercises *serving* dynamics (queueing,
+/// coalescing, shedding) rather than raw search throughput.
+fn fast_options() -> Options {
+    Options {
+        max_cycles: 8,
+        saturation: SaturationLimits {
+            max_iterations: 2,
+            max_nodes: 400,
+            max_instances_per_round: 100,
+            max_structural_per_round: 20,
+            max_structural_growth: 100,
+            ..SaturationLimits::default()
+        },
+        ..Options::default()
+    }
+}
+
+/// The i-th distinct program: same shape, different constant, so every
+/// source is a distinct fingerprint with identical compile cost.
+fn source(i: usize) -> String {
+    format!(r"(\procdecl f{i} ((reg6 long)) long (:= (\res (+ (* reg6 4) {i}))))")
+}
+
+fn compile_line(id: &str, source: &str) -> String {
+    let mut src = String::new();
+    json::write_str(&mut src, source);
+    format!(r#"{{"type":"compile","id":"{id}","source":{src}}}"#)
+}
+
+/// One request over its own connection; returns (status, latency from
+/// `scheduled`).
+fn round_trip(addr: std::net::SocketAddr, line: &str, scheduled: Instant) -> (String, Duration) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    writer
+        .write_all(format!("{line}\n").as_bytes())
+        .expect("send request");
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("read response");
+    let latency = scheduled.elapsed();
+    let v = json::parse(response.trim()).expect("response parses");
+    let status = match v.get("status").and_then(Json::as_str) {
+        Some("ok") if v.get("degraded").and_then(Json::as_bool) == Some(true) => "degraded",
+        Some(status) => status,
+        None => "error",
+    };
+    (status.to_owned(), latency)
+}
+
+/// Counters that change across a leg, read from a `stats` request.
+#[derive(Clone, Copy, Default)]
+struct Counters {
+    executions: u64,
+    coalesced: u64,
+    hits: u64,
+    shed: u64,
+}
+
+fn counters(server: &Server) -> Counters {
+    let body = server
+        .handle_line(r#"{"type":"stats","id":0}"#)
+        .expect("stats response");
+    let v = json::parse(&body).expect("stats parse");
+    let at = |path: &[&str]| {
+        let mut node = &v;
+        for key in path {
+            node = node.get(key).expect("stats field");
+        }
+        node.as_u64().expect("stats number")
+    };
+    Counters {
+        executions: at(&["executions"]),
+        coalesced: at(&["coalesce", "coalesced"]),
+        hits: at(&["cache", "hits"]),
+        shed: at(&["overload_rejections"]) + at(&["shutdown_rejections"]),
+    }
+}
+
+struct Leg {
+    name: &'static str,
+    requests: usize,
+    ok: usize,
+    degraded: usize,
+    errors: usize,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    delta: Counters,
+}
+
+impl Leg {
+    fn coalesce_ratio(&self) -> f64 {
+        self.delta.coalesced as f64 / (self.requests as f64).max(1.0)
+    }
+
+    fn shed_rate(&self) -> f64 {
+        self.delta.shed as f64 / (self.requests as f64).max(1.0)
+    }
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[rank]
+}
+
+fn finish_leg(
+    name: &'static str,
+    outcomes: Vec<(String, Duration)>,
+    before: Counters,
+    after: Counters,
+) -> Leg {
+    let mut ms: Vec<f64> = outcomes
+        .iter()
+        .map(|(_, d)| d.as_secs_f64() * 1e3)
+        .collect();
+    ms.sort_by(f64::total_cmp);
+    let count = |want: &str| outcomes.iter().filter(|(status, _)| status == want).count();
+    Leg {
+        name,
+        requests: outcomes.len(),
+        ok: count("ok"),
+        degraded: count("degraded"),
+        errors: count("error"),
+        p50_ms: percentile(&ms, 0.50),
+        p95_ms: percentile(&ms, 0.95),
+        p99_ms: percentile(&ms, 0.99),
+        delta: Counters {
+            executions: after.executions - before.executions,
+            coalesced: after.coalesced - before.coalesced,
+            hits: after.hits - before.hits,
+            shed: after.shed - before.shed,
+        },
+    }
+}
+
+/// The mixed leg: 1-in-4 requests draw from a 4-program hot set (so
+/// repeats arrive both while a leader is in flight and after it has
+/// cached), the rest are unique cold compiles.
+fn mixed_leg(server: &Arc<Server>, addr: std::net::SocketAddr, config: &Config) -> Leg {
+    let before = counters(server);
+    let start = Instant::now();
+    let period = Duration::from_secs_f64(1.0 / config.rate.max(1e-6));
+    let results: Arc<Mutex<Vec<(String, Duration)>>> = Arc::default();
+    let mut senders = Vec::new();
+    for i in 0..config.requests {
+        let scheduled = start + period * i as u32;
+        if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let line = if i % 4 == 0 {
+            compile_line(&format!("hot{i}"), &source(1_000_000 + (i / 4) % 4))
+        } else {
+            compile_line(&format!("uniq{i}"), &source(i))
+        };
+        let results = Arc::clone(&results);
+        senders.push(
+            std::thread::Builder::new()
+                .name("load-client".to_owned())
+                .spawn(move || {
+                    let outcome = round_trip(addr, &line, scheduled);
+                    results.lock().unwrap().push(outcome);
+                })
+                .expect("spawn client"),
+        );
+    }
+    for handle in senders {
+        handle.join().expect("client thread");
+    }
+    let outcomes = std::mem::take(&mut *results.lock().unwrap());
+    finish_leg("mixed", outcomes, before, counters(server))
+}
+
+/// The stampede leg: K connections release one identical, never-seen
+/// request each at the same instant.
+fn stampede_leg(server: &Arc<Server>, addr: std::net::SocketAddr, config: &Config) -> Leg {
+    let before = counters(server);
+    let line = Arc::new(compile_line("stampede", &source(2_000_000)));
+    let barrier = Arc::new(Barrier::new(config.stampede));
+    let results: Arc<Mutex<Vec<(String, Duration)>>> = Arc::default();
+    let clients: Vec<_> = (0..config.stampede)
+        .map(|_| {
+            let (line, barrier, results) = (
+                Arc::clone(&line),
+                Arc::clone(&barrier),
+                Arc::clone(&results),
+            );
+            std::thread::Builder::new()
+                .name("stampede-client".to_owned())
+                .spawn(move || {
+                    // Connect before the barrier so the release is as
+                    // simultaneous as the scheduler allows.
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                    let mut writer = stream;
+                    barrier.wait();
+                    let scheduled = Instant::now();
+                    writer
+                        .write_all(format!("{line}\n").as_bytes())
+                        .expect("send request");
+                    let mut response = String::new();
+                    reader.read_line(&mut response).expect("read response");
+                    let latency = scheduled.elapsed();
+                    let v = json::parse(response.trim()).expect("response parses");
+                    let status = v.get("status").and_then(Json::as_str).unwrap_or("error");
+                    results.lock().unwrap().push((status.to_owned(), latency));
+                })
+                .expect("spawn client")
+        })
+        .collect();
+    for handle in clients {
+        handle.join().expect("stampede client");
+    }
+    let outcomes = std::mem::take(&mut *results.lock().unwrap());
+    finish_leg("stampede", outcomes, before, counters(server))
+}
+
+fn render(config: &Config, legs: &[Leg]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"denali-serve-load-v1\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"requests\": {}, \"rate\": {}, \"stampede\": {}, \"workers\": {}, \"queue\": {}}},\n",
+        config.requests, config.rate, config.stampede, config.workers, config.queue
+    ));
+    out.push_str("  \"legs\": [\n");
+    for (i, leg) in legs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"requests\": {}, \"ok\": {}, \"degraded\": {}, \"errors\": {}, \
+\"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"executions\": {}, \"coalesced\": {}, \
+\"coalesce_ratio\": {:.4}, \"cache_hits\": {}, \"shed\": {}, \"shed_rate\": {:.4}}}{}\n",
+            leg.name,
+            leg.requests,
+            leg.ok,
+            leg.degraded,
+            leg.errors,
+            leg.p50_ms,
+            leg.p95_ms,
+            leg.p99_ms,
+            leg.delta.executions,
+            leg.delta.coalesced,
+            leg.coalesce_ratio(),
+            leg.delta.hits,
+            leg.delta.shed,
+            leg.shed_rate(),
+            if i + 1 < legs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let config = parse_args();
+    let server = Arc::new(
+        Server::new(ServerConfig {
+            base: fast_options(),
+            workers: config.workers,
+            queue: config.queue,
+            ..ServerConfig::default()
+        })
+        .expect("server"),
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    {
+        let server = Arc::clone(&server);
+        std::thread::Builder::new()
+            .name("serve-accept".to_owned())
+            .spawn(move || serve_listener(&server, &listener))
+            .expect("spawn acceptor");
+    }
+
+    let legs = vec![
+        mixed_leg(&server, addr, &config),
+        stampede_leg(&server, addr, &config),
+    ];
+    for leg in &legs {
+        println!(
+            "{:<9} requests={:<4} ok={:<4} degraded={:<3} errors={:<3} p50={:>8.2}ms p95={:>8.2}ms p99={:>8.2}ms executions={:<4} coalesced={:<4} hits={:<4} shed={}",
+            leg.name,
+            leg.requests,
+            leg.ok,
+            leg.degraded,
+            leg.errors,
+            leg.p50_ms,
+            leg.p95_ms,
+            leg.p99_ms,
+            leg.delta.executions,
+            leg.delta.coalesced,
+            leg.delta.hits,
+            leg.delta.shed,
+        );
+    }
+
+    let report = render(&config, &legs);
+    std::fs::write(&config.out, &report).expect("write report");
+    println!("wrote {}", config.out);
+
+    // The PR's headline invariant, checked on every run: a stampede of
+    // identical requests executes the pipeline exactly once.
+    let stampede = legs.last().expect("stampede leg");
+    assert_eq!(
+        stampede.delta.executions, 1,
+        "stampede must execute the pipeline exactly once"
+    );
+    assert_eq!(
+        stampede.delta.coalesced + stampede.delta.hits,
+        (config.stampede - 1) as u64,
+        "every non-leader must be answered by the coalescer or the cache"
+    );
+}

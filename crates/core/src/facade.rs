@@ -257,6 +257,22 @@ impl Denali {
         &self.options
     }
 
+    /// A pipeline identical to this one but cancellable via `token`,
+    /// sharing this façade's tracer (so records from both accumulate
+    /// in one place). Serving installs per-request tokens this way:
+    /// preparation runs uncancellable on the shared façade, and each
+    /// admitted compile gets its own deadline-armed token without
+    /// rebuilding options or splitting the trace.
+    #[must_use]
+    pub fn with_cancel(&self, token: CancelToken) -> Denali {
+        let mut options = self.options.clone();
+        options.cancel = Some(token);
+        Denali {
+            options,
+            tracer: self.tracer.clone(),
+        }
+    }
+
     /// Fails with a `cancelled`-stage error if [`Options::cancel`] has
     /// been raised.
     fn check_cancelled(&self) -> Result<(), CompileError> {

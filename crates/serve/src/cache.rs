@@ -30,6 +30,9 @@ pub struct CacheSnapshot {
     pub misses: u64,
     /// Of the hits, how many were served by the disk tier.
     pub disk_hits: u64,
+    /// Disk-tier entries that failed protocol validation and were
+    /// deleted (corruption, truncation, hand-editing).
+    pub disk_invalid: u64,
     /// Entries evicted from memory to respect the byte budget.
     pub evictions: u64,
     /// Entries currently resident in memory.
@@ -64,6 +67,7 @@ pub struct Cache {
     hits: AtomicU64,
     misses: AtomicU64,
     disk_hits: AtomicU64,
+    disk_invalid: AtomicU64,
     evictions: AtomicU64,
 }
 
@@ -86,6 +90,7 @@ impl Cache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
+            disk_invalid: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         })
     }
@@ -118,10 +123,19 @@ impl Cache {
         }
         if let Some(path) = self.disk_path(key) {
             if let Ok(body) = std::fs::read_to_string(&path) {
-                self.disk_hits.fetch_add(1, Ordering::Relaxed);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                self.insert_memory(key, &body);
-                return Some(body);
+                // The disk tier is plain files: corruption, truncation,
+                // or hand-editing must not be promoted to memory and
+                // replayed as protocol bytes. An invalid entry is
+                // deleted and the lookup falls through to a miss, so
+                // the next compile rewrites it.
+                if crate::protocol::is_valid_result_body(&body) {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.insert_memory(key, &body);
+                    return Some(body);
+                }
+                self.disk_invalid.fetch_add(1, Ordering::Relaxed);
+                let _ = std::fs::remove_file(&path);
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -170,6 +184,7 @@ impl Cache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_invalid: self.disk_invalid.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             entries: lru.entries.len() as u64,
             bytes: lru.bytes as u64,
@@ -211,6 +226,11 @@ mod tests {
             std::env::temp_dir().join(format!("denali-serve-cache-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
+    }
+
+    /// A minimal body that passes disk-tier protocol validation.
+    fn valid_body(fingerprint: &str) -> String {
+        crate::protocol::render_result_body(fingerprint, false, &[])
     }
 
     #[test]
@@ -259,18 +279,44 @@ mod tests {
     #[test]
     fn disk_tier_survives_restart_and_promotes() {
         let dir = temp_dir("restart");
+        let body = valid_body("abcd0123");
         {
             let cache = Cache::new(1 << 20, Some(dir.clone())).unwrap();
-            cache.put("abcd0123", "persisted-body");
+            cache.put("abcd0123", &body);
         }
         // "Restart": a fresh cache over the same directory.
         let cache = Cache::new(1 << 20, Some(dir.clone())).unwrap();
-        assert_eq!(cache.get("abcd0123").as_deref(), Some("persisted-body"));
+        assert_eq!(cache.get("abcd0123").as_deref(), Some(body.as_str()));
         let snap = cache.snapshot();
         assert_eq!((snap.disk_hits, snap.entries), (1, 1));
         // Promoted: a second get is a pure memory hit.
-        assert_eq!(cache.get("abcd0123").as_deref(), Some("persisted-body"));
+        assert_eq!(cache.get("abcd0123").as_deref(), Some(body.as_str()));
         assert_eq!(cache.snapshot().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_disk_entries_are_deleted_and_miss() {
+        let dir = temp_dir("corrupt");
+        let cache = Cache::new(1 << 20, Some(dir.clone())).unwrap();
+        // A torn/hand-edited entry appears on disk behind the cache's
+        // back (simulating corruption the atomic writer cannot cause).
+        std::fs::write(dir.join("deadbeef.json"), "{not a resp").unwrap();
+        assert_eq!(cache.get("deadbeef"), None, "corruption must miss");
+        assert!(
+            !dir.join("deadbeef.json").exists(),
+            "invalid entry must be deleted so the next compile rewrites it"
+        );
+        let snap = cache.snapshot();
+        assert_eq!((snap.disk_invalid, snap.hits, snap.misses), (1, 0, 1));
+        // A truncated but otherwise plausible body is also rejected.
+        let body = valid_body("deadbeef");
+        std::fs::write(dir.join("deadbeef.json"), &body[..body.len() / 2]).unwrap();
+        assert_eq!(cache.get("deadbeef"), None);
+        assert_eq!(cache.snapshot().disk_invalid, 2);
+        // A valid entry on disk still round-trips.
+        std::fs::write(dir.join("deadbeef.json"), &body).unwrap();
+        assert_eq!(cache.get("deadbeef").as_deref(), Some(body.as_str()));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -17,9 +17,19 @@
 
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use denali_par::CancelToken;
+
+/// The instant `ms` milliseconds after `from`, or `None` when the sum
+/// overflows `Instant`'s range (platform-dependent; some clocks cannot
+/// represent dates centuries out). A request with an unrepresentable
+/// `deadline_ms` is indistinguishable from one with no deadline, so
+/// `None` means "never arm" — the alternative (the bare `+` this
+/// replaces) panics inside a worker thread on such inputs.
+pub fn deadline_at(from: Instant, ms: u64) -> Option<Instant> {
+    from.checked_add(Duration::from_millis(ms))
+}
 
 struct State {
     entries: Vec<(u64, Instant, CancelToken)>,
@@ -177,6 +187,14 @@ mod tests {
         let _g2 = watch.arm(Instant::now() + Duration::from_secs(3600), later.clone());
         eventually("near deadline", || soon.is_cancelled());
         assert!(!later.is_cancelled());
+    }
+
+    #[test]
+    fn absurd_deadlines_never_panic() {
+        // Whether a deadline ~584 million years out is representable is
+        // platform business; the helper must return, never panic.
+        let _ = deadline_at(Instant::now(), u64::MAX);
+        assert!(deadline_at(Instant::now(), 2000).is_some());
     }
 
     #[test]

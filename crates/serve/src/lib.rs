@@ -21,7 +21,15 @@
 //! * **Bounded worker pool** ([`pool`]) — requests are admitted to a
 //!   fixed-capacity queue served by a fixed set of workers;
 //!   when the queue is full the server sheds load with a retryable
-//!   `overload` error instead of stalling the connection.
+//!   `overload` error instead of stalling the connection (and with a
+//!   non-retryable `shutting_down` error once the pool has closed).
+//! * **Single-flight coalescing** ([`coalesce`]) — concurrent requests
+//!   with the same fingerprint execute the pipeline once: the first
+//!   becomes the leader and occupies a worker, the duplicates become
+//!   followers that replay the leader's exact response bytes without
+//!   consuming a worker or a queue slot. The cache dedups *completed*
+//!   work; the coalescer closes the stampede window for *in-flight*
+//!   work.
 //! * **Deadlines and graceful degradation** ([`deadline`],
 //!   [`server`]) — a request may carry `deadline_ms`; a watchdog arms
 //!   the pipeline's [`CancelToken`](denali_par::CancelToken) so an
@@ -35,6 +43,7 @@
 //! [`Denali`]: denali_core::Denali
 
 pub mod cache;
+pub mod coalesce;
 pub mod deadline;
 pub mod pool;
 pub mod protocol;
@@ -42,4 +51,4 @@ pub mod server;
 pub mod stats;
 
 pub use cache::Cache;
-pub use server::{serve_stdio, serve_tcp, Server, ServerConfig};
+pub use server::{serve_listener, serve_stdio, serve_tcp, Server, ServerConfig};

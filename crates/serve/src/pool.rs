@@ -12,6 +12,7 @@
 //! requests finish (and their responses flush) before shutdown — the
 //! "graceful" half of graceful degradation.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
@@ -19,16 +20,27 @@ use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-/// The admission queue is full; the caller should shed the request
-/// with a retryable error.
+/// Why [`Pool::try_submit`] declined a job. The two cases demand
+/// opposite client behaviour, so they must not be conflated: `Full` is
+/// transient (back off and retry the identical request), `Closed` is
+/// terminal (the server is shutting down; retrying re-sends into a
+/// closing process).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct PoolFull;
+pub enum SubmitError {
+    /// The admission queue is at capacity; shed with a *retryable*
+    /// `overload` error.
+    Full,
+    /// The pool has shut down and accepts no further work; shed with a
+    /// *non-retryable* `shutting_down` error.
+    Closed,
+}
 
 /// A fixed set of worker threads fed by a bounded queue.
 pub struct Pool {
     sender: Option<SyncSender<Job>>,
     workers: Vec<JoinHandle<()>>,
     queued: Arc<AtomicU64>,
+    panics: Arc<AtomicU64>,
 }
 
 impl Pool {
@@ -38,13 +50,15 @@ impl Pool {
         let (sender, receiver) = mpsc::sync_channel::<Job>(queue);
         let receiver = Arc::new(Mutex::new(receiver));
         let queued = Arc::new(AtomicU64::new(0));
+        let panics = Arc::new(AtomicU64::new(0));
         let workers = (0..workers.max(1))
             .map(|i| {
                 let receiver = Arc::clone(&receiver);
                 let queued = Arc::clone(&queued);
+                let panics = Arc::clone(&panics);
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&receiver, &queued))
+                    .spawn(move || worker_loop(&receiver, &queued, &panics))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -52,6 +66,7 @@ impl Pool {
             sender: Some(sender),
             workers,
             queued,
+            panics,
         }
     }
 
@@ -59,18 +74,23 @@ impl Pool {
     ///
     /// # Errors
     ///
-    /// [`PoolFull`] when the queue is at capacity; the job is returned
-    /// to the caller unexecuted (dropped here, since it is consumed).
-    pub fn try_submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), PoolFull> {
+    /// [`SubmitError::Full`] when the queue is at capacity,
+    /// [`SubmitError::Closed`] when the pool has shut down; either way
+    /// the job is returned to the caller unexecuted (dropped here,
+    /// since it is consumed).
+    pub fn try_submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), SubmitError> {
         let sender = self.sender.as_ref().expect("pool not shut down");
         // Count before sending so a worker that dequeues instantly
         // never observes a decrement racing ahead of the increment.
         self.queued.fetch_add(1, Ordering::Relaxed);
         match sender.try_send(Box::new(job)) {
             Ok(()) => Ok(()),
-            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+            Err(err) => {
                 self.queued.fetch_sub(1, Ordering::Relaxed);
-                Err(PoolFull)
+                Err(match err {
+                    TrySendError::Full(_) => SubmitError::Full,
+                    TrySendError::Disconnected(_) => SubmitError::Closed,
+                })
             }
         }
     }
@@ -78,6 +98,11 @@ impl Pool {
     /// Jobs admitted but not yet started (the queue-depth gauge).
     pub fn depth(&self) -> u64 {
         self.queued.load(Ordering::Relaxed)
+    }
+
+    /// Jobs that panicked on a worker (the worker survives each one).
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
     }
 }
 
@@ -91,7 +116,7 @@ impl Drop for Pool {
     }
 }
 
-fn worker_loop(receiver: &Mutex<Receiver<Job>>, queued: &AtomicU64) {
+fn worker_loop(receiver: &Mutex<Receiver<Job>>, queued: &AtomicU64, panics: &AtomicU64) {
     loop {
         // Hold the lock only while dequeuing, never while running.
         let job = match receiver.lock().unwrap().recv() {
@@ -99,7 +124,15 @@ fn worker_loop(receiver: &Mutex<Receiver<Job>>, queued: &AtomicU64) {
             Err(_) => return, // pool dropped and queue drained
         };
         queued.fetch_sub(1, Ordering::Relaxed);
-        job();
+        // A panicking job must not take the worker thread with it:
+        // every panic would silently shrink the pool until admitted
+        // requests hang forever. The payload is discarded — the server
+        // layer answers the request (its job wrapper catches first and
+        // renders an internal error); this is the backstop that keeps
+        // the thread alive either way.
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            panics.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -136,9 +169,37 @@ mod tests {
         // ...second fills the queue slot; third must be rejected.
         let g = Arc::clone(&gate);
         pool.try_submit(move || drop(g.lock().unwrap())).unwrap();
-        assert_eq!(pool.try_submit(|| ()), Err(PoolFull));
+        assert_eq!(pool.try_submit(|| ()), Err(SubmitError::Full));
         assert_eq!(pool.depth(), 1);
         drop(hold);
+    }
+
+    #[test]
+    fn closed_pool_is_distinguishable_from_a_full_one() {
+        // Construct a pool whose receiver is already gone: submission
+        // must report Closed, not Full — clients retry Full but must
+        // not retry into a shutting-down server.
+        let (sender, receiver) = mpsc::sync_channel::<Job>(4);
+        drop(receiver);
+        let pool = Pool {
+            sender: Some(sender),
+            workers: Vec::new(),
+            queued: Arc::new(AtomicU64::new(0)),
+            panics: Arc::new(AtomicU64::new(0)),
+        };
+        assert_eq!(pool.try_submit(|| ()), Err(SubmitError::Closed));
+        assert_eq!(pool.depth(), 0, "a rejected job is not queued");
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_its_worker() {
+        let pool = Pool::new(1, 8);
+        let (tx, rx) = channel();
+        pool.try_submit(|| panic!("job blew up")).unwrap();
+        // The single worker must survive to run the next job.
+        pool.try_submit(move || tx.send(42).unwrap()).unwrap();
+        assert_eq!(rx.recv().unwrap(), 42);
+        assert_eq!(pool.panics(), 1);
     }
 
     #[test]

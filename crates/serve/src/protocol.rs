@@ -412,6 +412,23 @@ pub fn render_result_body(fingerprint: &str, degraded: bool, gmas: &[GmaSummary]
     out
 }
 
+/// Checks that a cached *result body* (the brace-less key/value run
+/// stored by the cache tiers) still parses as a protocol-v1 success
+/// response. The disk tier is plain files on disk — corruption,
+/// truncation, or hand-editing must not be promoted to memory and
+/// replayed as protocol bytes. Degraded bodies are rejected too: they
+/// are never cached, so finding one on disk means the entry is not
+/// trustworthy.
+pub fn is_valid_result_body(body: &str) -> bool {
+    let Ok(value) = json::parse(&format!("{{{body}}}")) else {
+        return false;
+    };
+    value.get("status").and_then(Json::as_str) == Some("ok")
+        && value.get("degraded").and_then(Json::as_bool) == Some(false)
+        && value.get("fingerprint").and_then(Json::as_str).is_some()
+        && value.get("gmas").and_then(Json::as_arr).is_some()
+}
+
 /// Renders an error body. `retryable` tells the client whether backing
 /// off and resending the identical request can succeed (true only for
 /// transient conditions like a full admission queue).
@@ -471,6 +488,26 @@ mod tests {
         assert!(
             parse_request(r#"{"type":"compile","source":"x","options":{"solver":"z3"}}"#).is_err()
         );
+    }
+
+    #[test]
+    fn result_body_validation_rejects_everything_but_ok_results() {
+        let good = render_result_body("abc123", false, &[]);
+        assert!(is_valid_result_body(&good));
+        // Degraded bodies are never cached, so they are not valid
+        // cache contents even though they are valid responses.
+        assert!(!is_valid_result_body(&render_result_body(
+            "abc123",
+            true,
+            &[]
+        )));
+        assert!(!is_valid_result_body(&render_error_body(
+            "compile", "boom", false
+        )));
+        assert!(!is_valid_result_body("")); // empty file
+        assert!(!is_valid_result_body(&good[..good.len() / 2])); // truncated
+        assert!(!is_valid_result_body("\"status\":\"ok\"")); // missing fields
+        assert!(!is_valid_result_body("not json at all"));
     }
 
     #[test]

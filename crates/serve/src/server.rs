@@ -2,28 +2,55 @@
 //! transports.
 //!
 //! A [`Server`] owns the shared state (base options, cache, deadline
-//! watchdog, stats); transports own the [`Pool`] so that dropping the
-//! transport drains admitted requests before the process exits — EOF on
-//! stdin is a *graceful* shutdown, not an abort.
+//! watchdog, coalescer, stats); transports own the [`Pool`] so that
+//! dropping the transport drains admitted requests before the process
+//! exits — EOF on stdin is a *graceful* shutdown, not an abort.
 //!
 //! Request handling is deliberately a pure function from request line
 //! to response line ([`Server::handle_line`]): the transports only add
-//! admission (the bounded pool) and the wall-clock admission instant
-//! that deadlines are measured from. This keeps every protocol and
-//! caching property unit-testable without sockets or pipes.
+//! admission (the bounded pool), single-flight coalescing, and the
+//! wall-clock admission instant that deadlines are measured from. This
+//! keeps every protocol and caching property unit-testable without
+//! sockets or pipes.
+//!
+//! ## The pooled compile path
+//!
+//! [`dispatch`] runs on the reader thread and splits a compile into two
+//! halves. **Preparation** (option merge, parse, lower, fingerprint) is
+//! cheap and runs inline — it must, because the fingerprint is the
+//! coalescing key. **Execution** (the SAT-probe ladder) is expensive
+//! and goes through [`Coalescer::join`]:
+//!
+//! * the **leader** — first request for a fingerprint — occupies a
+//!   worker slot via the pool, re-checks the cache (a previous leader
+//!   may have finished while it queued), executes, populates the cache
+//!   *before* completing the flight, and delivers its body to every
+//!   follower;
+//! * **followers** — concurrent duplicates — wait on a lightweight
+//!   thread that consumes neither a worker nor a queue slot, then
+//!   replay the leader's exact body bytes under their own id (counted
+//!   as `coalesced` in stats, `coalesced: true` in the trace span).
+//!
+//! Because the cache is written before the flight is removed from the
+//! in-flight map, a duplicate request at any instant either hits the
+//! cache, joins the flight, or becomes a fresh leader whose re-check
+//! hits the cache — "one pipeline execution per stampede" is an
+//! invariant, not a race.
 
 use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
-use denali_core::{CompileError, Denali, Options};
+use denali_core::{CompileError, Denali, Options, Prepared};
 use denali_par::CancelToken;
-use denali_trace::field;
+use denali_trace::{field, Tracer};
 
 use crate::cache::Cache;
-use crate::deadline::DeadlineWatch;
-use crate::pool::Pool;
+use crate::coalesce::{Coalescer, Delivery, Join, LeaderGuard, Wait};
+use crate::deadline::{deadline_at, DeadlineWatch};
+use crate::pool::{Pool, SubmitError};
 use crate::protocol::{self, CompileRequest, GmaSummary, Request, RequestId};
 use crate::stats::Stats;
 
@@ -40,6 +67,9 @@ pub struct ServerConfig {
     pub cache_bytes: usize,
     /// Disk-tier cache directory (persists across restarts).
     pub cache_dir: Option<PathBuf>,
+    /// Single-flight coalescing of concurrent identical requests
+    /// (default on; `--no-coalesce` turns it off for A/B runs).
+    pub coalesce: bool,
     /// Log one line per request to stderr.
     pub verbose: bool,
 }
@@ -52,7 +82,38 @@ impl Default for ServerConfig {
             queue: 64,
             cache_bytes: 64 << 20,
             cache_dir: None,
+            coalesce: true,
             verbose: false,
+        }
+    }
+}
+
+/// Tracks live follower-waiter threads so graceful shutdown can wait
+/// for their responses to flush. A counter + condvar instead of join
+/// handles: the TCP path runs forever and must not accumulate handles.
+#[derive(Default)]
+struct FollowerTracker {
+    count: Mutex<u64>,
+    idle: Condvar,
+}
+
+impl FollowerTracker {
+    fn enter(&self) {
+        *self.count.lock().unwrap() += 1;
+    }
+
+    fn exit(&self) {
+        let mut count = self.count.lock().unwrap();
+        *count -= 1;
+        if *count == 0 {
+            self.idle.notify_all();
+        }
+    }
+
+    fn drain(&self) {
+        let mut count = self.count.lock().unwrap();
+        while *count > 0 {
+            count = self.idle.wait(count).unwrap();
         }
     }
 }
@@ -63,6 +124,20 @@ pub struct Server {
     cache: Cache,
     watch: DeadlineWatch,
     stats: Stats,
+    coalescer: Coalescer,
+    tracer: Tracer,
+    followers: FollowerTracker,
+}
+
+/// A request carried through preparation: the per-request pipeline, the
+/// lowered GMAs, and the fingerprint that keys both cache and
+/// coalescer. Shared (via [`Arc`]) between the leader's pool job and
+/// any follower threads — a promoted follower re-executes from the same
+/// preparation instead of re-parsing.
+struct PreparedRequest {
+    denali: Denali,
+    prepared: Prepared,
+    fingerprint: String,
 }
 
 impl Server {
@@ -73,11 +148,15 @@ impl Server {
     /// Fails if the cache directory cannot be created.
     pub fn new(config: ServerConfig) -> std::io::Result<Server> {
         let cache = Cache::new(config.cache_bytes, config.cache_dir.clone())?;
+        let tracer = Tracer::when(config.base.trace);
         Ok(Server {
             config,
             cache,
             watch: DeadlineWatch::new(),
             stats: Stats::default(),
+            coalescer: Coalescer::new(),
+            tracer,
+            followers: FollowerTracker::default(),
         })
     }
 
@@ -91,10 +170,31 @@ impl Server {
         &self.cache
     }
 
+    /// The server-level tracer. When the base options enable tracing,
+    /// every answered compile appends one flat `serve.request` span
+    /// (id, outcome, `coalesced`) here — flat because requests complete
+    /// on worker and follower threads, not in a serial call tree. The
+    /// records accumulate until read ([`Tracer::take_records`]), so
+    /// tracing a long-running server is a debugging mode, not a
+    /// production default.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Blocks until every follower-waiter thread has delivered its
+    /// response. Graceful shutdown calls this *after* dropping the pool
+    /// (leaders complete their flights while the pool drains, which is
+    /// what unblocks the followers).
+    pub fn drain_followers(&self) {
+        self.followers.drain();
+    }
+
     /// Handles one request line synchronously (admission = now, queue
-    /// depth reported as 0). The transports go through [`dispatch`]
-    /// instead to get pooled admission; tests and benches use this.
-    /// Returns `None` for blank lines, which elicit no response.
+    /// depth reported as 0, no coalescing — there is no concurrency to
+    /// coalesce on a single thread). The transports go through
+    /// [`dispatch`] instead to get pooled admission; tests and benches
+    /// use this. Returns `None` for blank lines, which elicit no
+    /// response.
     pub fn handle_line(&self, line: &str) -> Option<String> {
         let line = line.trim();
         if line.is_empty() {
@@ -118,13 +218,18 @@ impl Server {
     }
 
     fn stats_response(&self, id: &RequestId, queue_depth: u64) -> String {
-        let body = self.stats.render_body(queue_depth, &self.cache.snapshot());
+        let body = self.stats.render_body(
+            queue_depth,
+            &self.cache.snapshot(),
+            &self.coalescer.snapshot(),
+        );
         protocol::render_response(id, &body)
     }
 
-    /// Compiles one request, measuring its deadline from `admitted`.
-    ///
-    /// The flow pins the PR's three guarantees:
+    /// Compiles one request synchronously, measuring its deadline from
+    /// `admitted` — preparation, cache lookup, and execution in one
+    /// call. The pooled path splits the same three steps across
+    /// threads; the guarantees are identical:
     /// * **hit == miss**: the cache stores the rendered (deterministic)
     ///   body, keyed by the canonical fingerprint, so a warm hit
     ///   replays the cold compile's bytes.
@@ -135,29 +240,30 @@ impl Server {
     /// * **always an answer**: every outcome, including internal
     ///   errors, renders a well-formed response correlated by id.
     pub fn handle_compile(&self, req: &CompileRequest, admitted: Instant) -> String {
-        let started = Instant::now();
+        let ctx = match self.prepare_request(req) {
+            Ok(ctx) => ctx,
+            Err(response) => return response,
+        };
+        if let Some(body) = self.cache.get(&ctx.fingerprint) {
+            Stats::bump(&self.stats.compiles_ok);
+            return self.finish(&req.id, admitted, "hit", false, &body);
+        }
+        let (outcome, body) = self.execute(&ctx, req.deadline_ms, admitted);
+        self.finish(&req.id, admitted, outcome, false, &body)
+    }
+
+    /// The cheap, uncancellable half of a compile: option merge, parse,
+    /// lower, fingerprint. Runs inline on the caller (for the pooled
+    /// path: the reader thread) because the fingerprint is both the
+    /// cache key and the coalescing key. On failure the full response
+    /// line is returned as `Err` — preparation errors are answered
+    /// immediately, never queued.
+    fn prepare_request(&self, req: &CompileRequest) -> Result<PreparedRequest, String> {
         let mut options = self.config.base.clone();
         if let Err(e) = req.options.apply(&mut options) {
-            return self.protocol_error(&e.message);
+            return Err(self.protocol_error(&e.message));
         }
-        let cancel = CancelToken::default();
-        options.cancel = Some(cancel.clone());
         let denali = Denali::new(options);
-        let span = denali
-            .tracer()
-            .span_fields("serve.request", vec![field("id", req.id.render())]);
-
-        // Arm the deadline before any pipeline work so parse/lower time
-        // counts against it too. An already-expired deadline cancels
-        // inline — deterministic degradation, no watchdog race.
-        let _guard = req.deadline_ms.map(|ms| {
-            let at = admitted + Duration::from_millis(ms);
-            if at <= Instant::now() {
-                cancel.cancel();
-            }
-            self.watch.arm(at, cancel.clone())
-        });
-
         let prepared = match req.proc.as_deref() {
             None => denali.prepare_source(&req.source),
             Some(name) => match denali_lang::parse_program(&req.source) {
@@ -168,28 +274,57 @@ impl Server {
                 }),
             },
         };
-        let prepared = match prepared {
-            Ok(p) => p,
+        match prepared {
+            Ok(prepared) => {
+                let fingerprint = denali.fingerprint(&prepared);
+                Ok(PreparedRequest {
+                    denali,
+                    prepared,
+                    fingerprint,
+                })
+            }
             Err(e) => {
                 Stats::bump(&self.stats.compile_errors);
-                return self.finish(
-                    req,
-                    started,
+                Err(self.finish(
+                    &req.id,
+                    Instant::now(),
                     "error",
-                    protocol::render_error_body(e.stage, &e.message, false),
-                );
+                    false,
+                    &protocol::render_error_body(e.stage, &e.message, false),
+                ))
             }
-        };
-        let fingerprint = denali.fingerprint(&prepared);
-
-        if let Some(body) = self.cache.get(&fingerprint) {
-            span.finish();
-            Stats::bump(&self.stats.compiles_ok);
-            return self.finish(req, started, "hit", body);
         }
+    }
+
+    /// The expensive half: runs the pipeline under a deadline-armed
+    /// cancel token and renders the outcome body. Successful bodies are
+    /// written to the cache *here*, before any flight completion, which
+    /// is what makes the stampede invariant airtight. Returns the
+    /// outcome tag (`ok` / `degraded` / `error`) and the body.
+    fn execute(
+        &self,
+        ctx: &PreparedRequest,
+        deadline_ms: Option<u64>,
+        admitted: Instant,
+    ) -> (&'static str, String) {
+        Stats::bump(&self.stats.executions);
+        let cancel = CancelToken::default();
+        let denali = ctx.denali.with_cancel(cancel.clone());
+        // Arm the deadline, measured from admission so queue time counts
+        // against it. An already-expired deadline cancels inline —
+        // deterministic degradation, no watchdog race. A deadline too
+        // far out to represent is no deadline at all (`deadline_at`),
+        // not a panic on the worker.
+        let _guard = deadline_ms.and_then(|ms| {
+            let at = deadline_at(admitted, ms)?;
+            if at <= Instant::now() {
+                cancel.cancel();
+            }
+            Some(self.watch.arm(at, cancel.clone()))
+        });
 
         let issue_width = denali.options().machine.issue_width();
-        let body = match denali.compile_prepared(&prepared) {
+        match denali.compile_prepared(&ctx.prepared) {
             Ok(result) => {
                 let gmas: Vec<GmaSummary> = result
                     .gmas
@@ -202,24 +337,22 @@ impl Server {
                         listing: c.program.listing(issue_width),
                     })
                     .collect();
-                let body = protocol::render_result_body(&fingerprint, false, &gmas);
-                self.cache.put(&fingerprint, &body);
+                let body = protocol::render_result_body(&ctx.fingerprint, false, &gmas);
+                self.cache.put(&ctx.fingerprint, &body);
                 Stats::bump(&self.stats.compiles_ok);
-                self.finish(req, started, "ok", body)
+                ("ok", body)
             }
             Err(e) if e.is_cancelled() => {
-                match degraded_body(&denali, &prepared, &fingerprint) {
+                match degraded_body(&denali, &ctx.prepared, &ctx.fingerprint) {
                     Ok(body) => {
                         // Never cached: degradation is a property of
                         // this request's deadline, not of the program.
                         Stats::bump(&self.stats.compiles_degraded);
-                        self.finish(req, started, "degraded", body)
+                        ("degraded", body)
                     }
                     Err(message) => {
                         Stats::bump(&self.stats.compile_errors);
-                        self.finish(
-                            req,
-                            started,
+                        (
                             "error",
                             protocol::render_error_body("degraded", &message, false),
                         )
@@ -228,33 +361,43 @@ impl Server {
             }
             Err(e) => {
                 Stats::bump(&self.stats.compile_errors);
-                self.finish(
-                    req,
-                    started,
+                (
                     "error",
                     protocol::render_error_body(e.stage, &e.message, false),
                 )
             }
-        };
-        body
+        }
     }
 
-    /// Renders the final response line, logging it when verbose.
+    /// Renders the final response line, logging it when verbose and
+    /// recording the `serve.request` trace span.
     fn finish(
         &self,
-        req: &CompileRequest,
+        id: &RequestId,
         started: Instant,
         outcome: &str,
-        body: String,
+        coalesced: bool,
+        body: &str,
     ) -> String {
+        let ms = started.elapsed().as_secs_f64() * 1e3;
         if self.config.verbose {
             eprintln!(
-                "serve: compile id={} outcome={outcome} ms={:.1}",
-                req.id.render(),
-                started.elapsed().as_secs_f64() * 1e3
+                "serve: compile id={} outcome={outcome} coalesced={coalesced} ms={ms:.1}",
+                id.render(),
             );
         }
-        protocol::render_response(&req.id, &body)
+        self.tracer.complete_span(
+            "serve.request",
+            None,
+            ms,
+            ms,
+            vec![
+                field("id", id.render()),
+                field("outcome", outcome.to_owned()),
+                field("coalesced", coalesced),
+            ],
+        );
+        protocol::render_response(id, body)
     }
 }
 
@@ -294,9 +437,212 @@ fn write_line<W: Write>(out: &Mutex<W>, line: &str) {
     let _ = out.flush();
 }
 
-/// Routes one request line: cheap requests (ping, stats, protocol
-/// errors) answer on the reader thread; compiles go through the bounded
-/// pool and are shed with a retryable `overload` error when it is full.
+/// Runs a leader's half of a flight on the current thread (a pool
+/// worker, or a promoted follower's waiter thread): cache re-check,
+/// execution, response, flight completion — with a panic boundary so a
+/// pipeline bug answers the request and promotes a follower instead of
+/// hanging the stampede.
+fn run_leader<W: Write + Send + 'static>(
+    server: &Arc<Server>,
+    guard: LeaderGuard,
+    req: &CompileRequest,
+    ctx: &Arc<PreparedRequest>,
+    admitted: Instant,
+    out: &Arc<Mutex<W>>,
+) {
+    // Re-check the cache: a previous leader for this fingerprint may
+    // have completed (and populated the cache) while this one sat in
+    // the queue. This is the only cache lookup on the pooled path, so
+    // each compile still counts exactly one hit or one miss.
+    // Throughout: the flight is completed (or orphaned) *before* the
+    // leader's own response is written. A lock-step client that reads
+    // the response and immediately resends the same request must
+    // deterministically hit the cache as a fresh leader, not race into
+    // following a flight that is already answered.
+    if let Some(body) = server.cache.get(&ctx.fingerprint) {
+        Stats::bump(&server.stats.compiles_ok);
+        let line = server.finish(&req.id, admitted, "hit", false, &body);
+        guard.complete(Delivery {
+            outcome: "ok",
+            body,
+        });
+        write_line(out, &line);
+        return;
+    }
+    match catch_unwind(AssertUnwindSafe(|| {
+        server.execute(ctx, req.deadline_ms, admitted)
+    })) {
+        Ok((outcome, body)) => {
+            let line = server.finish(&req.id, admitted, outcome, false, &body);
+            guard.complete(Delivery { outcome, body });
+            write_line(out, &line);
+        }
+        Err(_) => {
+            // The pipeline panicked. Answer this request with an
+            // internal error, then *orphan* the flight (drop without
+            // complete) so one waiting follower is promoted and
+            // re-executes — its demand is real and the panic may have
+            // been stateful. Each promoted leader that panics again
+            // answers its own request the same way, so the chain
+            // terminates with every request answered.
+            Stats::bump(&server.stats.worker_panics);
+            Stats::bump(&server.stats.compile_errors);
+            let body = protocol::render_error_body(
+                "internal",
+                "compile job panicked; see server log",
+                false,
+            );
+            let line = server.finish(&req.id, admitted, "panic", false, &body);
+            drop(guard);
+            write_line(out, &line);
+        }
+    }
+}
+
+/// Submits a leader to the pool. The [`LeaderGuard`] travels in a slot
+/// shared with the job so that a failed submit can take it back and
+/// complete the flight with the shed outcome — otherwise dropping the
+/// rejected job would orphan the flight and promote a follower into
+/// executing *outside* the pool's bounds, defeating admission control.
+fn submit_leader<W: Write + Send + 'static>(
+    server: &Arc<Server>,
+    pool: &Pool,
+    guard: LeaderGuard,
+    req: Box<CompileRequest>,
+    ctx: Arc<PreparedRequest>,
+    admitted: Instant,
+    out: &Arc<Mutex<W>>,
+) {
+    let slot = Arc::new(Mutex::new(Some(guard)));
+    let job_slot = Arc::clone(&slot);
+    let id = req.id.clone();
+    let server2 = Arc::clone(server);
+    let out2 = Arc::clone(out);
+    let submitted = pool.try_submit(move || {
+        let Some(guard) = job_slot.lock().unwrap().take() else {
+            return; // dispatch reclaimed the guard (submit raced shed)
+        };
+        run_leader(&server2, guard, &req, &ctx, admitted, &out2);
+    });
+    if let Err(e) = submitted {
+        let (outcome, counter, stage, message, retryable) = match e {
+            SubmitError::Full => (
+                "overload",
+                &server.stats.overload_rejections,
+                "overload",
+                "admission queue is full; retry later",
+                true,
+            ),
+            SubmitError::Closed => (
+                "shutdown",
+                &server.stats.shutdown_rejections,
+                "shutting_down",
+                "server is shutting down; do not retry",
+                false,
+            ),
+        };
+        Stats::bump(counter);
+        let body = protocol::render_error_body(stage, message, retryable);
+        let line = server.finish(&id, admitted, outcome, false, &body);
+        // Deliver the same outcome to any followers already subscribed
+        // (their requests were duplicates of one the server just shed)
+        // before answering the leader, so a lock-step client never
+        // races into a flight that is already dead.
+        if let Some(guard) = slot.lock().unwrap().take() {
+            guard.complete(Delivery { outcome, body });
+        }
+        write_line(out, &line);
+    }
+}
+
+/// Spawns the waiter thread for one follower. Followers deliberately do
+/// not occupy a worker or a queue slot — the whole point of coalescing
+/// is that N duplicates cost one worker — so their (cheap, blocked)
+/// waits live on dedicated threads tracked for graceful shutdown.
+fn spawn_follower<W: Write + Send + 'static>(
+    server: &Arc<Server>,
+    handle: crate::coalesce::FollowerHandle,
+    req: Box<CompileRequest>,
+    ctx: Arc<PreparedRequest>,
+    admitted: Instant,
+    out: &Arc<Mutex<W>>,
+) {
+    server.followers.enter();
+    let server = Arc::clone(server);
+    let out = Arc::clone(out);
+    std::thread::Builder::new()
+        .name("serve-follower".to_owned())
+        .spawn(move || {
+            follower_wait(&server, handle, &req, &ctx, admitted, &out);
+            server.followers.exit();
+        })
+        .expect("spawn follower thread");
+}
+
+/// A follower's life: wait for the leader's delivery (bounded by the
+/// follower's *own* deadline), then answer under its own id.
+fn follower_wait<W: Write + Send + 'static>(
+    server: &Arc<Server>,
+    handle: crate::coalesce::FollowerHandle,
+    req: &CompileRequest,
+    ctx: &Arc<PreparedRequest>,
+    admitted: Instant,
+    out: &Arc<Mutex<W>>,
+) {
+    let deadline = req.deadline_ms.and_then(|ms| deadline_at(admitted, ms));
+    match handle.wait(deadline) {
+        Wait::Delivered(d) => {
+            Stats::bump(&server.stats.coalesced);
+            let counter = match d.outcome {
+                "ok" => &server.stats.compiles_ok,
+                "degraded" => &server.stats.compiles_degraded,
+                "overload" => &server.stats.overload_rejections,
+                "shutdown" => &server.stats.shutdown_rejections,
+                _ => &server.stats.compile_errors,
+            };
+            Stats::bump(counter);
+            let line = server.finish(&req.id, admitted, d.outcome, true, &d.body);
+            write_line(out, &line);
+        }
+        Wait::Expired => {
+            // The follower's deadline passed while its leader was still
+            // compiling. Pinned semantics: it gets its own degraded
+            // answer now, exactly as if it had run and been cancelled —
+            // waiting past the deadline for a maybe-soon leader would
+            // violate the one guarantee deadlines make.
+            Stats::bump(&server.stats.coalesced_expired);
+            match degraded_body(&ctx.denali, &ctx.prepared, &ctx.fingerprint) {
+                Ok(body) => {
+                    Stats::bump(&server.stats.compiles_degraded);
+                    let line = server.finish(&req.id, admitted, "degraded", true, &body);
+                    write_line(out, &line);
+                }
+                Err(message) => {
+                    Stats::bump(&server.stats.compile_errors);
+                    let body = protocol::render_error_body("degraded", &message, false);
+                    let line = server.finish(&req.id, admitted, "error", true, &body);
+                    write_line(out, &line);
+                }
+            }
+        }
+        Wait::Promoted(guard) => {
+            // The leader vanished without an outcome. This follower
+            // inherits the flight and executes on its waiter thread —
+            // the leader's worker slot is already gone (unwound), so
+            // this does not exceed the pool's concurrency by more than
+            // the vanished leader already freed.
+            Stats::bump(&server.stats.promotions);
+            run_leader(server, guard, req, ctx, admitted, out);
+        }
+    }
+}
+
+/// Routes one request line: cheap requests (ping, stats, protocol and
+/// preparation errors) answer on the reader thread; compiles join the
+/// single-flight table — leaders go through the bounded pool (shed with
+/// a retryable `overload` error when it is full, a non-retryable
+/// `shutting_down` error when it is closed), followers wait for their
+/// leader without consuming pool capacity.
 fn dispatch<W: Write + Send + 'static>(
     server: &Arc<Server>,
     pool: &Pool,
@@ -314,26 +660,60 @@ fn dispatch<W: Write + Send + 'static>(
         Ok(Request::Stats(id)) => write_line(out, &server.stats_response(&id, pool.depth())),
         Ok(Request::Compile(req)) => {
             let admitted = Instant::now();
-            let id = req.id.clone();
-            let server2 = Arc::clone(server);
-            let out2 = Arc::clone(out);
-            let submitted = pool.try_submit(move || {
-                let response = server2.handle_compile(&req, admitted);
-                write_line(&out2, &response);
-            });
-            if submitted.is_err() {
-                Stats::bump(&server.stats.overload_rejections);
-                write_line(
-                    out,
-                    &protocol::render_response(
-                        &id,
-                        &protocol::render_error_body(
+            let ctx = match server.prepare_request(&req) {
+                Ok(ctx) => Arc::new(ctx),
+                Err(response) => {
+                    write_line(out, &response);
+                    return;
+                }
+            };
+            if server.config.coalesce {
+                match server.coalescer.join(&ctx.fingerprint) {
+                    Join::Leader(guard) => {
+                        submit_leader(server, pool, guard, req, ctx, admitted, out);
+                    }
+                    Join::Follower(handle) => {
+                        spawn_follower(server, handle, req, ctx, admitted, out);
+                    }
+                }
+            } else {
+                let id = req.id.clone();
+                let server2 = Arc::clone(server);
+                let out2 = Arc::clone(out);
+                let submitted = pool.try_submit(move || {
+                    let line = if let Some(body) = server2.cache.get(&ctx.fingerprint) {
+                        Stats::bump(&server2.stats.compiles_ok);
+                        server2.finish(&req.id, admitted, "hit", false, &body)
+                    } else {
+                        let (outcome, body) = server2.execute(&ctx, req.deadline_ms, admitted);
+                        server2.finish(&req.id, admitted, outcome, false, &body)
+                    };
+                    write_line(&out2, &line);
+                });
+                if let Err(e) = submitted {
+                    let (counter, stage, message, retryable) = match e {
+                        SubmitError::Full => (
+                            &server.stats.overload_rejections,
                             "overload",
                             "admission queue is full; retry later",
                             true,
                         ),
-                    ),
-                );
+                        SubmitError::Closed => (
+                            &server.stats.shutdown_rejections,
+                            "shutting_down",
+                            "server is shutting down; do not retry",
+                            false,
+                        ),
+                    };
+                    Stats::bump(counter);
+                    write_line(
+                        out,
+                        &protocol::render_response(
+                            &id,
+                            &protocol::render_error_body(stage, message, retryable),
+                        ),
+                    );
+                }
             }
         }
     }
@@ -359,8 +739,8 @@ pub fn serve_lines<R: BufRead, W: Write + Send + 'static>(
 }
 
 /// Serves requests on stdin/stdout until EOF, then drains the pool and
-/// returns — so `denali serve --stdio < requests.jsonl` emits every
-/// response before exiting.
+/// the follower waiters, and returns — so `denali serve --stdio <
+/// requests.jsonl` emits every response before exiting.
 ///
 /// # Errors
 ///
@@ -371,24 +751,27 @@ pub fn serve_stdio(server: &Arc<Server>) -> std::io::Result<()> {
     let out = Arc::new(Mutex::new(std::io::stdout()));
     let stdin = std::io::stdin();
     let result = serve_lines(server, &pool, stdin.lock(), &out);
-    drop(pool); // join workers: flush in-flight responses before exit
+    // Join workers first: leaders complete their flights as the pool
+    // drains, which is what unblocks the followers being waited on
+    // next. The opposite order would deadlock on any in-flight leader.
+    drop(pool);
+    server.drain_followers();
     result
 }
 
-/// Binds `addr` and serves each connection on its own reader thread,
-/// all sharing one bounded pool (so total compile concurrency is
-/// bounded server-wide, not per connection). Runs until the process is
+/// Serves each accepted connection on its own reader thread, all
+/// sharing one bounded pool (so total compile concurrency is bounded
+/// server-wide, not per connection) and one coalescer (duplicates
+/// coalesce *across* connections). Runs until the process is
 /// terminated.
 ///
 /// # Errors
 ///
-/// Fails if the address cannot be bound or accepting a connection
-/// fails.
-pub fn serve_tcp(server: &Arc<Server>, addr: &str) -> std::io::Result<()> {
-    let listener = std::net::TcpListener::bind(addr)?;
-    if server.config.verbose {
-        eprintln!("serve: listening on {}", listener.local_addr()?);
-    }
+/// Fails if accepting a connection fails.
+pub fn serve_listener(
+    server: &Arc<Server>,
+    listener: &std::net::TcpListener,
+) -> std::io::Result<()> {
     let workers = denali_par::resolve_threads(server.config.workers);
     let pool = Arc::new(Pool::new(workers, server.config.queue));
     for stream in listener.incoming() {
@@ -407,4 +790,19 @@ pub fn serve_tcp(server: &Arc<Server>, addr: &str) -> std::io::Result<()> {
             .expect("spawn connection thread");
     }
     Ok(())
+}
+
+/// Binds `addr` and serves connections via [`serve_listener`]. Runs
+/// until the process is terminated.
+///
+/// # Errors
+///
+/// Fails if the address cannot be bound or accepting a connection
+/// fails.
+pub fn serve_tcp(server: &Arc<Server>, addr: &str) -> std::io::Result<()> {
+    let listener = std::net::TcpListener::bind(addr)?;
+    if server.config.verbose {
+        eprintln!("serve: listening on {}", listener.local_addr()?);
+    }
+    serve_listener(server, &listener)
 }

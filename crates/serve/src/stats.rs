@@ -9,6 +9,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use crate::cache::CacheSnapshot;
+use crate::coalesce::CoalesceSnapshot;
 
 /// Monotone request/outcome counters. One instance per server, shared
 /// by reference across workers.
@@ -26,6 +27,23 @@ pub struct Stats {
     pub protocol_errors: AtomicU64,
     /// Requests shed with a retryable `overload` error.
     pub overload_rejections: AtomicU64,
+    /// Requests rejected because the server is shutting down
+    /// (non-retryable `shutting_down` error).
+    pub shutdown_rejections: AtomicU64,
+    /// Pipeline executions actually started (cache hits and coalesced
+    /// followers do *not* count — this is the denominator stampede
+    /// tests assert on).
+    pub executions: AtomicU64,
+    /// Requests answered by replaying an in-flight leader's result.
+    pub coalesced: AtomicU64,
+    /// Followers whose own deadline expired before their leader
+    /// finished (answered with their own degraded program).
+    pub coalesced_expired: AtomicU64,
+    /// Followers promoted to leader after their leader vanished.
+    pub promotions: AtomicU64,
+    /// Compile jobs that panicked (the worker survives; the request is
+    /// answered with an internal error).
+    pub worker_panics: AtomicU64,
     /// When the server was started.
     pub started: Instant,
 }
@@ -39,6 +57,12 @@ impl Default for Stats {
             compile_errors: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
             overload_rejections: AtomicU64::new(0),
+            shutdown_rejections: AtomicU64::new(0),
+            executions: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            coalesced_expired: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -51,9 +75,15 @@ impl Stats {
     }
 
     /// Renders the `stats` response body (everything after the echoed
-    /// id). `queue_depth` comes from the pool and `cache` from the
-    /// cache, so one body carries the full picture.
-    pub fn render_body(&self, queue_depth: u64, cache: &CacheSnapshot) -> String {
+    /// id). `queue_depth` comes from the pool, `cache` from the cache,
+    /// and `coalesce` from the coalescer, so one body carries the full
+    /// picture.
+    pub fn render_body(
+        &self,
+        queue_depth: u64,
+        cache: &CacheSnapshot,
+        coalesce: &CoalesceSnapshot,
+    ) -> String {
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
         format!(
             concat!(
@@ -61,10 +91,15 @@ impl Stats {
                 "\"uptime_ms\":{},",
                 "\"requests\":{},",
                 "\"compiles\":{{\"ok\":{},\"degraded\":{},\"error\":{}}},",
+                "\"executions\":{},",
                 "\"protocol_errors\":{},",
                 "\"overload_rejections\":{},",
+                "\"shutdown_rejections\":{},",
+                "\"worker_panics\":{},",
                 "\"queue_depth\":{},",
-                "\"cache\":{{\"hits\":{},\"misses\":{},\"disk_hits\":{},",
+                "\"coalesce\":{{\"coalesced\":{},\"expired\":{},\"promotions\":{},",
+                "\"inflight\":{},\"waiting\":{}}},",
+                "\"cache\":{{\"hits\":{},\"misses\":{},\"disk_hits\":{},\"disk_invalid\":{},",
                 "\"evictions\":{},\"entries\":{},\"bytes\":{}}}"
             ),
             self.started.elapsed().as_millis(),
@@ -72,12 +107,21 @@ impl Stats {
             load(&self.compiles_ok),
             load(&self.compiles_degraded),
             load(&self.compile_errors),
+            load(&self.executions),
             load(&self.protocol_errors),
             load(&self.overload_rejections),
+            load(&self.shutdown_rejections),
+            load(&self.worker_panics),
             queue_depth,
+            load(&self.coalesced),
+            load(&self.coalesced_expired),
+            load(&self.promotions),
+            coalesce.inflight,
+            coalesce.waiting,
             cache.hits,
             cache.misses,
             cache.disk_hits,
+            cache.disk_invalid,
             cache.evictions,
             cache.entries,
             cache.bytes,
@@ -97,23 +141,36 @@ mod tests {
         Stats::bump(&stats.requests);
         Stats::bump(&stats.requests);
         Stats::bump(&stats.compiles_ok);
+        Stats::bump(&stats.coalesced);
         let cache = CacheSnapshot {
             hits: 3,
             misses: 1,
             disk_hits: 2,
+            disk_invalid: 1,
             evictions: 0,
             entries: 1,
             bytes: 512,
         };
-        let line = render_response(&RequestId::Num(9), &stats.render_body(4, &cache));
+        let coalesce = CoalesceSnapshot {
+            inflight: 2,
+            waiting: 5,
+        };
+        let line = render_response(&RequestId::Num(9), &stats.render_body(4, &cache, &coalesce));
         let v = json::parse(&line).unwrap();
         assert_eq!(v.get("requests").and_then(Json::as_u64), Some(2));
         assert_eq!(v.get("queue_depth").and_then(Json::as_u64), Some(4));
+        assert_eq!(v.get("worker_panics").and_then(Json::as_u64), Some(0));
+        assert_eq!(v.get("shutdown_rejections").and_then(Json::as_u64), Some(0));
         let compiles = v.get("compiles").unwrap();
         assert_eq!(compiles.get("ok").and_then(Json::as_u64), Some(1));
         assert_eq!(compiles.get("degraded").and_then(Json::as_u64), Some(0));
+        let co = v.get("coalesce").unwrap();
+        assert_eq!(co.get("coalesced").and_then(Json::as_u64), Some(1));
+        assert_eq!(co.get("inflight").and_then(Json::as_u64), Some(2));
+        assert_eq!(co.get("waiting").and_then(Json::as_u64), Some(5));
         let cache = v.get("cache").unwrap();
         assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(3));
+        assert_eq!(cache.get("disk_invalid").and_then(Json::as_u64), Some(1));
         assert_eq!(cache.get("bytes").and_then(Json::as_u64), Some(512));
         assert!(v.get("uptime_ms").and_then(Json::as_u64).is_some());
     }

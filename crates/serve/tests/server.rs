@@ -237,14 +237,25 @@ fn ping_stats_and_eof_shutdown_over_a_transport() {
     let written = String::from_utf8(out.lock().unwrap().clone()).unwrap();
     let lines: Vec<&str> = written.lines().collect();
     assert_eq!(lines.len(), 3, "blank line elicits no response:\n{written}");
+    // The ping is answered on the reader thread before the compile is
+    // even dispatched, so it is deterministically first. The stats
+    // response (also reader-thread) and the pooled compile response may
+    // interleave — the protocol says correlate by id, so the test does.
     let pong = json::parse(lines[0]).unwrap();
     assert_eq!(pong.get("pong").and_then(Json::as_bool), Some(true));
     assert_eq!(pong.get("id").and_then(Json::as_u64), Some(1));
-    // Stats answered on the reader thread, before the pooled compile.
-    let stats = json::parse(lines[1]).unwrap();
+    let rest: Vec<Json> = lines[1..].iter().map(|l| json::parse(l).unwrap()).collect();
+    let stats = rest
+        .iter()
+        .find(|v| v.get("id").and_then(Json::as_u64) == Some(2))
+        .expect("stats response");
+    // All three requests were counted on the reader thread before the
+    // stats body was rendered (the stats line came last).
     assert_eq!(stats.get("requests").and_then(Json::as_u64), Some(3));
     assert!(stats.get("uptime_ms").and_then(Json::as_u64).is_some());
-    let compile = json::parse(lines[2]).unwrap();
-    assert_eq!(compile.get("id").and_then(Json::as_str), Some("c"));
+    let compile = rest
+        .iter()
+        .find(|v| v.get("id").and_then(Json::as_str) == Some("c"))
+        .expect("compile response");
     assert_eq!(compile.get("status").and_then(Json::as_str), Some("ok"));
 }

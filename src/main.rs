@@ -10,7 +10,8 @@
 //! denali trace-report TRACE.jsonl
 //! denali serve (--stdio | --listen ADDR) [--workers N] [--queue N]
 //!              [--cache-bytes N] [--cache-dir DIR] [--machine M] [--solver S]
-//!              [--max-cycles N] [--threads N] [--trace] [-v|--verbose]
+//!              [--max-cycles N] [--threads N] [--coalesce|--no-coalesce]
+//!              [--trace] [-v|--verbose]
 //! ```
 //!
 //! Compiles a Denali source file, prints a Figure-4-style listing per
@@ -56,7 +57,8 @@ fn usage() -> ! {
          \x20      denali trace-report TRACE.jsonl\n\
          \x20      denali serve (--stdio | --listen ADDR) [--workers N] [--queue N]\n\
          \x20                   [--cache-bytes N] [--cache-dir DIR] [--machine M] [--solver S]\n\
-         \x20                   [--max-cycles N] [--threads N] [--trace] [-v|--verbose]\n\
+         \x20                   [--max-cycles N] [--threads N] [--coalesce|--no-coalesce]\n\
+         \x20                   [--trace] [-v|--verbose]\n\
          \x20 --threads N       worker threads for matching + speculative probes (0 = all CPUs, 1 = serial)\n\
          \x20 --no-incremental  fresh SAT solver per probe instead of one persistent solver (serial CDCL)\n\
          \x20 --no-delta-match  re-match every axiom against the whole e-graph each saturation round\n\
@@ -64,7 +66,9 @@ fn usage() -> ! {
          \x20 --trace-out FILE  write the trace to FILE (implies --trace; jsonl unless --trace-format chrome)\n\
          \x20 -v, --verbose     per-round matcher detail + probe log (implies --trace and --probes)\n\
          \x20 trace-report      summarize a JSONL trace (phases, axioms, probes)\n\
-         \x20 serve             run the compilation server (JSONL protocol, docs/SERVER.md)"
+         \x20 serve             run the compilation server (JSONL protocol, docs/SERVER.md)\n\
+         \x20 --no-coalesce     serve: compile concurrent duplicate requests independently\n\
+         \x20                   instead of single-flighting them behind one leader"
     );
     std::process::exit(2);
 }
@@ -280,6 +284,8 @@ fn serve(args: &[String]) -> ExitCode {
                     parse(need(&mut args, "--max-cycles"), "--max-cycles") as u32
             }
             "--threads" => config.base.threads = parse(need(&mut args, "--threads"), "--threads"),
+            "--coalesce" => config.coalesce = true,
+            "--no-coalesce" => config.coalesce = false,
             "--trace" => config.base.trace = true,
             "-v" | "--verbose" => config.verbose = true,
             other => {
