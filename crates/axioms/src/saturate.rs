@@ -80,6 +80,14 @@ pub struct SaturationLimits {
     /// produces byte-identical results — this knob only exists for
     /// differential testing and benchmarking.
     pub delta_match: bool,
+    /// Hard ceiling on the number of e-classes the e-graph may allocate
+    /// (see [`denali_egraph::EGraph::set_class_capacity`]). Unlike
+    /// `max_nodes` — a soft budget checked between rounds — this is
+    /// enforced on every allocation and turns exhaustion into a clean
+    /// `TooManyClasses` error instead of aborting the process. The
+    /// default is the e-graph's structural ceiling (`u32::MAX` class
+    /// ids), i.e. effectively unlimited.
+    pub max_classes: usize,
 }
 
 impl Default for SaturationLimits {
@@ -93,6 +101,7 @@ impl Default for SaturationLimits {
             max_structural_growth: 4000,
             threads: 1,
             delta_match: env_delta_match(),
+            max_classes: u32::MAX as usize,
         }
     }
 }

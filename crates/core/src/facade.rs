@@ -60,6 +60,17 @@ pub struct Options {
     /// reported formula/solver counters change. Defaults to on;
     /// `DENALI_INCREMENTAL=0` turns it off.
     pub incremental: bool,
+    /// Portfolio width for SAT probes: `0` (the default) or `1` races
+    /// nothing; `N >= 2` answers every probe by racing N diversified
+    /// CDCL configurations (restart schedule, initial phase / phase
+    /// saving, VSIDS decay) on scoped threads, cancelling the losers as
+    /// soon as the first verdict lands. Output is byte-identical to the
+    /// non-portfolio pipeline — only wall-clock and the reported solver
+    /// counters change — so, like [`Options::threads`], this is never
+    /// part of the compilation fingerprint. Forces fresh per-probe
+    /// solvers and is ignored under DPLL. Defaults to the
+    /// `DENALI_PORTFOLIO` environment variable, else `0`.
+    pub portfolio: usize,
     /// Collect a structured trace of the pipeline (hierarchical spans
     /// and events; see `docs/TRACING.md`). Tracing never perturbs
     /// results — it only records them — and disabled tracing costs one
@@ -89,6 +100,7 @@ impl Default for Options {
             pipeline_loads: false,
             threads: env_threads(),
             incremental: env_incremental(),
+            portfolio: env_portfolio(),
             trace: denali_trace::env_enabled(),
             cancel: None,
         }
@@ -110,6 +122,14 @@ fn env_incremental() -> bool {
         Ok(v) => !matches!(v.trim(), "0" | "false" | "off"),
         Err(_) => true,
     }
+}
+
+/// `DENALI_PORTFOLIO` (a race width, `0`/`1` = off), defaulting to off.
+fn env_portfolio() -> usize {
+    std::env::var("DENALI_PORTFOLIO")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
 }
 
 /// Code generation for one GMA, with full diagnostics.
@@ -487,6 +507,7 @@ impl Denali {
                     directory: dir.clone(),
                     label: gma.name.clone(),
                 }),
+            portfolio: self.options.portfolio,
             cancel: self.options.cancel.clone(),
         };
         let span = tracer.span("search");

@@ -4,8 +4,9 @@
 //! determines a compilation's *output*: the lowered GMAs, the full
 //! axiom set, and the output-affecting subset of [`Options`]. Knobs
 //! that only change wall-clock or observability — `threads`,
-//! `incremental`, `trace`, `dump_dimacs`, `saturation.delta_match`,
-//! and the cancellation token — are deliberately excluded: the
+//! `incremental`, `portfolio`, `trace`, `dump_dimacs`,
+//! `saturation.delta_match`, and the cancellation token — are
+//! deliberately excluded: the
 //! pipeline's determinism contract guarantees byte-identical results
 //! across all of them, so requests differing only in those knobs may
 //! share one cached result.
@@ -111,6 +112,10 @@ pub fn fingerprint(gmas: &[Gma], axioms: &[Axiom], options: &Options) -> String 
         "sat.max_structural_growth",
         &s.max_structural_growth.to_string(),
     );
+    // `max_classes` gates whether a compilation succeeds at all, so it
+    // must key the cache even though it never alters a *successful*
+    // program.
+    fp.field("sat.max_classes", &s.max_classes.to_string());
 
     // The lowered GMAs. `pipeline_loads` and `extra_axioms` need no
     // separate fields: the former rewrites the GMAs before
@@ -217,6 +222,7 @@ mod tests {
         let key = fingerprint(&gmas, &axioms, &base);
         let mut other = base.clone();
         other.threads = 8;
+        other.portfolio = 4;
         other.incremental = !base.incremental;
         other.trace = true;
         other.dump_dimacs = Some(std::path::PathBuf::from("/tmp/nowhere"));
@@ -237,6 +243,9 @@ mod tests {
         let mut latency = base.clone();
         latency.miss_latency = 3;
         assert_ne!(key, fingerprint(&gmas, &axioms, &latency));
+        let mut classes = base.clone();
+        classes.saturation.max_classes = 1_000;
+        assert_ne!(key, fingerprint(&gmas, &axioms, &classes));
         // Dropping an axiom changes the key.
         assert_ne!(key, fingerprint(&gmas, &axioms[1..], &base));
         // A different GMA changes the key.

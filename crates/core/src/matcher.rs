@@ -74,6 +74,7 @@ pub fn match_gma_traced(
     tracer: &Tracer,
 ) -> Result<Matched, EGraphError> {
     let mut egraph = EGraph::new();
+    egraph.set_class_capacity(limits.max_classes);
     let guard = gma.guard.as_ref().map(|g| egraph.add_term(g)).transpose()?;
     let assigns = gma
         .assigns

@@ -39,16 +39,32 @@
 //! and consumed when — and only when — the serial control flow reaches
 //! their budget, so the probe log, the chosen program, and the cycle
 //! count are identical to the serial search at any thread count.
+//!
+//! # Portfolio probing
+//!
+//! With [`SearchParams::portfolio`] >= 2 each consumed probe is decided
+//! by a *race*: N diversified CDCL configurations (restart schedule,
+//! initial phase / phase saving, VSIDS decay — see
+//! [`SolverConfig::diversified`]) attack the same formula on scoped
+//! threads, the first verdict wins, and the losers are cancelled via
+//! per-lane [`CancelToken`]s. Every lane's verdict is necessarily the
+//! same, so consuming the winner's answer keeps the probe log exact;
+//! the winning budget is decoded by the canonical fresh re-solve
+//! (default configuration), so the decoded program is byte-identical no
+//! matter which lane won. Portfolio composes with speculation (each
+//! speculative probe races its own portfolio) and forces fresh
+//! per-probe solvers.
 
 use std::collections::HashMap;
 use std::fmt;
-use std::time::Instant;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use denali_arch::{Machine, Program};
 use denali_lang::Gma;
 use denali_par::CancelToken;
 use denali_sat::dimacs::Cnf;
-use denali_sat::{dpll, SolveResult, SolverStats};
+use denali_sat::{dpll, SolveResult, SolverConfig, SolverStats};
 use denali_trace::{field, Tracer};
 
 use crate::encode::{encode, EncodeOptions, IncrementalEncoding, LaunchCoord};
@@ -88,8 +104,15 @@ pub struct ProbeStats {
     /// CDCL search counters for this probe (`None` under DPLL). In
     /// incremental mode the work counters are per-probe deltas and the
     /// `solves`/`carried_learned`/`carried_activity` gauges show the
-    /// solver reuse.
+    /// solver reuse. In portfolio mode these are the winning lane's
+    /// counters.
     pub solver: Option<SolverStats>,
+    /// In portfolio mode: the index of the [`SolverConfig::diversified`]
+    /// configuration whose verdict landed first. `None` outside
+    /// portfolio races. Which lane wins is a wall-clock race — it may
+    /// differ between runs even though the verdict (and therefore the
+    /// search's output) never does.
+    pub winner: Option<u32>,
 }
 
 impl fmt::Display for ProbeStats {
@@ -205,6 +228,17 @@ pub struct SearchParams {
     /// dumped, so the file set matches the serial search. A dump
     /// disables incremental probing (see [`SearchParams::incremental`]).
     pub dump: Option<DimacsDump>,
+    /// Portfolio width: `0` or `1` disables portfolio probing; `N >= 2`
+    /// races N diversified CDCL configurations
+    /// ([`SolverConfig::diversified`]) on every consumed probe, each on
+    /// its own scoped thread, cancelling the losers the moment the
+    /// first verdict lands. Only the winner's SAT/UNSAT verdict is
+    /// consumed — the winning budget is still decoded by the canonical
+    /// fresh re-solve — so the output is byte-identical to a
+    /// non-portfolio search. Ignored under DPLL (the naive engine has
+    /// no strategy knobs), and forces fresh per-probe solvers (a
+    /// portfolio race cannot share one persistent incremental solver).
+    pub portfolio: usize,
     /// External cancellation (deadlines, shutdown). When raised, the
     /// search stops at the next budget boundary — or mid-probe, at the
     /// solver's next checkpoint — and returns a [`SearchError`] with
@@ -220,6 +254,7 @@ impl Default for SearchParams {
             threads: 1,
             incremental: true,
             dump: None,
+            portfolio: 0,
             cancel: None,
         }
     }
@@ -234,6 +269,23 @@ struct ProbeCtx<'a> {
     machine: &'a Machine,
     options: &'a EncodeOptions,
     solver: SolverChoice,
+    /// Portfolio width (0/1 = off); see [`SearchParams::portfolio`].
+    portfolio: usize,
+}
+
+/// One lane of a portfolio race, recorded for tracing and the per-config
+/// win table in `report e4`.
+#[derive(Clone, Copy, Debug)]
+struct LaneProbe {
+    /// Index into [`SolverConfig::diversified`].
+    config: u32,
+    /// `Some(satisfiable)` if the lane finished; `None` if it was
+    /// cancelled by the winner (or an external deadline).
+    outcome: Option<bool>,
+    /// Wall-clock milliseconds this lane ran.
+    solve_ms: f64,
+    /// The lane's own solver counters.
+    stats: SolverStats,
 }
 
 /// A completed probe: its log entry plus the artifacts needed to decode
@@ -241,12 +293,15 @@ struct ProbeCtx<'a> {
 struct ProbeRun {
     stats: ProbeStats,
     /// The model's true launches when satisfiable. Fresh probes decode
-    /// their own model; incremental probes leave this `None` and the
-    /// winner is decoded by one canonical fresh re-solve.
+    /// their own model; incremental and portfolio probes leave this
+    /// `None` and the winner is decoded by one canonical fresh
+    /// re-solve.
     launches: Option<Vec<LaunchCoord>>,
     /// The probe's standalone formula, kept for DIMACS dumps (fresh
     /// probes only).
     cnf: Option<Cnf>,
+    /// Per-configuration race records (empty outside portfolio mode).
+    lanes: Vec<LaneProbe>,
 }
 
 enum ProbeOutcome {
@@ -260,6 +315,29 @@ fn run_probe(ctx: ProbeCtx<'_>, k: u32, cancel: Option<&CancelToken>) -> ProbeOu
     let encode_start = Instant::now();
     let encoding = encode(ctx.matched, ctx.candidates, ctx.machine, k, ctx.options);
     let encode_ms = encode_start.elapsed().as_secs_f64() * 1e3;
+    if ctx.solver == SolverChoice::Cdcl && ctx.portfolio >= 2 {
+        // Portfolio race: only the verdict is consumed (the winner is
+        // decoded by the canonical fresh re-solve), so the lanes never
+        // extract a model.
+        return match race_portfolio(&encoding.cnf, ctx.portfolio, cancel) {
+            Some(race) => ProbeOutcome::Done(Box::new(ProbeRun {
+                stats: ProbeStats {
+                    k,
+                    vars: encoding.num_vars(),
+                    clauses: encoding.num_clauses(),
+                    satisfiable: race.satisfiable,
+                    solve_ms: race.solve_ms,
+                    encode_ms,
+                    solver: Some(race.stats),
+                    winner: Some(race.winner),
+                },
+                launches: None,
+                cnf: Some(encoding.cnf),
+                lanes: race.lanes,
+            })),
+            None => ProbeOutcome::Interrupted,
+        };
+    }
     let solve_start = Instant::now();
     let (satisfiable, model, solver_stats) = match ctx.solver {
         SolverChoice::Cdcl => {
@@ -301,10 +379,110 @@ fn run_probe(ctx: ProbeCtx<'_>, k: u32, cancel: Option<&CancelToken>) -> ProbeOu
             solve_ms,
             encode_ms,
             solver: solver_stats,
+            winner: None,
         },
         launches,
         cnf: Some(encoding.cnf),
+        lanes: Vec::new(),
     }))
+}
+
+/// The consumed result of a portfolio race.
+struct PortfolioRace {
+    /// The winning lane's verdict.
+    satisfiable: bool,
+    /// The winning configuration's index.
+    winner: u32,
+    /// The winning lane's wall-clock milliseconds.
+    solve_ms: f64,
+    /// The winning lane's solver counters.
+    stats: SolverStats,
+    /// Every lane's record, in configuration order.
+    lanes: Vec<LaneProbe>,
+}
+
+/// Races `width` diversified CDCL configurations on `cnf`, each on its
+/// own scoped thread with its own [`CancelToken`]. The first lane to
+/// finish claims the race and cancels the rest, which abandon the
+/// formula at their next 1024-step checkpoint. Any lane's verdict is
+/// correct (the solvers differ only in strategy), so whichever wins,
+/// the consumed SAT/UNSAT answer — and therefore the search's output —
+/// is the same.
+///
+/// Returns `None` only when the external `cancel` flag interrupted the
+/// race before any lane finished.
+fn race_portfolio(cnf: &Cnf, width: usize, cancel: Option<&CancelToken>) -> Option<PortfolioRace> {
+    const NO_WINNER: usize = usize::MAX;
+    let winner = AtomicUsize::new(NO_WINNER);
+    let done = AtomicUsize::new(0);
+    let tokens: Vec<CancelToken> = (0..width).map(|_| CancelToken::new()).collect();
+    let lanes: Vec<LaneProbe> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..width)
+            .map(|i| {
+                let tokens = &tokens;
+                let winner = &winner;
+                let done = &done;
+                scope.spawn(move || {
+                    let start = Instant::now();
+                    let mut s = cnf.to_solver_with(SolverConfig::diversified(i));
+                    s.set_interrupt(tokens[i].handle());
+                    let result = s.solve();
+                    let solve_ms = start.elapsed().as_secs_f64() * 1e3;
+                    let outcome = match result {
+                        SolveResult::Sat => Some(true),
+                        SolveResult::Unsat => Some(false),
+                        SolveResult::Interrupted => None,
+                    };
+                    if outcome.is_some()
+                        && winner
+                            .compare_exchange(NO_WINNER, i, Ordering::Relaxed, Ordering::Relaxed)
+                            .is_ok()
+                    {
+                        // First verdict in: kill the losing lanes.
+                        for (j, token) in tokens.iter().enumerate() {
+                            if j != i {
+                                token.cancel();
+                            }
+                        }
+                    }
+                    done.fetch_add(1, Ordering::Relaxed);
+                    LaneProbe {
+                        config: i as u32,
+                        outcome,
+                        solve_ms,
+                        stats: s.stats(),
+                    }
+                })
+            })
+            .collect();
+        // The CDCL interrupt checkpoint watches exactly one flag, so an
+        // external deadline has to be forwarded into the lane tokens by
+        // hand; the caller's thread polls for it while the race runs.
+        if let Some(external) = cancel {
+            while done.load(Ordering::Relaxed) < width {
+                if external.is_cancelled() {
+                    for token in &tokens {
+                        token.cancel();
+                    }
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("portfolio lane panicked"))
+            .collect()
+    });
+    let winner = winner.load(Ordering::Relaxed);
+    let lane = *lanes.get(winner)?;
+    Some(PortfolioRace {
+        satisfiable: lane.outcome.expect("winning lane finished"),
+        winner: winner as u32,
+        solve_ms: lane.solve_ms,
+        stats: lane.stats,
+        lanes,
+    })
 }
 
 /// Which primary outcome keeps a speculative probe on the search path.
@@ -450,6 +628,7 @@ impl<'a> Scheduler<'a> {
         }
         self.probes.push(run.stats);
         emit_probe_trace(tracer, &run.stats);
+        emit_portfolio_trace(tracer, &run.stats, &run.lanes);
         Ok(run)
     }
 }
@@ -503,8 +682,50 @@ fn emit_probe_trace(tracer: &Tracer, stats: &ProbeStats) {
                 field("carried_activity", s.carried_activity),
             ]);
         }
+        if let Some(winner) = stats.winner {
+            fields.push(field("winner", winner));
+        }
         fields
     });
+}
+
+/// Logs a consumed portfolio race: one `sat.probe` event per lane,
+/// tagged with its configuration index, plus a `portfolio.win` event
+/// naming the winner. Lane records are race-dependent by construction
+/// (which lane wins, and how far the losers got before cancellation,
+/// varies run to run), so these events are excluded from the
+/// normalized-trace determinism contract — unlike everything else in
+/// the trace, they describe wall-clock behaviour, not the search.
+fn emit_portfolio_trace(tracer: &Tracer, stats: &ProbeStats, lanes: &[LaneProbe]) {
+    if !tracer.is_enabled() || lanes.is_empty() {
+        return;
+    }
+    for lane in lanes {
+        tracer.event("sat.probe", || {
+            vec![
+                field("k", stats.k),
+                field("config", lane.config),
+                field(
+                    "outcome",
+                    match lane.outcome {
+                        Some(true) => "sat",
+                        Some(false) => "unsat",
+                        None => "cancelled",
+                    },
+                ),
+                field("solve_ms", lane.solve_ms),
+                field("decisions", lane.stats.decisions),
+                field("propagations", lane.stats.propagations),
+                field("conflicts", lane.stats.conflicts),
+                field("restarts", lane.stats.restarts),
+            ]
+        });
+    }
+    if let Some(winner) = stats.winner {
+        tracer.event("portfolio.win", || {
+            vec![field("k", stats.k), field("config", winner)]
+        });
+    }
 }
 
 /// One probe engine for the whole search: fresh per-probe solvers
@@ -543,6 +764,7 @@ impl<'a> Prober<'a> {
                     solve_ms: p.solve_ms,
                     encode_ms: p.encode_ms,
                     solver: Some(p.stats),
+                    winner: None,
                 };
                 probes.push(stats);
                 emit_probe_trace(tracer, &stats);
@@ -550,6 +772,7 @@ impl<'a> Prober<'a> {
                     stats,
                     launches: None,
                     cnf: None,
+                    lanes: Vec::new(),
                 })
             }
         }
@@ -642,10 +865,12 @@ pub fn search_traced(
         machine,
         options,
         solver: params.solver,
+        portfolio: params.portfolio,
     };
     let use_incremental = params.incremental
         && params.solver == SolverChoice::Cdcl
         && params.dump.is_none()
+        && params.portfolio < 2
         && denali_par::resolve_threads(params.threads) == 1;
     let mut prober = if use_incremental {
         let mut inc = Box::new(IncrementalEncoding::new(

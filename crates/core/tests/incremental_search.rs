@@ -21,10 +21,14 @@ const BYTESWAP4: &str = "
       (:= (\\res r)))))";
 
 fn options(incremental: bool) -> Options {
-    // Pin `threads: 1` explicitly (the default honors `DENALI_THREADS`,
-    // and incremental probing is serial-only).
+    // Pin `threads: 1` and `portfolio: 0` explicitly (the defaults honor
+    // `DENALI_THREADS`/`DENALI_PORTFOLIO`, and incremental probing is
+    // serial single-solver only — either knob silently forces fresh
+    // mode, which would hollow out the incremental-vs-fresh contrast
+    // these tests exist to pin).
     Options {
         threads: 1,
+        portfolio: 0,
         incremental,
         saturation: SaturationLimits {
             max_iterations: 6,

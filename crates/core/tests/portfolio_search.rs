@@ -1,0 +1,149 @@
+//! Portfolio-probing equivalence tests: racing N diversified CDCL
+//! configurations per probe must report the same probe outcomes, cycle
+//! count, certificate, and byte-identical program as a single solver —
+//! the portfolio may only change wall-clock and which configuration
+//! happens to answer first. Which lane *wins* is race-dependent, so the
+//! tests assert on everything except the winner index (which is only
+//! checked for well-formedness).
+
+use denali_axioms::SaturationLimits;
+use denali_core::{Denali, Options};
+use denali_prng::{forall, Rng};
+use denali_term::Term;
+
+const BYTESWAP4: &str = "
+(\\procdecl byteswap4 ((a long)) long
+  (\\var (r long 0)
+    (\\semi
+      (:= ((\\selectb r 0) (\\selectb a 3)))
+      (:= ((\\selectb r 1) (\\selectb a 2)))
+      (:= ((\\selectb r 2) (\\selectb a 1)))
+      (:= ((\\selectb r 3) (\\selectb a 0)))
+      (:= (\\res r)))))";
+
+fn options(threads: usize, portfolio: usize) -> Options {
+    // Pin every env-read knob the portfolio interacts with; the reduced
+    // saturation budgets keep each random compile in the milliseconds.
+    Options {
+        threads,
+        portfolio,
+        incremental: false,
+        saturation: SaturationLimits {
+            max_iterations: 6,
+            max_nodes: 3_000,
+            max_structural_per_round: 300,
+            max_structural_growth: 800,
+            ..SaturationLimits::default()
+        },
+        ..Options::default()
+    }
+}
+
+/// Everything the portfolio must leave untouched: cycles, certificate,
+/// listing, and the (budget, outcome) probe log.
+type Footprint = (u32, bool, String, Vec<(u32, bool)>);
+
+fn footprint(source: &str, threads: usize, portfolio: usize) -> Footprint {
+    let result = Denali::new(options(threads, portfolio))
+        .compile_source(source)
+        .expect("pipeline succeeds");
+    let compiled = &result.gmas[0];
+    (
+        compiled.cycles,
+        compiled.refuted_below,
+        compiled.program.listing(4),
+        compiled
+            .probes
+            .iter()
+            .map(|p| (p.k, p.satisfiable))
+            .collect(),
+    )
+}
+
+/// Random goal expressions over two inputs (the same shape as the
+/// incremental equivalence tests).
+fn random_goal(rng: &mut Rng, depth: usize) -> Term {
+    if depth == 0 || rng.below(4) == 0 {
+        return match rng.below(3) {
+            0 => Term::leaf("a"),
+            1 => Term::leaf("b"),
+            _ => Term::constant(rng.below(256)),
+        };
+    }
+    let args = |rng: &mut Rng| vec![random_goal(rng, depth - 1), random_goal(rng, depth - 1)];
+    match rng.below(8) {
+        0 => Term::call("add64", args(rng)),
+        1 => Term::call("sub64", args(rng)),
+        2 => Term::call("and64", args(rng)),
+        3 => Term::call("or64", args(rng)),
+        4 => Term::call("xor64", args(rng)),
+        5 => Term::call(
+            "shl64",
+            vec![random_goal(rng, depth - 1), Term::constant(rng.below(64))],
+        ),
+        6 => Term::call(
+            "selectb",
+            vec![random_goal(rng, depth - 1), Term::constant(rng.below(8))],
+        ),
+        _ => Term::call("cmpult", args(rng)),
+    }
+}
+
+#[test]
+fn portfolio_probing_is_byte_identical_to_single_solver() {
+    forall(
+        "portfolio_probing_is_byte_identical_to_single_solver",
+        24,
+        |rng| {
+            let goal = random_goal(rng, 3);
+            let source = format!("(procdecl f ((a long) (b long)) long (:= (res {goal})))");
+            let baseline = footprint(&source, 1, 0);
+            for threads in [1usize, 4] {
+                for portfolio in [2usize, 4] {
+                    assert_eq!(
+                        baseline,
+                        footprint(&source, threads, portfolio),
+                        "goal {goal} diverged at threads={threads} portfolio={portfolio}"
+                    );
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn portfolio_agrees_on_byteswap4_and_tags_every_probe() {
+    // The deterministic multi-probe workhorse: a full up-then-down
+    // ascent with SAT and UNSAT probes on both sides of the answer.
+    let baseline = footprint(BYTESWAP4, 1, 0);
+    assert_eq!(baseline.0, 5, "byteswap4 is a 5-cycle program");
+    for threads in [1usize, 4] {
+        assert_eq!(baseline, footprint(BYTESWAP4, threads, 3));
+    }
+
+    // Every consumed probe carries a well-formed winner tag (and solver
+    // stats from that winning lane); non-portfolio probes carry none.
+    let result = Denali::new(options(1, 3))
+        .compile_source(BYTESWAP4)
+        .expect("pipeline succeeds");
+    for probe in &result.gmas[0].probes {
+        let winner = probe.winner.expect("portfolio probes record a winner");
+        assert!(winner < 3, "winner {winner} out of range");
+        assert!(probe.solver.is_some(), "winning lane surfaces its stats");
+    }
+    let single = Denali::new(options(1, 0))
+        .compile_source(BYTESWAP4)
+        .expect("pipeline succeeds");
+    assert!(single.gmas[0].probes.iter().all(|p| p.winner.is_none()));
+}
+
+#[test]
+fn portfolio_width_one_means_off() {
+    // A width of 1 (or 0) is not a degenerate race: the search takes
+    // the ordinary single-solver path, winner-less probes included.
+    let result = Denali::new(options(1, 1))
+        .compile_source(BYTESWAP4)
+        .expect("pipeline succeeds");
+    assert!(result.gmas[0].probes.iter().all(|p| p.winner.is_none()));
+    assert_eq!(footprint(BYTESWAP4, 1, 1), footprint(BYTESWAP4, 1, 0));
+}

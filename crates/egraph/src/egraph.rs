@@ -65,18 +65,34 @@ pub enum EqLiteral {
     Ne(ClassId, ClassId),
 }
 
-/// Error raised when the asserted facts are contradictory (e.g. a union
-/// of classes constrained to be distinct, or two different constants in
-/// one class). In Denali this indicates an unsound axiom set.
+/// What kind of failure an [`EGraphError`] reports.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EGraphErrorKind {
+    /// The asserted facts are contradictory (e.g. a union of classes
+    /// constrained to be distinct, or two different constants in one
+    /// class). In Denali this indicates an unsound axiom set.
+    Contradiction,
+    /// The class-id budget was exhausted: either the capacity installed
+    /// with [`EGraph::set_class_capacity`] or the representation limit
+    /// (class ids are `u32`). A pathological input, not a bug — callers
+    /// reject the program cleanly instead of panicking.
+    TooManyClasses,
+}
+
+/// Error raised when the asserted facts are contradictory (an unsound
+/// axiom set) or a resource budget is exhausted — see
+/// [`EGraphErrorKind`].
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct EGraphError {
     message: String,
+    kind: EGraphErrorKind,
 }
 
 impl EGraphError {
     fn new(message: impl Into<String>) -> EGraphError {
         EGraphError {
             message: message.into(),
+            kind: EGraphErrorKind::Contradiction,
         }
     }
 
@@ -84,6 +100,25 @@ impl EGraphError {
     /// that wrap e-graph contradictions with more context).
     pub fn from_message(message: impl Into<String>) -> EGraphError {
         EGraphError::new(message)
+    }
+
+    /// Creates a [`EGraphErrorKind::TooManyClasses`] error for the
+    /// given capacity.
+    pub fn too_many_classes(capacity: usize) -> EGraphError {
+        EGraphError {
+            message: format!("e-graph class budget exhausted ({capacity} classes)"),
+            kind: EGraphErrorKind::TooManyClasses,
+        }
+    }
+
+    /// Which kind of failure this is.
+    pub fn kind(&self) -> EGraphErrorKind {
+        self.kind
+    }
+
+    /// True if this error reports an exhausted class budget.
+    pub fn is_too_many_classes(&self) -> bool {
+        self.kind == EGraphErrorKind::TooManyClasses
     }
 }
 
@@ -203,6 +238,11 @@ pub struct EGraph {
     /// True while [`EGraph::rebuild`] runs, so unions performed during
     /// repair are attributed to congruence in [`OpCounts`].
     repairing: bool,
+    /// Maximum number of class ids ever allocated (`0` = unlimited, the
+    /// default). Exceeding it turns [`EGraph::add_node`] into a clean
+    /// [`EGraphErrorKind::TooManyClasses`] error instead of unbounded
+    /// growth.
+    class_capacity: usize,
 }
 
 // The matcher freezes the e-graph and e-matches axioms against it from
@@ -223,6 +263,15 @@ impl EGraph {
     /// Number of (canonical) e-nodes ever added.
     pub fn num_nodes(&self) -> usize {
         self.node_count
+    }
+
+    /// Caps the number of class ids this e-graph may ever allocate
+    /// (`0` = unlimited). Once the cap is reached, [`EGraph::add_node`]
+    /// (and everything built on it) fails with a
+    /// [`EGraphErrorKind::TooManyClasses`] error rather than growing —
+    /// or, at the `u32` representation limit, panicking.
+    pub fn set_class_capacity(&mut self, capacity: usize) {
+        self.class_capacity = capacity;
     }
 
     /// Number of live equivalence classes.
@@ -287,15 +336,28 @@ impl EGraph {
     /// Congruent nodes are hash-consed to the same class. Constant
     /// folding is eager: a node whose children all have known constant
     /// values is unified with the literal constant's class.
-    pub fn add_node(&mut self, op: Op, children: Vec<ClassId>) -> ClassId {
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`EGraphErrorKind::TooManyClasses`] when allocating a
+    /// new class would exceed [`EGraph::set_class_capacity`] (or the
+    /// `u32` class-id representation limit). Hashcons hits never fail —
+    /// only genuinely new nodes consume capacity.
+    pub fn add_node(&mut self, op: Op, children: Vec<ClassId>) -> Result<ClassId, EGraphError> {
         self.counts.adds += 1;
         let node = self.canonicalize(&ENode::new(op, children));
         if let Some(&existing) = self.memo.get(&node) {
             self.counts.hits += 1;
-            return self.find(existing);
+            return Ok(self.find(existing));
+        }
+        if self.class_capacity != 0 && self.uf.len() >= self.class_capacity {
+            return Err(EGraphError::too_many_classes(self.class_capacity));
         }
         self.counts.new_nodes += 1;
-        let id = ClassId(u32::try_from(self.uf.len()).expect("class id overflow"));
+        let id = ClassId(
+            u32::try_from(self.uf.len())
+                .map_err(|_| EGraphError::too_many_classes(u32::MAX as usize))?,
+        );
         self.uf.push(id.0);
         let constant = self.node_constant(&node);
         for &child in &node.children {
@@ -328,7 +390,7 @@ impl EGraph {
                     // Make sure the literal constant node itself exists so
                     // the class always contains `Const(value)`.
                     if op != Op::Const(value) {
-                        let lit = self.add_node(Op::Const(value), Vec::new());
+                        let lit = self.add_node(Op::Const(value), Vec::new())?;
                         self.union(lit, id).expect("fresh constant cannot conflict");
                     }
                 }
@@ -339,7 +401,7 @@ impl EGraph {
                 }
             }
         }
-        self.find(id)
+        Ok(self.find(id))
     }
 
     fn node_constant(&self, node: &ENode) -> Option<u64> {
@@ -376,7 +438,7 @@ impl EGraph {
                     .iter()
                     .map(|a| self.add_term(a))
                     .collect::<Result<Vec<_>, _>>()?;
-                Ok(self.add_node(op, children))
+                self.add_node(op, children)
             }
         }
     }
@@ -403,7 +465,7 @@ impl EGraph {
                     .iter()
                     .map(|a| self.add_instantiation(a, subst))
                     .collect::<Result<Vec<_>, _>>()?;
-                Ok(self.add_node(op, children))
+                self.add_node(op, children)
             }
         }
     }
@@ -701,7 +763,7 @@ impl EGraph {
                 // match before — journal it even though the union below
                 // usually covers it.
                 self.journal_class(parent_class);
-                let lit = self.add_node(Op::Const(value), Vec::new());
+                let lit = self.add_node(Op::Const(value), Vec::new())?;
                 let lit = self.find(lit);
                 let parent_class = self.find(parent_class);
                 if lit != parent_class {
@@ -884,6 +946,22 @@ mod tests {
         assert_eq!(a, b);
         // x, y, add64(x,y) = 3 classes.
         assert_eq!(eg.num_classes(), 3);
+    }
+
+    #[test]
+    fn class_capacity_fails_cleanly_instead_of_panicking() {
+        let mut eg = EGraph::new();
+        eg.set_class_capacity(2);
+        // x, y fit; add64(x, y) would be the third class.
+        let err = eg.add_term(&t("(add64 x y)")).unwrap_err();
+        assert!(err.is_too_many_classes(), "unexpected error: {err}");
+        assert_eq!(err.kind(), EGraphErrorKind::TooManyClasses);
+        assert!(err.to_string().contains("class budget"));
+        assert_eq!(eg.num_classes(), 2);
+        // Hashcons hits never consume capacity: re-adding existing
+        // terms still succeeds at the limit.
+        let x = eg.add_term(&t("x")).unwrap();
+        assert_eq!(eg.find(x), x);
     }
 
     #[test]

@@ -29,11 +29,13 @@
 //! assert!(solver.model().unwrap()[b.index()]);
 //! ```
 
+pub mod backend;
 pub mod dimacs;
 pub mod dpll;
 mod heap;
 mod lit;
 mod solver;
 
+pub use backend::{DpllSolver, SolverBackend};
 pub use lit::{Lit, Var};
-pub use solver::{SolveResult, Solver, SolverStats};
+pub use solver::{SolveResult, Solver, SolverConfig, SolverStats};

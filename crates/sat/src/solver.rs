@@ -65,6 +65,97 @@ impl SolverStats {
     }
 }
 
+/// Search-strategy knobs for the CDCL engine.
+///
+/// The default configuration reproduces the solver's historical
+/// behaviour exactly; the portfolio prober races several
+/// [`SolverConfig::diversified`] variants of the same formula and
+/// consumes whichever verdict lands first.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SolverConfig {
+    /// Multiplier applied to the Luby sequence to produce the restart
+    /// limit (in conflicts). The classic MiniSat-style base is 100.
+    pub restart_mult: u64,
+    /// Initial saved polarity for fresh variables: branch `true` first
+    /// instead of the default `false`.
+    pub init_polarity: bool,
+    /// Whether backtracking saves the erased assignment as the next
+    /// branching polarity (phase saving). Off means variables always
+    /// branch on their initial polarity.
+    pub phase_saving: bool,
+    /// VSIDS decay factor: each conflict divides the activity increment
+    /// by this, so smaller values focus harder on recent conflicts.
+    pub var_decay: f64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> SolverConfig {
+        SolverConfig {
+            restart_mult: 100,
+            init_polarity: false,
+            phase_saving: true,
+            var_decay: 0.95,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// The `i`-th portfolio configuration. Deterministic in `i`, and
+    /// `diversified(0)` is exactly the default configuration, so config
+    /// 0 of a portfolio race behaves byte-for-byte like a non-portfolio
+    /// solve. Indices past the base palette keep diverging via the
+    /// restart multiplier, so any portfolio width yields distinct
+    /// strategies.
+    #[must_use]
+    pub fn diversified(i: usize) -> SolverConfig {
+        let base = SolverConfig::default();
+        let cfg = match i % 4 {
+            // Aggressive decay with inverted initial phase.
+            1 => SolverConfig {
+                init_polarity: true,
+                var_decay: 0.90,
+                ..base
+            },
+            // Rapid restarts without phase memory: closest to a
+            // randomized-restart strategy while staying deterministic.
+            2 => SolverConfig {
+                restart_mult: 40,
+                phase_saving: false,
+                ..base
+            },
+            // Slow restarts, heavy recency focus, inverted phase.
+            3 => SolverConfig {
+                restart_mult: 300,
+                init_polarity: true,
+                var_decay: 0.85,
+                ..base
+            },
+            _ => base,
+        };
+        SolverConfig {
+            restart_mult: cfg.restart_mult + (i as u64 / 4) * 50,
+            ..cfg
+        }
+    }
+}
+
+impl std::fmt::Display for SolverConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "restart={} phase={}{} decay={}",
+            self.restart_mult,
+            if self.init_polarity { "+" } else { "-" },
+            if self.phase_saving {
+                "/saved"
+            } else {
+                "/fixed"
+            },
+            self.var_decay,
+        )
+    }
+}
+
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Assign {
     True,
@@ -132,17 +223,29 @@ pub struct Solver {
     /// Raised by another thread to abandon an in-flight solve (used by
     /// the speculative probe scheduler to cancel losing probes).
     interrupt: Option<Arc<AtomicBool>>,
+    config: SolverConfig,
 }
 
 impl Solver {
-    /// Creates an empty solver.
+    /// Creates an empty solver with the default [`SolverConfig`].
     pub fn new() -> Solver {
+        Solver::with_config(SolverConfig::default())
+    }
+
+    /// Creates an empty solver with the given strategy configuration.
+    pub fn with_config(config: SolverConfig) -> Solver {
         Solver {
             var_inc: 1.0,
             ok: true,
             reduce_threshold: 4000,
+            config,
             ..Solver::default()
         }
+    }
+
+    /// The strategy configuration this solver was created with.
+    pub fn config(&self) -> SolverConfig {
+        self.config
     }
 
     /// Number of variables created so far.
@@ -160,7 +263,7 @@ impl Solver {
     pub fn new_var(&mut self) -> Var {
         let var = Var::from_index(self.assigns.len());
         self.assigns.push(Assign::Undef);
-        self.polarity.push(false);
+        self.polarity.push(self.config.init_polarity);
         self.level.push(0);
         self.reason.push(NO_REASON);
         self.activity.push(0.0);
@@ -484,7 +587,9 @@ impl Solver {
         for &lit in &self.trail[new_len..] {
             let v = lit.var();
             self.assigns[v.index()] = Assign::Undef;
-            self.polarity[v.index()] = lit.is_pos();
+            if self.config.phase_saving {
+                self.polarity[v.index()] = lit.is_pos();
+            }
             self.reason[v.index()] = NO_REASON;
             if !self.order.contains(v) {
                 self.order.insert(v, &self.activity);
@@ -514,16 +619,29 @@ impl Solver {
             }
         }
         candidates.sort_unstable_by_key(|&(lbd, _)| std::cmp::Reverse(lbd));
-        let locked: Vec<bool> = self
-            .clauses
-            .iter()
-            .enumerate()
-            .map(|(i, _)| {
-                self.trail
-                    .iter()
-                    .any(|&l| self.reason[l.var().index()] == i as ClauseRef)
-            })
-            .collect();
+        // One pass over the trail marks every clause currently used as a
+        // propagation reason (the old per-clause trail scan was
+        // O(clauses × trail) at every reduction).
+        let mut locked = vec![false; self.clauses.len()];
+        for &l in &self.trail {
+            let r = self.reason[l.var().index()];
+            if r != NO_REASON {
+                locked[r as usize] = true;
+            }
+        }
+        debug_assert_eq!(
+            locked,
+            self.clauses
+                .iter()
+                .enumerate()
+                .map(|(i, _)| {
+                    self.trail
+                        .iter()
+                        .any(|&l| self.reason[l.var().index()] == i as ClauseRef)
+                })
+                .collect::<Vec<bool>>(),
+            "one-pass locked set must match the brute-force scan"
+        );
         for &(_, cref) in candidates.iter().take(candidates.len() / 2) {
             if !locked[cref as usize] {
                 self.clauses[cref as usize].deleted = true;
@@ -600,8 +718,14 @@ impl Solver {
             return SolveResult::Unsat;
         }
 
+        // The restart schedule is indexed per *call*, not by the
+        // lifetime `stats.restarts` counter: a persistent incremental
+        // solver would otherwise begin its 30th probe deep in the Luby
+        // sequence with an enormous first restart limit, never
+        // restarting on the queries where restarts matter most.
         let mut conflicts_since_restart = 0u64;
-        let mut restart_limit = luby(self.stats.restarts + 1) * 100;
+        let mut restarts_this_call = 0u64;
+        let mut restart_limit = luby(restarts_this_call + 1) * self.config.restart_mult;
         let mut since_interrupt_check = 0u32;
 
         loop {
@@ -640,8 +764,9 @@ impl Solver {
                 None => {
                     if conflicts_since_restart >= restart_limit {
                         self.stats.restarts += 1;
+                        restarts_this_call += 1;
                         conflicts_since_restart = 0;
-                        restart_limit = luby(self.stats.restarts + 1) * 100;
+                        restart_limit = luby(restarts_this_call + 1) * self.config.restart_mult;
                         self.backtrack_to(0);
                         continue;
                     }
@@ -745,13 +870,22 @@ impl Solver {
     }
 
     fn decay_activities(&mut self) {
-        self.var_inc /= 0.95;
+        self.var_inc /= self.config.var_decay;
     }
 
     /// The satisfying assignment found by the last successful
     /// [`Solver::solve`], indexed by [`Var::index`].
     pub fn model(&self) -> Option<&[bool]> {
         self.model.as_deref()
+    }
+
+    /// The model value of one variable, or `None` when no model is
+    /// available (last solve was UNSAT/interrupted, or `var` was created
+    /// after it).
+    pub fn model_value(&self, var: Var) -> Option<bool> {
+        self.model
+            .as_ref()
+            .and_then(|m| m.get(var.index()).copied())
     }
 
     /// Work counters for the lifetime of this solver.
@@ -1090,6 +1224,114 @@ mod tests {
         let delta = second.since(first);
         assert_eq!(delta.solves, second.solves, "gauges pass through");
         assert!(delta.conflicts <= second.conflicts);
+    }
+
+    #[test]
+    fn fresh_solve_under_restarts_at_the_base_limit() {
+        // Regression test for the Luby drift bug: the restart limit was
+        // seeded from the solver-lifetime `stats.restarts`, so a
+        // long-lived incremental solver started each new call deep in
+        // the Luby sequence. Simulate that history, then check the next
+        // call still restarts eagerly.
+        let (mut s, _) = pigeonhole(6);
+        s.stats.restarts = (1 << 20) - 2;
+        let before = s.stats();
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let delta = s.stats().since(before);
+        assert!(
+            delta.conflicts > 100,
+            "test instance too easy to exercise restarts ({} conflicts)",
+            delta.conflicts
+        );
+        // Under the bug the first limit would be luby(2^20 - 1) * 100 =
+        // 2^19 * 100 conflicts — unreachable here, so no restart fires.
+        assert!(
+            delta.restarts >= 1,
+            "first restart of a fresh call must fire at the base limit"
+        );
+    }
+
+    #[test]
+    fn diversified_zero_is_the_default_config() {
+        assert_eq!(SolverConfig::diversified(0), SolverConfig::default());
+        assert_eq!(Solver::new().config(), SolverConfig::default());
+    }
+
+    #[test]
+    fn diversified_configs_are_distinct() {
+        let configs: Vec<SolverConfig> = (0..8).map(SolverConfig::diversified).collect();
+        for i in 0..configs.len() {
+            for j in (i + 1)..configs.len() {
+                assert_ne!(configs[i], configs[j], "configs {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn diversified_configs_agree_on_verdicts() {
+        for i in 0..6 {
+            let cfg = SolverConfig::diversified(i);
+            // PHP(4) is UNSAT under every strategy...
+            let holes = 4;
+            let mut s = Solver::with_config(cfg);
+            let vars: Vec<Vec<Var>> = (0..holes + 1)
+                .map(|_| (0..holes).map(|_| s.new_var()).collect())
+                .collect();
+            for row in &vars {
+                s.add_clause(row.iter().map(|&v| Lit::pos(v)));
+            }
+            for h in 0..holes {
+                for p1 in 0..holes + 1 {
+                    for p2 in (p1 + 1)..holes + 1 {
+                        s.add_clause([Lit::neg(vars[p1][h]), Lit::neg(vars[p2][h])]);
+                    }
+                }
+            }
+            assert_eq!(s.solve(), SolveResult::Unsat, "config {i} ({cfg})");
+            // ...and a satisfiable chain is SAT with a valid model.
+            let mut s = Solver::with_config(cfg);
+            let v = lits(&mut s, 4);
+            s.add_clause([Lit::pos(v[0])]);
+            for k in 0..3 {
+                s.add_clause([Lit::neg(v[k]), Lit::pos(v[k + 1])]);
+            }
+            assert_eq!(s.solve(), SolveResult::Sat, "config {i} ({cfg})");
+            assert!(s.model().unwrap().iter().all(|&b| b));
+        }
+    }
+
+    #[test]
+    fn forced_reductions_are_deterministic_and_sound() {
+        // Drive `reduce_learned` hard (threshold 8 instead of 4000) and
+        // check the verdict is still right and two identical runs do
+        // identical work — the one-pass locked-clause computation must
+        // not change which clauses survive a reduction.
+        let run = || {
+            let (mut s, _) = pigeonhole(5);
+            s.reduce_threshold = 8;
+            let result = s.solve();
+            (result, s.stats())
+        };
+        let (r1, stats1) = run();
+        let (r2, stats2) = run();
+        assert_eq!(r1, SolveResult::Unsat);
+        assert_eq!(r1, r2);
+        assert_eq!(stats1, stats2, "reductions must behave identically");
+        assert!(stats1.conflicts > 8, "instance must actually reduce");
+    }
+
+    #[test]
+    fn model_value_reads_the_model() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause([Lit::pos(v[0])]);
+        s.add_clause([Lit::neg(v[1])]);
+        assert_eq!(s.model_value(v[0]), None, "no model before solving");
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(v[0]), Some(true));
+        assert_eq!(s.model_value(v[1]), Some(false));
+        let late = s.new_var();
+        assert_eq!(s.model_value(late), None, "created after the model");
     }
 
     #[test]

@@ -98,6 +98,10 @@ pub struct OptionOverrides {
     pub pipeline_loads: Option<bool>,
     /// Worker threads (execution knob; not fingerprinted).
     pub threads: Option<usize>,
+    /// Portfolio width: race this many diversified CDCL configurations
+    /// per probe (execution knob; not fingerprinted — output is
+    /// byte-identical at any width).
+    pub portfolio: Option<usize>,
     /// Structured tracing (observability knob; not fingerprinted).
     pub trace: Option<bool>,
     /// Verbose server logging (observability knob; not fingerprinted).
@@ -131,6 +135,9 @@ impl OptionOverrides {
         }
         if let Some(t) = self.threads {
             options.threads = t;
+        }
+        if let Some(p) = self.portfolio {
+            options.portfolio = p;
         }
         if let Some(t) = self.trace {
             options.trace = t;
@@ -263,6 +270,7 @@ fn parse_overrides(obj: &Json) -> Result<OptionOverrides, ProtocolError> {
             "miss_latency",
             "pipeline_loads",
             "threads",
+            "portfolio",
             "trace",
             "verbose",
         ],
@@ -297,6 +305,7 @@ fn parse_overrides(obj: &Json) -> Result<OptionOverrides, ProtocolError> {
             .transpose()?,
         pipeline_loads: get_bool(obj, "pipeline_loads")?,
         threads: get_u64(obj, "threads")?.map(|v| v as usize),
+        portfolio: get_u64(obj, "portfolio")?.map(|v| v as usize),
         trace: get_bool(obj, "trace")?,
         verbose: get_bool(obj, "verbose")?,
     })

@@ -326,6 +326,14 @@ impl Server {
         let issue_width = denali.options().machine.issue_width();
         match denali.compile_prepared(&ctx.prepared) {
             Ok(result) => {
+                for stats in result.gmas.iter().flat_map(|c| &c.probes) {
+                    if let Some(winner) = stats.winner {
+                        Stats::bump(&self.stats.portfolio_races);
+                        if winner != 0 {
+                            Stats::bump(&self.stats.portfolio_alt_wins);
+                        }
+                    }
+                }
                 let gmas: Vec<GmaSummary> = result
                     .gmas
                     .iter()

@@ -44,6 +44,12 @@ pub struct Stats {
     /// Compile jobs that panicked (the worker survives; the request is
     /// answered with an internal error).
     pub worker_panics: AtomicU64,
+    /// Portfolio probe races completed (probes that ran diversified
+    /// CDCL lanes instead of a single solver).
+    pub portfolio_races: AtomicU64,
+    /// Portfolio races won by a non-default lane (configuration index
+    /// greater than zero).
+    pub portfolio_alt_wins: AtomicU64,
     /// When the server was started.
     pub started: Instant,
 }
@@ -63,6 +69,8 @@ impl Default for Stats {
             coalesced_expired: AtomicU64::new(0),
             promotions: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
+            portfolio_races: AtomicU64::new(0),
+            portfolio_alt_wins: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -97,6 +105,7 @@ impl Stats {
                 "\"shutdown_rejections\":{},",
                 "\"worker_panics\":{},",
                 "\"queue_depth\":{},",
+                "\"portfolio\":{{\"races\":{},\"alt_wins\":{}}},",
                 "\"coalesce\":{{\"coalesced\":{},\"expired\":{},\"promotions\":{},",
                 "\"inflight\":{},\"waiting\":{}}},",
                 "\"cache\":{{\"hits\":{},\"misses\":{},\"disk_hits\":{},\"disk_invalid\":{},",
@@ -113,6 +122,8 @@ impl Stats {
             load(&self.shutdown_rejections),
             load(&self.worker_panics),
             queue_depth,
+            load(&self.portfolio_races),
+            load(&self.portfolio_alt_wins),
             load(&self.coalesced),
             load(&self.coalesced_expired),
             load(&self.promotions),
@@ -142,6 +153,9 @@ mod tests {
         Stats::bump(&stats.requests);
         Stats::bump(&stats.compiles_ok);
         Stats::bump(&stats.coalesced);
+        Stats::bump(&stats.portfolio_races);
+        Stats::bump(&stats.portfolio_races);
+        Stats::bump(&stats.portfolio_alt_wins);
         let cache = CacheSnapshot {
             hits: 3,
             misses: 1,
@@ -160,6 +174,9 @@ mod tests {
         assert_eq!(v.get("requests").and_then(Json::as_u64), Some(2));
         assert_eq!(v.get("queue_depth").and_then(Json::as_u64), Some(4));
         assert_eq!(v.get("worker_panics").and_then(Json::as_u64), Some(0));
+        let portfolio = v.get("portfolio").unwrap();
+        assert_eq!(portfolio.get("races").and_then(Json::as_u64), Some(2));
+        assert_eq!(portfolio.get("alt_wins").and_then(Json::as_u64), Some(1));
         assert_eq!(v.get("shutdown_rejections").and_then(Json::as_u64), Some(0));
         let compiles = v.get("compiles").unwrap();
         assert_eq!(compiles.get("ok").and_then(Json::as_u64), Some(1));

@@ -2,16 +2,17 @@
 //!
 //! ```text
 //! denali FILE.dnl [--proc NAME] [--machine ev6|ev6-unclustered|single-issue|ia64like]
-//!                 [--solver cdcl|dpll] [--threads N] [--load-latency N] [--max-cycles N]
-//!                 [--incremental|--no-incremental] [--delta-match|--no-delta-match]
+//!                 [--solver cdcl|dpll] [--threads N] [--portfolio N] [--load-latency N]
+//!                 [--max-cycles N] [--incremental|--no-incremental]
+//!                 [--delta-match|--no-delta-match]
 //!                 [--probes] [-v|--verbose] [--trace] [--trace-out FILE]
 //!                 [--trace-format jsonl|chrome] [--dump-dimacs DIR]
 //!                 [--simulate name=value ...]
 //! denali trace-report TRACE.jsonl
 //! denali serve (--stdio | --listen ADDR) [--workers N] [--queue N]
 //!              [--cache-bytes N] [--cache-dir DIR] [--machine M] [--solver S]
-//!              [--max-cycles N] [--threads N] [--coalesce|--no-coalesce]
-//!              [--trace] [-v|--verbose]
+//!              [--max-cycles N] [--threads N] [--portfolio N]
+//!              [--coalesce|--no-coalesce] [--trace] [-v|--verbose]
 //! ```
 //!
 //! Compiles a Denali source file, prints a Figure-4-style listing per
@@ -49,17 +50,20 @@ struct Cli {
 fn usage() -> ! {
     eprintln!(
         "usage: denali FILE.dnl [--proc NAME] [--machine ev6|ev6-unclustered|single-issue|ia64like]\n\
-         \x20                   [--solver cdcl|dpll] [--threads N] [--load-latency N] [--max-cycles N]\n\
-         \x20                   [--incremental|--no-incremental] [--delta-match|--no-delta-match]\n\
+         \x20                   [--solver cdcl|dpll] [--threads N] [--portfolio N] [--load-latency N]\n\
+         \x20                   [--max-cycles N] [--incremental|--no-incremental]\n\
+         \x20                   [--delta-match|--no-delta-match]\n\
          \x20                   [--probes] [-v|--verbose] [--trace] [--trace-out FILE]\n\
          \x20                   [--trace-format jsonl|chrome] [--allocate] [--dump-dimacs DIR]\n\
          \x20                   [--simulate name=value ...]\n\
          \x20      denali trace-report TRACE.jsonl\n\
          \x20      denali serve (--stdio | --listen ADDR) [--workers N] [--queue N]\n\
          \x20                   [--cache-bytes N] [--cache-dir DIR] [--machine M] [--solver S]\n\
-         \x20                   [--max-cycles N] [--threads N] [--coalesce|--no-coalesce]\n\
-         \x20                   [--trace] [-v|--verbose]\n\
+         \x20                   [--max-cycles N] [--threads N] [--portfolio N]\n\
+         \x20                   [--coalesce|--no-coalesce] [--trace] [-v|--verbose]\n\
          \x20 --threads N       worker threads for matching + speculative probes (0 = all CPUs, 1 = serial)\n\
+         \x20 --portfolio N     race N diversified CDCL configurations per probe, first verdict wins\n\
+         \x20                   (0/1 = off; output is byte-identical either way; also DENALI_PORTFOLIO)\n\
          \x20 --no-incremental  fresh SAT solver per probe instead of one persistent solver (serial CDCL)\n\
          \x20 --no-delta-match  re-match every axiom against the whole e-graph each saturation round\n\
          \x20 --trace           collect a structured trace (also DENALI_TRACE=1)\n\
@@ -131,6 +135,11 @@ fn parse_cli() -> Cli {
             }
             "--threads" => {
                 cli.options.threads = need(&mut args, "--threads")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--portfolio" => {
+                cli.options.portfolio = need(&mut args, "--portfolio")
                     .parse()
                     .unwrap_or_else(|_| usage())
             }
@@ -284,6 +293,9 @@ fn serve(args: &[String]) -> ExitCode {
                     parse(need(&mut args, "--max-cycles"), "--max-cycles") as u32
             }
             "--threads" => config.base.threads = parse(need(&mut args, "--threads"), "--threads"),
+            "--portfolio" => {
+                config.base.portfolio = parse(need(&mut args, "--portfolio"), "--portfolio")
+            }
             "--coalesce" => config.coalesce = true,
             "--no-coalesce" => config.coalesce = false,
             "--trace" => config.base.trace = true,
