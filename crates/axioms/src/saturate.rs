@@ -504,6 +504,7 @@ fn saturate_phase(
 fn emit_egraph_stats(egraph: &EGraph, before: denali_egraph::OpCounts, tracer: &Tracer) {
     tracer.event("egraph.stats", || {
         let d = egraph.op_counts().since(before);
+        let mem = egraph.memory_stats();
         vec![
             field("adds", d.adds),
             field("hits", d.hits),
@@ -514,6 +515,13 @@ fn emit_egraph_stats(egraph: &EGraph, before: denali_egraph::OpCounts, tracer: &
             field("rebuilds", d.rebuilds),
             field("nodes", egraph.num_nodes()),
             field("classes", egraph.num_classes()),
+            // Memory gauges for the arena/SoA storage: payload bytes,
+            // so the values are deterministic for a given graph shape.
+            field("arena_bytes", mem.arena_bytes),
+            field("slice_bytes", mem.slice_bytes),
+            field("slice_entries", mem.slice_entries),
+            field("mem_bytes", mem.total_bytes),
+            field("bytes_per_node", mem.bytes_per_node().round() as u64),
         ]
     });
 }
@@ -770,9 +778,9 @@ fn apply_instances(
 /// operator symbols appearing in a class.
 pub fn class_ops(egraph: &EGraph, class: ClassId) -> Vec<String> {
     egraph
-        .nodes(class)
+        .class_node_ids(class)
         .iter()
-        .filter_map(|n| match n.op {
+        .filter_map(|&nid| match egraph.node_op(nid) {
             Op::Sym(s) => Some(s.to_string()),
             _ => None,
         })

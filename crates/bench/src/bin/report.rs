@@ -32,6 +32,9 @@ fn main() {
     if want("e2s") {
         e2_saturation();
     }
+    if want("e2m") {
+        e2_memory();
+    }
     if want("e3") {
         e3_byteswap4();
     }
@@ -205,6 +208,68 @@ fn e2_saturation() {
             && full.nodes == delta.nodes
             && full.classes == delta.classes
     );
+}
+
+/// E2m (not in the paper): arena/SoA storage footprint — bytes per
+/// e-graph node under the interned-slice arena versus the modeled
+/// owned-`ENode` layout, on the saturated benchmark fixtures. The same
+/// legs as the `egraph_mem` binary, which writes `BENCH_egraph.json`.
+fn e2_memory() {
+    header(
+        "E2m",
+        "e-graph memory footprint (arena/SoA vs owned nodes)",
+        "goal: >=2x fewer bytes per node with saturation wall time no worse",
+    );
+    let aggregate = |name: &'static str, source: &str| {
+        let denali = default_denali();
+        let result = denali.compile_source(source).expect("fixture compiles");
+        let mut mem = denali_egraph::MemoryStats::default();
+        for gma in &result.gmas {
+            let m = gma.egraph_memory;
+            mem.nodes += m.nodes;
+            mem.classes += m.classes;
+            mem.slice_entries += m.slice_entries;
+            mem.slice_refs += m.slice_refs;
+            mem.total_bytes += m.total_bytes;
+            mem.legacy_bytes += m.legacy_bytes;
+        }
+        (name, mem)
+    };
+    let chain = {
+        let term = Term::from_sexpr(
+            &denali_term::sexpr::parse_one("(add64 a (add64 b (add64 c (add64 d e))))").unwrap(),
+            &[],
+        )
+        .unwrap();
+        let limits = SaturationLimits {
+            max_iterations: 24,
+            ..SaturationLimits::default()
+        };
+        let mut eg = EGraph::new();
+        eg.add_term(&term).unwrap();
+        saturate(&mut eg, &math_axioms(), &limits).unwrap();
+        ("e2_chain", eg.memory_stats())
+    };
+    let legs = [
+        chain,
+        aggregate("figure2", programs::FIGURE2),
+        aggregate("byteswap4", programs::BYTESWAP4),
+        aggregate("byteswap5", programs::BYTESWAP5),
+        aggregate("checksum", programs::CHECKSUM),
+    ];
+    println!("    measured: leg         nodes  classes  bytes/node  legacy b/n  reduction  dedup");
+    for (name, m) in &legs {
+        println!(
+            "              {name:<10} {:>6} {:>8} {:>11.1} {:>11.1} {:>9.2}x {:>5.2}x",
+            m.nodes,
+            m.classes,
+            m.bytes_per_node(),
+            m.legacy_bytes_per_node(),
+            m.reduction(),
+            m.dedup_ratio(),
+        );
+    }
+    println!();
 }
 
 /// E3 (§8, Figure 4): byteswap4 — 5-cycle EV6 program; ~1 minute total

@@ -153,6 +153,10 @@ pub struct CompiledGma {
     pub search_ms: f64,
     /// Per-phase timings (`match`, `enumerate`, `search`).
     pub telemetry: Telemetry,
+    /// Memory accounting of the saturated e-graph (arena/SoA storage).
+    /// Diagnostic only: not part of the fingerprint or the response
+    /// payload, but aggregated into the serve `stats` gauges.
+    pub egraph_memory: denali_egraph::MemoryStats,
 }
 
 impl CompiledGma {
@@ -468,6 +472,7 @@ impl Denali {
         let matched = match_gma_traced(&gma, axioms, &saturation, tracer);
         telemetry.record("match", span.finish());
         let matched = matched.map_err(stage_err("match"))?;
+        let egraph_memory = matched.egraph.memory_stats();
         // Delta-matching effectiveness: top-level e-match candidates
         // actually scanned vs. excluded by the dirty-cone filter.
         telemetry.count("match.scanned", matched.report.scanned_candidates as u64);
@@ -547,6 +552,7 @@ impl Denali {
             match_ms,
             search_ms,
             telemetry,
+            egraph_memory,
         })
     }
 }

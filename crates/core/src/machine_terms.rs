@@ -271,8 +271,11 @@ pub fn enumerate_with_misses(
             });
             continue;
         }
-        for node in eg.nodes(class) {
-            let Some(op) = node.sym() else { continue };
+        for &nid in eg.class_node_ids(class) {
+            let Some(op) = eg.node_op(nid).as_sym() else {
+                continue;
+            };
+            let children = eg.node_children(nid);
             let name = op.as_str();
             if name == "stq" {
                 continue; // handled through the store chain
@@ -281,11 +284,11 @@ pub fn enumerate_with_misses(
                 // Load from the *initial* memory only; loads from a
                 // stored memory are resolved by the select/store axioms
                 // or are unschedulable (ambiguous aliasing).
-                let node_mem = eg.find(node.children[0]);
+                let node_mem = eg.find(children[0]);
                 if Some(node_mem) != mem_class {
                     continue;
                 }
-                let addr = eg.find(node.children[1]);
+                let addr = eg.find(children[1]);
                 let info = machine.info(op).expect("ldq is an instruction");
                 let latency = if miss_classes.contains(&addr) {
                     miss_latency
@@ -312,11 +315,11 @@ pub fn enumerate_with_misses(
             if ops::info(op).map(|i| i.kind) == Some(OpKind::MachineMemory) {
                 continue;
             }
-            let literal_pos = literal_positions(name, node.children.len());
+            let literal_pos = literal_positions(name, children.len());
             let required = required_literal_positions(name);
-            let mut args = Vec::with_capacity(node.children.len());
+            let mut args = Vec::with_capacity(children.len());
             let mut legal = true;
-            for (pos, &child) in node.children.iter().enumerate() {
+            for (pos, &child) in children.iter().enumerate() {
                 let child = eg.find(child);
                 let literal = eg
                     .constant(child)
@@ -493,7 +496,11 @@ impl Candidates {
             }
         }
         let describe = |c: ClassId| -> String {
-            let ops: Vec<String> = eg.nodes(c).iter().map(|n| format!("{}", n.op)).collect();
+            let ops: Vec<String> = eg
+                .class_node_ids(c)
+                .iter()
+                .map(|&nid| format!("{}", eg.node_op(nid)))
+                .collect();
             format!("{c} [{}]", ops.join(", "))
         };
         for goal in &self.goal_classes {

@@ -55,6 +55,106 @@ impl ENode {
     }
 }
 
+/// Identifier of an e-node in the arena.
+///
+/// Node ids are dense indices into the append-only node arena: the id
+/// is assigned at [`EGraph::add_node`] time and never moves or goes
+/// away (merged-away duplicates simply stop being referenced by class
+/// node lists). Resolve one with [`EGraph::node_op`] /
+/// [`EGraph::node_children`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Dense index into the node arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of an interned child slice in the shared pool.
+///
+/// Slices are content-addressed: two nodes whose (canonicalized) child
+/// lists are identical share one `SliceId`, so slice-id equality is
+/// structural equality of child lists. This is what lets the hashcons
+/// memo key on the compact `(Op, SliceId)` form.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SliceId(u32);
+
+impl SliceId {
+    /// Dense index into the slice pool's span table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for SliceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// FNV-1a over the raw class ids of a child list, used to bucket the
+/// slice pool's dedup index. Collisions are resolved by content
+/// comparison, so the hash only needs to be fast and deterministic.
+fn hash_children(children: &[ClassId]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for c in children {
+        h ^= u64::from(c.0);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Shared, append-only pool of interned child lists. Each distinct
+/// (by content) child list is stored once in `data` and named by a
+/// `SliceId` indexing the `(offset, len)` span table.
+#[derive(Clone, Default, Debug)]
+struct SlicePool {
+    /// Flat storage for every interned child list, back to back.
+    data: Vec<ClassId>,
+    /// `(offset, len)` into `data`, indexed by `SliceId`.
+    spans: Vec<(u32, u32)>,
+    /// Content hash → slice ids with that hash (collision bucket).
+    dedup: HashMap<u64, Vec<SliceId>>,
+}
+
+impl SlicePool {
+    fn get(&self, id: SliceId) -> &[ClassId] {
+        let (off, len) = self.spans[id.index()];
+        &self.data[off as usize..off as usize + len as usize]
+    }
+
+    /// Read-only content lookup: the id of an already-interned list.
+    fn lookup(&self, children: &[ClassId]) -> Option<SliceId> {
+        let bucket = self.dedup.get(&hash_children(children))?;
+        bucket.iter().copied().find(|&id| self.get(id) == children)
+    }
+
+    /// Interns a child list, returning the shared id for its content.
+    fn intern(&mut self, children: &[ClassId]) -> SliceId {
+        let h = hash_children(children);
+        if let Some(bucket) = self.dedup.get(&h) {
+            if let Some(&id) = bucket.iter().find(|&&id| self.get(id) == children) {
+                return id;
+            }
+        }
+        let off = u32::try_from(self.data.len()).expect("slice pool data overflow");
+        let len = u32::try_from(children.len()).expect("child list too long");
+        self.data.extend_from_slice(children);
+        let id = SliceId(u32::try_from(self.spans.len()).expect("slice pool span overflow"));
+        self.spans.push((off, len));
+        self.dedup.entry(h).or_default().push(id);
+        id
+    }
+}
+
 /// A literal for recorded clauses: an equality or distinction between
 /// classes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -132,10 +232,12 @@ impl std::error::Error for EGraphError {}
 
 #[derive(Clone, Default, Debug)]
 struct EClass {
-    nodes: Vec<ENode>,
-    /// Parent e-nodes (as inserted, possibly stale) and the class each
-    /// parent node belongs to.
-    parents: Vec<(ENode, ClassId)>,
+    /// Arena ids of the e-nodes in this class (first-seen order;
+    /// congruent duplicates are dropped by rebuild's dedupe pass).
+    nodes: Vec<NodeId>,
+    /// Parent arena nodes and the class each parent node belongs(ed)
+    /// to. Stored class ids may be stale; readers canonicalize.
+    parents: Vec<(NodeId, ClassId)>,
     /// Known constant value of every term in this class.
     constant: Option<u64>,
 }
@@ -207,12 +309,97 @@ impl OpCounts {
     }
 }
 
+/// Memory accounting for the arena/SoA e-graph storage, from
+/// [`EGraph::memory_stats`].
+///
+/// All byte counts are payload bytes (lengths × element sizes, not
+/// allocator capacities), so they are deterministic for a given graph
+/// shape and safe to surface in traces. `legacy_bytes` models what the
+/// pre-arena layout — owned `ENode` clones in class node lists, parent
+/// entries, and memo keys, each with its own heap child vector — would
+/// need for the same graph, measured from the same shape.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Arena e-nodes (one per canonical node ever created).
+    pub nodes: u64,
+    /// Live equivalence classes.
+    pub classes: u64,
+    /// Bytes in the node arena (`Vec<Op>` + `Vec<SliceId>`).
+    pub arena_bytes: u64,
+    /// Bytes in the interned child-slice pool (flat data + span table).
+    pub slice_bytes: u64,
+    /// Distinct interned child slices.
+    pub slice_entries: u64,
+    /// Child-list references into the pool (one per arena node).
+    pub slice_refs: u64,
+    /// Bytes the referenced child lists would occupy if every node
+    /// owned its own copy (the numerator of [`MemoryStats::dedup_ratio`]).
+    pub shared_child_bytes: u64,
+    /// Bytes in per-class node lists and parent indexes.
+    pub class_bytes: u64,
+    /// Bytes in the hashcons memo (key + value payload).
+    pub memo_bytes: u64,
+    /// Total payload bytes across arena, pool, classes, and memo.
+    pub total_bytes: u64,
+    /// Payload bytes the pre-arena layout would need for this graph.
+    pub legacy_bytes: u64,
+}
+
+impl MemoryStats {
+    /// Payload bytes per arena node in the current layout.
+    pub fn bytes_per_node(&self) -> f64 {
+        if self.nodes == 0 {
+            return 0.0;
+        }
+        self.total_bytes as f64 / self.nodes as f64
+    }
+
+    /// Payload bytes per node the pre-arena layout would need.
+    pub fn legacy_bytes_per_node(&self) -> f64 {
+        if self.nodes == 0 {
+            return 0.0;
+        }
+        self.legacy_bytes as f64 / self.nodes as f64
+    }
+
+    /// How much interning shares child lists: slice references per
+    /// distinct interned slice (≥ 1; higher is more sharing).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.slice_entries == 0 {
+            return 1.0;
+        }
+        self.slice_refs as f64 / self.slice_entries as f64
+    }
+
+    /// Bytes-per-node reduction versus the pre-arena layout (×).
+    pub fn reduction(&self) -> f64 {
+        if self.total_bytes == 0 {
+            return 1.0;
+        }
+        self.legacy_bytes as f64 / self.total_bytes as f64
+    }
+}
+
 /// The E-graph. See the [crate docs](crate) for an overview and example.
 #[derive(Clone, Default, Debug)]
 pub struct EGraph {
     uf: Vec<u32>,
     classes: HashMap<ClassId, EClass>,
-    memo: HashMap<ENode, ClassId>,
+    /// Node arena, structure-of-arrays: `node_ops[i]` and
+    /// `node_slices[i]` describe the e-node `NodeId(i)`. Append-only;
+    /// `node_slices` entries are re-pointed at canonical slices during
+    /// congruence repair (the op never changes).
+    node_ops: Vec<Op>,
+    node_slices: Vec<SliceId>,
+    /// Interned child lists shared by arena nodes and memo keys.
+    pool: SlicePool,
+    /// Hashcons memo on the compact interned form. Slice interning is
+    /// content-addressed, so `(Op, SliceId)` equality is structural
+    /// node equality and no owned key is ever built.
+    memo: HashMap<(Op, SliceId), ClassId>,
+    /// Scratch buffer reused by canonicalization in `&mut self` paths,
+    /// so a hashcons hit allocates nothing.
+    scratch: Vec<ClassId>,
     /// Canonical ids of constant classes, for eager folding.
     constants: HashMap<u64, ClassId>,
     /// Classes whose parents need congruence repair.
@@ -221,8 +408,6 @@ pub struct EGraph {
     uncombinable: HashSet<(ClassId, ClassId)>,
     /// Recorded clauses awaiting literal deletion / unit assertion.
     clauses: Vec<Vec<EqLiteral>>,
-    /// Total number of e-node insertions (distinct canonical nodes).
-    node_count: usize,
     /// Operator index: symbol → classes that (at insertion time) held a
     /// node with that head. Entries may be stale; readers canonicalize.
     op_index: HashMap<Symbol, Vec<ClassId>>,
@@ -262,7 +447,7 @@ impl EGraph {
 
     /// Number of (canonical) e-nodes ever added.
     pub fn num_nodes(&self) -> usize {
-        self.node_count
+        self.node_ops.len()
     }
 
     /// Caps the number of class ids this e-graph may ever allocate
@@ -324,11 +509,33 @@ impl EGraph {
         root
     }
 
-    fn canonicalize(&self, node: &ENode) -> ENode {
-        ENode {
-            op: node.op,
-            children: node.children.iter().map(|&c| self.find(c)).collect(),
-        }
+    /// Canonicalizes `children` into the shared scratch buffer. The
+    /// caller takes ownership of the buffer and must hand it back by
+    /// assigning `self.scratch` when done (so the allocation is reused
+    /// across calls instead of freed).
+    fn canonical_scratch(&mut self, children: &[ClassId]) -> Vec<ClassId> {
+        let mut buf = std::mem::take(&mut self.scratch);
+        buf.clear();
+        buf.extend(children.iter().map(|&c| self.find(c)));
+        buf
+    }
+
+    /// Re-canonicalizes an arena node's child slice in place, interning
+    /// the canonical content and re-pointing `node_slices[id]` at it.
+    /// Returns the canonical slice id.
+    fn canonicalize_slice(&mut self, id: NodeId) -> SliceId {
+        let mut buf = std::mem::take(&mut self.scratch);
+        buf.clear();
+        buf.extend(
+            self.pool
+                .get(self.node_slices[id.index()])
+                .iter()
+                .map(|&c| self.find(c)),
+        );
+        let slice = self.pool.intern(&buf);
+        self.scratch = buf;
+        self.node_slices[id.index()] = slice;
+        slice
     }
 
     /// Adds an e-node (children given as classes), returning its class.
@@ -345,32 +552,47 @@ impl EGraph {
     /// only genuinely new nodes consume capacity.
     pub fn add_node(&mut self, op: Op, children: Vec<ClassId>) -> Result<ClassId, EGraphError> {
         self.counts.adds += 1;
-        let node = self.canonicalize(&ENode::new(op, children));
-        if let Some(&existing) = self.memo.get(&node) {
-            self.counts.hits += 1;
-            return Ok(self.find(existing));
+        let buf = self.canonical_scratch(&children);
+        // Hit path: slice interning is content-addressed, so if the
+        // canonical child list is interned and `(op, slice)` is
+        // memoized, the node already exists. Nothing is allocated.
+        if let Some(slice) = self.pool.lookup(&buf) {
+            if let Some(&existing) = self.memo.get(&(op, slice)) {
+                self.counts.hits += 1;
+                self.scratch = buf;
+                return Ok(self.find(existing));
+            }
         }
         if self.class_capacity != 0 && self.uf.len() >= self.class_capacity {
+            self.scratch = buf;
             return Err(EGraphError::too_many_classes(self.class_capacity));
         }
         self.counts.new_nodes += 1;
-        let id = ClassId(
-            u32::try_from(self.uf.len())
-                .map_err(|_| EGraphError::too_many_classes(u32::MAX as usize))?,
-        );
+        let id = match u32::try_from(self.uf.len()) {
+            Ok(raw) => ClassId(raw),
+            Err(_) => {
+                self.scratch = buf;
+                return Err(EGraphError::too_many_classes(u32::MAX as usize));
+            }
+        };
         self.uf.push(id.0);
-        let constant = self.node_constant(&node);
-        for &child in &node.children {
+        let slice = self.pool.intern(&buf);
+        let nid = NodeId(u32::try_from(self.node_ops.len()).expect("arena bounded by class ids"));
+        self.node_ops.push(op);
+        self.node_slices.push(slice);
+        let constant = self.node_constant(op, &buf);
+        for &child in &buf {
             self.classes
                 .get_mut(&child)
                 .expect("canonical child class")
                 .parents
-                .push((node.clone(), id));
+                .push((nid, id));
         }
+        self.scratch = buf;
         self.classes.insert(
             id,
             EClass {
-                nodes: vec![node.clone()],
+                nodes: vec![nid],
                 parents: Vec::new(),
                 constant,
             },
@@ -378,8 +600,7 @@ impl EGraph {
         if let Op::Sym(sym) = op {
             self.op_index.entry(sym).or_default().push(id);
         }
-        self.memo.insert(node, id);
-        self.node_count += 1;
+        self.memo.insert((op, slice), id);
         self.journal_class(id);
         // Register / fold constants.
         if let Some(value) = constant {
@@ -404,18 +625,17 @@ impl EGraph {
         Ok(self.find(id))
     }
 
-    fn node_constant(&self, node: &ENode) -> Option<u64> {
-        match node.op {
+    fn node_constant(&self, op: Op, children: &[ClassId]) -> Option<u64> {
+        match op {
             Op::Const(c) => Some(c),
             Op::Var(_) => None,
             Op::Sym(sym) => {
-                if node.children.is_empty() {
+                if children.is_empty() {
                     return None;
                 }
-                let args: Option<Vec<u64>> = node
-                    .children
+                let args: Option<Vec<u64>> = children
                     .iter()
-                    .map(|&c| self.classes.get(&c).and_then(|cl| cl.constant))
+                    .map(|&c| self.classes.get(&self.find(c)).and_then(|cl| cl.constant))
                     .collect();
                 ops::eval(sym, &args?)
             }
@@ -477,8 +697,11 @@ impl EGraph {
             .iter()
             .map(|a| self.lookup_term(a))
             .collect::<Option<Vec<_>>>()?;
-        let node = self.canonicalize(&ENode::new(term.op(), children));
-        self.memo.get(&node).map(|&c| self.find(c))
+        // The recursive lookups return canonical ids, so the child list
+        // is already canonical; a memoized node must have its content
+        // interned, so a pool miss is a memo miss.
+        let slice = self.pool.lookup(&children)?;
+        self.memo.get(&(term.op(), slice)).map(|&c| self.find(c))
     }
 
     /// Merges two classes.
@@ -627,19 +850,22 @@ impl EGraph {
         let Some(class) = self.classes.get(&id) else {
             return out;
         };
-        for node in &class.nodes {
-            let Some(sym) = node.sym() else { continue };
+        for &nid in &class.nodes {
+            let Some(sym) = self.node_ops[nid.index()].as_sym() else {
+                continue;
+            };
             let name = sym.as_str();
             let negate = match name {
                 "add64" | "addq" => false,
                 "sub64" | "subq" => true,
                 _ => continue,
             };
-            if node.children.len() != 2 {
+            let children = self.pool.get(self.node_slices[nid.index()]);
+            if children.len() != 2 {
                 continue;
             }
-            let lhs = self.find(node.children[0]);
-            let rhs = self.find(node.children[1]);
+            let lhs = self.find(children[0]);
+            let rhs = self.find(children[1]);
             if let Some(c) = self.constant(rhs) {
                 let off = if negate { c.wrapping_neg() } else { c };
                 out.push((lhs, off));
@@ -682,29 +908,33 @@ impl EGraph {
                 // the union order on the *next* repair of this class.
                 // A plain HashMap here leaks hash-seed nondeterminism
                 // into node-list order.
-                let mut new_parents: Vec<(ENode, ClassId)> = Vec::new();
-                let mut parent_index: HashMap<ENode, usize> = HashMap::new();
-                for (node, node_class) in parents {
-                    self.memo.remove(&node);
-                    let canon = self.canonicalize(&node);
+                let mut new_parents: Vec<(NodeId, ClassId)> = Vec::new();
+                let mut parent_index: HashMap<(Op, SliceId), usize> = HashMap::new();
+                for (nid, node_class) in parents {
+                    let op = self.node_ops[nid.index()];
+                    // The memo entry for this node (if this node's key
+                    // still owns one) is keyed by its current slice:
+                    // every memo insert below re-points the slice first.
+                    self.memo.remove(&(op, self.node_slices[nid.index()]));
+                    let key = (op, self.canonicalize_slice(nid));
                     let node_class = self.find(node_class);
-                    if let Some(&i) = parent_index.get(&canon) {
+                    if let Some(&i) = parent_index.get(&key) {
                         self.union(new_parents[i].1, node_class)?;
                     }
                     let node_class = self.find(node_class);
-                    if let Some(&memo_class) = self.memo.get(&canon) {
+                    if let Some(&memo_class) = self.memo.get(&key) {
                         let memo_class = self.find(memo_class);
                         if memo_class != node_class {
                             self.union(memo_class, node_class)?;
                         }
                     }
                     let node_class = self.find(node_class);
-                    self.memo.insert(canon.clone(), node_class);
-                    match parent_index.get(&canon) {
+                    self.memo.insert(key, node_class);
+                    match parent_index.get(&key) {
                         Some(&i) => new_parents[i].1 = node_class,
                         None => {
-                            parent_index.insert(canon.clone(), new_parents.len());
-                            new_parents.push((canon, node_class));
+                            parent_index.insert(key, new_parents.len());
+                            new_parents.push((nid, node_class));
                         }
                     }
                     // Constant propagation: the child's merge may have
@@ -716,19 +946,26 @@ impl EGraph {
                     class.parents.extend(new_parents);
                 }
             }
-            // Canonicalize and dedupe the node lists.
+            // Canonicalize the arena slices and dedupe the node lists:
+            // after this pass every stored slice is canonical and no
+            // class lists two nodes with the same `(op, slice)` form.
+            // (Interning is content-addressed, so the set of slices
+            // created here does not depend on the iteration order of
+            // the class map.)
             let ids: Vec<ClassId> = self.classes.keys().copied().collect();
             for id in ids {
                 let Some(class) = self.classes.get(&id) else {
                     continue;
                 };
-                let canon_nodes: Vec<ENode> =
-                    class.nodes.iter().map(|n| self.canonicalize(n)).collect();
+                let node_ids = class.nodes.clone();
                 let mut seen = HashSet::new();
-                let deduped: Vec<ENode> = canon_nodes
-                    .into_iter()
-                    .filter(|n| seen.insert(n.clone()))
-                    .collect();
+                let mut deduped: Vec<NodeId> = Vec::with_capacity(node_ids.len());
+                for nid in node_ids {
+                    let key = (self.node_ops[nid.index()], self.canonicalize_slice(nid));
+                    if seen.insert(key) {
+                        deduped.push(nid);
+                    }
+                }
                 self.classes.get_mut(&id).expect("live class").nodes = deduped;
             }
             if !self.process_clauses()? && self.dirty.is_empty() {
@@ -746,12 +983,14 @@ impl EGraph {
         if self.constant(parent_class).is_some() {
             return Ok(());
         }
-        let nodes: Vec<ENode> = match self.classes.get(&parent_class) {
+        let nodes: Vec<NodeId> = match self.classes.get(&parent_class) {
             Some(c) => c.nodes.clone(),
             None => return Ok(()),
         };
-        for node in nodes {
-            if let Some(value) = self.node_constant(&self.canonicalize(&node)) {
+        for nid in nodes {
+            let op = self.node_ops[nid.index()];
+            let value = self.node_constant(op, self.pool.get(self.node_slices[nid.index()]));
+            if let Some(value) = value {
                 // Record the constant and unify with the literal's class.
                 self.counts.folds += 1;
                 let parent_class = self.find(parent_class);
@@ -905,19 +1144,135 @@ impl EGraph {
         cone
     }
 
-    /// The canonicalized, deduplicated e-nodes of a class.
+    /// The canonicalized, deduplicated e-nodes of a class, materialized
+    /// as owned [`ENode`]s.
+    ///
+    /// This is the convenience view (snapshots, diagnostics, tests);
+    /// hot paths walk the arena through [`EGraph::class_node_ids`] /
+    /// [`EGraph::node_op`] / [`EGraph::node_children`] instead, which
+    /// allocate nothing.
     pub fn nodes(&self, id: ClassId) -> Vec<ENode> {
         let id = self.find(id);
         let Some(class) = self.classes.get(&id) else {
             return Vec::new();
         };
         let mut seen = HashSet::new();
-        class
-            .nodes
-            .iter()
-            .map(|n| self.canonicalize(n))
-            .filter(|n| seen.insert(n.clone()))
-            .collect()
+        let mut out = Vec::new();
+        for &nid in &class.nodes {
+            let node = ENode {
+                op: self.node_ops[nid.index()],
+                children: self
+                    .pool
+                    .get(self.node_slices[nid.index()])
+                    .iter()
+                    .map(|&c| self.find(c))
+                    .collect(),
+            };
+            if seen.insert(node.clone()) {
+                out.push(node);
+            }
+        }
+        out
+    }
+
+    /// The arena ids of the e-nodes stored in a class, in first-seen
+    /// order. After [`EGraph::rebuild`] the list is deduplicated and
+    /// every node's child slice is canonical; between rebuilds it may
+    /// briefly hold congruent duplicates with stale child ids (readers
+    /// pass children through [`EGraph::find`]).
+    pub fn class_node_ids(&self, id: ClassId) -> &[NodeId] {
+        let id = self.find(id);
+        self.classes
+            .get(&id)
+            .map(|c| c.nodes.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The raw parent entries of a class: arena nodes that use this
+    /// class as a child, paired with the class each parent node was in
+    /// when recorded (possibly stale; canonicalize via
+    /// [`EGraph::find`]).
+    pub fn class_parents(&self, id: ClassId) -> &[(NodeId, ClassId)] {
+        let id = self.find(id);
+        self.classes
+            .get(&id)
+            .map(|c| c.parents.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Head operator of an arena node.
+    pub fn node_op(&self, id: NodeId) -> Op {
+        self.node_ops[id.index()]
+    }
+
+    /// Child classes of an arena node, as last canonicalized. Stored
+    /// ids may be stale after unions; pass them through
+    /// [`EGraph::find`] before comparing.
+    pub fn node_children(&self, id: NodeId) -> &[ClassId] {
+        self.pool.get(self.node_slices[id.index()])
+    }
+
+    /// The interned child-slice id of an arena node. Content-addressed:
+    /// after [`EGraph::rebuild`], nodes with identical canonical child
+    /// lists report the same id.
+    pub fn node_slice(&self, id: NodeId) -> SliceId {
+        self.node_slices[id.index()]
+    }
+
+    /// Memory accounting for the arena/SoA storage (payload bytes, not
+    /// allocator capacity, so the numbers are deterministic). See
+    /// docs/INTERNALS.md for the layout these measure.
+    pub fn memory_stats(&self) -> MemoryStats {
+        use std::mem::size_of;
+        let enode_size = size_of::<ENode>() as u64;
+        let child_size = size_of::<ClassId>() as u64;
+        let nodes = self.node_ops.len() as u64;
+        let arena_bytes = nodes * (size_of::<Op>() + size_of::<SliceId>()) as u64;
+        let slice_bytes = (self.pool.data.len() * size_of::<ClassId>()
+            + self.pool.spans.len() * size_of::<(u32, u32)>()) as u64;
+        let mut class_bytes = 0u64;
+        let mut legacy_bytes = 0u64;
+        let mut shared_child_refs = 0u64;
+        for class in self.classes.values() {
+            class_bytes += (class.nodes.len() * size_of::<NodeId>()
+                + class.parents.len() * size_of::<(NodeId, ClassId)>())
+                as u64;
+            // The pre-arena layout stored an owned `ENode` clone per
+            // node-list entry and per parent entry (plus the parent's
+            // class id), each with its own heap-allocated child vector.
+            for &nid in &class.nodes {
+                let c = self.node_children(nid).len() as u64;
+                legacy_bytes += enode_size + c * child_size;
+            }
+            for &(nid, _) in &class.parents {
+                let c = self.node_children(nid).len() as u64;
+                legacy_bytes += enode_size + c * child_size + child_size;
+            }
+        }
+        let memo_bytes =
+            (self.memo.len() * (size_of::<(Op, SliceId)>() + size_of::<ClassId>())) as u64;
+        for &(_, slice) in self.memo.keys() {
+            // ...and an owned `ENode` key (plus the class-id value) per
+            // memo entry.
+            let c = self.pool.get(slice).len() as u64;
+            legacy_bytes += enode_size + c * child_size + child_size;
+        }
+        for &slice in &self.node_slices {
+            shared_child_refs += self.pool.get(slice).len() as u64;
+        }
+        MemoryStats {
+            nodes,
+            classes: self.classes.len() as u64,
+            arena_bytes,
+            slice_bytes,
+            slice_entries: self.pool.spans.len() as u64,
+            slice_refs: nodes,
+            shared_child_bytes: shared_child_refs * child_size,
+            class_bytes,
+            memo_bytes,
+            total_bytes: arena_bytes + slice_bytes + class_bytes + memo_bytes,
+            legacy_bytes,
+        }
     }
 }
 
@@ -1149,6 +1504,27 @@ mod tests {
         let nodes = eg.nodes(fx);
         assert_eq!(nodes.len(), 1);
         assert_eq!(eg.find(fx), eg.find(fy));
+    }
+
+    #[test]
+    fn interned_slices_are_shared_by_content() {
+        let mut eg = EGraph::new();
+        let fxy = eg.add_term(&t("(f x y)")).unwrap();
+        let gxy = eg.add_term(&t("(g x y)")).unwrap();
+        // f(x,y) and g(x,y) have identical child lists, so the arena
+        // nodes share one interned slice (and differ only in op).
+        let f_nid = eg.class_node_ids(fxy)[0];
+        let g_nid = eg.class_node_ids(gxy)[0];
+        assert_eq!(eg.node_slice(f_nid), eg.node_slice(g_nid));
+        assert_ne!(eg.node_op(f_nid), eg.node_op(g_nid));
+        assert_eq!(eg.node_children(f_nid), eg.node_children(g_nid));
+        let mem = eg.memory_stats();
+        assert_eq!(mem.nodes, 4, "x, y, f(x,y), g(x,y)");
+        assert_eq!(mem.slice_refs, 4);
+        // Three distinct slices: [], and one shared [x, y].
+        assert_eq!(mem.slice_entries, 2);
+        assert!(mem.legacy_bytes > mem.total_bytes);
+        assert!(mem.dedup_ratio() > 0.0);
     }
 
     #[test]

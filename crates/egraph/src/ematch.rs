@@ -194,13 +194,20 @@ fn match_class(
             }
         }
         Op::Sym(sym) => {
-            for node in egraph.nodes(class) {
-                if node.op != Op::Sym(sym) || node.children.len() != pattern.args().len() {
+            // Walk the arena directly: no owned `ENode`s are built.
+            // Stored child ids may be stale between rebuilds; the
+            // recursion canonicalizes them through `find`.
+            for &nid in egraph.class_node_ids(class) {
+                if egraph.node_op(nid) != Op::Sym(sym) {
+                    continue;
+                }
+                let children = egraph.node_children(nid);
+                if children.len() != pattern.args().len() {
                     continue;
                 }
                 // Match children left to right, threading substitutions.
                 let mut partial = vec![subst.clone()];
-                for (child_pat, &child_class) in pattern.args().iter().zip(&node.children) {
+                for (child_pat, &child_class) in pattern.args().iter().zip(children) {
                     let mut next = Vec::new();
                     for s in partial {
                         match_class(egraph, child_pat, egraph.find(child_class), s, &mut next);

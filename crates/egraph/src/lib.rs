@@ -47,7 +47,9 @@ mod egraph;
 mod ematch;
 mod ways;
 
-pub use egraph::{ClassId, Delta, EGraph, EGraphError, ENode, EqLiteral, OpCounts};
+pub use egraph::{
+    ClassId, Delta, EGraph, EGraphError, ENode, EqLiteral, MemoryStats, NodeId, OpCounts, SliceId,
+};
 pub use ematch::{
     candidates, ematch, ematch_classes, ematch_delta, ematch_in_class, pattern_depth, Subst,
 };

@@ -35,12 +35,13 @@ impl EGraph {
             return n;
         }
         let mut total = 0u128;
-        for node in self.nodes(class) {
-            if node.children.is_empty() {
+        for &nid in self.class_node_ids(class) {
+            let children = self.node_children(nid);
+            if children.is_empty() {
                 total = total.saturating_add(1);
             } else if depth > 0 {
                 let mut product = 1u128;
-                for &child in &node.children {
+                for &child in children {
                     let ways = self.count_ways_memo(self.find(child), depth - 1, memo);
                     product = product.saturating_mul(ways);
                     if product == 0 {

@@ -334,6 +334,14 @@ impl Server {
                         }
                     }
                 }
+                for mem in result.gmas.iter().map(|c| c.egraph_memory) {
+                    self.stats
+                        .egraph_nodes
+                        .fetch_add(mem.nodes, std::sync::atomic::Ordering::Relaxed);
+                    self.stats
+                        .egraph_bytes
+                        .fetch_add(mem.total_bytes, std::sync::atomic::Ordering::Relaxed);
+                }
                 let gmas: Vec<GmaSummary> = result
                     .gmas
                     .iter()

@@ -50,6 +50,13 @@ pub struct Stats {
     /// Portfolio races won by a non-default lane (configuration index
     /// greater than zero).
     pub portfolio_alt_wins: AtomicU64,
+    /// E-graph arena nodes saturated across all executions (cumulative
+    /// over the GMAs of every non-cached compile).
+    pub egraph_nodes: AtomicU64,
+    /// E-graph storage payload bytes across all executions (arena +
+    /// interned slices + class lists + memo; cumulative like
+    /// `egraph_nodes`, so bytes ÷ nodes is a fleet-wide bytes/node).
+    pub egraph_bytes: AtomicU64,
     /// When the server was started.
     pub started: Instant,
 }
@@ -71,6 +78,8 @@ impl Default for Stats {
             worker_panics: AtomicU64::new(0),
             portfolio_races: AtomicU64::new(0),
             portfolio_alt_wins: AtomicU64::new(0),
+            egraph_nodes: AtomicU64::new(0),
+            egraph_bytes: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -106,6 +115,7 @@ impl Stats {
                 "\"worker_panics\":{},",
                 "\"queue_depth\":{},",
                 "\"portfolio\":{{\"races\":{},\"alt_wins\":{}}},",
+                "\"egraph\":{{\"nodes\":{},\"bytes\":{},\"bytes_per_node\":{}}},",
                 "\"coalesce\":{{\"coalesced\":{},\"expired\":{},\"promotions\":{},",
                 "\"inflight\":{},\"waiting\":{}}},",
                 "\"cache\":{{\"hits\":{},\"misses\":{},\"disk_hits\":{},\"disk_invalid\":{},",
@@ -124,6 +134,11 @@ impl Stats {
             queue_depth,
             load(&self.portfolio_races),
             load(&self.portfolio_alt_wins),
+            load(&self.egraph_nodes),
+            load(&self.egraph_bytes),
+            load(&self.egraph_bytes)
+                .checked_div(load(&self.egraph_nodes))
+                .unwrap_or(0),
             load(&self.coalesced),
             load(&self.coalesced_expired),
             load(&self.promotions),
@@ -156,6 +171,8 @@ mod tests {
         Stats::bump(&stats.portfolio_races);
         Stats::bump(&stats.portfolio_races);
         Stats::bump(&stats.portfolio_alt_wins);
+        stats.egraph_nodes.fetch_add(10, Ordering::Relaxed);
+        stats.egraph_bytes.fetch_add(720, Ordering::Relaxed);
         let cache = CacheSnapshot {
             hits: 3,
             misses: 1,
@@ -177,6 +194,13 @@ mod tests {
         let portfolio = v.get("portfolio").unwrap();
         assert_eq!(portfolio.get("races").and_then(Json::as_u64), Some(2));
         assert_eq!(portfolio.get("alt_wins").and_then(Json::as_u64), Some(1));
+        let egraph = v.get("egraph").unwrap();
+        assert_eq!(egraph.get("nodes").and_then(Json::as_u64), Some(10));
+        assert_eq!(egraph.get("bytes").and_then(Json::as_u64), Some(720));
+        assert_eq!(
+            egraph.get("bytes_per_node").and_then(Json::as_u64),
+            Some(72)
+        );
         assert_eq!(v.get("shutdown_rejections").and_then(Json::as_u64), Some(0));
         let compiles = v.get("compiles").unwrap();
         assert_eq!(compiles.get("ok").and_then(Json::as_u64), Some(1));
