@@ -164,6 +164,12 @@ struct Leg {
     p50_ms: f64,
     p95_ms: f64,
     p99_ms: f64,
+    /// This leg's delta of the server's own `total`-stage histogram
+    /// (admission to response) — the self-reported side of the
+    /// cross-validation.
+    server_p50_ms: f64,
+    server_p95_ms: f64,
+    server_p99_ms: f64,
     delta: Counters,
 }
 
@@ -190,6 +196,7 @@ fn finish_leg(
     outcomes: Vec<(String, Duration)>,
     before: Counters,
     after: Counters,
+    histogram: &denali_metrics::HistogramSnapshot,
 ) -> Leg {
     let mut ms: Vec<f64> = outcomes
         .iter()
@@ -206,6 +213,9 @@ fn finish_leg(
         p50_ms: percentile(&ms, 0.50),
         p95_ms: percentile(&ms, 0.95),
         p99_ms: percentile(&ms, 0.99),
+        server_p50_ms: histogram.quantile(0.50) as f64 / 1e3,
+        server_p95_ms: histogram.quantile(0.95) as f64 / 1e3,
+        server_p99_ms: histogram.quantile(0.99) as f64 / 1e3,
         delta: Counters {
             executions: after.executions - before.executions,
             coalesced: after.coalesced - before.coalesced,
@@ -215,11 +225,36 @@ fn finish_leg(
     }
 }
 
+/// External (client-measured, scheduled-arrival-to-response) vs
+/// self-reported (server histogram, admission-to-response) quantile
+/// agreement. The external side includes connect time and one bucket of
+/// histogram rounding, so the bracket is one log-linear bucket
+/// ([`denali_metrics::RESOLUTION`]) on each side plus a fixed connect
+/// allowance.
+fn quantiles_bracket(external_ms: f64, server_ms: f64) -> bool {
+    const CONNECT_SLACK_MS: f64 = 3.0;
+    let tolerance =
+        2.0 * denali_metrics::RESOLUTION * external_ms.max(server_ms) + CONNECT_SLACK_MS;
+    (external_ms - server_ms).abs() <= tolerance
+}
+
+/// The one-sided half of [`quantiles_bracket`]: the server must never
+/// self-report *slower* than its clients actually observed. This is the
+/// only bound that is physical on the stampede leg — a barrier-released
+/// herd deliberately saturates the accept/read path, and that
+/// pre-admission queueing is visible to clients but, by definition, not
+/// to an admission-to-response histogram.
+fn server_not_slower(external_ms: f64, server_ms: f64) -> bool {
+    const CONNECT_SLACK_MS: f64 = 3.0;
+    server_ms <= external_ms * (1.0 + 2.0 * denali_metrics::RESOLUTION) + CONNECT_SLACK_MS
+}
+
 /// The mixed leg: 1-in-4 requests draw from a 4-program hot set (so
 /// repeats arrive both while a leader is in flight and after it has
 /// cached), the rest are unique cold compiles.
 fn mixed_leg(server: &Arc<Server>, addr: std::net::SocketAddr, config: &Config) -> Leg {
     let before = counters(server);
+    let histogram_before = server.metrics().stage_total.snapshot();
     let start = Instant::now();
     let period = Duration::from_secs_f64(1.0 / config.rate.max(1e-6));
     let results: Arc<Mutex<Vec<(String, Duration)>>> = Arc::default();
@@ -249,13 +284,19 @@ fn mixed_leg(server: &Arc<Server>, addr: std::net::SocketAddr, config: &Config) 
         handle.join().expect("client thread");
     }
     let outcomes = std::mem::take(&mut *results.lock().unwrap());
-    finish_leg("mixed", outcomes, before, counters(server))
+    let histogram = server
+        .metrics()
+        .stage_total
+        .snapshot()
+        .since(&histogram_before);
+    finish_leg("mixed", outcomes, before, counters(server), &histogram)
 }
 
 /// The stampede leg: K connections release one identical, never-seen
 /// request each at the same instant.
 fn stampede_leg(server: &Arc<Server>, addr: std::net::SocketAddr, config: &Config) -> Leg {
     let before = counters(server);
+    let histogram_before = server.metrics().stage_total.snapshot();
     let line = Arc::new(compile_line("stampede", &source(2_000_000)));
     let barrier = Arc::new(Barrier::new(config.stampede));
     let results: Arc<Mutex<Vec<(String, Duration)>>> = Arc::default();
@@ -293,12 +334,17 @@ fn stampede_leg(server: &Arc<Server>, addr: std::net::SocketAddr, config: &Confi
         handle.join().expect("stampede client");
     }
     let outcomes = std::mem::take(&mut *results.lock().unwrap());
-    finish_leg("stampede", outcomes, before, counters(server))
+    let histogram = server
+        .metrics()
+        .stage_total
+        .snapshot()
+        .since(&histogram_before);
+    finish_leg("stampede", outcomes, before, counters(server), &histogram)
 }
 
 fn render(config: &Config, legs: &[Leg]) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"denali-serve-load-v1\",\n");
+    out.push_str("{\n  \"schema\": \"denali-serve-load-v2\",\n");
     out.push_str(&format!(
         "  \"config\": {{\"requests\": {}, \"rate\": {}, \"stampede\": {}, \"workers\": {}, \"queue\": {}}},\n",
         config.requests, config.rate, config.stampede, config.workers, config.queue
@@ -307,7 +353,9 @@ fn render(config: &Config, legs: &[Leg]) -> String {
     for (i, leg) in legs.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"requests\": {}, \"ok\": {}, \"degraded\": {}, \"errors\": {}, \
-\"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"executions\": {}, \"coalesced\": {}, \
+\"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \
+\"server_p50_ms\": {:.3}, \"server_p95_ms\": {:.3}, \"server_p99_ms\": {:.3}, \
+\"executions\": {}, \"coalesced\": {}, \
 \"coalesce_ratio\": {:.4}, \"cache_hits\": {}, \"shed\": {}, \"shed_rate\": {:.4}}}{}\n",
             leg.name,
             leg.requests,
@@ -317,6 +365,9 @@ fn render(config: &Config, legs: &[Leg]) -> String {
             leg.p50_ms,
             leg.p95_ms,
             leg.p99_ms,
+            leg.server_p50_ms,
+            leg.server_p95_ms,
+            leg.server_p99_ms,
             leg.delta.executions,
             leg.delta.coalesced,
             leg.coalesce_ratio(),
@@ -371,6 +422,10 @@ fn main() {
             leg.delta.hits,
             leg.delta.shed,
         );
+        println!(
+            "{:<9} server-reported                          p50={:>8.2}ms p95={:>8.2}ms p99={:>8.2}ms",
+            leg.name, leg.server_p50_ms, leg.server_p95_ms, leg.server_p99_ms,
+        );
     }
 
     let report = render(&config, &legs);
@@ -389,4 +444,29 @@ fn main() {
         (config.stampede - 1) as u64,
         "every non-leader must be answered by the coalescer or the cache"
     );
+
+    // Cross-validation: the server's self-reported latency histogram
+    // must agree with what the clients actually experienced, on every
+    // leg and at every reported quantile. The open-loop mixed leg gets
+    // the two-sided bracket; the stampede leg (where pre-admission
+    // queueing is client-visible only) gets the one-sided bound.
+    for leg in &legs {
+        for (q, external, server_side) in [
+            ("p50", leg.p50_ms, leg.server_p50_ms),
+            ("p95", leg.p95_ms, leg.server_p95_ms),
+            ("p99", leg.p99_ms, leg.server_p99_ms),
+        ] {
+            let agree = if leg.name == "mixed" {
+                quantiles_bracket(external, server_side)
+            } else {
+                server_not_slower(external, server_side)
+            };
+            assert!(
+                agree,
+                "{} {q}: external {external:.3} ms vs server-reported {server_side:.3} ms \
+                 disagree beyond one histogram bucket + connect slack",
+                leg.name,
+            );
+        }
+    }
 }

@@ -297,6 +297,20 @@ impl Denali {
         }
     }
 
+    /// A pipeline identical to this one but recording into `tracer`
+    /// instead of this façade's own tracer. The server uses this to
+    /// attach a *capture* tracer to individual requests (deterministic
+    /// sampling, slow-request spooling) without turning tracing on
+    /// globally: the sampled request's spans land in the private
+    /// tracer, every other request stays untraced, and the compiled
+    /// output is byte-identical either way (tracing only records).
+    #[must_use]
+    pub fn with_tracer(&self, tracer: Tracer) -> Denali {
+        let mut options = self.options.clone();
+        options.trace = tracer.is_enabled();
+        Denali { options, tracer }
+    }
+
     /// Fails with a `cancelled`-stage error if [`Options::cancel`] has
     /// been raised.
     fn check_cancelled(&self) -> Result<(), CompileError> {
@@ -472,6 +486,11 @@ impl Denali {
         let matched = match_gma_traced(&gma, axioms, &saturation, tracer);
         telemetry.record("match", span.finish());
         let matched = matched.map_err(stage_err("match"))?;
+        // One telemetry entry per saturation round; `Display` collapses
+        // the repeats into one `saturate.round ×N` item.
+        for round in &matched.report.rounds {
+            telemetry.record("saturate.round", round.ms);
+        }
         let egraph_memory = matched.egraph.memory_stats();
         // Delta-matching effectiveness: top-level e-match candidates
         // actually scanned vs. excluded by the dirty-cone filter.
@@ -540,6 +559,21 @@ impl Denali {
             field("refuted_below", outcome.refuted_below),
             field("probes", outcome.probes.len()),
         ]);
+        // Observability only: the process-wide registry sees every
+        // completed compile regardless of caller (CLI, tests, server).
+        // Recording is nanoseconds per event and never part of the
+        // fingerprint or the result.
+        let metrics = pipeline_metrics();
+        metrics.compiles.inc();
+        for round in &matched.report.rounds {
+            metrics.round_us.observe_ms(round.ms);
+        }
+        for probe in &outcome.probes {
+            metrics.solve_us.observe_ms(probe.solve_ms);
+            metrics.encode_us.observe_ms(probe.encode_ms);
+        }
+        metrics.egraph_nodes.set(egraph_memory.nodes);
+        metrics.egraph_bytes.set(egraph_memory.total_bytes);
         let match_ms = telemetry.ms("match");
         let search_ms = telemetry.ms("search");
         Ok(CompiledGma {
@@ -555,4 +589,49 @@ impl Denali {
             egraph_memory,
         })
     }
+}
+
+/// Process-wide pipeline metric handles, resolved once. The handles are
+/// `Arc`s into [`denali_metrics::global`], so the per-compile recording
+/// above never touches the registry lock.
+struct PipelineMetrics {
+    compiles: std::sync::Arc<denali_metrics::Counter>,
+    solve_us: std::sync::Arc<denali_metrics::Histogram>,
+    encode_us: std::sync::Arc<denali_metrics::Histogram>,
+    round_us: std::sync::Arc<denali_metrics::Histogram>,
+    egraph_nodes: std::sync::Arc<denali_metrics::Gauge>,
+    egraph_bytes: std::sync::Arc<denali_metrics::Gauge>,
+}
+
+fn pipeline_metrics() -> &'static PipelineMetrics {
+    static METRICS: std::sync::OnceLock<PipelineMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = denali_metrics::global();
+        PipelineMetrics {
+            compiles: registry.counter(
+                "denali_core_gma_compiles_total",
+                "GMA compilations completed by the pipeline",
+            ),
+            solve_us: registry.histogram(
+                "denali_core_probe_solve_us",
+                "SAT probe solve time (microseconds)",
+            ),
+            encode_us: registry.histogram(
+                "denali_core_probe_encode_us",
+                "SAT probe constraint-generation time (microseconds)",
+            ),
+            round_us: registry.histogram(
+                "denali_core_saturate_round_us",
+                "Saturation round duration (microseconds)",
+            ),
+            egraph_nodes: registry.gauge(
+                "denali_egraph_nodes",
+                "Arena e-nodes of the most recently compiled GMA",
+            ),
+            egraph_bytes: registry.gauge(
+                "denali_egraph_bytes",
+                "E-graph storage payload bytes of the most recently compiled GMA",
+            ),
+        }
+    })
 }

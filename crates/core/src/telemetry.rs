@@ -117,14 +117,32 @@ impl Telemetry {
 }
 
 impl fmt::Display for Telemetry {
+    /// Renders phases in first-occurrence order, collapsing repeated
+    /// names (one entry per saturation round, say) into a single
+    /// `name ×N total_ms` item instead of N near-identical entries.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut first = true;
+        let mut order: Vec<&'static str> = Vec::new();
+        let mut totals: HashMap<&'static str, (usize, f64)> = HashMap::new();
         for phase in &self.phases {
+            let entry = totals.entry(phase.name).or_insert_with(|| {
+                order.push(phase.name);
+                (0, 0.0)
+            });
+            entry.0 += 1;
+            entry.1 += phase.ms;
+        }
+        let mut first = true;
+        for name in order {
+            let (repeats, ms) = totals[name];
             if !first {
                 f.write_str(", ")?;
             }
             first = false;
-            write!(f, "{} {:.1} ms", phase.name, phase.ms)?;
+            if repeats == 1 {
+                write!(f, "{name} {ms:.1} ms")?;
+            } else {
+                write!(f, "{name} ×{repeats} {ms:.1} ms")?;
+            }
         }
         if first {
             f.write_str("(no phases)")?;
@@ -168,6 +186,20 @@ mod tests {
         t.record("match", 12.34);
         t.record("search", 5.0);
         assert_eq!(t.to_string(), "match 12.3 ms, search 5.0 ms");
+    }
+
+    #[test]
+    fn display_collapses_repeated_phase_names() {
+        let mut t = Telemetry::new();
+        t.record("match", 2.0);
+        t.record("saturate.round", 1.25);
+        t.record("saturate.round", 0.75);
+        t.record("saturate.round", 3.0);
+        t.record("search", 4.0);
+        assert_eq!(
+            t.to_string(),
+            "match 2.0 ms, saturate.round ×3 5.0 ms, search 4.0 ms"
+        );
     }
 
     #[test]

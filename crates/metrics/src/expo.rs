@@ -1,0 +1,473 @@
+//! Prometheus text exposition (format 0.0.4): the renderer the
+//! registry uses and a grammar validator for CI.
+//!
+//! CI runs offline — there is no Prometheus binary to scrape the
+//! endpoint and confirm it parses — so [`validate_exposition`] encodes
+//! the subset of the format contract this crate relies on:
+//!
+//! * every line is a `# HELP`/`# TYPE` comment or a well-formed sample
+//!   (`name{label="value",…} value`);
+//! * a family's `TYPE` appears once, before any of its samples;
+//! * no duplicate samples (same name and label set);
+//! * counter samples are finite and non-negative;
+//! * histogram families expose `_bucket`/`_sum`/`_count` samples whose
+//!   `le` bounds strictly increase, whose cumulative counts never
+//!   decrease, and whose `+Inf` bucket equals `_count`.
+//!
+//! Histograms render their native `u64` unit (microseconds by
+//! convention, with a `_us` name suffix) as integer `le` bounds —
+//! exact, locale-free, and deterministic. Only non-empty buckets plus
+//! the mandatory `+Inf` are emitted; cumulative counts make any bucket
+//! subset a legal exposition.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use crate::histogram::bucket_bounds;
+use crate::registry::{Family, Metric};
+
+fn sample_name(out: &mut String, name: &str, labels: &str) {
+    out.push_str(name);
+    if !labels.is_empty() {
+        out.push('{');
+        out.push_str(labels);
+        out.push('}');
+    }
+}
+
+/// Renders one family (HELP, TYPE, samples) to `out`.
+pub(crate) fn render_family(out: &mut String, name: &str, family: &Family) {
+    if !family.help.is_empty() {
+        let _ = writeln!(out, "# HELP {name} {}", family.help.replace('\n', " "));
+    }
+    let _ = writeln!(out, "# TYPE {name} {}", family.kind.exposition_name());
+    for (labels, metric) in &family.samples {
+        match metric {
+            Metric::Counter(c) => {
+                sample_name(out, name, labels);
+                let _ = writeln!(out, " {}", c.get());
+            }
+            Metric::Gauge(g) => {
+                sample_name(out, name, labels);
+                let _ = writeln!(out, " {}", g.get());
+            }
+            Metric::Histogram(h) => {
+                let snapshot = h.snapshot();
+                let mut cumulative = 0u64;
+                for (bucket, count) in snapshot.nonzero() {
+                    cumulative += count;
+                    out.push_str(name);
+                    out.push_str("_bucket{");
+                    if !labels.is_empty() {
+                        out.push_str(labels);
+                        out.push(',');
+                    }
+                    let _ = writeln!(out, "le=\"{}\"}} {cumulative}", bucket_bounds(bucket).1);
+                }
+                out.push_str(name);
+                out.push_str("_bucket{");
+                if !labels.is_empty() {
+                    out.push_str(labels);
+                    out.push(',');
+                }
+                let _ = writeln!(out, "le=\"+Inf\"}} {cumulative}");
+                sample_name(out, &format!("{name}_sum"), labels);
+                let _ = writeln!(out, " {}", snapshot.sum);
+                sample_name(out, &format!("{name}_count"), labels);
+                let _ = writeln!(out, " {cumulative}");
+            }
+        }
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// One parsed sample line.
+struct Sample {
+    name: String,
+    /// Label pairs in line order.
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// Parses `name{label="value",…} value [timestamp]`.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name, rest) = match line.find(['{', ' ', '\t']) {
+        Some(i) => (&line[..i], &line[i..]),
+        None => return Err("sample has no value".to_owned()),
+    };
+    if !valid_metric_name(name) {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    let mut labels = Vec::new();
+    let mut rest = rest;
+    if let Some(inner) = rest.strip_prefix('{') {
+        let mut chars = inner.char_indices().peekable();
+        loop {
+            // Label name up to '='.
+            let start = match chars.peek() {
+                Some(&(i, '}')) => {
+                    rest = &inner[i + 1..];
+                    break;
+                }
+                Some(&(i, _)) => i,
+                None => return Err("unterminated label set".to_owned()),
+            };
+            let mut eq = None;
+            for (i, c) in chars.by_ref() {
+                if c == '=' {
+                    eq = Some(i);
+                    break;
+                }
+            }
+            let Some(eq) = eq else {
+                return Err("label without '='".to_owned());
+            };
+            let key = &inner[start..eq];
+            if !valid_label_name(key) {
+                return Err(format!("invalid label name {key:?}"));
+            }
+            match chars.next() {
+                Some((_, '"')) => {}
+                _ => return Err("label value must be quoted".to_owned()),
+            }
+            let mut value = String::new();
+            let mut closed = false;
+            while let Some((_, c)) = chars.next() {
+                match c {
+                    '"' => {
+                        closed = true;
+                        break;
+                    }
+                    '\\' => match chars.next() {
+                        Some((_, '\\')) => value.push('\\'),
+                        Some((_, '"')) => value.push('"'),
+                        Some((_, 'n')) => value.push('\n'),
+                        other => return Err(format!("bad escape {other:?} in label value")),
+                    },
+                    c => value.push(c),
+                }
+            }
+            if !closed {
+                return Err("unterminated label value".to_owned());
+            }
+            labels.push((key.to_owned(), value));
+            match chars.next() {
+                Some((_, ',')) => {}
+                Some((i, '}')) => {
+                    rest = &inner[i + 1..];
+                    break;
+                }
+                other => return Err(format!("expected ',' or '}}' after label, got {other:?}")),
+            }
+        }
+    }
+    let mut parts = rest.split_whitespace();
+    let Some(value) = parts.next() else {
+        return Err("sample has no value".to_owned());
+    };
+    let value = match value {
+        "+Inf" | "Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v
+            .parse::<f64>()
+            .map_err(|_| format!("bad sample value {v:?}"))?,
+    };
+    if let Some(ts) = parts.next() {
+        ts.parse::<i64>()
+            .map_err(|_| format!("bad timestamp {ts:?}"))?;
+    }
+    if parts.next().is_some() {
+        return Err("trailing garbage after sample".to_owned());
+    }
+    let mut seen = BTreeSet::new();
+    for (k, _) in &labels {
+        if !seen.insert(k.clone()) {
+            return Err(format!("duplicate label {k:?}"));
+        }
+    }
+    Ok(Sample {
+        name: name.to_owned(),
+        labels,
+        value,
+    })
+}
+
+/// The family a sample belongs to, given the declared types: histogram
+/// series samples (`_bucket`/`_sum`/`_count`) resolve to their base
+/// family name.
+fn family_of<'a>(name: &'a str, types: &BTreeMap<String, String>) -> Option<(&'a str, &'a str)> {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                return Some((base, suffix));
+            }
+        }
+    }
+    types.get(name).map(|_| (name, ""))
+}
+
+/// Per-histogram-series accumulated evidence, keyed by the label set
+/// minus `le`.
+#[derive(Default)]
+struct Series {
+    buckets: Vec<(f64, f64)>,
+    sum: Option<f64>,
+    count: Option<f64>,
+}
+
+/// Validates a Prometheus text exposition (see the module docs for the
+/// exact contract).
+///
+/// # Errors
+///
+/// Returns `Err` with a line-numbered message on the first violation.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut helped: BTreeSet<String> = BTreeSet::new();
+    let mut sampled: BTreeSet<String> = BTreeSet::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut histograms: BTreeMap<(String, String), Series> = BTreeMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        let at = |e: String| format!("line {}: {e}", idx + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(name), Some(kind), None) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(at("malformed TYPE line".to_owned()));
+            };
+            if !valid_metric_name(name) {
+                return Err(at(format!("invalid metric name {name:?}")));
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(at(format!("unknown metric type {kind:?}")));
+            }
+            if types.insert(name.to_owned(), kind.to_owned()).is_some() {
+                return Err(at(format!("duplicate TYPE for {name}")));
+            }
+            if sampled.contains(name) {
+                return Err(at(format!("TYPE for {name} after its samples")));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let Some(name) = rest.split_whitespace().next() else {
+                return Err(at("malformed HELP line".to_owned()));
+            };
+            if !helped.insert(name.to_owned()) {
+                return Err(at(format!("duplicate HELP for {name}")));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+        let sample = parse_sample(line).map_err(at)?;
+        let Some((base, suffix)) = family_of(&sample.name, &types) else {
+            return Err(at(format!("sample {} has no TYPE", sample.name)));
+        };
+        sampled.insert(base.to_owned());
+        let key = format!("{}|{:?}", sample.name, sample.labels);
+        if !seen.insert(key) {
+            return Err(at(format!("duplicate sample {}", sample.name)));
+        }
+        let kind = types[base].clone();
+        let monotone_ok = sample.value.is_finite() && sample.value >= 0.0;
+        if kind == "counter" && !monotone_ok {
+            return Err(at(format!(
+                "counter {} has non-monotone value {}",
+                sample.name, sample.value
+            )));
+        }
+        if kind == "histogram" {
+            if suffix.is_empty() {
+                return Err(at(format!(
+                    "histogram {base} exposes a bare sample (want _bucket/_sum/_count)"
+                )));
+            }
+            let le = sample.labels.iter().find(|(k, _)| k == "le");
+            let series_labels: Vec<&(String, String)> =
+                sample.labels.iter().filter(|(k, _)| k != "le").collect();
+            let series = histograms
+                .entry((base.to_owned(), format!("{series_labels:?}")))
+                .or_default();
+            match suffix {
+                "_bucket" => {
+                    let Some((_, le)) = le else {
+                        return Err(at(format!("{} is missing its le label", sample.name)));
+                    };
+                    let bound = match le.as_str() {
+                        "+Inf" => f64::INFINITY,
+                        v => v
+                            .parse::<f64>()
+                            .map_err(|_| at(format!("bad le bound {v:?}")))?,
+                    };
+                    series.buckets.push((bound, sample.value));
+                }
+                _ => {
+                    if le.is_some() {
+                        return Err(at(format!("{} must not carry le", sample.name)));
+                    }
+                    let slot = if suffix == "_sum" {
+                        &mut series.sum
+                    } else {
+                        &mut series.count
+                    };
+                    *slot = Some(sample.value);
+                }
+            }
+        }
+    }
+    for ((name, labels), series) in &histograms {
+        let at = |e: String| format!("histogram {name}{labels}: {e}");
+        let mut last_bound = f64::NEG_INFINITY;
+        let mut last_cum = 0.0f64;
+        for &(bound, cum) in &series.buckets {
+            if bound <= last_bound {
+                return Err(at(format!("le bounds not increasing at {bound}")));
+            }
+            if cum < last_cum {
+                return Err(at(format!("cumulative count decreases at le={bound}")));
+            }
+            last_bound = bound;
+            last_cum = cum;
+        }
+        match series.buckets.last() {
+            Some(&(bound, cum)) if bound.is_infinite() => {
+                if series.count != Some(cum) {
+                    return Err(at(format!(
+                        "+Inf bucket {cum} disagrees with _count {:?}",
+                        series.count
+                    )));
+                }
+            }
+            _ => return Err(at("missing +Inf bucket".to_owned())),
+        }
+        if series.sum.is_none() {
+            return Err(at("missing _sum".to_owned()));
+        }
+        if series.count.is_none() {
+            return Err(at("missing _count".to_owned()));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter_with("denali_requests_total", &[("outcome", "ok")], "requests")
+            .add(3);
+        r.counter_with("denali_requests_total", &[("outcome", "error")], "requests")
+            .inc();
+        r.gauge("denali_queue_depth", "queued jobs").set(2);
+        let h = r.histogram_with(
+            "denali_stage_us",
+            &[("stage", "total")],
+            "stage latency in microseconds",
+        );
+        for v in [3u64, 3, 17, 900, 40_000] {
+            h.observe(v);
+        }
+        r.histogram("denali_empty_us", "never observed");
+        r
+    }
+
+    #[test]
+    fn rendered_exposition_validates() {
+        let text = sample_registry().render();
+        validate_exposition(&text).unwrap();
+        assert!(text.contains("# TYPE denali_stage_us histogram"));
+        assert!(text.contains("denali_stage_us_bucket{stage=\"total\",le=\"3\"} 2"));
+        assert!(text.contains("denali_stage_us_bucket{stage=\"total\",le=\"+Inf\"} 5"));
+        assert!(text.contains("denali_stage_us_count{stage=\"total\"} 5"));
+        assert!(text.contains("denali_empty_us_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("denali_requests_total{outcome=\"ok\"} 3"));
+    }
+
+    #[test]
+    fn validator_rejects_untyped_samples() {
+        let err = validate_exposition("mystery_metric 4\n").unwrap_err();
+        assert!(err.contains("no TYPE"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_type_after_samples() {
+        let text = "# TYPE a counter\na 1\n# TYPE a gauge\n";
+        let err = validate_exposition(text).unwrap_err();
+        assert!(err.contains("duplicate TYPE"), "{err}");
+        let text = "# TYPE b counter\nb_total 0\n";
+        assert!(validate_exposition(text).is_err(), "b_total is untyped");
+    }
+
+    #[test]
+    fn validator_rejects_duplicate_samples() {
+        let text = "# TYPE a counter\na{x=\"1\"} 1\na{x=\"1\"} 2\n";
+        let err = validate_exposition(text).unwrap_err();
+        assert!(err.contains("duplicate sample"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_negative_counters() {
+        let text = "# TYPE a counter\na -1\n";
+        let err = validate_exposition(text).unwrap_err();
+        assert!(err.contains("non-monotone"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_histogram_violations() {
+        // Cumulative counts decrease.
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n\
+                    h_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5\n";
+        assert!(validate_exposition(text).unwrap_err().contains("decreases"));
+        // +Inf disagrees with _count.
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 4\n";
+        assert!(validate_exposition(text).unwrap_err().contains("disagrees"));
+        // No +Inf bucket at all.
+        let text = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 9\nh_count 5\n";
+        assert!(validate_exposition(text)
+            .unwrap_err()
+            .contains("missing +Inf"));
+    }
+
+    #[test]
+    fn validator_accepts_escaped_labels_and_timestamps() {
+        let text = "# TYPE a gauge\na{msg=\"say \\\"hi\\\"\\n\\\\done\"} 4 1700000000\n";
+        validate_exposition(text).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_malformed_labels() {
+        for bad in [
+            "# TYPE a gauge\na{x=1} 4\n",
+            "# TYPE a gauge\na{x=\"1\"\n",
+            "# TYPE a gauge\na{x=\"1} 4\n",
+            "# TYPE a gauge\na{2x=\"1\"} 4\n",
+            "# TYPE a gauge\na{x=\"1\",x=\"2\"} 4\n",
+        ] {
+            assert!(validate_exposition(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Mergeable log-linear latency histograms (HDR-style bucketing).
+//!
+//! A [`Histogram`] counts `u64` observations (by convention
+//! microseconds — name the metric `*_us`) into a fixed set of
+//! log-linear buckets: values below 16 get one exact bucket each, and
+//! every higher power-of-two octave is split into 16 linear
+//! sub-buckets. Bucket width is therefore at most 1/16 (6.25%) of the
+//! bucket's lower bound, which bounds the error of every quantile
+//! readout.
+//!
+//! Recording is lock-free: one relaxed fetch-add on the bucket, one on
+//! the running sum, and a relaxed fetch-max for the exact maximum.
+//! Relaxed ordering is sound because bucket counts are commutative
+//! tallies — any interleaving of the same multiset of observations
+//! produces the identical bucket vector, which is what the determinism
+//! property tests pin.
+//!
+//! A [`HistogramSnapshot`] is a plain copy of the bucket vector.
+//! Snapshots **merge** by element-wise addition — an associative,
+//! commutative operation — so per-shard histograms can be aggregated in
+//! any grouping without changing any quantile, the property future
+//! sharded serving relies on. Quantiles read out the *upper bound* of
+//! the bucket containing the nearest-rank observation: a deterministic
+//! value from the fixed bucket grid, never an interpolation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// `2^SUB_BITS` linear buckets.
+pub const SUB_BITS: u32 = 4;
+
+/// Buckets per octave.
+const SUBS: usize = 1 << SUB_BITS;
+
+/// Total bucket count: 16 exact unit buckets for values `0..16`, then
+/// 16 sub-buckets for each of the 60 octaves `[16, 32)`, `[32, 64)`, …
+/// up through `u64::MAX`.
+pub const BUCKETS: usize = SUBS + 60 * SUBS;
+
+/// Worst-case relative bucket width: `(upper - lower) / lower` never
+/// exceeds this (readouts are exact up to one bucket).
+pub const RESOLUTION: f64 = 1.0 / SUBS as f64;
+
+/// The bucket index for a value. Total order preserving: `a <= b`
+/// implies `bucket_index(a) <= bucket_index(b)`.
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUBS as u64 {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let group = (shift + 1) as usize;
+    group * SUBS + ((value >> shift) as usize & (SUBS - 1))
+}
+
+/// The inclusive `[lower, upper]` value range of a bucket.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKETS, "bucket index {index} out of range");
+    let group = index / SUBS;
+    let sub = (index % SUBS) as u64;
+    if group == 0 {
+        return (sub, sub);
+    }
+    let shift = (group - 1) as u32;
+    let lower = (SUBS as u64 + sub) << shift;
+    (lower, lower + ((1u64 << shift) - 1))
+}
+
+/// A lock-free log-linear histogram of `u64` observations.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. Lock-free; safe from any thread.
+    pub fn observe(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a millisecond measurement as microseconds (the
+    /// convention for `*_us` latency histograms). Negative and
+    /// non-finite inputs record as 0.
+    pub fn observe_ms(&self, ms: f64) {
+        let us = if ms.is_finite() && ms > 0.0 {
+            (ms * 1e3) as u64
+        } else {
+            0
+        };
+        self.observe(us);
+    }
+
+    /// Copies the current bucket counts. Concurrent observations may or
+    /// may not be included (each observation lands in exactly one
+    /// bucket, so the snapshot is a valid histogram either way; only
+    /// `sum`/`max` can be ahead of the buckets by in-flight updates).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]: the unit snapshots
+/// [`merge`](HistogramSnapshot::merge) and quantile readouts operate
+/// on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    /// Sum of every recorded value.
+    pub sum: u64,
+    /// Exact maximum recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (the merge identity).
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: vec![0; BUCKETS],
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Total number of observations (derived from the buckets, so it is
+    /// always consistent with the quantile readouts).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().fold(0, |a, &b| a.saturating_add(b))
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(|&c| c == 0)
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the **upper bound** of the
+    /// bucket holding the nearest-rank observation — deterministic, on
+    /// the fixed bucket grid, and at most [`RESOLUTION`] above the true
+    /// value. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return bucket_bounds(i).1;
+            }
+        }
+        self.max
+    }
+
+    /// Element-wise sum of two snapshots: the shard-aggregation
+    /// operation. Associative and commutative with
+    /// [`HistogramSnapshot::empty`] as identity, so any merge tree over
+    /// the same shards yields identical buckets (pinned by property
+    /// tests).
+    #[must_use]
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&other.buckets)
+                .map(|(a, b)| a.saturating_add(*b))
+                .collect(),
+            // Saturating: still associative and commutative (the sum of
+            // unsigned values clamps to the same ceiling in any order).
+            sum: self.sum.saturating_add(other.sum),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Element-wise difference from an `earlier` snapshot of the *same*
+    /// histogram: the per-interval view (e.g. one bench leg of a
+    /// monotone server histogram). `sum` subtracts likewise; `max` is
+    /// carried over from `self` (a maximum cannot be un-observed).
+    #[must_use]
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&earlier.buckets)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+        }
+    }
+
+    /// `(bucket_index, count)` for every non-empty bucket, in
+    /// ascending value order (the exposition renderer's input).
+    pub fn nonzero(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn bounds_invert_index_across_the_range() {
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            33,
+            100,
+            1_000,
+            65_535,
+            65_536,
+            1 << 40,
+            (1 << 40) + 12345,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v && v <= hi, "value {v} outside bucket [{lo}, {hi}]");
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_bounds(BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn bucket_width_is_within_resolution() {
+        for i in 16..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert!((hi - lo) as f64 <= lo as f64 * RESOLUTION);
+        }
+    }
+
+    #[test]
+    fn quantiles_read_bucket_upper_bounds() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 100] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.quantile(0.0), 1);
+        assert_eq!(s.quantile(0.5), 3);
+        // 100 lives in [96, 101]; the readout is the upper bound.
+        assert_eq!(s.quantile(1.0), bucket_bounds(bucket_index(100)).1);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.sum, 110);
+    }
+
+    #[test]
+    fn observe_ms_converts_and_clamps() {
+        let h = Histogram::new();
+        h.observe_ms(1.5);
+        h.observe_ms(-3.0);
+        h.observe_ms(f64::NAN);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.max, 1500);
+    }
+
+    #[test]
+    fn since_subtracts_bucketwise() {
+        let h = Histogram::new();
+        h.observe(10);
+        let before = h.snapshot();
+        h.observe(10);
+        h.observe(500);
+        let delta = h.snapshot().since(&before);
+        assert_eq!(delta.count(), 2);
+        assert_eq!(delta.sum, 510);
+    }
+}

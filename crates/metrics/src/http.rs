@@ -1,0 +1,115 @@
+//! A deliberately tiny HTTP/1.0 responder for the `/metrics` endpoint.
+//!
+//! Scrapes are rare (seconds apart) and small (one text body), so this
+//! is the smallest thing that a Prometheus scraper, `curl`, or a CI
+//! `urllib` call will accept: accept a connection, read the request
+//! line, drain headers, answer with `Content-Length` and
+//! `Connection: close`, close. Connections are handled sequentially
+//! with read/write timeouts — a stalled scraper delays the next scrape
+//! by at most the timeout, and can never wedge the server (the
+//! responder runs on its own thread, never on a request path).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+/// Per-connection read/write timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Serves `GET /metrics` (and `GET /`) forever, answering each request
+/// with the text produced by `render` at scrape time. Accept errors are
+/// transient (a client vanishing mid-handshake) and skipped; the loop
+/// only returns if the listener itself dies.
+///
+/// # Errors
+///
+/// Never returns `Ok`; returns the listener's fatal I/O error.
+pub fn serve_exposition(
+    listener: &TcpListener,
+    render: impl Fn() -> String,
+) -> std::io::Result<()> {
+    loop {
+        let (mut stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionAborted => continue,
+            Err(e) => return Err(e),
+        };
+        // A misbehaving client only costs its own response.
+        let _ = answer(&mut stream, &render);
+    }
+}
+
+fn answer(stream: &mut TcpStream, render: &impl Fn() -> String) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers (bounded — this endpoint needs none of them).
+    let mut header = String::new();
+    for _ in 0..100 {
+        header.clear();
+        if reader.read_line(&mut header)? == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, body) = if method != "GET" {
+        ("405 Method Not Allowed", "method not allowed\n".to_owned())
+    } else if path == "/metrics" || path == "/" {
+        ("200 OK", render())
+    } else {
+        (
+            "404 Not Found",
+            "not found; metrics are at /metrics\n".to_owned(),
+        )
+    };
+    write!(
+        stream,
+        "HTTP/1.0 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn roundtrip(request: &str) -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            answer(&mut stream, &|| "# TYPE up gauge\nup 1\n".to_owned()).unwrap();
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        client.read_to_string(&mut response).unwrap();
+        server.join().unwrap();
+        response
+    }
+
+    #[test]
+    fn serves_metrics_with_content_length() {
+        let response = roundtrip("GET /metrics HTTP/1.0\r\nHost: x\r\nAccept: */*\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "{response}");
+        let body = "# TYPE up gauge\nup 1\n";
+        assert!(response.contains(&format!("Content-Length: {}\r\n", body.len())));
+        assert!(response.ends_with(body));
+    }
+
+    #[test]
+    fn unknown_paths_get_404_and_posts_get_405() {
+        assert!(roundtrip("GET /nope HTTP/1.0\r\n\r\n").starts_with("HTTP/1.0 404"));
+        assert!(roundtrip("POST /metrics HTTP/1.0\r\n\r\n").starts_with("HTTP/1.0 405"));
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Zero-dependency metrics for the Denali pipeline and server.
+//!
+//! Denali's product claim is latency under a budget, so its latency
+//! distribution is a first-class output, not a side channel. This crate
+//! is the substrate every layer reports through:
+//!
+//! * **Lock-free primitives** — [`Counter`] and [`Gauge`] are relaxed
+//!   atomics; [`Histogram`] is a log-linear (HDR-style) bucket vector
+//!   with relaxed-atomic increments, an exact tracked maximum, and
+//!   deterministic bucket-boundary quantile readout. Histogram
+//!   snapshots [`merge`](HistogramSnapshot::merge) associatively and
+//!   commutatively — the aggregation property sharded serving needs.
+//! * **A registry** — [`Registry`] names families (with label sets)
+//!   and renders them in the Prometheus text exposition format, always
+//!   in one deterministic order. [`global`] is the process-wide
+//!   registry the core pipeline records into; scopes that must not
+//!   share state (one server per test process) build their own.
+//! * **Exposure** — [`serve_exposition`] answers `GET /metrics` over a
+//!   minimal in-repo HTTP/1.0 responder, and [`validate_exposition`]
+//!   checks the format contract offline (CI has no Prometheus binary
+//!   to parse the output with).
+//!
+//! Recording is always on and costs nanoseconds per event (no locks,
+//! no allocation); determinism tests elsewhere in the workspace pin
+//! that enabling none/all of the exposure paths never changes compiler
+//! output.
+
+mod expo;
+mod histogram;
+mod http;
+mod registry;
+
+pub use expo::validate_exposition;
+pub use histogram::{
+    bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKETS, RESOLUTION, SUB_BITS,
+};
+pub use http::serve_exposition;
+pub use registry::{global, Counter, Gauge, Registry};

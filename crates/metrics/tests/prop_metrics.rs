@@ -1,0 +1,141 @@
+//! Property tests for the histogram substrate: the determinism and
+//! algebra claims the metrics layer makes (`DENALI_PROP_SEED` replays
+//! a failing case; see `denali-prng`).
+
+use denali_metrics::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, RESOLUTION};
+use denali_prng::{forall, Rng};
+
+/// Draws a value spread across the full dynamic range (uniform draws
+/// alone would almost never exercise the small exact buckets).
+fn arbitrary_value(rng: &mut Rng) -> u64 {
+    let bits = rng.below(64) as u32;
+    if bits == 0 {
+        0
+    } else {
+        rng.below(1u64 << (bits - 1)) * 2 + rng.below(2)
+    }
+}
+
+#[test]
+fn bucket_index_is_monotone_and_bounds_invert_it() {
+    forall("metrics.bucket_roundtrip", 2000, |rng| {
+        let v = arbitrary_value(rng);
+        let i = bucket_index(v);
+        let (lo, hi) = bucket_bounds(i);
+        assert!(lo <= v && v <= hi, "{v} outside its bucket [{lo}, {hi}]");
+        let w = arbitrary_value(rng);
+        if v <= w {
+            assert!(
+                bucket_index(v) <= bucket_index(w),
+                "index order for {v} <= {w}"
+            );
+        }
+    });
+}
+
+#[test]
+fn histograms_are_insertion_order_independent() {
+    forall("metrics.order_independence", 200, |rng| {
+        let n = rng.below_usize(64) + 1;
+        let mut values: Vec<u64> = (0..n).map(|_| arbitrary_value(rng)).collect();
+        let a = Histogram::new();
+        for &v in &values {
+            a.observe(v);
+        }
+        // Shuffle (Fisher–Yates on the same rng) and re-insert.
+        for i in (1..values.len()).rev() {
+            values.swap(i, rng.below_usize(i + 1));
+        }
+        let b = Histogram::new();
+        for &v in &values {
+            b.observe(v);
+        }
+        assert_eq!(a.snapshot(), b.snapshot(), "insert order changed a bucket");
+    });
+}
+
+#[test]
+fn concurrent_recording_matches_serial() {
+    forall("metrics.thread_determinism", 20, |rng| {
+        let n = rng.below_usize(400) + 4;
+        let values: Vec<u64> = (0..n).map(|_| arbitrary_value(rng)).collect();
+        let serial = Histogram::new();
+        for &v in &values {
+            serial.observe(v);
+        }
+        let shared = std::sync::Arc::new(Histogram::new());
+        std::thread::scope(|scope| {
+            for chunk in values.chunks(values.len().div_ceil(4)) {
+                let shared = std::sync::Arc::clone(&shared);
+                scope.spawn(move || {
+                    for &v in chunk {
+                        shared.observe(v);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            serial.snapshot(),
+            shared.snapshot(),
+            "threaded recording diverged from serial"
+        );
+    });
+}
+
+#[test]
+fn merge_is_associative_and_commutative() {
+    forall("metrics.merge_algebra", 200, |rng| {
+        let mut snap = || {
+            let h = Histogram::new();
+            for _ in 0..rng.below(32) {
+                h.observe(arbitrary_value(rng));
+            }
+            h.snapshot()
+        };
+        let (a, b, c) = (snap(), snap(), snap());
+        assert_eq!(a.merge(&b), b.merge(&a), "merge must commute");
+        assert_eq!(
+            a.merge(&b).merge(&c),
+            a.merge(&b.merge(&c)),
+            "merge must associate"
+        );
+        assert_eq!(
+            a.merge(&HistogramSnapshot::empty()),
+            a,
+            "empty must be the merge identity"
+        );
+        assert_eq!(a.merge(&b).count(), a.count() + b.count());
+    });
+}
+
+#[test]
+fn quantiles_are_monotone_and_within_resolution() {
+    forall("metrics.quantile_bounds", 200, |rng| {
+        let n = rng.below_usize(100) + 1;
+        let mut values: Vec<u64> = (0..n).map(|_| arbitrary_value(rng)).collect();
+        let h = Histogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        values.sort_unstable();
+        let s = h.snapshot();
+        let mut last = 0;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let got = s.quantile(q);
+            assert!(got >= last, "quantile({q}) regressed: {got} < {last}");
+            last = got;
+            // The readout brackets the exact nearest-rank value from
+            // above, within one bucket's width.
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let exact = values[rank - 1];
+            assert!(got >= exact, "quantile({q}) = {got} below exact {exact}");
+            let slack = (exact as f64 * RESOLUTION).ceil() as u64 + 1;
+            assert!(
+                got <= exact.saturating_add(slack),
+                "quantile({q}) = {got} exceeds exact {exact} by more than {slack}"
+            );
+        }
+        assert!(s.quantile(1.0) >= s.max, "p100 covers the max");
+    });
+}

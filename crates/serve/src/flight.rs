@@ -1,0 +1,258 @@
+//! The flight recorder: an always-on bounded ring of per-request
+//! summaries, deterministic trace sampling, and slow-request spooling.
+//!
+//! Three mechanisms, one struct:
+//!
+//! * **Ring** — every finished request pushes one [`FlightEntry`]
+//!   (sequence number, id, outcome, total latency) into a bounded
+//!   deque; the oldest entry falls off. A `flight` protocol request
+//!   reads the ring back, so "what just happened on this server" is
+//!   answerable without logs or tracing having been enabled.
+//! * **Sampling** — `--trace-sample N` attaches a private capture
+//!   tracer to every Nth *execution*, counted deterministically
+//!   (an atomic counter, no RNG, so a replayed request stream samples
+//!   the same requests). The sampled request's full span tree rides in
+//!   its ring entry as rendered trace JSONL.
+//! * **Slow spool** — `--slow-ms T` (with `--spool-dir`) arms capture
+//!   tracing on *every* execution; if the request's total latency ends
+//!   up over `T`, its complete span tree is spooled to
+//!   `spool-dir/slow-<seq>.jsonl` (readable by `denali trace-report`).
+//!   The decision is retroactive — capture is cheap, the write happens
+//!   only for the requests that actually blew the budget — so the trace
+//!   of a latency spike exists even though nobody enabled `--trace`
+//!   before the spike.
+//!
+//! None of this perturbs results: capture tracers only record, and the
+//! ring/spool never feed back into compilation.
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use denali_trace::json;
+
+/// One finished request, as remembered by the ring.
+#[derive(Clone, Debug)]
+pub struct FlightEntry {
+    /// Monotone per-server sequence number (1-based).
+    pub seq: u64,
+    /// The request's id, rendered exactly as in its response.
+    pub id: String,
+    /// Terminal outcome tag (`ok`, `hit`, `degraded`, `error`, ...).
+    pub outcome: String,
+    /// Whether the request was answered by replaying a leader's result.
+    pub coalesced: bool,
+    /// Admission-to-response latency in microseconds.
+    pub total_us: u64,
+    /// Rendered trace JSONL when this request was sampled.
+    pub trace: Option<String>,
+}
+
+/// The recorder; one per server, shared by reference.
+pub struct FlightRecorder {
+    capacity: usize,
+    slow_us: Option<u64>,
+    spool_dir: Option<PathBuf>,
+    sample_every: u64,
+    ring: Mutex<VecDeque<FlightEntry>>,
+    next_seq: AtomicU64,
+    sample_seq: AtomicU64,
+    spool_seq: AtomicU64,
+    spooled: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// Builds a recorder. `slow_ms` and `spool_dir` arm slow-request
+    /// spooling (both are required — a threshold with nowhere to write
+    /// is rejected by the CLI); `sample_every` of 0 disables sampling.
+    pub fn new(
+        capacity: usize,
+        slow_ms: Option<u64>,
+        spool_dir: Option<PathBuf>,
+        sample_every: u64,
+    ) -> FlightRecorder {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            slow_us: slow_ms.map(|ms| ms.saturating_mul(1000)),
+            spool_dir,
+            sample_every,
+            ring: Mutex::new(VecDeque::new()),
+            next_seq: AtomicU64::new(0),
+            sample_seq: AtomicU64::new(0),
+            spool_seq: AtomicU64::new(0),
+            spooled: AtomicU64::new(0),
+        }
+    }
+
+    /// Deterministic 1-in-N sampling: true on the first execution and
+    /// every `sample_every`th after it. Call exactly once per
+    /// execution — the counter *is* the sampling state.
+    pub fn sample_hit(&self) -> bool {
+        if self.sample_every == 0 {
+            return false;
+        }
+        self.sample_seq
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(self.sample_every)
+    }
+
+    /// True when slow-request spooling is configured (capture tracing
+    /// must then run on every execution).
+    pub fn spool_armed(&self) -> bool {
+        self.slow_us.is_some() && self.spool_dir.is_some()
+    }
+
+    /// True when a request of this latency should be spooled.
+    pub fn is_slow(&self, total_us: u64) -> bool {
+        self.spool_armed() && self.slow_us.is_some_and(|t| total_us >= t)
+    }
+
+    /// Writes a captured trace to `spool-dir/slow-<n>.jsonl`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the filesystem error; the caller logs it (a full disk
+    /// must not fail the request that was merely slow).
+    pub fn spool(&self, trace_jsonl: &str) -> std::io::Result<PathBuf> {
+        let dir = self.spool_dir.as_ref().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "no spool directory")
+        })?;
+        let n = self.spool_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let path = dir.join(format!("slow-{n}.jsonl"));
+        std::fs::write(&path, trace_jsonl)?;
+        self.spooled.fetch_add(1, Ordering::Relaxed);
+        Ok(path)
+    }
+
+    /// Traces spooled so far.
+    pub fn spooled(&self) -> u64 {
+        self.spooled.load(Ordering::Relaxed)
+    }
+
+    /// Pushes one finished request, evicting the oldest entry at
+    /// capacity. Returns the entry's sequence number.
+    pub fn record(
+        &self,
+        id: String,
+        outcome: &str,
+        coalesced: bool,
+        total_us: u64,
+        trace: Option<String>,
+    ) -> u64 {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(FlightEntry {
+            seq,
+            id,
+            outcome: outcome.to_owned(),
+            coalesced,
+            total_us,
+            trace,
+        });
+        seq
+    }
+
+    /// The ring's current contents, oldest first.
+    pub fn entries(&self) -> Vec<FlightEntry> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Renders the `flight` response body: the ring, oldest first, each
+    /// entry carrying its sampled trace (as a JSON string of trace
+    /// JSONL) or `null`.
+    pub fn render_body(&self) -> String {
+        let ring = self.ring.lock().unwrap();
+        let mut out = String::from("\"status\":\"ok\",\"flight\":[");
+        for (i, entry) in ring.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"seq\":{},\"id\":{},\"outcome\":\"{}\",\"coalesced\":{},\"total_us\":{},\"trace\":",
+                entry.seq, entry.id, entry.outcome, entry.coalesced, entry.total_us
+            ));
+            match &entry.trace {
+                Some(trace) => json::write_str(&mut out, trace),
+                None => out.push_str("null"),
+            }
+            out.push('}');
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use denali_trace::json::Json;
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let flight = FlightRecorder::new(3, None, None, 0);
+        for i in 0..5u64 {
+            flight.record(i.to_string(), "ok", false, i * 10, None);
+        }
+        let entries = flight.entries();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(
+            entries.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![3, 4, 5],
+            "oldest entries evicted first"
+        );
+    }
+
+    #[test]
+    fn sampling_is_deterministic_one_in_n() {
+        let flight = FlightRecorder::new(8, None, None, 3);
+        let hits: Vec<bool> = (0..9).map(|_| flight.sample_hit()).collect();
+        assert_eq!(
+            hits,
+            vec![true, false, false, true, false, false, true, false, false]
+        );
+        let off = FlightRecorder::new(8, None, None, 0);
+        assert!(!off.sample_hit());
+    }
+
+    #[test]
+    fn slow_threshold_requires_spool_dir() {
+        let no_dir = FlightRecorder::new(8, Some(5), None, 0);
+        assert!(!no_dir.spool_armed());
+        let armed = FlightRecorder::new(8, Some(5), Some(std::env::temp_dir()), 0);
+        assert!(armed.spool_armed());
+        assert!(armed.is_slow(5_000));
+        assert!(!armed.is_slow(4_999));
+    }
+
+    #[test]
+    fn flight_body_is_valid_json_with_traces() {
+        let flight = FlightRecorder::new(8, None, None, 0);
+        flight.record("7".to_owned(), "ok", false, 1234, None);
+        flight.record(
+            "\"r\\\"2\"".to_owned(), // a rendered string id, quotes included
+            "hit",
+            true,
+            5,
+            Some("{\"type\":\"meta\"}\n".to_owned()),
+        );
+        let line = format!("{{{}}}", flight.render_body());
+        let v = denali_trace::json::parse(&line).unwrap();
+        let entries = v.get("flight").and_then(Json::as_arr).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].get("id").and_then(Json::as_u64), Some(7));
+        assert_eq!(entries[0].get("trace"), Some(&Json::Null));
+        assert_eq!(entries[1].get("id").and_then(Json::as_str), Some("r\"2"));
+        assert_eq!(
+            entries[1].get("trace").and_then(Json::as_str),
+            Some("{\"type\":\"meta\"}\n")
+        );
+        assert_eq!(
+            entries[1].get("coalesced").and_then(Json::as_bool),
+            Some(true)
+        );
+    }
+}

@@ -37,18 +37,31 @@
 //!   with the baseline rewrite program tagged `"degraded": true` — the
 //!   client always gets *a* correct program.
 //! * **Stats** ([`stats`]) — a `stats` request exposes request/outcome
-//!   counters, cache hit/miss/eviction gauges, queue depth, and
-//!   uptime. Every request runs under a `serve.request` trace span.
+//!   counters, cache hit/miss/eviction gauges, queue depth, uptime,
+//!   and (schema v2) per-stage/per-outcome latency quantiles. Every
+//!   request runs under a `serve.request` trace span.
+//! * **Metrics** ([`metrics`]) — per-stage (queue, cache, coalesce,
+//!   execute, total) and per-outcome latency histograms plus mirrors of
+//!   every counter, rendered in the Prometheus text exposition format
+//!   for `denali serve --metrics-addr` (see `denali_metrics`).
+//! * **Flight recorder** ([`flight`]) — an always-on bounded ring of
+//!   finished-request summaries (the `flight` request reads it back),
+//!   deterministic 1-in-N trace sampling, and retroactive spooling of
+//!   slow requests' full span trees to disk.
 //!
 //! [`Denali`]: denali_core::Denali
 
 pub mod cache;
 pub mod coalesce;
 pub mod deadline;
+pub mod flight;
+pub mod metrics;
 pub mod pool;
 pub mod protocol;
 pub mod server;
 pub mod stats;
 
 pub use cache::Cache;
+pub use flight::{FlightEntry, FlightRecorder};
+pub use metrics::ServeMetrics;
 pub use server::{serve_listener, serve_stdio, serve_tcp, Server, ServerConfig};

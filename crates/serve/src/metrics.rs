@@ -1,0 +1,364 @@
+//! The server's metric families: per-stage and per-outcome latency
+//! histograms plus Prometheus-mirrored views of the [`Stats`] counters.
+//!
+//! Each [`Server`](crate::Server) owns one [`ServeMetrics`] with its own
+//! [`Registry`] — servers must not share request latency (tests run
+//! several per process) — while the core pipeline's families live in
+//! [`denali_metrics::global`]. [`ServeMetrics::render`] emits both, so
+//! one `GET /metrics` scrape carries the whole picture.
+//!
+//! The histograms are recorded on the request path (lock-free,
+//! nanoseconds per event); the counter/gauge mirrors are *pull*-style —
+//! [`ServeMetrics::sync`] copies the authoritative [`Stats`] /cache/
+//! coalescer values at scrape or stats time. Mirroring beats double
+//! counting: the JSONL `stats` response and the exposition endpoint can
+//! never disagree about a tally.
+
+use std::sync::Arc;
+
+use denali_metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+
+use crate::cache::CacheSnapshot;
+use crate::coalesce::CoalesceSnapshot;
+use crate::stats::Stats;
+
+/// The five stages a pooled compile passes through; `total` spans
+/// admission to response.
+const STAGES: [&str; 5] = ["queue", "cache", "coalesce", "execute", "total"];
+
+/// The five terminal outcomes latency is classified by. `coalesced` is
+/// an overlay — a coalesced request records under its outcome *and*
+/// under `coalesced`.
+const OUTCOMES: [&str; 5] = ["ok", "hit", "degraded", "error", "coalesced"];
+
+/// One server's metric families and the handles its hot paths record
+/// through.
+pub struct ServeMetrics {
+    registry: Registry,
+    /// Time from admission to the start of leader execution (pooled
+    /// paths only; the synchronous test path has no queue).
+    pub stage_queue: Arc<Histogram>,
+    /// Time inside a result-cache lookup.
+    pub stage_cache: Arc<Histogram>,
+    /// A follower's wait for its leader's delivery.
+    pub stage_coalesce: Arc<Histogram>,
+    /// Time inside the compile pipeline (the SAT-probe ladder).
+    pub stage_execute: Arc<Histogram>,
+    /// Admission to rendered response, every request.
+    pub stage_total: Arc<Histogram>,
+    /// The pool's queue-depth gauge, updated live on submit/dequeue.
+    pub queue_depth: Arc<Gauge>,
+    outcomes: [Arc<Histogram>; 5],
+    mirror: Mirror,
+}
+
+/// Scrape-time mirrors of the authoritative counters.
+struct Mirror {
+    requests: Arc<Counter>,
+    compiles_ok: Arc<Counter>,
+    compiles_degraded: Arc<Counter>,
+    compile_errors: Arc<Counter>,
+    executions: Arc<Counter>,
+    protocol_errors: Arc<Counter>,
+    overload_rejections: Arc<Counter>,
+    shutdown_rejections: Arc<Counter>,
+    worker_panics: Arc<Counter>,
+    coalesced: Arc<Counter>,
+    coalesced_expired: Arc<Counter>,
+    promotions: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_disk_hits: Arc<Counter>,
+    cache_disk_invalid: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+    cache_entries: Arc<Gauge>,
+    cache_bytes: Arc<Gauge>,
+    coalesce_inflight: Arc<Gauge>,
+    coalesce_waiting: Arc<Gauge>,
+    uptime_seconds: Arc<Gauge>,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> ServeMetrics {
+        ServeMetrics::new()
+    }
+}
+
+impl ServeMetrics {
+    /// Builds the families in a fresh registry.
+    pub fn new() -> ServeMetrics {
+        let registry = Registry::new();
+        let stage_help = "Per-stage request latency (microseconds)";
+        let stage = |name: &str| {
+            registry.histogram_with("denali_serve_stage_us", &[("stage", name)], stage_help)
+        };
+        let outcome_help = "Request latency by terminal outcome (microseconds)";
+        let outcome = |name: &str| {
+            registry.histogram_with(
+                "denali_serve_outcome_us",
+                &[("outcome", name)],
+                outcome_help,
+            )
+        };
+        let compiles = |tag: &str| {
+            registry.counter_with(
+                "denali_serve_compiles_total",
+                &[("outcome", tag)],
+                "Compile responses by outcome",
+            )
+        };
+        let stage_queue = stage(STAGES[0]);
+        let stage_cache = stage(STAGES[1]);
+        let stage_coalesce = stage(STAGES[2]);
+        let stage_execute = stage(STAGES[3]);
+        let stage_total = stage(STAGES[4]);
+        let queue_depth = registry.gauge(
+            "denali_serve_queue_depth",
+            "Jobs admitted to the pool but not yet started",
+        );
+        let outcomes = [
+            outcome(OUTCOMES[0]),
+            outcome(OUTCOMES[1]),
+            outcome(OUTCOMES[2]),
+            outcome(OUTCOMES[3]),
+            outcome(OUTCOMES[4]),
+        ];
+        let mirror = Mirror {
+            requests: registry.counter(
+                "denali_serve_requests_total",
+                "Request lines received (including malformed ones)",
+            ),
+            compiles_ok: compiles("ok"),
+            compiles_degraded: compiles("degraded"),
+            compile_errors: compiles("error"),
+            executions: registry.counter(
+                "denali_serve_executions_total",
+                "Pipeline executions actually started",
+            ),
+            protocol_errors: registry.counter(
+                "denali_serve_protocol_errors_total",
+                "Lines rejected before admission",
+            ),
+            overload_rejections: registry.counter(
+                "denali_serve_overload_rejections_total",
+                "Requests shed with a retryable overload error",
+            ),
+            shutdown_rejections: registry.counter(
+                "denali_serve_shutdown_rejections_total",
+                "Requests rejected during shutdown",
+            ),
+            worker_panics: registry.counter(
+                "denali_serve_worker_panics_total",
+                "Compile jobs that panicked",
+            ),
+            coalesced: registry.counter(
+                "denali_serve_coalesced_total",
+                "Requests answered by replaying an in-flight leader's result",
+            ),
+            coalesced_expired: registry.counter(
+                "denali_serve_coalesced_expired_total",
+                "Followers whose deadline expired before their leader finished",
+            ),
+            promotions: registry.counter(
+                "denali_serve_promotions_total",
+                "Followers promoted to leader after their leader vanished",
+            ),
+            cache_hits: registry.counter("denali_serve_cache_hits_total", "Result-cache hits"),
+            cache_misses: registry
+                .counter("denali_serve_cache_misses_total", "Result-cache misses"),
+            cache_disk_hits: registry.counter(
+                "denali_serve_cache_disk_hits_total",
+                "Misses answered by the disk tier",
+            ),
+            cache_disk_invalid: registry.counter(
+                "denali_serve_cache_disk_invalid_total",
+                "Disk-tier entries that failed validation and were discarded",
+            ),
+            cache_evictions: registry.counter(
+                "denali_serve_cache_evictions_total",
+                "Memory-tier evictions under the byte budget",
+            ),
+            cache_entries: registry
+                .gauge("denali_serve_cache_entries", "Memory-tier cache entries"),
+            cache_bytes: registry.gauge("denali_serve_cache_bytes", "Memory-tier cache bytes"),
+            coalesce_inflight: registry.gauge(
+                "denali_serve_coalesce_inflight",
+                "Flights currently executing",
+            ),
+            coalesce_waiting: registry.gauge(
+                "denali_serve_coalesce_waiting",
+                "Followers waiting on an in-flight leader",
+            ),
+            uptime_seconds: registry
+                .gauge("denali_serve_uptime_seconds", "Seconds since server start"),
+        };
+        ServeMetrics {
+            registry,
+            stage_queue,
+            stage_cache,
+            stage_coalesce,
+            stage_execute,
+            stage_total,
+            queue_depth,
+            outcomes,
+            mirror,
+        }
+    }
+
+    /// Records a finished request: `total_us` into the total-stage
+    /// histogram, the mapped outcome histogram, and — when the request
+    /// was answered by coalescing — the `coalesced` overlay.
+    pub fn observe_outcome(&self, outcome: &str, coalesced: bool, total_us: u64) {
+        self.stage_total.observe(total_us);
+        // Shed/panic tags (`overload`, `shutdown`, `panic`) classify as
+        // errors: the client did not get a program.
+        let index = match outcome {
+            "ok" => 0,
+            "hit" => 1,
+            "degraded" => 2,
+            _ => 3,
+        };
+        self.outcomes[index].observe(total_us);
+        if coalesced {
+            self.outcomes[4].observe(total_us);
+        }
+    }
+
+    /// Copies the authoritative counters into their exposition mirrors.
+    pub fn sync(&self, stats: &Stats, cache: &CacheSnapshot, coalesce: &CoalesceSnapshot) {
+        use std::sync::atomic::Ordering;
+        let load = |c: &std::sync::atomic::AtomicU64| c.load(Ordering::Relaxed);
+        let m = &self.mirror;
+        m.requests.set(load(&stats.requests));
+        m.compiles_ok.set(load(&stats.compiles_ok));
+        m.compiles_degraded.set(load(&stats.compiles_degraded));
+        m.compile_errors.set(load(&stats.compile_errors));
+        m.executions.set(load(&stats.executions));
+        m.protocol_errors.set(load(&stats.protocol_errors));
+        m.overload_rejections.set(load(&stats.overload_rejections));
+        m.shutdown_rejections.set(load(&stats.shutdown_rejections));
+        m.worker_panics.set(load(&stats.worker_panics));
+        m.coalesced.set(load(&stats.coalesced));
+        m.coalesced_expired.set(load(&stats.coalesced_expired));
+        m.promotions.set(load(&stats.promotions));
+        m.cache_hits.set(cache.hits);
+        m.cache_misses.set(cache.misses);
+        m.cache_disk_hits.set(cache.disk_hits);
+        m.cache_disk_invalid.set(cache.disk_invalid);
+        m.cache_evictions.set(cache.evictions);
+        m.cache_entries.set(cache.entries);
+        m.cache_bytes.set(cache.bytes);
+        m.coalesce_inflight.set(coalesce.inflight);
+        m.coalesce_waiting.set(coalesce.waiting);
+        m.uptime_seconds.set(stats.started.elapsed().as_secs());
+    }
+
+    /// Renders this server's families in the exposition format.
+    pub fn render(&self) -> String {
+        self.registry.render()
+    }
+
+    /// The `latency` section of the `stats` response (a JSON object
+    /// value): p50/p90/p99/max per stage and per outcome, read from the
+    /// same histograms `/metrics` exposes.
+    pub fn latency_json(&self) -> String {
+        let quantiles = |s: &HistogramSnapshot| {
+            format!(
+                "{{\"count\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+                s.count(),
+                s.quantile(0.5),
+                s.quantile(0.9),
+                s.quantile(0.99),
+                s.max
+            )
+        };
+        let stages = [
+            &self.stage_queue,
+            &self.stage_cache,
+            &self.stage_coalesce,
+            &self.stage_execute,
+            &self.stage_total,
+        ];
+        let mut out = String::from("{\"stages\":{");
+        for (i, (name, h)) in STAGES.iter().zip(stages).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{}", quantiles(&h.snapshot())));
+        }
+        out.push_str("},\"outcomes\":{");
+        for (i, (name, h)) in OUTCOMES.iter().zip(&self.outcomes).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{}", quantiles(&h.snapshot())));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use denali_trace::json::{self, Json};
+
+    #[test]
+    fn latency_json_is_valid_and_covers_every_stage_and_outcome() {
+        let metrics = ServeMetrics::new();
+        metrics.stage_execute.observe(1000);
+        metrics.observe_outcome("ok", false, 1500);
+        metrics.observe_outcome("hit", true, 20);
+        let v = json::parse(&metrics.latency_json()).unwrap();
+        let stages = v.get("stages").unwrap();
+        for name in STAGES {
+            assert!(stages.get(name).is_some(), "missing stage {name}");
+        }
+        let outcomes = v.get("outcomes").unwrap();
+        for name in OUTCOMES {
+            assert!(outcomes.get(name).is_some(), "missing outcome {name}");
+        }
+        assert_eq!(
+            stages
+                .get("total")
+                .and_then(|s| s.get("count"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            outcomes
+                .get("coalesced")
+                .and_then(|s| s.get("count"))
+                .and_then(Json::as_u64),
+            Some(1),
+            "coalesced overlays the outcome histogram"
+        );
+    }
+
+    #[test]
+    fn rendered_exposition_passes_the_validator() {
+        let metrics = ServeMetrics::new();
+        metrics.observe_outcome("ok", false, 12345);
+        metrics.stage_queue.observe(7);
+        metrics.sync(
+            &Stats::default(),
+            &CacheSnapshot {
+                hits: 1,
+                misses: 2,
+                disk_hits: 0,
+                disk_invalid: 0,
+                evictions: 0,
+                entries: 1,
+                bytes: 100,
+            },
+            &CoalesceSnapshot {
+                inflight: 0,
+                waiting: 0,
+            },
+        );
+        let text = metrics.render();
+        denali_metrics::validate_exposition(&text).unwrap();
+        assert!(text.contains("denali_serve_stage_us_bucket{stage=\"queue\""));
+        assert!(text.contains("denali_serve_cache_hits_total 1"));
+    }
+}

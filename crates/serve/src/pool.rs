@@ -41,12 +41,25 @@ pub struct Pool {
     workers: Vec<JoinHandle<()>>,
     queued: Arc<AtomicU64>,
     panics: Arc<AtomicU64>,
+    gauge: Option<Arc<denali_metrics::Gauge>>,
 }
 
 impl Pool {
     /// Spawns `workers` threads (at least 1) behind a queue holding at
     /// most `queue` waiting jobs beyond the ones being executed.
     pub fn new(workers: usize, queue: usize) -> Pool {
+        Pool::with_depth_gauge(workers, queue, None)
+    }
+
+    /// [`Pool::new`], mirroring the queue depth into `gauge` on every
+    /// submit and dequeue (the `denali_serve_queue_depth` family). The
+    /// mirror is advisory — racing updates may briefly publish a stale
+    /// depth; [`Pool::depth`] stays authoritative.
+    pub fn with_depth_gauge(
+        workers: usize,
+        queue: usize,
+        gauge: Option<Arc<denali_metrics::Gauge>>,
+    ) -> Pool {
         let (sender, receiver) = mpsc::sync_channel::<Job>(queue);
         let receiver = Arc::new(Mutex::new(receiver));
         let queued = Arc::new(AtomicU64::new(0));
@@ -56,9 +69,10 @@ impl Pool {
                 let receiver = Arc::clone(&receiver);
                 let queued = Arc::clone(&queued);
                 let panics = Arc::clone(&panics);
+                let gauge = gauge.clone();
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&receiver, &queued, &panics))
+                    .spawn(move || worker_loop(&receiver, &queued, &panics, gauge.as_deref()))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -67,6 +81,7 @@ impl Pool {
             workers,
             queued,
             panics,
+            gauge,
         }
     }
 
@@ -83,7 +98,7 @@ impl Pool {
         // Count before sending so a worker that dequeues instantly
         // never observes a decrement racing ahead of the increment.
         self.queued.fetch_add(1, Ordering::Relaxed);
-        match sender.try_send(Box::new(job)) {
+        let result = match sender.try_send(Box::new(job)) {
             Ok(()) => Ok(()),
             Err(err) => {
                 self.queued.fetch_sub(1, Ordering::Relaxed);
@@ -92,7 +107,11 @@ impl Pool {
                     TrySendError::Disconnected(_) => SubmitError::Closed,
                 })
             }
+        };
+        if let Some(gauge) = &self.gauge {
+            gauge.set(self.queued.load(Ordering::Relaxed));
         }
+        result
     }
 
     /// Jobs admitted but not yet started (the queue-depth gauge).
@@ -116,7 +135,12 @@ impl Drop for Pool {
     }
 }
 
-fn worker_loop(receiver: &Mutex<Receiver<Job>>, queued: &AtomicU64, panics: &AtomicU64) {
+fn worker_loop(
+    receiver: &Mutex<Receiver<Job>>,
+    queued: &AtomicU64,
+    panics: &AtomicU64,
+    gauge: Option<&denali_metrics::Gauge>,
+) {
     loop {
         // Hold the lock only while dequeuing, never while running.
         let job = match receiver.lock().unwrap().recv() {
@@ -124,6 +148,9 @@ fn worker_loop(receiver: &Mutex<Receiver<Job>>, queued: &AtomicU64, panics: &Ato
             Err(_) => return, // pool dropped and queue drained
         };
         queued.fetch_sub(1, Ordering::Relaxed);
+        if let Some(gauge) = gauge {
+            gauge.set(queued.load(Ordering::Relaxed));
+        }
         // A panicking job must not take the worker thread with it:
         // every panic would silently shrink the pool until admitted
         // requests hang forever. The payload is discarded — the server
@@ -186,6 +213,7 @@ mod tests {
             workers: Vec::new(),
             queued: Arc::new(AtomicU64::new(0)),
             panics: Arc::new(AtomicU64::new(0)),
+            gauge: None,
         };
         assert_eq!(pool.try_submit(|| ()), Err(SubmitError::Closed));
         assert_eq!(pool.depth(), 0, "a rejected job is not queued");
@@ -200,6 +228,25 @@ mod tests {
         pool.try_submit(move || tx.send(42).unwrap()).unwrap();
         assert_eq!(rx.recv().unwrap(), 42);
         assert_eq!(pool.panics(), 1);
+    }
+
+    #[test]
+    fn depth_gauge_mirrors_the_queue() {
+        let gauge = Arc::new(denali_metrics::Gauge::default());
+        let pool = Pool::with_depth_gauge(1, 4, Some(Arc::clone(&gauge)));
+        let gate = Arc::new(Mutex::new(()));
+        let hold = gate.lock().unwrap();
+        let g = Arc::clone(&gate);
+        pool.try_submit(move || drop(g.lock().unwrap())).unwrap();
+        while pool.depth() > 0 {
+            std::thread::yield_now();
+        }
+        let g = Arc::clone(&gate);
+        pool.try_submit(move || drop(g.lock().unwrap())).unwrap();
+        assert_eq!(gauge.get(), 1, "gauge tracks the queued job");
+        drop(hold);
+        drop(pool);
+        assert_eq!(gauge.get(), 0, "gauge returns to zero once drained");
     }
 
     #[test]

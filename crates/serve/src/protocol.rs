@@ -188,6 +188,8 @@ pub enum Request {
     Stats(RequestId),
     /// Liveness check.
     Ping(RequestId),
+    /// Read the flight recorder's ring of recent requests.
+    Flight(RequestId),
 }
 
 impl Request {
@@ -195,7 +197,7 @@ impl Request {
     pub fn id(&self) -> &RequestId {
         match self {
             Request::Compile(c) => &c.id,
-            Request::Stats(id) | Request::Ping(id) => id,
+            Request::Stats(id) | Request::Ping(id) | Request::Flight(id) => id,
         }
     }
 }
@@ -372,8 +374,12 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             require_keys(&value, &["v", "type", "id"], "request")?;
             Ok(Request::Ping(id))
         }
+        "flight" => {
+            require_keys(&value, &["v", "type", "id"], "request")?;
+            Ok(Request::Flight(id))
+        }
         other => Err(ProtocolError::new(format!(
-            "unknown request type {other:?} (known: compile, stats, ping)"
+            "unknown request type {other:?} (known: compile, stats, ping, flight)"
         ))),
     }
 }

@@ -41,18 +41,25 @@ use std::io::{BufRead, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use denali_core::{CompileError, Denali, Options, Prepared};
 use denali_par::CancelToken;
-use denali_trace::{field, Tracer};
+use denali_trace::{field, jsonl, Tracer, Value};
 
 use crate::cache::Cache;
 use crate::coalesce::{Coalescer, Delivery, Join, LeaderGuard, Wait};
 use crate::deadline::{deadline_at, DeadlineWatch};
+use crate::flight::FlightRecorder;
+use crate::metrics::ServeMetrics;
 use crate::pool::{Pool, SubmitError};
 use crate::protocol::{self, CompileRequest, GmaSummary, Request, RequestId};
 use crate::stats::Stats;
+
+/// A duration as saturating whole microseconds (histogram units).
+fn us(elapsed: Duration) -> u64 {
+    u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX)
+}
 
 /// Server construction parameters.
 #[derive(Clone, Debug)]
@@ -72,6 +79,17 @@ pub struct ServerConfig {
     pub coalesce: bool,
     /// Log one line per request to stderr.
     pub verbose: bool,
+    /// Flight-recorder ring capacity (finished-request summaries).
+    pub flight_capacity: usize,
+    /// Slow-request threshold: an execution whose total latency exceeds
+    /// this many milliseconds has its full trace spooled to
+    /// [`ServerConfig::spool_dir`] (which must also be set).
+    pub slow_ms: Option<u64>,
+    /// Directory slow-request traces are written to.
+    pub spool_dir: Option<PathBuf>,
+    /// Deterministic trace sampling: capture the full span tree of
+    /// every `N`th execution into its flight-ring entry (0 = off).
+    pub trace_sample: u64,
 }
 
 impl Default for ServerConfig {
@@ -84,6 +102,10 @@ impl Default for ServerConfig {
             cache_dir: None,
             coalesce: true,
             verbose: false,
+            flight_capacity: 256,
+            slow_ms: None,
+            spool_dir: None,
+            trace_sample: 0,
         }
     }
 }
@@ -127,6 +149,8 @@ pub struct Server {
     coalescer: Coalescer,
     tracer: Tracer,
     followers: FollowerTracker,
+    metrics: ServeMetrics,
+    flight: FlightRecorder,
 }
 
 /// A request carried through preparation: the per-request pipeline, the
@@ -141,14 +165,24 @@ struct PreparedRequest {
 }
 
 impl Server {
-    /// Builds the server (creating the cache directory if configured).
+    /// Builds the server (creating the cache and spool directories if
+    /// configured).
     ///
     /// # Errors
     ///
-    /// Fails if the cache directory cannot be created.
+    /// Fails if the cache or spool directory cannot be created.
     pub fn new(config: ServerConfig) -> std::io::Result<Server> {
         let cache = Cache::new(config.cache_bytes, config.cache_dir.clone())?;
+        if let Some(dir) = &config.spool_dir {
+            std::fs::create_dir_all(dir)?;
+        }
         let tracer = Tracer::when(config.base.trace);
+        let flight = FlightRecorder::new(
+            config.flight_capacity,
+            config.slow_ms,
+            config.spool_dir.clone(),
+            config.trace_sample,
+        );
         Ok(Server {
             config,
             cache,
@@ -157,6 +191,8 @@ impl Server {
             coalescer: Coalescer::new(),
             tracer,
             followers: FollowerTracker::default(),
+            metrics: ServeMetrics::new(),
+            flight,
         })
     }
 
@@ -168,6 +204,32 @@ impl Server {
     /// The result cache (exposed for tests and benches).
     pub fn cache(&self) -> &Cache {
         &self.cache
+    }
+
+    /// The server's metric families (stage/outcome histograms, counter
+    /// mirrors).
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// The flight recorder (recent-request ring, sampling, spooling).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Renders the full `/metrics` exposition: this server's families
+    /// (mirrors refreshed at scrape time) followed by the process-wide
+    /// [`denali_metrics::global`] families the core pipeline records
+    /// into. One scrape, the whole picture.
+    pub fn metrics_text(&self) -> String {
+        self.metrics.sync(
+            &self.stats,
+            &self.cache.snapshot(),
+            &self.coalescer.snapshot(),
+        );
+        let mut out = self.metrics.render();
+        out.push_str(&denali_metrics::global().render());
+        out
     }
 
     /// The server-level tracer. When the base options enable tracing,
@@ -205,6 +267,9 @@ impl Server {
             Err(e) => Some(self.protocol_error(&e.message)),
             Ok(Request::Ping(id)) => Some(pong(&id)),
             Ok(Request::Stats(id)) => Some(self.stats_response(&id, 0)),
+            Ok(Request::Flight(id)) => {
+                Some(protocol::render_response(&id, &self.flight.render_body()))
+            }
             Ok(Request::Compile(req)) => Some(self.handle_compile(&req, Instant::now())),
         }
     }
@@ -222,6 +287,7 @@ impl Server {
             queue_depth,
             &self.cache.snapshot(),
             &self.coalescer.snapshot(),
+            &self.metrics.latency_json(),
         );
         protocol::render_response(id, &body)
     }
@@ -244,12 +310,20 @@ impl Server {
             Ok(ctx) => ctx,
             Err(response) => return response,
         };
-        if let Some(body) = self.cache.get(&ctx.fingerprint) {
+        if let Some(body) = self.timed_cache_get(&ctx.fingerprint) {
             Stats::bump(&self.stats.compiles_ok);
-            return self.finish(&req.id, admitted, "hit", false, &body);
+            return self.finish(&req.id, admitted, "hit", false, None, &body);
         }
-        let (outcome, body) = self.execute(&ctx, req.deadline_ms, admitted);
-        self.finish(&req.id, admitted, outcome, false, &body)
+        let (outcome, body, trace) = self.execute(&req.id, &ctx, req.deadline_ms, admitted);
+        self.finish(&req.id, admitted, outcome, false, trace, &body)
+    }
+
+    /// A cache lookup timed into the `cache` stage histogram.
+    fn timed_cache_get(&self, fingerprint: &str) -> Option<String> {
+        let lookup = Instant::now();
+        let body = self.cache.get(fingerprint);
+        self.metrics.stage_cache.observe(us(lookup.elapsed()));
+        body
     }
 
     /// The cheap, uncancellable half of a compile: option merge, parse,
@@ -290,6 +364,7 @@ impl Server {
                     Instant::now(),
                     "error",
                     false,
+                    None,
                     &protocol::render_error_body(e.stage, &e.message, false),
                 ))
             }
@@ -300,16 +375,29 @@ impl Server {
     /// cancel token and renders the outcome body. Successful bodies are
     /// written to the cache *here*, before any flight completion, which
     /// is what makes the stampede invariant airtight. Returns the
-    /// outcome tag (`ok` / `degraded` / `error`) and the body.
+    /// outcome tag (`ok` / `degraded` / `error`), the body, and — when
+    /// this execution was trace-sampled — the captured trace JSONL.
     fn execute(
         &self,
+        id: &RequestId,
         ctx: &PreparedRequest,
         deadline_ms: Option<u64>,
         admitted: Instant,
-    ) -> (&'static str, String) {
+    ) -> (&'static str, String, Option<String>) {
         Stats::bump(&self.stats.executions);
+        let exec_started = Instant::now();
+        // Attach a private capture tracer when this execution is
+        // sampled, or whenever slow-spooling is armed (the keep/discard
+        // decision is retroactive — see [`FlightRecorder`]). Capture
+        // only records; the compiled output is byte-identical with or
+        // without it, which the determinism tests pin.
+        let sampled = self.flight.sample_hit();
+        let capture = (sampled || self.flight.spool_armed()).then(Tracer::new);
         let cancel = CancelToken::default();
-        let denali = ctx.denali.with_cancel(cancel.clone());
+        let mut denali = ctx.denali.with_cancel(cancel.clone());
+        if let Some(tracer) = &capture {
+            denali = denali.with_tracer(tracer.clone());
+        }
         // Arm the deadline, measured from admission so queue time counts
         // against it. An already-expired deadline cancels inline —
         // deterministic degradation, no watchdog race. A deadline too
@@ -324,7 +412,7 @@ impl Server {
         });
 
         let issue_width = denali.options().machine.issue_width();
-        match denali.compile_prepared(&ctx.prepared) {
+        let (outcome, body) = match denali.compile_prepared(&ctx.prepared) {
             Ok(result) => {
                 for stats in result.gmas.iter().flat_map(|c| &c.probes) {
                     if let Some(winner) = stats.winner {
@@ -382,20 +470,77 @@ impl Server {
                     protocol::render_error_body(e.stage, &e.message, false),
                 )
             }
-        }
+        };
+        self.metrics
+            .stage_execute
+            .observe(us(exec_started.elapsed()));
+        let trace =
+            capture.and_then(|tracer| self.capture_trace(&tracer, id, outcome, admitted, sampled));
+        (outcome, body, trace)
     }
 
-    /// Renders the final response line, logging it when verbose and
-    /// recording the `serve.request` trace span.
+    /// Seals a capture tracer into trace JSONL: appends the enclosing
+    /// `serve.request` span, renders the records, spools the text when
+    /// the request crossed the slow threshold, and returns it when the
+    /// execution was sampled (so it rides in the flight-ring entry).
+    fn capture_trace(
+        &self,
+        tracer: &Tracer,
+        id: &RequestId,
+        outcome: &str,
+        admitted: Instant,
+        sampled: bool,
+    ) -> Option<String> {
+        let total = admitted.elapsed();
+        tracer.complete_span(
+            "serve.request",
+            None,
+            0.0,
+            total.as_secs_f64() * 1e3,
+            vec![
+                field("id", id.render()),
+                field("outcome", outcome.to_owned()),
+                field("coalesced", false),
+            ],
+        );
+        let records = tracer.take_records();
+        let text = jsonl::to_string(
+            &[("source", Value::Str("denali-serve".to_owned()))],
+            &records,
+        );
+        if self.flight.is_slow(us(total)) {
+            match self.flight.spool(&text) {
+                Ok(path) => {
+                    if self.config.verbose {
+                        eprintln!("serve: slow request spooled to {}", path.display());
+                    }
+                }
+                // A full disk must not fail a request that was merely
+                // slow; the trace is lost, the response is not.
+                Err(e) => eprintln!("serve: failed to spool slow-request trace: {e}"),
+            }
+        }
+        sampled.then_some(text)
+    }
+
+    /// Renders the final response line: records the total/outcome
+    /// latency histograms and the flight-ring entry (with the sampled
+    /// `trace`, if any), logs when verbose, and appends the
+    /// `serve.request` span to the server tracer.
     fn finish(
         &self,
         id: &RequestId,
         started: Instant,
         outcome: &str,
         coalesced: bool,
+        trace: Option<String>,
         body: &str,
     ) -> String {
-        let ms = started.elapsed().as_secs_f64() * 1e3;
+        let total = started.elapsed();
+        let ms = total.as_secs_f64() * 1e3;
+        self.metrics.observe_outcome(outcome, coalesced, us(total));
+        self.flight
+            .record(id.render(), outcome, coalesced, us(total), trace);
         if self.config.verbose {
             eprintln!(
                 "serve: compile id={} outcome={outcome} coalesced={coalesced} ms={ms:.1}",
@@ -475,9 +620,13 @@ fn run_leader<W: Write + Send + 'static>(
     // the response and immediately resends the same request must
     // deterministically hit the cache as a fresh leader, not race into
     // following a flight that is already answered.
-    if let Some(body) = server.cache.get(&ctx.fingerprint) {
+    // The queue stage: time from admission to the leader starting.
+    // (Promoted followers pass through here too — their wait for the
+    // vanished leader *was* their queue.)
+    server.metrics.stage_queue.observe(us(admitted.elapsed()));
+    if let Some(body) = server.timed_cache_get(&ctx.fingerprint) {
         Stats::bump(&server.stats.compiles_ok);
-        let line = server.finish(&req.id, admitted, "hit", false, &body);
+        let line = server.finish(&req.id, admitted, "hit", false, None, &body);
         guard.complete(Delivery {
             outcome: "ok",
             body,
@@ -486,10 +635,10 @@ fn run_leader<W: Write + Send + 'static>(
         return;
     }
     match catch_unwind(AssertUnwindSafe(|| {
-        server.execute(ctx, req.deadline_ms, admitted)
+        server.execute(&req.id, ctx, req.deadline_ms, admitted)
     })) {
-        Ok((outcome, body)) => {
-            let line = server.finish(&req.id, admitted, outcome, false, &body);
+        Ok((outcome, body, trace)) => {
+            let line = server.finish(&req.id, admitted, outcome, false, trace, &body);
             guard.complete(Delivery { outcome, body });
             write_line(out, &line);
         }
@@ -508,7 +657,7 @@ fn run_leader<W: Write + Send + 'static>(
                 "compile job panicked; see server log",
                 false,
             );
-            let line = server.finish(&req.id, admitted, "panic", false, &body);
+            let line = server.finish(&req.id, admitted, "panic", false, None, &body);
             drop(guard);
             write_line(out, &line);
         }
@@ -559,7 +708,7 @@ fn submit_leader<W: Write + Send + 'static>(
         };
         Stats::bump(counter);
         let body = protocol::render_error_body(stage, message, retryable);
-        let line = server.finish(&id, admitted, outcome, false, &body);
+        let line = server.finish(&id, admitted, outcome, false, None, &body);
         // Deliver the same outcome to any followers already subscribed
         // (their requests were duplicates of one the server just shed)
         // before answering the leader, so a lock-step client never
@@ -606,7 +755,12 @@ fn follower_wait<W: Write + Send + 'static>(
     out: &Arc<Mutex<W>>,
 ) {
     let deadline = req.deadline_ms.and_then(|ms| deadline_at(admitted, ms));
-    match handle.wait(deadline) {
+    let waited = Instant::now();
+    let outcome = handle.wait(deadline);
+    // The coalesce stage: how long this follower waited on its leader
+    // (recorded on every arm — delivery, expiry, and promotion).
+    server.metrics.stage_coalesce.observe(us(waited.elapsed()));
+    match outcome {
         Wait::Delivered(d) => {
             Stats::bump(&server.stats.coalesced);
             let counter = match d.outcome {
@@ -617,7 +771,7 @@ fn follower_wait<W: Write + Send + 'static>(
                 _ => &server.stats.compile_errors,
             };
             Stats::bump(counter);
-            let line = server.finish(&req.id, admitted, d.outcome, true, &d.body);
+            let line = server.finish(&req.id, admitted, d.outcome, true, None, &d.body);
             write_line(out, &line);
         }
         Wait::Expired => {
@@ -630,13 +784,13 @@ fn follower_wait<W: Write + Send + 'static>(
             match degraded_body(&ctx.denali, &ctx.prepared, &ctx.fingerprint) {
                 Ok(body) => {
                     Stats::bump(&server.stats.compiles_degraded);
-                    let line = server.finish(&req.id, admitted, "degraded", true, &body);
+                    let line = server.finish(&req.id, admitted, "degraded", true, None, &body);
                     write_line(out, &line);
                 }
                 Err(message) => {
                     Stats::bump(&server.stats.compile_errors);
                     let body = protocol::render_error_body("degraded", &message, false);
-                    let line = server.finish(&req.id, admitted, "error", true, &body);
+                    let line = server.finish(&req.id, admitted, "error", true, None, &body);
                     write_line(out, &line);
                 }
             }
@@ -674,6 +828,10 @@ fn dispatch<W: Write + Send + 'static>(
         Err(e) => write_line(out, &server.protocol_error(&e.message)),
         Ok(Request::Ping(id)) => write_line(out, &pong(&id)),
         Ok(Request::Stats(id)) => write_line(out, &server.stats_response(&id, pool.depth())),
+        Ok(Request::Flight(id)) => write_line(
+            out,
+            &protocol::render_response(&id, &server.flight.render_body()),
+        ),
         Ok(Request::Compile(req)) => {
             let admitted = Instant::now();
             let ctx = match server.prepare_request(&req) {
@@ -697,12 +855,14 @@ fn dispatch<W: Write + Send + 'static>(
                 let server2 = Arc::clone(server);
                 let out2 = Arc::clone(out);
                 let submitted = pool.try_submit(move || {
-                    let line = if let Some(body) = server2.cache.get(&ctx.fingerprint) {
+                    server2.metrics.stage_queue.observe(us(admitted.elapsed()));
+                    let line = if let Some(body) = server2.timed_cache_get(&ctx.fingerprint) {
                         Stats::bump(&server2.stats.compiles_ok);
-                        server2.finish(&req.id, admitted, "hit", false, &body)
+                        server2.finish(&req.id, admitted, "hit", false, None, &body)
                     } else {
-                        let (outcome, body) = server2.execute(&ctx, req.deadline_ms, admitted);
-                        server2.finish(&req.id, admitted, outcome, false, &body)
+                        let (outcome, body, trace) =
+                            server2.execute(&req.id, &ctx, req.deadline_ms, admitted);
+                        server2.finish(&req.id, admitted, outcome, false, trace, &body)
                     };
                     write_line(&out2, &line);
                 });
@@ -763,7 +923,11 @@ pub fn serve_lines<R: BufRead, W: Write + Send + 'static>(
 /// Propagates stdin read failures.
 pub fn serve_stdio(server: &Arc<Server>) -> std::io::Result<()> {
     let workers = denali_par::resolve_threads(server.config.workers);
-    let pool = Pool::new(workers, server.config.queue);
+    let pool = Pool::with_depth_gauge(
+        workers,
+        server.config.queue,
+        Some(Arc::clone(&server.metrics.queue_depth)),
+    );
     let out = Arc::new(Mutex::new(std::io::stdout()));
     let stdin = std::io::stdin();
     let result = serve_lines(server, &pool, stdin.lock(), &out);
@@ -789,7 +953,11 @@ pub fn serve_listener(
     listener: &std::net::TcpListener,
 ) -> std::io::Result<()> {
     let workers = denali_par::resolve_threads(server.config.workers);
-    let pool = Arc::new(Pool::new(workers, server.config.queue));
+    let pool = Arc::new(Pool::with_depth_gauge(
+        workers,
+        server.config.queue,
+        Some(Arc::clone(&server.metrics.queue_depth)),
+    ));
     for stream in listener.incoming() {
         let stream = stream?;
         let reader = std::io::BufReader::new(stream.try_clone()?);

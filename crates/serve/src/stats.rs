@@ -93,18 +93,25 @@ impl Stats {
 
     /// Renders the `stats` response body (everything after the echoed
     /// id). `queue_depth` comes from the pool, `cache` from the cache,
-    /// and `coalesce` from the coalescer, so one body carries the full
-    /// picture.
+    /// `coalesce` from the coalescer, and `latency` is the pre-rendered
+    /// JSON object from [`crate::metrics::ServeMetrics::latency_json`],
+    /// so one body carries the full picture.
+    ///
+    /// Schema v2 = v1 plus the `schema` tag and the `latency` section —
+    /// strictly additive, so v1 consumers keep working (the migration
+    /// note is in `docs/SERVER.md`).
     pub fn render_body(
         &self,
         queue_depth: u64,
         cache: &CacheSnapshot,
         coalesce: &CoalesceSnapshot,
+        latency: &str,
     ) -> String {
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
         format!(
             concat!(
                 "\"status\":\"ok\",",
+                "\"schema\":\"denali-serve-stats-v2\",",
                 "\"uptime_ms\":{},",
                 "\"requests\":{},",
                 "\"compiles\":{{\"ok\":{},\"degraded\":{},\"error\":{}}},",
@@ -119,7 +126,8 @@ impl Stats {
                 "\"coalesce\":{{\"coalesced\":{},\"expired\":{},\"promotions\":{},",
                 "\"inflight\":{},\"waiting\":{}}},",
                 "\"cache\":{{\"hits\":{},\"misses\":{},\"disk_hits\":{},\"disk_invalid\":{},",
-                "\"evictions\":{},\"entries\":{},\"bytes\":{}}}"
+                "\"evictions\":{},\"entries\":{},\"bytes\":{}}},",
+                "\"latency\":{}"
             ),
             self.started.elapsed().as_millis(),
             load(&self.requests),
@@ -151,6 +159,7 @@ impl Stats {
             cache.evictions,
             cache.entries,
             cache.bytes,
+            latency,
         )
     }
 }
@@ -186,8 +195,20 @@ mod tests {
             inflight: 2,
             waiting: 5,
         };
-        let line = render_response(&RequestId::Num(9), &stats.render_body(4, &cache, &coalesce));
+        let latency = crate::metrics::ServeMetrics::new().latency_json();
+        let line = render_response(
+            &RequestId::Num(9),
+            &stats.render_body(4, &cache, &coalesce, &latency),
+        );
         let v = json::parse(&line).unwrap();
+        assert_eq!(
+            v.get("schema").and_then(Json::as_str),
+            Some("denali-serve-stats-v2")
+        );
+        assert!(
+            v.get("latency").and_then(|l| l.get("stages")).is_some(),
+            "v2 bodies carry the latency section"
+        );
         assert_eq!(v.get("requests").and_then(Json::as_u64), Some(2));
         assert_eq!(v.get("queue_depth").and_then(Json::as_u64), Some(4));
         assert_eq!(v.get("worker_panics").and_then(Json::as_u64), Some(0));

@@ -299,6 +299,51 @@ pub fn render(records: &[Record]) -> String {
         );
     }
 
+    // -- serve requests ----------------------------------------------
+    // Traces spooled by the server's flight recorder (and sampled
+    // traces read back via the `flight` request) seal each request in
+    // a `serve.request` complete-span carrying id/outcome/coalesced.
+    let requests: Vec<&ClosedSpan> = records
+        .iter()
+        .filter_map(|r| match r {
+            Record::Complete { id, name, .. } if name == "serve.request" => spans.get(id),
+            _ => None,
+        })
+        .collect();
+    if !requests.is_empty() {
+        let mut order: Vec<String> = Vec::new();
+        let mut rows: HashMap<String, (u64, u64, f64, f64)> = HashMap::new();
+        for span in &requests {
+            let outcome = get_str(&span.fields, "outcome").unwrap_or("?").to_owned();
+            let row = rows.entry(outcome.clone()).or_insert_with(|| {
+                order.push(outcome);
+                (0, 0, 0.0, 0.0)
+            });
+            row.0 += 1;
+            if matches!(get(&span.fields, "coalesced"), Some(Value::Bool(true))) {
+                row.1 += 1;
+            }
+            let ms = span.dur_us as f64 / 1e3;
+            row.2 += ms;
+            row.3 = row.3.max(ms);
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(out, "serve requests: {}", requests.len());
+        let _ = writeln!(
+            out,
+            "{:<10} {:>6} {:>9} {:>9} {:>9} {:>9}",
+            "outcome", "count", "coalesced", "total_ms", "mean_ms", "max_ms"
+        );
+        for outcome in &order {
+            let (count, coalesced, total, max) = rows[outcome];
+            let _ = writeln!(
+                out,
+                "{outcome:<10} {count:>6} {coalesced:>9} {total:>9.2} {:>9.2} {max:>9.2}",
+                total / count as f64,
+            );
+        }
+    }
+
     out
 }
 
@@ -368,6 +413,43 @@ mod tests {
         assert!(text.contains("comm-add"), "got:\n{text}");
         assert!(text.contains("unsat"), "got:\n{text}");
         assert!(text.contains("1 probes"), "got:\n{text}");
+    }
+
+    #[test]
+    fn render_summarizes_serve_request_spans() {
+        let t = Tracer::new();
+        t.complete_span(
+            "serve.request",
+            None,
+            0.0,
+            3.0,
+            vec![
+                field("id", "1"),
+                field("outcome", "ok"),
+                field("coalesced", false),
+            ],
+        );
+        t.complete_span(
+            "serve.request",
+            None,
+            0.0,
+            1.0,
+            vec![
+                field("id", "2"),
+                field("outcome", "hit"),
+                field("coalesced", true),
+            ],
+        );
+        let text = render(&t.records());
+        assert!(text.contains("serve requests: 2"), "got:\n{text}");
+        assert!(text.contains("ok"), "got:\n{text}");
+        assert!(text.contains("hit"), "got:\n{text}");
+        // The coalesced hit shows up in the coalesced column.
+        let hit_row = text.lines().find(|l| l.starts_with("hit")).unwrap();
+        assert!(
+            hit_row.split_whitespace().nth(2) == Some("1"),
+            "got: {hit_row}"
+        );
     }
 
     #[test]

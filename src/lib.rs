@@ -18,6 +18,9 @@
 //!   rewriting-compiler baselines used in the paper's evaluation,
 //! * [`trace`] — structured tracing: hierarchical spans, JSONL and
 //!   Chrome-trace sinks, and summary reports (see `docs/TRACING.md`),
+//! * [`metrics`] — zero-dependency process metrics: lock-free counters,
+//!   gauges, mergeable log-linear latency histograms, and Prometheus
+//!   text exposition,
 //! * [`serve`] — the compilation server: framed JSONL protocol over
 //!   stdio/TCP, content-addressed result cache, request deadlines with
 //!   graceful degradation (see `docs/SERVER.md`).
@@ -41,6 +44,7 @@ pub use denali_baseline as baseline;
 pub use denali_core as core;
 pub use denali_egraph as egraph;
 pub use denali_lang as lang;
+pub use denali_metrics as metrics;
 pub use denali_sat as sat;
 pub use denali_serve as serve;
 pub use denali_term as term;

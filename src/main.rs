@@ -9,10 +9,13 @@
 //!                 [--trace-format jsonl|chrome] [--dump-dimacs DIR]
 //!                 [--simulate name=value ...]
 //! denali trace-report TRACE.jsonl
+//! denali metrics-check EXPOSITION.txt
 //! denali serve (--stdio | --listen ADDR) [--workers N] [--queue N]
 //!              [--cache-bytes N] [--cache-dir DIR] [--machine M] [--solver S]
 //!              [--max-cycles N] [--threads N] [--portfolio N]
 //!              [--coalesce|--no-coalesce] [--trace] [-v|--verbose]
+//!              [--metrics-addr ADDR] [--slow-ms T --spool-dir DIR]
+//!              [--trace-sample N] [--flight-capacity N]
 //! ```
 //!
 //! Compiles a Denali source file, prints a Figure-4-style listing per
@@ -57,10 +60,13 @@ fn usage() -> ! {
          \x20                   [--trace-format jsonl|chrome] [--allocate] [--dump-dimacs DIR]\n\
          \x20                   [--simulate name=value ...]\n\
          \x20      denali trace-report TRACE.jsonl\n\
+         \x20      denali metrics-check EXPOSITION.txt\n\
          \x20      denali serve (--stdio | --listen ADDR) [--workers N] [--queue N]\n\
          \x20                   [--cache-bytes N] [--cache-dir DIR] [--machine M] [--solver S]\n\
          \x20                   [--max-cycles N] [--threads N] [--portfolio N]\n\
          \x20                   [--coalesce|--no-coalesce] [--trace] [-v|--verbose]\n\
+         \x20                   [--metrics-addr ADDR] [--slow-ms T --spool-dir DIR]\n\
+         \x20                   [--trace-sample N] [--flight-capacity N]\n\
          \x20 --threads N       worker threads for matching + speculative probes (0 = all CPUs, 1 = serial)\n\
          \x20 --portfolio N     race N diversified CDCL configurations per probe, first verdict wins\n\
          \x20                   (0/1 = off; output is byte-identical either way; also DENALI_PORTFOLIO)\n\
@@ -69,10 +75,16 @@ fn usage() -> ! {
          \x20 --trace           collect a structured trace (also DENALI_TRACE=1)\n\
          \x20 --trace-out FILE  write the trace to FILE (implies --trace; jsonl unless --trace-format chrome)\n\
          \x20 -v, --verbose     per-round matcher detail + probe log (implies --trace and --probes)\n\
-         \x20 trace-report      summarize a JSONL trace (phases, axioms, probes)\n\
+         \x20 trace-report      summarize a JSONL trace (phases, axioms, probes, serve requests)\n\
+         \x20 metrics-check     validate a saved Prometheus text exposition (a /metrics scrape)\n\
          \x20 serve             run the compilation server (JSONL protocol, docs/SERVER.md)\n\
          \x20 --no-coalesce     serve: compile concurrent duplicate requests independently\n\
-         \x20                   instead of single-flighting them behind one leader"
+         \x20                   instead of single-flighting them behind one leader\n\
+         \x20 --metrics-addr    serve: expose Prometheus text metrics at http://ADDR/metrics\n\
+         \x20 --slow-ms T       serve: spool full traces of requests slower than T ms to\n\
+         \x20                   --spool-dir DIR (works even with --trace off)\n\
+         \x20 --trace-sample N  serve: keep a full trace for 1 in N requests in the flight\n\
+         \x20                   recorder ring (read back with a `flight` request; 0 = off)"
     );
     std::process::exit(2);
 }
@@ -238,12 +250,40 @@ fn trace_report(path: &str) -> ExitCode {
     }
 }
 
+/// The `denali metrics-check` subcommand: validate a saved Prometheus
+/// text exposition (e.g. a scrape of `GET /metrics`) against the
+/// grammar. Keeps CI honest without a network-installed linter.
+fn metrics_check(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match denali::metrics::validate_exposition(&text) {
+        Ok(()) => {
+            let families = text
+                .lines()
+                .filter(|line| line.starts_with("# TYPE "))
+                .count();
+            println!("{path}: ok ({families} metric families)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// The `denali serve` subcommand: the long-lived compilation server.
 fn serve(args: &[String]) -> ExitCode {
     use denali::serve::{serve_stdio, serve_tcp, Server, ServerConfig};
 
     let mut config = ServerConfig::default();
     let mut listen: Option<String> = None;
+    let mut metrics_addr: Option<String> = None;
     let mut stdio = false;
     let mut args = args.iter();
     let need = |args: &mut dyn Iterator<Item = &String>, flag: &str| -> String {
@@ -299,6 +339,19 @@ fn serve(args: &[String]) -> ExitCode {
             "--coalesce" => config.coalesce = true,
             "--no-coalesce" => config.coalesce = false,
             "--trace" => config.base.trace = true,
+            "--metrics-addr" => metrics_addr = Some(need(&mut args, "--metrics-addr")),
+            "--slow-ms" => {
+                config.slow_ms = Some(parse(need(&mut args, "--slow-ms"), "--slow-ms") as u64)
+            }
+            "--spool-dir" => config.spool_dir = Some(need(&mut args, "--spool-dir").into()),
+            "--trace-sample" => {
+                config.trace_sample =
+                    parse(need(&mut args, "--trace-sample"), "--trace-sample") as u64
+            }
+            "--flight-capacity" => {
+                config.flight_capacity =
+                    parse(need(&mut args, "--flight-capacity"), "--flight-capacity")
+            }
             "-v" | "--verbose" => config.verbose = true,
             other => {
                 eprintln!("unknown serve argument {other}");
@@ -310,6 +363,10 @@ fn serve(args: &[String]) -> ExitCode {
         eprintln!("serve needs exactly one of --stdio or --listen ADDR");
         usage();
     }
+    if config.slow_ms.is_some() && config.spool_dir.is_none() {
+        eprintln!("--slow-ms needs --spool-dir DIR (nowhere to spool slow traces)");
+        usage();
+    }
     let server = match Server::new(config) {
         Ok(server) => std::sync::Arc::new(server),
         Err(e) => {
@@ -317,6 +374,33 @@ fn serve(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(addr) = metrics_addr {
+        let listener = match std::net::TcpListener::bind(&addr) {
+            Ok(listener) => listener,
+            Err(e) => {
+                eprintln!("error: cannot bind metrics address {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // Printed unconditionally (unlike the verbose-gated serve
+        // banner): with `--metrics-addr 127.0.0.1:0` this line is the
+        // only way for a harness to learn the bound port.
+        match listener.local_addr() {
+            Ok(local) => eprintln!("serve: metrics on {local}"),
+            Err(_) => eprintln!("serve: metrics on {addr}"),
+        }
+        let scrape = std::sync::Arc::clone(&server);
+        std::thread::Builder::new()
+            .name("serve-metrics".to_owned())
+            .spawn(move || {
+                if let Err(e) =
+                    denali::metrics::serve_exposition(&listener, || scrape.metrics_text())
+                {
+                    eprintln!("error: metrics endpoint: {e}");
+                }
+            })
+            .expect("spawn metrics thread");
+    }
     let result = match listen {
         None => serve_stdio(&server),
         Some(addr) => serve_tcp(&server, &addr),
@@ -344,6 +428,15 @@ fn main() -> ExitCode {
         }
         if args.first().map(String::as_str) == Some("serve") {
             return serve(&args[1..]);
+        }
+        if args.first().map(String::as_str) == Some("metrics-check") {
+            match args.get(1) {
+                Some(path) if args.len() == 2 => return metrics_check(path),
+                _ => {
+                    eprintln!("metrics-check expects exactly one exposition file");
+                    usage();
+                }
+            }
         }
     }
     let cli = parse_cli();
