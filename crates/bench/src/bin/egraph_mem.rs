@@ -60,6 +60,7 @@ fn compile_leg(name: &'static str, source: &str) -> Leg {
         mem.memo_bytes += m.memo_bytes;
         mem.total_bytes += m.total_bytes;
         mem.legacy_bytes += m.legacy_bytes;
+        mem.reclaimed_bytes += m.reclaimed_bytes;
         wall_ms += gma.match_ms;
     }
     Leg { name, mem, wall_ms }
@@ -98,7 +99,8 @@ fn push_leg(json: &mut String, leg: &Leg) {
             "\"total_bytes\":{},\"legacy_bytes\":{},",
             "\"bytes_per_node\":{:.1},\"legacy_bytes_per_node\":{:.1},",
             "\"reduction\":{:.2},\"dedup_ratio\":{:.2},",
-            "\"slice_entries\":{},\"slice_refs\":{},\"wall_ms\":{:.3}}}"
+            "\"slice_entries\":{},\"slice_refs\":{},",
+            "\"reclaimed_bytes\":{},\"wall_ms\":{:.3}}}"
         ),
         leg.name,
         m.nodes,
@@ -111,6 +113,7 @@ fn push_leg(json: &mut String, leg: &Leg) {
         m.dedup_ratio(),
         m.slice_entries,
         m.slice_refs,
+        m.reclaimed_bytes,
         leg.wall_ms,
     ));
 }
@@ -155,7 +158,7 @@ fn main() {
         );
     }
 
-    let mut json = String::from("{\"schema\":\"denali-egraph-mem-v1\",\"legs\":[");
+    let mut json = String::from("{\"schema\":\"denali-egraph-mem-v2\",\"legs\":[");
     for (i, leg) in legs.iter().enumerate() {
         if i > 0 {
             json.push(',');

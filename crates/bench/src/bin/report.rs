@@ -53,6 +53,9 @@ fn main() {
     if want("e7") {
         e7_checksum();
     }
+    if want("e7s") {
+        e7s_stochastic();
+    }
     if want("e8") {
         e8_extras();
     }
@@ -626,6 +629,40 @@ fn e7_checksum() {
         );
     }
     println!("{}", indent(&body.program.listing(4), 4));
+}
+
+/// E7s (extension, no paper counterpart): the stochastic MCMC second
+/// engine on the simulator-supported fixtures, against the greedy
+/// rewrite baseline it starts from. The checksum loops of E7 carry
+/// guarded memory traffic the chain cannot simulate, so the engine
+/// sits those out (`--engine auto` falls back to SAT there); these
+/// fixtures pin what it does on its supported fragment.
+fn e7s_stochastic() {
+    header(
+        "E7s",
+        "stochastic second engine",
+        "(extension) STOKE-style MCMC: verified best vs the greedy baseline",
+    );
+    let denali = default_denali();
+    println!(
+        "    {:<20} {:>8} {:>6} {:>10} {:>9} {:>9} {:>9}",
+        "gma", "baseline", "best", "proposals", "accepted", "restarts", "improved"
+    );
+    for source in [programs::FIGURE2, programs::BYTESWAP4, programs::BYTESWAP5] {
+        for run in denali.stoke_profile(source).expect("chain profiles") {
+            println!(
+                "    {:<20} {:>8} {:>6} {:>10} {:>9} {:>9} {:>9}",
+                run.gma,
+                run.baseline_cycles,
+                run.best_cycles,
+                run.proposals,
+                run.accepted,
+                run.restarts,
+                run.improved,
+            );
+        }
+    }
+    println!();
 }
 
 /// E8 (§8): the additional tests — rowop and least common power of 2.

@@ -10,7 +10,7 @@
 //! *scheduled* arrival, so schedule slip under load counts against the
 //! server, not the generator.
 //!
-//! Two legs, each reported as a row in `BENCH_serve.json`:
+//! Three legs, each reported as a row in `BENCH_serve.json`:
 //!
 //! * **mixed** — a blend of unique programs (cold-cache compiles) and
 //!   a small hot set (cache hits, plus single-flight coalescing when
@@ -19,13 +19,19 @@
 //!   connections at once. The pipeline must execute exactly **once**;
 //!   everything else must be answered by the coalescer or the cache.
 //!   The binary exits nonzero if it does not.
+//! * **deadline** — W concurrent `engine: auto` requests (one per
+//!   worker, distinct heavy byteswap fixtures under the slow DPLL
+//!   solver) whose deadlines expire mid-search. Every one must come
+//!   back *harvested*: a verified stochastic program strictly cheaper
+//!   than the baseline, not a degraded answer. The binary exits
+//!   nonzero if any degrades.
 //!
 //! Run with:
 //!
 //! ```text
 //! cargo run --release -p denali-bench --bin serve_load -- \
 //!     [--requests N] [--rate R] [--stampede K] [--workers W] \
-//!     [--queue Q] [--out BENCH_serve.json]
+//!     [--queue Q] [--deadline-ms D] [--out BENCH_serve.json]
 //! ```
 
 use std::io::{BufRead, BufReader, Write};
@@ -44,6 +50,7 @@ struct Config {
     stampede: usize,
     workers: usize,
     queue: usize,
+    deadline_ms: u64,
     out: String,
 }
 
@@ -54,6 +61,7 @@ fn parse_args() -> Config {
         stampede: 64,
         workers: 2,
         queue: 64,
+        deadline_ms: 4_000,
         out: "BENCH_serve.json".to_owned(),
     };
     let mut args = std::env::args().skip(1);
@@ -68,6 +76,7 @@ fn parse_args() -> Config {
             "--stampede" => config.stampede = value().parse().expect("--stampede"),
             "--workers" => config.workers = value().parse().expect("--workers"),
             "--queue" => config.queue = value().parse().expect("--queue"),
+            "--deadline-ms" => config.deadline_ms = value().parse().expect("--deadline-ms"),
             "--out" => config.out = value(),
             other => panic!("unknown flag {other}; see the module docs"),
         }
@@ -105,9 +114,38 @@ fn compile_line(id: &str, source: &str) -> String {
     format!(r#"{{"type":"compile","id":"{id}","source":{src}}}"#)
 }
 
-/// One request over its own connection; returns (status, latency from
-/// `scheduled`).
-fn round_trip(addr: std::net::SocketAddr, line: &str, scheduled: Instant) -> (String, Duration) {
+/// The i-th distinct heavy fixture for the deadline leg: a byteswap
+/// whose proc name varies (distinct fingerprints, identical cost). The
+/// e-graph here takes ~2 s to saturate and the DPLL cycle search runs
+/// for minutes, while the stochastic prepass publishes a verified
+/// 6-cycle candidate (baseline 7) within its first few hundred
+/// proposals — the shape that makes deadline harvesting observable.
+fn heavy_source(i: usize) -> String {
+    format!(
+        r"(\procdecl byteswap4_{i} ((a long)) long
+  (\var (r long 0)
+    (\semi
+      (:= ((\selectb r 0) (\selectb a 3)))
+      (:= ((\selectb r 1) (\selectb a 2)))
+      (:= ((\selectb r 2) (\selectb a 1)))
+      (:= ((\selectb r 3) (\selectb a 0)))
+      (:= (\res r)))))"
+    )
+}
+
+/// A compile line for the deadline leg: `engine: auto` under the slow
+/// DPLL solver, with a deadline that expires mid-search.
+fn deadline_line(id: &str, source: &str, deadline_ms: u64) -> String {
+    let mut src = String::new();
+    json::write_str(&mut src, source);
+    format!(
+        r#"{{"type":"compile","id":"{id}","source":{src},"deadline_ms":{deadline_ms},"options":{{"solver":"dpll","engine":"auto"}}}}"#
+    )
+}
+
+/// One request over its own connection; returns the parsed response
+/// body and the latency from `scheduled`.
+fn exchange(addr: std::net::SocketAddr, line: &str, scheduled: Instant) -> (Json, Duration) {
     let stream = TcpStream::connect(addr).expect("connect");
     let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
     let mut writer = stream;
@@ -117,7 +155,14 @@ fn round_trip(addr: std::net::SocketAddr, line: &str, scheduled: Instant) -> (St
     let mut response = String::new();
     reader.read_line(&mut response).expect("read response");
     let latency = scheduled.elapsed();
-    let v = json::parse(response.trim()).expect("response parses");
+    (
+        json::parse(response.trim()).expect("response parses"),
+        latency,
+    )
+}
+
+fn round_trip(addr: std::net::SocketAddr, line: &str, scheduled: Instant) -> (String, Duration) {
+    let (v, latency) = exchange(addr, line, scheduled);
     let status = match v.get("status").and_then(Json::as_str) {
         Some("ok") if v.get("degraded").and_then(Json::as_bool) == Some(true) => "degraded",
         Some(status) => status,
@@ -133,6 +178,7 @@ struct Counters {
     coalesced: u64,
     hits: u64,
     shed: u64,
+    harvests: u64,
 }
 
 fn counters(server: &Server) -> Counters {
@@ -152,6 +198,7 @@ fn counters(server: &Server) -> Counters {
         coalesced: at(&["coalesce", "coalesced"]),
         hits: at(&["cache", "hits"]),
         shed: at(&["overload_rejections"]) + at(&["shutdown_rejections"]),
+        harvests: at(&["stoke", "harvests"]),
     }
 }
 
@@ -221,6 +268,7 @@ fn finish_leg(
             coalesced: after.coalesced - before.coalesced,
             hits: after.hits - before.hits,
             shed: after.shed - before.shed,
+            harvests: after.harvests - before.harvests,
         },
     }
 }
@@ -342,12 +390,84 @@ fn stampede_leg(server: &Arc<Server>, addr: std::net::SocketAddr, config: &Confi
     finish_leg("stampede", outcomes, before, counters(server), &histogram)
 }
 
+/// The deadline leg: W concurrent `engine: auto` requests, one per
+/// worker so none of them queues — a queued request's deadline would
+/// expire before its stochastic prepass even ran, which tests the
+/// queue, not the harvest path. Runs against its *own* server built on
+/// default options: the heavy byteswap fixtures need the full
+/// saturation budget to reproduce the slow-DPLL / fast-prepass shape
+/// that [`fast_options`] deliberately removes.
+fn deadline_leg(config: &Config) -> Leg {
+    let server = Arc::new(
+        Server::new(ServerConfig {
+            workers: config.workers,
+            queue: config.queue,
+            ..ServerConfig::default()
+        })
+        .expect("deadline server"),
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    {
+        let server = Arc::clone(&server);
+        std::thread::Builder::new()
+            .name("deadline-accept".to_owned())
+            .spawn(move || serve_listener(&server, &listener))
+            .expect("spawn acceptor");
+    }
+    let before = counters(&server);
+    let histogram_before = server.metrics().stage_total.snapshot();
+    let barrier = Arc::new(Barrier::new(config.workers));
+    let results: Arc<Mutex<Vec<(String, Duration)>>> = Arc::default();
+    let clients: Vec<_> = (0..config.workers)
+        .map(|i| {
+            let line = deadline_line(
+                &format!("deadline{i}"),
+                &heavy_source(i),
+                config.deadline_ms,
+            );
+            let (barrier, results) = (Arc::clone(&barrier), Arc::clone(&results));
+            std::thread::Builder::new()
+                .name("deadline-client".to_owned())
+                .spawn(move || {
+                    barrier.wait();
+                    let scheduled = Instant::now();
+                    let (v, latency) = exchange(addr, &line, scheduled);
+                    let degraded = v.get("degraded").and_then(Json::as_bool) == Some(true);
+                    let engine = v.get("engine").and_then(Json::as_str).unwrap_or("");
+                    // "ok" here means *harvested*: in time (no degrade)
+                    // AND answered by the stochastic engine. A SAT
+                    // answer would mean the fixture finished before the
+                    // deadline and the leg measured nothing.
+                    let status = match v.get("status").and_then(Json::as_str) {
+                        Some("ok") if degraded => "degraded",
+                        Some("ok") if engine != "stochastic" => "error",
+                        Some(status) => status,
+                        None => "error",
+                    };
+                    results.lock().unwrap().push((status.to_owned(), latency));
+                })
+                .expect("spawn client")
+        })
+        .collect();
+    for handle in clients {
+        handle.join().expect("deadline client");
+    }
+    let outcomes = std::mem::take(&mut *results.lock().unwrap());
+    let histogram = server
+        .metrics()
+        .stage_total
+        .snapshot()
+        .since(&histogram_before);
+    finish_leg("deadline", outcomes, before, counters(&server), &histogram)
+}
+
 fn render(config: &Config, legs: &[Leg]) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"denali-serve-load-v2\",\n");
+    out.push_str("{\n  \"schema\": \"denali-serve-load-v3\",\n");
     out.push_str(&format!(
-        "  \"config\": {{\"requests\": {}, \"rate\": {}, \"stampede\": {}, \"workers\": {}, \"queue\": {}}},\n",
-        config.requests, config.rate, config.stampede, config.workers, config.queue
+        "  \"config\": {{\"requests\": {}, \"rate\": {}, \"stampede\": {}, \"workers\": {}, \"queue\": {}, \"deadline_ms\": {}}},\n",
+        config.requests, config.rate, config.stampede, config.workers, config.queue, config.deadline_ms
     ));
     out.push_str("  \"legs\": [\n");
     for (i, leg) in legs.iter().enumerate() {
@@ -356,7 +476,8 @@ fn render(config: &Config, legs: &[Leg]) -> String {
 \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \
 \"server_p50_ms\": {:.3}, \"server_p95_ms\": {:.3}, \"server_p99_ms\": {:.3}, \
 \"executions\": {}, \"coalesced\": {}, \
-\"coalesce_ratio\": {:.4}, \"cache_hits\": {}, \"shed\": {}, \"shed_rate\": {:.4}}}{}\n",
+\"coalesce_ratio\": {:.4}, \"cache_hits\": {}, \"shed\": {}, \"shed_rate\": {:.4}, \
+\"stoke_harvests\": {}}}{}\n",
             leg.name,
             leg.requests,
             leg.ok,
@@ -374,6 +495,7 @@ fn render(config: &Config, legs: &[Leg]) -> String {
             leg.delta.hits,
             leg.delta.shed,
             leg.shed_rate(),
+            leg.delta.harvests,
             if i + 1 < legs.len() { "," } else { "" }
         ));
     }
@@ -405,10 +527,11 @@ fn main() {
     let legs = vec![
         mixed_leg(&server, addr, &config),
         stampede_leg(&server, addr, &config),
+        deadline_leg(&config),
     ];
     for leg in &legs {
         println!(
-            "{:<9} requests={:<4} ok={:<4} degraded={:<3} errors={:<3} p50={:>8.2}ms p95={:>8.2}ms p99={:>8.2}ms executions={:<4} coalesced={:<4} hits={:<4} shed={}",
+            "{:<9} requests={:<4} ok={:<4} degraded={:<3} errors={:<3} p50={:>8.2}ms p95={:>8.2}ms p99={:>8.2}ms executions={:<4} coalesced={:<4} hits={:<4} shed={} harvests={}",
             leg.name,
             leg.requests,
             leg.ok,
@@ -421,6 +544,7 @@ fn main() {
             leg.delta.coalesced,
             leg.delta.hits,
             leg.delta.shed,
+            leg.delta.harvests,
         );
         println!(
             "{:<9} server-reported                          p50={:>8.2}ms p95={:>8.2}ms p99={:>8.2}ms",
@@ -432,9 +556,12 @@ fn main() {
     std::fs::write(&config.out, &report).expect("write report");
     println!("wrote {}", config.out);
 
-    // The PR's headline invariant, checked on every run: a stampede of
-    // identical requests executes the pipeline exactly once.
-    let stampede = legs.last().expect("stampede leg");
+    // Headline invariants, checked on every run. Stampede: K identical
+    // requests execute the pipeline exactly once.
+    let stampede = legs
+        .iter()
+        .find(|leg| leg.name == "stampede")
+        .expect("stampede leg");
     assert_eq!(
         stampede.delta.executions, 1,
         "stampede must execute the pipeline exactly once"
@@ -443,6 +570,28 @@ fn main() {
         stampede.delta.coalesced + stampede.delta.hits,
         (config.stampede - 1) as u64,
         "every non-leader must be answered by the coalescer or the cache"
+    );
+
+    // Deadline: every expired `engine: auto` request is *harvested* —
+    // a verified stochastic answer, not a degraded baseline — and each
+    // harvest comes from a real execution, never from the cache (the
+    // answer depends on when the deadline fired, not the program).
+    let deadline = legs
+        .iter()
+        .find(|leg| leg.name == "deadline")
+        .expect("deadline leg");
+    assert_eq!(
+        deadline.ok, deadline.requests,
+        "every deadline request must come back harvested (stochastic, non-degraded)"
+    );
+    assert_eq!(deadline.degraded, 0, "no deadline request may degrade");
+    assert_eq!(
+        deadline.delta.harvests, deadline.requests as u64,
+        "the server must count one stoke harvest per deadline request"
+    );
+    assert_eq!(
+        deadline.delta.executions, deadline.requests as u64,
+        "distinct fixtures must neither coalesce nor hit the cache"
     );
 
     // Cross-validation: the server's self-reported latency histogram

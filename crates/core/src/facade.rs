@@ -10,6 +10,7 @@ use denali_par::CancelToken;
 use denali_trace::{field, Tracer};
 
 use crate::encode::EncodeOptions;
+use crate::engine::{env_engine, run_chain, AnytimeSlot, EngineChoice, StokeKnobs};
 use crate::matcher::match_gma_traced;
 use crate::search::{search_traced, ProbeStats, SearchOutcome, SearchParams};
 use crate::telemetry::Telemetry;
@@ -83,6 +84,21 @@ pub struct Options {
     /// [`CompileError`] whose [`CompileError::is_cancelled`] is true.
     /// Never part of the compilation fingerprint.
     pub cancel: Option<CancelToken>,
+    /// Which optimizer answers compiles: the SAT search (`sat`, the
+    /// default), the stochastic MCMC engine (`stochastic`), or SAT
+    /// with a stochastic anytime prepass and budget-exhaustion
+    /// fallback (`auto`). Output-affecting, so part of the
+    /// fingerprint. Defaults to the `DENALI_ENGINE` environment
+    /// variable, else `sat`.
+    pub engine: EngineChoice,
+    /// Stochastic-chain scheduling knobs (seed, proposal budgets).
+    /// Excluded from the fingerprint, like `threads`.
+    pub stoke: StokeKnobs,
+    /// The anytime channel: when set, verified stochastic candidates
+    /// that beat the baseline are published here as they are found,
+    /// so a deadline-cancelled compile still leaves a harvestable
+    /// result. Never part of the fingerprint.
+    pub anytime: Option<AnytimeSlot>,
 }
 
 impl Default for Options {
@@ -103,6 +119,9 @@ impl Default for Options {
             portfolio: env_portfolio(),
             trace: denali_trace::env_enabled(),
             cancel: None,
+            engine: env_engine(),
+            stoke: StokeKnobs::default(),
+            anytime: None,
         }
     }
 }
@@ -157,6 +176,11 @@ pub struct CompiledGma {
     /// Diagnostic only: not part of the fingerprint or the response
     /// payload, but aggregated into the serve `stats` gauges.
     pub egraph_memory: denali_egraph::MemoryStats,
+    /// Which engine produced `program`: [`EngineChoice::Sat`] (probes
+    /// carry the optimality ladder) or [`EngineChoice::Stochastic`]
+    /// (no optimality claim; `refuted_below` is always false). `Auto`
+    /// never appears here — it resolves to whichever engine answered.
+    pub engine: EngineChoice,
 }
 
 impl CompiledGma {
@@ -291,6 +315,21 @@ impl Denali {
     pub fn with_cancel(&self, token: CancelToken) -> Denali {
         let mut options = self.options.clone();
         options.cancel = Some(token);
+        Denali {
+            options,
+            tracer: self.tracer.clone(),
+        }
+    }
+
+    /// A pipeline identical to this one but publishing verified
+    /// stochastic candidates into `slot` as they are found. The server
+    /// installs a fresh slot per request so that when the deadline
+    /// watchdog cancels a compile, the response can carry the best
+    /// verified-so-far program instead of the degraded baseline.
+    #[must_use]
+    pub fn with_anytime(&self, slot: AnytimeSlot) -> Denali {
+        let mut options = self.options.clone();
+        options.anytime = Some(slot);
         Denali {
             options,
             tracer: self.tracer.clone(),
@@ -501,6 +540,33 @@ impl Denali {
         // bounded by its budgets, so this check is reached promptly).
         self.check_cancelled()?;
 
+        // Engine dispatch. The stochastic engine answers directly from
+        // the saturated e-graph (equivalence mining) and never enters
+        // the SAT search; `auto` first runs a bounded anytime prepass
+        // so a deadline-cancelled SAT compile still leaves verified
+        // candidates in the anytime slot.
+        if self.options.engine == EngineChoice::Stochastic {
+            return self.compile_gma_stochastic(gma, &matched, egraph_memory, telemetry, gma_span);
+        }
+        if self.options.engine == EngineChoice::Auto && self.options.anytime.is_some() {
+            if let Ok(baseline) = denali_baseline::rewrite_compile(&gma, &self.options.machine) {
+                let span = tracer.span("stoke.prepass");
+                run_chain(
+                    &self.options.machine,
+                    &gma,
+                    Some(&matched),
+                    &baseline,
+                    &self.options.stoke,
+                    self.options.stoke.auto_iterations,
+                    self.options.cancel.as_ref(),
+                    tracer,
+                    self.options.anytime.as_ref(),
+                );
+                telemetry.record("stoke.prepass", span.finish());
+            }
+            self.check_cancelled()?;
+        }
+
         let inputs = gma.inputs();
         let span = tracer.span("enumerate");
         let candidates = crate::machine_terms::enumerate_with_misses(
@@ -545,14 +611,40 @@ impl Denali {
             tracer,
         );
         telemetry.record("search", span.finish());
-        let outcome: SearchOutcome = outcome.map_err(|e| CompileError {
-            stage: if e.cancelled {
-                CompileError::CANCELLED
-            } else {
-                "search"
-            },
-            message: e.message,
-        })?;
+        let outcome: SearchOutcome = match outcome {
+            Ok(outcome) => outcome,
+            Err(e) if e.cancelled => {
+                return Err(CompileError {
+                    stage: CompileError::CANCELLED,
+                    message: e.message,
+                })
+            }
+            Err(e)
+                if self.options.engine == EngineChoice::Auto
+                    && e.message.starts_with("no schedule within") =>
+            {
+                // The SAT probe ladder exhausted its cycle budget:
+                // fall back to a full stochastic run. Anytime
+                // semantics — the verified result is returned even
+                // when it is longer than `max_cycles`.
+                tracer.event("stoke.fallback", || {
+                    vec![field("reason", e.message.clone())]
+                });
+                return self.compile_gma_stochastic(
+                    gma,
+                    &matched,
+                    egraph_memory,
+                    telemetry,
+                    gma_span,
+                );
+            }
+            Err(e) => {
+                return Err(CompileError {
+                    stage: "search",
+                    message: e.message,
+                })
+            }
+        };
 
         gma_span.finish_fields(vec![
             field("cycles", outcome.cycles),
@@ -587,8 +679,153 @@ impl Denali {
             search_ms,
             telemetry,
             egraph_memory,
+            engine: EngineChoice::Sat,
         })
     }
+
+    /// The stochastic-engine tail of [`Denali::compile_gma`]: baseline
+    /// rewrite → sketch conversion → equivalence-move mining from the
+    /// saturated e-graph → Metropolis chain, with verified
+    /// improvements published on the anytime channel along the way.
+    fn compile_gma_stochastic(
+        &self,
+        gma: Gma,
+        matched: &crate::matcher::Matched,
+        egraph_memory: denali_egraph::MemoryStats,
+        mut telemetry: Telemetry,
+        gma_span: denali_trace::Span,
+    ) -> Result<CompiledGma, CompileError> {
+        let tracer = &self.tracer;
+        let baseline = denali_baseline::rewrite_compile(&gma, &self.options.machine)
+            .map_err(stage_err("baseline"))?;
+        let span = tracer.span("stoke");
+        let outcome = run_chain(
+            &self.options.machine,
+            &gma,
+            Some(matched),
+            &baseline,
+            &self.options.stoke,
+            self.options.stoke.iterations,
+            self.options.cancel.as_ref(),
+            tracer,
+            self.options.anytime.as_ref(),
+        );
+        telemetry.record("stoke", span.finish());
+        let (program, cycles) = match &outcome {
+            Some(out) if out.cancelled => {
+                gma_span.finish_fields(vec![
+                    field("engine", "stochastic"),
+                    field("cancelled", true),
+                ]);
+                return Err(CompileError {
+                    stage: CompileError::CANCELLED,
+                    message: "stochastic search cancelled".to_owned(),
+                });
+            }
+            Some(out) => (out.best_program.clone(), out.best_cycles),
+            // Outside the engine's fragment (guards, memory,
+            // uninterpreted operations): the baseline program *is* the
+            // stochastic answer — total, verified by construction, no
+            // optimality claim either way.
+            None => {
+                let cycles = baseline.cycles();
+                (baseline, cycles)
+            }
+        };
+        gma_span.finish_fields(vec![field("cycles", cycles), field("engine", "stochastic")]);
+        let metrics = pipeline_metrics();
+        metrics.compiles.inc();
+        metrics.egraph_nodes.set(egraph_memory.nodes);
+        metrics.egraph_bytes.set(egraph_memory.total_bytes);
+        let match_ms = telemetry.ms("match");
+        let search_ms = telemetry.ms("stoke");
+        Ok(CompiledGma {
+            gma,
+            program,
+            cycles,
+            refuted_below: false,
+            matcher: matched.report.clone(),
+            probes: Vec::new(),
+            match_ms,
+            search_ms,
+            telemetry,
+            egraph_memory,
+            engine: EngineChoice::Stochastic,
+        })
+    }
+
+    /// Profiles the stochastic engine on every supported GMA of
+    /// `source`: one full chain per GMA with mined equivalence moves,
+    /// returning the best-cost trajectory and chain statistics. Used
+    /// by the `stoke_bench` artifact and the `report e7` table; fully
+    /// deterministic at a fixed [`StokeKnobs::seed`].
+    ///
+    /// # Errors
+    ///
+    /// Reports preparation failures (parse/axiom/lower), match-phase
+    /// failures, and baseline rewrite failures.
+    pub fn stoke_profile(&self, source: &str) -> Result<Vec<StokeRun>, CompileError> {
+        let prepared = self.prepare_source(source)?;
+        let mut saturation = self.options.saturation;
+        if self.options.threads != 1 {
+            saturation.threads = self.options.threads;
+        }
+        let mut runs = Vec::new();
+        for gma in &prepared.gmas {
+            if !crate::engine::stoke_supported(gma) {
+                continue;
+            }
+            let matched = match_gma_traced(gma, &prepared.axioms, &saturation, &self.tracer)
+                .map_err(stage_err("match"))?;
+            let baseline = denali_baseline::rewrite_compile(gma, &self.options.machine)
+                .map_err(stage_err("baseline"))?;
+            let Some(outcome) = run_chain(
+                &self.options.machine,
+                gma,
+                Some(&matched),
+                &baseline,
+                &self.options.stoke,
+                self.options.stoke.iterations,
+                self.options.cancel.as_ref(),
+                &self.tracer,
+                None,
+            ) else {
+                continue;
+            };
+            runs.push(StokeRun {
+                gma: gma.name.clone(),
+                baseline_cycles: outcome.baseline_cycles,
+                best_cycles: outcome.best_cycles,
+                improved: outcome.improved,
+                proposals: outcome.proposals,
+                accepted: outcome.accepted,
+                restarts: outcome.restarts,
+                trajectory: outcome.trajectory,
+            });
+        }
+        Ok(runs)
+    }
+}
+
+/// One stochastic chain profile (see [`Denali::stoke_profile`]).
+#[derive(Clone, Debug)]
+pub struct StokeRun {
+    /// GMA name.
+    pub gma: String,
+    /// Baseline rewrite schedule length.
+    pub baseline_cycles: u32,
+    /// Best verified schedule length the chain found.
+    pub best_cycles: u32,
+    /// True when `best_cycles < baseline_cycles`.
+    pub improved: bool,
+    /// Proposals evaluated.
+    pub proposals: u64,
+    /// Proposals accepted.
+    pub accepted: u64,
+    /// Chain restarts.
+    pub restarts: u64,
+    /// Verified best-cost trajectory: (proposal index, cycles).
+    pub trajectory: Vec<(u64, u32)>,
 }
 
 /// Process-wide pipeline metric handles, resolved once. The handles are

@@ -82,6 +82,14 @@ pub fn fingerprint(gmas: &[Gma], axioms: &[Axiom], options: &Options) -> String 
         SolverChoice::Dpll => "dpll",
     };
     fp.field("solver", solver);
+    // The engine determines *which* optimizer answers, so two requests
+    // differing only in `engine` must never share a cached result. The
+    // stochastic knobs (`stoke.seed`, `stoke.iterations`) are excluded
+    // deliberately: they come from process environment, never from a
+    // request, so they are fixed for the lifetime of any cache keyed by
+    // this fingerprint; deadline-harvested anytime candidates bypass
+    // the cache entirely (see the serve crate).
+    fp.field("engine", options.engine.as_str());
     fp.field("max_cycles", &options.max_cycles.to_string());
     let load_latency = match options.load_latency {
         Some(l) => l.to_string(),
@@ -228,6 +236,11 @@ mod tests {
         other.dump_dimacs = Some(std::path::PathBuf::from("/tmp/nowhere"));
         other.saturation.threads = 4;
         other.saturation.delta_match = !base.saturation.delta_match;
+        // Stochastic effort knobs are environment-pinned, not
+        // request-visible; they stay out of the key.
+        other.stoke.seed = base.stoke.seed.wrapping_add(1);
+        other.stoke.iterations = base.stoke.iterations + 1;
+        other.stoke.auto_iterations = base.stoke.auto_iterations + 1;
         assert_eq!(key, fingerprint(&gmas, &axioms, &other));
     }
 
@@ -246,6 +259,10 @@ mod tests {
         let mut classes = base.clone();
         classes.saturation.max_classes = 1_000;
         assert_ne!(key, fingerprint(&gmas, &axioms, &classes));
+        // The engine selects which optimizer produces the program.
+        let mut engine = base.clone();
+        engine.engine = crate::engine::EngineChoice::Stochastic;
+        assert_ne!(key, fingerprint(&gmas, &axioms, &engine));
         // Dropping an axiom changes the key.
         assert_ne!(key, fingerprint(&gmas, &axioms[1..], &base));
         // A different GMA changes the key.

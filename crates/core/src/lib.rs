@@ -43,10 +43,13 @@ pub mod matcher;
 pub mod search;
 pub mod telemetry;
 
+pub mod engine;
+
 mod facade;
 
+pub use engine::{AnytimeBest, AnytimeSlot, EngineChoice, StokeKnobs};
 pub use facade::{
-    CompileError, CompileResult, CompiledGma, Denali, Options, Prepared, SolverChoice,
+    CompileError, CompileResult, CompiledGma, Denali, Options, Prepared, SolverChoice, StokeRun,
 };
 pub use search::{DimacsDump, ProbeStats, SearchError, SearchOutcome, SearchParams};
 pub use telemetry::Telemetry;

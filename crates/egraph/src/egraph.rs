@@ -137,6 +137,13 @@ impl SlicePool {
         bucket.iter().copied().find(|&id| self.get(id) == children)
     }
 
+    /// Payload bytes held by the pool's backing storage (flat data plus
+    /// span table; lengths, not allocator capacities).
+    fn footprint_bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<ClassId>()
+            + self.spans.len() * std::mem::size_of::<(u32, u32)>()) as u64
+    }
+
     /// Interns a child list, returning the shared id for its content.
     fn intern(&mut self, children: &[ClassId]) -> SliceId {
         let h = hash_children(children);
@@ -343,6 +350,11 @@ pub struct MemoryStats {
     pub total_bytes: u64,
     /// Payload bytes the pre-arena layout would need for this graph.
     pub legacy_bytes: u64,
+    /// Cumulative payload bytes reclaimed from the slice pool by
+    /// generational sweeps (pre-canonical garbage compacted away at
+    /// rebuild time). Monotone over the graph's lifetime; not part of
+    /// `total_bytes`, which measures what is held *now*.
+    pub reclaimed_bytes: u64,
 }
 
 impl MemoryStats {
@@ -428,6 +440,9 @@ pub struct EGraph {
     /// [`EGraphErrorKind::TooManyClasses`] error instead of unbounded
     /// growth.
     class_capacity: usize,
+    /// Cumulative payload bytes reclaimed by generational sweeps of the
+    /// slice pool (see [`EGraph::sweep_slices`]).
+    reclaimed_bytes: u64,
 }
 
 // The matcher freezes the e-graph and e-matches axioms against it from
@@ -890,7 +905,82 @@ impl EGraph {
         self.repairing = true;
         let result = self.rebuild_loop();
         self.repairing = false;
+        if result.is_ok() {
+            self.sweep_slices();
+        }
         result
+    }
+
+    /// Generational sweep of the slice pool. Congruence repair re-points
+    /// arena nodes at freshly interned canonical slices, so after heavy
+    /// merging the span table accumulates pre-canonical garbage nobody
+    /// references. When at least half the table is dead (and it is big
+    /// enough to bother), re-intern every live slice into a fresh pool
+    /// and remap the arena and memo through it. Content is preserved
+    /// verbatim — only the ids and the backing storage change — and the
+    /// re-intern order (arena order, then memo-only ids numerically) is
+    /// deterministic, so the new numbering is too.
+    fn sweep_slices(&mut self) {
+        const SWEEP_MIN_SPANS: usize = 32;
+        let total = self.pool.spans.len();
+        if total < SWEEP_MIN_SPANS {
+            return;
+        }
+        // Memo entries keyed by non-canonical content are unreachable:
+        // every lookup path canonicalizes children first, and a class id
+        // that lost root status never regains it, so that content can
+        // never be asked for again. Dropping them here both frees the
+        // memo and unpins their slices.
+        let stale: Vec<(Op, SliceId)> = self
+            .memo
+            .keys()
+            .filter(|&&(_, s)| self.pool.get(s).iter().any(|&c| self.find(c) != c))
+            .copied()
+            .collect();
+        for key in stale {
+            self.memo.remove(&key);
+        }
+        let mut live = vec![false; total];
+        for &s in &self.node_slices {
+            live[s.index()] = true;
+        }
+        for &(_, s) in self.memo.keys() {
+            live[s.index()] = true;
+        }
+        let dead = live.iter().filter(|&&l| !l).count();
+        if dead * 2 < total {
+            return;
+        }
+        let before = self.pool.footprint_bytes();
+        let mut fresh = SlicePool::default();
+        let mut remap: Vec<Option<SliceId>> = vec![None; total];
+        for i in 0..self.node_slices.len() {
+            let old = self.node_slices[i];
+            let new = *remap[old.index()].get_or_insert_with(|| fresh.intern(self.pool.get(old)));
+            self.node_slices[i] = new;
+        }
+        // Memo keys not shared with any arena node (stale hashcons
+        // entries from earlier repairs) are kept — the sweep compacts
+        // storage, it never changes lookup behavior. Their re-intern
+        // order is fixed numerically so ids stay deterministic.
+        let mut memo_only: Vec<SliceId> = self
+            .memo
+            .keys()
+            .map(|&(_, s)| s)
+            .filter(|s| remap[s.index()].is_none())
+            .collect();
+        memo_only.sort_unstable_by_key(|s| s.0);
+        memo_only.dedup();
+        for old in memo_only {
+            remap[old.index()] = Some(fresh.intern(self.pool.get(old)));
+        }
+        let memo = std::mem::take(&mut self.memo);
+        self.memo = memo
+            .into_iter()
+            .map(|((op, s), c)| ((op, remap[s.index()].expect("live memo slice")), c))
+            .collect();
+        self.pool = fresh;
+        self.reclaimed_bytes += before - self.pool.footprint_bytes();
     }
 
     fn rebuild_loop(&mut self) -> Result<(), EGraphError> {
@@ -1272,6 +1362,7 @@ impl EGraph {
             memo_bytes,
             total_bytes: arena_bytes + slice_bytes + class_bytes + memo_bytes,
             legacy_bytes,
+            reclaimed_bytes: self.reclaimed_bytes,
         }
     }
 }

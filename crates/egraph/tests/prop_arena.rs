@@ -160,6 +160,86 @@ fn memo_and_arena_agree_after_random_mutations() {
 }
 
 #[test]
+fn memo_and_arena_agree_across_a_generational_sweep() {
+    // Heavy merging leaves the slice pool mostly garbage (every repair
+    // re-points nodes at freshly interned canonical slices), which
+    // triggers the generational sweep at rebuild time. The sweep remaps
+    // every SliceId, so this pins the full contract across it: slices
+    // stay canonical and content-shared, the memo still answers every
+    // term, re-adding is a pure hashcons hit, and the reclaimed bytes
+    // show up (cumulatively) in the memory stats.
+    forall("memo_and_arena_agree_across_a_sweep", 32, |rng| {
+        let terms: Vec<Term> = (0..rng.range(12, 24))
+            .map(|_| random_term(rng, 4))
+            .collect();
+        let mut eg = EGraph::new();
+        let classes: Vec<_> = terms.iter().map(|t| eg.add_term(t).unwrap()).collect();
+        // Merge every leaf into one class: congruence cascades through
+        // every parent, re-pointing nearly every stored slice, so the
+        // pre-merge spans go stale en masse.
+        let leaves: Vec<_> = (0..5)
+            .map(|i| eg.add_term(&Term::leaf(format!("a{i}"))).unwrap())
+            .collect();
+        for pair in leaves.windows(2) {
+            eg.union(pair[0], pair[1]).unwrap();
+        }
+        eg.rebuild().unwrap();
+        let mem = eg.memory_stats();
+        assert!(
+            mem.reclaimed_bytes > 0,
+            "chain-merging {} terms must trigger a sweep (slice_entries {})",
+            terms.len(),
+            mem.slice_entries
+        );
+        // Reclaimed bytes are monotone and never double-counted into
+        // the live footprint.
+        assert_eq!(
+            mem.total_bytes,
+            mem.arena_bytes + mem.slice_bytes + mem.class_bytes + mem.memo_bytes
+        );
+
+        // Post-sweep slices are canonical and content-shared.
+        let mut by_content: HashMap<Vec<denali_egraph::ClassId>, SliceId> = HashMap::new();
+        for class in eg.classes() {
+            for &nid in eg.class_node_ids(class) {
+                let slice = eg.node_slice(nid);
+                let children = eg.node_children(nid).to_vec();
+                for &c in &children {
+                    assert_eq!(eg.find(c), c, "stale child after sweep");
+                }
+                match by_content.get(&children) {
+                    Some(&existing) => assert_eq!(
+                        existing, slice,
+                        "identical child lists interned as two slices after sweep"
+                    ),
+                    None => {
+                        by_content.insert(children, slice);
+                    }
+                }
+            }
+        }
+
+        // The memo survived the remap: every term still answers, and
+        // re-adding creates nothing.
+        let nodes = eg.num_nodes();
+        let num_classes = eg.num_classes();
+        for (t, &c) in terms.iter().zip(&classes) {
+            assert_eq!(eg.lookup_term(t), Some(eg.find(c)), "memo lost a term");
+            let again = eg.add_term(t).unwrap();
+            assert_eq!(eg.find(again), eg.find(c));
+        }
+        assert_eq!(eg.num_nodes(), nodes, "re-add created arena nodes");
+        assert_eq!(eg.num_classes(), num_classes, "re-add created classes");
+
+        // A second rebuild over the swept pool is a no-op for content
+        // and keeps the counter monotone.
+        let reclaimed = mem.reclaimed_bytes;
+        eg.rebuild().unwrap();
+        assert!(eg.memory_stats().reclaimed_bytes >= reclaimed);
+    });
+}
+
+#[test]
 fn memory_stats_are_consistent() {
     forall("memory_stats_are_consistent", 64, |rng| {
         let (eg, _, _) = random_egraph(rng);

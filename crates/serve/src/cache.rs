@@ -230,7 +230,7 @@ mod tests {
 
     /// A minimal body that passes disk-tier protocol validation.
     fn valid_body(fingerprint: &str) -> String {
-        crate::protocol::render_result_body(fingerprint, false, &[])
+        crate::protocol::render_result_body(fingerprint, false, "sat", &[])
     }
 
     #[test]

@@ -66,6 +66,8 @@ struct Mirror {
     coalesced: Arc<Counter>,
     coalesced_expired: Arc<Counter>,
     promotions: Arc<Counter>,
+    stoke_harvests: Arc<Counter>,
+    stoke_compiles: Arc<Counter>,
     cache_hits: Arc<Counter>,
     cache_misses: Arc<Counter>,
     cache_disk_hits: Arc<Counter>,
@@ -163,6 +165,14 @@ impl ServeMetrics {
                 "denali_serve_promotions_total",
                 "Followers promoted to leader after their leader vanished",
             ),
+            stoke_harvests: registry.counter(
+                "denali_serve_stoke_harvests_total",
+                "Deadline expiries answered from the anytime channel",
+            ),
+            stoke_compiles: registry.counter(
+                "denali_serve_stoke_compiles_total",
+                "Compiles answered by the stochastic engine",
+            ),
             cache_hits: registry.counter("denali_serve_cache_hits_total", "Result-cache hits"),
             cache_misses: registry
                 .counter("denali_serve_cache_misses_total", "Result-cache misses"),
@@ -211,9 +221,10 @@ impl ServeMetrics {
     pub fn observe_outcome(&self, outcome: &str, coalesced: bool, total_us: u64) {
         self.stage_total.observe(total_us);
         // Shed/panic tags (`overload`, `shutdown`, `panic`) classify as
-        // errors: the client did not get a program.
+        // errors: the client did not get a program. A harvested answer
+        // is a full result (`degraded: false`), so it classifies as ok.
         let index = match outcome {
-            "ok" => 0,
+            "ok" | "harvested" => 0,
             "hit" => 1,
             "degraded" => 2,
             _ => 3,
@@ -241,6 +252,8 @@ impl ServeMetrics {
         m.coalesced.set(load(&stats.coalesced));
         m.coalesced_expired.set(load(&stats.coalesced_expired));
         m.promotions.set(load(&stats.promotions));
+        m.stoke_harvests.set(load(&stats.stoke_harvests));
+        m.stoke_compiles.set(load(&stats.stoke_compiles));
         m.cache_hits.set(cache.hits);
         m.cache_misses.set(cache.misses);
         m.cache_disk_hits.set(cache.disk_hits);

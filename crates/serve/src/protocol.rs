@@ -17,7 +17,7 @@
 
 use std::fmt;
 
-use denali_core::SolverChoice;
+use denali_core::{EngineChoice, SolverChoice};
 use denali_trace::json::{self, Json};
 
 /// The protocol version this server speaks.
@@ -88,6 +88,10 @@ pub struct OptionOverrides {
     pub machine: Option<String>,
     /// SAT engine (`cdcl` or `dpll`).
     pub solver: Option<SolverChoice>,
+    /// Optimizer engine (`sat`, `stochastic`, or `auto`). Output-
+    /// affecting: part of the compilation fingerprint, so requests
+    /// with different engines never share a cache entry.
+    pub engine: Option<EngineChoice>,
     /// Cycle-budget ceiling.
     pub max_cycles: Option<u32>,
     /// Load-latency override.
@@ -120,6 +124,9 @@ impl OptionOverrides {
         }
         if let Some(solver) = self.solver {
             options.solver = solver;
+        }
+        if let Some(engine) = self.engine {
+            options.engine = engine;
         }
         if let Some(k) = self.max_cycles {
             options.max_cycles = k;
@@ -267,6 +274,7 @@ fn parse_overrides(obj: &Json) -> Result<OptionOverrides, ProtocolError> {
         &[
             "machine",
             "solver",
+            "engine",
             "max_cycles",
             "load_latency",
             "miss_latency",
@@ -288,6 +296,14 @@ fn parse_overrides(obj: &Json) -> Result<OptionOverrides, ProtocolError> {
             )))
         }
     };
+    let engine = match get_str(obj, "engine")?.as_deref() {
+        None => None,
+        Some(name) => Some(EngineChoice::parse(name).ok_or_else(|| {
+            ProtocolError::new(format!(
+                "unknown engine {name:?} (known: sat, stochastic, auto)"
+            ))
+        })?),
+    };
     // Validate the machine name at parse time so a typo is rejected
     // before the request is queued.
     if let Some(name) = get_str(obj, "machine")? {
@@ -296,6 +312,7 @@ fn parse_overrides(obj: &Json) -> Result<OptionOverrides, ProtocolError> {
     Ok(OptionOverrides {
         machine: get_str(obj, "machine")?,
         solver,
+        engine,
         max_cycles: get_u64(obj, "max_cycles")?
             .map(|v| u32::try_from(v).map_err(|_| ProtocolError::new("max_cycles out of range")))
             .transpose()?,
@@ -402,10 +419,20 @@ pub struct GmaSummary {
 
 /// Renders the *cacheable* result body: only deterministic fields, so a
 /// cache hit is byte-identical to the fresh compile that stored it.
-pub fn render_result_body(fingerprint: &str, degraded: bool, gmas: &[GmaSummary]) -> String {
+/// `engine` names the optimizer that produced the programs (`sat` or
+/// `stochastic` — never `auto`, which always resolves to one of the
+/// two).
+pub fn render_result_body(
+    fingerprint: &str,
+    degraded: bool,
+    engine: &str,
+    gmas: &[GmaSummary],
+) -> String {
     let mut out = String::new();
     out.push_str("\"status\":\"ok\",\"degraded\":");
     out.push_str(if degraded { "true" } else { "false" });
+    out.push_str(",\"engine\":");
+    json::write_str(&mut out, engine);
     out.push_str(",\"fingerprint\":");
     json::write_str(&mut out, fingerprint);
     out.push_str(",\"gmas\":[");
@@ -440,6 +467,7 @@ pub fn is_valid_result_body(body: &str) -> bool {
     };
     value.get("status").and_then(Json::as_str) == Some("ok")
         && value.get("degraded").and_then(Json::as_bool) == Some(false)
+        && value.get("engine").and_then(Json::as_str).is_some()
         && value.get("fingerprint").and_then(Json::as_str).is_some()
         && value.get("gmas").and_then(Json::as_arr).is_some()
 }
@@ -503,17 +531,38 @@ mod tests {
         assert!(
             parse_request(r#"{"type":"compile","source":"x","options":{"solver":"z3"}}"#).is_err()
         );
+        assert!(
+            parse_request(r#"{"type":"compile","source":"x","options":{"engine":"quantum"}}"#)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn parses_the_engine_option() {
+        for (name, want) in [
+            ("sat", EngineChoice::Sat),
+            ("stochastic", EngineChoice::Stochastic),
+            ("auto", EngineChoice::Auto),
+        ] {
+            let line =
+                format!(r#"{{"type":"compile","source":"x","options":{{"engine":"{name}"}}}}"#);
+            let Request::Compile(c) = parse_request(&line).unwrap() else {
+                panic!("expected compile");
+            };
+            assert_eq!(c.options.engine, Some(want));
+        }
     }
 
     #[test]
     fn result_body_validation_rejects_everything_but_ok_results() {
-        let good = render_result_body("abc123", false, &[]);
+        let good = render_result_body("abc123", false, "sat", &[]);
         assert!(is_valid_result_body(&good));
         // Degraded bodies are never cached, so they are not valid
         // cache contents even though they are valid responses.
         assert!(!is_valid_result_body(&render_result_body(
             "abc123",
             true,
+            "sat",
             &[]
         )));
         assert!(!is_valid_result_body(&render_error_body(
@@ -537,6 +586,7 @@ mod tests {
         let body = render_result_body(
             "abc123",
             false,
+            "sat",
             &[GmaSummary {
                 name: "f_final".into(),
                 cycles: 1,
@@ -549,6 +599,7 @@ mod tests {
         let parsed = denali_trace::json::parse(&line).unwrap();
         assert_eq!(parsed.get("status").and_then(Json::as_str), Some("ok"));
         assert_eq!(parsed.get("degraded").and_then(Json::as_bool), Some(false));
+        assert_eq!(parsed.get("engine").and_then(Json::as_str), Some("sat"));
         assert_eq!(
             parsed.get("gmas").and_then(Json::as_arr).map(<[Json]>::len),
             Some(1)

@@ -43,7 +43,7 @@ use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use denali_core::{CompileError, Denali, Options, Prepared};
+use denali_core::{AnytimeSlot, CompileError, Denali, EngineChoice, Options, Prepared};
 use denali_par::CancelToken;
 use denali_trace::{field, jsonl, Tracer, Value};
 
@@ -398,6 +398,14 @@ impl Server {
         if let Some(tracer) = &capture {
             denali = denali.with_tracer(tracer.clone());
         }
+        // Under `engine: auto`, install an anytime slot: the stochastic
+        // prepass publishes verified best-so-far candidates into it, so
+        // a deadline expiry can harvest a real answer instead of
+        // degrading to the baseline.
+        let anytime = (denali.options().engine == EngineChoice::Auto).then(AnytimeSlot::new);
+        if let Some(slot) = &anytime {
+            denali = denali.with_anytime(slot.clone());
+        }
         // Arm the deadline, measured from admission so queue time counts
         // against it. An already-expired deadline cancels inline —
         // deterministic degradation, no watchdog race. A deadline too
@@ -441,16 +449,35 @@ impl Server {
                         listing: c.program.listing(issue_width),
                     })
                     .collect();
-                let body = protocol::render_result_body(&ctx.fingerprint, false, &gmas);
+                let engine = if result
+                    .gmas
+                    .iter()
+                    .any(|c| c.engine == EngineChoice::Stochastic)
+                {
+                    Stats::bump(&self.stats.stoke_compiles);
+                    "stochastic"
+                } else {
+                    "sat"
+                };
+                let body = protocol::render_result_body(&ctx.fingerprint, false, engine, &gmas);
                 self.cache.put(&ctx.fingerprint, &body);
                 Stats::bump(&self.stats.compiles_ok);
                 ("ok", body)
             }
             Err(e) if e.is_cancelled() => {
-                match degraded_body(&denali, &ctx.prepared, &ctx.fingerprint) {
-                    Ok(body) => {
-                        // Never cached: degradation is a property of
-                        // this request's deadline, not of the program.
+                match fallback_body(&denali, &ctx.prepared, &ctx.fingerprint, anytime.as_ref()) {
+                    // Never cached (either arm): the answer depends on
+                    // when this request's deadline fired, not on the
+                    // program alone.
+                    Ok((body, true)) => {
+                        Stats::bump(&self.stats.stoke_harvests);
+                        // A harvest is a stochastic-answered compile,
+                        // so it counts under both stoke gauges.
+                        Stats::bump(&self.stats.stoke_compiles);
+                        Stats::bump(&self.stats.compiles_ok);
+                        ("harvested", body)
+                    }
+                    Ok((body, false)) => {
                         Stats::bump(&self.stats.compiles_degraded);
                         ("degraded", body)
                     }
@@ -562,17 +589,38 @@ impl Server {
     }
 }
 
-/// Compiles every GMA with the baseline rewriter (microseconds, no
-/// search) and renders a `degraded: true` body.
-fn degraded_body(
+/// Renders the deadline-expiry body. Each GMA takes its simulator-
+/// verified anytime candidate when the slot has one (published by the
+/// stochastic prepass before the deadline hit) and the baseline rewrite
+/// otherwise. When *every* GMA was harvested the body is a full
+/// `degraded: false` answer tagged `engine: "stochastic"` — the
+/// programs are verified and strictly cheaper than the baseline, so
+/// nothing about it is degraded; otherwise it is the classic
+/// `degraded: true` baseline body. Returns the body and whether it was
+/// fully harvested.
+fn fallback_body(
     denali: &Denali,
     prepared: &denali_core::Prepared,
     fingerprint: &str,
-) -> Result<String, String> {
+    anytime: Option<&AnytimeSlot>,
+) -> Result<(String, bool), String> {
     let machine = &denali.options().machine;
     let issue_width = machine.issue_width();
     let mut gmas = Vec::with_capacity(prepared.gmas.len());
+    let mut harvested = 0;
     for gma in &prepared.gmas {
+        if let Some(best) = anytime.and_then(|slot| slot.get(&gma.name)) {
+            harvested += 1;
+            gmas.push(GmaSummary {
+                name: gma.name.clone(),
+                cycles: best.cycles,
+                instructions: best.program.len(),
+                // Verified, but no optimality certificate.
+                refuted_below: false,
+                listing: best.program.listing(issue_width),
+            });
+            continue;
+        }
         let program = denali_baseline::degraded_compile(gma, machine)
             .map_err(|e| format!("baseline fallback failed for {}: {e}", gma.name))?;
         gmas.push(GmaSummary {
@@ -584,7 +632,23 @@ fn degraded_body(
             listing: program.listing(issue_width),
         });
     }
-    Ok(protocol::render_result_body(fingerprint, true, &gmas))
+    let full = harvested == prepared.gmas.len() && harvested > 0;
+    let engine = if full { "stochastic" } else { "baseline" };
+    Ok((
+        protocol::render_result_body(fingerprint, !full, engine, &gmas),
+        full,
+    ))
+}
+
+/// Compiles every GMA with the baseline rewriter (microseconds, no
+/// search) and renders a `degraded: true` body — the no-anytime-slot
+/// fallback used by expired coalesced followers.
+fn degraded_body(
+    denali: &Denali,
+    prepared: &denali_core::Prepared,
+    fingerprint: &str,
+) -> Result<String, String> {
+    fallback_body(denali, prepared, fingerprint, None).map(|(body, _)| body)
 }
 
 fn pong(id: &RequestId) -> String {
@@ -764,7 +828,7 @@ fn follower_wait<W: Write + Send + 'static>(
         Wait::Delivered(d) => {
             Stats::bump(&server.stats.coalesced);
             let counter = match d.outcome {
-                "ok" => &server.stats.compiles_ok,
+                "ok" | "harvested" => &server.stats.compiles_ok,
                 "degraded" => &server.stats.compiles_degraded,
                 "overload" => &server.stats.overload_rejections,
                 "shutdown" => &server.stats.shutdown_rejections,

@@ -57,6 +57,14 @@ pub struct Stats {
     /// interned slices + class lists + memo; cumulative like
     /// `egraph_nodes`, so bytes ÷ nodes is a fleet-wide bytes/node).
     pub egraph_bytes: AtomicU64,
+    /// Deadline-expired compiles answered with a simulator-verified
+    /// stochastic program harvested from the anytime channel (a full
+    /// `degraded: false` answer instead of the baseline fallback).
+    pub stoke_harvests: AtomicU64,
+    /// Compiles answered by the stochastic engine (full runs, not
+    /// harvests): the request asked for `engine: stochastic`, or
+    /// `auto` fell back after the SAT budget was exhausted.
+    pub stoke_compiles: AtomicU64,
     /// When the server was started.
     pub started: Instant,
 }
@@ -80,6 +88,8 @@ impl Default for Stats {
             portfolio_alt_wins: AtomicU64::new(0),
             egraph_nodes: AtomicU64::new(0),
             egraph_bytes: AtomicU64::new(0),
+            stoke_harvests: AtomicU64::new(0),
+            stoke_compiles: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -97,9 +107,11 @@ impl Stats {
     /// JSON object from [`crate::metrics::ServeMetrics::latency_json`],
     /// so one body carries the full picture.
     ///
-    /// Schema v2 = v1 plus the `schema` tag and the `latency` section —
-    /// strictly additive, so v1 consumers keep working (the migration
-    /// note is in `docs/SERVER.md`).
+    /// Schema v2 = v1 plus the `schema` tag and the `latency` section;
+    /// v3 = v2 plus the `stoke` section (anytime harvests and
+    /// stochastic-engine compiles) — each bump strictly additive, so
+    /// older consumers keep working (the migration notes are in
+    /// `docs/SERVER.md`).
     pub fn render_body(
         &self,
         queue_depth: u64,
@@ -111,7 +123,7 @@ impl Stats {
         format!(
             concat!(
                 "\"status\":\"ok\",",
-                "\"schema\":\"denali-serve-stats-v2\",",
+                "\"schema\":\"denali-serve-stats-v3\",",
                 "\"uptime_ms\":{},",
                 "\"requests\":{},",
                 "\"compiles\":{{\"ok\":{},\"degraded\":{},\"error\":{}}},",
@@ -122,6 +134,7 @@ impl Stats {
                 "\"worker_panics\":{},",
                 "\"queue_depth\":{},",
                 "\"portfolio\":{{\"races\":{},\"alt_wins\":{}}},",
+                "\"stoke\":{{\"harvests\":{},\"compiles\":{}}},",
                 "\"egraph\":{{\"nodes\":{},\"bytes\":{},\"bytes_per_node\":{}}},",
                 "\"coalesce\":{{\"coalesced\":{},\"expired\":{},\"promotions\":{},",
                 "\"inflight\":{},\"waiting\":{}}},",
@@ -142,6 +155,8 @@ impl Stats {
             queue_depth,
             load(&self.portfolio_races),
             load(&self.portfolio_alt_wins),
+            load(&self.stoke_harvests),
+            load(&self.stoke_compiles),
             load(&self.egraph_nodes),
             load(&self.egraph_bytes),
             load(&self.egraph_bytes)
@@ -180,6 +195,7 @@ mod tests {
         Stats::bump(&stats.portfolio_races);
         Stats::bump(&stats.portfolio_races);
         Stats::bump(&stats.portfolio_alt_wins);
+        Stats::bump(&stats.stoke_harvests);
         stats.egraph_nodes.fetch_add(10, Ordering::Relaxed);
         stats.egraph_bytes.fetch_add(720, Ordering::Relaxed);
         let cache = CacheSnapshot {
@@ -203,12 +219,15 @@ mod tests {
         let v = json::parse(&line).unwrap();
         assert_eq!(
             v.get("schema").and_then(Json::as_str),
-            Some("denali-serve-stats-v2")
+            Some("denali-serve-stats-v3")
         );
         assert!(
             v.get("latency").and_then(|l| l.get("stages")).is_some(),
-            "v2 bodies carry the latency section"
+            "v2+ bodies carry the latency section"
         );
+        let stoke = v.get("stoke").unwrap();
+        assert_eq!(stoke.get("harvests").and_then(Json::as_u64), Some(1));
+        assert_eq!(stoke.get("compiles").and_then(Json::as_u64), Some(0));
         assert_eq!(v.get("requests").and_then(Json::as_u64), Some(2));
         assert_eq!(v.get("queue_depth").and_then(Json::as_u64), Some(4));
         assert_eq!(v.get("worker_panics").and_then(Json::as_u64), Some(0));

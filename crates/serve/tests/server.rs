@@ -164,6 +164,72 @@ fn expired_deadline_degrades_to_a_valid_baseline_program() {
 }
 
 #[test]
+fn expired_deadline_under_auto_engine_harvests_the_stochastic_best() {
+    // The anytime channel end to end: byteswap4 under the DPLL solver
+    // takes minutes to search, but matching plus the auto-engine's
+    // stochastic prepass finish in a couple of seconds and publish a
+    // verified 6-cycle candidate (the greedy baseline needs 7). A
+    // deadline that expires mid-search must therefore harvest the
+    // chain's best instead of degrading to the baseline.
+    let source = r"
+(\procdecl byteswap4 ((a long)) long
+  (\var (r long 0)
+    (\semi
+      (:= ((\selectb r 0) (\selectb a 3)))
+      (:= ((\selectb r 1) (\selectb a 2)))
+      (:= ((\selectb r 2) (\selectb a 1)))
+      (:= ((\selectb r 3) (\selectb a 0)))
+      (:= (\res r)))))";
+    let server = Server::new(ServerConfig::default()).unwrap();
+    let resp = server
+        .handle_line(&compile_line(
+            "h",
+            source,
+            r#","deadline_ms":8000,"options":{"solver":"dpll","engine":"auto"}"#,
+        ))
+        .unwrap();
+    let v = json::parse(&resp).unwrap();
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"), "{resp}");
+    // Harvested answers are real verified programs, not degraded
+    // baselines — and the body says which engine produced them.
+    assert_eq!(v.get("degraded").and_then(Json::as_bool), Some(false));
+    assert_eq!(v.get("engine").and_then(Json::as_str), Some("stochastic"));
+    let gmas = v.get("gmas").and_then(Json::as_arr).unwrap();
+    assert_eq!(gmas.len(), 1);
+    let gma = &gmas[0];
+    // No optimality certificate — the chain cannot refute anything.
+    assert_eq!(
+        gma.get("refuted_below").and_then(Json::as_bool),
+        Some(false)
+    );
+    // Strictly cheaper than the 7-cycle greedy baseline (the fixed
+    // default seed finds 6; anything below 7 proves a real harvest).
+    let cycles = gma.get("cycles").and_then(Json::as_u64).unwrap();
+    assert!(cycles < 7, "harvest beat the baseline, got {cycles}");
+
+    // The stats surface records the harvest, and counts it as ok.
+    let stats = server.handle_line(r#"{"type":"stats","id":1}"#).unwrap();
+    let sv = json::parse(&stats).unwrap();
+    let stoke = sv.get("stoke").expect("v3 stats carry a stoke section");
+    assert_eq!(
+        stoke.get("harvests").and_then(Json::as_u64),
+        Some(1),
+        "{stats}"
+    );
+    assert_eq!(stoke.get("compiles").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        sv.get("compiles")
+            .and_then(|c| c.get("ok"))
+            .and_then(Json::as_u64),
+        Some(1)
+    );
+
+    // Harvested bodies are never cached: the chain's answer carries no
+    // optimality ladder, so an unhurried request must compile afresh.
+    assert_eq!(server.cache().snapshot().entries, 0);
+}
+
+#[test]
 fn class_budget_exhaustion_is_a_clean_match_error_not_a_panic() {
     // A class budget smaller than the goal terms themselves must come
     // back as a structured "match"-stage error — not a worker panic

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! denali FILE.dnl [--proc NAME] [--machine ev6|ev6-unclustered|single-issue|ia64like]
-//!                 [--solver cdcl|dpll] [--threads N] [--portfolio N] [--load-latency N]
+//!                 [--solver cdcl|dpll] [--engine sat|stochastic|auto]
+//!                 [--threads N] [--portfolio N] [--load-latency N]
 //!                 [--max-cycles N] [--incremental|--no-incremental]
 //!                 [--delta-match|--no-delta-match]
 //!                 [--probes] [-v|--verbose] [--trace] [--trace-out FILE]
@@ -12,6 +13,7 @@
 //! denali metrics-check EXPOSITION.txt
 //! denali serve (--stdio | --listen ADDR) [--workers N] [--queue N]
 //!              [--cache-bytes N] [--cache-dir DIR] [--machine M] [--solver S]
+//!              [--engine sat|stochastic|auto]
 //!              [--max-cycles N] [--threads N] [--portfolio N]
 //!              [--coalesce|--no-coalesce] [--trace] [-v|--verbose]
 //!              [--metrics-addr ADDR] [--slow-ms T --spool-dir DIR]
@@ -29,7 +31,7 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use denali::arch::{Machine, Simulator};
-use denali::core::{Denali, Options, SolverChoice};
+use denali::core::{Denali, EngineChoice, Options, SolverChoice};
 use denali::trace::{chrome, jsonl, report, Tracer, Value};
 
 #[derive(Clone, Copy, PartialEq)]
@@ -53,7 +55,8 @@ struct Cli {
 fn usage() -> ! {
     eprintln!(
         "usage: denali FILE.dnl [--proc NAME] [--machine ev6|ev6-unclustered|single-issue|ia64like]\n\
-         \x20                   [--solver cdcl|dpll] [--threads N] [--portfolio N] [--load-latency N]\n\
+         \x20                   [--solver cdcl|dpll] [--engine sat|stochastic|auto]\n\
+         \x20                   [--threads N] [--portfolio N] [--load-latency N]\n\
          \x20                   [--max-cycles N] [--incremental|--no-incremental]\n\
          \x20                   [--delta-match|--no-delta-match]\n\
          \x20                   [--probes] [-v|--verbose] [--trace] [--trace-out FILE]\n\
@@ -63,10 +66,14 @@ fn usage() -> ! {
          \x20      denali metrics-check EXPOSITION.txt\n\
          \x20      denali serve (--stdio | --listen ADDR) [--workers N] [--queue N]\n\
          \x20                   [--cache-bytes N] [--cache-dir DIR] [--machine M] [--solver S]\n\
-         \x20                   [--max-cycles N] [--threads N] [--portfolio N]\n\
+         \x20                   [--engine sat|stochastic|auto] [--max-cycles N]\n\
+         \x20                   [--threads N] [--portfolio N]\n\
          \x20                   [--coalesce|--no-coalesce] [--trace] [-v|--verbose]\n\
          \x20                   [--metrics-addr ADDR] [--slow-ms T --spool-dir DIR]\n\
          \x20                   [--trace-sample N] [--flight-capacity N]\n\
+         \x20 --engine E        optimizer engine: sat (goal-directed search, default), stochastic\n\
+         \x20                   (MCMC over instruction sketches), or auto (SAT with stochastic\n\
+         \x20                   fallback + anytime candidates under deadlines; also DENALI_ENGINE)\n\
          \x20 --threads N       worker threads for matching + speculative probes (0 = all CPUs, 1 = serial)\n\
          \x20 --portfolio N     race N diversified CDCL configurations per probe, first verdict wins\n\
          \x20                   (0/1 = off; output is byte-identical either way; also DENALI_PORTFOLIO)\n\
@@ -132,6 +139,13 @@ fn parse_cli() -> Cli {
                         usage();
                     }
                 }
+            }
+            "--engine" => {
+                let name = need(&mut args, "--engine");
+                cli.options.engine = EngineChoice::parse(&name).unwrap_or_else(|| {
+                    eprintln!("unknown engine {name} (known: sat, stochastic, auto)");
+                    usage();
+                })
             }
             "--load-latency" => {
                 cli.options.load_latency = Some(
@@ -327,6 +341,13 @@ fn serve(args: &[String]) -> ExitCode {
                         usage();
                     }
                 }
+            }
+            "--engine" => {
+                let name = need(&mut args, "--engine");
+                config.base.engine = EngineChoice::parse(&name).unwrap_or_else(|| {
+                    eprintln!("unknown engine {name} (known: sat, stochastic, auto)");
+                    usage();
+                })
             }
             "--max-cycles" => {
                 config.base.max_cycles =
